@@ -1,0 +1,21 @@
+// Ablation: conservative backfill (the paper's algorithm reserves nodes for
+// *every* queued job) versus EASY backfill (reservation only for the first
+// blocked job, per the paper's citation [11]) — under three predictors.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  auto options = rtp::bench::parse(argc, argv, /*default_scale=*/0.5);
+  if (!options) return 0;
+  const auto workloads = rtp::paper_workloads(options->scale);
+  const std::vector<rtp::PolicyKind> policies{rtp::PolicyKind::BackfillConservative,
+                                              rtp::PolicyKind::BackfillEasy};
+  for (rtp::PredictorKind predictor :
+       {rtp::PredictorKind::Actual, rtp::PredictorKind::MaxRuntime, rtp::PredictorKind::Stf}) {
+    const auto rows = rtp::scheduling_table(workloads, policies, predictor, options->stf);
+    rtp::bench::print_sched_rows(
+        "Ablation: conservative vs EASY backfill — predictor = " + rtp::to_string(predictor),
+        rows, options->csv);
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Ablation: training-set initialization (paper §2.1: the online algorithm
+// "suffers from an initial ramp-up ... This deficiency could be corrected
+// by using a training set to initialize C").  The first fraction of each
+// trace is used as the training set; error is measured on the remainder,
+// cold versus bootstrapped.
+#include "bench_common.hpp"
+
+#include "predict/stf.hpp"
+#include "search/eval.hpp"
+#include "workload/transforms.hpp"
+
+int main(int argc, char** argv) {
+  auto options = rtp::bench::parse(argc, argv, /*default_scale=*/0.25);
+  if (!options) return 0;
+
+  rtp::TablePrinter table({"Workload", "Cold error (min)", "Bootstrapped error (min)",
+                           "Improvement (%)"});
+  for (const rtp::Workload& w : rtp::paper_workloads(options->scale)) {
+    const bool has_max = rtp::compute_stats(w).max_runtime_coverage > 0.0;
+    const std::size_t train_count = w.size() / 5;  // first 20% is training
+
+    // Evaluation workload: predictions only for the held-out jobs.
+    const rtp::Workload holdout = rtp::rebase_time(
+        rtp::filter(w, [&](const rtp::Job& j) { return j.id >= train_count; }));
+    const rtp::PredictionWorkload eval =
+        rtp::PredictionWorkload::from_policy(holdout, rtp::PolicyKind::BackfillConservative);
+
+    rtp::StfPredictor cold(rtp::default_template_set(w.fields(), has_max));
+    const double cold_err = eval.evaluate(cold);
+
+    rtp::StfPredictor warm(rtp::default_template_set(w.fields(), has_max));
+    warm.bootstrap(std::span(w.jobs()).first(train_count));
+    const double warm_err = eval.evaluate(warm);
+
+    table.add_row({w.name(), rtp::format_double(rtp::to_minutes(cold_err), 2),
+                   rtp::format_double(rtp::to_minutes(warm_err), 2),
+                   rtp::format_double(100.0 * (cold_err - warm_err) / cold_err, 1)});
+  }
+  if (options->csv)
+    table.print_csv(std::cout);
+  else {
+    std::cout << "Ablation: training-set initialization of the category database\n";
+    table.print(std::cout);
+  }
+  return 0;
+}

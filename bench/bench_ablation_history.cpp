@@ -1,0 +1,73 @@
+// Ablation: the max-history knob (paper §2.1: "A small maximum history
+// means ... only more recent events are used") and the node-range size —
+// the two numeric template parameters the GA searches over, swept here
+// explicitly on a (u,e,n) template over the ANL workload.
+#include "bench_common.hpp"
+
+#include "predict/stf.hpp"
+#include "search/eval.hpp"
+
+namespace {
+
+rtp::Template base_template() {
+  rtp::Template t;
+  t.characteristics.set(rtp::Characteristic::User).set(rtp::Characteristic::Executable);
+  t.use_nodes = true;
+  t.node_range_size = 4;
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto options = rtp::bench::parse(argc, argv, /*default_scale=*/0.25);
+  if (!options) return 0;
+
+  const rtp::Workload w = rtp::generate_synthetic(rtp::anl_config(options->scale));
+  const rtp::PredictionWorkload eval =
+      rtp::PredictionWorkload::from_policy(w, rtp::PolicyKind::BackfillConservative);
+
+  {
+    rtp::TablePrinter table({"Max history", "RT error (min)"});
+    for (std::size_t hist : {std::size_t{2}, std::size_t{8}, std::size_t{32},
+                             std::size_t{128}, std::size_t{512}, std::size_t{0}}) {
+      rtp::TemplateSet set;
+      rtp::Template t = base_template();
+      t.max_history = hist;
+      set.templates.push_back(t);
+      set.templates.emplace_back();  // global fallback
+      rtp::StfPredictor predictor(set);
+      table.add_row({hist == 0 ? "unlimited" : std::to_string(hist),
+                     rtp::format_double(rtp::to_minutes(eval.evaluate(predictor)), 2)});
+    }
+    if (options->csv)
+      table.print_csv(std::cout);
+    else {
+      std::cout << "Ablation: max history on (u,e,n=4) over ANL\n";
+      table.print(std::cout);
+    }
+  }
+
+  std::cout << "\n";
+
+  {
+    rtp::TablePrinter table({"Node range size", "RT error (min)"});
+    for (int range : {1, 2, 4, 8, 16, 64, 512}) {
+      rtp::TemplateSet set;
+      rtp::Template t = base_template();
+      t.node_range_size = range;
+      set.templates.push_back(t);
+      set.templates.emplace_back();
+      rtp::StfPredictor predictor(set);
+      table.add_row({std::to_string(range),
+                     rtp::format_double(rtp::to_minutes(eval.evaluate(predictor)), 2)});
+    }
+    if (options->csv)
+      table.print_csv(std::cout);
+    else {
+      std::cout << "Ablation: node range size on (u,e,n=R) over ANL\n";
+      table.print(std::cout);
+    }
+  }
+  return 0;
+}

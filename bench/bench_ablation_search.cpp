@@ -1,0 +1,52 @@
+// Ablation: how the template set is found — hand-built default vs greedy
+// search vs the paper's genetic algorithm — measured as run-time prediction
+// error on each workload's prediction workload (paper §2.1 compares GA and
+// greedy and picks the GA).
+#include "bench_common.hpp"
+
+#include "predict/stf.hpp"
+#include "search/ga.hpp"
+#include "search/greedy.hpp"
+
+int main(int argc, char** argv) {
+  auto options = rtp::bench::parse(argc, argv, /*default_scale=*/0.1);
+  if (!options) return 0;
+
+  rtp::TablePrinter table({"Workload", "Method", "RT error (min)", "Templates",
+                           "Evaluations"});
+  for (const rtp::Workload& w : rtp::paper_workloads(options->scale)) {
+    const bool has_max = rtp::compute_stats(w).max_runtime_coverage > 0.0;
+    const rtp::PredictionWorkload eval =
+        rtp::PredictionWorkload::from_policy(w, rtp::PolicyKind::BackfillConservative);
+
+    rtp::StfPredictor def(rtp::default_template_set(w.fields(), has_max));
+    const double def_err = eval.evaluate(def);
+    table.add_row({w.name(), "default",
+                   rtp::format_double(rtp::to_minutes(def_err), 2),
+                   std::to_string(def.templates().templates.size()), "0"});
+
+    rtp::GreedyOptions greedy;
+    greedy.candidate_limit = 96;
+    const rtp::SearchResult g = rtp::search_templates_greedy(eval, w.fields(), has_max, greedy);
+    table.add_row({w.name(), "greedy",
+                   rtp::format_double(rtp::to_minutes(g.best_error), 2),
+                   std::to_string(g.best.templates.size()), std::to_string(g.evaluations)});
+
+    rtp::GaOptions ga = options->stf.ga.value_or(rtp::GaOptions{});
+    if (!options->stf.ga) {
+      ga.population = 20;
+      ga.generations = 10;
+    }
+    const rtp::SearchResult a = rtp::search_templates_ga(eval, w.fields(), has_max, ga);
+    table.add_row({w.name(), "GA",
+                   rtp::format_double(rtp::to_minutes(a.best_error), 2),
+                   std::to_string(a.best.templates.size()), std::to_string(a.evaluations)});
+  }
+  if (options->csv)
+    table.print_csv(std::cout);
+  else {
+    std::cout << "Ablation: template search method (run-time prediction error)\n";
+    table.print(std::cout);
+  }
+  return 0;
+}

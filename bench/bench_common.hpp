@@ -1,0 +1,86 @@
+// Shared command-line handling and table rendering for the per-table bench
+// binaries.  Every binary accepts:
+//   --scale S   fraction of each trace's job count to generate (default 1.0)
+//   --ga        run the paper's GA template search per (workload, policy)
+//               instead of the hand-built default template set (STF only)
+//   --ga-pop / --ga-gens   GA budget when --ga is given
+//   --csv       emit CSV instead of an aligned table
+//   --verbose   progress logging to stderr
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/args.hpp"
+#include "core/log.hpp"
+#include "core/strings.hpp"
+#include "core/table.hpp"
+#include "exp/experiments.hpp"
+#include "workload/synthetic.hpp"
+
+namespace rtp::bench {
+
+struct BenchOptions {
+  double scale = 1.0;
+  bool csv = false;
+  StfSource stf;
+};
+
+/// Parse common options; returns std::nullopt when --help was printed.
+inline std::optional<BenchOptions> parse(int argc, char** argv, double default_scale = 1.0) {
+  ArgParser args(argc, argv);
+  args.add_option("scale", "fraction of each trace's job count", std::to_string(default_scale));
+  args.add_flag("ga", "run the GA template search per workload/policy (STF only)");
+  args.add_option("ga-pop", "GA population size", "24");
+  args.add_option("ga-gens", "GA generations", "12");
+  args.add_flag("csv", "emit CSV");
+  args.add_flag("verbose", "progress logging to stderr");
+  if (!args.parse()) return std::nullopt;
+
+  BenchOptions out;
+  out.scale = args.real("scale");
+  out.csv = args.flag("csv");
+  if (args.flag("verbose")) set_log_level(LogLevel::Info);
+  if (args.flag("ga")) {
+    GaOptions ga;
+    ga.population = static_cast<std::size_t>(args.integer("ga-pop"));
+    ga.generations = static_cast<std::size_t>(args.integer("ga-gens"));
+    out.stf.ga = ga;
+  }
+  return out;
+}
+
+inline void print_wait_rows(const std::string& title, const std::vector<WaitPredRow>& rows,
+                            bool csv) {
+  TablePrinter table({"Workload", "Scheduling Algorithm", "Mean Error (minutes)",
+                      "Percentage of Mean Wait Time"});
+  for (const WaitPredRow& r : rows)
+    table.add_row({r.workload, r.algorithm, format_double(r.mean_error_minutes, 2),
+                   format_double(r.percent_of_mean_wait, 0)});
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    std::cout << title << "\n";
+    table.print(std::cout);
+  }
+}
+
+inline void print_sched_rows(const std::string& title, const std::vector<SchedPerfRow>& rows,
+                             bool csv) {
+  TablePrinter table({"Workload", "Scheduling Algorithm", "Utilization (percent)",
+                      "Mean Wait Time (minutes)", "RT Error (min)", "RT Error (% mean RT)"});
+  for (const SchedPerfRow& r : rows)
+    table.add_row({r.workload, r.algorithm, format_double(r.utilization_percent, 2),
+                   format_double(r.mean_wait_minutes, 2),
+                   format_double(r.runtime_error_minutes, 2),
+                   format_double(r.runtime_error_percent, 0)});
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    std::cout << title << "\n";
+    table.print(std::cout);
+  }
+}
+
+}  // namespace rtp::bench

@@ -1,0 +1,67 @@
+// Extension (paper §5 future work): state-based wait-time prediction
+// compared head-to-head against the paper's shadow-simulation method.  The
+// paper hoped the state-based approach would "improve wait-time prediction
+// error, particularly for the LWF algorithm, which has a large built-in
+// error" — this bench measures exactly that, per workload and policy, with
+// both methods driven by the STF run-time predictor.
+#include "bench_common.hpp"
+
+#include "predict/simple.hpp"
+#include "predict/stf.hpp"
+#include "waitpred/statepred.hpp"
+#include "waitpred/waitpred.hpp"
+
+int main(int argc, char** argv) {
+  auto options = rtp::bench::parse(argc, argv, /*default_scale=*/0.5);
+  if (!options) return 0;
+
+  rtp::TablePrinter table({"Workload", "Scheduling Algorithm", "Shadow-sim error (min)",
+                           "State-based error (min)", "Mean wait (min)"});
+  for (const rtp::Workload& w : rtp::paper_workloads(options->scale)) {
+    const bool has_max = rtp::compute_stats(w).max_runtime_coverage > 0.0;
+    for (rtp::PolicyKind kind :
+         {rtp::PolicyKind::Lwf, rtp::PolicyKind::BackfillConservative}) {
+      auto policy = rtp::make_policy(kind);
+      rtp::MaxRuntimePredictor live(w);  // live scheduler per the paper
+
+      rtp::StfPredictor shadow_stf(rtp::default_template_set(w.fields(), has_max));
+      rtp::WaitTimeObserver shadow(*policy, shadow_stf);
+      rtp::StfPredictor state_stf(rtp::default_template_set(w.fields(), has_max));
+      rtp::StateWaitObserver statebased(state_stf);
+
+      // One simulation, both observers.
+      struct Both final : rtp::SimObserver {
+        rtp::SimObserver* a;
+        rtp::SimObserver* b;
+        void on_submit(rtp::Seconds now, const rtp::SystemState& st,
+                       const rtp::Job& j) override {
+          a->on_submit(now, st, j);
+          b->on_submit(now, st, j);
+        }
+        void on_start(const rtp::Job& j, rtp::Seconds t) override {
+          a->on_start(j, t);
+          b->on_start(j, t);
+        }
+        void on_finish(const rtp::Job& j, rtp::Seconds t) override {
+          a->on_finish(j, t);
+          b->on_finish(j, t);
+        }
+      } both;
+      both.a = &shadow;
+      both.b = &statebased;
+      rtp::simulate(w, *policy, live, &both);
+
+      table.add_row({w.name(), policy->name(),
+                     rtp::format_double(rtp::to_minutes(shadow.error_stats().mean()), 2),
+                     rtp::format_double(rtp::to_minutes(statebased.error_stats().mean()), 2),
+                     rtp::format_double(rtp::to_minutes(shadow.wait_stats().mean()), 2)});
+    }
+  }
+  if (options->csv)
+    table.print_csv(std::cout);
+  else {
+    std::cout << "Extension: shadow-simulation vs state-based wait-time prediction\n";
+    table.print(std::cout);
+  }
+  return 0;
+}

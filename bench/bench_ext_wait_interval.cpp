@@ -1,0 +1,94 @@
+// Extension: coverage of the wait-time uncertainty band.  For every
+// submission, predict [optimistic, pessimistic] wait via scaled shadow
+// replays and measure how often the actual wait falls inside the band —
+// the calibration question a user of the §3 estimator would ask next.
+#include "bench_common.hpp"
+
+#include "predict/simple.hpp"
+#include "predict/stf.hpp"
+#include "waitpred/waitpred.hpp"
+
+namespace {
+
+class BandObserver final : public rtp::SimObserver {
+ public:
+  BandObserver(const rtp::SchedulerPolicy& policy, rtp::RuntimeEstimator& predictor,
+               double lo, double hi)
+      : policy_(policy), predictor_(predictor), lo_(lo), hi_(hi) {}
+
+  void on_submit(rtp::Seconds now, const rtp::SystemState& state,
+                 const rtp::Job& job) override {
+    rtp::SystemState shadow = state;
+    for (rtp::SchedJob& sj : shadow.mutable_queue())
+      sj.estimate = predictor_.estimate(*sj.job, 0.0);
+    for (rtp::SchedJob& sj : shadow.mutable_running())
+      sj.estimate = predictor_.estimate(*sj.job, sj.age(now));
+    bands_.emplace(job.id,
+                   rtp::predict_wait_interval(shadow, policy_, now, job.id, lo_, hi_));
+  }
+
+  void on_start(const rtp::Job& job, rtp::Seconds start) override {
+    auto it = bands_.find(job.id);
+    if (it == bands_.end()) return;
+    const rtp::Seconds wait = start - job.submit;
+    ++total_;
+    // Half a minute of slack absorbs the replay's 1-second completion floor
+    // on near-zero waits.
+    const rtp::Seconds slack = 30.0;
+    if (wait + slack >= it->second.optimistic && wait - slack <= it->second.pessimistic)
+      ++covered_;
+    width_total_ += it->second.pessimistic - it->second.optimistic;
+    bands_.erase(it);
+  }
+
+  void on_finish(const rtp::Job& job, rtp::Seconds end) override {
+    predictor_.job_completed(job, end);
+  }
+
+  double coverage() const { return total_ == 0 ? 0.0 : 100.0 * covered_ / total_; }
+  double mean_width_minutes() const {
+    return total_ == 0 ? 0.0 : rtp::to_minutes(width_total_ / total_);
+  }
+
+ private:
+  const rtp::SchedulerPolicy& policy_;
+  rtp::RuntimeEstimator& predictor_;
+  double lo_, hi_;
+  std::unordered_map<rtp::JobId, rtp::WaitInterval> bands_;
+  double covered_ = 0, total_ = 0;
+  rtp::Seconds width_total_ = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto options = rtp::bench::parse(argc, argv, /*default_scale=*/0.5);
+  if (!options) return 0;
+
+  rtp::TablePrinter table({"Workload", "Algorithm", "Band", "Coverage (%)",
+                           "Mean width (min)"});
+  for (const rtp::Workload& w : rtp::paper_workloads(options->scale)) {
+    const bool has_max = rtp::compute_stats(w).max_runtime_coverage > 0.0;
+    for (rtp::PolicyKind kind :
+         {rtp::PolicyKind::Lwf, rtp::PolicyKind::BackfillConservative}) {
+      for (auto [lo, hi] : {std::pair{0.5, 2.0}, std::pair{0.25, 4.0}}) {
+        auto policy = rtp::make_policy(kind);
+        rtp::MaxRuntimePredictor live(w);
+        rtp::StfPredictor stf(rtp::default_template_set(w.fields(), has_max));
+        BandObserver observer(*policy, stf, lo, hi);
+        rtp::simulate(w, *policy, live, &observer);
+        table.add_row({w.name(), policy->name(),
+                       "x" + rtp::format_double(lo, 2) + "…x" + rtp::format_double(hi, 0),
+                       rtp::format_double(observer.coverage(), 1),
+                       rtp::format_double(observer.mean_width_minutes(), 1)});
+      }
+    }
+  }
+  if (options->csv)
+    table.print_csv(std::cout);
+  else {
+    std::cout << "Extension: wait-time uncertainty band coverage (STF predictor)\n";
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Micro-benchmarks (google-benchmark) for the prediction hot paths: the
+// per-event costs that dominate full-trace simulations.
+#include <benchmark/benchmark.h>
+
+#include "predict/downey.hpp"
+#include "predict/gibbons.hpp"
+#include "predict/stf.hpp"
+#include "workload/synthetic.hpp"
+
+namespace {
+
+const rtp::Workload& anl() {
+  static const rtp::Workload w = rtp::generate_synthetic(rtp::anl_config(0.25));
+  return w;
+}
+
+template <typename Predictor>
+void feed_history(Predictor& p, std::size_t count) {
+  const auto& jobs = anl().jobs();
+  for (std::size_t i = 0; i < count && i < jobs.size(); ++i)
+    p.job_completed(jobs[i], jobs[i].submit + jobs[i].runtime);
+}
+
+void BM_StfPredict(benchmark::State& state) {
+  rtp::StfPredictor p(rtp::default_template_set(anl().fields(), true));
+  feed_history(p, static_cast<std::size_t>(state.range(0)));
+  const auto& jobs = anl().jobs();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.estimate(jobs[i % jobs.size()], 0.0));
+    ++i;
+  }
+}
+BENCHMARK(BM_StfPredict)->Arg(100)->Arg(1000);
+
+void BM_StfPredictRunning(benchmark::State& state) {
+  // Running-job predictions exercise the age-conditioned scan path.
+  rtp::StfPredictor p(rtp::default_template_set(anl().fields(), true));
+  feed_history(p, 1000);
+  const auto& jobs = anl().jobs();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.estimate(jobs[i % jobs.size()], rtp::minutes(30)));
+    ++i;
+  }
+}
+BENCHMARK(BM_StfPredictRunning);
+
+void BM_StfInsert(benchmark::State& state) {
+  const auto& jobs = anl().jobs();
+  rtp::StfPredictor p(rtp::default_template_set(anl().fields(), true));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    p.job_completed(jobs[i % jobs.size()], 0.0);
+    ++i;
+  }
+}
+BENCHMARK(BM_StfInsert);
+
+void BM_GibbonsPredict(benchmark::State& state) {
+  rtp::GibbonsPredictor p;
+  feed_history(p, 1000);
+  const auto& jobs = anl().jobs();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.estimate(jobs[i % jobs.size()], 0.0));
+    ++i;
+  }
+}
+BENCHMARK(BM_GibbonsPredict);
+
+void BM_DowneyPredict(benchmark::State& state) {
+  rtp::DowneyPredictor p(rtp::DowneyVariant::ConditionalMedian);
+  feed_history(p, 1000);
+  const auto& jobs = anl().jobs();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.estimate(jobs[i % jobs.size()], 0.0));
+    ++i;
+  }
+}
+BENCHMARK(BM_DowneyPredict);
+
+void BM_DowneyInsertWithRefit(benchmark::State& state) {
+  const auto& jobs = anl().jobs();
+  rtp::DowneyPredictor p(rtp::DowneyVariant::ConditionalAverage);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    p.job_completed(jobs[i % jobs.size()], 0.0);
+    // Trigger the lazy refit path periodically, as a live sim would.
+    if (i % 64 == 0) benchmark::DoNotOptimize(p.estimate(jobs[i % jobs.size()], 0.0));
+    ++i;
+  }
+}
+BENCHMARK(BM_DowneyInsertWithRefit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Micro-benchmarks for the scheduling hot paths: availability-profile
+// queries, policy passes over realistic queue depths, shadow simulation,
+// and a full end-to-end trace simulation.
+#include <benchmark/benchmark.h>
+
+#include "predict/simple.hpp"
+#include "sched/forward_sim.hpp"
+#include "sched/profile.hpp"
+#include "sim/simulator.hpp"
+#include "workload/synthetic.hpp"
+
+namespace {
+
+const rtp::Workload& anl() {
+  static const rtp::Workload w = rtp::generate_synthetic(rtp::anl_config(0.25));
+  return w;
+}
+
+void BM_ProfileReserveAndFit(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    rtp::AvailabilityProfile profile(0.0, 400);
+    for (int i = 0; i < jobs; ++i) {
+      const int nodes = 1 + (i * 37) % 64;
+      const double duration = 100.0 + (i * 131) % 5000;
+      const double t = profile.earliest_fit(0.0, nodes, duration);
+      profile.reserve(t, t + duration, nodes);
+    }
+    benchmark::DoNotOptimize(profile.breakpoints());
+  }
+}
+BENCHMARK(BM_ProfileReserveAndFit)->Arg(16)->Arg(64)->Arg(256);
+
+/// Build a deep-queue state for policy benchmarks.
+struct DeepQueue {
+  std::vector<rtp::Job> jobs;
+  rtp::SystemState state{400};
+
+  explicit DeepQueue(int running, int queued) {
+    jobs.reserve(static_cast<std::size_t>(running + queued));
+    for (int i = 0; i < running; ++i) {
+      rtp::Job& j = jobs.emplace_back();
+      j.id = static_cast<rtp::JobId>(jobs.size() - 1);
+      j.nodes = 1 + (i * 13) % 32;
+      state.enqueue(j, 0.0, 1000.0 + i);
+      state.start_job(j.id, 0.0);
+    }
+    for (int i = 0; i < queued; ++i) {
+      rtp::Job& j = jobs.emplace_back();
+      j.id = static_cast<rtp::JobId>(jobs.size() - 1);
+      j.nodes = 1 + (i * 29) % 128;
+      state.enqueue(j, 1.0 + i, 500.0 + 100.0 * (i % 11));
+    }
+  }
+};
+
+void BM_BackfillPass(benchmark::State& state) {
+  DeepQueue fixture(8, static_cast<int>(state.range(0)));
+  rtp::BackfillPolicy policy(rtp::BackfillPolicy::Variant::Conservative);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(policy.select_starts(100.0, fixture.state));
+}
+BENCHMARK(BM_BackfillPass)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_LwfPass(benchmark::State& state) {
+  DeepQueue fixture(8, static_cast<int>(state.range(0)));
+  rtp::LwfPolicy policy;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(policy.select_starts(100.0, fixture.state));
+}
+BENCHMARK(BM_LwfPass)->Arg(8)->Arg(128);
+
+void BM_ForwardSimulate(benchmark::State& state) {
+  DeepQueue fixture(8, static_cast<int>(state.range(0)));
+  rtp::BackfillPolicy policy(rtp::BackfillPolicy::Variant::Conservative);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(rtp::forward_simulate(fixture.state, policy, 100.0));
+}
+BENCHMARK(BM_ForwardSimulate)->Arg(8)->Arg(64);
+
+void BM_FullSimulation(benchmark::State& state) {
+  const rtp::Workload& w = anl();
+  for (auto _ : state) {
+    rtp::ActualRuntimePredictor oracle;
+    rtp::BackfillPolicy policy(rtp::BackfillPolicy::Variant::Conservative);
+    benchmark::DoNotOptimize(rtp::simulate(w, policy, oracle));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(w.size()));
+}
+BENCHMARK(BM_FullSimulation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

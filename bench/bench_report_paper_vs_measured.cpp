@@ -1,0 +1,170 @@
+// Paper-vs-measured report: runs every wait-prediction and scheduling
+// experiment (Tables 4-15) and prints the paper's published value next to
+// the measured one, plus computed qualitative agreement checks.  With
+// --markdown it emits the tables in Markdown (EXPERIMENTS.md is generated
+// from this output).
+#include "bench_common.hpp"
+
+#include "exp/paper_values.hpp"
+
+namespace {
+
+using rtp::PolicyKind;
+using rtp::PredictorKind;
+
+constexpr PredictorKind kPredictors[] = {
+    PredictorKind::Actual,        PredictorKind::MaxRuntime,   PredictorKind::Stf,
+    PredictorKind::Gibbons,       PredictorKind::DowneyAverage,
+    PredictorKind::DowneyMedian,
+};
+
+std::string fmt(double v, int decimals = 2) { return rtp::format_double(v, decimals); }
+
+void emit(rtp::TablePrinter& table, bool markdown, const std::string& title) {
+  if (markdown) {
+    std::cout << "\n### " << title << "\n\n";
+    // Markdown table from the printer's CSV form.
+    std::ostringstream csv;
+    table.print_csv(csv);
+    std::istringstream lines(csv.str());
+    std::string line;
+    bool first = true;
+    while (std::getline(lines, line)) {
+      std::cout << "| ";
+      for (auto field : rtp::split(line, ',')) std::cout << field << " | ";
+      std::cout << "\n";
+      if (first) {
+        std::cout << "|";
+        for (std::size_t i = 0; i < rtp::split(line, ',').size(); ++i) std::cout << "---|";
+        std::cout << "\n";
+        first = false;
+      }
+    }
+  } else {
+    std::cout << "\n" << title << "\n";
+    table.print(std::cout);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rtp::ArgParser args(argc, argv);
+  args.add_option("scale", "fraction of each trace's job count", "1.0");
+  args.add_flag("markdown", "emit Markdown tables");
+  args.add_flag("ga", "GA template search for the STF predictor");
+  if (!args.parse()) return 0;
+  const bool markdown = args.flag("markdown");
+
+  rtp::StfSource stf;
+  if (args.flag("ga")) {
+    rtp::GaOptions ga;
+    ga.population = 24;
+    ga.generations = 12;
+    stf.ga = ga;
+  }
+  const auto workloads = rtp::paper_workloads(args.real("scale"));
+
+  // Qualitative agreement counters.
+  std::size_t wait_cells = 0, wait_direction_agree = 0;
+  std::size_t sched_cells = 0;
+  std::size_t lwf_vs_bf_agree = 0, lwf_vs_bf_total = 0;
+
+  // Per-(workload, policy) measured wait-pred error per predictor, for the
+  // predictor-ordering check at the end.
+  std::map<std::string, std::vector<std::pair<double, double>>> ordering;  // ours, paper
+
+  for (PredictorKind predictor : kPredictors) {
+    const bool include_fcfs = predictor != PredictorKind::Actual;
+    const auto rows = rtp::wait_prediction_table(
+        workloads, rtp::wait_prediction_policies(include_fcfs), predictor, stf);
+    rtp::TablePrinter table({"Workload", "Algorithm", "Paper err (min)", "Ours err (min)",
+                             "Paper % of wait", "Ours % of wait"});
+    for (const auto& r : rows) {
+      const auto paper = rtp::paper_wait_cell(predictor, r.workload,
+                                              rtp::policy_kind_from_string(r.algorithm));
+      table.add_row({r.workload, r.algorithm,
+                     paper ? fmt(paper->mean_error_minutes) : "-",
+                     fmt(r.mean_error_minutes),
+                     paper ? fmt(paper->percent_of_mean_wait, 0) : "-",
+                     fmt(r.percent_of_mean_wait, 0)});
+      if (paper) {
+        ++wait_cells;
+        // Direction check: is the error below / above the mean wait on the
+        // same side as the paper?
+        const bool paper_worse_than_wait = paper->percent_of_mean_wait > 100.0;
+        const bool ours_worse_than_wait = r.percent_of_mean_wait > 100.0;
+        if (paper_worse_than_wait == ours_worse_than_wait) ++wait_direction_agree;
+        ordering["wait/" + r.workload + "/" + r.algorithm].emplace_back(
+            r.mean_error_minutes, paper->mean_error_minutes);
+      }
+    }
+    emit(table, markdown,
+         "Table " + std::to_string(rtp::paper_wait_table_number(predictor)) +
+             ": wait-time prediction error, predictor = " + rtp::to_string(predictor));
+  }
+
+  for (PredictorKind predictor : kPredictors) {
+    const auto rows =
+        rtp::scheduling_table(workloads, rtp::scheduling_policies(), predictor, stf);
+    rtp::TablePrinter table({"Workload", "Algorithm", "Paper util %", "Ours util %",
+                             "Paper wait (min)", "Ours wait (min)"});
+    std::map<std::string, std::pair<double, double>> waits;  // per workload: lwf, bf
+    for (const auto& r : rows) {
+      const auto paper = rtp::paper_sched_cell(predictor, r.workload,
+                                               rtp::policy_kind_from_string(r.algorithm));
+      table.add_row({r.workload, r.algorithm,
+                     paper ? fmt(paper->utilization_percent) : "-",
+                     fmt(r.utilization_percent),
+                     paper ? fmt(paper->mean_wait_minutes) : "-",
+                     fmt(r.mean_wait_minutes)});
+      if (paper) ++sched_cells;
+      if (r.algorithm == "LWF")
+        waits[r.workload].first = r.mean_wait_minutes;
+      else
+        waits[r.workload].second = r.mean_wait_minutes;
+    }
+    // Paper shape: backfill's mean wait exceeds LWF's in every published
+    // scheduling table row pair.
+    for (const auto& [workload, pair] : waits) {
+      ++lwf_vs_bf_total;
+      if (pair.second >= pair.first) ++lwf_vs_bf_agree;
+    }
+    emit(table, markdown,
+         "Table " + std::to_string(rtp::paper_sched_table_number(predictor)) +
+             ": scheduling performance, predictor = " + rtp::to_string(predictor));
+  }
+
+  // Predictor-ordering agreement: for each (workload, policy), compare the
+  // rank of the STF predictor among all predictors, ours vs paper.
+  std::size_t stf_best_paper = 0, stf_best_ours = 0, cells = 0;
+  for (const auto& [key, values] : ordering) {
+    if (values.size() != std::size(kPredictors)) continue;  // FCFS lacks Table 4
+    ++cells;
+    // Index order follows kPredictors; STF is index 2.
+    std::size_t ours_rank = 0, paper_rank = 0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i == 2) continue;
+      if (values[i].first < values[2].first) ++ours_rank;
+      if (values[i].second < values[2].second) ++paper_rank;
+    }
+    // "best non-oracle" = only the oracle (index 0) beats it.
+    if (paper_rank <= 1) ++stf_best_paper;
+    if (ours_rank <= 1) ++stf_best_ours;
+  }
+
+  std::cout << "\n";
+  if (markdown) std::cout << "### Qualitative agreement summary\n\n";
+  std::cout << (markdown ? "- " : "") << "wait-prediction cells compared: " << wait_cells
+            << "; error-vs-mean-wait side agreement: " << wait_direction_agree << "/"
+            << wait_cells << "\n";
+  std::cout << (markdown ? "- " : "")
+            << "scheduling cells compared: " << sched_cells
+            << "; LWF<=Backfill mean-wait ordering holds in " << lwf_vs_bf_agree << "/"
+            << lwf_vs_bf_total << " (paper: all)\n";
+  std::cout << (markdown ? "- " : "")
+            << "(workload,policy) cells where STF is best non-oracle wait predictor: paper "
+            << stf_best_paper << "/" << cells << ", ours " << stf_best_ours << "/" << cells
+            << "\n";
+  return 0;
+}

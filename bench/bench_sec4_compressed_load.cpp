@@ -1,0 +1,33 @@
+// Section 4's load-compression experiment: the SDSC interarrival times are
+// compressed by a factor of two and the predictors compared again — the
+// paper's test of the hypothesis that prediction accuracy matters more when
+// scheduling becomes "hard" (higher offered load).
+#include "bench_common.hpp"
+
+#include "workload/transforms.hpp"
+
+int main(int argc, char** argv) {
+  auto options = rtp::bench::parse(argc, argv, /*default_scale=*/0.5);
+  if (!options) return 0;
+
+  std::vector<rtp::Workload> workloads;
+  workloads.push_back(rtp::compress_interarrival(
+      rtp::generate_synthetic(rtp::sdsc95_config(options->scale)), 2.0));
+  workloads.push_back(rtp::compress_interarrival(
+      rtp::generate_synthetic(rtp::sdsc96_config(options->scale)), 2.0));
+
+  static constexpr rtp::PredictorKind kPredictors[] = {
+      rtp::PredictorKind::Actual,        rtp::PredictorKind::MaxRuntime,
+      rtp::PredictorKind::Stf,           rtp::PredictorKind::Gibbons,
+      rtp::PredictorKind::DowneyAverage, rtp::PredictorKind::DowneyMedian,
+  };
+  for (rtp::PredictorKind predictor : kPredictors) {
+    const auto rows = rtp::scheduling_table(workloads, rtp::scheduling_policies(), predictor,
+                                            options->stf);
+    rtp::bench::print_sched_rows(
+        "Section 4 (2x compressed SDSC load): predictor = " + rtp::to_string(predictor), rows,
+        options->csv);
+    std::cout << "\n";
+  }
+  return 0;
+}

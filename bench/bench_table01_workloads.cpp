@@ -1,0 +1,36 @@
+// Table 1: characteristics of the (synthetic stand-ins for the) trace data,
+// plus Table 2: which characteristics each trace records.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  auto options = rtp::bench::parse(argc, argv);
+  if (!options) return 0;
+  const auto workloads = rtp::paper_workloads(options->scale);
+
+  rtp::TablePrinter t1({"Workload Name", "Number of Nodes", "Number of Requests",
+                        "Mean Run Time (minutes)", "Offered Load (percent)"});
+  for (const rtp::Workload& w : workloads) {
+    const rtp::WorkloadStats stats = rtp::compute_stats(w);
+    t1.add_row({w.name(), std::to_string(w.machine_nodes()), std::to_string(w.size()),
+                rtp::format_double(stats.mean_runtime_minutes, 2),
+                rtp::format_double(100.0 * stats.offered_load, 2)});
+  }
+  if (options->csv) {
+    t1.print_csv(std::cout);
+    return 0;
+  }
+  std::cout << "Table 1: characteristics of the synthetic trace stand-ins\n";
+  t1.print(std::cout);
+
+  std::cout << "\nTable 2: characteristics recorded per workload\n";
+  rtp::TablePrinter t2({"Abbr", "Characteristic", "ANL", "CTC", "SDSC95", "SDSC96"});
+  for (rtp::Characteristic c : rtp::all_characteristics()) {
+    std::vector<std::string> row{std::string(rtp::characteristic_abbr(c)),
+                                 std::string(rtp::characteristic_name(c))};
+    for (const rtp::Workload& w : workloads)
+      row.push_back(w.fields().has(c) ? "Y" : "");
+    t2.add_row(std::move(row));
+  }
+  t2.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Table 4: wait-time prediction performance using actual run times.
+// FCFS is omitted exactly as in the paper: with oracle run times and no
+// later-arriving overtakers its wait-time prediction error is zero.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  auto options = rtp::bench::parse(argc, argv);
+  if (!options) return 0;
+  const auto workloads = rtp::paper_workloads(options->scale);
+  const auto rows = rtp::wait_prediction_table(
+      workloads, rtp::wait_prediction_policies(/*include_fcfs=*/false),
+      rtp::PredictorKind::Actual, options->stf);
+  rtp::bench::print_wait_rows("Table 4: wait-time prediction, actual run times", rows,
+                              options->csv);
+  return 0;
+}

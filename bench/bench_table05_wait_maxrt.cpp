@@ -1,0 +1,14 @@
+// Table 5: wait-time prediction performance using maximum run times.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  auto options = rtp::bench::parse(argc, argv);
+  if (!options) return 0;
+  const auto workloads = rtp::paper_workloads(options->scale);
+  const auto rows = rtp::wait_prediction_table(
+      workloads, rtp::wait_prediction_policies(/*include_fcfs=*/true),
+      rtp::PredictorKind::MaxRuntime, options->stf);
+  rtp::bench::print_wait_rows("Table 5: wait-time prediction, maximum run times", rows,
+                              options->csv);
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Table 6: wait-time prediction performance using our (STF) run-time
+// predictor.  Pass --ga to run the paper's genetic-algorithm template
+// search per workload/policy pair; the default uses the hand-built set.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  auto options = rtp::bench::parse(argc, argv);
+  if (!options) return 0;
+  const auto workloads = rtp::paper_workloads(options->scale);
+  const auto rows = rtp::wait_prediction_table(
+      workloads, rtp::wait_prediction_policies(/*include_fcfs=*/true),
+      rtp::PredictorKind::Stf, options->stf);
+  rtp::bench::print_wait_rows("Table 6: wait-time prediction, our run-time predictor", rows,
+                              options->csv);
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Table 7: wait-time prediction performance using Gibbons's predictor.
+// Also prints Table 3 (Gibbons's fixed template hierarchy) for reference.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  auto options = rtp::bench::parse(argc, argv);
+  if (!options) return 0;
+
+  if (!options->csv) {
+    rtp::TablePrinter t3({"Number", "Template", "Predictor"});
+    t3.add_row({"1", "(u,e,n,rtime)", "mean"});
+    t3.add_row({"2", "(u,e)", "linear regression"});
+    t3.add_row({"3", "(e,n,rtime)", "mean"});
+    t3.add_row({"4", "(e)", "linear regression"});
+    t3.add_row({"5", "(n,rtime)", "mean"});
+    t3.add_row({"6", "()", "linear regression"});
+    std::cout << "Table 3: templates used by Gibbons\n";
+    t3.print(std::cout);
+    std::cout << "\n";
+  }
+
+  const auto workloads = rtp::paper_workloads(options->scale);
+  const auto rows = rtp::wait_prediction_table(
+      workloads, rtp::wait_prediction_policies(/*include_fcfs=*/true),
+      rtp::PredictorKind::Gibbons, options->stf);
+  rtp::bench::print_wait_rows("Table 7: wait-time prediction, Gibbons's predictor", rows,
+                              options->csv);
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Table 8: wait-time prediction using Downey's conditional-average
+// run-time predictor.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  auto options = rtp::bench::parse(argc, argv);
+  if (!options) return 0;
+  const auto workloads = rtp::paper_workloads(options->scale);
+  const auto rows = rtp::wait_prediction_table(
+      workloads, rtp::wait_prediction_policies(/*include_fcfs=*/true),
+      rtp::PredictorKind::DowneyAverage, options->stf);
+  rtp::bench::print_wait_rows("Table 8: wait-time prediction, Downey conditional average",
+                              rows, options->csv);
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Table 9: wait-time prediction using Downey's conditional-median
+// run-time predictor.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  auto options = rtp::bench::parse(argc, argv);
+  if (!options) return 0;
+  const auto workloads = rtp::paper_workloads(options->scale);
+  const auto rows = rtp::wait_prediction_table(
+      workloads, rtp::wait_prediction_policies(/*include_fcfs=*/true),
+      rtp::PredictorKind::DowneyMedian, options->stf);
+  rtp::bench::print_wait_rows("Table 9: wait-time prediction, Downey conditional median",
+                              rows, options->csv);
+  return 0;
+}

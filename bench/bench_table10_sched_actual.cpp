@@ -1,0 +1,14 @@
+// Table 10: scheduling performance using actual run times (the upper
+// bound: the scheduler exactly knows every run time).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  auto options = rtp::bench::parse(argc, argv);
+  if (!options) return 0;
+  const auto workloads = rtp::paper_workloads(options->scale);
+  const auto rows = rtp::scheduling_table(workloads, rtp::scheduling_policies(),
+                                          rtp::PredictorKind::Actual, options->stf);
+  rtp::bench::print_sched_rows("Table 10: scheduling performance, actual run times", rows,
+                               options->csv);
+  return 0;
+}

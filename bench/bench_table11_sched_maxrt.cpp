@@ -1,0 +1,14 @@
+// Table 11: scheduling performance using maximum run times (the EASY
+// convention).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  auto options = rtp::bench::parse(argc, argv);
+  if (!options) return 0;
+  const auto workloads = rtp::paper_workloads(options->scale);
+  const auto rows = rtp::scheduling_table(workloads, rtp::scheduling_policies(),
+                                          rtp::PredictorKind::MaxRuntime, options->stf);
+  rtp::bench::print_sched_rows("Table 11: scheduling performance, maximum run times", rows,
+                               options->csv);
+  return 0;
+}

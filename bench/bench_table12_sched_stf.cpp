@@ -1,0 +1,14 @@
+// Table 12: scheduling performance using our (STF) run-time prediction
+// technique.  --ga runs the template search per workload/policy pair.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  auto options = rtp::bench::parse(argc, argv);
+  if (!options) return 0;
+  const auto workloads = rtp::paper_workloads(options->scale);
+  const auto rows = rtp::scheduling_table(workloads, rtp::scheduling_policies(),
+                                          rtp::PredictorKind::Stf, options->stf);
+  rtp::bench::print_sched_rows("Table 12: scheduling performance, our run-time predictor",
+                               rows, options->csv);
+  return 0;
+}

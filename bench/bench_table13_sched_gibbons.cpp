@@ -1,0 +1,13 @@
+// Table 13: scheduling performance using Gibbons's run-time predictor.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  auto options = rtp::bench::parse(argc, argv);
+  if (!options) return 0;
+  const auto workloads = rtp::paper_workloads(options->scale);
+  const auto rows = rtp::scheduling_table(workloads, rtp::scheduling_policies(),
+                                          rtp::PredictorKind::Gibbons, options->stf);
+  rtp::bench::print_sched_rows("Table 13: scheduling performance, Gibbons's predictor", rows,
+                               options->csv);
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Table 14: scheduling performance using Downey's conditional-average
+// run-time predictor.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  auto options = rtp::bench::parse(argc, argv);
+  if (!options) return 0;
+  const auto workloads = rtp::paper_workloads(options->scale);
+  const auto rows = rtp::scheduling_table(workloads, rtp::scheduling_policies(),
+                                          rtp::PredictorKind::DowneyAverage, options->stf);
+  rtp::bench::print_sched_rows(
+      "Table 14: scheduling performance, Downey conditional average", rows, options->csv);
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Table 15: scheduling performance using Downey's conditional-median
+// run-time predictor.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  auto options = rtp::bench::parse(argc, argv);
+  if (!options) return 0;
+  const auto workloads = rtp::paper_workloads(options->scale);
+  const auto rows = rtp::scheduling_table(workloads, rtp::scheduling_policies(),
+                                          rtp::PredictorKind::DowneyMedian, options->stf);
+  rtp::bench::print_sched_rows(
+      "Table 15: scheduling performance, Downey conditional median", rows, options->csv);
+  return 0;
+}

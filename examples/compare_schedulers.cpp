@@ -1,0 +1,58 @@
+// Scheduler x predictor comparison on one workload: a compact view of the
+// paper's §4 result matrix, plus the EASY-backfill ablation.
+//
+//   ./compare_schedulers [--workload anl|ctc|sdsc95|sdsc96] [--scale S]
+#include <iostream>
+
+#include "core/args.hpp"
+#include "core/strings.hpp"
+#include "core/table.hpp"
+#include "exp/experiments.hpp"
+#include "workload/synthetic.hpp"
+
+int main(int argc, char** argv) {
+  rtp::ArgParser args(argc, argv);
+  args.add_option("workload", "anl|ctc|sdsc95|sdsc96", "anl");
+  args.add_option("scale", "fraction of the trace's job count", "0.25");
+  if (!args.parse()) return 0;
+
+  const double scale = args.real("scale");
+  const std::string which = rtp::to_lower(args.str("workload"));
+  rtp::SyntheticConfig config;
+  if (which == "anl")
+    config = rtp::anl_config(scale);
+  else if (which == "ctc")
+    config = rtp::ctc_config(scale);
+  else if (which == "sdsc95")
+    config = rtp::sdsc95_config(scale);
+  else if (which == "sdsc96")
+    config = rtp::sdsc96_config(scale);
+  else
+    rtp::fail("unknown workload '" + which + "'");
+
+  const std::vector<rtp::Workload> workloads{rtp::generate_synthetic(config)};
+  const rtp::WorkloadStats stats = rtp::compute_stats(workloads[0]);
+  std::cout << workloads[0].name() << ": " << workloads[0].size() << " jobs, offered load "
+            << rtp::format_double(100.0 * stats.offered_load, 1) << "%\n\n";
+
+  const std::vector<rtp::PolicyKind> policies{
+      rtp::PolicyKind::Fcfs, rtp::PolicyKind::Lwf, rtp::PolicyKind::BackfillConservative,
+      rtp::PolicyKind::BackfillEasy};
+  static constexpr rtp::PredictorKind kPredictors[] = {
+      rtp::PredictorKind::Actual, rtp::PredictorKind::MaxRuntime, rtp::PredictorKind::Stf,
+      rtp::PredictorKind::Gibbons, rtp::PredictorKind::DowneyAverage,
+      rtp::PredictorKind::DowneyMedian};
+
+  rtp::TablePrinter table({"Predictor", "Scheduler", "Utilization %", "Mean wait (min)",
+                           "RT error (min)"});
+  for (rtp::PredictorKind predictor : kPredictors) {
+    const auto rows = rtp::scheduling_table(workloads, policies, predictor);
+    for (const auto& r : rows)
+      table.add_row({rtp::to_string(predictor), r.algorithm,
+                     rtp::format_double(r.utilization_percent, 2),
+                     rtp::format_double(r.mean_wait_minutes, 2),
+                     rtp::format_double(r.runtime_error_minutes, 2)});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Trace generation / conversion tool.
+//
+// Writes the four synthetic paper workloads (or any one of them) to disk in
+// the native lossless format and/or Standard Workload Format, so external
+// tools — or this library pointed at real archive traces — can consume the
+// exact experimental inputs.
+//
+//   ./tracegen --out-dir /tmp/traces [--scale 1.0] [--format native|swf|both]
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "core/args.hpp"
+#include "core/strings.hpp"
+#include "workload/native.hpp"
+#include "workload/swf.hpp"
+#include "workload/synthetic.hpp"
+
+int main(int argc, char** argv) {
+  rtp::ArgParser args(argc, argv);
+  args.add_option("out-dir", "directory to write traces into", "traces");
+  args.add_option("scale", "fraction of each trace's job count", "1.0");
+  args.add_option("format", "native|swf|both", "both");
+  if (!args.parse()) return 0;
+
+  const std::string format = rtp::to_lower(args.str("format"));
+  RTP_CHECK(format == "native" || format == "swf" || format == "both",
+            "--format must be native, swf or both");
+  const std::filesystem::path dir(args.str("out-dir"));
+  std::filesystem::create_directories(dir);
+
+  for (const rtp::Workload& w : rtp::paper_workloads(args.real("scale"))) {
+    const std::string base = rtp::to_lower(w.name());
+    if (format != "swf") {
+      const auto path = dir / (base + ".trace");
+      rtp::write_native_file(path.string(), w);
+      std::cout << "wrote " << path.string() << " (" << w.size() << " jobs)\n";
+    }
+    if (format != "native") {
+      const auto path = dir / (base + ".swf");
+      std::ofstream out(path);
+      RTP_CHECK(static_cast<bool>(out), "cannot create " + path.string());
+      rtp::write_swf(out, w);
+      std::cout << "wrote " << path.string() << " (" << w.size() << " jobs)\n";
+    }
+  }
+  std::cout << "\nRe-read a native trace with rtp::read_native_file(), or feed the\n"
+               "SWF files to any Parallel Workloads Archive tool.\n";
+  return 0;
+}

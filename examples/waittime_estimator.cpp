@@ -1,0 +1,100 @@
+// Wait-time estimator: the paper's headline use case as a tool.
+//
+// Simulates a machine up to a chosen moment, then answers "if I submitted a
+// job needing N nodes for (predicted) R seconds right now, when would it
+// start?" for a sweep of node counts — using the shadow-simulation method
+// of §3 with the historical run-time predictor.
+//
+//   ./waittime_estimator [--policy backfill] [--at-hours H] [--jobs N]
+#include <iostream>
+
+#include "core/args.hpp"
+#include "core/strings.hpp"
+#include "core/table.hpp"
+#include "predict/stf.hpp"
+#include "sched/forward_sim.hpp"
+#include "sim/simulator.hpp"
+#include "waitpred/waitpred.hpp"
+#include "workload/synthetic.hpp"
+
+namespace {
+
+/// Observer that snapshots the scheduler state at the first submission past
+/// a cut-off time.
+class SnapshotObserver final : public rtp::SimObserver {
+ public:
+  explicit SnapshotObserver(rtp::Seconds cutoff) : cutoff_(cutoff) {}
+
+  void on_submit(rtp::Seconds now, const rtp::SystemState& state,
+                 const rtp::Job& job) override {
+    (void)job;
+    if (!captured_ && now >= cutoff_) {
+      snapshot_ = state;
+      when_ = now;
+      captured_ = true;
+    }
+  }
+
+  bool captured() const { return captured_; }
+  const rtp::SystemState& snapshot() const { return snapshot_; }
+  rtp::Seconds when() const { return when_; }
+
+ private:
+  rtp::Seconds cutoff_;
+  bool captured_ = false;
+  rtp::SystemState snapshot_;
+  rtp::Seconds when_ = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rtp::ArgParser args(argc, argv);
+  args.add_option("policy", "scheduling policy (fcfs|lwf|backfill|easy)", "backfill");
+  args.add_option("at-hours", "take the queue snapshot at this simulated hour", "200");
+  args.add_option("jobs", "workload size", "4000");
+  args.add_option("runtime-minutes", "predicted run time of the hypothetical job", "120");
+  if (!args.parse()) return 0;
+
+  rtp::SyntheticConfig config = rtp::anl_config();
+  config.job_count = static_cast<std::size_t>(args.integer("jobs"));
+  const rtp::Workload workload = rtp::generate_synthetic(config);
+  const rtp::PolicyKind kind = rtp::policy_kind_from_string(args.str("policy"));
+  auto policy = rtp::make_policy(kind);
+
+  // Run the machine forward to the snapshot instant, learning history.
+  rtp::StfPredictor predictor(rtp::default_template_set(workload.fields(), true));
+  SnapshotObserver observer(rtp::hours(args.real("at-hours")));
+  rtp::simulate(workload, *policy, predictor, &observer);
+  if (!observer.captured()) {
+    std::cerr << "no submission after the requested snapshot time; use --at-hours smaller\n";
+    return 1;
+  }
+
+  const rtp::SystemState& state = observer.snapshot();
+  std::cout << "Queue snapshot at t=" << rtp::format_duration(observer.when()) << " under "
+            << policy->name() << ": " << state.running().size() << " running, "
+            << state.queue().size() << " queued, " << state.free_nodes() << "/"
+            << workload.machine_nodes() << " nodes free\n\n";
+
+  // Predicted start for a hypothetical job at each node count.
+  const rtp::Seconds runtime = rtp::minutes(args.real("runtime-minutes"));
+  rtp::TablePrinter table({"Nodes requested", "Predicted wait", "Predicted start"});
+  rtp::Job probe;
+  probe.id = 1000000;  // any id not in the snapshot
+  probe.user = "you";
+  probe.runtime = runtime;
+  for (int nodes = 1; nodes <= workload.machine_nodes(); nodes *= 2) {
+    probe.nodes = nodes;
+    rtp::SystemState shadow = state;
+    shadow.enqueue(probe, observer.when(), runtime);
+    const rtp::Seconds start =
+        rtp::predict_start_time(shadow, *policy, observer.when(), probe.id);
+    table.add_row({std::to_string(nodes), rtp::format_duration(start - observer.when()),
+                   rtp::format_duration(start)});
+  }
+  table.print(std::cout);
+  std::cout << "\n(hypothetical job predicted to run "
+            << rtp::format_duration(runtime) << ")\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+#include "core/args.hpp"
+
+#include <cstdio>
+
+#include "core/error.hpp"
+#include "core/strings.hpp"
+
+namespace rtp {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  RTP_CHECK(argc >= 1, "argc must be >= 1");
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) raw_.emplace_back(argv[i]);
+}
+
+void ArgParser::add_flag(const std::string& name, const std::string& help) {
+  RTP_CHECK(!specs_.count(name), "duplicate option --" + name);
+  specs_[name] = Spec{help, /*is_flag=*/true, "false", false};
+  order_.push_back(name);
+}
+
+void ArgParser::add_option(const std::string& name, const std::string& help,
+                           const std::string& default_value) {
+  RTP_CHECK(!specs_.count(name), "duplicate option --" + name);
+  specs_[name] = Spec{help, /*is_flag=*/false, default_value, false};
+  order_.push_back(name);
+}
+
+bool ArgParser::parse() {
+  for (std::size_t i = 0; i < raw_.size(); ++i) {
+    const std::string& arg = raw_[i];
+    if (!starts_with(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    if (body == "help") {
+      std::printf("usage: %s [options]\n", program_.c_str());
+      for (const auto& name : order_) {
+        const Spec& s = specs_.at(name);
+        if (s.is_flag)
+          std::printf("  --%-24s %s\n", name.c_str(), s.help.c_str());
+        else
+          std::printf("  --%-24s %s (default: %s)\n", (name + " <v>").c_str(), s.help.c_str(),
+                      s.value.c_str());
+      }
+      return false;
+    }
+    std::string name = body, value;
+    bool has_value = false;
+    if (auto eq = body.find('='); eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+      has_value = true;
+    }
+    auto it = specs_.find(name);
+    if (it == specs_.end()) fail("unknown option --" + name + " (try --help)");
+    Spec& spec = it->second;
+    if (spec.is_flag) {
+      RTP_CHECK(!has_value || value == "true" || value == "false",
+                "flag --" + name + " takes no value");
+      spec.value = has_value ? value : "true";
+    } else {
+      if (!has_value) {
+        RTP_CHECK(i + 1 < raw_.size(), "option --" + name + " needs a value");
+        value = raw_[++i];
+      }
+      spec.value = value;
+    }
+    spec.seen = true;
+  }
+  return true;
+}
+
+const ArgParser::Spec& ArgParser::lookup(const std::string& name) const {
+  auto it = specs_.find(name);
+  if (it == specs_.end()) fail("option --" + name + " was never declared");
+  return it->second;
+}
+
+bool ArgParser::flag(const std::string& name) const { return lookup(name).value == "true"; }
+
+std::string ArgParser::str(const std::string& name) const { return lookup(name).value; }
+
+long long ArgParser::integer(const std::string& name) const {
+  return parse_int(lookup(name).value, "option --" + name);
+}
+
+double ArgParser::real(const std::string& name) const {
+  return parse_double(lookup(name).value, "option --" + name);
+}
+
+}  // namespace rtp

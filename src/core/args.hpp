@@ -1,0 +1,54 @@
+// Minimal command-line argument parser for the bench and example binaries.
+//
+// Supports `--name value` and `--name=value` forms plus boolean flags
+// (`--verbose`).  Unknown options are an error so typos surface immediately.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rtp {
+
+class ArgParser {
+ public:
+  /// `argv`-style input; argv[0] is skipped.
+  ArgParser(int argc, const char* const* argv);
+
+  /// Declare options.  Declaration order drives --help output.
+  void add_flag(const std::string& name, const std::string& help);
+  void add_option(const std::string& name, const std::string& help,
+                  const std::string& default_value);
+
+  /// Parse; throws rtp::Error on unknown or malformed options.  Returns false
+  /// when --help was requested (help text printed to stdout).
+  bool parse();
+
+  bool flag(const std::string& name) const;
+  std::string str(const std::string& name) const;
+  long long integer(const std::string& name) const;
+  double real(const std::string& name) const;
+
+  /// Positional (non-option) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  struct Spec {
+    std::string help;
+    bool is_flag = false;
+    std::string value;  // default, replaced on parse
+    bool seen = false;
+  };
+
+  const Spec& lookup(const std::string& name) const;
+
+  std::vector<std::string> raw_;
+  std::map<std::string, Spec> specs_;
+  std::vector<std::string> order_;
+  std::vector<std::string> positional_;
+  std::string program_;
+};
+
+}  // namespace rtp

@@ -1,0 +1,37 @@
+// Error handling: a single exception type plus check macros.
+//
+// Following the C++ Core Guidelines (E.2, E.14) errors that callers can
+// reasonably encounter (bad trace files, invalid configuration) throw
+// `rtp::Error`; internal invariant violations use RTP_ASSERT which also
+// throws so tests can observe them.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rtp {
+
+/// Exception thrown for all recoverable library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void fail(const std::string& message) { throw Error(message); }
+
+}  // namespace rtp
+
+/// Throw rtp::Error with `msg` when `cond` is false.  For conditions caused
+/// by caller input (file contents, configuration values).
+#define RTP_CHECK(cond, msg)                                        \
+  do {                                                              \
+    if (!(cond)) ::rtp::fail(std::string("check failed: ") + (msg)); \
+  } while (0)
+
+/// Internal invariant; failure indicates a bug in this library.
+#define RTP_ASSERT(cond)                                                     \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::rtp::fail(std::string("internal invariant violated: " #cond " at ") + \
+                  __FILE__ + ":" + std::to_string(__LINE__));                \
+  } while (0)

@@ -1,0 +1,48 @@
+// Leveled logging to stderr.
+//
+// The simulator and search code log progress at Info; Debug is compiled in
+// but off by default.  Logging is deliberately tiny — benches parse nothing
+// from stderr, all results go to stdout through TablePrinter.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace rtp {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line ("[level] message") to stderr if `level` passes the filter.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Parts>
+std::string concat(const Parts&... parts) {
+  std::ostringstream os;
+  (os << ... << parts);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Parts>
+void log_debug(const Parts&... parts) {
+  if (log_level() <= LogLevel::Debug) log_message(LogLevel::Debug, detail::concat(parts...));
+}
+template <typename... Parts>
+void log_info(const Parts&... parts) {
+  if (log_level() <= LogLevel::Info) log_message(LogLevel::Info, detail::concat(parts...));
+}
+template <typename... Parts>
+void log_warn(const Parts&... parts) {
+  if (log_level() <= LogLevel::Warn) log_message(LogLevel::Warn, detail::concat(parts...));
+}
+template <typename... Parts>
+void log_error(const Parts&... parts) {
+  if (log_level() <= LogLevel::Error) log_message(LogLevel::Error, detail::concat(parts...));
+}
+
+}  // namespace rtp

@@ -1,0 +1,61 @@
+#include "core/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rtp {
+
+double Rng::uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  RTP_CHECK(lo <= hi, "uniform: lo > hi");
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  RTP_CHECK(lo <= hi, "uniform_int: lo > hi");
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+bool Rng::chance(double p) { return uniform() < p; }
+
+double Rng::exponential(double mean) {
+  RTP_CHECK(mean > 0.0, "exponential: mean must be positive");
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::lognormal_distribution<double>(mu, sigma)(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+double Rng::pareto(double xm, double alpha) {
+  RTP_CHECK(xm > 0.0 && alpha > 0.0, "pareto: xm and alpha must be positive");
+  const double u = 1.0 - uniform();  // in (0, 1]
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+std::size_t Rng::weighted_index(std::span<const double> weights) {
+  RTP_CHECK(!weights.empty(), "weighted_index: empty weights");
+  double total = 0.0;
+  for (double w : weights) {
+    RTP_CHECK(w >= 0.0, "weighted_index: negative weight");
+    total += w;
+  }
+  RTP_CHECK(total > 0.0, "weighted_index: all weights zero");
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;  // guard against FP rounding at the tail
+}
+
+Rng Rng::fork() { return Rng(engine_()); }
+
+}  // namespace rtp

@@ -1,0 +1,67 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in the library (synthetic workload generators,
+// the genetic-algorithm search) draws from an explicitly seeded `Rng` so that
+// experiments are reproducible bit-for-bit across runs and machines.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace rtp {
+
+/// Thin wrapper over std::mt19937_64 with the distribution helpers the
+/// library needs.  Copyable; copies evolve independently.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p);
+
+  /// Exponential variate with the given mean (mean = 1/lambda).
+  double exponential(double mean);
+
+  /// Lognormal variate: exp(N(mu, sigma^2)).
+  double lognormal(double mu, double sigma);
+
+  /// Normal variate N(mean, stddev^2).
+  double normal(double mean, double stddev);
+
+  /// Pareto variate with scale xm > 0 and shape alpha > 0.
+  double pareto(double xm, double alpha);
+
+  /// Index in [0, weights.size()) drawn proportionally to `weights`.
+  /// All weights must be non-negative and at least one positive.
+  std::size_t weighted_index(std::span<const double> weights);
+
+  /// Derive a new independent generator; advances this one.
+  Rng fork();
+
+  /// Shuffle a vector in place.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    std::shuffle(items.begin(), items.end(), engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace rtp

@@ -1,0 +1,79 @@
+#include "core/strings.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+#include "core/error.hpp"
+
+namespace rtp {
+
+std::string_view trim(std::string_view s) {
+  std::size_t begin = 0;
+  while (begin < s.size() && std::isspace(static_cast<unsigned char>(s[begin]))) ++begin;
+  std::size_t end = s.size();
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) --end;
+  return s.substr(begin, end - begin);
+}
+
+std::vector<std::string_view> split(std::string_view s, char delim) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string_view> split_whitespace(std::string_view s) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    std::size_t start = i;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    if (i > start) out.push_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+double parse_double(std::string_view s, std::string_view context) {
+  s = trim(s);
+  double value = 0.0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size())
+    fail("malformed number '" + std::string(s) + "' in " + std::string(context));
+  return value;
+}
+
+long long parse_int(std::string_view s, std::string_view context) {
+  s = trim(s);
+  long long value = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size())
+    fail("malformed integer '" + std::string(s) + "' in " + std::string(context));
+  return value;
+}
+
+std::string format_double(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+}  // namespace rtp

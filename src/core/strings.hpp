@@ -1,0 +1,32 @@
+// Small string utilities used by the trace parsers and table writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rtp {
+
+/// Remove leading and trailing whitespace.
+std::string_view trim(std::string_view s);
+
+/// Split on a single delimiter character; keeps empty fields.
+std::vector<std::string_view> split(std::string_view s, char delim);
+
+/// Split on arbitrary runs of whitespace; drops empty fields.
+std::vector<std::string_view> split_whitespace(std::string_view s);
+
+/// True when `s` begins with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Lower-case ASCII copy.
+std::string to_lower(std::string_view s);
+
+/// Parse helpers that throw rtp::Error with `context` on malformed input.
+double parse_double(std::string_view s, std::string_view context);
+long long parse_int(std::string_view s, std::string_view context);
+
+/// printf-style number formatting used by the table printers.
+std::string format_double(double value, int decimals);
+
+}  // namespace rtp

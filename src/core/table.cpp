@@ -1,0 +1,58 @@
+#include "core/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "core/error.hpp"
+
+namespace rtp {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  RTP_CHECK(!headers_.empty(), "table must have at least one column");
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  RTP_CHECK(cells.size() == headers_.size(), "row width does not match header count");
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << row[c] << std::string(widths[c] - row[c].size(), ' ');
+      out << (c + 1 == row.size() ? "\n" : "  ");
+    }
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  out << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+  for (const auto& row : rows_) emit(row);
+}
+
+void TablePrinter::print_csv(std::ostream& out) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      out << csv_escape(row[c]) << (c + 1 == row.size() ? "\n" : ",");
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace rtp

@@ -1,0 +1,39 @@
+// Fixed-width console tables and CSV output.
+//
+// Every bench binary reproduces one of the paper's tables; TablePrinter
+// renders rows with aligned columns so the output reads like the paper, and
+// CsvWriter emits the same data machine-readably.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rtp {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Append a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of data rows added so far.
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Render the table (header, separator, rows) to `out`.
+  void print(std::ostream& out) const;
+
+  /// Render as CSV (header row + data rows) to `out`.
+  void print_csv(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Quote a CSV field per RFC 4180 when it contains a comma, quote or newline.
+std::string csv_escape(const std::string& field);
+
+}  // namespace rtp

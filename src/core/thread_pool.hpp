@@ -1,0 +1,52 @@
+// A small fixed-size thread pool with a parallel_for helper.
+//
+// Used by the genetic-algorithm search to evaluate the fitness of a
+// generation's individuals concurrently.  On a single-core host the pool
+// degrades gracefully to near-serial execution.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace rtp {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueue a task; tasks must not throw (exceptions terminate).
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable idle_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+/// Run body(i) for i in [0, count) across the pool and wait for completion.
+/// `body` must be safe to invoke concurrently for distinct indices.
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace rtp

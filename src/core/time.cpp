@@ -1,0 +1,24 @@
+#include "core/time.hpp"
+
+#include <cstdio>
+
+namespace rtp {
+
+std::string format_duration(Seconds s) {
+  if (s < 0) return "n/a";
+  const long long total = static_cast<long long>(s + 0.5);
+  const long long d = total / 86400, h = (total % 86400) / 3600;
+  const long long m = (total % 3600) / 60, sec = total % 60;
+  char buf[64];
+  if (d > 0)
+    std::snprintf(buf, sizeof buf, "%lldd%02lldh%02lldm", d, h, m);
+  else if (h > 0)
+    std::snprintf(buf, sizeof buf, "%lldh%02lldm", h, m);
+  else if (m > 0)
+    std::snprintf(buf, sizeof buf, "%lldm%02llds", m, sec);
+  else
+    std::snprintf(buf, sizeof buf, "%llds", sec);
+  return buf;
+}
+
+}  // namespace rtp

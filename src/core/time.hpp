@@ -1,0 +1,39 @@
+// Simulation time primitives.
+//
+// All simulation times are expressed in seconds as `Seconds` (double).  The
+// paper reports run times and wait times in minutes; helpers here convert in
+// both directions.  A plain double keeps arithmetic in the schedulers and the
+// event engine simple while the named constructors keep call sites readable.
+#pragma once
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace rtp {
+
+/// Simulation time / duration in seconds.
+using Seconds = double;
+
+/// Sentinel for "not yet known" times (e.g. a job that has not started).
+inline constexpr Seconds kNoTime = -1.0;
+
+/// Largest representable time; used as "never" in availability profiles.
+inline constexpr Seconds kTimeInfinity = std::numeric_limits<double>::infinity();
+
+constexpr Seconds seconds(double s) { return s; }
+constexpr Seconds minutes(double m) { return m * 60.0; }
+constexpr Seconds hours(double h) { return h * 3600.0; }
+constexpr Seconds days(double d) { return d * 86400.0; }
+
+constexpr double to_minutes(Seconds s) { return s / 60.0; }
+constexpr double to_hours(Seconds s) { return s / 3600.0; }
+constexpr double to_days(Seconds s) { return s / 86400.0; }
+
+/// True when two times are equal within a scheduling tolerance (1 ms).
+inline bool time_eq(Seconds a, Seconds b) { return std::fabs(a - b) < 1e-3; }
+
+/// Render a duration as a compact human-readable string, e.g. "2h03m".
+std::string format_duration(Seconds s);
+
+}  // namespace rtp

@@ -1,0 +1,112 @@
+#include "exp/experiments.hpp"
+
+#include "core/log.hpp"
+#include "predict/recording.hpp"
+#include "predict/stf.hpp"
+#include "sim/simulator.hpp"
+
+namespace rtp {
+
+TemplateSet resolve_stf_templates(const Workload& workload, PolicyKind policy,
+                                  const StfSource& source) {
+  if (source.fixed) return *source.fixed;
+  const bool has_max = compute_stats(workload).max_runtime_coverage > 0.0;
+  if (source.ga) {
+    log_info("GA template search for ", workload.name(), " / ", to_string(policy));
+    const PredictionWorkload eval = PredictionWorkload::from_policy(workload, policy);
+    SearchResult found =
+        search_templates_ga(eval, workload.fields(), has_max, *source.ga);
+    log_info("GA best error ", to_minutes(found.best_error), " min with ",
+             found.best.templates.size(), " templates");
+    return std::move(found.best);
+  }
+  return default_template_set(workload.fields(), has_max);
+}
+
+namespace {
+
+std::unique_ptr<RuntimeEstimator> build_estimator(const Workload& workload,
+                                                  PolicyKind policy, PredictorKind kind,
+                                                  const StfSource& stf) {
+  if (kind == PredictorKind::Stf) {
+    TemplateSet set = resolve_stf_templates(workload, policy, stf);
+    return std::make_unique<StfPredictor>(std::move(set));
+  }
+  return make_runtime_estimator(kind, workload);
+}
+
+}  // namespace
+
+WaitPredRow wait_prediction_cell(const Workload& workload, PolicyKind policy,
+                                 PredictorKind predictor, const StfSource& stf) {
+  auto estimator = build_estimator(workload, policy, predictor, stf);
+  const WaitPredictionResult r = run_wait_prediction(workload, policy, *estimator);
+  WaitPredRow row;
+  row.workload = workload.name();
+  row.algorithm = r.policy_name;
+  row.mean_error_minutes = r.mean_error_minutes;
+  row.percent_of_mean_wait = r.percent_of_mean_wait;
+  row.mean_wait_minutes = r.mean_wait_minutes;
+  return row;
+}
+
+std::vector<WaitPredRow> wait_prediction_table(const std::vector<Workload>& workloads,
+                                               const std::vector<PolicyKind>& policies,
+                                               PredictorKind predictor,
+                                               const StfSource& stf) {
+  std::vector<WaitPredRow> rows;
+  rows.reserve(workloads.size() * policies.size());
+  for (const Workload& workload : workloads)
+    for (PolicyKind policy : policies) {
+      log_info("wait prediction: ", workload.name(), " / ", to_string(policy), " / ",
+               to_string(predictor));
+      rows.push_back(wait_prediction_cell(workload, policy, predictor, stf));
+    }
+  return rows;
+}
+
+SchedPerfRow scheduling_cell(const Workload& workload, PolicyKind policy,
+                             PredictorKind predictor, const StfSource& stf) {
+  auto estimator = build_estimator(workload, policy, predictor, stf);
+  RecordingEstimator recording(*estimator);
+  auto policy_impl = make_policy(policy);
+  const SimResult sim = simulate(workload, *policy_impl, recording);
+
+  SchedPerfRow row;
+  row.workload = workload.name();
+  row.algorithm = policy_impl->name();
+  row.utilization_percent = 100.0 * sim.utilization;
+  row.mean_wait_minutes = to_minutes(sim.mean_wait);
+  row.runtime_error_minutes = to_minutes(recording.error_stats().mean());
+  row.runtime_error_percent = recording.error_percent_of_mean_runtime();
+  return row;
+}
+
+std::vector<SchedPerfRow> scheduling_table(const std::vector<Workload>& workloads,
+                                           const std::vector<PolicyKind>& policies,
+                                           PredictorKind predictor,
+                                           const StfSource& stf) {
+  std::vector<SchedPerfRow> rows;
+  rows.reserve(workloads.size() * policies.size());
+  for (const Workload& workload : workloads)
+    for (PolicyKind policy : policies) {
+      log_info("scheduling: ", workload.name(), " / ", to_string(policy), " / ",
+               to_string(predictor));
+      rows.push_back(scheduling_cell(workload, policy, predictor, stf));
+    }
+  return rows;
+}
+
+std::vector<PolicyKind> wait_prediction_policies(bool include_fcfs) {
+  std::vector<PolicyKind> out;
+  if (include_fcfs) out.push_back(PolicyKind::Fcfs);
+  out.push_back(PolicyKind::Lwf);
+  out.push_back(PolicyKind::BackfillConservative);
+  return out;
+}
+
+std::vector<PolicyKind> scheduling_policies() {
+  return {PolicyKind::Lwf, PolicyKind::BackfillConservative};
+}
+
+}  // namespace rtp

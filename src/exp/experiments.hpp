@@ -1,0 +1,90 @@
+// Experiment harness: one entry point per class of paper table.
+//
+//   Tables 4-9   wait_prediction_table()  — wait-time prediction error per
+//                (workload, policy) for one run-time predictor.
+//   Tables 10-15 scheduling_table()       — utilization and mean wait per
+//                (workload, policy) when the *scheduler itself* runs on one
+//                run-time predictor.
+//   §4 text      compressed-load comparison — scheduling_table over SDSC
+//                workloads with interarrival compressed 2x.
+//
+// The STF predictor's template set comes from an StfSource: a fixed set, a
+// hand-built default, or a genetic-algorithm search run per
+// (workload, policy) pair exactly as the paper tunes per pair.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "predict/factory.hpp"
+#include "search/ga.hpp"
+#include "sim/metrics.hpp"
+#include "waitpred/waitpred.hpp"
+#include "workload/workload.hpp"
+
+namespace rtp {
+
+/// Where STF template sets come from.
+struct StfSource {
+  /// Explicit template set (wins when set).
+  std::optional<TemplateSet> fixed;
+  /// Run the GA per (workload, policy) with these options.
+  std::optional<GaOptions> ga;
+  // Neither set: hand-built default_template_set for the workload's fields.
+};
+
+/// Resolve the template set for one (workload, policy) pair.
+TemplateSet resolve_stf_templates(const Workload& workload, PolicyKind policy,
+                                  const StfSource& source);
+
+// ---------------------------------------------------------------------------
+// Wait-time prediction experiments (Tables 4-9).
+
+struct WaitPredRow {
+  std::string workload;
+  std::string algorithm;
+  double mean_error_minutes = 0.0;
+  double percent_of_mean_wait = 0.0;
+  double mean_wait_minutes = 0.0;
+};
+
+/// One row per (workload, policy).  The live scheduler runs on maximum run
+/// times (the paper's setup); `predictor` drives only the shadow
+/// simulation.
+std::vector<WaitPredRow> wait_prediction_table(const std::vector<Workload>& workloads,
+                                               const std::vector<PolicyKind>& policies,
+                                               PredictorKind predictor,
+                                               const StfSource& stf = {});
+
+// ---------------------------------------------------------------------------
+// Scheduler-performance experiments (Tables 10-15).
+
+struct SchedPerfRow {
+  std::string workload;
+  std::string algorithm;
+  double utilization_percent = 0.0;
+  double mean_wait_minutes = 0.0;
+  // Run-time prediction quality of the scheduler's estimator (paper §4
+  // discussion): mean |error| in minutes and as a percent of mean run time.
+  double runtime_error_minutes = 0.0;
+  double runtime_error_percent = 0.0;
+};
+
+/// One row per (workload, policy); the scheduler runs on `predictor`.
+std::vector<SchedPerfRow> scheduling_table(const std::vector<Workload>& workloads,
+                                           const std::vector<PolicyKind>& policies,
+                                           PredictorKind predictor,
+                                           const StfSource& stf = {});
+
+/// Single-cell variants for custom experiments.
+WaitPredRow wait_prediction_cell(const Workload& workload, PolicyKind policy,
+                                 PredictorKind predictor, const StfSource& stf = {});
+SchedPerfRow scheduling_cell(const Workload& workload, PolicyKind policy,
+                             PredictorKind predictor, const StfSource& stf = {});
+
+/// Policies the paper uses for each experiment family.
+std::vector<PolicyKind> wait_prediction_policies(bool include_fcfs);
+std::vector<PolicyKind> scheduling_policies();
+
+}  // namespace rtp

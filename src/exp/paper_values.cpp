@@ -1,0 +1,174 @@
+#include "exp/paper_values.hpp"
+
+#include "core/error.hpp"
+
+namespace rtp {
+namespace {
+
+constexpr PolicyKind kFcfs = PolicyKind::Fcfs;
+constexpr PolicyKind kLwf = PolicyKind::Lwf;
+constexpr PolicyKind kBf = PolicyKind::BackfillConservative;
+
+// Table 4: wait-time prediction performance using actual run times.
+const std::vector<PaperWaitRow> kTable4{
+    {"ANL", kLwf, 37.14, 43},    {"ANL", kBf, 5.84, 3},
+    {"CTC", kLwf, 4.05, 39},     {"CTC", kBf, 2.62, 10},
+    {"SDSC95", kLwf, 5.83, 39},  {"SDSC95", kBf, 1.12, 4},
+    {"SDSC96", kLwf, 3.32, 42},  {"SDSC96", kBf, 0.30, 3},
+};
+
+// Table 5: using maximum run times.
+const std::vector<PaperWaitRow> kTable5{
+    {"ANL", kFcfs, 996.67, 186},  {"ANL", kLwf, 97.12, 112},
+    {"ANL", kBf, 429.05, 242},    {"CTC", kFcfs, 125.36, 128},
+    {"CTC", kLwf, 9.86, 94},      {"CTC", kBf, 51.16, 190},
+    {"SDSC95", kFcfs, 162.72, 295}, {"SDSC95", kLwf, 28.56, 191},
+    {"SDSC95", kBf, 93.81, 333},  {"SDSC96", kFcfs, 47.83, 288},
+    {"SDSC96", kLwf, 14.19, 180}, {"SDSC96", kBf, 39.66, 350},
+};
+
+// Table 6: using the paper's (STF) run-time predictor.
+const std::vector<PaperWaitRow> kTable6{
+    {"ANL", kFcfs, 161.49, 30},  {"ANL", kLwf, 44.75, 51},
+    {"ANL", kBf, 75.55, 43},     {"CTC", kFcfs, 30.84, 31},
+    {"CTC", kLwf, 5.74, 55},     {"CTC", kBf, 11.37, 42},
+    {"SDSC95", kFcfs, 20.34, 37}, {"SDSC95", kLwf, 8.72, 58},
+    {"SDSC95", kBf, 12.49, 44},  {"SDSC96", kFcfs, 9.74, 59},
+    {"SDSC96", kLwf, 4.66, 59},  {"SDSC96", kBf, 5.03, 44},
+};
+
+// Table 7: using Gibbons's run-time predictor.
+const std::vector<PaperWaitRow> kTable7{
+    {"ANL", kFcfs, 350.86, 66},  {"ANL", kLwf, 76.23, 91},
+    {"ANL", kBf, 94.01, 53},     {"CTC", kFcfs, 81.45, 83},
+    {"CTC", kLwf, 32.34, 309},   {"CTC", kBf, 13.57, 50},
+    {"SDSC95", kFcfs, 54.37, 99}, {"SDSC95", kLwf, 11.60, 78},
+    {"SDSC95", kBf, 20.27, 72},  {"SDSC96", kFcfs, 22.36, 135},
+    {"SDSC96", kLwf, 6.88, 87},  {"SDSC96", kBf, 17.31, 153},
+};
+
+// Table 8: Downey's conditional average.
+const std::vector<PaperWaitRow> kTable8{
+    {"ANL", kFcfs, 443.45, 83},  {"ANL", kLwf, 232.24, 277},
+    {"ANL", kBf, 339.10, 191},   {"CTC", kFcfs, 65.22, 66},
+    {"CTC", kLwf, 14.78, 141},   {"CTC", kBf, 17.22, 64},
+    {"SDSC95", kFcfs, 187.73, 340}, {"SDSC95", kLwf, 35.84, 240},
+    {"SDSC95", kBf, 62.96, 223}, {"SDSC96", kFcfs, 83.62, 503},
+    {"SDSC96", kLwf, 28.42, 361}, {"SDSC96", kBf, 47.11, 415},
+};
+
+// Table 9: Downey's conditional median.
+const std::vector<PaperWaitRow> kTable9{
+    {"ANL", kFcfs, 534.71, 100}, {"ANL", kLwf, 254.91, 304},
+    {"ANL", kBf, 410.57, 232},   {"CTC", kFcfs, 83.33, 85},
+    {"CTC", kLwf, 15.47, 148},   {"CTC", kBf, 19.35, 72},
+    {"SDSC95", kFcfs, 62.67, 114}, {"SDSC95", kLwf, 18.28, 122},
+    {"SDSC95", kBf, 27.52, 98},  {"SDSC96", kFcfs, 34.23, 206},
+    {"SDSC96", kLwf, 12.65, 161}, {"SDSC96", kBf, 20.70, 183},
+};
+
+// Table 10: scheduling performance using actual run times.
+const std::vector<PaperSchedRow> kTable10{
+    {"ANL", kLwf, 70.34, 61.20},   {"ANL", kBf, 71.04, 142.45},
+    {"CTC", kLwf, 51.28, 11.15},   {"CTC", kBf, 51.28, 23.75},
+    {"SDSC95", kLwf, 41.14, 14.48}, {"SDSC95", kBf, 41.14, 21.98},
+    {"SDSC96", kLwf, 46.79, 6.80}, {"SDSC96", kBf, 46.79, 10.42},
+};
+
+// Table 11: maximum run times.
+const std::vector<PaperSchedRow> kTable11{
+    {"ANL", kLwf, 70.70, 83.81},   {"ANL", kBf, 71.04, 177.14},
+    {"CTC", kLwf, 51.28, 10.48},   {"CTC", kBf, 51.28, 26.86},
+    {"SDSC95", kLwf, 41.14, 14.95}, {"SDSC95", kBf, 41.14, 28.20},
+    {"SDSC96", kLwf, 46.79, 7.88}, {"SDSC96", kBf, 46.79, 11.34},
+};
+
+// Table 12: the paper's run-time prediction technique.
+const std::vector<PaperSchedRow> kTable12{
+    {"ANL", kLwf, 70.28, 78.22},   {"ANL", kBf, 71.04, 148.77},
+    {"CTC", kLwf, 51.28, 13.40},   {"CTC", kBf, 51.28, 22.54},
+    {"SDSC95", kLwf, 41.14, 16.19}, {"SDSC95", kBf, 41.14, 22.17},
+    {"SDSC96", kLwf, 46.79, 7.79}, {"SDSC96", kBf, 46.79, 10.10},
+};
+
+// Table 13: Gibbons's technique.
+const std::vector<PaperSchedRow> kTable13{
+    {"ANL", kLwf, 70.72, 90.36},   {"ANL", kBf, 71.04, 181.38},
+    {"CTC", kLwf, 51.28, 11.04},   {"CTC", kBf, 51.28, 27.31},
+    {"SDSC95", kLwf, 41.14, 15.99}, {"SDSC95", kBf, 41.14, 24.83},
+    {"SDSC96", kLwf, 46.79, 7.51}, {"SDSC96", kBf, 46.79, 10.82},
+};
+
+// Table 14: Downey's conditional average.
+const std::vector<PaperSchedRow> kTable14{
+    {"ANL", kLwf, 71.04, 154.76},  {"ANL", kBf, 70.88, 246.40},
+    {"CTC", kLwf, 51.28, 9.87},    {"CTC", kBf, 51.28, 14.45},
+    {"SDSC95", kLwf, 41.14, 16.22}, {"SDSC95", kBf, 41.14, 20.37},
+    {"SDSC96", kLwf, 46.79, 7.88}, {"SDSC96", kBf, 46.79, 8.25},
+};
+
+// Table 15: Downey's conditional median.
+const std::vector<PaperSchedRow> kTable15{
+    {"ANL", kLwf, 71.04, 154.76},  {"ANL", kBf, 71.04, 207.17},
+    {"CTC", kLwf, 51.28, 11.54},   {"CTC", kBf, 51.28, 16.72},
+    {"SDSC95", kLwf, 41.14, 16.36}, {"SDSC95", kBf, 41.14, 19.56},
+    {"SDSC96", kLwf, 46.79, 7.80}, {"SDSC96", kBf, 46.79, 8.02},
+};
+
+}  // namespace
+
+const std::vector<PaperWaitRow>& paper_wait_table(PredictorKind predictor) {
+  switch (predictor) {
+    case PredictorKind::Actual: return kTable4;
+    case PredictorKind::MaxRuntime: return kTable5;
+    case PredictorKind::Stf: return kTable6;
+    case PredictorKind::Gibbons: return kTable7;
+    case PredictorKind::DowneyAverage: return kTable8;
+    case PredictorKind::DowneyMedian: return kTable9;
+  }
+  fail("unknown predictor kind");
+}
+
+const std::vector<PaperSchedRow>& paper_sched_table(PredictorKind predictor) {
+  switch (predictor) {
+    case PredictorKind::Actual: return kTable10;
+    case PredictorKind::MaxRuntime: return kTable11;
+    case PredictorKind::Stf: return kTable12;
+    case PredictorKind::Gibbons: return kTable13;
+    case PredictorKind::DowneyAverage: return kTable14;
+    case PredictorKind::DowneyMedian: return kTable15;
+  }
+  fail("unknown predictor kind");
+}
+
+int paper_wait_table_number(PredictorKind predictor) {
+  switch (predictor) {
+    case PredictorKind::Actual: return 4;
+    case PredictorKind::MaxRuntime: return 5;
+    case PredictorKind::Stf: return 6;
+    case PredictorKind::Gibbons: return 7;
+    case PredictorKind::DowneyAverage: return 8;
+    case PredictorKind::DowneyMedian: return 9;
+  }
+  fail("unknown predictor kind");
+}
+
+int paper_sched_table_number(PredictorKind predictor) {
+  return paper_wait_table_number(predictor) + 6;
+}
+
+std::optional<PaperWaitRow> paper_wait_cell(PredictorKind predictor,
+                                            std::string_view workload, PolicyKind policy) {
+  for (const PaperWaitRow& row : paper_wait_table(predictor))
+    if (row.workload == workload && row.policy == policy) return row;
+  return std::nullopt;
+}
+
+std::optional<PaperSchedRow> paper_sched_cell(PredictorKind predictor,
+                                              std::string_view workload, PolicyKind policy) {
+  for (const PaperSchedRow& row : paper_sched_table(predictor))
+    if (row.workload == workload && row.policy == policy) return row;
+  return std::nullopt;
+}
+
+}  // namespace rtp

@@ -1,0 +1,55 @@
+// The paper's published results (Tables 4-15) as data.
+//
+// Used by the report generator to print paper-vs-measured side by side and
+// by tests that assert the *shape* of the reproduction (orderings, who
+// wins) rather than absolute numbers, which depend on the original
+// non-redistributable traces.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "predict/factory.hpp"
+#include "sched/policy.hpp"
+
+namespace rtp {
+
+/// One row of a wait-time prediction table (paper Tables 4-9).
+struct PaperWaitRow {
+  std::string_view workload;       // "ANL" / "CTC" / "SDSC95" / "SDSC96"
+  PolicyKind policy;
+  double mean_error_minutes;
+  double percent_of_mean_wait;
+};
+
+/// One row of a scheduling-performance table (paper Tables 10-15).
+struct PaperSchedRow {
+  std::string_view workload;
+  PolicyKind policy;
+  double utilization_percent;
+  double mean_wait_minutes;
+};
+
+/// Paper table of wait-time prediction results for `predictor`, or empty
+/// when the paper has no such table (it has one for every predictor).
+/// Table numbers: actual=4, max=5, stf=6, gibbons=7, downey-avg=8,
+/// downey-med=9.
+const std::vector<PaperWaitRow>& paper_wait_table(PredictorKind predictor);
+
+/// Paper table of scheduling results for `predictor`.  Table numbers:
+/// actual=10, max=11, stf=12, gibbons=13, downey-avg=14, downey-med=15.
+const std::vector<PaperSchedRow>& paper_sched_table(PredictorKind predictor);
+
+/// Paper table number for the given experiment family + predictor.
+int paper_wait_table_number(PredictorKind predictor);
+int paper_sched_table_number(PredictorKind predictor);
+
+/// Look up one cell; nullopt when the paper does not report it (e.g. FCFS
+/// in Table 4).
+std::optional<PaperWaitRow> paper_wait_cell(PredictorKind predictor,
+                                            std::string_view workload, PolicyKind policy);
+std::optional<PaperSchedRow> paper_sched_cell(PredictorKind predictor,
+                                              std::string_view workload, PolicyKind policy);
+
+}  // namespace rtp

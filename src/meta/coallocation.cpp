@@ -1,0 +1,71 @@
+#include "meta/coallocation.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "sched/profile.hpp"
+
+namespace rtp {
+namespace {
+
+/// Availability profile of a site after booking running jobs (at their
+/// predicted remaining times) and queued jobs (at their conservative
+/// backfill reservations, in arrival order).
+AvailabilityProfile booked_profile(const Site& site, Seconds now) {
+  AvailabilityProfile profile(now, site.machine_nodes());
+  for (const SchedJob& running : site.state().running()) {
+    const Seconds estimate = site.predictor().estimate(*running.job, running.age(now));
+    const Seconds remaining = std::max<Seconds>(1.0, estimate - running.age(now));
+    profile.reserve(now, now + remaining, running.nodes());
+  }
+  for (const SchedJob& queued : site.state().queue()) {
+    const Seconds duration =
+        std::max<Seconds>(1.0, site.predictor().estimate(*queued.job, 0.0));
+    const Seconds t = profile.earliest_fit(now, queued.nodes(), duration);
+    profile.reserve(t, t + duration, queued.nodes());
+  }
+  return profile;
+}
+
+}  // namespace
+
+CoallocationPlan plan_coallocation(std::span<const std::unique_ptr<Site>> sites,
+                                   const CoallocationRequest& request, Seconds now) {
+  RTP_CHECK(!request.components.empty(), "co-allocation request has no components");
+  RTP_CHECK(request.duration > 0.0, "co-allocation duration must be positive");
+
+  CoallocationPlan plan;
+  plan.solo_starts.reserve(request.components.size());
+
+  std::vector<AvailabilityProfile> profiles;
+  profiles.reserve(request.components.size());
+  for (const CoallocationComponent& component : request.components) {
+    RTP_CHECK(component.site_index < sites.size(), "component references unknown site");
+    const Site& site = *sites[component.site_index];
+    if (component.nodes > site.machine_nodes()) return plan;  // infeasible
+    profiles.push_back(booked_profile(site, now));
+    plan.solo_starts.push_back(
+        profiles.back().earliest_fit(now, component.nodes, request.duration));
+  }
+
+  // Sweep: propose the max of per-component earliest fits, re-anchor every
+  // component at that time, repeat until a fixed point.  Each iteration
+  // only moves the candidate forward, and each component's earliest_fit is
+  // eventually stable, so this terminates.
+  Seconds candidate = now;
+  for (int iteration = 0; iteration < 1000; ++iteration) {
+    Seconds next = candidate;
+    for (std::size_t i = 0; i < request.components.size(); ++i)
+      next = std::max(next, profiles[i].earliest_fit(candidate, request.components[i].nodes,
+                                                     request.duration));
+    if (time_eq(next, candidate)) {
+      plan.feasible = true;
+      plan.start = candidate;
+      return plan;
+    }
+    candidate = next;
+  }
+  fail("co-allocation sweep failed to converge");
+}
+
+}  // namespace rtp

@@ -1,0 +1,45 @@
+// Co-allocation (paper §1, §5): "to co-allocate resources from multiple
+// systems" — find the earliest time at which *all* components of a
+// multi-site request can start simultaneously, and the reservations that
+// guarantee it.
+//
+// Each component needs `nodes` on a specific site for the job's predicted
+// duration.  The planner builds each site's availability profile from the
+// predicted completions of its running and queued jobs (conservative:
+// queued jobs are booked at their backfill reservations) and sweeps
+// candidate start times until one admits every component.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "meta/selector.hpp"
+
+namespace rtp {
+
+/// One piece of a co-allocated request.
+struct CoallocationComponent {
+  std::size_t site_index = 0;  // into the sites span
+  int nodes = 1;
+};
+
+struct CoallocationRequest {
+  std::vector<CoallocationComponent> components;
+  Seconds duration = 0.0;  // predicted run time, common to all components
+};
+
+struct CoallocationPlan {
+  bool feasible = false;
+  Seconds start = kNoTime;  // earliest common start
+  /// Per-component earliest start if it were alone on its site (diagnostic:
+  /// the gap to `start` is the price of synchronization).
+  std::vector<Seconds> solo_starts;
+};
+
+/// Plan the earliest common start at or after `now`.  Conservative: every
+/// currently queued job is assumed to hold its own reservation first.
+CoallocationPlan plan_coallocation(std::span<const std::unique_ptr<Site>> sites,
+                                   const CoallocationRequest& request, Seconds now);
+
+}  // namespace rtp

@@ -1,0 +1,85 @@
+// Multi-site resource selection (paper §1): "estimates of queue wait times
+// are useful to guide resource selection when several systems are
+// available".
+//
+// A Site bundles a machine's scheduler state, policy and run-time
+// predictor.  The selector predicts, for a candidate job, the wait time on
+// every site via the shadow simulation and ranks sites by predicted
+// *turnaround* (wait + predicted run time on that site), optionally with
+// the uncertainty band from predict_wait_interval.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sched/estimator.hpp"
+#include "sched/policy.hpp"
+#include "sched/state.hpp"
+#include "waitpred/waitpred.hpp"
+
+namespace rtp {
+
+/// One participating system in a metacomputing federation.
+class Site {
+ public:
+  /// `policy` and `predictor` are owned; `state` is the live scheduler
+  /// snapshot (copied on each query).
+  Site(std::string name, SystemState state, std::unique_ptr<SchedulerPolicy> policy,
+       std::unique_ptr<RuntimeEstimator> predictor);
+
+  const std::string& name() const { return name_; }
+  const SystemState& state() const { return state_; }
+  SystemState& mutable_state() { return state_; }
+  const SchedulerPolicy& policy() const { return *policy_; }
+  RuntimeEstimator& predictor() const { return *predictor_; }
+  int machine_nodes() const { return state_.machine_nodes(); }
+
+ private:
+  std::string name_;
+  SystemState state_;
+  std::unique_ptr<SchedulerPolicy> policy_;
+  std::unique_ptr<RuntimeEstimator> predictor_;
+};
+
+/// Predicted outcome of submitting a job to one site.
+struct SiteEstimate {
+  std::string site;
+  bool feasible = false;        // the job fits on the machine at all
+  Seconds predicted_wait = 0.0;
+  Seconds predicted_runtime = 0.0;
+  Seconds predicted_turnaround = 0.0;  // wait + runtime
+  WaitInterval wait_interval;          // optimistic/pessimistic band
+};
+
+struct SelectorOptions {
+  /// Scales for the uncertainty band (see predict_wait_interval).
+  double optimistic_scale = 0.5;
+  double pessimistic_scale = 2.0;
+  /// Rank by pessimistic turnaround instead of the point estimate
+  /// (risk-averse selection).
+  bool risk_averse = false;
+};
+
+class SiteSelector {
+ public:
+  explicit SiteSelector(SelectorOptions options = {}) : options_(options) {}
+
+  /// Evaluate `job` on every site at time `now`.  Estimates are sorted
+  /// best-first (infeasible sites last).  The job's run time is predicted
+  /// per-site with that site's predictor (age 0).
+  std::vector<SiteEstimate> evaluate(std::span<const std::unique_ptr<Site>> sites,
+                                     const Job& job, Seconds now) const;
+
+  /// Best feasible site for the job, or nullptr when none fits.
+  const Site* select(std::span<const std::unique_ptr<Site>> sites, const Job& job,
+                     Seconds now) const;
+
+ private:
+  SiteEstimate evaluate_site(const Site& site, const Job& job, Seconds now) const;
+
+  SelectorOptions options_;
+};
+
+}  // namespace rtp

@@ -1,0 +1,98 @@
+#include "predict/category.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "stats/ci.hpp"
+#include "stats/regression.hpp"
+
+namespace rtp {
+namespace {
+
+constexpr std::size_t kMinMeanPoints = 2;        // variance (and CI) defined
+constexpr std::size_t kMinRegressionPoints = 3;  // residual stddev defined
+
+}  // namespace
+
+void Category::insert(const DataPoint& point, std::size_t max_history) {
+  if (max_history > 0 && points_.size() >= max_history) {
+    const DataPoint& old = points_.front();
+    sum_ -= old.value;
+    sum_sq_ -= old.value * old.value;
+    points_.pop_front();
+  }
+  points_.push_back(point);
+  sum_ += point.value;
+  sum_sq_ += point.value * point.value;
+}
+
+CategoryEstimate Category::estimate(EstimatorKind kind, double nodes, Seconds min_runtime,
+                                    bool condition_on_age, double alpha) const {
+  if (kind == EstimatorKind::Mean) {
+    if (condition_on_age && min_runtime > 0.0) return mean_scan(min_runtime, alpha);
+    return mean_fast(alpha);
+  }
+  return regression_scan(kind, nodes, min_runtime, condition_on_age, alpha);
+}
+
+CategoryEstimate Category::mean_fast(double alpha) const {
+  CategoryEstimate out;
+  const std::size_t n = points_.size();
+  if (n < kMinMeanPoints) return out;
+  const double mean = sum_ / static_cast<double>(n);
+  double var = (sum_sq_ - static_cast<double>(n) * mean * mean) / static_cast<double>(n - 1);
+  var = std::max(var, 0.0);  // guard accumulated FP error
+  out.valid = true;
+  out.value = mean;
+  out.ci_halfwidth = prediction_interval_halfwidth(n, std::sqrt(var), alpha);
+  out.count = n;
+  return out;
+}
+
+CategoryEstimate Category::mean_scan(Seconds min_runtime, double alpha) const {
+  CategoryEstimate out;
+  std::size_t n = 0;
+  double sum = 0.0, sum_sq = 0.0;
+  for (const DataPoint& p : points_) {
+    if (p.runtime < min_runtime) continue;
+    ++n;
+    sum += p.value;
+    sum_sq += p.value * p.value;
+  }
+  if (n < kMinMeanPoints) return out;
+  const double mean = sum / static_cast<double>(n);
+  double var = (sum_sq - static_cast<double>(n) * mean * mean) / static_cast<double>(n - 1);
+  var = std::max(var, 0.0);
+  out.valid = true;
+  out.value = mean;
+  out.ci_halfwidth = prediction_interval_halfwidth(n, std::sqrt(var), alpha);
+  out.count = n;
+  return out;
+}
+
+CategoryEstimate Category::regression_scan(EstimatorKind kind, double nodes,
+                                           Seconds min_runtime, bool condition_on_age,
+                                           double alpha) const {
+  CategoryEstimate out;
+  RegressionKind rk = RegressionKind::Linear;
+  switch (kind) {
+    case EstimatorKind::LinearRegression: rk = RegressionKind::Linear; break;
+    case EstimatorKind::InverseRegression: rk = RegressionKind::Inverse; break;
+    case EstimatorKind::LogRegression: rk = RegressionKind::Logarithmic; break;
+    case EstimatorKind::Mean: RTP_ASSERT(false);
+  }
+  TransformedRegression reg(rk);
+  for (const DataPoint& p : points_) {
+    if (condition_on_age && p.runtime < min_runtime) continue;
+    reg.add(p.nodes, p.value);
+  }
+  if (reg.count() < kMinRegressionPoints || !reg.valid()) return out;
+  out.valid = true;
+  out.value = reg.predict(nodes);
+  out.ci_halfwidth = reg.prediction_halfwidth(nodes, alpha);
+  out.count = reg.count();
+  return out;
+}
+
+}  // namespace rtp

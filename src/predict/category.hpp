@@ -1,0 +1,59 @@
+// Category: the history store behind one (template, key) pair.
+//
+// Holds a bounded deque of data points (run time or run-time/limit ratio,
+// plus the node count for the regression estimators) with incremental
+// moment accumulators so the common case — an unconditioned mean — is O(1)
+// per prediction.  Conditioned and regression estimates scan the stored
+// points, which the max-history bound keeps small.
+#pragma once
+
+#include <deque>
+
+#include "core/time.hpp"
+#include "predict/template_set.hpp"
+#include "workload/job.hpp"
+
+namespace rtp {
+
+/// One completed job as seen by a category.
+struct DataPoint {
+  double value = 0.0;    // run time, or run time / max limit for relative
+  double runtime = 0.0;  // actual run time (age conditioning)
+  double nodes = 1.0;    // requested nodes (regression x)
+};
+
+/// A category estimate: point prediction plus its confidence interval.
+struct CategoryEstimate {
+  bool valid = false;
+  double value = 0.0;          // predicted value (same units as DataPoint::value)
+  double ci_halfwidth = 0.0;   // (1-alpha) prediction-interval half-width
+  std::size_t count = 0;       // points used
+};
+
+class Category {
+ public:
+  /// Append a point, evicting the oldest when `max_history` (if non-zero)
+  /// is reached — paper step 3(b).
+  void insert(const DataPoint& point, std::size_t max_history);
+
+  std::size_t size() const { return points_.size(); }
+
+  /// Estimate for a job requesting `nodes` nodes that has been running for
+  /// `min_runtime` seconds (0 for queued jobs).  Points with run time below
+  /// `min_runtime` are excluded when `condition_on_age` is set.
+  CategoryEstimate estimate(EstimatorKind kind, double nodes, Seconds min_runtime,
+                            bool condition_on_age, double alpha = 0.10) const;
+
+ private:
+  CategoryEstimate mean_fast(double alpha) const;
+  CategoryEstimate mean_scan(Seconds min_runtime, double alpha) const;
+  CategoryEstimate regression_scan(EstimatorKind kind, double nodes, Seconds min_runtime,
+                                   bool condition_on_age, double alpha) const;
+
+  std::deque<DataPoint> points_;
+  // Incremental moments of `value` for the O(1) unconditioned mean.
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+}  // namespace rtp

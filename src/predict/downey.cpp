@@ -1,0 +1,54 @@
+#include "predict/downey.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rtp {
+
+bool DowneyPredictor::CategoryModel::ensure_fit() {
+  if (runtimes.size() < kMinPoints) return false;
+  const bool stale =
+      fitted_at == 0 || runtimes.size() >= fitted_at + std::max<std::size_t>(8, fitted_at / 10);
+  if (stale) {
+    model = LogLinearCdf::fit(runtimes);
+    fitted_at = runtimes.size();
+  }
+  return model.valid();
+}
+
+bool DowneyPredictor::predict_from(CategoryModel& cat, Seconds age, double& out) const {
+  if (!cat.ensure_fit()) return false;
+  const LogLinearCdf& m = cat.model;
+  // Clamp to the model's support: below t_min both conditional estimators
+  // reduce to their unconditional forms; beyond t_max the job has outlived
+  // the model and the best available statement is "about to finish".
+  const double t_min = std::exp(-m.beta0() / m.beta1());
+  const double a = std::max<double>({age, t_min, 1.0});
+  out = variant_ == DowneyVariant::ConditionalAverage ? m.conditional_average(a)
+                                                      : m.conditional_median(a);
+  return std::isfinite(out) && out > 0.0;
+}
+
+Seconds DowneyPredictor::estimate(const Job& job, Seconds age) {
+  double value = 0.0;
+  bool ok = false;
+  if (!job.queue.empty()) {
+    if (auto it = queues_.find(job.queue); it != queues_.end())
+      ok = predict_from(it->second, age, value);
+  }
+  if (!ok) ok = predict_from(global_, age, value);
+  if (!ok)
+    value = job.has_max_runtime() ? job.max_runtime
+                                  : (observed_.count() > 0 ? observed_.mean() : hours(1));
+  return std::max({value, age + 1.0, 1.0});
+}
+
+void DowneyPredictor::job_completed(const Job& job, Seconds completion_time) {
+  (void)completion_time;
+  const double runtime = std::max(1.0, job.runtime);  // log model needs > 0
+  observed_.add(runtime);
+  if (!job.queue.empty()) queues_[job.queue].runtimes.push_back(runtime);
+  global_.runtimes.push_back(runtime);
+}
+
+}  // namespace rtp

@@ -1,0 +1,64 @@
+// Downey's run-time predictor (paper §2.2).
+//
+// Jobs are categorized by submission queue (the whole workload forms one
+// category when the trace has no queues).  Within a category the cumulative
+// distribution of observed run times is fitted as F(t) = b0 + b1 ln t, and a
+// job that has run for `a` seconds is predicted to finish at the
+// conditional median or conditional average lifetime of that model.
+//
+// For queued jobs (a = 0) both formulas degenerate, so the age is clamped
+// to the model's t_min = e^{-b0/b1} — the run time at which the fitted CDF
+// reaches zero — which turns both estimators into their *unconditional*
+// counterparts (e.g. the unconditional median e^{(0.5-b0)/b1}).
+//
+// Refitting after every completion would be O(n log n) per job, so the fit
+// is cached per category and renewed lazily once the category has grown 10%
+// past the last fit.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sched/estimator.hpp"
+#include "stats/loglinear.hpp"
+#include "stats/summary.hpp"
+#include "workload/job.hpp"
+
+namespace rtp {
+
+enum class DowneyVariant { ConditionalAverage, ConditionalMedian };
+
+class DowneyPredictor final : public RuntimeEstimator {
+ public:
+  explicit DowneyPredictor(DowneyVariant variant) : variant_(variant) {}
+
+  Seconds estimate(const Job& job, Seconds age) override;
+  void job_completed(const Job& job, Seconds completion_time) override;
+  std::string name() const override {
+    return variant_ == DowneyVariant::ConditionalAverage ? "downey-avg" : "downey-med";
+  }
+
+  DowneyVariant variant() const { return variant_; }
+
+ private:
+  struct CategoryModel {
+    std::vector<double> runtimes;
+    LogLinearCdf model;
+    std::size_t fitted_at = 0;  // runtimes.size() when last fitted
+
+    /// Refit when the sample grew enough; returns model validity.
+    bool ensure_fit();
+  };
+  static constexpr std::size_t kMinPoints = 8;
+
+  /// Prediction from one category model; false when the model is unusable.
+  bool predict_from(CategoryModel& cat, Seconds age, double& out) const;
+
+  DowneyVariant variant_;
+  std::unordered_map<std::string, CategoryModel> queues_;
+  CategoryModel global_;
+  RunningStats observed_;
+};
+
+}  // namespace rtp

@@ -1,0 +1,58 @@
+#include "predict/factory.hpp"
+
+#include "core/error.hpp"
+#include "core/strings.hpp"
+#include "predict/downey.hpp"
+#include "predict/gibbons.hpp"
+#include "predict/simple.hpp"
+#include "predict/stf.hpp"
+#include "workload/workload.hpp"
+
+namespace rtp {
+
+std::string to_string(PredictorKind kind) {
+  switch (kind) {
+    case PredictorKind::Actual: return "actual";
+    case PredictorKind::MaxRuntime: return "max-runtime";
+    case PredictorKind::Stf: return "stf";
+    case PredictorKind::Gibbons: return "gibbons";
+    case PredictorKind::DowneyAverage: return "downey-avg";
+    case PredictorKind::DowneyMedian: return "downey-med";
+  }
+  fail("unknown predictor kind");
+}
+
+PredictorKind predictor_kind_from_string(const std::string& text) {
+  const std::string t = to_lower(text);
+  if (t == "actual" || t == "oracle") return PredictorKind::Actual;
+  if (t == "max" || t == "max-runtime" || t == "maxrt") return PredictorKind::MaxRuntime;
+  if (t == "stf" || t == "ours") return PredictorKind::Stf;
+  if (t == "gibbons") return PredictorKind::Gibbons;
+  if (t == "downey-avg" || t == "downey-average") return PredictorKind::DowneyAverage;
+  if (t == "downey-med" || t == "downey-median") return PredictorKind::DowneyMedian;
+  fail("unknown predictor '" + text +
+       "' (expected actual|max|stf|gibbons|downey-avg|downey-med)");
+}
+
+std::unique_ptr<RuntimeEstimator> make_runtime_estimator(
+    PredictorKind kind, const Workload& workload,
+    const std::optional<TemplateSet>& templates) {
+  const bool has_max = compute_stats(workload).max_runtime_coverage > 0.0;
+  switch (kind) {
+    case PredictorKind::Actual: return std::make_unique<ActualRuntimePredictor>();
+    case PredictorKind::MaxRuntime: return std::make_unique<MaxRuntimePredictor>(workload);
+    case PredictorKind::Stf: {
+      TemplateSet set =
+          templates ? *templates : default_template_set(workload.fields(), has_max);
+      return std::make_unique<StfPredictor>(std::move(set));
+    }
+    case PredictorKind::Gibbons: return std::make_unique<GibbonsPredictor>();
+    case PredictorKind::DowneyAverage:
+      return std::make_unique<DowneyPredictor>(DowneyVariant::ConditionalAverage);
+    case PredictorKind::DowneyMedian:
+      return std::make_unique<DowneyPredictor>(DowneyVariant::ConditionalMedian);
+  }
+  fail("unknown predictor kind");
+}
+
+}  // namespace rtp

@@ -1,0 +1,30 @@
+// Predictor factory shared by the experiment harness, benches and examples.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "predict/template_set.hpp"
+#include "sched/estimator.hpp"
+#include "workload/workload.hpp"
+
+namespace rtp {
+
+enum class PredictorKind { Actual, MaxRuntime, Stf, Gibbons, DowneyAverage, DowneyMedian };
+
+/// Human-readable name matching the paper's table captions.
+std::string to_string(PredictorKind kind);
+
+/// Parse "actual" / "max" / "stf" / "gibbons" / "downey-avg" / "downey-med".
+PredictorKind predictor_kind_from_string(const std::string& text);
+
+/// Build a fresh estimator of `kind` for `workload`.  Stf uses
+/// `templates` when given, else the hand-built default set for the
+/// workload's fields.  MaxRuntime derives per-queue limits from the
+/// workload (the paper's SDSC construction).
+std::unique_ptr<RuntimeEstimator> make_runtime_estimator(
+    PredictorKind kind, const Workload& workload,
+    const std::optional<TemplateSet>& templates = std::nullopt);
+
+}  // namespace rtp

@@ -1,0 +1,113 @@
+#include "predict/gibbons.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "stats/regression.hpp"
+
+namespace rtp {
+namespace {
+
+std::string ue_key(const Job& job) { return job.user + '\x1f' + job.executable; }
+
+}  // namespace
+
+int GibbonsPredictor::range_index(int nodes) {
+  RTP_CHECK(nodes >= 1, "range_index: nodes must be >= 1");
+  int idx = 0;
+  while (nodes > 1) {
+    nodes >>= 1;
+    ++idx;
+  }
+  return idx;
+}
+
+bool GibbonsPredictor::conditioned_mean(const SubCat& cat, Seconds age, double& out) {
+  if (age <= 0.0) {
+    if (cat.runtime_stats.count() == 0) return false;
+    out = cat.runtime_stats.mean();
+    return true;
+  }
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (double rt : cat.runtimes) {
+    if (rt < age) continue;
+    sum += rt;
+    ++n;
+  }
+  if (n == 0) return false;
+  out = sum / static_cast<double>(n);
+  return true;
+}
+
+bool GibbonsPredictor::weighted_regression(const RangeMap& ranges, double nodes,
+                                           double& out) {
+  LinearRegression reg;
+  std::size_t usable = 0;
+  for (const auto& [idx, cat] : ranges) {
+    (void)idx;
+    if (cat.runtime_stats.count() < 2) continue;
+    // Inverse-variance weight; a zero variance (identical run times) gets a
+    // large but finite weight so it dominates without breaking the solve.
+    const double var = std::max(cat.runtime_stats.variance(), 1e-2);
+    reg.add(cat.node_stats.mean(), cat.runtime_stats.mean(), 1.0 / var);
+    ++usable;
+  }
+  if (usable < 2) return false;
+  out = reg.predict(nodes);  // weighted mean when all mean-nodes coincide
+  return true;
+}
+
+Seconds GibbonsPredictor::estimate(const Job& job, Seconds age) {
+  const int range = range_index(job.nodes);
+  double value = 0.0;
+
+  auto finish = [&](int level, double v) {
+    last_level_ = level;
+    return std::max({v, age + 1.0, 1.0});
+  };
+
+  // Level 1: (u,e,n,rtime) mean.
+  if (auto it = ue_.find(ue_key(job)); it != ue_.end()) {
+    if (auto rit = it->second.find(range); rit != it->second.end())
+      if (conditioned_mean(rit->second, age, value)) return finish(1, value);
+    // Level 2: (u,e) weighted linear regression over subcategories.
+    if (weighted_regression(it->second, job.nodes, value)) return finish(2, value);
+  }
+  // Level 3: (e,n,rtime) mean.
+  if (auto it = e_.find(job.executable); it != e_.end()) {
+    if (auto rit = it->second.find(range); rit != it->second.end())
+      if (conditioned_mean(rit->second, age, value)) return finish(3, value);
+    // Level 4: (e) weighted linear regression.
+    if (weighted_regression(it->second, job.nodes, value)) return finish(4, value);
+  }
+  // Level 5: (n,rtime) mean.
+  if (auto rit = root_.find(range); rit != root_.end())
+    if (conditioned_mean(rit->second, age, value)) return finish(5, value);
+  // Level 6: () weighted linear regression.
+  if (weighted_regression(root_, job.nodes, value)) return finish(6, value);
+
+  // Ramp-up fallback, as for the other predictors.
+  const double fallback = job.has_max_runtime()
+                              ? job.max_runtime
+                              : (observed_.count() > 0 ? observed_.mean() : hours(1));
+  return finish(0, fallback);
+}
+
+void GibbonsPredictor::job_completed(const Job& job, Seconds completion_time) {
+  (void)completion_time;
+  observed_.add(job.runtime);
+  const int range = range_index(job.nodes);
+  auto insert = [&](RangeMap& ranges) {
+    SubCat& cat = ranges[range];
+    cat.runtimes.push_back(job.runtime);
+    cat.runtime_stats.add(job.runtime);
+    cat.node_stats.add(job.nodes);
+  };
+  insert(ue_[ue_key(job)]);
+  insert(e_[job.executable]);
+  insert(root_);
+}
+
+}  // namespace rtp

@@ -1,0 +1,64 @@
+// Gibbons's run-time predictor (paper §2.2, Table 3).
+//
+// A fixed hierarchy of six template/predictor pairs, tried in order until
+// one can produce a valid prediction:
+//
+//   1. (u,e,n,rtime)  mean          4. (e)    weighted linear regression
+//   2. (u,e)          weighted LR   5. (n,rtime) mean
+//   3. (e,n,rtime)    mean          6. ()     weighted linear regression
+//
+// Node ranges are exponential (1, 2-3, 4-7, 8-15, ...), unlike our
+// parameterized equal ranges.  The "rtime" condition restricts a mean to
+// data points whose run time is at least the job's current age.  The linear
+// regressions at levels 2/4/6 are *weighted*: over the (mean nodes, mean
+// run time) of each populated subcategory, weighted by the inverse variance
+// of that subcategory's run times.
+#pragma once
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sched/estimator.hpp"
+#include "stats/summary.hpp"
+#include "workload/job.hpp"
+
+namespace rtp {
+
+class GibbonsPredictor final : public RuntimeEstimator {
+ public:
+  Seconds estimate(const Job& job, Seconds age) override;
+  void job_completed(const Job& job, Seconds completion_time) override;
+  std::string name() const override { return "gibbons"; }
+
+  /// Which of the six levels produced the last estimate (1-6, 0=fallback).
+  int last_level() const { return last_level_; }
+
+  /// Exponential node-range index: floor(log2(n)).
+  static int range_index(int nodes);
+
+ private:
+  struct SubCat {
+    std::vector<double> runtimes;  // for rtime-conditioned means
+    RunningStats runtime_stats;
+    RunningStats node_stats;
+  };
+  // Subcategories keyed by exponential node-range index.
+  using RangeMap = std::map<int, SubCat>;
+
+  /// Mean of runtimes >= age in the subcategory; invalid if none.
+  static bool conditioned_mean(const SubCat& cat, Seconds age, double& out);
+
+  /// Weighted LR over the populated subcategories; invalid with < 2.
+  static bool weighted_regression(const RangeMap& ranges, double nodes, double& out);
+
+  std::unordered_map<std::string, RangeMap> ue_;  // key "user\x1fexe"
+  std::unordered_map<std::string, RangeMap> e_;   // key "exe"
+  RangeMap root_;
+
+  RunningStats observed_;  // global fallback
+  int last_level_ = 0;
+};
+
+}  // namespace rtp

@@ -1,0 +1,27 @@
+#include "predict/recording.hpp"
+
+#include <cmath>
+
+namespace rtp {
+
+Seconds RecordingEstimator::estimate(const Job& job, Seconds age) {
+  const Seconds value = inner_.estimate(job, age);
+  if (age <= 0.0) first_prediction_.try_emplace(job.id, value);
+  return value;
+}
+
+void RecordingEstimator::job_completed(const Job& job, Seconds completion_time) {
+  if (auto it = first_prediction_.find(job.id); it != first_prediction_.end()) {
+    error_.add(std::fabs(it->second - job.runtime));
+    runtimes_.add(job.runtime);
+    first_prediction_.erase(it);
+  }
+  inner_.job_completed(job, completion_time);
+}
+
+double RecordingEstimator::error_percent_of_mean_runtime() const {
+  if (runtimes_.count() == 0 || runtimes_.mean() <= 0.0) return 0.0;
+  return 100.0 * error_.mean() / runtimes_.mean();
+}
+
+}  // namespace rtp

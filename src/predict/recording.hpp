@@ -1,0 +1,42 @@
+// Error-accounting decorator around any run-time estimator.
+//
+// Records the prediction made for each job at submission time (its first
+// age-zero estimate) and, when the job completes, accumulates the absolute
+// error — the paper's run-time prediction error metric (reported as a mean
+// in minutes and as a percentage of the mean run time).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "sched/estimator.hpp"
+#include "stats/summary.hpp"
+
+namespace rtp {
+
+class RecordingEstimator final : public RuntimeEstimator {
+ public:
+  /// Does not own `inner`; it must outlive this object.
+  explicit RecordingEstimator(RuntimeEstimator& inner) : inner_(inner) {}
+
+  Seconds estimate(const Job& job, Seconds age) override;
+  void job_completed(const Job& job, Seconds completion_time) override;
+  std::string name() const override { return inner_.name(); }
+
+  /// Absolute run-time prediction error (seconds) over completed jobs.
+  const RunningStats& error_stats() const { return error_; }
+
+  /// Actual run times (seconds) of completed jobs, for percent-of-mean.
+  const RunningStats& runtime_stats() const { return runtimes_; }
+
+  /// Mean |error| as a percentage of mean run time; 0 when no data.
+  double error_percent_of_mean_runtime() const;
+
+ private:
+  RuntimeEstimator& inner_;
+  std::unordered_map<JobId, Seconds> first_prediction_;
+  RunningStats error_;
+  RunningStats runtimes_;
+};
+
+}  // namespace rtp

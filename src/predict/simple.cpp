@@ -1,0 +1,48 @@
+#include "predict/simple.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace rtp {
+
+Seconds ActualRuntimePredictor::estimate(const Job& job, Seconds age) {
+  return std::max(job.runtime, age);
+}
+
+MaxRuntimePredictor::MaxRuntimePredictor(const Workload& workload) {
+  for (const Job& job : workload.jobs()) {
+    const Seconds limit = job.has_max_runtime() ? job.max_runtime : job.runtime;
+    global_max_ = std::max(global_max_, limit);
+    if (!job.queue.empty()) {
+      auto [it, inserted] = queue_max_.emplace(job.queue, limit);
+      if (!inserted) it->second = std::max(it->second, limit);
+    }
+  }
+  if (global_max_ <= 0.0) global_max_ = hours(1);  // empty workload guard
+}
+
+Seconds MaxRuntimePredictor::estimate(const Job& job, Seconds age) {
+  Seconds value;
+  if (job.has_max_runtime()) {
+    value = job.max_runtime;
+  } else if (!job.queue.empty()) {
+    auto it = queue_max_.find(job.queue);
+    value = it != queue_max_.end() ? it->second : global_max_;
+  } else {
+    value = global_max_;
+  }
+  return std::max(value, age);
+}
+
+Seconds MaxRuntimePredictor::queue_limit(const std::string& queue) const {
+  auto it = queue_max_.find(queue);
+  return it != queue_max_.end() ? it->second : kNoTime;
+}
+
+Seconds ConstantPredictor::estimate(const Job& job, Seconds age) {
+  (void)job;
+  return std::max(value_, age);
+}
+
+}  // namespace rtp

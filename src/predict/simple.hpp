@@ -1,0 +1,51 @@
+// Baseline run-time predictors: the oracle and user-supplied maxima.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "sched/estimator.hpp"
+#include "stats/summary.hpp"
+#include "workload/workload.hpp"
+
+namespace rtp {
+
+/// Oracle: predicts each job's actual run time exactly.  The paper's
+/// "using actual run times" rows — an upper bound on every experiment.
+class ActualRuntimePredictor final : public RuntimeEstimator {
+ public:
+  Seconds estimate(const Job& job, Seconds age) override;
+  std::string name() const override { return "actual"; }
+};
+
+/// User-supplied maximum run times, as EASY uses.  For workloads without
+/// per-job maxima (the SDSC traces) the paper derives a per-queue maximum:
+/// the longest run time observed in that queue over the whole trace; this
+/// predictor precomputes those from the workload it is constructed with.
+class MaxRuntimePredictor final : public RuntimeEstimator {
+ public:
+  explicit MaxRuntimePredictor(const Workload& workload);
+
+  Seconds estimate(const Job& job, Seconds age) override;
+  std::string name() const override { return "max-runtime"; }
+
+  /// Derived per-queue limit (tests); kNoTime when the queue is unknown.
+  Seconds queue_limit(const std::string& queue) const;
+
+ private:
+  std::unordered_map<std::string, Seconds> queue_max_;
+  Seconds global_max_ = 0.0;
+};
+
+/// Fixed-value predictor (tests and degenerate baselines).
+class ConstantPredictor final : public RuntimeEstimator {
+ public:
+  explicit ConstantPredictor(Seconds value) : value_(value) {}
+  Seconds estimate(const Job& job, Seconds age) override;
+  std::string name() const override { return "constant"; }
+
+ private:
+  Seconds value_;
+};
+
+}  // namespace rtp

@@ -1,0 +1,105 @@
+#include "predict/stf.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace rtp {
+
+StfPredictor::StfPredictor(TemplateSet templates, StfOptions options)
+    : templates_(std::move(templates)), options_(options) {
+  RTP_CHECK(!templates_.templates.empty(), "StfPredictor needs at least one template");
+  for (const Template& t : templates_.templates) {
+    RTP_CHECK(!t.use_nodes || t.node_range_size >= 1,
+              "template node range size must be >= 1");
+    (void)t;
+  }
+  stores_.resize(templates_.templates.size());
+}
+
+StfPrediction StfPredictor::predict_detail(const Job& job, Seconds age) const {
+  StfPrediction best;
+  bool found = false;
+
+  for (std::size_t i = 0; i < templates_.templates.size(); ++i) {
+    const Template& tmpl = templates_.templates[i];
+    if (tmpl.relative && !job.has_max_runtime()) continue;
+    const auto& store = stores_[i];
+    auto it = store.find(tmpl.key_for(job));
+    if (it == store.end()) continue;
+
+    // Relative templates store ratios; conditioning must therefore compare
+    // against the *ratio* the current age implies.
+    const Seconds min_runtime =
+        tmpl.relative ? age / std::max<Seconds>(1.0, job.max_runtime) : age;
+    CategoryEstimate est = it->second.estimate(tmpl.estimator, job.nodes, min_runtime,
+                                               tmpl.condition_on_age, options_.alpha);
+    if (!est.valid) continue;
+
+    double value = est.value;
+    double halfwidth = est.ci_halfwidth;
+    if (tmpl.relative) {
+      value *= job.max_runtime;
+      halfwidth *= job.max_runtime;
+    }
+    // A job that has run for `age` cannot finish below it: an estimate
+    // under the age is known-wrong, so never let it win the CI contest.
+    if (age > 0.0 && value < age) continue;
+    if (!found || halfwidth < best.ci_halfwidth) {
+      found = true;
+      best.estimate = value;
+      best.ci_halfwidth = halfwidth;
+      best.winning_template = static_cast<int>(i);
+      best.points_used = est.count;
+    }
+  }
+
+  if (!found) {
+    // Ramp-up fallback (paper notes the deficiency; a scheduler still needs
+    // a number).
+    best.estimate = job.has_max_runtime()
+                        ? job.max_runtime
+                        : (observed_.count() > 0 ? observed_.mean() : options_.default_estimate);
+    best.ci_halfwidth = best.estimate;  // maximally uncertain
+    best.winning_template = -1;
+    best.points_used = 0;
+  }
+
+  // A prediction can never undercut what the job has already run, and a
+  // non-positive run time is meaningless.
+  best.estimate = std::max({best.estimate, age + 1.0, 1.0});
+  if (options_.clamp_to_max_runtime && job.has_max_runtime())
+    best.estimate = std::min(best.estimate, std::max(job.max_runtime, age + 1.0));
+  return best;
+}
+
+Seconds StfPredictor::estimate(const Job& job, Seconds age) {
+  return predict_detail(job, age).estimate;
+}
+
+void StfPredictor::job_completed(const Job& job, Seconds completion_time) {
+  (void)completion_time;
+  observed_.add(job.runtime);
+  for (std::size_t i = 0; i < templates_.templates.size(); ++i) {
+    const Template& tmpl = templates_.templates[i];
+    if (tmpl.relative && !job.has_max_runtime()) continue;
+    DataPoint point;
+    point.runtime = job.runtime;
+    point.nodes = job.nodes;
+    point.value =
+        tmpl.relative ? job.runtime / std::max<Seconds>(1.0, job.max_runtime) : job.runtime;
+    stores_[i][tmpl.key_for(job)].insert(point, tmpl.max_history);
+  }
+}
+
+void StfPredictor::bootstrap(std::span<const Job> training_jobs) {
+  for (const Job& job : training_jobs) job_completed(job, job.submit + job.runtime);
+}
+
+std::size_t StfPredictor::category_count() const {
+  std::size_t total = 0;
+  for (const auto& store : stores_) total += store.size();
+  return total;
+}
+
+}  // namespace rtp

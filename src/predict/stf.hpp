@@ -1,0 +1,72 @@
+// The Smith–Taylor–Foster run-time predictor (the paper's contribution).
+//
+// Holds a set of similarity templates.  When a job completes, its run time
+// is inserted into one category per template (paper step 3).  To predict, a
+// category estimate is computed for every template whose category has
+// enough data, and the estimate with the smallest confidence interval wins
+// (paper step 2).  During the initial ramp-up — and for jobs matching no
+// populated category — the predictor falls back to the user-supplied
+// maximum run time when the trace has one, else the global mean of observed
+// run times, else one hour.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "predict/category.hpp"
+#include "predict/template_set.hpp"
+#include "sched/estimator.hpp"
+#include "stats/summary.hpp"
+
+namespace rtp {
+
+struct StfOptions {
+  /// Confidence level for interval comparison: (1 - alpha).
+  double alpha = 0.10;
+  /// Clamp predictions to the job's max run time when present.
+  bool clamp_to_max_runtime = false;
+  /// Fallback when no category can predict and the job has no maximum.
+  Seconds default_estimate = hours(1);
+};
+
+/// Detail returned by predict_detail for diagnostics, tests and examples.
+struct StfPrediction {
+  Seconds estimate = 0.0;
+  Seconds ci_halfwidth = 0.0;
+  int winning_template = -1;  // index into the template set; -1 = fallback
+  std::size_t points_used = 0;
+};
+
+class StfPredictor final : public RuntimeEstimator {
+ public:
+  StfPredictor(TemplateSet templates, StfOptions options = {});
+
+  Seconds estimate(const Job& job, Seconds age) override;
+  void job_completed(const Job& job, Seconds completion_time) override;
+  std::string name() const override { return "stf"; }
+
+  /// Initialize the category database from a training set — the paper's
+  /// suggested fix for the ramp-up period ("This deficiency could be
+  /// corrected by using a training set to initialize C").  Equivalent to
+  /// observing each job's completion before the evaluation starts.
+  void bootstrap(std::span<const Job> training_jobs);
+
+  /// Full detail (winning template, interval) for one prediction.
+  StfPrediction predict_detail(const Job& job, Seconds age) const;
+
+  const TemplateSet& templates() const { return templates_; }
+
+  /// Total stored categories across all templates (diagnostics).
+  std::size_t category_count() const;
+
+ private:
+  TemplateSet templates_;
+  StfOptions options_;
+  std::vector<std::unordered_map<std::string, Category>> stores_;  // per template
+  RunningStats observed_;  // all completed run times (fallback)
+};
+
+}  // namespace rtp

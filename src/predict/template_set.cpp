@@ -1,0 +1,155 @@
+#include "predict/template_set.hpp"
+
+#include "core/error.hpp"
+
+namespace rtp {
+
+std::string to_string(EstimatorKind kind) {
+  switch (kind) {
+    case EstimatorKind::Mean: return "mean";
+    case EstimatorKind::LinearRegression: return "linreg";
+    case EstimatorKind::InverseRegression: return "invreg";
+    case EstimatorKind::LogRegression: return "logreg";
+  }
+  fail("unknown estimator kind");
+}
+
+bool Template::feasible_for(FieldMask available, bool trace_has_max_runtimes) const {
+  if (!characteristics.subset_of(available)) return false;
+  if (use_nodes && !available.has(Characteristic::Nodes)) return false;
+  if (relative && !trace_has_max_runtimes) return false;
+  return true;
+}
+
+std::string Template::key_for(const Job& job) const {
+  std::string key;
+  for (Characteristic c : all_characteristics()) {
+    if (c == Characteristic::Nodes || !characteristics.has(c)) continue;
+    key += characteristic_abbr(c);
+    key += '=';
+    key += job.field(c);
+    key += '\x1f';
+  }
+  if (use_nodes) {
+    RTP_ASSERT(node_range_size >= 1);
+    key += "n=";
+    key += std::to_string((job.nodes - 1) / node_range_size);
+  }
+  return key;
+}
+
+std::string Template::describe() const {
+  std::string out = "(" + characteristics.to_string();
+  if (use_nodes) {
+    if (!characteristics.empty()) out += ',';
+    out += "n=" + std::to_string(node_range_size);
+  }
+  out += ") " + to_string(estimator);
+  if (relative) out += " rel";
+  if (max_history > 0) out += " hist=" + std::to_string(max_history);
+  if (condition_on_age) out += " age";
+  return out;
+}
+
+std::string TemplateSet::describe() const {
+  std::string out;
+  for (const Template& t : templates) {
+    if (!out.empty()) out += "; ";
+    out += t.describe();
+  }
+  return out.empty() ? "<empty>" : out;
+}
+
+TemplateSet default_template_set(FieldMask available, bool trace_has_max_runtimes) {
+  TemplateSet set;
+  auto add = [&](Template t) {
+    if (t.feasible_for(available, trace_has_max_runtimes)) set.templates.push_back(t);
+  };
+
+  const bool has_user = available.has(Characteristic::User);
+  const bool has_exe = available.has(Characteristic::Executable);
+  const bool has_args = available.has(Characteristic::Arguments);
+  const bool has_queue = available.has(Characteristic::Queue);
+  const bool has_script = available.has(Characteristic::Script);
+
+  // Most specific first (selection is by smallest confidence interval, so
+  // order is cosmetic; specific templates simply tend to win).
+  if (has_user && has_exe && has_args) {
+    Template t;
+    t.characteristics.set(Characteristic::User)
+        .set(Characteristic::Executable)
+        .set(Characteristic::Arguments);
+    t.use_nodes = true;
+    t.node_range_size = 2;
+    t.max_history = 32;
+    add(t);
+    if (trace_has_max_runtimes) {
+      t.relative = true;
+      add(t);
+    }
+  }
+  if (has_user && has_exe) {
+    Template t;
+    t.characteristics.set(Characteristic::User).set(Characteristic::Executable);
+    t.use_nodes = true;
+    t.node_range_size = 4;
+    t.max_history = 64;
+    add(t);
+    t.condition_on_age = true;  // conditional estimates for running jobs
+    add(t);
+    t.condition_on_age = false;
+    t.use_nodes = false;
+    add(t);
+  }
+  if (has_user && has_script) {
+    Template t;
+    t.characteristics.set(Characteristic::User).set(Characteristic::Script);
+    t.use_nodes = true;
+    t.node_range_size = 4;
+    t.max_history = 64;
+    add(t);
+  }
+  if (has_queue && has_user) {
+    Template t;
+    t.characteristics.set(Characteristic::Queue).set(Characteristic::User);
+    t.max_history = 128;
+    add(t);
+  }
+  if (has_user) {
+    Template t;
+    t.characteristics.set(Characteristic::User);
+    t.use_nodes = true;
+    t.node_range_size = 8;
+    t.max_history = 128;
+    add(t);
+    if (trace_has_max_runtimes) {
+      t.relative = true;
+      add(t);
+    }
+  }
+  if (has_queue) {
+    Template t;
+    t.characteristics.set(Characteristic::Queue);
+    t.max_history = 256;
+    add(t);
+    t.condition_on_age = true;
+    add(t);
+  }
+  {
+    // Global fallbacks so some category always accumulates data; the
+    // age-conditioned one keeps estimates of long-running jobs sensible.
+    Template t;
+    t.use_nodes = true;
+    t.node_range_size = 16;
+    t.max_history = 512;
+    add(t);
+    Template g;
+    g.max_history = 1024;
+    add(g);
+    g.condition_on_age = true;
+    add(g);
+  }
+  return set;
+}
+
+}  // namespace rtp

@@ -1,0 +1,78 @@
+// Similarity templates (paper §2.1).
+//
+// A template selects which job characteristics define "similar": a subset of
+// the categorical characteristics, optionally a node-range partition, plus
+// how to turn a category's history into a prediction (estimator type,
+// absolute vs relative run times, bounded history, and whether to condition
+// on the job's current running time).
+//
+// Note on the running-time condition: the paper's text says predictions use
+// points "that have an execution time less than this running time"; a job
+// that has already run for `age` must finish with run time >= age, so — in
+// line with Gibbons's rtime templates and Downey's conditional estimators —
+// we condition on points with run time >= age and treat the paper's wording
+// as a typo.  DESIGN.md records the substitution.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/fields.hpp"
+#include "workload/job.hpp"
+
+namespace rtp {
+
+/// How a category's data points become one prediction (paper: mean, linear,
+/// inverse and logarithmic regressions of run time on number of nodes).
+enum class EstimatorKind { Mean, LinearRegression, InverseRegression, LogRegression };
+
+std::string to_string(EstimatorKind kind);
+
+struct Template {
+  /// Categorical characteristics partitioning jobs (may be empty = "()").
+  FieldMask characteristics;
+
+  /// Partition by requested nodes into ranges of `node_range_size`.
+  bool use_nodes = false;
+  int node_range_size = 1;  // power of two in [1, 512]
+
+  /// Store run time / user-max-runtime ratios instead of absolute times.
+  bool relative = false;
+
+  EstimatorKind estimator = EstimatorKind::Mean;
+
+  /// Per-category history bound; 0 = unlimited.
+  std::size_t max_history = 0;
+
+  /// Condition predictions on the job's current age (running time).
+  bool condition_on_age = false;
+
+  /// True when every characteristic the template uses is recorded by a
+  /// trace with fields `available` (and relative templates have maxima).
+  bool feasible_for(FieldMask available, bool trace_has_max_runtimes) const;
+
+  /// Category key for a job, e.g. "u=wsmith\x1fn=3".  Node bucket index is
+  /// (nodes - 1) / node_range_size.
+  std::string key_for(const Job& job) const;
+
+  /// Human-readable form, e.g. "(u,e,n=4) mean rel hist=128 age".
+  std::string describe() const;
+
+  bool operator==(const Template&) const = default;
+};
+
+/// An ordered collection of templates; the unit the GA searches over.
+struct TemplateSet {
+  std::vector<Template> templates;
+
+  std::string describe() const;
+  bool operator==(const TemplateSet&) const = default;
+};
+
+/// Paper-informed hand-built template set for a trace with the given
+/// fields: per-user/executable/argument categories where available, node
+/// partitions at a few range sizes, and coarse fallbacks.  Used when no GA
+/// search result is supplied.
+TemplateSet default_template_set(FieldMask available, bool trace_has_max_runtimes);
+
+}  // namespace rtp

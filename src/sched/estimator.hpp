@@ -1,0 +1,33 @@
+// The narrow interface schedulers use to obtain run-time estimates.
+//
+// Implemented by every predictor in src/predict (historical, Gibbons,
+// Downey, maximum-run-time, oracle).  Keeping the interface here lets the
+// scheduling and simulation layers stay independent of the prediction
+// machinery.
+#pragma once
+
+#include "core/time.hpp"
+#include "workload/job.hpp"
+
+namespace rtp {
+
+class RuntimeEstimator {
+ public:
+  virtual ~RuntimeEstimator() = default;
+
+  /// Predicted *total* run time of `job`.  `age` >= 0 is how long the job
+  /// has already been executing (0 for queued jobs); implementations should
+  /// never return less than `age`.
+  virtual Seconds estimate(const Job& job, Seconds age) = 0;
+
+  /// Invoked once when a job completes so history-based predictors can
+  /// incorporate the observed run time (job.runtime).
+  virtual void job_completed(const Job& job, Seconds completion_time) {
+    (void)job;
+    (void)completion_time;
+  }
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace rtp

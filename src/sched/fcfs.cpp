@@ -1,0 +1,19 @@
+#include "sched/policy.hpp"
+
+namespace rtp {
+
+std::vector<JobId> FcfsPolicy::select_starts(Seconds now, const SystemState& state) const {
+  (void)now;
+  std::vector<JobId> starts;
+  int free_nodes = state.free_nodes();
+  // Strict order: start queue heads while they fit; the first job that does
+  // not fit blocks everything behind it.
+  for (const SchedJob& sj : state.queue()) {
+    if (sj.nodes() > free_nodes) break;
+    free_nodes -= sj.nodes();
+    starts.push_back(sj.id());
+  }
+  return starts;
+}
+
+}  // namespace rtp

@@ -1,0 +1,154 @@
+#include "sched/forward_sim.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "sched/profile.hpp"
+
+namespace rtp {
+namespace {
+
+/// Reference implementation: event-driven replay of the policy with jobs
+/// completing exactly at their estimates.  Exact for every policy, but
+/// O(Q^3) in deep queues; used for EASY (whose dynamic backfilling cannot
+/// be folded into one profile pass) and as the oracle in equivalence tests.
+std::unordered_map<JobId, Seconds> replay(SystemState state, const SchedulerPolicy& policy,
+                                          Seconds now, JobId stop_after) {
+  std::unordered_map<JobId, Seconds> starts;
+  starts.reserve(state.queue().size());
+
+  // Each loop iteration either starts at least one job or advances time to
+  // the next estimated completion, so the replay terminates after at most
+  // queue + running steps of each kind.
+  const std::size_t guard_limit = 4 * (state.queue().size() + state.running().size()) + 16;
+  std::size_t guard = 0;
+
+  while (!state.queue().empty()) {
+    RTP_CHECK(++guard <= guard_limit, "forward replay failed to make progress");
+
+    for (JobId id : policy.select_starts(now, state)) {
+      state.start_job(id, now);
+      starts.emplace(id, now);
+      if (id == stop_after) return starts;
+    }
+    if (state.queue().empty()) break;
+
+    // Advance to the next estimated completion.  remaining() floors at one
+    // second, so jobs that outlived their estimate finish "immediately"
+    // rather than stalling the replay.
+    RTP_ASSERT(!state.running().empty());
+    Seconds next_end = kTimeInfinity;
+    for (const SchedJob& r : state.running())
+      next_end = std::min(next_end, now + r.remaining(now));
+    RTP_ASSERT(next_end > now && next_end < kTimeInfinity);
+
+    std::vector<JobId> finished;
+    for (const SchedJob& r : state.running())
+      if (time_eq(now + r.remaining(now), next_end)) finished.push_back(r.id());
+    now = next_end;
+    for (JobId id : finished) state.finish_job(id);
+  }
+  return starts;
+}
+
+/// Book the running set into a fresh profile.
+AvailabilityProfile profile_from_running(const SystemState& state, Seconds now) {
+  AvailabilityProfile profile(now, state.machine_nodes());
+  for (const SchedJob& running : state.running())
+    profile.reserve(now, now + running.remaining(now), running.nodes());
+  return profile;
+}
+
+/// Fast path for the in-order policies (FCFS; LWF is FCFS over the queue
+/// re-ordered by estimated work).  With completions pinned to the
+/// estimates, job i starts at the earliest profile slot that is not before
+/// job i-1's start — one booking pass instead of an event loop.
+std::unordered_map<JobId, Seconds> chain_schedule(const SystemState& state, Seconds now,
+                                                  bool least_work_order, JobId stop_after) {
+  std::vector<const SchedJob*> order;
+  order.reserve(state.queue().size());
+  for (const SchedJob& sj : state.queue()) order.push_back(&sj);
+  if (least_work_order) {
+    std::stable_sort(order.begin(), order.end(), [](const SchedJob* a, const SchedJob* b) {
+      const double wa = a->estimate * a->nodes();
+      const double wb = b->estimate * b->nodes();
+      if (wa != wb) return wa < wb;
+      return a->submit < b->submit;
+    });
+  }
+
+  AvailabilityProfile profile = profile_from_running(state, now);
+  std::unordered_map<JobId, Seconds> starts;
+  starts.reserve(order.size());
+  Seconds not_before = now;
+  for (const SchedJob* sj : order) {
+    const Seconds duration = std::max<Seconds>(1.0, sj->estimate);
+    const Seconds t = profile.earliest_fit(not_before, sj->nodes(), duration);
+    profile.reserve(t, t + duration, sj->nodes());
+    starts.emplace(sj->id(), t);
+    not_before = t;
+    if (sj->id() == stop_after) break;
+  }
+  return starts;
+}
+
+/// Fast path for conservative backfill: with completions pinned to the
+/// estimates, every reservation computed now is realized exactly, so the
+/// forward schedule is one reservation pass in arrival order.
+std::unordered_map<JobId, Seconds> conservative_schedule(const SystemState& state,
+                                                         Seconds now, JobId stop_after) {
+  AvailabilityProfile profile = profile_from_running(state, now);
+  std::unordered_map<JobId, Seconds> starts;
+  starts.reserve(state.queue().size());
+  for (const SchedJob& sj : state.queue()) {
+    const Seconds duration = std::max<Seconds>(1.0, sj.estimate);
+    const Seconds t = profile.earliest_fit(now, sj.nodes(), duration);
+    profile.reserve(t, t + duration, sj.nodes());
+    starts.emplace(sj.id(), t);
+    if (sj.id() == stop_after) break;
+  }
+  return starts;
+}
+
+std::unordered_map<JobId, Seconds> dispatch(const SystemState& state,
+                                            const SchedulerPolicy& policy, Seconds now,
+                                            JobId stop_after) {
+  switch (policy.kind()) {
+    case PolicyKind::Fcfs:
+      return chain_schedule(state, now, /*least_work_order=*/false, stop_after);
+    case PolicyKind::Lwf:
+      return chain_schedule(state, now, /*least_work_order=*/true, stop_after);
+    case PolicyKind::BackfillConservative:
+      return conservative_schedule(state, now, stop_after);
+    case PolicyKind::BackfillEasy:
+      return replay(state, policy, now, stop_after);
+  }
+  fail("unknown policy kind in forward_simulate");
+}
+
+}  // namespace
+
+std::unordered_map<JobId, Seconds> forward_simulate(SystemState state,
+                                                    const SchedulerPolicy& policy,
+                                                    Seconds now) {
+  return dispatch(state, policy, now, kInvalidJob);
+}
+
+Seconds predict_start_time(const SystemState& state, const SchedulerPolicy& policy,
+                           Seconds now, JobId target) {
+  RTP_CHECK(state.find_queued(target) != nullptr,
+            "predict_start_time: target job is not queued");
+  auto starts = dispatch(state, policy, now, target);
+  auto it = starts.find(target);
+  RTP_ASSERT(it != starts.end());
+  return it->second;
+}
+
+/// Exposed for tests: the reference event-driven replay.
+std::unordered_map<JobId, Seconds> forward_simulate_reference(SystemState state,
+                                                              const SchedulerPolicy& policy,
+                                                              Seconds now) {
+  return replay(std::move(state), policy, now, kInvalidJob);
+}
+
+}  // namespace rtp

@@ -1,0 +1,35 @@
+// Shadow (forward) simulation: the paper's queue wait-time predictor.
+//
+// Starting from a snapshot of the scheduler state in which every job's
+// `estimate` has been filled in by a run-time predictor, replay the policy
+// forward assuming each job completes exactly when its estimate says, with
+// no future arrivals.  The time at which a queued job starts in this replay
+// is its predicted start time; minus "now", its predicted queue wait.
+#pragma once
+
+#include <unordered_map>
+
+#include "sched/policy.hpp"
+#include "sched/state.hpp"
+
+namespace rtp {
+
+/// Predicted start time for every job queued in `state`, keyed by job id.
+/// `state` is taken by value: the replay consumes it.
+std::unordered_map<JobId, Seconds> forward_simulate(SystemState state,
+                                                    const SchedulerPolicy& policy,
+                                                    Seconds now);
+
+/// Predicted start time of a single queued job (must be in the queue).
+Seconds predict_start_time(const SystemState& state, const SchedulerPolicy& policy,
+                           Seconds now, JobId target);
+
+/// Reference event-driven replay (exact for every policy, slower).  The
+/// production forward_simulate uses closed-form single-pass schedules for
+/// FCFS / LWF / conservative backfill, which must agree with this; exposed
+/// so tests can assert the equivalence.
+std::unordered_map<JobId, Seconds> forward_simulate_reference(SystemState state,
+                                                              const SchedulerPolicy& policy,
+                                                              Seconds now);
+
+}  // namespace rtp

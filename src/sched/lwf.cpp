@@ -1,0 +1,32 @@
+#include "sched/policy.hpp"
+
+#include <algorithm>
+
+namespace rtp {
+
+std::vector<JobId> LwfPolicy::select_starts(Seconds now, const SystemState& state) const {
+  (void)now;
+  // Order the queue by estimated work (nodes x predicted run time),
+  // breaking ties by arrival so the order is deterministic; then start in
+  // that order until the first job that does not fit, as with FCFS.
+  std::vector<const SchedJob*> ordered;
+  ordered.reserve(state.queue().size());
+  for (const SchedJob& sj : state.queue()) ordered.push_back(&sj);
+  std::stable_sort(ordered.begin(), ordered.end(), [](const SchedJob* a, const SchedJob* b) {
+    const double wa = a->estimate * a->nodes();
+    const double wb = b->estimate * b->nodes();
+    if (wa != wb) return wa < wb;
+    return a->submit < b->submit;
+  });
+
+  std::vector<JobId> starts;
+  int free_nodes = state.free_nodes();
+  for (const SchedJob* sj : ordered) {
+    if (sj->nodes() > free_nodes) break;
+    free_nodes -= sj->nodes();
+    starts.push_back(sj->id());
+  }
+  return starts;
+}
+
+}  // namespace rtp

@@ -1,0 +1,39 @@
+#include "sched/policy.hpp"
+
+#include "core/error.hpp"
+#include "core/strings.hpp"
+
+namespace rtp {
+
+std::unique_ptr<SchedulerPolicy> make_policy(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::Fcfs: return std::make_unique<FcfsPolicy>();
+    case PolicyKind::Lwf: return std::make_unique<LwfPolicy>();
+    case PolicyKind::BackfillConservative:
+      return std::make_unique<BackfillPolicy>(BackfillPolicy::Variant::Conservative);
+    case PolicyKind::BackfillEasy:
+      return std::make_unique<BackfillPolicy>(BackfillPolicy::Variant::Easy);
+  }
+  fail("unknown policy kind");
+}
+
+PolicyKind policy_kind_from_string(const std::string& text) {
+  const std::string t = to_lower(text);
+  if (t == "fcfs") return PolicyKind::Fcfs;
+  if (t == "lwf") return PolicyKind::Lwf;
+  if (t == "backfill" || t == "conservative") return PolicyKind::BackfillConservative;
+  if (t == "easy") return PolicyKind::BackfillEasy;
+  fail("unknown scheduling policy '" + text + "' (expected fcfs|lwf|backfill|easy)");
+}
+
+std::string to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::Fcfs: return "FCFS";
+    case PolicyKind::Lwf: return "LWF";
+    case PolicyKind::BackfillConservative: return "Backfill";
+    case PolicyKind::BackfillEasy: return "EASY";
+  }
+  fail("unknown policy kind");
+}
+
+}  // namespace rtp

@@ -1,0 +1,95 @@
+// Scheduling policy interface and factory.
+//
+// Policies are stateless decision functions over a SystemState: given the
+// current time and the (estimate-refreshed) running set and queue, they
+// return which queued jobs to start right now.  All persistent state lives
+// in SystemState so the wait-time predictor can copy it and replay the same
+// policy in a shadow simulation.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/state.hpp"
+
+namespace rtp {
+
+enum class PolicyKind { Fcfs, Lwf, BackfillConservative, BackfillEasy };
+
+class SchedulerPolicy {
+ public:
+  virtual ~SchedulerPolicy() = default;
+
+  /// Jobs to start at `now`, in start order.  Every returned id must be
+  /// queued and the set must respect free-node capacity when started in
+  /// order.
+  virtual std::vector<JobId> select_starts(Seconds now, const SystemState& state) const = 0;
+
+  /// True when the policy consumes run-time estimates of *running* jobs
+  /// (backfill does; FCFS and LWF do not).
+  virtual bool uses_running_estimates() const = 0;
+
+  /// True when the policy consumes run-time estimates of queued jobs.
+  virtual bool uses_queue_estimates() const = 0;
+
+  virtual std::string name() const = 0;
+  virtual PolicyKind kind() const = 0;
+};
+
+/// First-come first-served: the head of the queue starts whenever enough
+/// nodes are free; nothing may overtake it.
+class FcfsPolicy final : public SchedulerPolicy {
+ public:
+  std::vector<JobId> select_starts(Seconds now, const SystemState& state) const override;
+  bool uses_running_estimates() const override { return false; }
+  bool uses_queue_estimates() const override { return false; }
+  std::string name() const override { return "FCFS"; }
+  PolicyKind kind() const override { return PolicyKind::Fcfs; }
+};
+
+/// Least-work-first: like FCFS but the queue is ordered by estimated work
+/// (nodes x estimated run time), smallest first.
+class LwfPolicy final : public SchedulerPolicy {
+ public:
+  std::vector<JobId> select_starts(Seconds now, const SystemState& state) const override;
+  bool uses_running_estimates() const override { return false; }
+  bool uses_queue_estimates() const override { return true; }
+  std::string name() const override { return "LWF"; }
+  PolicyKind kind() const override { return PolicyKind::Lwf; }
+};
+
+/// Backfill per the paper: jobs are examined in arrival order; a job starts
+/// early only if it does not delay any job ahead of it.  The conservative
+/// variant books a reservation for every blocked job (the paper's
+/// algorithm); the EASY variant reserves only for the first blocked job.
+class BackfillPolicy final : public SchedulerPolicy {
+ public:
+  enum class Variant { Conservative, Easy };
+
+  explicit BackfillPolicy(Variant variant = Variant::Conservative) : variant_(variant) {}
+
+  std::vector<JobId> select_starts(Seconds now, const SystemState& state) const override;
+  bool uses_running_estimates() const override { return true; }
+  bool uses_queue_estimates() const override { return true; }
+  std::string name() const override {
+    return variant_ == Variant::Conservative ? "Backfill" : "EASY";
+  }
+  PolicyKind kind() const override {
+    return variant_ == Variant::Conservative ? PolicyKind::BackfillConservative
+                                             : PolicyKind::BackfillEasy;
+  }
+
+ private:
+  Variant variant_;
+};
+
+/// Factory; throws on unknown kind.
+std::unique_ptr<SchedulerPolicy> make_policy(PolicyKind kind);
+
+/// Parse "fcfs" / "lwf" / "backfill" / "easy" (case-insensitive).
+PolicyKind policy_kind_from_string(const std::string& text);
+
+std::string to_string(PolicyKind kind);
+
+}  // namespace rtp

@@ -1,0 +1,88 @@
+#include "sched/profile.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace rtp {
+
+AvailabilityProfile::AvailabilityProfile(Seconds origin, int capacity)
+    : origin_(origin), base_capacity_(capacity) {
+  RTP_CHECK(capacity > 0, "profile capacity must be positive");
+  times_.push_back(origin);
+  caps_.push_back(capacity);
+}
+
+std::size_t AvailabilityProfile::split_at(Seconds t) {
+  RTP_ASSERT(t >= origin_);
+  // Index of the interval containing t.
+  auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  std::size_t idx = static_cast<std::size_t>(it - times_.begin()) - 1;
+  if (times_[idx] == t) return idx;
+  times_.insert(times_.begin() + static_cast<std::ptrdiff_t>(idx) + 1, t);
+  caps_.insert(caps_.begin() + static_cast<std::ptrdiff_t>(idx) + 1, caps_[idx]);
+  return idx + 1;
+}
+
+void AvailabilityProfile::reserve(Seconds from, Seconds to, int nodes) {
+  RTP_CHECK(nodes >= 0, "reserve: negative nodes");
+  if (nodes == 0 || to <= from) return;
+  from = std::max(from, origin_);
+  if (to <= from) return;
+  const std::size_t first = split_at(from);
+  std::size_t last = times_.size();  // exclusive; extends to infinity
+  if (to != kTimeInfinity) last = split_at(to);
+  for (std::size_t i = first; i < last; ++i) {
+    caps_[i] -= nodes;
+    RTP_CHECK(caps_[i] >= 0, "reserve: capacity would go negative");
+  }
+}
+
+int AvailabilityProfile::capacity_at(Seconds t) const {
+  RTP_CHECK(t >= origin_, "capacity_at: time before profile origin");
+  auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  return caps_[static_cast<std::size_t>(it - times_.begin()) - 1];
+}
+
+Seconds AvailabilityProfile::earliest_fit(Seconds not_before, int nodes,
+                                          Seconds duration) const {
+  RTP_CHECK(nodes <= base_capacity_, "earliest_fit: request exceeds machine size");
+  RTP_CHECK(duration >= 0.0, "earliest_fit: negative duration");
+  not_before = std::max(not_before, origin_);
+
+  // Candidate start times: not_before itself plus every breakpoint after it.
+  std::size_t idx = 0;
+  {
+    auto it = std::upper_bound(times_.begin(), times_.end(), not_before);
+    idx = static_cast<std::size_t>(it - times_.begin()) - 1;
+  }
+  Seconds candidate = not_before;
+  while (true) {
+    // Check capacity over [candidate, candidate + duration).
+    bool fits = true;
+    Seconds end = candidate + duration;
+    for (std::size_t i = idx; i < times_.size(); ++i) {
+      if (i > idx && times_[i] >= end) break;
+      if (caps_[i] < nodes) {
+        fits = false;
+        // Restart from the next breakpoint where capacity might recover.
+        std::size_t next = i + 1;
+        while (next < times_.size() && caps_[next] < nodes) ++next;
+        if (next == times_.size()) {
+          // Capacity never recovers within the profile; the final interval
+          // extends to infinity, so a fit exists only if it satisfies us.
+          // caps_ of final interval < nodes means reservations extend to
+          // infinity (not produced by schedulers, but be defensive).
+          RTP_CHECK(caps_.back() >= nodes,
+                    "earliest_fit: no interval ever has enough capacity");
+        }
+        idx = next;
+        candidate = times_[next];
+        break;
+      }
+    }
+    if (fits) return candidate;
+  }
+}
+
+}  // namespace rtp

@@ -1,0 +1,50 @@
+// Node-availability profile: free capacity as a step function of time.
+//
+// Backfill builds one per scheduling pass from the estimated completions of
+// running jobs, then books reservations for queued jobs into it.  The
+// profile answers "when is the earliest time >= t that n nodes are free for
+// d seconds straight?" — the core primitive of both conservative and EASY
+// backfill.
+#pragma once
+
+#include <vector>
+
+#include "core/time.hpp"
+
+namespace rtp {
+
+class AvailabilityProfile {
+ public:
+  /// Capacity `capacity` everywhere on [origin, infinity).
+  AvailabilityProfile(Seconds origin, int capacity);
+
+  /// Subtract `nodes` from capacity on [from, to).  `to` may be
+  /// kTimeInfinity.  Throws if the reservation would drive any interval
+  /// negative.
+  void reserve(Seconds from, Seconds to, int nodes);
+
+  /// Free capacity at time t (t >= origin).
+  int capacity_at(Seconds t) const;
+
+  /// Earliest s >= not_before such that capacity >= nodes on the whole of
+  /// [s, s + duration).  Always exists because capacity returns to its
+  /// maximum after the last breakpoint; throws only if `nodes` exceeds the
+  /// profile's base capacity.
+  Seconds earliest_fit(Seconds not_before, int nodes, Seconds duration) const;
+
+  /// Breakpoint count (diagnostics / tests).
+  std::size_t breakpoints() const { return times_.size(); }
+
+ private:
+  /// Ensure a breakpoint exists exactly at t; returns its index.
+  std::size_t split_at(Seconds t);
+
+  Seconds origin_;
+  int base_capacity_;
+  // caps_[i] holds on [times_[i], times_[i+1]); last interval extends to
+  // infinity.  times_[0] == origin_ always.
+  std::vector<Seconds> times_;
+  std::vector<int> caps_;
+};
+
+}  // namespace rtp

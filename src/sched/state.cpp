@@ -1,0 +1,56 @@
+#include "sched/state.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace rtp {
+
+Seconds SchedJob::remaining(Seconds now, Seconds floor_s) const {
+  RTP_ASSERT(start >= 0.0);
+  return std::max(floor_s, estimate - age(now));
+}
+
+void SystemState::enqueue(const Job& job, Seconds now, Seconds estimate) {
+  RTP_CHECK(job.nodes <= machine_nodes_, "job does not fit on the machine at all");
+  SchedJob sj;
+  sj.job = &job;
+  sj.submit = now;
+  sj.estimate = estimate;
+  queue_.push_back(sj);
+}
+
+void SystemState::start_job(JobId id, Seconds now) {
+  auto it = std::find_if(queue_.begin(), queue_.end(),
+                         [id](const SchedJob& sj) { return sj.id() == id; });
+  RTP_CHECK(it != queue_.end(), "start_job: job is not queued");
+  RTP_CHECK(it->nodes() <= free_nodes_, "start_job: not enough free nodes");
+  SchedJob sj = *it;
+  queue_.erase(it);
+  sj.start = now;
+  free_nodes_ -= sj.nodes();
+  running_.push_back(sj);
+}
+
+void SystemState::finish_job(JobId id) {
+  auto it = std::find_if(running_.begin(), running_.end(),
+                         [id](const SchedJob& sj) { return sj.id() == id; });
+  RTP_CHECK(it != running_.end(), "finish_job: job is not running");
+  free_nodes_ += it->nodes();
+  RTP_ASSERT(free_nodes_ <= machine_nodes_);
+  running_.erase(it);
+}
+
+const SchedJob* SystemState::find_queued(JobId id) const {
+  for (const SchedJob& sj : queue_)
+    if (sj.id() == id) return &sj;
+  return nullptr;
+}
+
+const SchedJob* SystemState::find_running(JobId id) const {
+  for (const SchedJob& sj : running_)
+    if (sj.id() == id) return &sj;
+  return nullptr;
+}
+
+}  // namespace rtp

@@ -1,0 +1,72 @@
+// Scheduler-visible system state: the running set and the wait queue.
+//
+// The state is a value type: the wait-time predictor copies it and runs the
+// same policy forward in a "shadow" simulation, exactly the paper's method
+// of predicting queue wait times.
+#pragma once
+
+#include <vector>
+
+#include "core/time.hpp"
+#include "workload/job.hpp"
+
+namespace rtp {
+
+/// A job as the scheduler sees it: trace record + current runtime estimate.
+struct SchedJob {
+  const Job* job = nullptr;
+  Seconds submit = 0.0;        // when it entered the queue
+  Seconds estimate = 0.0;      // predicted total run time (refreshed)
+  Seconds start = kNoTime;     // set once running
+
+  JobId id() const { return job->id; }
+  int nodes() const { return job->nodes; }
+
+  /// Time executed so far; only meaningful for running jobs.
+  Seconds age(Seconds now) const { return start >= 0.0 ? now - start : 0.0; }
+
+  /// Estimated remaining run time, floored at `floor_s` so that a job that
+  /// has outlived its estimate still occupies its nodes briefly.
+  Seconds remaining(Seconds now, Seconds floor_s = 1.0) const;
+};
+
+class SystemState {
+ public:
+  SystemState() = default;
+  explicit SystemState(int machine_nodes)
+      : machine_nodes_(machine_nodes), free_nodes_(machine_nodes) {}
+
+  int machine_nodes() const { return machine_nodes_; }
+  int free_nodes() const { return free_nodes_; }
+
+  const std::vector<SchedJob>& running() const { return running_; }
+  const std::vector<SchedJob>& queue() const { return queue_; }
+
+  /// Mutable access for estimate refreshes.
+  std::vector<SchedJob>& mutable_running() { return running_; }
+  std::vector<SchedJob>& mutable_queue() { return queue_; }
+
+  /// Append to the back of the wait queue (arrival order preserved).
+  void enqueue(const Job& job, Seconds now, Seconds estimate);
+
+  /// Move a queued job to the running set at `now`.  Throws if the job is
+  /// not queued or does not fit in the free nodes.
+  void start_job(JobId id, Seconds now);
+
+  /// Remove a running job (completion).  Throws if not running.
+  void finish_job(JobId id);
+
+  /// Queued job lookup; nullptr when absent.
+  const SchedJob* find_queued(JobId id) const;
+  const SchedJob* find_running(JobId id) const;
+
+  bool idle() const { return running_.empty() && queue_.empty(); }
+
+ private:
+  int machine_nodes_ = 0;
+  int free_nodes_ = 0;
+  std::vector<SchedJob> running_;
+  std::vector<SchedJob> queue_;  // arrival order
+};
+
+}  // namespace rtp

@@ -1,0 +1,129 @@
+#include "search/codec.hpp"
+
+#include "core/error.hpp"
+
+namespace rtp {
+namespace {
+
+constexpr std::size_t kEstimatorBits = 2;
+constexpr std::size_t kRelativeBits = 1;
+constexpr std::size_t kNodeBits = 1 + 4;     // enable + range exponent
+constexpr std::size_t kHistoryBits = 1 + 4;  // enable + limit exponent
+constexpr std::size_t kAgeBits = 1;
+
+std::size_t read_bits(std::span<const std::uint8_t> bits, std::size_t offset,
+                      std::size_t count) {
+  std::size_t value = 0;
+  for (std::size_t i = 0; i < count; ++i) value = (value << 1) | (bits[offset + i] & 1u);
+  return value;
+}
+
+void write_bits(Genome& genome, std::size_t value, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i)
+    genome.push_back(static_cast<std::uint8_t>((value >> (count - 1 - i)) & 1u));
+}
+
+}  // namespace
+
+TemplateCodec::TemplateCodec(FieldMask available, bool trace_has_max_runtimes)
+    : has_max_(trace_has_max_runtimes) {
+  for (Characteristic c : all_characteristics())
+    if (c != Characteristic::Nodes && available.has(c)) chars_.push_back(c);
+  bits_per_template_ =
+      kEstimatorBits + kRelativeBits + chars_.size() + kNodeBits + kHistoryBits + kAgeBits;
+}
+
+std::size_t TemplateCodec::template_count(const Genome& genome) const {
+  RTP_CHECK(genome.size() % bits_per_template_ == 0,
+            "genome length is not a multiple of the template width");
+  return genome.size() / bits_per_template_;
+}
+
+Template TemplateCodec::decode_template(std::span<const std::uint8_t> bits) const {
+  RTP_CHECK(bits.size() == bits_per_template_, "decode_template: wrong bit count");
+  Template t;
+  std::size_t pos = 0;
+
+  switch (read_bits(bits, pos, kEstimatorBits)) {
+    case 0: t.estimator = EstimatorKind::Mean; break;
+    case 1: t.estimator = EstimatorKind::LinearRegression; break;
+    case 2: t.estimator = EstimatorKind::InverseRegression; break;
+    default: t.estimator = EstimatorKind::LogRegression; break;
+  }
+  pos += kEstimatorBits;
+
+  t.relative = has_max_ && read_bits(bits, pos, kRelativeBits) != 0;
+  pos += kRelativeBits;
+
+  for (Characteristic c : chars_) {
+    if (bits[pos] != 0) t.characteristics.set(c);
+    ++pos;
+  }
+
+  t.use_nodes = bits[pos] != 0;
+  ++pos;
+  const std::size_t range_exp = read_bits(bits, pos, 4) % 10;  // 2^0 .. 2^9
+  t.node_range_size = 1 << range_exp;
+  pos += 4;
+
+  const bool history_limited = bits[pos] != 0;
+  ++pos;
+  const std::size_t hist_exp = (read_bits(bits, pos, 4) % 16) + 1;  // 2^1 .. 2^16
+  t.max_history = history_limited ? (std::size_t{1} << hist_exp) : 0;
+  pos += 4;
+
+  t.condition_on_age = bits[pos] != 0;
+  ++pos;
+  RTP_ASSERT(pos == bits_per_template_);
+  return t;
+}
+
+TemplateSet TemplateCodec::decode(const Genome& genome) const {
+  TemplateSet set;
+  const std::size_t count = template_count(genome);
+  set.templates.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    set.templates.push_back(decode_template(
+        std::span(genome).subspan(i * bits_per_template_, bits_per_template_)));
+  return set;
+}
+
+void TemplateCodec::encode_template(const Template& t, Genome& genome) const {
+  switch (t.estimator) {
+    case EstimatorKind::Mean: write_bits(genome, 0, kEstimatorBits); break;
+    case EstimatorKind::LinearRegression: write_bits(genome, 1, kEstimatorBits); break;
+    case EstimatorKind::InverseRegression: write_bits(genome, 2, kEstimatorBits); break;
+    case EstimatorKind::LogRegression: write_bits(genome, 3, kEstimatorBits); break;
+  }
+  write_bits(genome, t.relative ? 1 : 0, kRelativeBits);
+  for (Characteristic c : chars_)
+    genome.push_back(t.characteristics.has(c) ? 1 : 0);
+
+  genome.push_back(t.use_nodes ? 1 : 0);
+  std::size_t range_exp = 0;
+  while ((1 << range_exp) < t.node_range_size && range_exp < 9) ++range_exp;
+  write_bits(genome, range_exp, 4);
+
+  genome.push_back(t.max_history > 0 ? 1 : 0);
+  std::size_t hist_exp = 1;
+  while ((std::size_t{1} << hist_exp) < t.max_history && hist_exp < 16) ++hist_exp;
+  write_bits(genome, hist_exp - 1, 4);
+
+  genome.push_back(t.condition_on_age ? 1 : 0);
+}
+
+Genome TemplateCodec::encode(const TemplateSet& set) const {
+  Genome genome;
+  genome.reserve(set.templates.size() * bits_per_template_);
+  for (const Template& t : set.templates) encode_template(t, genome);
+  return genome;
+}
+
+Genome TemplateCodec::random_genome(Rng& rng, std::size_t templates) const {
+  RTP_CHECK(templates >= 1, "random_genome: need at least one template");
+  Genome genome(templates * bits_per_template_);
+  for (auto& bit : genome) bit = rng.chance(0.5) ? 1 : 0;
+  return genome;
+}
+
+}  // namespace rtp

@@ -1,0 +1,57 @@
+// Binary template encoding for the genetic-algorithm search (paper §2.1).
+//
+// Each template is a fixed-width bit string; an individual (template set)
+// is a concatenation of 1 to 10 of them.  Encoded per template, matching
+// the paper's list:
+//
+//   [0..1]   estimator kind (mean / linear / inverse / log regression)
+//   [2]      absolute vs relative run times
+//   [3..3+k) one enable bit per categorical characteristic the trace records
+//   [..]     node partition enable + 4-bit range exponent (2^0 .. 2^9)
+//   [..]     history bound enable + 4-bit limit exponent (2^1 .. 2^16)
+//   [..]     running-time (age) conditioning enable
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "predict/template_set.hpp"
+
+namespace rtp {
+
+/// A genome: concatenated template bit strings (values 0/1).
+using Genome = std::vector<std::uint8_t>;
+
+class TemplateCodec {
+ public:
+  /// `available` is the trace's recorded characteristics;
+  /// `trace_has_max_runtimes` gates the relative-run-time bit.
+  TemplateCodec(FieldMask available, bool trace_has_max_runtimes);
+
+  std::size_t bits_per_template() const { return bits_per_template_; }
+
+  /// Number of templates encoded in a genome (must divide evenly).
+  std::size_t template_count(const Genome& genome) const;
+
+  Template decode_template(std::span<const std::uint8_t> bits) const;
+  TemplateSet decode(const Genome& genome) const;
+
+  /// Append the encoding of `t` to `genome`.  Characteristics the codec
+  /// does not model are dropped.
+  void encode_template(const Template& t, Genome& genome) const;
+  Genome encode(const TemplateSet& set) const;
+
+  /// Uniformly random genome with `templates` templates.
+  Genome random_genome(Rng& rng, std::size_t templates) const;
+
+  const std::vector<Characteristic>& characteristics() const { return chars_; }
+
+ private:
+  std::vector<Characteristic> chars_;  // categorical, recorded by the trace
+  bool has_max_;
+  std::size_t bits_per_template_;
+};
+
+}  // namespace rtp

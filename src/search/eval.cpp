@@ -1,0 +1,56 @@
+#include "search/eval.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "predict/simple.hpp"
+#include "sim/simulator.hpp"
+
+namespace rtp {
+
+PredictionWorkload PredictionWorkload::from_schedule(const Workload& workload,
+                                                     const std::vector<Seconds>& start_times) {
+  RTP_CHECK(start_times.size() >= workload.size(),
+            "from_schedule: start_times must cover every job");
+  PredictionWorkload pw;
+  pw.events_.reserve(workload.size() * 2);
+  for (const Job& job : workload.jobs()) {
+    RTP_CHECK(start_times[job.id] >= 0.0, "from_schedule: job never started");
+    pw.events_.push_back({job.submit, false, &job});
+    pw.events_.push_back({start_times[job.id] + job.runtime, true, &job});
+  }
+  // Completions before predictions at equal timestamps, matching the live
+  // simulator's event ordering.
+  std::stable_sort(pw.events_.begin(), pw.events_.end(), [](const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.is_insert && !b.is_insert;
+  });
+  pw.predictions_ = workload.size();
+  return pw;
+}
+
+PredictionWorkload PredictionWorkload::from_policy(const Workload& workload,
+                                                   PolicyKind policy) {
+  MaxRuntimePredictor max_estimator(workload);
+  auto policy_impl = make_policy(policy);
+  const SimResult sim = simulate(workload, *policy_impl, max_estimator);
+  return from_schedule(workload, sim.start_times);
+}
+
+double PredictionWorkload::evaluate(RuntimeEstimator& estimator) const {
+  double total_error = 0.0;
+  std::size_t predictions = 0;
+  for (const Event& ev : events_) {
+    if (ev.is_insert) {
+      estimator.job_completed(*ev.job, ev.time);
+    } else {
+      const Seconds predicted = estimator.estimate(*ev.job, 0.0);
+      total_error += std::fabs(predicted - ev.job->runtime);
+      ++predictions;
+    }
+  }
+  return predictions == 0 ? 0.0 : total_error / static_cast<double>(predictions);
+}
+
+}  // namespace rtp

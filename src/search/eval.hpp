@@ -1,0 +1,49 @@
+// Run-time prediction workloads: the GA's fitness data (paper §2.1).
+//
+// A prediction workload is a time-ordered sequence of "predict job J" and
+// "insert completed job J" events.  The paper generates these from
+// scheduling simulations that use maximum run times as predictions; a
+// prediction is made for each job when it is submitted and its run time is
+// inserted into the history when it completes under that schedule.
+#pragma once
+
+#include <vector>
+
+#include "sched/estimator.hpp"
+#include "sched/policy.hpp"
+#include "workload/workload.hpp"
+
+namespace rtp {
+
+class PredictionWorkload {
+ public:
+  struct Event {
+    Seconds time = 0.0;
+    bool is_insert = false;  // false: predict at submission
+    const Job* job = nullptr;
+  };
+
+  /// Build from a schedule: job J is predicted at J.submit and inserted at
+  /// start_times[J.id] + J.runtime.  `start_times` must cover every job.
+  /// The referenced workload must outlive the prediction workload.
+  static PredictionWorkload from_schedule(const Workload& workload,
+                                          const std::vector<Seconds>& start_times);
+
+  /// Paper protocol: simulate `policy` on maximum run times, then build the
+  /// prediction workload from the resulting schedule.
+  static PredictionWorkload from_policy(const Workload& workload, PolicyKind policy);
+
+  /// Replay the events through `estimator`: inserts call job_completed,
+  /// predicts call estimate(job, 0).  Returns the mean absolute run-time
+  /// prediction error in seconds (0 when there are no predictions).
+  double evaluate(RuntimeEstimator& estimator) const;
+
+  const std::vector<Event>& events() const { return events_; }
+  std::size_t prediction_count() const { return predictions_; }
+
+ private:
+  std::vector<Event> events_;
+  std::size_t predictions_ = 0;
+};
+
+}  // namespace rtp

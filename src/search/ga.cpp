@@ -1,0 +1,175 @@
+#include "search/ga.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "core/log.hpp"
+#include "predict/stf.hpp"
+
+namespace rtp {
+namespace {
+
+double evaluate_genome(const TemplateCodec& codec, const PredictionWorkload& eval,
+                       const Genome& genome) {
+  StfPredictor predictor(codec.decode(genome));
+  return eval.evaluate(predictor);
+}
+
+/// Paper fitness scaling: F_min + (E_max - E) / (E_max - E_min) * (F_max -
+/// F_min), with F_max = 4 F_min.  Degenerates to uniform fitness when all
+/// errors coincide.
+std::vector<double> scale_fitness(const std::vector<double>& errors, double f_min) {
+  const double f_max = 4.0 * f_min;
+  const auto [lo, hi] = std::minmax_element(errors.begin(), errors.end());
+  std::vector<double> fitness(errors.size(), (f_min + f_max) / 2.0);
+  if (*hi - *lo > 1e-12) {
+    for (std::size_t i = 0; i < errors.size(); ++i)
+      fitness[i] = f_min + (*hi - errors[i]) / (*hi - *lo) * (f_max - f_min);
+  }
+  return fitness;
+}
+
+std::size_t sample_parent(Rng& rng, const std::vector<double>& fitness) {
+  return rng.weighted_index(fitness);
+}
+
+/// Variable-length single-point crossover (paper §2.1).  Children swap a
+/// suffix starting inside a randomly chosen template of each parent; both
+/// children must respect the template-count bounds.
+std::pair<Genome, Genome> crossover(Rng& rng, const TemplateCodec& codec, const Genome& p1,
+                                    const Genome& p2, std::size_t min_templates,
+                                    std::size_t max_templates) {
+  const std::size_t b = codec.bits_per_template();
+  const std::size_t n = p1.size() / b;
+  const std::size_t m = p2.size() / b;
+
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const std::size_t i = static_cast<std::size_t>(rng.uniform_int(0, static_cast<long long>(n) - 1));
+    // Child1 has i + 1 + (m - 1 - j) templates, child2 has j + 1 + (n - 1 - i):
+    // solve both bounds for j.
+    const std::size_t c1 = i + 1, c2r = n - i;  // fixed contributions
+    // min <= c1 + (m-1-j) <= max  and  min <= j + c2r <= max
+    const long long j_lo_1 = static_cast<long long>(c1) + static_cast<long long>(m) - 1 -
+                             static_cast<long long>(max_templates);
+    const long long j_hi_1 = static_cast<long long>(c1) + static_cast<long long>(m) - 1 -
+                             static_cast<long long>(min_templates);
+    const long long j_lo_2 =
+        static_cast<long long>(min_templates) - static_cast<long long>(c2r);
+    const long long j_hi_2 =
+        static_cast<long long>(max_templates) - static_cast<long long>(c2r);
+    const long long j_lo = std::max({j_lo_1, j_lo_2, 0LL});
+    const long long j_hi = std::min({j_hi_1, j_hi_2, static_cast<long long>(m) - 1});
+    if (j_lo > j_hi) continue;
+    const std::size_t j = static_cast<std::size_t>(rng.uniform_int(j_lo, j_hi));
+    const std::size_t p = static_cast<std::size_t>(rng.uniform_int(0, static_cast<long long>(b) - 1));
+
+    // n1 = first p bits of t1_i + last (b - p) bits of t2_j; child1 =
+    // t1[0..i-1], n1, t2[j+1..]; symmetrically for child2.
+    Genome c1g, c2g;
+    c1g.insert(c1g.end(), p1.begin(), p1.begin() + static_cast<std::ptrdiff_t>(i * b));
+    c1g.insert(c1g.end(), p1.begin() + static_cast<std::ptrdiff_t>(i * b),
+               p1.begin() + static_cast<std::ptrdiff_t>(i * b + p));
+    c1g.insert(c1g.end(), p2.begin() + static_cast<std::ptrdiff_t>(j * b + p),
+               p2.begin() + static_cast<std::ptrdiff_t>((j + 1) * b));
+    c1g.insert(c1g.end(), p2.begin() + static_cast<std::ptrdiff_t>((j + 1) * b), p2.end());
+
+    c2g.insert(c2g.end(), p2.begin(), p2.begin() + static_cast<std::ptrdiff_t>(j * b));
+    c2g.insert(c2g.end(), p2.begin() + static_cast<std::ptrdiff_t>(j * b),
+               p2.begin() + static_cast<std::ptrdiff_t>(j * b + p));
+    c2g.insert(c2g.end(), p1.begin() + static_cast<std::ptrdiff_t>(i * b + p),
+               p1.begin() + static_cast<std::ptrdiff_t>((i + 1) * b));
+    c2g.insert(c2g.end(), p1.begin() + static_cast<std::ptrdiff_t>((i + 1) * b), p1.end());
+
+    RTP_ASSERT(c1g.size() % b == 0 && c2g.size() % b == 0);
+    return {std::move(c1g), std::move(c2g)};
+  }
+  return {p1, p2};  // no feasible cut found; pass parents through
+}
+
+void mutate(Rng& rng, Genome& genome, double rate) {
+  for (auto& bit : genome)
+    if (rng.chance(rate)) bit ^= 1u;
+}
+
+}  // namespace
+
+SearchResult search_templates_ga(const PredictionWorkload& eval, FieldMask available,
+                                 bool trace_has_max_runtimes, const GaOptions& options) {
+  RTP_CHECK(options.population >= 4 && options.population % 2 == 0,
+            "GA population must be even and >= 4");
+  RTP_CHECK(options.min_templates >= 1 &&
+                options.min_templates <= options.max_templates,
+            "GA template bounds are inconsistent");
+  RTP_CHECK(options.elite < options.population, "GA elite must be smaller than population");
+
+  const TemplateCodec codec(available, trace_has_max_runtimes);
+  Rng rng(options.seed);
+  ThreadPool pool(options.threads);
+
+  std::vector<Genome> population;
+  population.reserve(options.population);
+  for (std::size_t i = 0; i < options.population; ++i) {
+    const std::size_t templates = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<long long>(options.min_templates),
+        static_cast<long long>(std::min<std::size_t>(options.max_templates, 4))));
+    population.push_back(codec.random_genome(rng, templates));
+  }
+
+  SearchResult result;
+  Genome best_genome;
+  double best_error = std::numeric_limits<double>::infinity();
+
+  for (std::size_t gen = 0; gen < options.generations; ++gen) {
+    std::vector<double> errors(population.size());
+    parallel_for(pool, population.size(), [&](std::size_t i) {
+      errors[i] = evaluate_genome(codec, eval, population[i]);
+    });
+    result.evaluations += population.size();
+
+    // Track the best-ever individual.
+    for (std::size_t i = 0; i < population.size(); ++i) {
+      if (errors[i] < best_error) {
+        best_error = errors[i];
+        best_genome = population[i];
+      }
+    }
+    result.best_error_per_generation.push_back(best_error);
+    log_debug("GA generation ", gen, ": best error ", to_minutes(best_error), " min");
+
+    if (gen + 1 == options.generations) break;
+
+    const std::vector<double> fitness = scale_fitness(errors, options.fitness_min);
+
+    // Elitism: the generation's best individuals survive unmutated.
+    std::vector<std::size_t> order(population.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return errors[a] < errors[b]; });
+
+    std::vector<Genome> next;
+    next.reserve(options.population);
+    for (std::size_t e = 0; e < options.elite && e < order.size(); ++e)
+      next.push_back(population[order[e]]);
+
+    while (next.size() < options.population) {
+      const Genome& p1 = population[sample_parent(rng, fitness)];
+      const Genome& p2 = population[sample_parent(rng, fitness)];
+      auto [c1, c2] = crossover(rng, codec, p1, p2, options.min_templates,
+                                options.max_templates);
+      mutate(rng, c1, options.mutation_rate);
+      next.push_back(std::move(c1));
+      if (next.size() < options.population) {
+        mutate(rng, c2, options.mutation_rate);
+        next.push_back(std::move(c2));
+      }
+    }
+    population = std::move(next);
+  }
+
+  result.best = codec.decode(best_genome);
+  result.best_error = best_error;
+  return result;
+}
+
+}  // namespace rtp

@@ -1,0 +1,45 @@
+// Genetic-algorithm template search (paper §2.1, "Template Definition and
+// Search").
+//
+// Individuals are template sets of 1-10 templates (variable-length bit
+// strings, see TemplateCodec).  Each generation: evaluate the mean
+// run-time prediction error of every individual on a prediction workload;
+// map errors to fitness with the paper's linear scaling (F_max = 4 F_min);
+// select parents by stochastic sampling with replacement; apply the paper's
+// variable-length single-point crossover; mutate every bit with p = 0.01;
+// and carry the two best individuals over unmutated (elitism).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "predict/template_set.hpp"
+#include "search/codec.hpp"
+#include "search/eval.hpp"
+
+namespace rtp {
+
+struct GaOptions {
+  std::size_t population = 40;  // even, >= 4
+  std::size_t generations = 30;
+  std::size_t min_templates = 1;
+  std::size_t max_templates = 10;
+  double mutation_rate = 0.01;
+  double fitness_min = 1.0;  // F_max = 4 * F_min per the paper
+  std::size_t elite = 2;
+  std::uint64_t seed = 0x6A5EED;
+  std::size_t threads = 0;  // 0 = hardware concurrency
+};
+
+struct SearchResult {
+  TemplateSet best;
+  double best_error = 0.0;  // mean absolute run-time error, seconds
+  std::vector<double> best_error_per_generation;
+  std::size_t evaluations = 0;
+};
+
+SearchResult search_templates_ga(const PredictionWorkload& eval, FieldMask available,
+                                 bool trace_has_max_runtimes, const GaOptions& options = {});
+
+}  // namespace rtp

@@ -1,0 +1,99 @@
+#include "search/greedy.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/log.hpp"
+#include "core/rng.hpp"
+#include "core/thread_pool.hpp"
+#include "predict/stf.hpp"
+
+namespace rtp {
+namespace {
+
+std::vector<Template> candidate_pool(FieldMask available, bool has_max) {
+  std::vector<Characteristic> chars;
+  for (Characteristic c : all_characteristics())
+    if (c != Characteristic::Nodes && available.has(c)) chars.push_back(c);
+
+  const std::size_t subsets = std::size_t{1} << chars.size();
+  static constexpr int kNodeRanges[] = {0, 1, 4, 16, 64};  // 0 = nodes unused
+  static constexpr std::size_t kHistories[] = {0, 32, 512};
+
+  std::vector<Template> pool;
+  for (std::size_t mask = 0; mask < subsets; ++mask) {
+    Template base;
+    for (std::size_t i = 0; i < chars.size(); ++i)
+      if (mask & (std::size_t{1} << i)) base.characteristics.set(chars[i]);
+    for (int range : kNodeRanges) {
+      Template t = base;
+      t.use_nodes = range > 0;
+      t.node_range_size = range > 0 ? range : 1;
+      for (std::size_t hist : kHistories) {
+        t.max_history = hist;
+        t.relative = false;
+        pool.push_back(t);
+        if (has_max) {
+          t.relative = true;
+          pool.push_back(t);
+        }
+      }
+    }
+  }
+  return pool;
+}
+
+double error_of(const TemplateSet& set, const PredictionWorkload& eval) {
+  StfPredictor predictor(set);
+  return eval.evaluate(predictor);
+}
+
+}  // namespace
+
+SearchResult search_templates_greedy(const PredictionWorkload& eval, FieldMask available,
+                                     bool trace_has_max_runtimes,
+                                     const GreedyOptions& options) {
+  std::vector<Template> pool = candidate_pool(available, trace_has_max_runtimes);
+  if (options.candidate_limit > 0 && pool.size() > options.candidate_limit) {
+    Rng rng(options.seed);
+    rng.shuffle(pool);
+    pool.resize(options.candidate_limit);
+  }
+
+  ThreadPool threads(options.threads);
+  SearchResult result;
+  result.best_error = std::numeric_limits<double>::infinity();
+
+  TemplateSet current;
+  double current_error = std::numeric_limits<double>::infinity();
+
+  while (current.templates.size() < options.max_templates) {
+    std::vector<double> errors(pool.size(), std::numeric_limits<double>::infinity());
+    parallel_for(threads, pool.size(), [&](std::size_t i) {
+      TemplateSet trial = current;
+      trial.templates.push_back(pool[i]);
+      errors[i] = error_of(trial, eval);
+    });
+    result.evaluations += pool.size();
+
+    const auto best_it = std::min_element(errors.begin(), errors.end());
+    const double best_err = *best_it;
+    const bool first_round = current.templates.empty();
+    if (!first_round &&
+        best_err >= current_error * (1.0 - options.min_improvement)) {
+      break;  // no candidate improves enough
+    }
+    const std::size_t best_idx = static_cast<std::size_t>(best_it - errors.begin());
+    current.templates.push_back(pool[best_idx]);
+    current_error = best_err;
+    result.best_error_per_generation.push_back(current_error);
+    log_debug("greedy: added ", pool[best_idx].describe(), " error ",
+              to_minutes(current_error), " min");
+  }
+
+  result.best = std::move(current);
+  result.best_error = current_error;
+  return result;
+}
+
+}  // namespace rtp

@@ -1,0 +1,31 @@
+// Greedy template search: the baseline the paper's earlier work compared
+// the GA against (and found inferior).  Kept as an ablation.
+//
+// A candidate pool of mean-estimator templates is enumerated (every subset
+// of the recorded categorical characteristics, a few node-range sizes,
+// absolute/relative, and a few history bounds).  Starting from the empty
+// set, the candidate that most reduces the mean prediction error is added
+// until no candidate improves or the set reaches max_templates.
+#pragma once
+
+#include <cstdint>
+
+#include "search/ga.hpp"
+
+namespace rtp {
+
+struct GreedyOptions {
+  std::size_t max_templates = 10;
+  /// Random subsample bound on the candidate pool (0 = unlimited).
+  std::size_t candidate_limit = 256;
+  std::uint64_t seed = 0x97EED1;
+  std::size_t threads = 0;
+  /// Relative improvement below which the search stops.
+  double min_improvement = 1e-3;
+};
+
+SearchResult search_templates_greedy(const PredictionWorkload& eval, FieldMask available,
+                                     bool trace_has_max_runtimes,
+                                     const GreedyOptions& options = {});
+
+}  // namespace rtp

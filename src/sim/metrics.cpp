@@ -1,0 +1,26 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "stats/quantiles.hpp"
+#include "stats/summary.hpp"
+
+namespace rtp {
+
+void finalize_metrics(SimResult& result, double total_work, int machine_nodes,
+                      Seconds first_submit, Seconds last_completion) {
+  RTP_CHECK(machine_nodes > 0, "finalize_metrics: machine nodes must be positive");
+  result.makespan = std::max<Seconds>(0.0, last_completion - first_submit);
+  if (result.makespan > 0.0)
+    result.utilization = total_work / (static_cast<double>(machine_nodes) * result.makespan);
+
+  if (result.waits.empty()) return;
+  RunningStats wait_stats;
+  for (Seconds w : result.waits) wait_stats.add(w);
+  result.mean_wait = wait_stats.mean();
+  result.max_wait = wait_stats.max();
+  result.median_wait = median(result.waits);
+}
+
+}  // namespace rtp

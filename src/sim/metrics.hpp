@@ -1,0 +1,38 @@
+// Aggregate results of a scheduling simulation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/time.hpp"
+#include "workload/job.hpp"
+
+namespace rtp {
+
+struct SimResult {
+  std::string workload_name;
+  std::string policy_name;
+  std::string estimator_name;
+
+  /// Busy node-seconds / (machine nodes x makespan); the paper's
+  /// "Utilization (percent)" divided by 100.
+  double utilization = 0.0;
+
+  Seconds mean_wait = 0.0;
+  Seconds median_wait = 0.0;
+  Seconds max_wait = 0.0;
+
+  /// First submission to last completion.
+  Seconds makespan = 0.0;
+
+  /// Per-job start times and waits, indexed by JobId.
+  std::vector<Seconds> start_times;
+  std::vector<Seconds> waits;
+};
+
+/// Fill the aggregate fields of `result` from its per-job vectors plus the
+/// total work and machine size.
+void finalize_metrics(SimResult& result, double total_work, int machine_nodes,
+                      Seconds first_submit, Seconds last_completion);
+
+}  // namespace rtp

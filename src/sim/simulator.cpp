@@ -1,0 +1,123 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "core/error.hpp"
+
+namespace rtp {
+namespace {
+
+struct Completion {
+  Seconds time;
+  JobId id;
+  // Min-heap by time; ties broken by id for determinism.
+  bool operator>(const Completion& other) const {
+    if (time != other.time) return time > other.time;
+    return id > other.id;
+  }
+};
+
+class Simulation {
+ public:
+  Simulation(const Workload& workload, const SchedulerPolicy& policy,
+             RuntimeEstimator& estimator, SimObserver* observer, const SimOptions& options)
+      : workload_(workload),
+        policy_(policy),
+        estimator_(estimator),
+        observer_(observer),
+        options_(options),
+        state_(workload.machine_nodes()) {}
+
+  SimResult run() {
+    SimResult result;
+    result.workload_name = workload_.name();
+    result.policy_name = policy_.name();
+    result.estimator_name = estimator_.name();
+    result.start_times.assign(workload_.size(), kNoTime);
+    result.waits.assign(workload_.size(), 0.0);
+
+    const auto& jobs = workload_.jobs();
+    std::size_t next_arrival = 0;
+    double total_work = 0.0;
+    Seconds last_completion = 0.0;
+
+    while (next_arrival < jobs.size() || !completions_.empty()) {
+      const bool have_arrival = next_arrival < jobs.size();
+      const bool have_completion = !completions_.empty();
+      const Seconds ta = have_arrival ? jobs[next_arrival].submit : kTimeInfinity;
+      const Seconds tc = have_completion ? completions_.top().time : kTimeInfinity;
+
+      if (tc <= ta) {
+        // Completion(s) first; drain every completion at this instant.
+        const Seconds now = tc;
+        while (!completions_.empty() && completions_.top().time <= now) {
+          const JobId id = completions_.top().id;
+          completions_.pop();
+          state_.finish_job(id);
+          const Job& job = workload_.job(id);
+          estimator_.job_completed(job, now);
+          if (observer_) observer_->on_finish(job, now);
+          total_work += job.work();
+          last_completion = std::max(last_completion, now);
+        }
+        schedule_pass(now, result);
+      } else {
+        const Seconds now = ta;
+        const Job& job = jobs[next_arrival++];
+        state_.enqueue(job, now, estimator_.estimate(job, 0.0));
+        refresh_estimates(now);
+        if (observer_) observer_->on_submit(now, state_, job);
+        schedule_pass(now, result);
+      }
+    }
+
+    const Seconds first_submit = jobs.empty() ? 0.0 : jobs.front().submit;
+    finalize_metrics(result, total_work, workload_.machine_nodes(), first_submit,
+                     last_completion);
+    return result;
+  }
+
+ private:
+  void refresh_estimates(Seconds now) {
+    if (policy_.uses_queue_estimates())
+      for (SchedJob& sj : state_.mutable_queue())
+        sj.estimate = estimator_.estimate(*sj.job, 0.0);
+    if (policy_.uses_running_estimates())
+      for (SchedJob& sj : state_.mutable_running())
+        sj.estimate = estimator_.estimate(*sj.job, sj.age(now));
+  }
+
+  void schedule_pass(Seconds now, SimResult& result) {
+    refresh_estimates(now);
+    for (JobId id : policy_.select_starts(now, state_)) {
+      state_.start_job(id, now);
+      const Job& job = workload_.job(id);
+      result.start_times[id] = now;
+      result.waits[id] = now - job.submit;
+      completions_.push({now + std::max(options_.min_runtime, job.runtime), id});
+      if (observer_) observer_->on_start(job, now);
+    }
+  }
+
+  const Workload& workload_;
+  const SchedulerPolicy& policy_;
+  RuntimeEstimator& estimator_;
+  SimObserver* observer_;
+  SimOptions options_;
+  SystemState state_;
+  std::priority_queue<Completion, std::vector<Completion>, std::greater<Completion>>
+      completions_;
+};
+
+}  // namespace
+
+SimResult simulate(const Workload& workload, const SchedulerPolicy& policy,
+                   RuntimeEstimator& estimator, SimObserver* observer,
+                   const SimOptions& options) {
+  workload.validate();
+  Simulation sim(workload, policy, estimator, observer, options);
+  return sim.run();
+}
+
+}  // namespace rtp

@@ -1,0 +1,49 @@
+// Event-driven simulation of a space-shared machine under one policy.
+//
+// Events are job arrivals (from the workload) and job completions (at the
+// job's *actual* run time).  At every event the scheduler's run-time
+// estimates are refreshed from the estimator and the policy picks jobs to
+// start — the paper's "the scheduling algorithm attempts to start an
+// application whenever any application is enqueued or finishes".
+//
+// Completions at a given instant are processed before arrivals at the same
+// instant so freed nodes are visible to the arriving job.
+#pragma once
+
+#include "sched/estimator.hpp"
+#include "sched/policy.hpp"
+#include "sim/metrics.hpp"
+#include "workload/workload.hpp"
+
+namespace rtp {
+
+/// Hooks for experiment instrumentation (wait-time prediction).
+class SimObserver {
+ public:
+  virtual ~SimObserver() = default;
+
+  /// After `job` is enqueued (estimates refreshed) and before the
+  /// scheduling pass runs.  `state` includes the new job at the queue tail.
+  virtual void on_submit(Seconds now, const SystemState& state, const Job& job) {
+    (void)now, (void)state, (void)job;
+  }
+
+  /// When a job begins executing.
+  virtual void on_start(const Job& job, Seconds start) { (void)job, (void)start; }
+
+  /// When a job completes (after the estimator has incorporated it).
+  virtual void on_finish(const Job& job, Seconds end) { (void)job, (void)end; }
+};
+
+struct SimOptions {
+  /// Floor for zero actual run times so completions strictly follow starts.
+  Seconds min_runtime = 1.0;
+};
+
+/// Run the whole workload to completion.  The estimator provides run-time
+/// estimates to the policy and observes completions in simulated order.
+SimResult simulate(const Workload& workload, const SchedulerPolicy& policy,
+                   RuntimeEstimator& estimator, SimObserver* observer = nullptr,
+                   const SimOptions& options = {});
+
+}  // namespace rtp

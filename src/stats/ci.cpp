@@ -1,0 +1,73 @@
+#include "stats/ci.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace rtp {
+
+double normal_quantile(double p) {
+  RTP_CHECK(p > 0.0 && p < 1.0, "normal_quantile: p must be in (0,1)");
+  // Peter Acklam's rational approximation to the inverse normal CDF.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  static constexpr double p_low = 0.02425;
+
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > 1.0 - p_low) {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+double student_t_quantile(double p, std::size_t df) {
+  RTP_CHECK(df >= 1, "student_t_quantile: df must be >= 1");
+  RTP_CHECK(p > 0.0 && p < 1.0, "student_t_quantile: p must be in (0,1)");
+  // Exact closed forms for the heaviest-tailed cases, where the expansion
+  // around the normal quantile is least accurate.
+  if (df == 1) return std::tan(M_PI * (p - 0.5));
+  if (df == 2) {
+    const double a = 4.0 * p * (1.0 - p);
+    return (2.0 * p - 1.0) * std::sqrt(2.0 / a);
+  }
+  // Cornish–Fisher expansion (Abramowitz & Stegun 26.7.5).
+  const double x = normal_quantile(p);
+  const double n = static_cast<double>(df);
+  const double x3 = x * x * x, x5 = x3 * x * x, x7 = x5 * x * x;
+  const double g1 = (x3 + x) / 4.0;
+  const double g2 = (5.0 * x5 + 16.0 * x3 + 3.0 * x) / 96.0;
+  const double g3 = (3.0 * x7 + 19.0 * x5 + 17.0 * x3 - 15.0 * x) / 384.0;
+  return x + g1 / n + g2 / (n * n) + g3 / (n * n * n);
+}
+
+double prediction_interval_halfwidth(std::size_t n, double stddev, double alpha) {
+  RTP_CHECK(n >= 2, "prediction interval needs at least 2 samples");
+  const double t = student_t_quantile(1.0 - alpha / 2.0, n - 1);
+  return t * stddev * std::sqrt(1.0 + 1.0 / static_cast<double>(n));
+}
+
+double mean_ci_halfwidth(std::size_t n, double stddev, double alpha) {
+  RTP_CHECK(n >= 2, "confidence interval needs at least 2 samples");
+  const double t = student_t_quantile(1.0 - alpha / 2.0, n - 1);
+  return t * stddev / std::sqrt(static_cast<double>(n));
+}
+
+}  // namespace rtp

@@ -1,0 +1,31 @@
+// Confidence / prediction intervals for the mean of a sample.
+//
+// The paper selects, among all matching categories, the run-time estimate
+// with the smallest confidence interval.  For a category holding n observed
+// run times with sample mean m and sample stddev s, the interval within
+// which a *new* run time is expected to fall with confidence (1 - alpha) is
+// the prediction interval  m ± t_{alpha/2, n-1} * s * sqrt(1 + 1/n);  the
+// interval for the *mean itself* is  m ± t_{alpha/2, n-1} * s / sqrt(n).
+#pragma once
+
+#include <cstddef>
+
+namespace rtp {
+
+/// Quantile function (inverse CDF) of the standard normal distribution.
+/// Acklam's rational approximation; |error| < 1.15e-9 over (0, 1).
+double normal_quantile(double p);
+
+/// Quantile function of Student's t distribution with `df` degrees of
+/// freedom (df >= 1).  Uses the Cornish–Fisher style expansion around the
+/// normal quantile; accurate to ~1e-4 for the confidence levels used here.
+double student_t_quantile(double p, std::size_t df);
+
+/// Half-width of the two-sided (1-alpha) prediction interval for a new
+/// observation given sample size n >= 2 and sample stddev s.
+double prediction_interval_halfwidth(std::size_t n, double stddev, double alpha = 0.10);
+
+/// Half-width of the two-sided (1-alpha) confidence interval for the mean.
+double mean_ci_halfwidth(std::size_t n, double stddev, double alpha = 0.10);
+
+}  // namespace rtp

@@ -1,0 +1,59 @@
+#include "stats/loglinear.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/error.hpp"
+#include "stats/regression.hpp"
+
+namespace rtp {
+
+LogLinearCdf LogLinearCdf::fit(std::span<const double> runtimes) {
+  LogLinearCdf model;
+  if (runtimes.size() < 2) return model;
+
+  std::vector<double> sorted(runtimes.begin(), runtimes.end());
+  std::sort(sorted.begin(), sorted.end());
+  RTP_CHECK(sorted.front() > 0.0, "log-linear CDF fit requires positive run times");
+
+  // Least squares of the empirical CDF (midpoint convention i+0.5 / n)
+  // against ln t.
+  LinearRegression reg;
+  const double n = static_cast<double>(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double f = (static_cast<double>(i) + 0.5) / n;
+    reg.add(std::log(sorted[i]), f);
+  }
+  if (!reg.valid()) return model;  // all run times identical
+  const double slope = reg.slope();
+  if (slope <= 0.0) return model;  // degenerate fit; CDF must increase
+
+  model.valid_ = true;
+  model.beta0_ = reg.intercept();
+  model.beta1_ = slope;
+  return model;
+}
+
+double LogLinearCdf::t_max() const {
+  RTP_ASSERT(valid_);
+  return std::exp((1.0 - beta0_) / beta1_);
+}
+
+double LogLinearCdf::conditional_median(double age) const {
+  RTP_ASSERT(valid_);
+  RTP_CHECK(age > 0.0, "conditional median requires age > 0");
+  return std::sqrt(age * t_max());
+}
+
+double LogLinearCdf::conditional_average(double age) const {
+  RTP_ASSERT(valid_);
+  RTP_CHECK(age > 0.0, "conditional average requires age > 0");
+  const double tmax = t_max();
+  if (age >= tmax) return age;  // the model believes the job should be done
+  const double denom = std::log(tmax) - std::log(age);
+  if (denom <= 1e-12) return age;
+  return (tmax - age) / denom;
+}
+
+}  // namespace rtp

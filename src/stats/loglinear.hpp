@@ -1,0 +1,48 @@
+// Downey's log-linear lifetime model.
+//
+// Downey observed that the cumulative distribution of job run times within a
+// category is well modeled by F(t) = beta0 + beta1 * ln(t).  From the fitted
+// coefficients the paper derives two point predictors for a job that has
+// already executed for `age` time units:
+//
+//   conditional median  : sqrt(age * e^{(1 - beta0)/beta1})
+//   conditional average : (t_max - age) / (ln t_max - ln age),
+//                         with t_max = e^{(1 - beta0)/beta1}.
+//
+// For a job that has not started (age = 0) both formulas degenerate, so
+// callers clamp age to a small positive floor (see DowneyPredictor).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace rtp {
+
+/// Fitted F(t) = beta0 + beta1 * ln t model over a sample of run times.
+class LogLinearCdf {
+ public:
+  /// Fit to the empirical CDF of `runtimes` (need not be sorted; all > 0).
+  /// At least two distinct values are required for a slope; with fewer the
+  /// model is flagged invalid.
+  static LogLinearCdf fit(std::span<const double> runtimes);
+
+  bool valid() const { return valid_; }
+  double beta0() const { return beta0_; }
+  double beta1() const { return beta1_; }
+
+  /// e^{(1 - beta0)/beta1}: run time at which the fitted CDF reaches 1.
+  double t_max() const;
+
+  /// Median lifetime conditioned on having run for `age` > 0.
+  double conditional_median(double age) const;
+
+  /// Average lifetime conditioned on having run for `age` > 0.
+  double conditional_average(double age) const;
+
+ private:
+  bool valid_ = false;
+  double beta0_ = 0.0;
+  double beta1_ = 0.0;
+};
+
+}  // namespace rtp

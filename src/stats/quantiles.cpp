@@ -1,0 +1,34 @@
+#include "stats/quantiles.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace rtp {
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  RTP_CHECK(!sorted.empty(), "quantile of empty sample");
+  RTP_CHECK(q >= 0.0 && q <= 1.0, "quantile q must be in [0,1]");
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+std::vector<double> quantiles(std::vector<double> values, std::span<const double> qs) {
+  std::sort(values.begin(), values.end());
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (double q : qs) out.push_back(quantile_sorted(values, q));
+  return out;
+}
+
+double median(std::vector<double> values) {
+  const double qs[] = {0.5};
+  return quantiles(std::move(values), qs)[0];
+}
+
+}  // namespace rtp

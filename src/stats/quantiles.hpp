@@ -1,0 +1,19 @@
+// Order statistics over a finished sample.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace rtp {
+
+/// Quantile of `sorted` (ascending) with linear interpolation (type 7,
+/// the R/NumPy default).  q in [0, 1].  The input must be sorted.
+double quantile_sorted(std::span<const double> sorted, double q);
+
+/// Convenience: copies, sorts and evaluates several quantiles at once.
+std::vector<double> quantiles(std::vector<double> values, std::span<const double> qs);
+
+/// Median via quantiles() with q = 0.5.
+double median(std::vector<double> values);
+
+}  // namespace rtp

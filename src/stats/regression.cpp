@@ -1,0 +1,76 @@
+#include "stats/regression.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "stats/ci.hpp"
+
+namespace rtp {
+
+void LinearRegression::add(double x, double y, double weight) {
+  RTP_CHECK(weight > 0.0, "regression weight must be positive");
+  ++count_;
+  sw_ += weight;
+  swx_ += weight * x;
+  swy_ += weight * y;
+  swxx_ += weight * x * x;
+  swxy_ += weight * x * y;
+  swyy_ += weight * y * y;
+}
+
+bool LinearRegression::valid() const {
+  if (count_ < 2) return false;
+  const double sxx = swxx_ - swx_ * swx_ / sw_;
+  return sxx > 1e-12;
+}
+
+double LinearRegression::slope() const {
+  RTP_ASSERT(valid());
+  const double sxx = swxx_ - swx_ * swx_ / sw_;
+  const double sxy = swxy_ - swx_ * swy_ / sw_;
+  return sxy / sxx;
+}
+
+double LinearRegression::intercept() const {
+  RTP_ASSERT(valid());
+  return (swy_ - slope() * swx_) / sw_;
+}
+
+double LinearRegression::mean_y() const { return count_ == 0 ? 0.0 : swy_ / sw_; }
+
+double LinearRegression::predict(double x) const {
+  if (!valid()) return mean_y();
+  return intercept() + slope() * x;
+}
+
+double LinearRegression::residual_stddev() const {
+  if (count_ <= 2 || !valid()) return 0.0;
+  const double sxx = swxx_ - swx_ * swx_ / sw_;
+  const double sxy = swxy_ - swx_ * swy_ / sw_;
+  const double syy = swyy_ - swy_ * swy_ / sw_;
+  const double sse = syy - sxy * sxy / sxx;
+  if (sse <= 0.0) return 0.0;
+  return std::sqrt(sse / static_cast<double>(count_ - 2));
+}
+
+double LinearRegression::prediction_halfwidth(double x, double alpha) const {
+  if (count_ < 3 || !valid()) return 0.0;
+  const double t = student_t_quantile(1.0 - alpha / 2.0, count_ - 2);
+  const double xbar = swx_ / sw_;
+  const double sxx = swxx_ - swx_ * swx_ / sw_;
+  const double lever =
+      1.0 + 1.0 / static_cast<double>(count_) + (x - xbar) * (x - xbar) / sxx;
+  return t * residual_stddev() * std::sqrt(lever);
+}
+
+double regression_transform(RegressionKind kind, double x) {
+  RTP_CHECK(x > 0.0, "regression x must be positive");
+  switch (kind) {
+    case RegressionKind::Linear: return x;
+    case RegressionKind::Inverse: return 1.0 / x;
+    case RegressionKind::Logarithmic: return std::log(x);
+  }
+  RTP_ASSERT(false);
+}
+
+}  // namespace rtp

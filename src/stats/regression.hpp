@@ -1,0 +1,77 @@
+// Least-squares regressions used by the run-time predictors.
+//
+// The paper's template framework supports four estimator types: the mean and
+// three one-variable regressions of run time against the number of nodes —
+// linear (y = a + b x), inverse (y = a + b / x) and logarithmic
+// (y = a + b ln x).  Gibbons additionally uses a *weighted* linear
+// regression over subcategory means.  All are thin transforms over the same
+// accumulating simple-regression core.
+#pragma once
+
+#include <cstddef>
+
+namespace rtp {
+
+/// Accumulating simple linear regression y = intercept + slope * x with
+/// optional per-point weights.  Closed-form weighted least squares.
+class LinearRegression {
+ public:
+  void add(double x, double y, double weight = 1.0);
+
+  std::size_t count() const { return count_; }
+
+  /// True when slope/intercept are defined (>= 2 points with distinct x).
+  bool valid() const;
+
+  double slope() const;
+  double intercept() const;
+
+  /// Predicted y at x; falls back to the weighted mean of y when the slope
+  /// is undefined (all x identical).
+  double predict(double x) const;
+
+  /// Residual standard error sqrt(SSE / (n - 2)); 0 when n <= 2.
+  double residual_stddev() const;
+
+  /// Half-width of the (1-alpha) prediction interval for a new observation
+  /// at x (unweighted formula; used for category confidence comparison).
+  double prediction_halfwidth(double x, double alpha = 0.10) const;
+
+ private:
+  double mean_y() const;
+
+  std::size_t count_ = 0;
+  double sw_ = 0.0;   // sum of weights
+  double swx_ = 0.0;  // sum w*x
+  double swy_ = 0.0;  // sum w*y
+  double swxx_ = 0.0;
+  double swxy_ = 0.0;
+  double swyy_ = 0.0;
+};
+
+/// Transformed regressions; x is mapped before accumulation.
+enum class RegressionKind { Linear, Inverse, Logarithmic };
+
+/// Map a raw x (number of nodes, >= 1) per the regression kind.
+double regression_transform(RegressionKind kind, double x);
+
+/// One-variable regression of y on transformed x.
+class TransformedRegression {
+ public:
+  explicit TransformedRegression(RegressionKind kind) : kind_(kind) {}
+
+  void add(double x, double y) { core_.add(regression_transform(kind_, x), y); }
+  bool valid() const { return core_.valid(); }
+  std::size_t count() const { return core_.count(); }
+  double predict(double x) const { return core_.predict(regression_transform(kind_, x)); }
+  double prediction_halfwidth(double x, double alpha = 0.10) const {
+    return core_.prediction_halfwidth(regression_transform(kind_, x), alpha);
+  }
+  RegressionKind kind() const { return kind_; }
+
+ private:
+  RegressionKind kind_;
+  LinearRegression core_;
+};
+
+}  // namespace rtp

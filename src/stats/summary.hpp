@@ -1,0 +1,40 @@
+// Streaming summary statistics (Welford) used throughout the library:
+// prediction-error accounting, category statistics, workload reports.
+#pragma once
+
+#include <cstddef>
+
+namespace rtp {
+
+/// Numerically stable running mean / variance / min / max.
+class RunningStats {
+ public:
+  void add(double x);
+
+  /// Merge another accumulator into this one (parallel reductions).
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Mean of the observed values; 0 when empty.
+  double mean() const;
+
+  /// Unbiased sample variance (n-1 denominator); 0 when count < 2.
+  double variance() const;
+  double stddev() const;
+
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace rtp

@@ -1,0 +1,106 @@
+#include "waitpred/statepred.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace rtp {
+
+StateFeatures StateFeatures::from(const SystemState& state, const Job& job, Seconds now,
+                                  Seconds job_estimate) {
+  double queued_work = 0.0, queued_nodes = 0.0;
+  for (const SchedJob& sj : state.queue()) {
+    queued_work += sj.estimate * sj.nodes();
+    queued_nodes += sj.nodes();
+  }
+  double running_remaining = 0.0;
+  for (const SchedJob& sj : state.running())
+    running_remaining += sj.remaining(now) * sj.nodes();
+
+  StateFeatures f;
+  f.values = {
+      static_cast<double>(state.queue().size()),
+      queued_work,
+      queued_nodes,
+      static_cast<double>(state.running().size()),
+      running_remaining,
+      static_cast<double>(state.free_nodes()),
+      static_cast<double>(job.nodes),
+      job_estimate,
+      std::fmod(now, days(1)) / days(1),  // time of day in [0, 1)
+  };
+  return f;
+}
+
+StateBasedWaitPredictor::StateBasedWaitPredictor(StatePredictorOptions options)
+    : options_(options) {
+  RTP_CHECK(options_.neighbors >= 1, "state predictor needs k >= 1");
+}
+
+Seconds StateBasedWaitPredictor::predict(const StateFeatures& features) const {
+  if (history_.size() < options_.min_history)
+    return wait_stats_.count() > 0 ? std::max(0.0, wait_stats_.mean()) : 0.0;
+
+  // z-score normalization per dimension; constant dimensions are ignored.
+  std::array<double, StateFeatures::kCount> scale{};
+  for (std::size_t d = 0; d < StateFeatures::kCount; ++d) {
+    const double sd = feature_stats_[d].stddev();
+    scale[d] = sd > 1e-12 ? 1.0 / sd : 0.0;
+  }
+
+  // Collect the k smallest distances (partial sort over a scratch vector).
+  std::vector<std::pair<double, Seconds>> scored;
+  scored.reserve(history_.size());
+  for (const Sample& s : history_) {
+    double dist = 0.0;
+    for (std::size_t d = 0; d < StateFeatures::kCount; ++d) {
+      const double delta = (features.values[d] - s.features.values[d]) * scale[d];
+      dist += delta * delta;
+    }
+    scored.emplace_back(dist, s.wait);
+  }
+  const std::size_t k = std::min(options_.neighbors, scored.size());
+  std::nth_element(scored.begin(), scored.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   scored.end());
+  double total = 0.0;
+  for (std::size_t i = 0; i < k; ++i) total += scored[i].second;
+  return std::max(0.0, total / static_cast<double>(k));
+}
+
+void StateBasedWaitPredictor::observe(const StateFeatures& features, Seconds actual_wait) {
+  RTP_CHECK(actual_wait >= 0.0, "negative wait observed");
+  if (history_.size() >= options_.max_history) history_.pop_front();
+  history_.push_back(Sample{features, actual_wait});
+  for (std::size_t d = 0; d < StateFeatures::kCount; ++d)
+    feature_stats_[d].add(features.values[d]);
+  wait_stats_.add(actual_wait);
+}
+
+StateWaitObserver::StateWaitObserver(RuntimeEstimator& estimator,
+                                     StatePredictorOptions options)
+    : estimator_(estimator), model_(options) {}
+
+void StateWaitObserver::on_submit(Seconds now, const SystemState& state, const Job& job) {
+  const StateFeatures features =
+      StateFeatures::from(state, job, now, estimator_.estimate(job, 0.0));
+  const Seconds predicted = model_.predict(features);
+  pending_.emplace(job.id, std::make_pair(features, predicted));
+}
+
+void StateWaitObserver::on_start(const Job& job, Seconds start) {
+  auto it = pending_.find(job.id);
+  if (it == pending_.end()) return;
+  const Seconds actual = start - job.submit;
+  error_.add(std::fabs(it->second.second - actual));
+  waits_.add(actual);
+  model_.observe(it->second.first, actual);
+  pending_.erase(it);
+}
+
+void StateWaitObserver::on_finish(const Job& job, Seconds end) {
+  estimator_.job_completed(job, end);
+}
+
+}  // namespace rtp

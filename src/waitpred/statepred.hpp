@@ -1,0 +1,95 @@
+// State-based wait-time prediction — the paper's proposed future work
+// (§5): "use the current state of the scheduling system (number of
+// applications in each queue, time of day, etc.) and historical information
+// on queue wait times during similar past states to predict queue wait
+// times", hoping to beat the shadow simulation's built-in error for LWF.
+//
+// Implementation: each submission is summarized as a feature vector (queue
+// depth and work, running work, free nodes, the new job's own size and
+// estimate, time of day); the predicted wait is the mean wait of the k
+// nearest past submissions under z-score-normalized Euclidean distance.
+// The model learns online: a job's (features, actual wait) pair is inserted
+// when the job starts.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <unordered_map>
+
+#include "sched/estimator.hpp"
+#include "sched/state.hpp"
+#include "sim/simulator.hpp"
+#include "stats/summary.hpp"
+
+namespace rtp {
+
+/// Scheduler-state summary at one submission.
+struct StateFeatures {
+  static constexpr std::size_t kCount = 9;
+
+  std::array<double, kCount> values{};
+
+  /// Build from a system snapshot plus the submitted job (already in the
+  /// queue) and its run-time estimate.
+  static StateFeatures from(const SystemState& state, const Job& job, Seconds now,
+                            Seconds job_estimate);
+};
+
+struct StatePredictorOptions {
+  std::size_t neighbors = 15;       // k
+  std::size_t max_history = 5000;   // bounded memory, oldest evicted
+  std::size_t min_history = 25;     // below this, fall back to the mean wait
+};
+
+/// Online k-nearest-neighbor regressor from StateFeatures to queue wait.
+class StateBasedWaitPredictor {
+ public:
+  explicit StateBasedWaitPredictor(StatePredictorOptions options = {});
+
+  /// Predicted wait for a submission with these features (>= 0).
+  Seconds predict(const StateFeatures& features) const;
+
+  /// Incorporate an observed (features, actual wait) pair.
+  void observe(const StateFeatures& features, Seconds actual_wait);
+
+  std::size_t history_size() const { return history_.size(); }
+
+ private:
+  struct Sample {
+    StateFeatures features;
+    Seconds wait;
+  };
+
+  StatePredictorOptions options_;
+  std::deque<Sample> history_;
+  std::array<RunningStats, StateFeatures::kCount> feature_stats_;
+  RunningStats wait_stats_;
+};
+
+/// Simulation observer running the state-based predictor online and
+/// accumulating its wait-prediction error, for head-to-head comparison
+/// with WaitTimeObserver (the paper's shadow-simulation method).
+class StateWaitObserver final : public SimObserver {
+ public:
+  /// `estimator` supplies the job run-time estimate feature; not owned.
+  StateWaitObserver(RuntimeEstimator& estimator, StatePredictorOptions options = {});
+
+  void on_submit(Seconds now, const SystemState& state, const Job& job) override;
+  void on_start(const Job& job, Seconds start) override;
+  void on_finish(const Job& job, Seconds end) override;
+
+  const RunningStats& error_stats() const { return error_; }
+  const RunningStats& wait_stats() const { return waits_; }
+  const StateBasedWaitPredictor& model() const { return model_; }
+
+ private:
+  RuntimeEstimator& estimator_;
+  StateBasedWaitPredictor model_;
+  std::unordered_map<JobId, std::pair<StateFeatures, Seconds>> pending_;  // features, predicted
+  RunningStats error_;
+  RunningStats waits_;
+};
+
+}  // namespace rtp

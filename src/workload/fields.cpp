@@ -1,0 +1,53 @@
+#include "workload/fields.hpp"
+
+#include "core/error.hpp"
+
+namespace rtp {
+
+std::string_view characteristic_abbr(Characteristic c) {
+  switch (c) {
+    case Characteristic::Type: return "t";
+    case Characteristic::Queue: return "q";
+    case Characteristic::Class: return "c";
+    case Characteristic::User: return "u";
+    case Characteristic::Script: return "s";
+    case Characteristic::Executable: return "e";
+    case Characteristic::Arguments: return "a";
+    case Characteristic::NetworkAdaptor: return "na";
+    case Characteristic::Nodes: return "n";
+  }
+  fail("unknown characteristic");
+}
+
+std::string_view characteristic_name(Characteristic c) {
+  switch (c) {
+    case Characteristic::Type: return "type";
+    case Characteristic::Queue: return "queue";
+    case Characteristic::Class: return "class";
+    case Characteristic::User: return "user";
+    case Characteristic::Script: return "script";
+    case Characteristic::Executable: return "executable";
+    case Characteristic::Arguments: return "arguments";
+    case Characteristic::NetworkAdaptor: return "network_adaptor";
+    case Characteristic::Nodes: return "nodes";
+  }
+  fail("unknown characteristic");
+}
+
+Characteristic characteristic_from_abbr(std::string_view abbr) {
+  for (Characteristic c : all_characteristics())
+    if (characteristic_abbr(c) == abbr) return c;
+  fail("unknown characteristic abbreviation '" + std::string(abbr) + "'");
+}
+
+std::string FieldMask::to_string() const {
+  std::string out;
+  for (Characteristic c : all_characteristics()) {
+    if (!has(c)) continue;
+    if (!out.empty()) out += ',';
+    out += characteristic_abbr(c);
+  }
+  return out;
+}
+
+}  // namespace rtp

@@ -1,0 +1,77 @@
+// Job characteristics (paper Table 2).
+//
+// A trace records a subset of the characteristics below; similarity
+// templates may only use characteristics the trace actually records.  The
+// single-letter abbreviations match the paper ("na" for network adaptor).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace rtp {
+
+enum class Characteristic : std::uint8_t {
+  Type = 0,        // t: batch/interactive (ANL), serial/parallel/pvm3 (CTC)
+  Queue,           // q: submission queue (SDSC)
+  Class,           // c: job class, e.g. DSI/PIOFS (CTC)
+  User,            // u: submitting user
+  Script,          // s: LoadLeveler script (CTC)
+  Executable,      // e: executable name (ANL)
+  Arguments,       // a: executable arguments (ANL)
+  NetworkAdaptor,  // na: network adaptor (CTC)
+  Nodes,           // n: number of nodes requested
+};
+
+inline constexpr std::size_t kCharacteristicCount = 9;
+
+/// All characteristics in declaration order; convenient for iteration.
+constexpr std::array<Characteristic, kCharacteristicCount> all_characteristics() {
+  return {Characteristic::Type,   Characteristic::Queue,      Characteristic::Class,
+          Characteristic::User,   Characteristic::Script,     Characteristic::Executable,
+          Characteristic::Arguments, Characteristic::NetworkAdaptor, Characteristic::Nodes};
+}
+
+/// Paper abbreviation, e.g. "u" or "na".
+std::string_view characteristic_abbr(Characteristic c);
+
+/// Human-readable name, e.g. "user".
+std::string_view characteristic_name(Characteristic c);
+
+/// Parse an abbreviation; throws rtp::Error on unknown input.
+Characteristic characteristic_from_abbr(std::string_view abbr);
+
+/// Bit set of characteristics recorded by a trace (or used by a template).
+class FieldMask {
+ public:
+  constexpr FieldMask() = default;
+
+  constexpr FieldMask& set(Characteristic c) {
+    bits_ |= bit(c);
+    return *this;
+  }
+  constexpr FieldMask& clear(Characteristic c) {
+    bits_ &= ~bit(c);
+    return *this;
+  }
+  constexpr bool has(Characteristic c) const { return (bits_ & bit(c)) != 0; }
+  constexpr bool empty() const { return bits_ == 0; }
+  constexpr std::uint16_t raw() const { return bits_; }
+
+  /// True when every characteristic set here is also set in `other`.
+  constexpr bool subset_of(FieldMask other) const { return (bits_ & ~other.bits_) == 0; }
+
+  constexpr bool operator==(const FieldMask&) const = default;
+
+  /// Comma-separated abbreviations, e.g. "u,e,n".
+  std::string to_string() const;
+
+ private:
+  static constexpr std::uint16_t bit(Characteristic c) {
+    return static_cast<std::uint16_t>(1u << static_cast<unsigned>(c));
+  }
+  std::uint16_t bits_ = 0;
+};
+
+}  // namespace rtp

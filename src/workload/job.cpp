@@ -1,0 +1,22 @@
+#include "workload/job.hpp"
+
+#include "core/error.hpp"
+
+namespace rtp {
+
+const std::string& Job::field(Characteristic c) const {
+  switch (c) {
+    case Characteristic::Type: return type;
+    case Characteristic::Queue: return queue;
+    case Characteristic::Class: return job_class;
+    case Characteristic::User: return user;
+    case Characteristic::Script: return script;
+    case Characteristic::Executable: return executable;
+    case Characteristic::Arguments: return arguments;
+    case Characteristic::NetworkAdaptor: return network_adaptor;
+    case Characteristic::Nodes: break;
+  }
+  fail("Job::field: Nodes is numeric; read job.nodes instead");
+}
+
+}  // namespace rtp

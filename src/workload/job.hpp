@@ -1,0 +1,49 @@
+// The job record: one request submitted to a space-shared parallel machine.
+//
+// Field availability varies per trace (see FieldMask on Workload); an empty
+// string means "not recorded".  Times are simulation seconds from the start
+// of the trace.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/time.hpp"
+#include "workload/fields.hpp"
+
+namespace rtp {
+
+using JobId = std::uint32_t;
+
+inline constexpr JobId kInvalidJob = static_cast<JobId>(-1);
+
+struct Job {
+  JobId id = kInvalidJob;
+
+  // Categorical characteristics (paper Table 2, rows 1-8).
+  std::string type;             // t
+  std::string queue;            // q
+  std::string job_class;        // c
+  std::string user;             // u
+  std::string script;           // s
+  std::string executable;       // e
+  std::string arguments;        // a
+  std::string network_adaptor;  // na
+
+  int nodes = 1;                      // n: requested nodes, >= 1
+  Seconds max_runtime = kNoTime;      // user-supplied limit; kNoTime if absent
+  Seconds submit = 0.0;               // submission time
+  Seconds runtime = 0.0;              // actual wall-clock run time
+  Seconds trace_start = kNoTime;      // start recorded in the trace, if any
+
+  /// Work as the paper defines it for LWF: nodes x (estimated) run time.
+  double work() const { return static_cast<double>(nodes) * runtime; }
+
+  /// Value of a categorical characteristic; Nodes is not categorical and
+  /// must be read from `nodes` directly (throws).
+  const std::string& field(Characteristic c) const;
+
+  bool has_max_runtime() const { return max_runtime >= 0.0; }
+};
+
+}  // namespace rtp

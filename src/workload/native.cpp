@@ -1,0 +1,120 @@
+#include "workload/native.hpp"
+
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "core/error.hpp"
+#include "core/strings.hpp"
+
+namespace rtp {
+namespace {
+
+constexpr std::string_view kMagic = "# rtp-trace v1";
+constexpr std::size_t kColumnCount = 12;
+
+std::string encode(const std::string& field) { return field.empty() ? "-" : field; }
+std::string decode(std::string_view field) { return field == "-" ? std::string() : std::string(field); }
+
+}  // namespace
+
+Workload read_native(std::istream& in) {
+  std::string line;
+  std::size_t line_no = 0;
+
+  auto next_line = [&]() -> bool {
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (!trim(line).empty()) return true;
+    }
+    return false;
+  };
+
+  RTP_CHECK(next_line() && trim(line) == kMagic, "native trace must start with '# rtp-trace v1'");
+
+  std::string name;
+  int machine_nodes = 0;
+  FieldMask fields;
+  bool have_fields = false;
+
+  std::vector<Job> jobs;
+  while (next_line()) {
+    std::string_view sv = trim(line);
+    if (starts_with(sv, "#")) {
+      sv = trim(sv.substr(1));
+      auto colon = sv.find(':');
+      if (colon == std::string_view::npos) continue;
+      const std::string_view key = trim(sv.substr(0, colon));
+      const std::string_view value = trim(sv.substr(colon + 1));
+      if (key == "name") {
+        name = std::string(value);
+      } else if (key == "machine_nodes") {
+        machine_nodes = static_cast<int>(parse_int(value, "machine_nodes header"));
+      } else if (key == "fields") {
+        for (auto abbr : split(value, ','))
+          if (!trim(abbr).empty()) fields.set(characteristic_from_abbr(trim(abbr)));
+        have_fields = true;
+      }
+      continue;
+    }
+    const std::string ctx = "native trace line " + std::to_string(line_no);
+    const auto cols = split(sv, '\t');
+    RTP_CHECK(cols.size() == kColumnCount,
+              ctx + ": expected " + std::to_string(kColumnCount) + " columns, got " +
+                  std::to_string(cols.size()));
+    Job job;
+    job.submit = parse_double(cols[0], ctx);
+    job.runtime = parse_double(cols[1], ctx);
+    job.nodes = static_cast<int>(parse_int(cols[2], ctx));
+    job.max_runtime = cols[3] == "-" ? kNoTime : parse_double(cols[3], ctx);
+    job.type = decode(cols[4]);
+    job.queue = decode(cols[5]);
+    job.job_class = decode(cols[6]);
+    job.user = decode(cols[7]);
+    job.script = decode(cols[8]);
+    job.executable = decode(cols[9]);
+    job.arguments = decode(cols[10]);
+    job.network_adaptor = decode(cols[11]);
+    jobs.push_back(std::move(job));
+  }
+
+  RTP_CHECK(machine_nodes > 0, "native trace is missing the machine_nodes header");
+  RTP_CHECK(have_fields, "native trace is missing the fields header");
+  Workload workload(name, machine_nodes, fields);
+  for (Job& job : jobs) workload.add_job(std::move(job));
+  return workload;
+}
+
+Workload read_native_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("cannot open native trace '" + path + "'");
+  return read_native(in);
+}
+
+void write_native(std::ostream& out, const Workload& workload) {
+  // Full round-trip precision for times.
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << kMagic << "\n";
+  out << "# name: " << workload.name() << "\n";
+  out << "# machine_nodes: " << workload.machine_nodes() << "\n";
+  out << "# fields: " << workload.fields().to_string() << "\n";
+  for (const Job& j : workload.jobs()) {
+    out << j.submit << '\t' << j.runtime << '\t' << j.nodes << '\t';
+    if (j.has_max_runtime())
+      out << j.max_runtime;
+    else
+      out << '-';
+    out << '\t' << encode(j.type) << '\t' << encode(j.queue) << '\t' << encode(j.job_class)
+        << '\t' << encode(j.user) << '\t' << encode(j.script) << '\t' << encode(j.executable)
+        << '\t' << encode(j.arguments) << '\t' << encode(j.network_adaptor) << "\n";
+  }
+}
+
+void write_native_file(const std::string& path, const Workload& workload) {
+  std::ofstream out(path);
+  if (!out) fail("cannot create native trace '" + path + "'");
+  write_native(out, workload);
+}
+
+}  // namespace rtp

@@ -1,0 +1,32 @@
+// Native trace format: a tab-separated file preserving every Table 2 field.
+//
+// SWF cannot represent several characteristics the paper's predictors use
+// (type, class, script, arguments, network adaptor), so the repository has
+// its own lossless format:
+//
+//   # rtp-trace v1
+//   # name: ANL
+//   # machine_nodes: 80
+//   # fields: t,u,e,a,n
+//   submit <TAB> runtime <TAB> nodes <TAB> max_runtime <TAB> type <TAB>
+//   queue <TAB> class <TAB> user <TAB> script <TAB> executable <TAB>
+//   arguments <TAB> network_adaptor
+//
+// max_runtime is "-" when absent, as is any unrecorded string field.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/workload.hpp"
+
+namespace rtp {
+
+/// Parse; throws rtp::Error with a line number on malformed input.
+Workload read_native(std::istream& in);
+Workload read_native_file(const std::string& path);
+
+void write_native(std::ostream& out, const Workload& workload);
+void write_native_file(const std::string& path, const Workload& workload);
+
+}  // namespace rtp

@@ -1,0 +1,46 @@
+// Standard Workload Format (SWF) reader / writer.
+//
+// The paper's original ANL/CTC/SDSC traces are distributed today in SWF
+// (Feitelson's Parallel Workloads Archive).  This reader lets real archive
+// traces be dropped into every experiment in place of the synthetic
+// generators.  SWF records 18 whitespace-separated fields per line and `;`
+// comment lines; see https://www.cs.huji.ac.il/labs/parallel/workload/swf.html
+//
+// Field mapping into rtp::Job:
+//   1  job number        -> (re-numbered)
+//   2  submit time       -> submit
+//   4  run time          -> runtime
+//   8  requested procs   -> nodes  (falls back to field 5, used procs)
+//   9  requested time    -> max_runtime
+//   12 user id           -> user   ("u<id>")
+//   14 executable id     -> executable ("e<id>", -1 = absent)
+//   15 queue id          -> queue  ("q<id>", -1 = absent)
+//   3  wait time         -> trace_start = submit + wait
+// Jobs with unknown (-1) run time or node count are skipped; a count of
+// skipped jobs is reported through SwfReadResult.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/workload.hpp"
+
+namespace rtp {
+
+struct SwfReadResult {
+  Workload workload;
+  std::size_t skipped = 0;  // records dropped for missing runtime/nodes
+};
+
+/// Parse SWF text.  `machine_nodes` <= 0 reads the size from the
+/// "; MaxProcs:" header comment (error if absent).
+SwfReadResult read_swf(std::istream& in, const std::string& name, int machine_nodes = 0);
+
+/// Convenience: open and parse a file.
+SwfReadResult read_swf_file(const std::string& path, const std::string& name,
+                            int machine_nodes = 0);
+
+/// Write a workload as SWF (lossy: only SWF-representable fields survive).
+void write_swf(std::ostream& out, const Workload& workload);
+
+}  // namespace rtp

@@ -1,0 +1,53 @@
+#include "workload/transforms.hpp"
+
+#include <functional>
+
+#include "core/error.hpp"
+
+namespace rtp {
+namespace {
+
+Workload like(const Workload& src, const std::string& suffix) {
+  return Workload(src.name() + suffix, src.machine_nodes(), src.fields());
+}
+
+}  // namespace
+
+Workload compress_interarrival(const Workload& workload, double factor) {
+  RTP_CHECK(factor > 0.0, "compression factor must be positive");
+  Workload out = like(workload, "(x" + std::to_string(factor).substr(0, 4) + ")");
+  for (Job job : workload.jobs()) {
+    job.submit /= factor;
+    out.add_job(std::move(job));
+  }
+  return out;
+}
+
+Workload prefix(const Workload& workload, std::size_t count) {
+  Workload out = like(workload, "");
+  for (const Job& job : workload.jobs()) {
+    if (out.size() >= count) break;
+    out.add_job(job);
+  }
+  return out;
+}
+
+Workload filter(const Workload& workload, const std::function<bool(const Job&)>& keep) {
+  Workload out = like(workload, "");
+  for (const Job& job : workload.jobs())
+    if (keep(job)) out.add_job(job);
+  return out;
+}
+
+Workload rebase_time(const Workload& workload) {
+  Workload out = like(workload, "");
+  if (workload.empty()) return out;
+  const Seconds base = workload.jobs().front().submit;
+  for (Job job : workload.jobs()) {
+    job.submit -= base;
+    out.add_job(std::move(job));
+  }
+  return out;
+}
+
+}  // namespace rtp

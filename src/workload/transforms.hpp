@@ -1,0 +1,27 @@
+// Workload transforms used by the paper's experiments.
+//
+// Section 4 compresses the SDSC interarrival times by a factor of two to
+// raise the offered load; tests and quick runs additionally use prefixes.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "workload/workload.hpp"
+
+namespace rtp {
+
+/// Divide every interarrival gap by `factor` (> 0), multiplying the offered
+/// load by roughly `factor`.  Job run times and fields are unchanged.
+Workload compress_interarrival(const Workload& workload, double factor);
+
+/// First `count` jobs (by submit order); `count` >= workload size is a copy.
+Workload prefix(const Workload& workload, std::size_t count);
+
+/// Keep only jobs for which `keep` returns true; re-numbers ids.
+Workload filter(const Workload& workload, const std::function<bool(const Job&)>& keep);
+
+/// Shift all submit times so the first job arrives at t = 0.
+Workload rebase_time(const Workload& workload);
+
+}  // namespace rtp

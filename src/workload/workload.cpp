@@ -1,0 +1,74 @@
+#include "workload/workload.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "stats/summary.hpp"
+
+namespace rtp {
+
+void Workload::add_job(Job job) {
+  RTP_CHECK(machine_nodes_ > 0, "workload machine size must be set before adding jobs");
+  RTP_CHECK(job.nodes >= 1, "job must request at least one node");
+  RTP_CHECK(job.nodes <= machine_nodes_,
+            "job '" + std::to_string(jobs_.size()) + "' requests more nodes than the machine has");
+  RTP_CHECK(job.runtime >= 0.0, "job run time must be non-negative");
+  RTP_CHECK(job.submit >= 0.0, "job submit time must be non-negative");
+  if (!jobs_.empty())
+    RTP_CHECK(job.submit >= jobs_.back().submit,
+              "jobs must be added in submit order (use finalize() after transforms)");
+  job.id = static_cast<JobId>(jobs_.size());
+  jobs_.push_back(std::move(job));
+}
+
+void Workload::finalize() {
+  std::stable_sort(jobs_.begin(), jobs_.end(),
+                   [](const Job& a, const Job& b) { return a.submit < b.submit; });
+  for (std::size_t i = 0; i < jobs_.size(); ++i) jobs_[i].id = static_cast<JobId>(i);
+}
+
+void Workload::validate() const {
+  RTP_CHECK(machine_nodes_ > 0, "machine size must be positive");
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    const Job& j = jobs_[i];
+    RTP_CHECK(j.id == i, "job ids must be dense and ordered");
+    RTP_CHECK(j.nodes >= 1 && j.nodes <= machine_nodes_, "job node count out of range");
+    RTP_CHECK(j.runtime >= 0.0 && j.submit >= 0.0, "job times must be non-negative");
+    if (i > 0) RTP_CHECK(j.submit >= jobs_[i - 1].submit, "jobs out of submit order");
+    if (j.has_max_runtime())
+      RTP_CHECK(j.runtime <= j.max_runtime + 1e-6,
+                "job " + std::to_string(i) + " exceeds its max run time");
+  }
+}
+
+WorkloadStats compute_stats(const Workload& workload) {
+  WorkloadStats stats;
+  stats.job_count = workload.size();
+  if (workload.empty()) return stats;
+
+  RunningStats runtime, nodes, interarrival;
+  double total_work = 0.0;
+  Seconds last_end = 0.0;
+  std::size_t with_max = 0;
+  const auto& jobs = workload.jobs();
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const Job& j = jobs[i];
+    runtime.add(j.runtime);
+    nodes.add(j.nodes);
+    if (i > 0) interarrival.add(j.submit - jobs[i - 1].submit);
+    total_work += j.work();
+    last_end = std::max(last_end, j.submit + j.runtime);
+    if (j.has_max_runtime()) ++with_max;
+  }
+  stats.mean_runtime_minutes = to_minutes(runtime.mean());
+  stats.mean_nodes = nodes.mean();
+  stats.mean_interarrival_minutes = to_minutes(interarrival.mean());
+  stats.makespan = last_end;
+  if (last_end > 0.0)
+    stats.offered_load = total_work / (static_cast<double>(workload.machine_nodes()) * last_end);
+  stats.max_runtime_coverage =
+      static_cast<double>(with_max) / static_cast<double>(jobs.size());
+  return stats;
+}
+
+}  // namespace rtp

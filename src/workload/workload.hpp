@@ -1,0 +1,63 @@
+// A workload: a machine description plus a submit-ordered list of jobs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/job.hpp"
+
+namespace rtp {
+
+class Workload {
+ public:
+  Workload() = default;
+  Workload(std::string name, int machine_nodes, FieldMask fields)
+      : name_(std::move(name)), machine_nodes_(machine_nodes), fields_(fields) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Number of nodes on the simulated machine.
+  int machine_nodes() const { return machine_nodes_; }
+  void set_machine_nodes(int nodes) { machine_nodes_ = nodes; }
+
+  /// Characteristics this trace records (drives template feasibility).
+  FieldMask fields() const { return fields_; }
+  void set_fields(FieldMask fields) { fields_ = fields; }
+
+  const std::vector<Job>& jobs() const { return jobs_; }
+  std::size_t size() const { return jobs_.size(); }
+  bool empty() const { return jobs_.empty(); }
+  const Job& job(std::size_t index) const { return jobs_.at(index); }
+
+  /// Append a job; assigns its id and enforces submit-order and node bounds.
+  void add_job(Job job);
+
+  /// Re-sort by submit time and re-number ids (after transforms).
+  void finalize();
+
+  /// Validate invariants (ordering, node bounds, non-negative times).
+  /// Throws rtp::Error describing the first violation.
+  void validate() const;
+
+ private:
+  std::string name_;
+  int machine_nodes_ = 0;
+  FieldMask fields_;
+  std::vector<Job> jobs_;
+};
+
+/// Aggregate statistics used by Table 1 and the experiment reports.
+struct WorkloadStats {
+  std::size_t job_count = 0;
+  double mean_runtime_minutes = 0.0;
+  double mean_nodes = 0.0;
+  double mean_interarrival_minutes = 0.0;
+  Seconds makespan = 0.0;       // last completion assuming no queueing
+  double offered_load = 0.0;    // total work / (machine_nodes * span)
+  double max_runtime_coverage = 0.0;  // fraction of jobs with a max runtime
+};
+
+WorkloadStats compute_stats(const Workload& workload);
+
+}  // namespace rtp

@@ -1,0 +1,96 @@
+#include "core/args.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace rtp {
+namespace {
+
+ArgParser make(std::initializer_list<const char*> argv_tail) {
+  static std::vector<const char*> argv;  // keep storage alive per call
+  argv.clear();
+  argv.push_back("prog");
+  for (const char* a : argv_tail) argv.push_back(a);
+  return ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, DefaultsApplyWhenUnset) {
+  ArgParser args = make({});
+  args.add_option("scale", "h", "0.5");
+  args.add_flag("csv", "h");
+  ASSERT_TRUE(args.parse());
+  EXPECT_DOUBLE_EQ(args.real("scale"), 0.5);
+  EXPECT_FALSE(args.flag("csv"));
+}
+
+TEST(Args, SpaceSeparatedValue) {
+  ArgParser args = make({"--scale", "0.25"});
+  args.add_option("scale", "h", "1.0");
+  ASSERT_TRUE(args.parse());
+  EXPECT_DOUBLE_EQ(args.real("scale"), 0.25);
+}
+
+TEST(Args, EqualsSeparatedValue) {
+  ArgParser args = make({"--scale=2"});
+  args.add_option("scale", "h", "1.0");
+  ASSERT_TRUE(args.parse());
+  EXPECT_EQ(args.integer("scale"), 2);
+}
+
+TEST(Args, FlagForms) {
+  ArgParser args = make({"--csv", "--debug=false"});
+  args.add_flag("csv", "h");
+  args.add_flag("debug", "h");
+  ASSERT_TRUE(args.parse());
+  EXPECT_TRUE(args.flag("csv"));
+  EXPECT_FALSE(args.flag("debug"));
+}
+
+TEST(Args, PositionalArguments) {
+  ArgParser args = make({"one", "--csv", "two"});
+  args.add_flag("csv", "h");
+  ASSERT_TRUE(args.parse());
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "one");
+  EXPECT_EQ(args.positional()[1], "two");
+}
+
+TEST(Args, UnknownOptionThrows) {
+  ArgParser args = make({"--nope"});
+  ASSERT_THROW(args.parse(), Error);
+}
+
+TEST(Args, MissingValueThrows) {
+  ArgParser args = make({"--scale"});
+  args.add_option("scale", "h", "1");
+  EXPECT_THROW(args.parse(), Error);
+}
+
+TEST(Args, HelpReturnsFalse) {
+  ArgParser args = make({"--help"});
+  args.add_option("scale", "h", "1");
+  EXPECT_FALSE(args.parse());
+}
+
+TEST(Args, DuplicateDeclarationThrows) {
+  ArgParser args = make({});
+  args.add_option("scale", "h", "1");
+  EXPECT_THROW(args.add_flag("scale", "h"), Error);
+}
+
+TEST(Args, UndeclaredLookupThrows) {
+  ArgParser args = make({});
+  ASSERT_TRUE(args.parse());
+  EXPECT_THROW(args.str("never"), Error);
+}
+
+TEST(Args, MalformedNumberThrows) {
+  ArgParser args = make({"--scale", "abc"});
+  args.add_option("scale", "h", "1");
+  ASSERT_TRUE(args.parse());
+  EXPECT_THROW(args.real("scale"), Error);
+}
+
+}  // namespace
+}  // namespace rtp

@@ -1,0 +1,93 @@
+#include "core/strings.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace rtp {
+namespace {
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("\t a b \n"), "a b");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Trim, EmptyAndAllWhitespace) {
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   \t\n "), "");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, SingleFieldWithoutDelimiter) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(SplitWhitespace, DropsEmptyRuns) {
+  const auto parts = split_whitespace("  a \t b\n c  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitWhitespace, EmptyInput) {
+  EXPECT_TRUE(split_whitespace("").empty());
+  EXPECT_TRUE(split_whitespace(" \t ").empty());
+}
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_TRUE(starts_with("foo", ""));
+  EXPECT_FALSE(starts_with("fo", "foo"));
+  EXPECT_FALSE(starts_with("xfoo", "foo"));
+}
+
+TEST(ToLower, AsciiOnly) { EXPECT_EQ(to_lower("AbC-12"), "abc-12"); }
+
+TEST(ParseDouble, ValidInputs) {
+  EXPECT_DOUBLE_EQ(parse_double("3.5", "ctx"), 3.5);
+  EXPECT_DOUBLE_EQ(parse_double(" -2 ", "ctx"), -2.0);
+  EXPECT_DOUBLE_EQ(parse_double("1e3", "ctx"), 1000.0);
+}
+
+TEST(ParseDouble, RejectsGarbage) {
+  EXPECT_THROW(parse_double("abc", "ctx"), Error);
+  EXPECT_THROW(parse_double("1.5x", "ctx"), Error);
+  EXPECT_THROW(parse_double("", "ctx"), Error);
+}
+
+TEST(ParseDouble, ErrorMentionsContext) {
+  try {
+    parse_double("bad", "the context");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("the context"), std::string::npos);
+  }
+}
+
+TEST(ParseInt, ValidAndInvalid) {
+  EXPECT_EQ(parse_int("42", "ctx"), 42);
+  EXPECT_EQ(parse_int("-7", "ctx"), -7);
+  EXPECT_THROW(parse_int("4.2", "ctx"), Error);
+  EXPECT_THROW(parse_int("", "ctx"), Error);
+}
+
+TEST(FormatDouble, Decimals) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+  EXPECT_EQ(format_double(-1.005, 1), "-1.0");
+}
+
+}  // namespace
+}  // namespace rtp

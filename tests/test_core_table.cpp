@@ -1,0 +1,62 @@
+#include "core/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace rtp {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  TablePrinter t({"A", "Long header"});
+  t.add_row({"xxxx", "y"});
+  std::ostringstream out;
+  t.print(out);
+  const std::string text = out.str();
+  // Both rows must contain the second column starting at the same offset.
+  const auto lines_start = text.find("A");
+  ASSERT_NE(lines_start, std::string::npos);
+  std::istringstream lines(text);
+  std::string header, sep, row;
+  std::getline(lines, header);
+  std::getline(lines, sep);
+  std::getline(lines, row);
+  EXPECT_EQ(header.find("Long header"), row.find("y"));
+  EXPECT_GE(sep.size(), header.size() - 1);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  TablePrinter t({"A", "B"});
+  EXPECT_THROW(t.add_row({"only one"}), Error);
+}
+
+TEST(Table, EmptyHeaderThrows) { EXPECT_THROW(TablePrinter({}), Error); }
+
+TEST(Table, RowCount) {
+  TablePrinter t({"A"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, CsvOutput) {
+  TablePrinter t({"a", "b"});
+  t.add_row({"1", "x,y"});
+  std::ostringstream out;
+  t.print_csv(out);
+  EXPECT_EQ(out.str(), "a,b\n1,\"x,y\"\n");
+}
+
+TEST(CsvEscape, PlainFieldUnchanged) { EXPECT_EQ(csv_escape("plain"), "plain"); }
+
+TEST(CsvEscape, QuotesCommasAndNewlines) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("two\nlines"), "\"two\nlines\"");
+}
+
+}  // namespace
+}  // namespace rtp

@@ -1,0 +1,31 @@
+#include "core/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtp {
+namespace {
+
+TEST(Time, Conversions) {
+  EXPECT_DOUBLE_EQ(minutes(2), 120.0);
+  EXPECT_DOUBLE_EQ(hours(1), 3600.0);
+  EXPECT_DOUBLE_EQ(days(1), 86400.0);
+  EXPECT_DOUBLE_EQ(to_minutes(minutes(7.5)), 7.5);
+  EXPECT_DOUBLE_EQ(to_hours(hours(3)), 3.0);
+  EXPECT_DOUBLE_EQ(to_days(days(0.5)), 0.5);
+}
+
+TEST(Time, TimeEqTolerance) {
+  EXPECT_TRUE(time_eq(1.0, 1.0 + 1e-4));
+  EXPECT_FALSE(time_eq(1.0, 1.01));
+}
+
+TEST(FormatDuration, Styles) {
+  EXPECT_EQ(format_duration(seconds(42)), "42s");
+  EXPECT_EQ(format_duration(minutes(2) + 3), "2m03s");
+  EXPECT_EQ(format_duration(hours(1) + minutes(5)), "1h05m");
+  EXPECT_EQ(format_duration(days(2) + hours(3) + minutes(4)), "2d03h04m");
+  EXPECT_EQ(format_duration(-1.0), "n/a");
+}
+
+}  // namespace
+}  // namespace rtp

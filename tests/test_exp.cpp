@@ -1,0 +1,119 @@
+#include "exp/experiments.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/synthetic.hpp"
+
+namespace rtp {
+namespace {
+
+std::vector<Workload> tiny_workloads() {
+  std::vector<Workload> out;
+  out.push_back(generate_synthetic(anl_config(0.02)));
+  out.push_back(generate_synthetic(sdsc95_config(0.01)));
+  return out;
+}
+
+TEST(Experiments, WaitTableShapes) {
+  const auto rows = wait_prediction_table(tiny_workloads(),
+                                          wait_prediction_policies(/*include_fcfs=*/true),
+                                          PredictorKind::Actual);
+  ASSERT_EQ(rows.size(), 6u);  // 2 workloads x 3 policies
+  EXPECT_EQ(rows[0].workload, "ANL");
+  EXPECT_EQ(rows[0].algorithm, "FCFS");
+  EXPECT_EQ(rows[2].algorithm, "Backfill");
+  for (const auto& r : rows) EXPECT_GE(r.mean_error_minutes, 0.0);
+}
+
+TEST(Experiments, Table4OmitsFcfs) {
+  const auto policies = wait_prediction_policies(/*include_fcfs=*/false);
+  ASSERT_EQ(policies.size(), 2u);
+  EXPECT_EQ(policies[0], PolicyKind::Lwf);
+  EXPECT_EQ(policies[1], PolicyKind::BackfillConservative);
+}
+
+TEST(Experiments, SchedulingTableShapes) {
+  const auto rows =
+      scheduling_table(tiny_workloads(), scheduling_policies(), PredictorKind::MaxRuntime);
+  ASSERT_EQ(rows.size(), 4u);
+  for (const auto& r : rows) {
+    EXPECT_GT(r.utilization_percent, 0.0);
+    EXPECT_LE(r.utilization_percent, 100.0);
+    EXPECT_GE(r.mean_wait_minutes, 0.0);
+    EXPECT_GT(r.runtime_error_minutes, 0.0);  // max runtimes are never exact
+  }
+}
+
+TEST(Experiments, OracleSchedulingHasZeroRuntimeError) {
+  const auto rows =
+      scheduling_table(tiny_workloads(), scheduling_policies(), PredictorKind::Actual);
+  for (const auto& r : rows) EXPECT_NEAR(r.runtime_error_minutes, 0.0, 1e-9);
+}
+
+TEST(Experiments, UtilizationInsensitiveToPredictor) {
+  // The paper: "the accuracy of the run-time predictions has a minimal
+  // effect on the utilization of the systems we are simulating."
+  const Workload w = generate_synthetic(anl_config(0.05));
+  const std::vector<Workload> ws{w};
+  const auto oracle = scheduling_table(ws, scheduling_policies(), PredictorKind::Actual);
+  const auto maxrt = scheduling_table(ws, scheduling_policies(), PredictorKind::MaxRuntime);
+  const auto stf = scheduling_table(ws, scheduling_policies(), PredictorKind::Stf);
+  for (std::size_t i = 0; i < oracle.size(); ++i) {
+    EXPECT_NEAR(maxrt[i].utilization_percent, oracle[i].utilization_percent,
+                0.05 * oracle[i].utilization_percent);
+    EXPECT_NEAR(stf[i].utilization_percent, oracle[i].utilization_percent,
+                0.05 * oracle[i].utilization_percent);
+  }
+}
+
+TEST(Experiments, StfSourceFixedSetWins) {
+  const Workload w = generate_synthetic(anl_config(0.02));
+  StfSource source;
+  TemplateSet fixed;
+  fixed.templates.emplace_back();
+  source.fixed = fixed;
+  const TemplateSet resolved = resolve_stf_templates(w, PolicyKind::Lwf, source);
+  EXPECT_EQ(resolved, fixed);
+}
+
+TEST(Experiments, StfSourceDefaultUsesWorkloadFields) {
+  const Workload w = generate_synthetic(sdsc95_config(0.01));
+  const TemplateSet resolved = resolve_stf_templates(w, PolicyKind::Lwf, StfSource{});
+  EXPECT_FALSE(resolved.templates.empty());
+  for (const Template& t : resolved.templates)
+    EXPECT_TRUE(t.feasible_for(w.fields(), false));
+}
+
+TEST(Experiments, StfSourceGaSearches) {
+  const Workload w = generate_synthetic(anl_config(0.015));
+  StfSource source;
+  GaOptions ga;
+  ga.population = 8;
+  ga.generations = 3;
+  source.ga = ga;
+  const TemplateSet resolved = resolve_stf_templates(w, PolicyKind::Lwf, source);
+  EXPECT_FALSE(resolved.templates.empty());
+  EXPECT_LE(resolved.templates.size(), 10u);
+}
+
+TEST(Experiments, PredictorKindRoundTrip) {
+  for (PredictorKind kind :
+       {PredictorKind::Actual, PredictorKind::MaxRuntime, PredictorKind::Stf,
+        PredictorKind::Gibbons, PredictorKind::DowneyAverage, PredictorKind::DowneyMedian})
+    EXPECT_EQ(predictor_kind_from_string(to_string(kind)), kind);
+  EXPECT_THROW(predictor_kind_from_string("bogus"), Error);
+}
+
+TEST(Experiments, MakeEstimatorForEveryKind) {
+  const Workload w = generate_synthetic(ctc_config(0.01));
+  for (PredictorKind kind :
+       {PredictorKind::Actual, PredictorKind::MaxRuntime, PredictorKind::Stf,
+        PredictorKind::Gibbons, PredictorKind::DowneyAverage, PredictorKind::DowneyMedian}) {
+    auto est = make_runtime_estimator(kind, w);
+    ASSERT_NE(est, nullptr);
+    EXPECT_EQ(est->name(), to_string(kind));
+  }
+}
+
+}  // namespace
+}  // namespace rtp

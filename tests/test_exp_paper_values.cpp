@@ -1,0 +1,116 @@
+#include "exp/paper_values.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtp {
+namespace {
+
+TEST(PaperValues, TableNumbers) {
+  EXPECT_EQ(paper_wait_table_number(PredictorKind::Actual), 4);
+  EXPECT_EQ(paper_wait_table_number(PredictorKind::MaxRuntime), 5);
+  EXPECT_EQ(paper_wait_table_number(PredictorKind::Stf), 6);
+  EXPECT_EQ(paper_sched_table_number(PredictorKind::Actual), 10);
+  EXPECT_EQ(paper_sched_table_number(PredictorKind::DowneyMedian), 15);
+}
+
+TEST(PaperValues, Table4HasNoFcfsRows) {
+  for (const PaperWaitRow& row : paper_wait_table(PredictorKind::Actual))
+    EXPECT_NE(row.policy, PolicyKind::Fcfs);
+  EXPECT_EQ(paper_wait_table(PredictorKind::Actual).size(), 8u);
+}
+
+TEST(PaperValues, OtherWaitTablesHaveTwelveRows) {
+  for (PredictorKind kind : {PredictorKind::MaxRuntime, PredictorKind::Stf,
+                             PredictorKind::Gibbons, PredictorKind::DowneyAverage,
+                             PredictorKind::DowneyMedian})
+    EXPECT_EQ(paper_wait_table(kind).size(), 12u) << to_string(kind);
+}
+
+TEST(PaperValues, SchedTablesHaveEightRows) {
+  for (PredictorKind kind : {PredictorKind::Actual, PredictorKind::MaxRuntime,
+                             PredictorKind::Stf, PredictorKind::Gibbons,
+                             PredictorKind::DowneyAverage, PredictorKind::DowneyMedian})
+    EXPECT_EQ(paper_sched_table(kind).size(), 8u) << to_string(kind);
+}
+
+TEST(PaperValues, CellLookup) {
+  const auto cell =
+      paper_wait_cell(PredictorKind::Stf, "ANL", PolicyKind::BackfillConservative);
+  ASSERT_TRUE(cell.has_value());
+  EXPECT_DOUBLE_EQ(cell->mean_error_minutes, 75.55);
+  EXPECT_DOUBLE_EQ(cell->percent_of_mean_wait, 43);
+  EXPECT_FALSE(paper_wait_cell(PredictorKind::Actual, "ANL", PolicyKind::Fcfs).has_value());
+  EXPECT_FALSE(paper_wait_cell(PredictorKind::Stf, "NOPE", PolicyKind::Lwf).has_value());
+}
+
+// --- Shape assertions on the paper's own data (they document the claims
+// --- the reproduction must preserve).
+
+TEST(PaperShape, OracleBeatsMaxRuntimesForWaitPrediction) {
+  for (const PaperWaitRow& oracle : paper_wait_table(PredictorKind::Actual)) {
+    const auto maxrt =
+        paper_wait_cell(PredictorKind::MaxRuntime, oracle.workload, oracle.policy);
+    ASSERT_TRUE(maxrt.has_value());
+    EXPECT_LT(oracle.mean_error_minutes, maxrt->mean_error_minutes);
+  }
+}
+
+TEST(PaperShape, StfBeatsMaxGibbonsAndDowneyForWaitPrediction) {
+  for (const PaperWaitRow& stf : paper_wait_table(PredictorKind::Stf)) {
+    for (PredictorKind other : {PredictorKind::MaxRuntime, PredictorKind::Gibbons,
+                                PredictorKind::DowneyAverage, PredictorKind::DowneyMedian}) {
+      const auto cell = paper_wait_cell(other, stf.workload, stf.policy);
+      ASSERT_TRUE(cell.has_value());
+      EXPECT_LT(stf.mean_error_minutes, cell->mean_error_minutes)
+          << stf.workload << "/" << to_string(stf.policy) << " vs " << to_string(other);
+    }
+  }
+}
+
+TEST(PaperShape, LwfWaitsBelowBackfillInEverySchedTable) {
+  for (PredictorKind kind : {PredictorKind::Actual, PredictorKind::MaxRuntime,
+                             PredictorKind::Stf, PredictorKind::Gibbons,
+                             PredictorKind::DowneyAverage, PredictorKind::DowneyMedian}) {
+    for (const char* workload : {"ANL", "CTC", "SDSC95", "SDSC96"}) {
+      const auto lwf = paper_sched_cell(kind, workload, PolicyKind::Lwf);
+      const auto bf = paper_sched_cell(kind, workload, PolicyKind::BackfillConservative);
+      ASSERT_TRUE(lwf && bf);
+      EXPECT_LE(lwf->mean_wait_minutes, bf->mean_wait_minutes)
+          << to_string(kind) << "/" << workload;
+    }
+  }
+}
+
+TEST(PaperShape, UtilizationPredictorInvariant) {
+  // Across predictors, the paper's utilization for a workload varies < 2%.
+  for (const char* workload : {"ANL", "CTC", "SDSC95", "SDSC96"}) {
+    double lo = 1e9, hi = 0;
+    for (PredictorKind kind : {PredictorKind::Actual, PredictorKind::MaxRuntime,
+                               PredictorKind::Stf, PredictorKind::Gibbons,
+                               PredictorKind::DowneyAverage, PredictorKind::DowneyMedian}) {
+      for (PolicyKind policy : {PolicyKind::Lwf, PolicyKind::BackfillConservative}) {
+        const auto cell = paper_sched_cell(kind, workload, policy);
+        ASSERT_TRUE(cell.has_value());
+        lo = std::min(lo, cell->utilization_percent);
+        hi = std::max(hi, cell->utilization_percent);
+      }
+    }
+    EXPECT_LT(hi - lo, 2.0) << workload;
+  }
+}
+
+TEST(PaperShape, AnlHasTheHighestLoadAndWaits) {
+  for (PredictorKind kind : {PredictorKind::Actual, PredictorKind::Stf}) {
+    const auto anl = paper_sched_cell(kind, "ANL", PolicyKind::BackfillConservative);
+    ASSERT_TRUE(anl.has_value());
+    for (const char* other : {"CTC", "SDSC95", "SDSC96"}) {
+      const auto cell = paper_sched_cell(kind, other, PolicyKind::BackfillConservative);
+      ASSERT_TRUE(cell.has_value());
+      EXPECT_GT(anl->mean_wait_minutes, cell->mean_wait_minutes);
+      EXPECT_GT(anl->utilization_percent, cell->utilization_percent);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rtp

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "meta/coallocation.hpp"
+#include "meta/selector.hpp"
+#include "predict/simple.hpp"
+
+namespace rtp {
+namespace {
+
+/// Owns the jobs referenced by the sites' states.
+struct Federation {
+  std::vector<std::unique_ptr<Job>> jobs;
+  std::vector<std::unique_ptr<Site>> sites;
+  JobId next_id = 1000;
+
+  Site& add_site(const std::string& name, int machine) {
+    sites.push_back(std::make_unique<Site>(name, SystemState(machine),
+                                           std::make_unique<FcfsPolicy>(),
+                                           std::make_unique<ActualRuntimePredictor>()));
+    return *sites.back();
+  }
+
+  const Job& make_job(int nodes, Seconds runtime) {
+    jobs.push_back(std::make_unique<Job>());
+    Job& j = *jobs.back();
+    j.id = next_id++;
+    j.nodes = nodes;
+    j.runtime = runtime;
+    return j;
+  }
+
+  void run_on(Site& site, int nodes, Seconds start, Seconds runtime) {
+    const Job& j = make_job(nodes, runtime);
+    site.mutable_state().enqueue(j, start, runtime);
+    site.mutable_state().start_job(j.id, start);
+  }
+
+  void queue_on(Site& site, int nodes, Seconds submit, Seconds runtime) {
+    const Job& j = make_job(nodes, runtime);
+    site.mutable_state().enqueue(j, submit, runtime);
+  }
+};
+
+TEST(Selector, PrefersIdleSite) {
+  Federation fed;
+  Site& busy = fed.add_site("busy", 16);
+  fed.add_site("idle", 16);
+  fed.run_on(busy, 16, 0.0, 5000.0);
+
+  const Job& candidate = fed.make_job(8, 600.0);
+  SiteSelector selector;
+  const auto estimates = selector.evaluate(fed.sites, candidate, 10.0);
+  ASSERT_EQ(estimates.size(), 2u);
+  EXPECT_EQ(estimates.front().site, "idle");
+  EXPECT_DOUBLE_EQ(estimates.front().predicted_wait, 0.0);
+  EXPECT_GT(estimates.back().predicted_wait, 0.0);
+  EXPECT_EQ(selector.select(fed.sites, candidate, 10.0)->name(), "idle");
+}
+
+TEST(Selector, InfeasibleSitesRankLast) {
+  Federation fed;
+  fed.add_site("small", 4);
+  Site& big = fed.add_site("big", 64);
+  fed.run_on(big, 64, 0.0, 1000.0);
+
+  const Job& candidate = fed.make_job(32, 100.0);
+  SiteSelector selector;
+  const auto estimates = selector.evaluate(fed.sites, candidate, 1.0);
+  EXPECT_EQ(estimates.front().site, "big");  // only feasible option
+  EXPECT_FALSE(estimates.back().feasible);
+}
+
+TEST(Selector, NoFeasibleSiteReturnsNull) {
+  Federation fed;
+  fed.add_site("tiny", 2);
+  const Job& candidate = fed.make_job(8, 100.0);
+  EXPECT_EQ(SiteSelector().select(fed.sites, candidate, 0.0), nullptr);
+}
+
+TEST(Selector, TurnaroundTradesWaitAgainstRuntime) {
+  // "fast" is idle; "slow"... both idle, identical — but give the slow
+  // site's predictor a different view by using a constant predictor.
+  Federation fed;
+  Site& idle_far = fed.add_site("far", 16);
+  (void)idle_far;
+  Site& busy_near = fed.add_site("near", 16);
+  // near is busy for 100 s, then free; far is idle but (by its own
+  // predictor: actual) the job runs the same everywhere.  With wait 100 vs
+  // 0, far wins on turnaround.
+  fed.run_on(busy_near, 16, 0.0, 100.0);
+  const Job& candidate = fed.make_job(4, 50.0);
+  const auto estimates = SiteSelector().evaluate(fed.sites, candidate, 1.0);
+  EXPECT_EQ(estimates.front().site, "far");
+}
+
+TEST(Selector, RiskAverseUsesPessimisticBand) {
+  SelectorOptions options;
+  options.risk_averse = true;
+  Federation fed;
+  Site& a = fed.add_site("a", 16);
+  fed.add_site("b", 16);
+  fed.run_on(a, 16, 0.0, 60.0);  // short wait, but pessimistic doubles it
+  const Job& candidate = fed.make_job(4, 30.0);
+  const auto estimates = SiteSelector(options).evaluate(fed.sites, candidate, 1.0);
+  EXPECT_EQ(estimates.front().site, "b");
+}
+
+TEST(Selector, RejectsIdCollision) {
+  Federation fed;
+  Site& s = fed.add_site("s", 8);
+  fed.run_on(s, 4, 0.0, 100.0);
+  // Reuse the running job's id for the candidate.
+  Job clash = *fed.jobs.front();
+  EXPECT_THROW(SiteSelector().evaluate(fed.sites, clash, 1.0), Error);
+}
+
+TEST(Coallocation, ImmediateWhenAllIdle) {
+  Federation fed;
+  fed.add_site("a", 16);
+  fed.add_site("b", 32);
+  CoallocationRequest request;
+  request.components = {{0, 8}, {1, 16}};
+  request.duration = 600.0;
+  const CoallocationPlan plan = plan_coallocation(fed.sites, request, 50.0);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_DOUBLE_EQ(plan.start, 50.0);
+}
+
+TEST(Coallocation, WaitsForTheSlowestSite) {
+  Federation fed;
+  Site& a = fed.add_site("a", 16);
+  Site& b = fed.add_site("b", 16);
+  fed.run_on(a, 16, 0.0, 300.0);   // a frees at 300
+  fed.run_on(b, 16, 0.0, 1000.0);  // b frees at 1000
+  CoallocationRequest request;
+  request.components = {{0, 8}, {1, 8}};
+  request.duration = 100.0;
+  const CoallocationPlan plan = plan_coallocation(fed.sites, request, 10.0);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_NEAR(plan.start, 1000.0, 1.0);
+  ASSERT_EQ(plan.solo_starts.size(), 2u);
+  EXPECT_NEAR(plan.solo_starts[0], 300.0, 1.0);
+  EXPECT_NEAR(plan.solo_starts[1], 1000.0, 1.0);
+}
+
+TEST(Coallocation, AccountsForQueuedJobs) {
+  Federation fed;
+  Site& a = fed.add_site("a", 8);
+  fed.add_site("b", 8);
+  fed.run_on(a, 8, 0.0, 100.0);
+  fed.queue_on(a, 8, 1.0, 500.0);  // holds a's reservation [100, 600)
+  CoallocationRequest request;
+  request.components = {{0, 8}, {1, 8}};
+  request.duration = 50.0;
+  const CoallocationPlan plan = plan_coallocation(fed.sites, request, 5.0);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_NEAR(plan.start, 600.0, 1.0);
+}
+
+TEST(Coallocation, SynchronizationGapFindsCommonHole) {
+  // a has a hole [100, 200); b has a hole [150, 400).  A 50-second
+  // 2-component request fits at 150 on both.
+  Federation fed;
+  Site& a = fed.add_site("a", 8);
+  Site& b = fed.add_site("b", 8);
+  fed.run_on(a, 8, 0.0, 100.0);
+  fed.queue_on(a, 8, 1.0, 500.0);  // a busy again [200... wait: reservation at 100
+  // Rework: a runs 8 nodes until 100; queued 8-node job reserved [100,600).
+  // Give b one running job until 150.
+  fed.run_on(b, 8, 0.0, 150.0);
+  CoallocationRequest request;
+  request.components = {{0, 4}, {1, 4}};
+  request.duration = 50.0;
+  // a's queued job occupies all 8 nodes [100,600): 4 nodes free only at
+  // 600.  b free from 150.  Common start: 600.
+  const CoallocationPlan plan = plan_coallocation(fed.sites, request, 5.0);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_NEAR(plan.start, 600.0, 1.0);
+}
+
+TEST(Coallocation, InfeasibleComponent) {
+  Federation fed;
+  fed.add_site("small", 4);
+  CoallocationRequest request;
+  request.components = {{0, 8}};
+  request.duration = 100.0;
+  const CoallocationPlan plan = plan_coallocation(fed.sites, request, 0.0);
+  EXPECT_FALSE(plan.feasible);
+}
+
+TEST(Coallocation, RejectsBadRequests) {
+  Federation fed;
+  fed.add_site("a", 8);
+  CoallocationRequest empty;
+  empty.duration = 10.0;
+  EXPECT_THROW(plan_coallocation(fed.sites, empty, 0.0), Error);
+  CoallocationRequest zero;
+  zero.components = {{0, 2}};
+  zero.duration = 0.0;
+  EXPECT_THROW(plan_coallocation(fed.sites, zero, 0.0), Error);
+  CoallocationRequest unknown;
+  unknown.components = {{5, 2}};
+  unknown.duration = 10.0;
+  EXPECT_THROW(plan_coallocation(fed.sites, unknown, 0.0), Error);
+}
+
+}  // namespace
+}  // namespace rtp

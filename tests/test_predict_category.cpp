@@ -1,0 +1,127 @@
+#include "predict/category.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/ci.hpp"
+
+namespace rtp {
+namespace {
+
+DataPoint point(double value, double runtime = -1, double nodes = 1) {
+  DataPoint p;
+  p.value = value;
+  p.runtime = runtime < 0 ? value : runtime;
+  p.nodes = nodes;
+  return p;
+}
+
+TEST(Category, NeedsTwoPointsForMean) {
+  Category c;
+  c.insert(point(100), 0);
+  EXPECT_FALSE(c.estimate(EstimatorKind::Mean, 1, 0, false).valid);
+  c.insert(point(200), 0);
+  const auto est = c.estimate(EstimatorKind::Mean, 1, 0, false);
+  ASSERT_TRUE(est.valid);
+  EXPECT_DOUBLE_EQ(est.value, 150.0);
+  EXPECT_EQ(est.count, 2u);
+}
+
+TEST(Category, MeanCiMatchesFormula) {
+  Category c;
+  for (double v : {90.0, 100.0, 110.0, 100.0}) c.insert(point(v), 0);
+  const auto est = c.estimate(EstimatorKind::Mean, 1, 0, false);
+  ASSERT_TRUE(est.valid);
+  // sample stddev of {90,100,110,100} = sqrt(200/3)
+  const double sd = std::sqrt(200.0 / 3.0);
+  EXPECT_NEAR(est.ci_halfwidth, prediction_interval_halfwidth(4, sd, 0.10), 1e-9);
+}
+
+TEST(Category, MaxHistoryEvictsOldest) {
+  Category c;
+  for (double v : {10.0, 20.0, 30.0, 40.0}) c.insert(point(v), 2);
+  EXPECT_EQ(c.size(), 2u);
+  const auto est = c.estimate(EstimatorKind::Mean, 1, 0, false);
+  EXPECT_DOUBLE_EQ(est.value, 35.0);  // only {30, 40} remain
+}
+
+TEST(Category, UnlimitedHistoryKeepsAll) {
+  Category c;
+  for (int i = 0; i < 100; ++i) c.insert(point(i), 0);
+  EXPECT_EQ(c.size(), 100u);
+}
+
+TEST(Category, EvictionKeepsMomentsConsistent) {
+  Category bounded, fresh;
+  // Push values through a window of 3; the bounded category's fast mean
+  // must equal a fresh category fed only the surviving values.
+  for (double v : {5.0, 7.0, 100.0, 9.0, 11.0}) bounded.insert(point(v), 3);
+  for (double v : {100.0, 9.0, 11.0}) fresh.insert(point(v), 0);
+  const auto a = bounded.estimate(EstimatorKind::Mean, 1, 0, false);
+  const auto b = fresh.estimate(EstimatorKind::Mean, 1, 0, false);
+  ASSERT_TRUE(a.valid && b.valid);
+  EXPECT_NEAR(a.value, b.value, 1e-9);
+  EXPECT_NEAR(a.ci_halfwidth, b.ci_halfwidth, 1e-9);
+}
+
+TEST(Category, AgeConditioningFiltersShortRuns) {
+  Category c;
+  c.insert(point(50, 50), 0);
+  c.insert(point(100, 100), 0);
+  c.insert(point(500, 500), 0);
+  c.insert(point(600, 600), 0);
+  // A job that has run 200s: only the 500 and 600 points qualify.
+  const auto est = c.estimate(EstimatorKind::Mean, 1, 200.0, true);
+  ASSERT_TRUE(est.valid);
+  EXPECT_DOUBLE_EQ(est.value, 550.0);
+  EXPECT_EQ(est.count, 2u);
+}
+
+TEST(Category, AgeConditioningCanInvalidate) {
+  Category c;
+  c.insert(point(50, 50), 0);
+  c.insert(point(60, 60), 0);
+  EXPECT_FALSE(c.estimate(EstimatorKind::Mean, 1, 500.0, true).valid);
+}
+
+TEST(Category, ConditioningIgnoredWhenDisabled) {
+  Category c;
+  c.insert(point(50, 50), 0);
+  c.insert(point(100, 100), 0);
+  const auto est = c.estimate(EstimatorKind::Mean, 1, 75.0, false);
+  ASSERT_TRUE(est.valid);
+  EXPECT_DOUBLE_EQ(est.value, 75.0);
+}
+
+TEST(Category, LinearRegressionOnNodes) {
+  Category c;
+  // runtime = 10 * nodes.
+  for (double n : {1.0, 2.0, 4.0, 8.0}) c.insert(point(10 * n, 10 * n, n), 0);
+  const auto est = c.estimate(EstimatorKind::LinearRegression, 6.0, 0, false);
+  ASSERT_TRUE(est.valid);
+  EXPECT_NEAR(est.value, 60.0, 1e-9);
+}
+
+TEST(Category, RegressionNeedsThreePoints) {
+  Category c;
+  c.insert(point(10, 10, 1), 0);
+  c.insert(point(20, 20, 2), 0);
+  EXPECT_FALSE(c.estimate(EstimatorKind::LinearRegression, 3, 0, false).valid);
+}
+
+TEST(Category, RegressionInvalidWithIdenticalNodes) {
+  Category c;
+  for (double v : {10.0, 20.0, 30.0}) c.insert(point(v, v, 4), 0);
+  EXPECT_FALSE(c.estimate(EstimatorKind::LogRegression, 4, 0, false).valid);
+}
+
+TEST(Category, InverseRegressionShape) {
+  Category c;
+  // runtime = 100 + 60 / nodes (strong scaling).
+  for (double n : {1.0, 2.0, 3.0, 6.0}) c.insert(point(100 + 60 / n, 0, n), 0);
+  const auto est = c.estimate(EstimatorKind::InverseRegression, 4.0, 0, false);
+  ASSERT_TRUE(est.valid);
+  EXPECT_NEAR(est.value, 115.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace rtp

@@ -1,0 +1,128 @@
+#include "predict/downey.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+
+namespace rtp {
+namespace {
+
+Job queue_job(JobId id, const std::string& queue, Seconds runtime) {
+  Job j;
+  j.id = id;
+  j.queue = queue;
+  j.nodes = 1;
+  j.runtime = runtime;
+  return j;
+}
+
+void feed_log_uniform(DowneyPredictor& p, const std::string& queue, double t_min,
+                      double t_max, int n, std::uint64_t seed) {
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    const double rt = t_min * std::pow(t_max / t_min, rng.uniform());
+    p.job_completed(queue_job(static_cast<JobId>(i), queue, rt), 0.0);
+  }
+}
+
+TEST(Downey, MedianVariantMatchesTheoryAtAgeZero) {
+  DowneyPredictor p(DowneyVariant::ConditionalMedian);
+  const double t_min = 60.0, t_max = 6000.0;
+  feed_log_uniform(p, "q", t_min, t_max, 3000, 1);
+  // Age 0 clamps to the fitted t_min: the unconditional median of a
+  // log-uniform is sqrt(t_min * t_max).
+  const Seconds est = p.estimate(queue_job(9, "q", 0.0), 0.0);
+  EXPECT_NEAR(est, std::sqrt(t_min * t_max), 0.2 * std::sqrt(t_min * t_max));
+}
+
+TEST(Downey, MedianGrowsWithAge) {
+  DowneyPredictor p(DowneyVariant::ConditionalMedian);
+  feed_log_uniform(p, "q", 60.0, 6000.0, 2000, 2);
+  const Seconds young = p.estimate(queue_job(9, "q", 0.0), 100.0);
+  const Seconds old = p.estimate(queue_job(9, "q", 0.0), 2000.0);
+  EXPECT_GT(old, young);
+}
+
+TEST(Downey, AverageVariantDiffersFromMedian) {
+  DowneyPredictor med(DowneyVariant::ConditionalMedian);
+  DowneyPredictor avg(DowneyVariant::ConditionalAverage);
+  feed_log_uniform(med, "q", 60.0, 6000.0, 2000, 3);
+  feed_log_uniform(avg, "q", 60.0, 6000.0, 2000, 3);
+  const Seconds m = med.estimate(queue_job(9, "q", 0.0), 300.0);
+  const Seconds a = avg.estimate(queue_job(9, "q", 0.0), 300.0);
+  EXPECT_NE(m, a);
+  // For a log-uniform, the conditional mean exceeds the conditional median.
+  EXPECT_GT(a, m);
+}
+
+TEST(Downey, PerQueueCategorization) {
+  DowneyPredictor p(DowneyVariant::ConditionalMedian);
+  feed_log_uniform(p, "short", 10.0, 100.0, 1000, 4);
+  feed_log_uniform(p, "long", 1000.0, 100000.0, 1000, 5);
+  const Seconds s = p.estimate(queue_job(9, "short", 0.0), 0.0);
+  const Seconds l = p.estimate(queue_job(9, "long", 0.0), 0.0);
+  EXPECT_LT(s, 150.0);
+  EXPECT_GT(l, 3000.0);
+}
+
+TEST(Downey, UnknownQueueFallsBackToGlobal) {
+  DowneyPredictor p(DowneyVariant::ConditionalMedian);
+  feed_log_uniform(p, "known", 60.0, 6000.0, 1000, 6);
+  const Seconds est = p.estimate(queue_job(9, "mystery", 0.0), 0.0);
+  EXPECT_GT(est, 60.0);
+  EXPECT_LT(est, 6000.0);
+}
+
+TEST(Downey, NoQueueUsesGlobalCategory) {
+  DowneyPredictor p(DowneyVariant::ConditionalAverage);
+  feed_log_uniform(p, "", 60.0, 6000.0, 1000, 7);
+  const Seconds est = p.estimate(queue_job(9, "", 0.0), 0.0);
+  EXPECT_GT(est, 60.0);
+}
+
+TEST(Downey, RampUpFallback) {
+  DowneyPredictor p(DowneyVariant::ConditionalMedian);
+  Job j = queue_job(0, "q", 0.0);
+  j.max_runtime = 1800.0;
+  EXPECT_DOUBLE_EQ(p.estimate(j, 0.0), 1800.0);
+  // After one observation (below the 8-point fit threshold) the observed
+  // mean takes over for jobs without limits.
+  p.job_completed(queue_job(1, "q", 400.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.estimate(queue_job(2, "q", 0.0), 0.0), 400.0);
+}
+
+TEST(Downey, EstimateNeverBelowAge) {
+  DowneyPredictor p(DowneyVariant::ConditionalAverage);
+  feed_log_uniform(p, "q", 10.0, 100.0, 500, 8);
+  EXPECT_GE(p.estimate(queue_job(9, "q", 0.0), 5000.0), 5000.0);
+}
+
+TEST(Downey, IdenticalRuntimesDoNotCrash) {
+  DowneyPredictor p(DowneyVariant::ConditionalMedian);
+  for (JobId i = 0; i < 20; ++i) p.job_completed(queue_job(i, "q", 500.0), 0.0);
+  // Degenerate distribution: the log-linear fit is invalid; falls back to
+  // the observed mean.
+  EXPECT_NEAR(p.estimate(queue_job(99, "q", 0.0), 0.0), 500.0, 1.0);
+}
+
+class DowneyVariantParam : public ::testing::TestWithParam<DowneyVariant> {};
+
+TEST_P(DowneyVariantParam, PredictionsAreFiniteAndPositive) {
+  DowneyPredictor p(GetParam());
+  feed_log_uniform(p, "q", 30.0, 30000.0, 500, 9);
+  for (double age : {0.0, 1.0, 100.0, 10000.0, 1e6}) {
+    const Seconds est = p.estimate(queue_job(9, "q", 0.0), age);
+    EXPECT_TRUE(std::isfinite(est));
+    EXPECT_GT(est, 0.0);
+    EXPECT_GE(est, age);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, DowneyVariantParam,
+                         ::testing::Values(DowneyVariant::ConditionalAverage,
+                                           DowneyVariant::ConditionalMedian));
+
+}  // namespace
+}  // namespace rtp

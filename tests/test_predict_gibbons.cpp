@@ -1,0 +1,126 @@
+#include "predict/gibbons.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtp {
+namespace {
+
+Job make_job(JobId id, const std::string& user, const std::string& exe, int nodes,
+             Seconds runtime) {
+  Job j;
+  j.id = id;
+  j.user = user;
+  j.executable = exe;
+  j.nodes = nodes;
+  j.runtime = runtime;
+  return j;
+}
+
+TEST(Gibbons, ExponentialRangeIndex) {
+  EXPECT_EQ(GibbonsPredictor::range_index(1), 0);
+  EXPECT_EQ(GibbonsPredictor::range_index(2), 1);
+  EXPECT_EQ(GibbonsPredictor::range_index(3), 1);
+  EXPECT_EQ(GibbonsPredictor::range_index(4), 2);
+  EXPECT_EQ(GibbonsPredictor::range_index(7), 2);
+  EXPECT_EQ(GibbonsPredictor::range_index(8), 3);
+  EXPECT_EQ(GibbonsPredictor::range_index(15), 3);
+  EXPECT_EQ(GibbonsPredictor::range_index(16), 4);
+}
+
+TEST(Gibbons, Level1ExactCategoryWins) {
+  GibbonsPredictor p;
+  for (JobId i = 0; i < 3; ++i)
+    p.job_completed(make_job(i, "alice", "cfd", 4, 300.0), 0.0);
+  // Same user+exe+range: level 1 mean.
+  const Seconds est = p.estimate(make_job(9, "alice", "cfd", 5, 0.0), 0.0);
+  EXPECT_EQ(p.last_level(), 1);
+  EXPECT_NEAR(est, 300.0, 1e-6);
+}
+
+TEST(Gibbons, FallsThroughToExecutableLevel) {
+  GibbonsPredictor p;
+  for (JobId i = 0; i < 3; ++i)
+    p.job_completed(make_job(i, "bob", "cfd", 4, 500.0), 0.0);
+  // Different user, same executable and range: levels 1-2 miss, level 3 hits.
+  const Seconds est = p.estimate(make_job(9, "alice", "cfd", 4, 0.0), 0.0);
+  EXPECT_EQ(p.last_level(), 3);
+  EXPECT_NEAR(est, 500.0, 1e-6);
+}
+
+TEST(Gibbons, Level2RegressionAcrossNodeRanges) {
+  GibbonsPredictor p;
+  // alice/cfd history in two node ranges (2 points each so variance is
+  // defined), runtime = 100 * range-ish trend.
+  p.job_completed(make_job(0, "alice", "cfd", 2, 200.0), 0.0);
+  p.job_completed(make_job(1, "alice", "cfd", 2, 210.0), 0.0);
+  p.job_completed(make_job(2, "alice", "cfd", 8, 800.0), 0.0);
+  p.job_completed(make_job(3, "alice", "cfd", 8, 810.0), 0.0);
+  // Prediction for 32 nodes: no level-1 category for that range; level 2
+  // extrapolates the (mean nodes, mean runtime) regression.
+  const Seconds est = p.estimate(make_job(9, "alice", "cfd", 32, 0.0), 0.0);
+  EXPECT_EQ(p.last_level(), 2);
+  EXPECT_GT(est, 2000.0);  // extrapolation beyond 8 nodes
+}
+
+TEST(Gibbons, Level5NodeRangeOnly) {
+  GibbonsPredictor p;
+  for (JobId i = 0; i < 3; ++i)
+    p.job_completed(make_job(i, "u" + std::to_string(i), "e" + std::to_string(i), 16, 900.0),
+                    0.0);
+  const Seconds est = p.estimate(make_job(9, "nobody", "nothing", 17, 0.0), 0.0);
+  EXPECT_EQ(p.last_level(), 5);
+  EXPECT_NEAR(est, 900.0, 1e-6);
+}
+
+TEST(Gibbons, Level6GlobalRegression) {
+  GibbonsPredictor p;
+  // Two distinct node ranges (2 points each), unknown user/exe, and the
+  // queried range (range_index(64)=6) has no data: level 5 misses, level 6
+  // regresses across ranges.
+  p.job_completed(make_job(0, "a", "x", 2, 100.0), 0.0);
+  p.job_completed(make_job(1, "b", "y", 2, 110.0), 0.0);
+  p.job_completed(make_job(2, "c", "z", 16, 400.0), 0.0);
+  p.job_completed(make_job(3, "d", "w", 16, 410.0), 0.0);
+  const Seconds est = p.estimate(make_job(9, "q", "q", 64, 0.0), 0.0);
+  EXPECT_EQ(p.last_level(), 6);
+  EXPECT_GT(est, 400.0);
+}
+
+TEST(Gibbons, RtimeConditioningFiltersShortPoints) {
+  GibbonsPredictor p;
+  p.job_completed(make_job(0, "a", "x", 4, 100.0), 0.0);
+  p.job_completed(make_job(1, "a", "x", 4, 5000.0), 0.0);
+  // Job has run 1000s: the 100s data point no longer applies.
+  const Seconds est = p.estimate(make_job(9, "a", "x", 4, 0.0), 1000.0);
+  EXPECT_EQ(p.last_level(), 1);
+  EXPECT_NEAR(est, 5000.0, 1e-6);
+}
+
+TEST(Gibbons, FallbackWithNoHistory) {
+  GibbonsPredictor p;
+  Job j = make_job(0, "a", "x", 4, 0.0);
+  j.max_runtime = 7200.0;
+  EXPECT_DOUBLE_EQ(p.estimate(j, 0.0), 7200.0);
+  EXPECT_EQ(p.last_level(), 0);
+}
+
+TEST(Gibbons, EstimateNeverBelowAge) {
+  GibbonsPredictor p;
+  p.job_completed(make_job(0, "a", "x", 4, 50.0), 0.0);
+  p.job_completed(make_job(1, "a", "x", 4, 60.0), 0.0);
+  EXPECT_GE(p.estimate(make_job(9, "a", "x", 4, 0.0), 900.0), 900.0);
+}
+
+TEST(Gibbons, SerialJobsDoNotPolluteWideRanges) {
+  GibbonsPredictor p;
+  for (JobId i = 0; i < 4; ++i) p.job_completed(make_job(i, "a", "x", 1, 10.0), 0.0);
+  for (JobId i = 4; i < 8; ++i) p.job_completed(make_job(i, "a", "x", 64, 8000.0), 0.0);
+  const Seconds wide = p.estimate(make_job(9, "a", "x", 64, 0.0), 0.0);
+  EXPECT_EQ(p.last_level(), 1);
+  EXPECT_NEAR(wide, 8000.0, 1e-6);
+  const Seconds narrow = p.estimate(make_job(10, "a", "x", 1, 0.0), 0.0);
+  EXPECT_NEAR(narrow, 10.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace rtp

@@ -1,0 +1,68 @@
+#include "predict/recording.hpp"
+
+#include <gtest/gtest.h>
+
+#include "predict/simple.hpp"
+
+namespace rtp {
+namespace {
+
+Job make_job(JobId id, Seconds runtime) {
+  Job j;
+  j.id = id;
+  j.nodes = 1;
+  j.runtime = runtime;
+  return j;
+}
+
+TEST(Recording, AccumulatesAbsoluteErrors) {
+  ConstantPredictor constant(100.0);
+  RecordingEstimator rec(constant);
+  Job a = make_job(0, 150.0);
+  Job b = make_job(1, 80.0);
+  rec.estimate(a, 0.0);
+  rec.estimate(b, 0.0);
+  rec.job_completed(a, 1000.0);
+  rec.job_completed(b, 2000.0);
+  EXPECT_EQ(rec.error_stats().count(), 2u);
+  EXPECT_DOUBLE_EQ(rec.error_stats().mean(), (50.0 + 20.0) / 2.0);
+  EXPECT_DOUBLE_EQ(rec.runtime_stats().mean(), 115.0);
+  EXPECT_NEAR(rec.error_percent_of_mean_runtime(), 100.0 * 35.0 / 115.0, 1e-9);
+}
+
+TEST(Recording, OnlyFirstSubmitPredictionCounts) {
+  ConstantPredictor constant(100.0);
+  RecordingEstimator rec(constant);
+  Job a = make_job(0, 500.0);
+  rec.estimate(a, 0.0);    // first (counts): |100-500| = 400
+  rec.estimate(a, 0.0);    // refresh, ignored
+  rec.estimate(a, 450.0);  // running-age refresh, ignored
+  rec.job_completed(a, 0.0);
+  EXPECT_DOUBLE_EQ(rec.error_stats().mean(), 400.0);
+}
+
+TEST(Recording, UnpredictedCompletionIgnored) {
+  ConstantPredictor constant(100.0);
+  RecordingEstimator rec(constant);
+  rec.job_completed(make_job(7, 300.0), 0.0);
+  EXPECT_EQ(rec.error_stats().count(), 0u);
+}
+
+TEST(Recording, ForwardsToInner) {
+  ActualRuntimePredictor oracle;
+  RecordingEstimator rec(oracle);
+  Job a = make_job(0, 777.0);
+  EXPECT_DOUBLE_EQ(rec.estimate(a, 0.0), 777.0);
+  EXPECT_EQ(rec.name(), "actual");
+  rec.job_completed(a, 0.0);
+  EXPECT_DOUBLE_EQ(rec.error_stats().mean(), 0.0);
+}
+
+TEST(Recording, ZeroWhenNoData) {
+  ConstantPredictor constant(1.0);
+  RecordingEstimator rec(constant);
+  EXPECT_DOUBLE_EQ(rec.error_percent_of_mean_runtime(), 0.0);
+}
+
+}  // namespace
+}  // namespace rtp

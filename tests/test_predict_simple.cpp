@@ -1,0 +1,79 @@
+#include "predict/simple.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/synthetic.hpp"
+
+namespace rtp {
+namespace {
+
+Job job_with(Seconds runtime, Seconds max_rt = kNoTime, std::string queue = "") {
+  Job j;
+  j.id = 0;
+  j.nodes = 2;
+  j.runtime = runtime;
+  j.max_runtime = max_rt;
+  j.queue = std::move(queue);
+  return j;
+}
+
+TEST(ActualPredictor, ReturnsExactRuntime) {
+  ActualRuntimePredictor p;
+  EXPECT_DOUBLE_EQ(p.estimate(job_with(123.0), 0.0), 123.0);
+}
+
+TEST(ActualPredictor, NeverBelowAge) {
+  ActualRuntimePredictor p;
+  EXPECT_DOUBLE_EQ(p.estimate(job_with(100.0), 150.0), 150.0);
+}
+
+TEST(MaxPredictor, UsesJobLimitWhenPresent) {
+  const Workload w = generate_synthetic(anl_config(0.02));
+  MaxRuntimePredictor p(w);
+  Job j = job_with(100.0, 3600.0);
+  EXPECT_DOUBLE_EQ(p.estimate(j, 0.0), 3600.0);
+}
+
+TEST(MaxPredictor, DerivesQueueLimitsLikeThePaper) {
+  // "determine the longest running job in each queue and use that as the
+  // maximum run time for all jobs in that queue"
+  FieldMask fields;
+  fields.set(Characteristic::Queue).set(Characteristic::Nodes);
+  Workload w("sdsc-ish", 8, fields);
+  for (double rt : {100.0, 400.0, 250.0}) {
+    Job j;
+    j.submit = 0;
+    j.runtime = rt;
+    j.nodes = 1;
+    j.queue = "q16m";
+    w.add_job(std::move(j));
+  }
+  Job other;
+  other.submit = 0;
+  other.runtime = 50.0;
+  other.nodes = 1;
+  other.queue = "q1s";
+  w.add_job(std::move(other));
+
+  MaxRuntimePredictor p(w);
+  EXPECT_DOUBLE_EQ(p.queue_limit("q16m"), 400.0);
+  EXPECT_DOUBLE_EQ(p.queue_limit("q1s"), 50.0);
+  EXPECT_DOUBLE_EQ(p.queue_limit("unknown"), kNoTime);
+  EXPECT_DOUBLE_EQ(p.estimate(job_with(10.0, kNoTime, "q16m"), 0.0), 400.0);
+}
+
+TEST(MaxPredictor, FallsBackToGlobalMax) {
+  const Workload w = generate_synthetic(sdsc95_config(0.02));
+  MaxRuntimePredictor p(w);
+  Job stranger = job_with(10.0);  // no queue, no limit
+  EXPECT_GT(p.estimate(stranger, 0.0), 0.0);
+}
+
+TEST(ConstantPredictor, FixedValueClampedToAge) {
+  ConstantPredictor p(600.0);
+  EXPECT_DOUBLE_EQ(p.estimate(job_with(1.0), 0.0), 600.0);
+  EXPECT_DOUBLE_EQ(p.estimate(job_with(1.0), 700.0), 700.0);
+}
+
+}  // namespace
+}  // namespace rtp

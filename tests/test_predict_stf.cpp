@@ -1,0 +1,169 @@
+#include "predict/stf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace rtp {
+namespace {
+
+Job make_job(JobId id, const std::string& user, const std::string& exe, int nodes,
+             Seconds runtime, Seconds max_rt = kNoTime) {
+  Job j;
+  j.id = id;
+  j.user = user;
+  j.executable = exe;
+  j.nodes = nodes;
+  j.runtime = runtime;
+  j.max_runtime = max_rt;
+  return j;
+}
+
+TemplateSet user_exe_set() {
+  TemplateSet set;
+  Template t;
+  t.characteristics.set(Characteristic::User).set(Characteristic::Executable);
+  set.templates.push_back(t);
+  Template global;
+  set.templates.push_back(global);
+  return set;
+}
+
+TEST(Stf, RequiresTemplates) { EXPECT_THROW(StfPredictor(TemplateSet{}), Error); }
+
+TEST(Stf, LearnsRepeatedRuntimes) {
+  StfPredictor p(user_exe_set());
+  for (JobId i = 0; i < 5; ++i)
+    p.job_completed(make_job(i, "alice", "cfd", 4, 600.0), 1000.0 * i);
+  const Seconds est = p.estimate(make_job(99, "alice", "cfd", 4, 0.0), 0.0);
+  EXPECT_NEAR(est, 600.0, 1.0);
+}
+
+TEST(Stf, PrefersTighterCategory) {
+  StfPredictor p(user_exe_set());
+  // alice/cfd runs are tightly clustered at 600; the global category also
+  // contains bob's wildly varying runs.
+  for (JobId i = 0; i < 6; ++i) {
+    p.job_completed(make_job(i, "alice", "cfd", 4, 600.0 + (i % 2)), 0.0);
+    p.job_completed(make_job(100 + i, "bob", "x", 4, 100.0 * (i + 1)), 0.0);
+  }
+  const auto detail = p.predict_detail(make_job(99, "alice", "cfd", 4, 0.0), 0.0);
+  EXPECT_EQ(detail.winning_template, 0);  // (u,e), not the global template
+  EXPECT_NEAR(detail.estimate, 600.5, 1.0);
+}
+
+TEST(Stf, FallbackToMaxRuntimeDuringRampUp) {
+  StfPredictor p(user_exe_set());
+  const auto detail = p.predict_detail(make_job(0, "new", "app", 2, 0.0, 7200.0), 0.0);
+  EXPECT_EQ(detail.winning_template, -1);
+  EXPECT_DOUBLE_EQ(detail.estimate, 7200.0);
+}
+
+TEST(Stf, FallbackToObservedMeanWithoutMax) {
+  StfPredictor p(user_exe_set());
+  // Single completion: no category has 2 points yet, but the global mean
+  // of observed runtimes is available.
+  p.job_completed(make_job(0, "a", "x", 1, 500.0), 0.0);
+  const auto detail = p.predict_detail(make_job(1, "someone", "new", 1, 0.0), 0.0);
+  EXPECT_EQ(detail.winning_template, -1);
+  EXPECT_DOUBLE_EQ(detail.estimate, 500.0);
+}
+
+TEST(Stf, FallbackDefaultWhenNothingObserved) {
+  StfOptions options;
+  options.default_estimate = 1234.0;
+  StfPredictor p(user_exe_set(), options);
+  EXPECT_DOUBLE_EQ(p.estimate(make_job(0, "a", "b", 1, 0.0), 0.0), 1234.0);
+}
+
+TEST(Stf, EstimateNeverBelowAge) {
+  StfPredictor p(user_exe_set());
+  for (JobId i = 0; i < 4; ++i) p.job_completed(make_job(i, "a", "x", 1, 100.0), 0.0);
+  EXPECT_GE(p.estimate(make_job(9, "a", "x", 1, 0.0), 5000.0), 5000.0);
+}
+
+TEST(Stf, KnownWrongEstimatesLoseToConditionedOnes) {
+  TemplateSet set = user_exe_set();
+  Template conditioned;
+  conditioned.condition_on_age = true;
+  set.templates.push_back(conditioned);
+  StfPredictor p(set);
+  // History: many short runs (100) and a few long (10000).
+  for (JobId i = 0; i < 8; ++i) p.job_completed(make_job(i, "a", "x", 1, 100.0), 0.0);
+  for (JobId i = 8; i < 11; ++i) p.job_completed(make_job(i, "a", "x", 1, 10000.0), 0.0);
+  // A job that has already run 2000s cannot take the ~103s unconditioned
+  // estimate; the conditioned template sees only the long runs.
+  const Seconds est = p.estimate(make_job(99, "a", "x", 1, 0.0), 2000.0);
+  EXPECT_GE(est, 9000.0);
+}
+
+TEST(Stf, RelativeTemplateScalesByLimit) {
+  TemplateSet set;
+  Template rel;
+  rel.characteristics.set(Characteristic::User);
+  rel.relative = true;
+  set.templates.push_back(rel);
+  StfPredictor p(set);
+  // alice always uses half her requested limit.
+  for (JobId i = 0; i < 5; ++i)
+    p.job_completed(make_job(i, "alice", "x", 1, 1800.0, 3600.0), 0.0);
+  // New job with a 2h limit: prediction should be ~1h.
+  const Seconds est = p.estimate(make_job(9, "alice", "x", 1, 0.0, 7200.0), 0.0);
+  EXPECT_NEAR(est, 3600.0, 10.0);
+}
+
+TEST(Stf, RelativeTemplateSkipsJobsWithoutLimit) {
+  TemplateSet set;
+  Template rel;
+  rel.relative = true;
+  set.templates.push_back(rel);
+  StfPredictor p(set);
+  p.job_completed(make_job(0, "a", "x", 1, 100.0, 200.0), 0.0);
+  p.job_completed(make_job(1, "a", "x", 1, 100.0, 200.0), 0.0);
+  // Job without a limit cannot use the relative template: falls back.
+  const auto detail = p.predict_detail(make_job(9, "a", "x", 1, 0.0), 0.0);
+  EXPECT_EQ(detail.winning_template, -1);
+}
+
+TEST(Stf, ClampToMaxRuntimeOption) {
+  StfOptions options;
+  options.clamp_to_max_runtime = true;
+  StfPredictor p(user_exe_set(), options);
+  for (JobId i = 0; i < 5; ++i) p.job_completed(make_job(i, "a", "x", 1, 5000.0), 0.0);
+  const Seconds est = p.estimate(make_job(9, "a", "x", 1, 0.0, 600.0), 0.0);
+  EXPECT_DOUBLE_EQ(est, 600.0);
+}
+
+TEST(Stf, BoundedHistoryAdapts) {
+  TemplateSet set;
+  Template t;
+  t.characteristics.set(Characteristic::User);
+  t.max_history = 4;
+  set.templates.push_back(t);
+  StfPredictor p(set);
+  // Old behaviour: 1000s runs.  Recent behaviour: 100s runs.
+  for (JobId i = 0; i < 10; ++i) p.job_completed(make_job(i, "a", "x", 1, 1000.0), 0.0);
+  for (JobId i = 10; i < 14; ++i) p.job_completed(make_job(i, "a", "x", 1, 100.0), 0.0);
+  EXPECT_NEAR(p.estimate(make_job(99, "a", "x", 1, 0.0), 0.0), 100.0, 1.0);
+}
+
+TEST(Stf, CategoryCountGrows) {
+  StfPredictor p(user_exe_set());
+  EXPECT_EQ(p.category_count(), 0u);
+  p.job_completed(make_job(0, "a", "x", 1, 100.0), 0.0);
+  p.job_completed(make_job(1, "b", "y", 1, 100.0), 0.0);
+  // 2 (u,e) categories + 1 global.
+  EXPECT_EQ(p.category_count(), 3u);
+}
+
+TEST(Stf, PredictDetailReportsInterval) {
+  StfPredictor p(user_exe_set());
+  for (JobId i = 0; i < 6; ++i)
+    p.job_completed(make_job(i, "a", "x", 1, 100.0 + 10.0 * i), 0.0);
+  const auto detail = p.predict_detail(make_job(9, "a", "x", 1, 0.0), 0.0);
+  EXPECT_GT(detail.ci_halfwidth, 0.0);
+  EXPECT_EQ(detail.points_used, 6u);
+}
+
+}  // namespace
+}  // namespace rtp

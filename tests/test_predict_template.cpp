@@ -1,0 +1,149 @@
+#include "predict/template_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtp {
+namespace {
+
+Job sample_job() {
+  Job j;
+  j.id = 0;
+  j.user = "wsmith";
+  j.executable = "cfd";
+  j.queue = "q16m";
+  j.nodes = 13;
+  j.max_runtime = 3600;
+  return j;
+}
+
+TEST(Template, KeyUsesSelectedCharacteristics) {
+  Template t;
+  t.characteristics.set(Characteristic::User).set(Characteristic::Executable);
+  const std::string key = t.key_for(sample_job());
+  EXPECT_NE(key.find("u=wsmith"), std::string::npos);
+  EXPECT_NE(key.find("e=cfd"), std::string::npos);
+  EXPECT_EQ(key.find("q=q16m"), std::string::npos);
+}
+
+TEST(Template, NodeRangeBuckets) {
+  Template t;
+  t.use_nodes = true;
+  t.node_range_size = 4;
+  Job j = sample_job();
+  j.nodes = 1;
+  const std::string b0 = t.key_for(j);  // (1-1)/4 = 0
+  j.nodes = 4;
+  EXPECT_EQ(t.key_for(j), b0);  // (4-1)/4 = 0: same bucket 1-4
+  j.nodes = 5;
+  EXPECT_NE(t.key_for(j), b0);  // 5-8 bucket
+}
+
+TEST(Template, EmptyTemplateGroupsEverything) {
+  Template t;
+  Job a = sample_job();
+  Job b = sample_job();
+  b.user = "someone-else";
+  b.nodes = 100;
+  EXPECT_EQ(t.key_for(a), t.key_for(b));
+}
+
+TEST(Template, JobsMissingFieldShareCategory) {
+  Template t;
+  t.characteristics.set(Characteristic::Executable);
+  Job a = sample_job();
+  a.executable.clear();
+  Job b = sample_job();
+  b.executable.clear();
+  b.user = "x";
+  EXPECT_EQ(t.key_for(a), t.key_for(b));
+}
+
+TEST(Template, FeasibilityChecksFields) {
+  FieldMask available;
+  available.set(Characteristic::User).set(Characteristic::Nodes);
+
+  Template user_only;
+  user_only.characteristics.set(Characteristic::User);
+  EXPECT_TRUE(user_only.feasible_for(available, false));
+
+  Template needs_exe;
+  needs_exe.characteristics.set(Characteristic::Executable);
+  EXPECT_FALSE(needs_exe.feasible_for(available, false));
+
+  Template relative;
+  relative.relative = true;
+  EXPECT_FALSE(relative.feasible_for(available, false));
+  EXPECT_TRUE(relative.feasible_for(available, true));
+
+  Template nodes;
+  nodes.use_nodes = true;
+  EXPECT_TRUE(nodes.feasible_for(available, false));
+  FieldMask no_nodes;
+  EXPECT_FALSE(nodes.feasible_for(no_nodes, false));
+}
+
+TEST(Template, DescribeIsReadable) {
+  Template t;
+  t.characteristics.set(Characteristic::User).set(Characteristic::Executable);
+  t.use_nodes = true;
+  t.node_range_size = 4;
+  t.relative = true;
+  t.max_history = 128;
+  t.condition_on_age = true;
+  EXPECT_EQ(t.describe(), "(u,e,n=4) mean rel hist=128 age");
+  Template plain;
+  EXPECT_EQ(plain.describe(), "() mean");
+}
+
+TEST(TemplateSet, DescribeJoins) {
+  TemplateSet set;
+  set.templates.emplace_back();
+  set.templates.emplace_back();
+  set.templates[1].characteristics.set(Characteristic::User);
+  EXPECT_EQ(set.describe(), "() mean; (u) mean");
+  EXPECT_EQ(TemplateSet{}.describe(), "<empty>");
+}
+
+TEST(DefaultTemplates, OnlyFeasibleTemplates) {
+  for (bool has_max : {false, true}) {
+    FieldMask anl;
+    anl.set(Characteristic::Type)
+        .set(Characteristic::User)
+        .set(Characteristic::Executable)
+        .set(Characteristic::Arguments)
+        .set(Characteristic::Nodes);
+    const TemplateSet set = default_template_set(anl, has_max);
+    EXPECT_FALSE(set.templates.empty());
+    for (const Template& t : set.templates) EXPECT_TRUE(t.feasible_for(anl, has_max));
+  }
+}
+
+TEST(DefaultTemplates, SdscUsesQueues) {
+  FieldMask sdsc;
+  sdsc.set(Characteristic::Queue).set(Characteristic::User).set(Characteristic::Nodes);
+  const TemplateSet set = default_template_set(sdsc, false);
+  bool any_queue = false;
+  for (const Template& t : set.templates) {
+    any_queue |= t.characteristics.has(Characteristic::Queue);
+    EXPECT_FALSE(t.relative);  // SDSC has no max run times
+  }
+  EXPECT_TRUE(any_queue);
+}
+
+TEST(DefaultTemplates, AlwaysHasGlobalFallback) {
+  const TemplateSet set = default_template_set(FieldMask().set(Characteristic::Nodes), false);
+  bool has_catch_all = false;
+  for (const Template& t : set.templates)
+    has_catch_all |= t.characteristics.empty() && !t.use_nodes;
+  EXPECT_TRUE(has_catch_all);
+}
+
+TEST(EstimatorKind, Names) {
+  EXPECT_EQ(to_string(EstimatorKind::Mean), "mean");
+  EXPECT_EQ(to_string(EstimatorKind::LinearRegression), "linreg");
+  EXPECT_EQ(to_string(EstimatorKind::InverseRegression), "invreg");
+  EXPECT_EQ(to_string(EstimatorKind::LogRegression), "logreg");
+}
+
+}  // namespace
+}  // namespace rtp

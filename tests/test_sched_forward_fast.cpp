@@ -1,0 +1,77 @@
+// Equivalence of the single-pass forward schedules with the reference
+// event-driven replay, on randomized system states — the correctness
+// backbone of the wait-time predictor's fast path.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "sched/forward_sim.hpp"
+
+namespace rtp {
+namespace {
+
+struct RandomState {
+  std::vector<Job> jobs;
+  SystemState state;
+
+  RandomState(Rng& rng, int machine, int running, int queued) : state(machine) {
+    jobs.reserve(static_cast<std::size_t>(running + queued));
+    for (int i = 0; i < running; ++i) {
+      Job& j = jobs.emplace_back();
+      j.id = static_cast<JobId>(jobs.size() - 1);
+      j.nodes = static_cast<int>(rng.uniform_int(1, machine / 2));
+      const Seconds start = rng.uniform(0.0, 500.0);
+      const Seconds estimate = rng.uniform(1.0, 2000.0);
+      if (j.nodes > state.free_nodes()) {
+        jobs.pop_back();
+        continue;
+      }
+      state.enqueue(j, start, estimate);
+      state.start_job(j.id, start);
+    }
+    for (int i = 0; i < queued; ++i) {
+      Job& j = jobs.emplace_back();
+      j.id = static_cast<JobId>(jobs.size() - 1);
+      j.nodes = static_cast<int>(rng.uniform_int(1, machine));
+      state.enqueue(j, 500.0 + i, rng.uniform(1.0, 3000.0));
+    }
+  }
+};
+
+class FastPathEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FastPathEquivalence, MatchesReferenceReplay) {
+  Rng rng(GetParam());
+  for (PolicyKind kind :
+       {PolicyKind::Fcfs, PolicyKind::Lwf, PolicyKind::BackfillConservative}) {
+    RandomState fixture(rng, 32, 6, 12);
+    auto policy = make_policy(kind);
+    const Seconds now = 600.0;
+    const auto fast = forward_simulate(fixture.state, *policy, now);
+    const auto reference = forward_simulate_reference(fixture.state, *policy, now);
+    ASSERT_EQ(fast.size(), reference.size()) << to_string(kind);
+    for (const auto& [id, t] : reference) {
+      auto it = fast.find(id);
+      ASSERT_NE(it, fast.end()) << to_string(kind) << " job " << id;
+      EXPECT_NEAR(it->second, t, 1.5)
+          << to_string(kind) << " job " << id << " (seed " << GetParam() << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FastPathEquivalence,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u, 10u, 11u,
+                                           12u, 13u, 14u, 15u, 16u));
+
+TEST(FastPath, EasyUsesReferenceReplay) {
+  Rng rng(99);
+  RandomState fixture(rng, 16, 3, 6);
+  auto easy = make_policy(PolicyKind::BackfillEasy);
+  const auto a = forward_simulate(fixture.state, *easy, 600.0);
+  const auto b = forward_simulate_reference(fixture.state, *easy, 600.0);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace rtp

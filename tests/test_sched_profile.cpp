@@ -1,0 +1,119 @@
+#include "sched/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace rtp {
+namespace {
+
+TEST(Profile, FullCapacityEverywhereInitially) {
+  AvailabilityProfile p(0.0, 10);
+  EXPECT_EQ(p.capacity_at(0.0), 10);
+  EXPECT_EQ(p.capacity_at(1e9), 10);
+  EXPECT_DOUBLE_EQ(p.earliest_fit(0.0, 10, 100.0), 0.0);
+}
+
+TEST(Profile, ReserveCarvesInterval) {
+  AvailabilityProfile p(0.0, 10);
+  p.reserve(10.0, 20.0, 4);
+  EXPECT_EQ(p.capacity_at(5.0), 10);
+  EXPECT_EQ(p.capacity_at(10.0), 6);
+  EXPECT_EQ(p.capacity_at(19.9), 6);
+  EXPECT_EQ(p.capacity_at(20.0), 10);
+}
+
+TEST(Profile, OverlappingReservationsStack) {
+  AvailabilityProfile p(0.0, 10);
+  p.reserve(0.0, 30.0, 3);
+  p.reserve(10.0, 20.0, 5);
+  EXPECT_EQ(p.capacity_at(5.0), 7);
+  EXPECT_EQ(p.capacity_at(15.0), 2);
+  EXPECT_EQ(p.capacity_at(25.0), 7);
+}
+
+TEST(Profile, ReserveToInfinity) {
+  AvailabilityProfile p(0.0, 8);
+  p.reserve(100.0, kTimeInfinity, 8);
+  EXPECT_EQ(p.capacity_at(99.0), 8);
+  EXPECT_EQ(p.capacity_at(1e12), 0);
+}
+
+TEST(Profile, OvercommitThrows) {
+  AvailabilityProfile p(0.0, 4);
+  p.reserve(0.0, 10.0, 4);
+  EXPECT_THROW(p.reserve(5.0, 6.0, 1), Error);
+}
+
+TEST(Profile, EarliestFitWaitsForRelease) {
+  AvailabilityProfile p(0.0, 10);
+  p.reserve(0.0, 50.0, 8);  // only 2 free until t=50
+  EXPECT_DOUBLE_EQ(p.earliest_fit(0.0, 2, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.earliest_fit(0.0, 3, 100.0), 50.0);
+}
+
+TEST(Profile, EarliestFitMustSpanWholeDuration) {
+  AvailabilityProfile p(0.0, 10);
+  p.reserve(20.0, 30.0, 9);  // a narrow canyon at [20,30)
+  // 5 nodes for 10s starting at 5 would end at 15 — fits before the canyon.
+  EXPECT_DOUBLE_EQ(p.earliest_fit(5.0, 5, 10.0), 5.0);
+  // 5 nodes for 30s starting at 5 would overlap the canyon: wait until 30.
+  EXPECT_DOUBLE_EQ(p.earliest_fit(5.0, 5, 30.0), 30.0);
+}
+
+TEST(Profile, EarliestFitRespectsNotBefore) {
+  AvailabilityProfile p(0.0, 10);
+  EXPECT_DOUBLE_EQ(p.earliest_fit(42.0, 1, 1.0), 42.0);
+}
+
+TEST(Profile, RequestBeyondCapacityThrows) {
+  AvailabilityProfile p(0.0, 10);
+  EXPECT_THROW(p.earliest_fit(0.0, 11, 1.0), Error);
+}
+
+TEST(Profile, BackToBackReservationsViaEarliestFit) {
+  // Book three jobs of 6/6/6 nodes on a 10-node profile; each next booking
+  // must queue behind the previous one.
+  AvailabilityProfile p(0.0, 10);
+  const Seconds t1 = p.earliest_fit(0.0, 6, 100.0);
+  p.reserve(t1, t1 + 100.0, 6);
+  const Seconds t2 = p.earliest_fit(0.0, 6, 100.0);
+  p.reserve(t2, t2 + 100.0, 6);
+  const Seconds t3 = p.earliest_fit(0.0, 6, 100.0);
+  EXPECT_DOUBLE_EQ(t1, 0.0);
+  EXPECT_DOUBLE_EQ(t2, 100.0);
+  EXPECT_DOUBLE_EQ(t3, 200.0);
+}
+
+class ProfileProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProfileProperty, EarliestFitResultActuallyFits) {
+  Rng rng(GetParam());
+  AvailabilityProfile p(0.0, 64);
+  // Random bookings.
+  for (int i = 0; i < 40; ++i) {
+    const Seconds from = rng.uniform(0.0, 1000.0);
+    const Seconds len = rng.uniform(1.0, 200.0);
+    const int nodes = static_cast<int>(rng.uniform_int(1, 16));
+    // Only reserve if it cannot overcommit: find a feasible slot first.
+    const Seconds t = p.earliest_fit(from, nodes, len);
+    p.reserve(t, t + len, nodes);
+  }
+  // Now every earliest_fit answer must satisfy capacity over its duration.
+  for (int i = 0; i < 50; ++i) {
+    const int nodes = static_cast<int>(rng.uniform_int(1, 64));
+    const Seconds len = rng.uniform(0.5, 300.0);
+    const Seconds t0 = rng.uniform(0.0, 1500.0);
+    const Seconds t = p.earliest_fit(t0, nodes, len);
+    EXPECT_GE(t, t0);
+    for (double frac : {0.0, 0.25, 0.5, 0.99})
+      EXPECT_GE(p.capacity_at(t + frac * len), nodes) << "at fraction " << frac;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProfileProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u, 10u));
+
+}  // namespace
+}  // namespace rtp

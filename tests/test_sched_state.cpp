@@ -1,0 +1,103 @@
+#include "sched/state.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace rtp {
+namespace {
+
+std::vector<Job> make_jobs() {
+  std::vector<Job> jobs(3);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].id = static_cast<JobId>(i);
+    jobs[i].nodes = static_cast<int>(2 * (i + 1));  // 2, 4, 6
+    jobs[i].runtime = 100;
+  }
+  return jobs;
+}
+
+TEST(SystemState, EnqueueStartFinishAccounting) {
+  const auto jobs = make_jobs();
+  SystemState st(8);
+  EXPECT_EQ(st.free_nodes(), 8);
+
+  st.enqueue(jobs[0], 0.0, 100.0);
+  st.enqueue(jobs[1], 1.0, 200.0);
+  EXPECT_EQ(st.queue().size(), 2u);
+  EXPECT_NE(st.find_queued(0), nullptr);
+  EXPECT_EQ(st.find_running(0), nullptr);
+
+  st.start_job(0, 5.0);
+  EXPECT_EQ(st.free_nodes(), 6);
+  EXPECT_EQ(st.queue().size(), 1u);
+  ASSERT_NE(st.find_running(0), nullptr);
+  EXPECT_DOUBLE_EQ(st.find_running(0)->start, 5.0);
+
+  st.finish_job(0);
+  EXPECT_EQ(st.free_nodes(), 8);
+  EXPECT_EQ(st.find_running(0), nullptr);
+}
+
+TEST(SystemState, StartRequiresQueuedJob) {
+  SystemState st(8);
+  EXPECT_THROW(st.start_job(0, 0.0), Error);
+}
+
+TEST(SystemState, StartRequiresFreeNodes) {
+  const auto jobs = make_jobs();
+  SystemState st(8);
+  st.enqueue(jobs[2], 0.0, 100.0);  // 6 nodes
+  st.enqueue(jobs[1], 0.0, 100.0);  // 4 nodes
+  st.start_job(2, 0.0);
+  EXPECT_THROW(st.start_job(1, 0.0), Error);
+}
+
+TEST(SystemState, FinishRequiresRunningJob) {
+  SystemState st(8);
+  EXPECT_THROW(st.finish_job(3), Error);
+}
+
+TEST(SystemState, EnqueueRejectsImpossibleJob) {
+  Job big;
+  big.id = 9;
+  big.nodes = 16;
+  SystemState st(8);
+  EXPECT_THROW(st.enqueue(big, 0.0, 10.0), Error);
+}
+
+TEST(SchedJob, AgeAndRemaining) {
+  const auto jobs = make_jobs();
+  SystemState st(8);
+  st.enqueue(jobs[0], 0.0, 300.0);
+  st.start_job(0, 10.0);
+  const SchedJob* sj = st.find_running(0);
+  ASSERT_NE(sj, nullptr);
+  EXPECT_DOUBLE_EQ(sj->age(110.0), 100.0);
+  EXPECT_DOUBLE_EQ(sj->remaining(110.0), 200.0);
+  // Outlived its estimate: remaining floors at 1 second.
+  EXPECT_DOUBLE_EQ(sj->remaining(500.0), 1.0);
+}
+
+TEST(SchedJob, QueuedJobHasZeroAge) {
+  const auto jobs = make_jobs();
+  SystemState st(8);
+  st.enqueue(jobs[0], 3.0, 50.0);
+  EXPECT_DOUBLE_EQ(st.find_queued(0)->age(100.0), 0.0);
+}
+
+TEST(SystemState, CopyIsIndependent) {
+  const auto jobs = make_jobs();
+  SystemState st(8);
+  st.enqueue(jobs[0], 0.0, 100.0);
+  SystemState copy = st;
+  copy.start_job(0, 1.0);
+  EXPECT_NE(st.find_queued(0), nullptr);   // original untouched
+  EXPECT_EQ(st.free_nodes(), 8);
+  EXPECT_EQ(copy.free_nodes(), 6);
+}
+
+}  // namespace
+}  // namespace rtp

@@ -1,0 +1,131 @@
+#include "search/codec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtp {
+namespace {
+
+FieldMask anl_fields() {
+  FieldMask f;
+  f.set(Characteristic::Type)
+      .set(Characteristic::User)
+      .set(Characteristic::Executable)
+      .set(Characteristic::Arguments)
+      .set(Characteristic::Nodes);
+  return f;
+}
+
+TEST(Codec, BitsPerTemplateCountsCharacteristics) {
+  // 2 (estimator) + 1 (relative) + 4 categorical + 5 (nodes) + 5 (history)
+  // + 1 (age) = 18 for ANL-style fields.
+  TemplateCodec codec(anl_fields(), true);
+  EXPECT_EQ(codec.bits_per_template(), 18u);
+  EXPECT_EQ(codec.characteristics().size(), 4u);
+}
+
+TEST(Codec, RoundTripPreservesTemplate) {
+  TemplateCodec codec(anl_fields(), true);
+  Template t;
+  t.estimator = EstimatorKind::InverseRegression;
+  t.relative = true;
+  t.characteristics.set(Characteristic::User).set(Characteristic::Arguments);
+  t.use_nodes = true;
+  t.node_range_size = 16;
+  t.max_history = 128;
+  t.condition_on_age = true;
+
+  Genome genome;
+  codec.encode_template(t, genome);
+  ASSERT_EQ(genome.size(), codec.bits_per_template());
+  const Template back = codec.decode_template(genome);
+  EXPECT_EQ(back, t);
+}
+
+TEST(Codec, SetRoundTrip) {
+  TemplateCodec codec(anl_fields(), true);
+  TemplateSet set;
+  for (int i = 0; i < 3; ++i) {
+    Template t;
+    t.node_range_size = 1 << i;
+    t.use_nodes = i % 2 == 0;
+    t.max_history = i == 2 ? 64 : 0;
+    set.templates.push_back(t);
+  }
+  const TemplateSet back = codec.decode(codec.encode(set));
+  EXPECT_EQ(back, set);
+}
+
+TEST(Codec, RelativeBitIgnoredWithoutMaxRuntimes) {
+  TemplateCodec codec(anl_fields(), /*trace_has_max_runtimes=*/false);
+  Genome genome(codec.bits_per_template(), 1);  // all bits set
+  const Template t = codec.decode_template(genome);
+  EXPECT_FALSE(t.relative);
+}
+
+TEST(Codec, NodeRangeExponentClamped) {
+  TemplateCodec codec(anl_fields(), true);
+  // All-ones genome: range exponent bits 1111 = 15 -> 15 % 10 = 5 -> 32.
+  Genome genome(codec.bits_per_template(), 1);
+  const Template t = codec.decode_template(genome);
+  EXPECT_TRUE(t.use_nodes);
+  EXPECT_EQ(t.node_range_size, 32);
+  EXPECT_TRUE(t.condition_on_age);
+}
+
+TEST(Codec, HistoryDecoding) {
+  TemplateCodec codec(anl_fields(), true);
+  Template t;
+  t.max_history = 2;  // minimum encodable bound
+  Genome g;
+  codec.encode_template(t, g);
+  EXPECT_EQ(codec.decode_template(g).max_history, 2u);
+  t.max_history = 65536;  // maximum
+  g.clear();
+  codec.encode_template(t, g);
+  EXPECT_EQ(codec.decode_template(g).max_history, 65536u);
+  t.max_history = 0;  // unlimited
+  g.clear();
+  codec.encode_template(t, g);
+  EXPECT_EQ(codec.decode_template(g).max_history, 0u);
+}
+
+TEST(Codec, RandomGenomeDecodes) {
+  TemplateCodec codec(anl_fields(), true);
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    const Genome g = codec.random_genome(rng, 1 + static_cast<std::size_t>(i % 10));
+    EXPECT_EQ(codec.template_count(g), 1 + static_cast<std::size_t>(i % 10));
+    const TemplateSet set = codec.decode(g);
+    for (const Template& t : set.templates) {
+      EXPECT_GE(t.node_range_size, 1);
+      EXPECT_LE(t.node_range_size, 512);
+      // Decoded templates must be feasible for the trace they encode.
+      EXPECT_TRUE(t.feasible_for(anl_fields(), true));
+    }
+  }
+}
+
+class CodecRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodecRoundTrip, DecodeEncodeDecodeIsIdentity) {
+  TemplateCodec codec(anl_fields(), true);
+  Rng rng(GetParam());
+  const Genome g = codec.random_genome(rng, 4);
+  const TemplateSet set = codec.decode(g);
+  // Encoding is not bijective on raw bits (modulo clamps), but
+  // decode(encode(decode(g))) must be a fixed point.
+  const TemplateSet again = codec.decode(codec.encode(set));
+  EXPECT_EQ(again, set);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecRoundTrip,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(Codec, WrongGenomeLengthThrows) {
+  TemplateCodec codec(anl_fields(), true);
+  Genome g(codec.bits_per_template() + 1, 0);
+  EXPECT_THROW(codec.template_count(g), Error);
+}
+
+}  // namespace
+}  // namespace rtp

@@ -1,0 +1,103 @@
+#include "search/eval.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "predict/simple.hpp"
+#include "predict/stf.hpp"
+#include "workload/synthetic.hpp"
+
+namespace rtp {
+namespace {
+
+Workload two_jobs() {
+  FieldMask fields;
+  fields.set(Characteristic::User).set(Characteristic::Nodes);
+  Workload w("w", 4, fields);
+  Job a;
+  a.submit = 0;
+  a.runtime = 100;
+  a.nodes = 4;
+  a.user = "u";
+  w.add_job(std::move(a));
+  Job b;
+  b.submit = 10;
+  b.runtime = 200;
+  b.nodes = 4;
+  b.user = "u";
+  w.add_job(std::move(b));
+  return w;
+}
+
+TEST(Eval, FromScheduleOrdersEvents) {
+  const Workload w = two_jobs();
+  const std::vector<Seconds> starts{0.0, 100.0};
+  const PredictionWorkload pw = PredictionWorkload::from_schedule(w, starts);
+  ASSERT_EQ(pw.events().size(), 4u);
+  EXPECT_EQ(pw.prediction_count(), 2u);
+  // predict(a)@0, predict(b)@10, insert(a)@100, insert(b)@300.
+  EXPECT_FALSE(pw.events()[0].is_insert);
+  EXPECT_FALSE(pw.events()[1].is_insert);
+  EXPECT_TRUE(pw.events()[2].is_insert);
+  EXPECT_DOUBLE_EQ(pw.events()[3].time, 300.0);
+}
+
+TEST(Eval, InsertBeforePredictAtSameInstant) {
+  FieldMask fields;
+  fields.set(Characteristic::Nodes);
+  Workload w("w", 4, fields);
+  Job a;
+  a.submit = 0;
+  a.runtime = 100;
+  a.nodes = 1;
+  w.add_job(std::move(a));
+  Job b;
+  b.submit = 100;  // arrives exactly when a completes
+  b.runtime = 50;
+  b.nodes = 1;
+  w.add_job(std::move(b));
+  const PredictionWorkload pw = PredictionWorkload::from_schedule(w, {0.0, 100.0});
+  // order: predict(a)@0, insert(a)@100, predict(b)@100, insert(b)@150.
+  EXPECT_TRUE(pw.events()[1].is_insert);
+  EXPECT_FALSE(pw.events()[2].is_insert);
+}
+
+TEST(Eval, OracleScoresZero) {
+  const Workload w = two_jobs();
+  const PredictionWorkload pw = PredictionWorkload::from_schedule(w, {0.0, 100.0});
+  ActualRuntimePredictor oracle;
+  EXPECT_DOUBLE_EQ(pw.evaluate(oracle), 0.0);
+}
+
+TEST(Eval, ConstantScoresKnownError) {
+  const Workload w = two_jobs();  // runtimes 100 and 200
+  const PredictionWorkload pw = PredictionWorkload::from_schedule(w, {0.0, 100.0});
+  ConstantPredictor c(150.0);
+  EXPECT_DOUBLE_EQ(pw.evaluate(c), 50.0);
+}
+
+TEST(Eval, MissingStartThrows) {
+  const Workload w = two_jobs();
+  EXPECT_THROW(PredictionWorkload::from_schedule(w, {0.0, kNoTime}), Error);
+  EXPECT_THROW(PredictionWorkload::from_schedule(w, {0.0}), Error);
+}
+
+TEST(Eval, FromPolicyRunsTheScheduler) {
+  const Workload w = generate_synthetic(anl_config(0.02));
+  const PredictionWorkload pw = PredictionWorkload::from_policy(w, PolicyKind::Lwf);
+  EXPECT_EQ(pw.prediction_count(), w.size());
+  EXPECT_EQ(pw.events().size(), 2 * w.size());
+  ActualRuntimePredictor oracle;
+  EXPECT_DOUBLE_EQ(pw.evaluate(oracle), 0.0);
+}
+
+TEST(Eval, LearnablePredictorBeatsConstantOnStructuredData) {
+  const Workload w = generate_synthetic(anl_config(0.05));
+  const PredictionWorkload pw = PredictionWorkload::from_policy(w, PolicyKind::Fcfs);
+  StfPredictor stf(default_template_set(w.fields(), true));
+  ConstantPredictor dumb(hours(10));
+  EXPECT_LT(pw.evaluate(stf), pw.evaluate(dumb));
+}
+
+}  // namespace
+}  // namespace rtp

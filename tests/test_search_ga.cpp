@@ -1,0 +1,91 @@
+#include "search/ga.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "predict/stf.hpp"
+#include "workload/synthetic.hpp"
+
+namespace rtp {
+namespace {
+
+GaOptions small_ga() {
+  GaOptions options;
+  options.population = 12;
+  options.generations = 6;
+  options.threads = 2;
+  return options;
+}
+
+TEST(Ga, FindsLowErrorTemplatesOnStructuredWorkload) {
+  const Workload w = generate_synthetic(anl_config(0.03));
+  const PredictionWorkload eval = PredictionWorkload::from_policy(w, PolicyKind::Fcfs);
+  const SearchResult result = search_templates_ga(eval, w.fields(), true, small_ga());
+
+  ASSERT_FALSE(result.best.templates.empty());
+  EXPECT_LE(result.best.templates.size(), 10u);
+  EXPECT_GT(result.evaluations, 0u);
+
+  // The searched set must beat a naive single-global-template baseline.
+  TemplateSet naive;
+  naive.templates.emplace_back();
+  StfPredictor baseline(naive);
+  EXPECT_LT(result.best_error, eval.evaluate(baseline) * 1.01);
+}
+
+TEST(Ga, BestErrorPerGenerationIsMonotone) {
+  const Workload w = generate_synthetic(anl_config(0.02));
+  const PredictionWorkload eval = PredictionWorkload::from_policy(w, PolicyKind::Fcfs);
+  const SearchResult result = search_templates_ga(eval, w.fields(), true, small_ga());
+  ASSERT_EQ(result.best_error_per_generation.size(), small_ga().generations);
+  for (std::size_t g = 1; g < result.best_error_per_generation.size(); ++g)
+    EXPECT_LE(result.best_error_per_generation[g], result.best_error_per_generation[g - 1]);
+}
+
+TEST(Ga, DeterministicInSeed) {
+  const Workload w = generate_synthetic(anl_config(0.02));
+  const PredictionWorkload eval = PredictionWorkload::from_policy(w, PolicyKind::Fcfs);
+  const SearchResult a = search_templates_ga(eval, w.fields(), true, small_ga());
+  const SearchResult b = search_templates_ga(eval, w.fields(), true, small_ga());
+  EXPECT_EQ(a.best, b.best);
+  EXPECT_DOUBLE_EQ(a.best_error, b.best_error);
+}
+
+TEST(Ga, RespectsTemplateBounds) {
+  const Workload w = generate_synthetic(sdsc95_config(0.02));
+  const PredictionWorkload eval = PredictionWorkload::from_policy(w, PolicyKind::Fcfs);
+  GaOptions options = small_ga();
+  options.min_templates = 2;
+  options.max_templates = 3;
+  const SearchResult result = search_templates_ga(eval, w.fields(), false, options);
+  EXPECT_GE(result.best.templates.size(), 2u);
+  EXPECT_LE(result.best.templates.size(), 3u);
+}
+
+TEST(Ga, RejectsBadOptions) {
+  const Workload w = generate_synthetic(anl_config(0.02));
+  const PredictionWorkload eval = PredictionWorkload::from_policy(w, PolicyKind::Fcfs);
+  GaOptions bad = small_ga();
+  bad.population = 3;
+  EXPECT_THROW(search_templates_ga(eval, w.fields(), true, bad), Error);
+  bad = small_ga();
+  bad.population = 7;  // odd
+  EXPECT_THROW(search_templates_ga(eval, w.fields(), true, bad), Error);
+  bad = small_ga();
+  bad.min_templates = 5;
+  bad.max_templates = 2;
+  EXPECT_THROW(search_templates_ga(eval, w.fields(), true, bad), Error);
+}
+
+TEST(Ga, SdscTemplatesNeverUseUnrecordedFields) {
+  const Workload w = generate_synthetic(sdsc95_config(0.02));
+  const PredictionWorkload eval = PredictionWorkload::from_policy(w, PolicyKind::Lwf);
+  const SearchResult result = search_templates_ga(eval, w.fields(), false, small_ga());
+  for (const Template& t : result.best.templates) {
+    EXPECT_TRUE(t.feasible_for(w.fields(), false)) << t.describe();
+    EXPECT_FALSE(t.relative);
+  }
+}
+
+}  // namespace
+}  // namespace rtp

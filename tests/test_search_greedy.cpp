@@ -1,0 +1,47 @@
+#include "search/greedy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/synthetic.hpp"
+
+namespace rtp {
+namespace {
+
+GreedyOptions small_greedy() {
+  GreedyOptions options;
+  options.candidate_limit = 40;
+  options.max_templates = 4;
+  options.threads = 2;
+  return options;
+}
+
+TEST(Greedy, ReturnsNonEmptyFeasibleSet) {
+  const Workload w = generate_synthetic(anl_config(0.02));
+  const PredictionWorkload eval = PredictionWorkload::from_policy(w, PolicyKind::Fcfs);
+  const SearchResult result =
+      search_templates_greedy(eval, w.fields(), true, small_greedy());
+  ASSERT_FALSE(result.best.templates.empty());
+  EXPECT_LE(result.best.templates.size(), 4u);
+  for (const Template& t : result.best.templates)
+    EXPECT_TRUE(t.feasible_for(w.fields(), true)) << t.describe();
+}
+
+TEST(Greedy, ErrorTrajectoryNonIncreasing) {
+  const Workload w = generate_synthetic(anl_config(0.02));
+  const PredictionWorkload eval = PredictionWorkload::from_policy(w, PolicyKind::Fcfs);
+  const SearchResult result =
+      search_templates_greedy(eval, w.fields(), true, small_greedy());
+  for (std::size_t i = 1; i < result.best_error_per_generation.size(); ++i)
+    EXPECT_LE(result.best_error_per_generation[i], result.best_error_per_generation[i - 1]);
+}
+
+TEST(Greedy, DeterministicInSeed) {
+  const Workload w = generate_synthetic(sdsc95_config(0.02));
+  const PredictionWorkload eval = PredictionWorkload::from_policy(w, PolicyKind::Fcfs);
+  const SearchResult a = search_templates_greedy(eval, w.fields(), false, small_greedy());
+  const SearchResult b = search_templates_greedy(eval, w.fields(), false, small_greedy());
+  EXPECT_EQ(a.best, b.best);
+}
+
+}  // namespace
+}  // namespace rtp

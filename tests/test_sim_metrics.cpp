@@ -1,0 +1,51 @@
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace rtp {
+namespace {
+
+TEST(Metrics, AggregatesFromPerJobWaits) {
+  SimResult r;
+  r.waits = {0.0, 60.0, 120.0, 600.0};
+  finalize_metrics(r, /*total_work=*/1000.0, /*machine_nodes=*/10, /*first_submit=*/0.0,
+                   /*last_completion=*/100.0);
+  EXPECT_DOUBLE_EQ(r.mean_wait, 195.0);
+  EXPECT_DOUBLE_EQ(r.median_wait, 90.0);
+  EXPECT_DOUBLE_EQ(r.max_wait, 600.0);
+  EXPECT_DOUBLE_EQ(r.makespan, 100.0);
+  EXPECT_DOUBLE_EQ(r.utilization, 1.0);
+}
+
+TEST(Metrics, UtilizationFormula) {
+  SimResult r;
+  r.waits = {0.0};
+  finalize_metrics(r, 250.0, 10, 50.0, 150.0);
+  // 250 node-seconds over 10 nodes * 100 seconds.
+  EXPECT_DOUBLE_EQ(r.utilization, 0.25);
+}
+
+TEST(Metrics, EmptyWaitsLeaveZeros) {
+  SimResult r;
+  finalize_metrics(r, 0.0, 4, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(r.mean_wait, 0.0);
+  EXPECT_DOUBLE_EQ(r.utilization, 0.0);
+  EXPECT_DOUBLE_EQ(r.makespan, 0.0);
+}
+
+TEST(Metrics, NegativeSpanClampedToZero) {
+  SimResult r;
+  finalize_metrics(r, 10.0, 4, 100.0, 50.0);
+  EXPECT_DOUBLE_EQ(r.makespan, 0.0);
+  EXPECT_DOUBLE_EQ(r.utilization, 0.0);
+}
+
+TEST(Metrics, RequiresPositiveMachine) {
+  SimResult r;
+  EXPECT_THROW(finalize_metrics(r, 1.0, 0, 0.0, 1.0), Error);
+}
+
+}  // namespace
+}  // namespace rtp

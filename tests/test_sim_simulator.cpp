@@ -1,0 +1,155 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "predict/simple.hpp"
+#include "workload/synthetic.hpp"
+
+namespace rtp {
+namespace {
+
+Workload tiny(int machine, std::vector<std::tuple<Seconds, Seconds, int>> specs) {
+  FieldMask fields;
+  fields.set(Characteristic::User).set(Characteristic::Nodes);
+  Workload w("tiny", machine, fields);
+  for (auto& [submit, runtime, nodes] : specs) {
+    Job j;
+    j.submit = submit;
+    j.runtime = runtime;
+    j.nodes = nodes;
+    j.user = "u";
+    w.add_job(std::move(j));
+  }
+  return w;
+}
+
+TEST(Simulator, SingleJobRunsImmediately) {
+  const Workload w = tiny(4, {{0.0, 100.0, 2}});
+  FcfsPolicy fcfs;
+  ActualRuntimePredictor oracle;
+  const SimResult r = simulate(w, fcfs, oracle);
+  EXPECT_DOUBLE_EQ(r.start_times[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.waits[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.makespan, 100.0);
+  // 2 nodes * 100 s / (4 nodes * 100 s)
+  EXPECT_DOUBLE_EQ(r.utilization, 0.5);
+}
+
+TEST(Simulator, SerialMachineQueuesSecondJob) {
+  const Workload w = tiny(1, {{0.0, 100.0, 1}, {10.0, 50.0, 1}});
+  FcfsPolicy fcfs;
+  ActualRuntimePredictor oracle;
+  const SimResult r = simulate(w, fcfs, oracle);
+  EXPECT_DOUBLE_EQ(r.start_times[1], 100.0);
+  EXPECT_DOUBLE_EQ(r.waits[1], 90.0);
+  EXPECT_DOUBLE_EQ(r.mean_wait, 45.0);
+  EXPECT_DOUBLE_EQ(r.max_wait, 90.0);
+}
+
+TEST(Simulator, CompletionBeforeArrivalAtSameInstant) {
+  // Job 0 ends exactly when job 1 arrives; the freed node must be visible.
+  const Workload w = tiny(1, {{0.0, 100.0, 1}, {100.0, 50.0, 1}});
+  FcfsPolicy fcfs;
+  ActualRuntimePredictor oracle;
+  const SimResult r = simulate(w, fcfs, oracle);
+  EXPECT_DOUBLE_EQ(r.start_times[1], 100.0);
+  EXPECT_DOUBLE_EQ(r.waits[1], 0.0);
+}
+
+TEST(Simulator, ZeroRuntimeFloored) {
+  const Workload w = tiny(1, {{0.0, 0.0, 1}, {0.0, 10.0, 1}});
+  FcfsPolicy fcfs;
+  ActualRuntimePredictor oracle;
+  const SimResult r = simulate(w, fcfs, oracle);
+  // The zero-length job occupies the node for the 1 s floor.
+  EXPECT_DOUBLE_EQ(r.start_times[1], 1.0);
+}
+
+TEST(Simulator, UtilizationAccountsAllWork) {
+  const Workload w = tiny(2, {{0.0, 100.0, 1}, {0.0, 100.0, 1}, {0.0, 100.0, 2}});
+  FcfsPolicy fcfs;
+  ActualRuntimePredictor oracle;
+  const SimResult r = simulate(w, fcfs, oracle);
+  // First two run in parallel [0,100), third at 100 ends 200.
+  EXPECT_DOUBLE_EQ(r.makespan, 200.0);
+  EXPECT_DOUBLE_EQ(r.utilization, (100 + 100 + 200) / (2 * 200.0));
+}
+
+class CountingObserver : public SimObserver {
+ public:
+  int submits = 0, starts = 0, finishes = 0;
+  Seconds last_submit_time = -1;
+  std::size_t queue_len_at_last_submit = 0;
+
+  void on_submit(Seconds now, const SystemState& state, const Job&) override {
+    ++submits;
+    last_submit_time = now;
+    queue_len_at_last_submit = state.queue().size();
+  }
+  void on_start(const Job&, Seconds) override { ++starts; }
+  void on_finish(const Job&, Seconds) override { ++finishes; }
+};
+
+TEST(Simulator, ObserverSeesEveryEvent) {
+  const Workload w = tiny(1, {{0.0, 10.0, 1}, {1.0, 10.0, 1}, {2.0, 10.0, 1}});
+  FcfsPolicy fcfs;
+  ActualRuntimePredictor oracle;
+  CountingObserver obs;
+  simulate(w, fcfs, oracle, &obs);
+  EXPECT_EQ(obs.submits, 3);
+  EXPECT_EQ(obs.starts, 3);
+  EXPECT_EQ(obs.finishes, 3);
+  EXPECT_DOUBLE_EQ(obs.last_submit_time, 2.0);
+}
+
+TEST(Simulator, SubmitHookSeesNewJobInQueue) {
+  const Workload w = tiny(1, {{0.0, 100.0, 1}, {5.0, 10.0, 1}});
+  FcfsPolicy fcfs;
+  ActualRuntimePredictor oracle;
+  CountingObserver obs;
+  simulate(w, fcfs, oracle, &obs);
+  // At the second submit, job 0 is running and job 1 is queued.
+  EXPECT_EQ(obs.queue_len_at_last_submit, 1u);
+}
+
+TEST(Simulator, EstimatorObservesCompletionsInOrder) {
+  class OrderCheck : public RuntimeEstimator {
+   public:
+    Seconds last = -1;
+    Seconds estimate(const Job& job, Seconds) override { return job.runtime; }
+    void job_completed(const Job&, Seconds t) override {
+      EXPECT_GE(t, last);
+      last = t;
+    }
+    std::string name() const override { return "order"; }
+  };
+  const Workload w = generate_synthetic(anl_config(0.02));
+  FcfsPolicy fcfs;
+  OrderCheck est;
+  simulate(w, fcfs, est);
+  EXPECT_GT(est.last, 0.0);
+}
+
+TEST(Simulator, AllJobsEventuallyStart) {
+  const Workload w = generate_synthetic(sdsc95_config(0.02));
+  for (PolicyKind kind : {PolicyKind::Fcfs, PolicyKind::Lwf,
+                          PolicyKind::BackfillConservative, PolicyKind::BackfillEasy}) {
+    auto policy = make_policy(kind);
+    ActualRuntimePredictor oracle;
+    const SimResult r = simulate(w, *policy, oracle);
+    for (std::size_t i = 0; i < w.size(); ++i)
+      EXPECT_GE(r.start_times[i], 0.0) << "job " << i << " under " << policy->name();
+  }
+}
+
+TEST(Simulator, BackfillNeverBeatsWorkConservationBounds) {
+  const Workload w = generate_synthetic(anl_config(0.02));
+  BackfillPolicy bf;
+  ActualRuntimePredictor oracle;
+  const SimResult r = simulate(w, bf, oracle);
+  EXPECT_GT(r.utilization, 0.0);
+  EXPECT_LE(r.utilization, 1.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace rtp

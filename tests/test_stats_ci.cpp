@@ -1,0 +1,93 @@
+#include "stats/ci.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace rtp {
+namespace {
+
+TEST(NormalQuantile, KnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963985, 1e-6);
+  EXPECT_NEAR(normal_quantile(0.95), 1.644853627, 1e-6);
+  EXPECT_NEAR(normal_quantile(0.025), -1.959963985, 1e-6);
+  EXPECT_NEAR(normal_quantile(0.999), 3.090232306, 1e-6);
+  EXPECT_NEAR(normal_quantile(0.001), -3.090232306, 1e-6);
+}
+
+TEST(NormalQuantile, Symmetry) {
+  for (double p : {0.6, 0.75, 0.9, 0.99})
+    EXPECT_NEAR(normal_quantile(p), -normal_quantile(1.0 - p), 1e-9);
+}
+
+TEST(NormalQuantile, RejectsOutOfRange) {
+  EXPECT_THROW(normal_quantile(0.0), Error);
+  EXPECT_THROW(normal_quantile(1.0), Error);
+  EXPECT_THROW(normal_quantile(-0.1), Error);
+}
+
+TEST(StudentT, MatchesTablesAt975) {
+  // Classic two-sided 95% critical values.
+  EXPECT_NEAR(student_t_quantile(0.975, 1), 12.706, 0.01);
+  EXPECT_NEAR(student_t_quantile(0.975, 2), 4.303, 0.005);
+  EXPECT_NEAR(student_t_quantile(0.975, 5), 2.571, 0.01);
+  EXPECT_NEAR(student_t_quantile(0.975, 10), 2.228, 0.005);
+  EXPECT_NEAR(student_t_quantile(0.975, 30), 2.042, 0.003);
+  EXPECT_NEAR(student_t_quantile(0.975, 120), 1.980, 0.002);
+}
+
+TEST(StudentT, MatchesTablesAt95) {
+  EXPECT_NEAR(student_t_quantile(0.95, 1), 6.314, 0.01);
+  EXPECT_NEAR(student_t_quantile(0.95, 2), 2.920, 0.005);
+  EXPECT_NEAR(student_t_quantile(0.95, 5), 2.015, 0.01);
+  EXPECT_NEAR(student_t_quantile(0.95, 30), 1.697, 0.003);
+}
+
+TEST(StudentT, ApproachesNormalForLargeDf) {
+  EXPECT_NEAR(student_t_quantile(0.975, 100000), normal_quantile(0.975), 1e-3);
+}
+
+TEST(StudentT, MedianIsZeroAndSymmetric) {
+  for (std::size_t df : {1u, 2u, 3u, 17u}) {
+    EXPECT_NEAR(student_t_quantile(0.5, df), 0.0, 1e-9);
+    EXPECT_NEAR(student_t_quantile(0.9, df), -student_t_quantile(0.1, df), 1e-6);
+  }
+}
+
+TEST(StudentT, RejectsBadInput) {
+  EXPECT_THROW(student_t_quantile(0.975, 0), Error);
+  EXPECT_THROW(student_t_quantile(1.0, 5), Error);
+}
+
+TEST(Intervals, PredictionWiderThanMeanCi) {
+  for (std::size_t n : {2u, 5u, 30u})
+    EXPECT_GT(prediction_interval_halfwidth(n, 1.0), mean_ci_halfwidth(n, 1.0));
+}
+
+TEST(Intervals, ShrinkWithMoreData) {
+  EXPECT_GT(prediction_interval_halfwidth(3, 1.0), prediction_interval_halfwidth(30, 1.0));
+  EXPECT_GT(mean_ci_halfwidth(3, 1.0), mean_ci_halfwidth(30, 1.0));
+}
+
+TEST(Intervals, ScaleWithStddev) {
+  EXPECT_DOUBLE_EQ(prediction_interval_halfwidth(10, 2.0),
+                   2.0 * prediction_interval_halfwidth(10, 1.0));
+}
+
+TEST(Intervals, ZeroStddevGivesZeroWidth) {
+  EXPECT_DOUBLE_EQ(prediction_interval_halfwidth(5, 0.0), 0.0);
+}
+
+TEST(Intervals, NeedTwoSamples) {
+  EXPECT_THROW(prediction_interval_halfwidth(1, 1.0), Error);
+  EXPECT_THROW(mean_ci_halfwidth(1, 1.0), Error);
+}
+
+TEST(Intervals, TighterAlphaIsWider) {
+  EXPECT_GT(prediction_interval_halfwidth(10, 1.0, 0.01),
+            prediction_interval_halfwidth(10, 1.0, 0.10));
+}
+
+}  // namespace
+}  // namespace rtp

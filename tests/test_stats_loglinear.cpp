@@ -1,0 +1,99 @@
+#include "stats/loglinear.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace rtp {
+namespace {
+
+/// Sample from an exact log-uniform distribution on [t_min, t_max]:
+/// F(t) = (ln t - ln t_min) / (ln t_max - ln t_min) = beta0 + beta1 ln t.
+std::vector<double> log_uniform_sample(Rng& rng, double t_min, double t_max, int n) {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    out.push_back(t_min * std::pow(t_max / t_min, rng.uniform()));
+  return out;
+}
+
+TEST(LogLinearCdf, RecoversLogUniformParameters) {
+  Rng rng(3);
+  const double t_min = 10.0, t_max = 10000.0;
+  const auto sample = log_uniform_sample(rng, t_min, t_max, 5000);
+  const LogLinearCdf model = LogLinearCdf::fit(sample);
+  ASSERT_TRUE(model.valid());
+  const double beta1_expected = 1.0 / std::log(t_max / t_min);
+  EXPECT_NEAR(model.beta1(), beta1_expected, 0.05 * beta1_expected);
+  EXPECT_NEAR(model.t_max(), t_max, 0.25 * t_max);
+}
+
+TEST(LogLinearCdf, InvalidWithFewOrIdenticalPoints) {
+  EXPECT_FALSE(LogLinearCdf::fit(std::vector<double>{}).valid());
+  EXPECT_FALSE(LogLinearCdf::fit(std::vector<double>{5.0}).valid());
+  EXPECT_FALSE(LogLinearCdf::fit(std::vector<double>{5.0, 5.0, 5.0}).valid());
+}
+
+TEST(LogLinearCdf, RejectsNonPositiveRuntimes) {
+  EXPECT_THROW(LogLinearCdf::fit(std::vector<double>{0.0, 1.0}), Error);
+}
+
+TEST(LogLinearCdf, ConditionalMedianFormula) {
+  Rng rng(5);
+  const auto sample = log_uniform_sample(rng, 10.0, 10000.0, 2000);
+  const LogLinearCdf model = LogLinearCdf::fit(sample);
+  ASSERT_TRUE(model.valid());
+  // The paper's formula: sqrt(a * e^{(1-b0)/b1}).
+  const double a = 100.0;
+  EXPECT_NEAR(model.conditional_median(a), std::sqrt(a * model.t_max()), 1e-9);
+}
+
+TEST(LogLinearCdf, ConditionalMedianGrowsWithAge) {
+  Rng rng(7);
+  const auto sample = log_uniform_sample(rng, 10.0, 10000.0, 2000);
+  const LogLinearCdf model = LogLinearCdf::fit(sample);
+  ASSERT_TRUE(model.valid());
+  EXPECT_GT(model.conditional_median(400.0), model.conditional_median(100.0));
+  EXPECT_GT(model.conditional_average(400.0), model.conditional_average(100.0));
+}
+
+TEST(LogLinearCdf, ConditionalAverageBetweenAgeAndTmax) {
+  Rng rng(9);
+  const auto sample = log_uniform_sample(rng, 10.0, 10000.0, 2000);
+  const LogLinearCdf model = LogLinearCdf::fit(sample);
+  ASSERT_TRUE(model.valid());
+  const double a = 50.0;
+  const double avg = model.conditional_average(a);
+  EXPECT_GT(avg, a);
+  EXPECT_LT(avg, model.t_max());
+}
+
+TEST(LogLinearCdf, AgeBeyondTmaxReturnsAge) {
+  Rng rng(11);
+  const auto sample = log_uniform_sample(rng, 10.0, 1000.0, 500);
+  const LogLinearCdf model = LogLinearCdf::fit(sample);
+  ASSERT_TRUE(model.valid());
+  const double beyond = model.t_max() * 2.0;
+  EXPECT_DOUBLE_EQ(model.conditional_average(beyond), beyond);
+}
+
+TEST(LogLinearCdf, TrueLogUniformMedianMatchesTheory) {
+  // For a log-uniform on [tmin, tmax], the unconditional median is
+  // sqrt(tmin * tmax); feeding age = tmin to the conditional median must
+  // reproduce it (the clamping DowneyPredictor relies on).
+  Rng rng(13);
+  const double t_min = 30.0, t_max = 3000.0;
+  const auto sample = log_uniform_sample(rng, t_min, t_max, 5000);
+  const LogLinearCdf model = LogLinearCdf::fit(sample);
+  ASSERT_TRUE(model.valid());
+  const double fitted_tmin = std::exp(-model.beta0() / model.beta1());
+  EXPECT_NEAR(model.conditional_median(fitted_tmin), std::sqrt(t_min * t_max),
+              0.2 * std::sqrt(t_min * t_max));
+}
+
+}  // namespace
+}  // namespace rtp

@@ -1,0 +1,52 @@
+#include "stats/quantiles.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace rtp {
+namespace {
+
+TEST(Quantiles, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(Quantiles, SingleElement) {
+  const double qs[] = {0.0, 0.5, 1.0};
+  const auto v = quantiles({7.0}, qs);
+  for (double q : v) EXPECT_DOUBLE_EQ(q, 7.0);
+}
+
+TEST(Quantiles, EndpointsAreMinMax) {
+  const double qs[] = {0.0, 1.0};
+  const auto v = quantiles({5.0, 1.0, 9.0, 3.0}, qs);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  EXPECT_DOUBLE_EQ(v[1], 9.0);
+}
+
+TEST(Quantiles, LinearInterpolation) {
+  // Sorted: 10, 20, 30, 40.  q=0.25 -> position 0.75 -> 10 + 0.75*10 = 17.5.
+  const double qs[] = {0.25};
+  EXPECT_DOUBLE_EQ(quantiles({40.0, 10.0, 30.0, 20.0}, qs)[0], 17.5);
+}
+
+TEST(Quantiles, SortedInputContract) {
+  const std::vector<double> sorted{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.5), 2.0);
+  EXPECT_THROW(quantile_sorted(sorted, 1.5), Error);
+  EXPECT_THROW(quantile_sorted(std::span<const double>{}, 0.5), Error);
+}
+
+TEST(Quantiles, MonotoneInQ) {
+  const std::vector<double> sorted{1.0, 4.0, 9.0, 16.0, 25.0};
+  double prev = quantile_sorted(sorted, 0.0);
+  for (double q = 0.1; q <= 1.0; q += 0.1) {
+    const double cur = quantile_sorted(sorted, q);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+}  // namespace
+}  // namespace rtp

@@ -1,0 +1,110 @@
+#include "stats/regression.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+
+namespace rtp {
+namespace {
+
+TEST(LinearRegression, RecoversExactLine) {
+  LinearRegression reg;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) reg.add(x, 3.0 + 2.0 * x);
+  ASSERT_TRUE(reg.valid());
+  EXPECT_NEAR(reg.slope(), 2.0, 1e-12);
+  EXPECT_NEAR(reg.intercept(), 3.0, 1e-12);
+  EXPECT_NEAR(reg.predict(10.0), 23.0, 1e-12);
+  EXPECT_NEAR(reg.residual_stddev(), 0.0, 1e-9);
+}
+
+TEST(LinearRegression, InvalidWithIdenticalX) {
+  LinearRegression reg;
+  reg.add(2.0, 1.0);
+  reg.add(2.0, 3.0);
+  EXPECT_FALSE(reg.valid());
+  // predict falls back to the mean of y.
+  EXPECT_DOUBLE_EQ(reg.predict(5.0), 2.0);
+}
+
+TEST(LinearRegression, InvalidWithOnePoint) {
+  LinearRegression reg;
+  reg.add(1.0, 1.0);
+  EXPECT_FALSE(reg.valid());
+  EXPECT_DOUBLE_EQ(reg.predict(9.0), 1.0);
+}
+
+TEST(LinearRegression, WeightsPullTheFit) {
+  // Two clusters; the heavily weighted one dominates the intercept.
+  LinearRegression heavy, uniform;
+  for (auto& reg : {&heavy, &uniform}) (void)reg;
+  heavy.add(0.0, 0.0, 100.0);
+  heavy.add(1.0, 1.0, 100.0);
+  heavy.add(2.0, 5.0, 0.01);  // outlier, nearly ignored
+  uniform.add(0.0, 0.0);
+  uniform.add(1.0, 1.0);
+  uniform.add(2.0, 5.0);
+  EXPECT_NEAR(heavy.predict(2.0), 2.0, 0.05);   // follows y = x
+  EXPECT_GT(uniform.predict(2.0), 3.0);         // dragged by the outlier
+}
+
+TEST(LinearRegression, ResidualStddevOnNoisyData) {
+  Rng rng(5);
+  LinearRegression reg;
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.uniform(0.0, 10.0);
+    reg.add(x, 1.0 + 0.5 * x + rng.normal(0.0, 2.0));
+  }
+  EXPECT_NEAR(reg.residual_stddev(), 2.0, 0.15);
+  EXPECT_NEAR(reg.slope(), 0.5, 0.05);
+}
+
+TEST(LinearRegression, PredictionHalfwidthGrowsAwayFromMean) {
+  Rng rng(6);
+  LinearRegression reg;
+  for (int i = 0; i < 50; ++i) {
+    const double x = rng.uniform(0.0, 10.0);
+    reg.add(x, x + rng.normal(0.0, 1.0));
+  }
+  const double at_center = reg.prediction_halfwidth(5.0);
+  const double far_out = reg.prediction_halfwidth(30.0);
+  EXPECT_GT(far_out, at_center);
+  EXPECT_GT(at_center, 0.0);
+}
+
+TEST(TransformedRegression, InverseModel) {
+  // y = 10 + 6/x fits the Inverse kind exactly.
+  TransformedRegression reg(RegressionKind::Inverse);
+  for (double x : {1.0, 2.0, 3.0, 6.0}) reg.add(x, 10.0 + 6.0 / x);
+  ASSERT_TRUE(reg.valid());
+  EXPECT_NEAR(reg.predict(4.0), 11.5, 1e-9);
+}
+
+TEST(TransformedRegression, LogarithmicModel) {
+  // y = 2 + 3 ln x fits the Logarithmic kind exactly.
+  TransformedRegression reg(RegressionKind::Logarithmic);
+  for (double x : {1.0, 2.0, 4.0, 8.0}) reg.add(x, 2.0 + 3.0 * std::log(x));
+  ASSERT_TRUE(reg.valid());
+  EXPECT_NEAR(reg.predict(16.0), 2.0 + 3.0 * std::log(16.0), 1e-9);
+}
+
+TEST(TransformedRegression, TransformRejectsNonPositiveX) {
+  EXPECT_THROW(regression_transform(RegressionKind::Logarithmic, 0.0), Error);
+  EXPECT_THROW(regression_transform(RegressionKind::Inverse, -1.0), Error);
+}
+
+class RegressionKindParam : public ::testing::TestWithParam<RegressionKind> {};
+
+TEST_P(RegressionKindParam, ConstantDataPredictsConstant) {
+  TransformedRegression reg(GetParam());
+  for (double x : {1.0, 2.0, 4.0, 8.0, 16.0}) reg.add(x, 42.0);
+  EXPECT_NEAR(reg.predict(5.0), 42.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, RegressionKindParam,
+                         ::testing::Values(RegressionKind::Linear, RegressionKind::Inverse,
+                                           RegressionKind::Logarithmic));
+
+}  // namespace
+}  // namespace rtp

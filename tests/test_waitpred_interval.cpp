@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "waitpred/waitpred.hpp"
+
+namespace rtp {
+namespace {
+
+struct Fixture {
+  std::vector<Job> jobs;
+  SystemState state;
+
+  explicit Fixture(int machine) : state(machine) { jobs.reserve(32); }
+
+  JobId add_running(int nodes, Seconds start, Seconds estimate) {
+    Job& j = jobs.emplace_back();
+    j.id = static_cast<JobId>(jobs.size() - 1);
+    j.nodes = nodes;
+    state.enqueue(j, start, estimate);
+    state.start_job(j.id, start);
+    return j.id;
+  }
+
+  JobId add_queued(int nodes, Seconds submit, Seconds estimate) {
+    Job& j = jobs.emplace_back();
+    j.id = static_cast<JobId>(jobs.size() - 1);
+    j.nodes = nodes;
+    state.enqueue(j, submit, estimate);
+    return j.id;
+  }
+};
+
+TEST(WaitInterval, BandBracketsPointEstimate) {
+  Fixture f(8);
+  f.add_running(8, 0.0, 1000.0);
+  const JobId target = f.add_queued(8, 100.0, 500.0);
+  FcfsPolicy fcfs;
+  const WaitInterval w = predict_wait_interval(f.state, fcfs, 100.0, target);
+  EXPECT_LE(w.optimistic, w.expected);
+  EXPECT_GE(w.pessimistic, w.expected);
+  // Running job ends at 1000 in the point scenario: wait 900.
+  EXPECT_NEAR(w.expected, 900.0, 1.0);
+  // Optimistic: remaining 900 scaled by 0.5 -> ends at 550: wait 450.
+  EXPECT_NEAR(w.optimistic, 450.0, 1.0);
+  // Pessimistic: remaining doubled -> ends at 1900: wait 1800.
+  EXPECT_NEAR(w.pessimistic, 1800.0, 1.0);
+}
+
+TEST(WaitInterval, EmptyMachineAllZero) {
+  Fixture f(8);
+  const JobId target = f.add_queued(4, 10.0, 100.0);
+  LwfPolicy lwf;
+  const WaitInterval w = predict_wait_interval(f.state, lwf, 10.0, target);
+  EXPECT_DOUBLE_EQ(w.expected, 0.0);
+  EXPECT_DOUBLE_EQ(w.optimistic, 0.0);
+  EXPECT_DOUBLE_EQ(w.pessimistic, 0.0);
+}
+
+TEST(WaitInterval, QueueAheadScalesToo) {
+  Fixture f(4);
+  f.add_running(4, 0.0, 100.0);
+  f.add_queued(4, 1.0, 200.0);  // ahead of the target
+  const JobId target = f.add_queued(4, 2.0, 50.0);
+  FcfsPolicy fcfs;
+  const WaitInterval w = predict_wait_interval(f.state, fcfs, 2.0, target, 0.5, 2.0);
+  // Point: running ends 100, ahead runs [100,300), target waits 298.
+  EXPECT_NEAR(w.expected, 298.0, 1.5);
+  // Optimistic: running ends ~51, ahead runs 100s -> target waits ~149.
+  EXPECT_NEAR(w.optimistic, 149.0, 3.0);
+  // Pessimistic: running ends 200, ahead 400s -> target waits ~598.
+  EXPECT_NEAR(w.pessimistic, 598.0, 3.0);
+}
+
+TEST(WaitInterval, TargetOwnEstimateNotScaled) {
+  // Scaling must apply to the environment, not the target's own duration
+  // (its wait does not depend on its own run time under FCFS).
+  Fixture f(4);
+  f.add_running(4, 0.0, 100.0);
+  const JobId target = f.add_queued(4, 5.0, 10000.0);
+  FcfsPolicy fcfs;
+  const WaitInterval w = predict_wait_interval(f.state, fcfs, 5.0, target, 0.5, 2.0);
+  EXPECT_NEAR(w.expected, 95.0, 1.0);
+  EXPECT_NEAR(w.optimistic, 47.5, 1.0);
+  EXPECT_NEAR(w.pessimistic, 190.0, 1.0);
+}
+
+TEST(WaitInterval, RejectsBadScales) {
+  Fixture f(4);
+  const JobId target = f.add_queued(4, 0.0, 10.0);
+  FcfsPolicy fcfs;
+  EXPECT_THROW(predict_wait_interval(f.state, fcfs, 0.0, target, 0.0, 2.0), Error);
+  EXPECT_THROW(predict_wait_interval(f.state, fcfs, 0.0, target, 1.5, 2.0), Error);
+  EXPECT_THROW(predict_wait_interval(f.state, fcfs, 0.0, target, 0.5, 0.9), Error);
+}
+
+TEST(WaitInterval, WorksUnderBackfill) {
+  Fixture f(8);
+  f.add_running(6, 0.0, 100.0);
+  f.add_queued(8, 1.0, 300.0);
+  const JobId filler = f.add_queued(2, 2.0, 50.0);
+  BackfillPolicy bf;
+  const WaitInterval w = predict_wait_interval(f.state, bf, 2.0, filler);
+  EXPECT_DOUBLE_EQ(w.expected, 0.0);  // backfills immediately in all cases
+  EXPECT_DOUBLE_EQ(w.pessimistic, 0.0);
+}
+
+}  // namespace
+}  // namespace rtp

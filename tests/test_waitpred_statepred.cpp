@@ -1,0 +1,112 @@
+#include "waitpred/statepred.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "predict/simple.hpp"
+#include "workload/synthetic.hpp"
+
+namespace rtp {
+namespace {
+
+StateFeatures features_with(double queue_len, double free_nodes) {
+  StateFeatures f;
+  f.values = {queue_len, queue_len * 1000.0, queue_len * 4.0, 3.0,
+              5000.0,    free_nodes,         8.0,  600.0, 0.5};
+  return f;
+}
+
+TEST(StatePredictor, FallsBackToMeanWaitWithLittleHistory) {
+  StatePredictorOptions options;
+  options.min_history = 10;
+  StateBasedWaitPredictor p(options);
+  EXPECT_DOUBLE_EQ(p.predict(features_with(3, 10)), 0.0);  // nothing at all
+  for (int i = 0; i < 5; ++i) p.observe(features_with(i, 10), 100.0);
+  EXPECT_DOUBLE_EQ(p.predict(features_with(3, 10)), 100.0);
+}
+
+TEST(StatePredictor, LearnsQueueDepthSignal) {
+  Rng rng(3);
+  StatePredictorOptions options;
+  options.neighbors = 5;
+  options.min_history = 10;
+  StateBasedWaitPredictor p(options);
+  // Deep queues wait ~1000s, empty queues ~10s.
+  for (int i = 0; i < 200; ++i) {
+    const bool deep = rng.chance(0.5);
+    const double depth = deep ? rng.uniform(20.0, 30.0) : rng.uniform(0.0, 2.0);
+    p.observe(features_with(depth, deep ? 0.0 : 60.0),
+              deep ? rng.uniform(900.0, 1100.0) : rng.uniform(0.0, 20.0));
+  }
+  EXPECT_GT(p.predict(features_with(25, 0)), 500.0);
+  EXPECT_LT(p.predict(features_with(1, 60)), 100.0);
+}
+
+TEST(StatePredictor, BoundedHistoryEvicts) {
+  StatePredictorOptions options;
+  options.max_history = 50;
+  StateBasedWaitPredictor p(options);
+  for (int i = 0; i < 200; ++i) p.observe(features_with(i % 10, 5), 10.0);
+  EXPECT_EQ(p.history_size(), 50u);
+}
+
+TEST(StatePredictor, NonNegativePredictions) {
+  StateBasedWaitPredictor p;
+  for (int i = 0; i < 100; ++i) p.observe(features_with(i % 7, i % 13), 0.0);
+  EXPECT_GE(p.predict(features_with(3, 4)), 0.0);
+}
+
+TEST(StatePredictor, RejectsNegativeWait) {
+  StateBasedWaitPredictor p;
+  EXPECT_THROW(p.observe(features_with(1, 1), -5.0), Error);
+}
+
+TEST(StateFeatures, SummarizesSnapshot) {
+  std::vector<Job> jobs(3);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].id = static_cast<JobId>(i);
+    jobs[i].nodes = 4;
+  }
+  SystemState st(16);
+  st.enqueue(jobs[0], 0.0, 100.0);
+  st.start_job(0, 0.0);
+  st.enqueue(jobs[1], 5.0, 200.0);
+  st.enqueue(jobs[2], 6.0, 300.0);
+
+  const StateFeatures f = StateFeatures::from(st, jobs[2], 10.0, 300.0);
+  EXPECT_DOUBLE_EQ(f.values[0], 2.0);                   // queued jobs
+  EXPECT_DOUBLE_EQ(f.values[1], 200.0 * 4 + 300.0 * 4);  // queued work
+  EXPECT_DOUBLE_EQ(f.values[3], 1.0);                   // running jobs
+  EXPECT_DOUBLE_EQ(f.values[4], 90.0 * 4);              // remaining work
+  EXPECT_DOUBLE_EQ(f.values[5], 12.0);                  // free nodes
+  EXPECT_DOUBLE_EQ(f.values[6], 4.0);                   // job nodes
+  EXPECT_DOUBLE_EQ(f.values[7], 300.0);                 // job estimate
+  EXPECT_NEAR(f.values[8], 10.0 / 86400.0, 1e-12);      // time of day
+}
+
+TEST(StateWaitObserver, EndToEndAccumulatesErrors) {
+  const Workload w = generate_synthetic(anl_config(0.02));
+  auto policy = make_policy(PolicyKind::Lwf);
+  MaxRuntimePredictor live(w);
+  ActualRuntimePredictor feature_estimator;
+  StateWaitObserver observer(feature_estimator);
+  simulate(w, *policy, live, &observer);
+  EXPECT_EQ(observer.error_stats().count(), w.size());
+  EXPECT_GT(observer.model().history_size(), 0u);
+}
+
+TEST(StateWaitObserver, WarmModelBeatsColdGuessOnStationaryLoad) {
+  // On a workload with recurring structure the learned predictor's error
+  // must at least be bounded by the mean wait scale (sanity, not accuracy).
+  const Workload w = generate_synthetic(sdsc95_config(0.02));
+  auto policy = make_policy(PolicyKind::Lwf);
+  MaxRuntimePredictor live(w);
+  ActualRuntimePredictor est;
+  StateWaitObserver observer(est);
+  simulate(w, *policy, live, &observer);
+  EXPECT_LE(observer.error_stats().mean(),
+            2.0 * observer.wait_stats().mean() + minutes(5));
+}
+
+}  // namespace
+}  // namespace rtp

@@ -1,0 +1,65 @@
+#include "workload/fields.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace rtp {
+namespace {
+
+TEST(Characteristics, AbbrRoundTrip) {
+  for (Characteristic c : all_characteristics())
+    EXPECT_EQ(characteristic_from_abbr(characteristic_abbr(c)), c);
+}
+
+TEST(Characteristics, UnknownAbbrThrows) {
+  EXPECT_THROW(characteristic_from_abbr("zz"), Error);
+  EXPECT_THROW(characteristic_from_abbr(""), Error);
+}
+
+TEST(Characteristics, PaperAbbreviations) {
+  EXPECT_EQ(characteristic_abbr(Characteristic::NetworkAdaptor), "na");
+  EXPECT_EQ(characteristic_abbr(Characteristic::User), "u");
+  EXPECT_EQ(characteristic_abbr(Characteristic::Executable), "e");
+  EXPECT_EQ(characteristic_abbr(Characteristic::Nodes), "n");
+}
+
+TEST(FieldMask, SetClearHas) {
+  FieldMask m;
+  EXPECT_TRUE(m.empty());
+  m.set(Characteristic::User).set(Characteristic::Queue);
+  EXPECT_TRUE(m.has(Characteristic::User));
+  EXPECT_TRUE(m.has(Characteristic::Queue));
+  EXPECT_FALSE(m.has(Characteristic::Executable));
+  m.clear(Characteristic::User);
+  EXPECT_FALSE(m.has(Characteristic::User));
+}
+
+TEST(FieldMask, SubsetOf) {
+  FieldMask small, big;
+  small.set(Characteristic::User);
+  big.set(Characteristic::User).set(Characteristic::Nodes);
+  EXPECT_TRUE(small.subset_of(big));
+  EXPECT_FALSE(big.subset_of(small));
+  EXPECT_TRUE(FieldMask().subset_of(small));
+  EXPECT_TRUE(big.subset_of(big));
+}
+
+TEST(FieldMask, ToStringOrdersByDeclaration) {
+  FieldMask m;
+  m.set(Characteristic::Nodes).set(Characteristic::User).set(Characteristic::Type);
+  EXPECT_EQ(m.to_string(), "t,u,n");
+  EXPECT_EQ(FieldMask().to_string(), "");
+}
+
+TEST(FieldMask, Equality) {
+  FieldMask a, b;
+  a.set(Characteristic::User);
+  b.set(Characteristic::User);
+  EXPECT_EQ(a, b);
+  b.set(Characteristic::Queue);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace rtp

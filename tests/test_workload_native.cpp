@@ -1,0 +1,104 @@
+#include "workload/native.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace rtp {
+namespace {
+
+Workload rich_workload() {
+  FieldMask fields;
+  fields.set(Characteristic::Type)
+      .set(Characteristic::User)
+      .set(Characteristic::Executable)
+      .set(Characteristic::Arguments)
+      .set(Characteristic::Nodes);
+  Workload w("ANLish", 80, fields);
+  Job a;
+  a.submit = 0;
+  a.runtime = 120;
+  a.nodes = 8;
+  a.max_runtime = 3600;
+  a.type = "batch";
+  a.user = "alice";
+  a.executable = "cfd";
+  a.arguments = "args0";
+  w.add_job(std::move(a));
+  Job b;
+  b.submit = 50;
+  b.runtime = 60;
+  b.nodes = 1;
+  b.type = "interactive";
+  b.user = "bob";
+  b.executable = "viz";
+  b.arguments = "args1";
+  w.add_job(std::move(b));
+  return w;
+}
+
+TEST(Native, RoundTripIsLossless) {
+  const Workload original = rich_workload();
+  std::ostringstream out;
+  write_native(out, original);
+  std::istringstream in(out.str());
+  const Workload reread = read_native(in);
+
+  EXPECT_EQ(reread.name(), original.name());
+  EXPECT_EQ(reread.machine_nodes(), original.machine_nodes());
+  EXPECT_EQ(reread.fields(), original.fields());
+  ASSERT_EQ(reread.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const Job& a = original.job(i);
+    const Job& b = reread.job(i);
+    EXPECT_DOUBLE_EQ(a.submit, b.submit);
+    EXPECT_DOUBLE_EQ(a.runtime, b.runtime);
+    EXPECT_EQ(a.nodes, b.nodes);
+    EXPECT_DOUBLE_EQ(a.max_runtime, b.max_runtime);
+    EXPECT_EQ(a.type, b.type);
+    EXPECT_EQ(a.user, b.user);
+    EXPECT_EQ(a.executable, b.executable);
+    EXPECT_EQ(a.arguments, b.arguments);
+  }
+}
+
+TEST(Native, MissingMagicThrows) {
+  std::istringstream in("# name: x\n");
+  EXPECT_THROW(read_native(in), Error);
+}
+
+TEST(Native, MissingHeadersThrow) {
+  std::istringstream no_nodes("# rtp-trace v1\n# name: x\n# fields: u,n\n");
+  EXPECT_THROW(read_native(no_nodes), Error);
+  std::istringstream no_fields("# rtp-trace v1\n# name: x\n# machine_nodes: 8\n");
+  EXPECT_THROW(read_native(no_fields), Error);
+}
+
+TEST(Native, WrongColumnCountThrows) {
+  std::istringstream in(
+      "# rtp-trace v1\n# name: x\n# machine_nodes: 8\n# fields: u,n\n"
+      "0\t60\t1\n");
+  EXPECT_THROW(read_native(in), Error);
+}
+
+TEST(Native, DashMeansAbsent) {
+  std::istringstream in(
+      "# rtp-trace v1\n# name: x\n# machine_nodes: 8\n# fields: u,n\n"
+      "0\t60\t2\t-\t-\t-\t-\talice\t-\t-\t-\t-\n");
+  const Workload w = read_native(in);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_FALSE(w.job(0).has_max_runtime());
+  EXPECT_TRUE(w.job(0).type.empty());
+  EXPECT_EQ(w.job(0).user, "alice");
+}
+
+TEST(Native, UnknownFieldAbbrThrows) {
+  std::istringstream in(
+      "# rtp-trace v1\n# name: x\n# machine_nodes: 8\n# fields: zz\n");
+  EXPECT_THROW(read_native(in), Error);
+}
+
+}  // namespace
+}  // namespace rtp

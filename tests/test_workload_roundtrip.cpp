@@ -1,0 +1,88 @@
+// Property: trace serialization round-trips on randomized synthetic
+// workloads — native losslessly, SWF for its representable subset.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/native.hpp"
+#include "workload/swf.hpp"
+#include "workload/synthetic.hpp"
+
+namespace rtp {
+namespace {
+
+class RoundTrip : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Workload random_workload() {
+    // Rotate across site styles so every field combination is exercised.
+    SyntheticConfig config;
+    switch (GetParam() % 3) {
+      case 0: config = anl_config(0.01); break;
+      case 1: config = ctc_config(0.01); break;
+      default: config = sdsc95_config(0.01); break;
+    }
+    config.seed = GetParam() * 7919;
+    return generate_synthetic(config);
+  }
+};
+
+TEST_P(RoundTrip, NativeIsLossless) {
+  const Workload original = random_workload();
+  std::ostringstream out;
+  write_native(out, original);
+  std::istringstream in(out.str());
+  const Workload reread = read_native(in);
+
+  ASSERT_EQ(reread.size(), original.size());
+  EXPECT_EQ(reread.fields(), original.fields());
+  EXPECT_EQ(reread.machine_nodes(), original.machine_nodes());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const Job& a = original.job(i);
+    const Job& b = reread.job(i);
+    EXPECT_DOUBLE_EQ(a.submit, b.submit);
+    EXPECT_DOUBLE_EQ(a.runtime, b.runtime);
+    EXPECT_EQ(a.nodes, b.nodes);
+    EXPECT_DOUBLE_EQ(a.max_runtime, b.max_runtime);
+    EXPECT_EQ(a.type, b.type);
+    EXPECT_EQ(a.queue, b.queue);
+    EXPECT_EQ(a.job_class, b.job_class);
+    EXPECT_EQ(a.user, b.user);
+    EXPECT_EQ(a.script, b.script);
+    EXPECT_EQ(a.executable, b.executable);
+    EXPECT_EQ(a.arguments, b.arguments);
+    EXPECT_EQ(a.network_adaptor, b.network_adaptor);
+  }
+  EXPECT_NO_THROW(reread.validate());
+}
+
+TEST_P(RoundTrip, SwfPreservesSchedulingFields) {
+  const Workload original = random_workload();
+  std::ostringstream out;
+  write_swf(out, original);
+  std::istringstream in(out.str());
+  const SwfReadResult result = read_swf(in, original.name());
+  EXPECT_EQ(result.skipped, 0u);
+
+  const Workload& reread = result.workload;
+  ASSERT_EQ(reread.size(), original.size());
+  EXPECT_EQ(reread.machine_nodes(), original.machine_nodes());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const Job& a = original.job(i);
+    const Job& b = reread.job(i);
+    EXPECT_DOUBLE_EQ(a.submit, b.submit);
+    EXPECT_DOUBLE_EQ(a.runtime, b.runtime);
+    EXPECT_EQ(a.nodes, b.nodes);
+    EXPECT_DOUBLE_EQ(a.max_runtime, b.max_runtime);
+    // Categorical identity survives as interned ids: equal fields in the
+    // original must stay equal after the round trip.
+    if (i > 0 && original.job(i - 1).user == a.user) {
+      EXPECT_EQ(reread.job(i - 1).user, b.user);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTrip,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u));
+
+}  // namespace
+}  // namespace rtp

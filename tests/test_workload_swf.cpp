@@ -1,0 +1,107 @@
+#include "workload/swf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace rtp {
+namespace {
+
+constexpr const char* kSample =
+    "; MaxProcs: 128\n"
+    "; Comment without colon\n"
+    "1 0 10 300 8 -1 -1 8 600 -1 1 5 -1 2 3 -1 -1 -1\n"
+    "2 100 -1 200 4 -1 -1 4 -1 -1 1 6 -1 -1 -1 -1 -1 -1\n"
+    "3 200 0 -1 4 -1 -1 4 900 -1 0 5 -1 2 3 -1 -1 -1\n";  // unknown runtime
+
+TEST(Swf, ParsesFieldsAndSkipsUnknownRuntime) {
+  std::istringstream in(kSample);
+  const SwfReadResult result = read_swf(in, "sample");
+  EXPECT_EQ(result.skipped, 1u);
+  const Workload& w = result.workload;
+  EXPECT_EQ(w.machine_nodes(), 128);
+  ASSERT_EQ(w.size(), 2u);
+
+  const Job& j0 = w.job(0);
+  EXPECT_DOUBLE_EQ(j0.submit, 0.0);
+  EXPECT_DOUBLE_EQ(j0.runtime, 300.0);
+  EXPECT_EQ(j0.nodes, 8);
+  EXPECT_DOUBLE_EQ(j0.max_runtime, 600.0);
+  EXPECT_EQ(j0.user, "u5");
+  EXPECT_EQ(j0.executable, "e2");
+  EXPECT_EQ(j0.queue, "q3");
+  EXPECT_DOUBLE_EQ(j0.trace_start, 10.0);  // submit + wait
+
+  const Job& j1 = w.job(1);
+  EXPECT_FALSE(j1.has_max_runtime());
+  EXPECT_TRUE(j1.executable.empty());
+  EXPECT_TRUE(j1.queue.empty());
+}
+
+TEST(Swf, FieldMaskReflectsContent) {
+  std::istringstream in(kSample);
+  const Workload w = read_swf(in, "sample").workload;
+  EXPECT_TRUE(w.fields().has(Characteristic::User));
+  EXPECT_TRUE(w.fields().has(Characteristic::Executable));
+  EXPECT_TRUE(w.fields().has(Characteristic::Queue));
+  EXPECT_TRUE(w.fields().has(Characteristic::Nodes));
+  EXPECT_FALSE(w.fields().has(Characteristic::Script));
+}
+
+TEST(Swf, ExplicitMachineNodesOverridesHeader) {
+  std::istringstream in(kSample);
+  EXPECT_EQ(read_swf(in, "s", 64).workload.machine_nodes(), 64);
+}
+
+TEST(Swf, MissingMaxProcsThrows) {
+  std::istringstream in("1 0 10 300 8 -1 -1 8 600 -1 1 5 -1 2 3 -1 -1 -1\n");
+  EXPECT_THROW(read_swf(in, "s"), Error);
+}
+
+TEST(Swf, ShortLineThrows) {
+  std::istringstream in("; MaxProcs: 16\n1 0 10 300\n");
+  EXPECT_THROW(read_swf(in, "s"), Error);
+}
+
+TEST(Swf, ClampsOverrunToRequestedTime) {
+  // run time 700 > requested 600: max_runtime is raised to keep invariants.
+  std::istringstream in(
+      "; MaxProcs: 16\n"
+      "1 0 0 700 2 -1 -1 2 600 -1 1 1 -1 -1 -1 -1 -1 -1\n");
+  const Workload w = read_swf(in, "s").workload;
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_GE(w.job(0).max_runtime, w.job(0).runtime);
+  EXPECT_NO_THROW(w.validate());
+}
+
+TEST(Swf, RoundTripPreservesCoreFields) {
+  std::istringstream in(kSample);
+  const Workload original = read_swf(in, "sample").workload;
+  std::ostringstream out;
+  write_swf(out, original);
+  std::istringstream in2(out.str());
+  const Workload reread = read_swf(in2, "sample2").workload;
+  ASSERT_EQ(reread.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_DOUBLE_EQ(reread.job(i).submit, original.job(i).submit);
+    EXPECT_DOUBLE_EQ(reread.job(i).runtime, original.job(i).runtime);
+    EXPECT_EQ(reread.job(i).nodes, original.job(i).nodes);
+    EXPECT_DOUBLE_EQ(reread.job(i).max_runtime, original.job(i).max_runtime);
+  }
+}
+
+TEST(Swf, SortsOutOfOrderRecords) {
+  std::istringstream in(
+      "; MaxProcs: 16\n"
+      "1 500 0 60 1 -1 -1 1 -1 -1 1 1 -1 -1 -1 -1 -1 -1\n"
+      "2 100 0 60 1 -1 -1 1 -1 -1 1 1 -1 -1 -1 -1 -1 -1\n");
+  const Workload w = read_swf(in, "s").workload;
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_DOUBLE_EQ(w.job(0).submit, 100.0);
+  EXPECT_DOUBLE_EQ(w.job(1).submit, 500.0);
+}
+
+}  // namespace
+}  // namespace rtp

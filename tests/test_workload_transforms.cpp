@@ -1,0 +1,76 @@
+#include "workload/transforms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "workload/synthetic.hpp"
+
+namespace rtp {
+namespace {
+
+Workload base() {
+  FieldMask fields;
+  fields.set(Characteristic::User).set(Characteristic::Nodes);
+  Workload w("base", 8, fields);
+  for (int i = 0; i < 4; ++i) {
+    Job j;
+    j.submit = 100.0 * i + 50.0;
+    j.runtime = 60;
+    j.nodes = 1;
+    j.user = "u";
+    w.add_job(std::move(j));
+  }
+  return w;
+}
+
+TEST(Transforms, CompressDividesGaps) {
+  const Workload w = compress_interarrival(base(), 2.0);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_DOUBLE_EQ(w.job(0).submit, 25.0);
+  EXPECT_DOUBLE_EQ(w.job(1).submit, 75.0);
+  EXPECT_DOUBLE_EQ(w.job(3).submit, 175.0);
+}
+
+TEST(Transforms, CompressDoublesOfferedLoad) {
+  const Workload original = generate_synthetic(anl_config(0.05));
+  const Workload compressed = compress_interarrival(original, 2.0);
+  const double before = compute_stats(original).offered_load;
+  const double after = compute_stats(compressed).offered_load;
+  EXPECT_NEAR(after / before, 2.0, 0.35);  // end effects blur the exact 2x
+}
+
+TEST(Transforms, CompressRejectsNonPositive) {
+  EXPECT_THROW(compress_interarrival(base(), 0.0), Error);
+  EXPECT_THROW(compress_interarrival(base(), -1.0), Error);
+}
+
+TEST(Transforms, PrefixTakesFirstN) {
+  const Workload w = prefix(base(), 2);
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_DOUBLE_EQ(w.job(1).submit, 150.0);
+}
+
+TEST(Transforms, PrefixBeyondSizeCopies) {
+  EXPECT_EQ(prefix(base(), 100).size(), 4u);
+}
+
+TEST(Transforms, FilterKeepsMatching) {
+  const Workload w = filter(base(), [](const Job& j) { return j.submit > 100.0; });
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_EQ(w.job(0).id, 0u);  // ids re-assigned densely
+}
+
+TEST(Transforms, RebaseStartsAtZero) {
+  const Workload w = rebase_time(base());
+  EXPECT_DOUBLE_EQ(w.job(0).submit, 0.0);
+  EXPECT_DOUBLE_EQ(w.job(1).submit, 100.0);
+}
+
+TEST(Transforms, PreserveMachineAndFields) {
+  const Workload w = compress_interarrival(base(), 2.0);
+  EXPECT_EQ(w.machine_nodes(), 8);
+  EXPECT_TRUE(w.fields().has(Characteristic::User));
+}
+
+}  // namespace
+}  // namespace rtp

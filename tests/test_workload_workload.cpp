@@ -1,0 +1,120 @@
+#include "workload/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace rtp {
+namespace {
+
+Workload small_workload() {
+  FieldMask fields;
+  fields.set(Characteristic::User).set(Characteristic::Nodes);
+  return Workload("test", 16, fields);
+}
+
+Job make_job(Seconds submit, Seconds runtime, int nodes) {
+  Job j;
+  j.submit = submit;
+  j.runtime = runtime;
+  j.nodes = nodes;
+  j.user = "alice";
+  return j;
+}
+
+TEST(Workload, AddAssignsDenseIds) {
+  Workload w = small_workload();
+  w.add_job(make_job(0, 60, 1));
+  w.add_job(make_job(10, 60, 2));
+  EXPECT_EQ(w.size(), 2u);
+  EXPECT_EQ(w.job(0).id, 0u);
+  EXPECT_EQ(w.job(1).id, 1u);
+}
+
+TEST(Workload, RejectsOversizedJob) {
+  Workload w = small_workload();
+  EXPECT_THROW(w.add_job(make_job(0, 60, 17)), Error);
+  EXPECT_THROW(w.add_job(make_job(0, 60, 0)), Error);
+}
+
+TEST(Workload, RejectsOutOfOrderSubmit) {
+  Workload w = small_workload();
+  w.add_job(make_job(100, 60, 1));
+  EXPECT_THROW(w.add_job(make_job(50, 60, 1)), Error);
+}
+
+TEST(Workload, RejectsNegativeTimes) {
+  Workload w = small_workload();
+  EXPECT_THROW(w.add_job(make_job(-1, 60, 1)), Error);
+  EXPECT_THROW(w.add_job(make_job(0, -5, 1)), Error);
+}
+
+TEST(Workload, FinalizeSortsAndRenumbers) {
+  Workload w = small_workload();
+  w.add_job(make_job(0, 60, 1));
+  w.add_job(make_job(10, 30, 1));
+  // Simulate a transform that scrambled order by mutating through a copy.
+  Workload scrambled = small_workload();
+  scrambled.add_job(make_job(10, 30, 1));
+  // add_job enforces order; finalize re-sorts if needed after edits.
+  scrambled.finalize();
+  EXPECT_EQ(scrambled.job(0).id, 0u);
+}
+
+TEST(Workload, ValidateCatchesMaxRuntimeViolation) {
+  Workload w = small_workload();
+  Job j = make_job(0, 120, 1);
+  j.max_runtime = 60;  // runtime exceeds limit
+  w.add_job(std::move(j));
+  EXPECT_THROW(w.validate(), Error);
+}
+
+TEST(Workload, ValidatePassesOnGoodData) {
+  Workload w = small_workload();
+  Job j = make_job(0, 60, 4);
+  j.max_runtime = 3600;
+  w.add_job(std::move(j));
+  w.add_job(make_job(5, 30, 2));
+  EXPECT_NO_THROW(w.validate());
+}
+
+TEST(Job, FieldAccessor) {
+  Job j = make_job(0, 60, 2);
+  j.queue = "q16m";
+  EXPECT_EQ(j.field(Characteristic::User), "alice");
+  EXPECT_EQ(j.field(Characteristic::Queue), "q16m");
+  EXPECT_EQ(j.field(Characteristic::Executable), "");
+  EXPECT_THROW(j.field(Characteristic::Nodes), Error);
+}
+
+TEST(Job, WorkAndMaxRuntime) {
+  Job j = make_job(0, 100, 4);
+  EXPECT_DOUBLE_EQ(j.work(), 400.0);
+  EXPECT_FALSE(j.has_max_runtime());
+  j.max_runtime = 200;
+  EXPECT_TRUE(j.has_max_runtime());
+}
+
+TEST(WorkloadStats, HandComputed) {
+  Workload w = small_workload();
+  w.add_job(make_job(0, minutes(10), 4));     // work 40 node-min
+  w.add_job(make_job(minutes(10), minutes(20), 8));  // ends at t=30min
+  const WorkloadStats s = compute_stats(w);
+  EXPECT_EQ(s.job_count, 2u);
+  EXPECT_DOUBLE_EQ(s.mean_runtime_minutes, 15.0);
+  EXPECT_DOUBLE_EQ(s.mean_nodes, 6.0);
+  EXPECT_DOUBLE_EQ(s.mean_interarrival_minutes, 10.0);
+  EXPECT_DOUBLE_EQ(s.makespan, minutes(30));
+  // offered = (10*4 + 20*8) node-min / (16 nodes * 30 min)
+  EXPECT_NEAR(s.offered_load, 200.0 / 480.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.max_runtime_coverage, 0.0);
+}
+
+TEST(WorkloadStats, EmptyWorkload) {
+  const WorkloadStats s = compute_stats(small_workload());
+  EXPECT_EQ(s.job_count, 0u);
+  EXPECT_DOUBLE_EQ(s.offered_load, 0.0);
+}
+
+}  // namespace
+}  // namespace rtp
