@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bootstrap.dir/bench_ablation_bootstrap.cpp.o"
+  "CMakeFiles/bench_ablation_bootstrap.dir/bench_ablation_bootstrap.cpp.o.d"
+  "bench_ablation_bootstrap"
+  "bench_ablation_bootstrap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bootstrap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_search.cpp" "bench/CMakeFiles/bench_ablation_search.dir/bench_ablation_search.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_search.dir/bench_ablation_search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/rtp_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/rtp_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/rtp_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/waitpred/CMakeFiles/rtp_waitpred.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rtp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/rtp_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rtp_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rtp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rtp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rtp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

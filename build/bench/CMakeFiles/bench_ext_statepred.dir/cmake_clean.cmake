@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_statepred.dir/bench_ext_statepred.cpp.o"
+  "CMakeFiles/bench_ext_statepred.dir/bench_ext_statepred.cpp.o.d"
+  "bench_ext_statepred"
+  "bench_ext_statepred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_statepred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

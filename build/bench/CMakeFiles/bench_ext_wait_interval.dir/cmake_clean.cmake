@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_wait_interval.dir/bench_ext_wait_interval.cpp.o"
+  "CMakeFiles/bench_ext_wait_interval.dir/bench_ext_wait_interval.cpp.o.d"
+  "bench_ext_wait_interval"
+  "bench_ext_wait_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_wait_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

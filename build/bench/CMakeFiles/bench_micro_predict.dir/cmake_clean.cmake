@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_predict.dir/bench_micro_predict.cpp.o"
+  "CMakeFiles/bench_micro_predict.dir/bench_micro_predict.cpp.o.d"
+  "bench_micro_predict"
+  "bench_micro_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

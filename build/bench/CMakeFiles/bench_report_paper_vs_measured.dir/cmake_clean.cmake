@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_report_paper_vs_measured.dir/bench_report_paper_vs_measured.cpp.o"
+  "CMakeFiles/bench_report_paper_vs_measured.dir/bench_report_paper_vs_measured.cpp.o.d"
+  "bench_report_paper_vs_measured"
+  "bench_report_paper_vs_measured.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_report_paper_vs_measured.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

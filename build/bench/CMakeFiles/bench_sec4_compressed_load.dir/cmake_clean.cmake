@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec4_compressed_load.dir/bench_sec4_compressed_load.cpp.o"
+  "CMakeFiles/bench_sec4_compressed_load.dir/bench_sec4_compressed_load.cpp.o.d"
+  "bench_sec4_compressed_load"
+  "bench_sec4_compressed_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_compressed_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

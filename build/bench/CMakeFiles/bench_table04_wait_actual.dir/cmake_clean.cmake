@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table04_wait_actual.dir/bench_table04_wait_actual.cpp.o"
+  "CMakeFiles/bench_table04_wait_actual.dir/bench_table04_wait_actual.cpp.o.d"
+  "bench_table04_wait_actual"
+  "bench_table04_wait_actual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table04_wait_actual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

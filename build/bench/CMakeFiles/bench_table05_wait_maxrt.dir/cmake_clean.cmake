@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table05_wait_maxrt.dir/bench_table05_wait_maxrt.cpp.o"
+  "CMakeFiles/bench_table05_wait_maxrt.dir/bench_table05_wait_maxrt.cpp.o.d"
+  "bench_table05_wait_maxrt"
+  "bench_table05_wait_maxrt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table05_wait_maxrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

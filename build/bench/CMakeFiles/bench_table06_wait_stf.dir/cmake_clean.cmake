@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table06_wait_stf.dir/bench_table06_wait_stf.cpp.o"
+  "CMakeFiles/bench_table06_wait_stf.dir/bench_table06_wait_stf.cpp.o.d"
+  "bench_table06_wait_stf"
+  "bench_table06_wait_stf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table06_wait_stf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table07_wait_gibbons.dir/bench_table07_wait_gibbons.cpp.o"
+  "CMakeFiles/bench_table07_wait_gibbons.dir/bench_table07_wait_gibbons.cpp.o.d"
+  "bench_table07_wait_gibbons"
+  "bench_table07_wait_gibbons.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table07_wait_gibbons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table08_wait_downey_avg.dir/bench_table08_wait_downey_avg.cpp.o"
+  "CMakeFiles/bench_table08_wait_downey_avg.dir/bench_table08_wait_downey_avg.cpp.o.d"
+  "bench_table08_wait_downey_avg"
+  "bench_table08_wait_downey_avg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table08_wait_downey_avg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table09_wait_downey_med.dir/bench_table09_wait_downey_med.cpp.o"
+  "CMakeFiles/bench_table09_wait_downey_med.dir/bench_table09_wait_downey_med.cpp.o.d"
+  "bench_table09_wait_downey_med"
+  "bench_table09_wait_downey_med.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table09_wait_downey_med.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

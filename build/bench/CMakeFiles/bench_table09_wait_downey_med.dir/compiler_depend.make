@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table09_wait_downey_med.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table11_sched_maxrt.dir/bench_table11_sched_maxrt.cpp.o"
+  "CMakeFiles/bench_table11_sched_maxrt.dir/bench_table11_sched_maxrt.cpp.o.d"
+  "bench_table11_sched_maxrt"
+  "bench_table11_sched_maxrt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table11_sched_maxrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table13_sched_gibbons.dir/bench_table13_sched_gibbons.cpp.o"
+  "CMakeFiles/bench_table13_sched_gibbons.dir/bench_table13_sched_gibbons.cpp.o.d"
+  "bench_table13_sched_gibbons"
+  "bench_table13_sched_gibbons.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table13_sched_gibbons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metacomputing.dir/metacomputing.cpp.o"
+  "CMakeFiles/metacomputing.dir/metacomputing.cpp.o.d"
+  "metacomputing"
+  "metacomputing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metacomputing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_templates.dir/search_templates.cpp.o"
+  "CMakeFiles/search_templates.dir/search_templates.cpp.o.d"
+  "search_templates"
+  "search_templates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_templates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

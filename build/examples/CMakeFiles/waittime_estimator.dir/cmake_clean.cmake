@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waittime_estimator.dir/waittime_estimator.cpp.o"
+  "CMakeFiles/waittime_estimator.dir/waittime_estimator.cpp.o.d"
+  "waittime_estimator"
+  "waittime_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waittime_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

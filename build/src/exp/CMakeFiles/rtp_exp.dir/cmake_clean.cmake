@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtp_exp.dir/experiments.cpp.o"
+  "CMakeFiles/rtp_exp.dir/experiments.cpp.o.d"
+  "CMakeFiles/rtp_exp.dir/paper_values.cpp.o"
+  "CMakeFiles/rtp_exp.dir/paper_values.cpp.o.d"
+  "librtp_exp.a"
+  "librtp_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtp_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

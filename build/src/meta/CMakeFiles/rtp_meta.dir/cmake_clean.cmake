@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtp_meta.dir/coallocation.cpp.o"
+  "CMakeFiles/rtp_meta.dir/coallocation.cpp.o.d"
+  "CMakeFiles/rtp_meta.dir/selector.cpp.o"
+  "CMakeFiles/rtp_meta.dir/selector.cpp.o.d"
+  "librtp_meta.a"
+  "librtp_meta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtp_meta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

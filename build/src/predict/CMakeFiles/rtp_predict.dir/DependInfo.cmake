@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predict/category.cpp" "src/predict/CMakeFiles/rtp_predict.dir/category.cpp.o" "gcc" "src/predict/CMakeFiles/rtp_predict.dir/category.cpp.o.d"
+  "/root/repo/src/predict/downey.cpp" "src/predict/CMakeFiles/rtp_predict.dir/downey.cpp.o" "gcc" "src/predict/CMakeFiles/rtp_predict.dir/downey.cpp.o.d"
+  "/root/repo/src/predict/factory.cpp" "src/predict/CMakeFiles/rtp_predict.dir/factory.cpp.o" "gcc" "src/predict/CMakeFiles/rtp_predict.dir/factory.cpp.o.d"
+  "/root/repo/src/predict/gibbons.cpp" "src/predict/CMakeFiles/rtp_predict.dir/gibbons.cpp.o" "gcc" "src/predict/CMakeFiles/rtp_predict.dir/gibbons.cpp.o.d"
+  "/root/repo/src/predict/recording.cpp" "src/predict/CMakeFiles/rtp_predict.dir/recording.cpp.o" "gcc" "src/predict/CMakeFiles/rtp_predict.dir/recording.cpp.o.d"
+  "/root/repo/src/predict/simple.cpp" "src/predict/CMakeFiles/rtp_predict.dir/simple.cpp.o" "gcc" "src/predict/CMakeFiles/rtp_predict.dir/simple.cpp.o.d"
+  "/root/repo/src/predict/stf.cpp" "src/predict/CMakeFiles/rtp_predict.dir/stf.cpp.o" "gcc" "src/predict/CMakeFiles/rtp_predict.dir/stf.cpp.o.d"
+  "/root/repo/src/predict/template_set.cpp" "src/predict/CMakeFiles/rtp_predict.dir/template_set.cpp.o" "gcc" "src/predict/CMakeFiles/rtp_predict.dir/template_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/rtp_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rtp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rtp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rtp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtp_predict.dir/category.cpp.o"
+  "CMakeFiles/rtp_predict.dir/category.cpp.o.d"
+  "CMakeFiles/rtp_predict.dir/downey.cpp.o"
+  "CMakeFiles/rtp_predict.dir/downey.cpp.o.d"
+  "CMakeFiles/rtp_predict.dir/factory.cpp.o"
+  "CMakeFiles/rtp_predict.dir/factory.cpp.o.d"
+  "CMakeFiles/rtp_predict.dir/gibbons.cpp.o"
+  "CMakeFiles/rtp_predict.dir/gibbons.cpp.o.d"
+  "CMakeFiles/rtp_predict.dir/recording.cpp.o"
+  "CMakeFiles/rtp_predict.dir/recording.cpp.o.d"
+  "CMakeFiles/rtp_predict.dir/simple.cpp.o"
+  "CMakeFiles/rtp_predict.dir/simple.cpp.o.d"
+  "CMakeFiles/rtp_predict.dir/stf.cpp.o"
+  "CMakeFiles/rtp_predict.dir/stf.cpp.o.d"
+  "CMakeFiles/rtp_predict.dir/template_set.cpp.o"
+  "CMakeFiles/rtp_predict.dir/template_set.cpp.o.d"
+  "librtp_predict.a"
+  "librtp_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtp_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

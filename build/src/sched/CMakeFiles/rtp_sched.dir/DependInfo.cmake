@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/backfill.cpp" "src/sched/CMakeFiles/rtp_sched.dir/backfill.cpp.o" "gcc" "src/sched/CMakeFiles/rtp_sched.dir/backfill.cpp.o.d"
+  "/root/repo/src/sched/fcfs.cpp" "src/sched/CMakeFiles/rtp_sched.dir/fcfs.cpp.o" "gcc" "src/sched/CMakeFiles/rtp_sched.dir/fcfs.cpp.o.d"
+  "/root/repo/src/sched/forward_sim.cpp" "src/sched/CMakeFiles/rtp_sched.dir/forward_sim.cpp.o" "gcc" "src/sched/CMakeFiles/rtp_sched.dir/forward_sim.cpp.o.d"
+  "/root/repo/src/sched/lwf.cpp" "src/sched/CMakeFiles/rtp_sched.dir/lwf.cpp.o" "gcc" "src/sched/CMakeFiles/rtp_sched.dir/lwf.cpp.o.d"
+  "/root/repo/src/sched/policy.cpp" "src/sched/CMakeFiles/rtp_sched.dir/policy.cpp.o" "gcc" "src/sched/CMakeFiles/rtp_sched.dir/policy.cpp.o.d"
+  "/root/repo/src/sched/profile.cpp" "src/sched/CMakeFiles/rtp_sched.dir/profile.cpp.o" "gcc" "src/sched/CMakeFiles/rtp_sched.dir/profile.cpp.o.d"
+  "/root/repo/src/sched/state.cpp" "src/sched/CMakeFiles/rtp_sched.dir/state.cpp.o" "gcc" "src/sched/CMakeFiles/rtp_sched.dir/state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/rtp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rtp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rtp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtp_sched.dir/backfill.cpp.o"
+  "CMakeFiles/rtp_sched.dir/backfill.cpp.o.d"
+  "CMakeFiles/rtp_sched.dir/fcfs.cpp.o"
+  "CMakeFiles/rtp_sched.dir/fcfs.cpp.o.d"
+  "CMakeFiles/rtp_sched.dir/forward_sim.cpp.o"
+  "CMakeFiles/rtp_sched.dir/forward_sim.cpp.o.d"
+  "CMakeFiles/rtp_sched.dir/lwf.cpp.o"
+  "CMakeFiles/rtp_sched.dir/lwf.cpp.o.d"
+  "CMakeFiles/rtp_sched.dir/policy.cpp.o"
+  "CMakeFiles/rtp_sched.dir/policy.cpp.o.d"
+  "CMakeFiles/rtp_sched.dir/profile.cpp.o"
+  "CMakeFiles/rtp_sched.dir/profile.cpp.o.d"
+  "CMakeFiles/rtp_sched.dir/state.cpp.o"
+  "CMakeFiles/rtp_sched.dir/state.cpp.o.d"
+  "librtp_sched.a"
+  "librtp_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtp_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

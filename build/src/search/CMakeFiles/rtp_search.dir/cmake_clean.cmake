@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtp_search.dir/codec.cpp.o"
+  "CMakeFiles/rtp_search.dir/codec.cpp.o.d"
+  "CMakeFiles/rtp_search.dir/eval.cpp.o"
+  "CMakeFiles/rtp_search.dir/eval.cpp.o.d"
+  "CMakeFiles/rtp_search.dir/ga.cpp.o"
+  "CMakeFiles/rtp_search.dir/ga.cpp.o.d"
+  "CMakeFiles/rtp_search.dir/greedy.cpp.o"
+  "CMakeFiles/rtp_search.dir/greedy.cpp.o.d"
+  "librtp_search.a"
+  "librtp_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtp_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

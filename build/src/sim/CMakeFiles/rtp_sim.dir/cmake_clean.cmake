@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtp_sim.dir/metrics.cpp.o"
+  "CMakeFiles/rtp_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/rtp_sim.dir/simulator.cpp.o"
+  "CMakeFiles/rtp_sim.dir/simulator.cpp.o.d"
+  "librtp_sim.a"
+  "librtp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

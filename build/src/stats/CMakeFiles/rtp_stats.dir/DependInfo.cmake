@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/ci.cpp" "src/stats/CMakeFiles/rtp_stats.dir/ci.cpp.o" "gcc" "src/stats/CMakeFiles/rtp_stats.dir/ci.cpp.o.d"
+  "/root/repo/src/stats/loglinear.cpp" "src/stats/CMakeFiles/rtp_stats.dir/loglinear.cpp.o" "gcc" "src/stats/CMakeFiles/rtp_stats.dir/loglinear.cpp.o.d"
+  "/root/repo/src/stats/quantiles.cpp" "src/stats/CMakeFiles/rtp_stats.dir/quantiles.cpp.o" "gcc" "src/stats/CMakeFiles/rtp_stats.dir/quantiles.cpp.o.d"
+  "/root/repo/src/stats/regression.cpp" "src/stats/CMakeFiles/rtp_stats.dir/regression.cpp.o" "gcc" "src/stats/CMakeFiles/rtp_stats.dir/regression.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/stats/CMakeFiles/rtp_stats.dir/summary.cpp.o" "gcc" "src/stats/CMakeFiles/rtp_stats.dir/summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rtp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

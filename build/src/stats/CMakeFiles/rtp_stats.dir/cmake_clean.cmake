@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtp_stats.dir/ci.cpp.o"
+  "CMakeFiles/rtp_stats.dir/ci.cpp.o.d"
+  "CMakeFiles/rtp_stats.dir/loglinear.cpp.o"
+  "CMakeFiles/rtp_stats.dir/loglinear.cpp.o.d"
+  "CMakeFiles/rtp_stats.dir/quantiles.cpp.o"
+  "CMakeFiles/rtp_stats.dir/quantiles.cpp.o.d"
+  "CMakeFiles/rtp_stats.dir/regression.cpp.o"
+  "CMakeFiles/rtp_stats.dir/regression.cpp.o.d"
+  "CMakeFiles/rtp_stats.dir/summary.cpp.o"
+  "CMakeFiles/rtp_stats.dir/summary.cpp.o.d"
+  "librtp_stats.a"
+  "librtp_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtp_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

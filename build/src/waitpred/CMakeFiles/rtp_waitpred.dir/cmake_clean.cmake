@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtp_waitpred.dir/statepred.cpp.o"
+  "CMakeFiles/rtp_waitpred.dir/statepred.cpp.o.d"
+  "CMakeFiles/rtp_waitpred.dir/waitpred.cpp.o"
+  "CMakeFiles/rtp_waitpred.dir/waitpred.cpp.o.d"
+  "librtp_waitpred.a"
+  "librtp_waitpred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtp_waitpred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

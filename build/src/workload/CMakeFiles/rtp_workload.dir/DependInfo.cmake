@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/fields.cpp" "src/workload/CMakeFiles/rtp_workload.dir/fields.cpp.o" "gcc" "src/workload/CMakeFiles/rtp_workload.dir/fields.cpp.o.d"
+  "/root/repo/src/workload/job.cpp" "src/workload/CMakeFiles/rtp_workload.dir/job.cpp.o" "gcc" "src/workload/CMakeFiles/rtp_workload.dir/job.cpp.o.d"
+  "/root/repo/src/workload/native.cpp" "src/workload/CMakeFiles/rtp_workload.dir/native.cpp.o" "gcc" "src/workload/CMakeFiles/rtp_workload.dir/native.cpp.o.d"
+  "/root/repo/src/workload/swf.cpp" "src/workload/CMakeFiles/rtp_workload.dir/swf.cpp.o" "gcc" "src/workload/CMakeFiles/rtp_workload.dir/swf.cpp.o.d"
+  "/root/repo/src/workload/synthetic.cpp" "src/workload/CMakeFiles/rtp_workload.dir/synthetic.cpp.o" "gcc" "src/workload/CMakeFiles/rtp_workload.dir/synthetic.cpp.o.d"
+  "/root/repo/src/workload/transforms.cpp" "src/workload/CMakeFiles/rtp_workload.dir/transforms.cpp.o" "gcc" "src/workload/CMakeFiles/rtp_workload.dir/transforms.cpp.o.d"
+  "/root/repo/src/workload/workload.cpp" "src/workload/CMakeFiles/rtp_workload.dir/workload.cpp.o" "gcc" "src/workload/CMakeFiles/rtp_workload.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rtp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rtp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

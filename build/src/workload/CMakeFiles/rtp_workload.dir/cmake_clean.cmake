@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtp_workload.dir/fields.cpp.o"
+  "CMakeFiles/rtp_workload.dir/fields.cpp.o.d"
+  "CMakeFiles/rtp_workload.dir/job.cpp.o"
+  "CMakeFiles/rtp_workload.dir/job.cpp.o.d"
+  "CMakeFiles/rtp_workload.dir/native.cpp.o"
+  "CMakeFiles/rtp_workload.dir/native.cpp.o.d"
+  "CMakeFiles/rtp_workload.dir/swf.cpp.o"
+  "CMakeFiles/rtp_workload.dir/swf.cpp.o.d"
+  "CMakeFiles/rtp_workload.dir/synthetic.cpp.o"
+  "CMakeFiles/rtp_workload.dir/synthetic.cpp.o.d"
+  "CMakeFiles/rtp_workload.dir/transforms.cpp.o"
+  "CMakeFiles/rtp_workload.dir/transforms.cpp.o.d"
+  "CMakeFiles/rtp_workload.dir/workload.cpp.o"
+  "CMakeFiles/rtp_workload.dir/workload.cpp.o.d"
+  "librtp_workload.a"
+  "librtp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

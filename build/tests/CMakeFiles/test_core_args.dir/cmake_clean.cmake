@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_args.dir/test_core_args.cpp.o"
+  "CMakeFiles/test_core_args.dir/test_core_args.cpp.o.d"
+  "test_core_args"
+  "test_core_args.pdb"
+  "test_core_args[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_args.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

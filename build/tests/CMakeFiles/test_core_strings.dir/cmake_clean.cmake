@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_strings.dir/test_core_strings.cpp.o"
+  "CMakeFiles/test_core_strings.dir/test_core_strings.cpp.o.d"
+  "test_core_strings"
+  "test_core_strings.pdb"
+  "test_core_strings[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_strings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_time.dir/test_core_time.cpp.o"
+  "CMakeFiles/test_core_time.dir/test_core_time.cpp.o.d"
+  "test_core_time"
+  "test_core_time.pdb"
+  "test_core_time[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

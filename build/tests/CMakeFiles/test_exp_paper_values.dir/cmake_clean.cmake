@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exp_paper_values.dir/test_exp_paper_values.cpp.o"
+  "CMakeFiles/test_exp_paper_values.dir/test_exp_paper_values.cpp.o.d"
+  "test_exp_paper_values"
+  "test_exp_paper_values.pdb"
+  "test_exp_paper_values[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exp_paper_values.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

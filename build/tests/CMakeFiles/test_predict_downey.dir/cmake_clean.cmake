@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_predict_downey.dir/test_predict_downey.cpp.o"
+  "CMakeFiles/test_predict_downey.dir/test_predict_downey.cpp.o.d"
+  "test_predict_downey"
+  "test_predict_downey.pdb"
+  "test_predict_downey[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_predict_downey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

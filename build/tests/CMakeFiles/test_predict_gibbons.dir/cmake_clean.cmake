@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_predict_gibbons.dir/test_predict_gibbons.cpp.o"
+  "CMakeFiles/test_predict_gibbons.dir/test_predict_gibbons.cpp.o.d"
+  "test_predict_gibbons"
+  "test_predict_gibbons.pdb"
+  "test_predict_gibbons[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_predict_gibbons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

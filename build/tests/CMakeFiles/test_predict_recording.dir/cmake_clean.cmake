@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_predict_recording.dir/test_predict_recording.cpp.o"
+  "CMakeFiles/test_predict_recording.dir/test_predict_recording.cpp.o.d"
+  "test_predict_recording"
+  "test_predict_recording.pdb"
+  "test_predict_recording[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_predict_recording.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_predict_simple.dir/test_predict_simple.cpp.o"
+  "CMakeFiles/test_predict_simple.dir/test_predict_simple.cpp.o.d"
+  "test_predict_simple"
+  "test_predict_simple.pdb"
+  "test_predict_simple[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_predict_simple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

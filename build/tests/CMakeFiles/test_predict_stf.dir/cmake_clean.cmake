@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_predict_stf.dir/test_predict_stf.cpp.o"
+  "CMakeFiles/test_predict_stf.dir/test_predict_stf.cpp.o.d"
+  "test_predict_stf"
+  "test_predict_stf.pdb"
+  "test_predict_stf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_predict_stf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

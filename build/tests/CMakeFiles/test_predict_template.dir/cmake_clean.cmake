@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_predict_template.dir/test_predict_template.cpp.o"
+  "CMakeFiles/test_predict_template.dir/test_predict_template.cpp.o.d"
+  "test_predict_template"
+  "test_predict_template.pdb"
+  "test_predict_template[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_predict_template.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

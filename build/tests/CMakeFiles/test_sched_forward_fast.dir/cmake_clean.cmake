@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched_forward_fast.dir/test_sched_forward_fast.cpp.o"
+  "CMakeFiles/test_sched_forward_fast.dir/test_sched_forward_fast.cpp.o.d"
+  "test_sched_forward_fast"
+  "test_sched_forward_fast.pdb"
+  "test_sched_forward_fast[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched_forward_fast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

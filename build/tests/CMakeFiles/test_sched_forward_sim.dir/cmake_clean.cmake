@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched_forward_sim.dir/test_sched_forward_sim.cpp.o"
+  "CMakeFiles/test_sched_forward_sim.dir/test_sched_forward_sim.cpp.o.d"
+  "test_sched_forward_sim"
+  "test_sched_forward_sim.pdb"
+  "test_sched_forward_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched_forward_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

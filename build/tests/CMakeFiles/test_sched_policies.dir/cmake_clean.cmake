@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched_policies.dir/test_sched_policies.cpp.o"
+  "CMakeFiles/test_sched_policies.dir/test_sched_policies.cpp.o.d"
+  "test_sched_policies"
+  "test_sched_policies.pdb"
+  "test_sched_policies[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

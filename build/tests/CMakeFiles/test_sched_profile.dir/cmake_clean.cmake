@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched_profile.dir/test_sched_profile.cpp.o"
+  "CMakeFiles/test_sched_profile.dir/test_sched_profile.cpp.o.d"
+  "test_sched_profile"
+  "test_sched_profile.pdb"
+  "test_sched_profile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched_state.dir/test_sched_state.cpp.o"
+  "CMakeFiles/test_sched_state.dir/test_sched_state.cpp.o.d"
+  "test_sched_state"
+  "test_sched_state.pdb"
+  "test_sched_state[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_search_codec.dir/test_search_codec.cpp.o"
+  "CMakeFiles/test_search_codec.dir/test_search_codec.cpp.o.d"
+  "test_search_codec"
+  "test_search_codec.pdb"
+  "test_search_codec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_search_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

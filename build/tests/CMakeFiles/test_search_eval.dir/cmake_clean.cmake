@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_search_eval.dir/test_search_eval.cpp.o"
+  "CMakeFiles/test_search_eval.dir/test_search_eval.cpp.o.d"
+  "test_search_eval"
+  "test_search_eval.pdb"
+  "test_search_eval[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_search_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

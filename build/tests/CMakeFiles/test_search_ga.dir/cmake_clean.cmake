@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_search_ga.dir/test_search_ga.cpp.o"
+  "CMakeFiles/test_search_ga.dir/test_search_ga.cpp.o.d"
+  "test_search_ga"
+  "test_search_ga.pdb"
+  "test_search_ga[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_search_ga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

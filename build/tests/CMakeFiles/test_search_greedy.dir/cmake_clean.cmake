@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_search_greedy.dir/test_search_greedy.cpp.o"
+  "CMakeFiles/test_search_greedy.dir/test_search_greedy.cpp.o.d"
+  "test_search_greedy"
+  "test_search_greedy.pdb"
+  "test_search_greedy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_search_greedy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

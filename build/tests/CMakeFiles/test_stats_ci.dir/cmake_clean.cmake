@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_ci.dir/test_stats_ci.cpp.o"
+  "CMakeFiles/test_stats_ci.dir/test_stats_ci.cpp.o.d"
+  "test_stats_ci"
+  "test_stats_ci.pdb"
+  "test_stats_ci[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_ci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

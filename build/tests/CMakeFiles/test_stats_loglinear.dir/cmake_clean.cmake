@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_loglinear.dir/test_stats_loglinear.cpp.o"
+  "CMakeFiles/test_stats_loglinear.dir/test_stats_loglinear.cpp.o.d"
+  "test_stats_loglinear"
+  "test_stats_loglinear.pdb"
+  "test_stats_loglinear[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_loglinear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_waitpred.dir/test_waitpred.cpp.o"
+  "CMakeFiles/test_waitpred.dir/test_waitpred.cpp.o.d"
+  "test_waitpred"
+  "test_waitpred.pdb"
+  "test_waitpred[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_waitpred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

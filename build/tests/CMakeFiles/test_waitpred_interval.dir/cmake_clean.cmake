@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_waitpred_interval.dir/test_waitpred_interval.cpp.o"
+  "CMakeFiles/test_waitpred_interval.dir/test_waitpred_interval.cpp.o.d"
+  "test_waitpred_interval"
+  "test_waitpred_interval.pdb"
+  "test_waitpred_interval[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_waitpred_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_waitpred_statepred.dir/test_waitpred_statepred.cpp.o"
+  "CMakeFiles/test_waitpred_statepred.dir/test_waitpred_statepred.cpp.o.d"
+  "test_waitpred_statepred"
+  "test_waitpred_statepred.pdb"
+  "test_waitpred_statepred[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_waitpred_statepred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_waitpred_statepred.
+# This may be replaced when dependencies are built.

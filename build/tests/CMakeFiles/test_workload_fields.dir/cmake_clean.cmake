@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_fields.dir/test_workload_fields.cpp.o"
+  "CMakeFiles/test_workload_fields.dir/test_workload_fields.cpp.o.d"
+  "test_workload_fields"
+  "test_workload_fields.pdb"
+  "test_workload_fields[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_fields.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_native.dir/test_workload_native.cpp.o"
+  "CMakeFiles/test_workload_native.dir/test_workload_native.cpp.o.d"
+  "test_workload_native"
+  "test_workload_native.pdb"
+  "test_workload_native[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

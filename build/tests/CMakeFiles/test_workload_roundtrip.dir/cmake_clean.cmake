@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_roundtrip.dir/test_workload_roundtrip.cpp.o"
+  "CMakeFiles/test_workload_roundtrip.dir/test_workload_roundtrip.cpp.o.d"
+  "test_workload_roundtrip"
+  "test_workload_roundtrip.pdb"
+  "test_workload_roundtrip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

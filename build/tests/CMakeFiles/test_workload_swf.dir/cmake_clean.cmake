@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_swf.dir/test_workload_swf.cpp.o"
+  "CMakeFiles/test_workload_swf.dir/test_workload_swf.cpp.o.d"
+  "test_workload_swf"
+  "test_workload_swf.pdb"
+  "test_workload_swf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_swf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

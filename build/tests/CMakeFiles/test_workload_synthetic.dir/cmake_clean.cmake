@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_synthetic.dir/test_workload_synthetic.cpp.o"
+  "CMakeFiles/test_workload_synthetic.dir/test_workload_synthetic.cpp.o.d"
+  "test_workload_synthetic"
+  "test_workload_synthetic.pdb"
+  "test_workload_synthetic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

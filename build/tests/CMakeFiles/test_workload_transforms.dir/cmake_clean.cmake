@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_transforms.dir/test_workload_transforms.cpp.o"
+  "CMakeFiles/test_workload_transforms.dir/test_workload_transforms.cpp.o.d"
+  "test_workload_transforms"
+  "test_workload_transforms.pdb"
+  "test_workload_transforms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_transforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
