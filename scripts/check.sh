@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Build and test both the plain and the sanitized (ASan+UBSan)
+# configurations.  The sanitized pass exists to catch lifetime bugs on the
+# fault paths (job resubmission, node-map mutation) that a plain build can
+# silently survive.
+#
+# Usage: scripts/check.sh [--plain-only|--sanitize-only]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs=$(nproc 2>/dev/null || echo 4)
+
+run_config() {
+  local dir=$1
+  shift
+  echo "=== configure $dir ($*) ==="
+  cmake -B "$dir" -S . "$@" >/dev/null
+  echo "=== build $dir ==="
+  cmake --build "$dir" -j "$jobs"
+  echo "=== ctest $dir ==="
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+}
+
+mode=${1:-all}
+case "$mode" in
+  --plain-only|plain)
+    run_config build
+    ;;
+  --sanitize-only|sanitize)
+    run_config build-asan -DRTP_SANITIZE=ON
+    ;;
+  all|*)
+    run_config build
+    run_config build-asan -DRTP_SANITIZE=ON
+    ;;
+esac
+
+echo "All checks passed."

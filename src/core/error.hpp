@@ -3,7 +3,8 @@
 // Following the C++ Core Guidelines (E.2, E.14) errors that callers can
 // reasonably encounter (bad trace files, invalid configuration) throw
 // `rtp::Error`; internal invariant violations use RTP_ASSERT which also
-// throws so tests can observe them.
+// throws so tests can observe them.  Both macros expand to a single
+// `do { } while (0)` statement so they compose with unbraced if/else.
 #pragma once
 
 #include <stdexcept>
@@ -11,27 +12,43 @@
 
 namespace rtp {
 
-/// Exception thrown for all recoverable library errors.
+/// Exception thrown for all recoverable library errors.  Carries an
+/// optional source location ("file.cpp:123") separate from the message so
+/// callers can log or strip it; when present it is appended to what().
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const std::string& what, std::string location = {})
+      : std::runtime_error(location.empty() ? what : what + " [" + location + "]"),
+        location_(std::move(location)) {}
+
+  /// Where the error was raised; empty when unknown.
+  const std::string& location() const { return location_; }
+
+ private:
+  std::string location_;
 };
 
 [[noreturn]] inline void fail(const std::string& message) { throw Error(message); }
+
+[[noreturn]] inline void fail_at(const char* file, long line, const std::string& message) {
+  throw Error(message, std::string(file) + ":" + std::to_string(line));
+}
 
 }  // namespace rtp
 
 /// Throw rtp::Error with `msg` when `cond` is false.  For conditions caused
 /// by caller input (file contents, configuration values).
-#define RTP_CHECK(cond, msg)                                        \
-  do {                                                              \
-    if (!(cond)) ::rtp::fail(std::string("check failed: ") + (msg)); \
+#define RTP_CHECK(cond, msg)                                          \
+  do {                                                                \
+    if (!(cond))                                                      \
+      ::rtp::fail_at(__FILE__, __LINE__,                              \
+                     std::string("check failed: ") + (msg));          \
   } while (0)
 
 /// Internal invariant; failure indicates a bug in this library.
-#define RTP_ASSERT(cond)                                                     \
-  do {                                                                       \
-    if (!(cond))                                                             \
-      ::rtp::fail(std::string("internal invariant violated: " #cond " at ") + \
-                  __FILE__ + ":" + std::to_string(__LINE__));                \
+#define RTP_ASSERT(cond)                                                        \
+  do {                                                                          \
+    if (!(cond))                                                                \
+      ::rtp::fail_at(__FILE__, __LINE__,                                        \
+                     std::string("internal invariant violated: " #cond));       \
   } while (0)

@@ -43,6 +43,18 @@ Seconds DowneyPredictor::estimate(const Job& job, Seconds age) {
   return std::max({value, age + 1.0, 1.0});
 }
 
+std::optional<Seconds> DowneyPredictor::try_estimate(const Job& job, Seconds age) {
+  double value = 0.0;
+  bool ok = false;
+  if (!job.queue.empty()) {
+    if (auto it = queues_.find(job.queue); it != queues_.end())
+      ok = predict_from(it->second, age, value);
+  }
+  if (!ok) ok = predict_from(global_, age, value);
+  if (!ok) return std::nullopt;
+  return std::max({value, age + 1.0, 1.0});
+}
+
 void DowneyPredictor::job_completed(const Job& job, Seconds completion_time) {
   (void)completion_time;
   const double runtime = std::max(1.0, job.runtime);  // log model needs > 0

@@ -34,6 +34,8 @@ class DowneyPredictor final : public RuntimeEstimator {
   explicit DowneyPredictor(DowneyVariant variant) : variant_(variant) {}
 
   Seconds estimate(const Job& job, Seconds age) override;
+  /// nullopt when neither the queue category nor the global model can fit.
+  std::optional<Seconds> try_estimate(const Job& job, Seconds age) override;
   void job_completed(const Job& job, Seconds completion_time) override;
   std::string name() const override {
     return variant_ == DowneyVariant::ConditionalAverage ? "downey-avg" : "downey-med";

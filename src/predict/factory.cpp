@@ -3,6 +3,7 @@
 #include "core/error.hpp"
 #include "core/strings.hpp"
 #include "predict/downey.hpp"
+#include "predict/fallback.hpp"
 #include "predict/gibbons.hpp"
 #include "predict/simple.hpp"
 #include "predict/stf.hpp"
@@ -53,6 +54,17 @@ std::unique_ptr<RuntimeEstimator> make_runtime_estimator(
       return std::make_unique<DowneyPredictor>(DowneyVariant::ConditionalMedian);
   }
   fail("unknown predictor kind");
+}
+
+std::unique_ptr<FallbackEstimator> make_fallback_estimator(
+    PredictorKind kind, const Workload& workload,
+    const std::optional<TemplateSet>& templates) {
+  auto primary = make_runtime_estimator(kind, workload, templates);
+  // STF degrades through Gibbons first: a different similarity structure
+  // that often still has data when a fine-grained STF category is empty.
+  std::unique_ptr<RuntimeEstimator> secondary;
+  if (kind == PredictorKind::Stf) secondary = std::make_unique<GibbonsPredictor>();
+  return std::make_unique<FallbackEstimator>(std::move(primary), std::move(secondary));
 }
 
 }  // namespace rtp

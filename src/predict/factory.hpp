@@ -27,4 +27,14 @@ std::unique_ptr<RuntimeEstimator> make_runtime_estimator(
     PredictorKind kind, const Workload& workload,
     const std::optional<TemplateSet>& templates = std::nullopt);
 
+class FallbackEstimator;
+
+/// Wrap `kind` in the graceful-degradation chain: the primary predictor,
+/// then (for STF) Gibbons as a structural backup, then category-mean /
+/// workload-mean / static tiers.  Exposes per-tier counters for
+/// experiments; see predict/fallback.hpp.
+std::unique_ptr<FallbackEstimator> make_fallback_estimator(
+    PredictorKind kind, const Workload& workload,
+    const std::optional<TemplateSet>& templates = std::nullopt);
+
 }  // namespace rtp

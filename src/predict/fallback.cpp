@@ -1,0 +1,82 @@
+#include "predict/fallback.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/error.hpp"
+
+namespace rtp {
+
+const char* to_string(FallbackTier tier) {
+  switch (tier) {
+    case FallbackTier::Primary: return "primary";
+    case FallbackTier::Secondary: return "secondary";
+    case FallbackTier::CategoryMean: return "category-mean";
+    case FallbackTier::WorkloadMean: return "workload-mean";
+    case FallbackTier::Default: return "default";
+  }
+  fail("unknown fallback tier");
+}
+
+std::size_t FallbackCounters::total() const {
+  return std::accumulate(fired.begin(), fired.end(), std::size_t{0});
+}
+
+FallbackEstimator::FallbackEstimator(std::unique_ptr<RuntimeEstimator> primary,
+                                     std::unique_ptr<RuntimeEstimator> secondary,
+                                     FallbackOptions options)
+    : primary_(std::move(primary)), secondary_(std::move(secondary)), options_(options) {
+  RTP_CHECK(primary_ != nullptr, "FallbackEstimator needs a primary predictor");
+  RTP_CHECK(options_.min_category_points >= 1,
+            "FallbackEstimator: min_category_points must be >= 1");
+}
+
+std::string FallbackEstimator::category_key(const Job& job) {
+  if (!job.queue.empty()) return "q:" + job.queue;
+  if (!job.executable.empty()) return "e:" + job.executable;
+  if (!job.user.empty()) return "u:" + job.user;
+  return {};
+}
+
+Seconds FallbackEstimator::serve(FallbackTier tier, Seconds value, Seconds age) {
+  ++counters_.fired[static_cast<int>(tier)];
+  last_tier_ = tier;
+  return std::max({value, age + 1.0, 1.0});
+}
+
+Seconds FallbackEstimator::estimate(const Job& job, Seconds age) {
+  if (auto v = primary_->try_estimate(job, age))
+    return serve(FallbackTier::Primary, *v, age);
+  if (secondary_)
+    if (auto v = secondary_->try_estimate(job, age))
+      return serve(FallbackTier::Secondary, *v, age);
+
+  const std::string key = category_key(job);
+  if (!key.empty()) {
+    auto it = category_means_.find(key);
+    if (it != category_means_.end() && it->second.count() >= options_.min_category_points)
+      return serve(FallbackTier::CategoryMean, it->second.mean(), age);
+  }
+  if (workload_mean_.count() > 0)
+    return serve(FallbackTier::WorkloadMean, workload_mean_.mean(), age);
+
+  const Seconds value =
+      job.has_max_runtime() ? job.max_runtime : options_.default_estimate;
+  return serve(FallbackTier::Default, value, age);
+}
+
+void FallbackEstimator::job_completed(const Job& job, Seconds completion_time) {
+  primary_->job_completed(job, completion_time);
+  if (secondary_) secondary_->job_completed(job, completion_time);
+  const std::string key = category_key(job);
+  if (!key.empty()) category_means_[key].add(job.runtime);
+  workload_mean_.add(job.runtime);
+}
+
+std::string FallbackEstimator::name() const {
+  std::string out = "fallback(" + primary_->name();
+  if (secondary_) out += "->" + secondary_->name();
+  return out + ")";
+}
+
+}  // namespace rtp

@@ -1,0 +1,87 @@
+// Graceful degradation for run-time predictors.
+//
+// History-based predictors (STF, Gibbons, Downey) silently fall back to a
+// degenerate default when a job matches no populated category — during
+// ramp-up, after a template change, or for never-before-seen users.  This
+// decorator makes the degradation explicit and layered: each estimate is
+// served by the first tier that can actually predict,
+//
+//   primary (e.g. STF)  ->  secondary (e.g. Gibbons)  ->  category mean
+//     ->  workload mean  ->  static default,
+//
+// with per-tier counters so experiments can report how often prediction
+// quality degraded instead of hiding it inside a predictor.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "sched/estimator.hpp"
+#include "stats/summary.hpp"
+
+namespace rtp {
+
+enum class FallbackTier : int {
+  Primary = 0,       ///< the wrapped predictor had real history
+  Secondary,         ///< the backup predictor had real history
+  CategoryMean,      ///< mean of completions sharing the job's category
+  WorkloadMean,      ///< mean of all completions seen so far
+  Default,           ///< nothing observed yet: max runtime or a constant
+};
+
+inline constexpr std::size_t kFallbackTierCount = 5;
+
+const char* to_string(FallbackTier tier);
+
+/// How many estimates each tier served.
+struct FallbackCounters {
+  std::array<std::size_t, kFallbackTierCount> fired{};
+
+  std::size_t at(FallbackTier tier) const { return fired[static_cast<int>(tier)]; }
+  std::size_t total() const;
+};
+
+struct FallbackOptions {
+  /// Category-mean tier needs this many completions in the category.
+  std::size_t min_category_points = 3;
+  /// Last-resort estimate when nothing has completed and the job has no
+  /// max run time.
+  Seconds default_estimate = hours(1);
+};
+
+class FallbackEstimator final : public RuntimeEstimator {
+ public:
+  /// `secondary` may be null (chain skips straight to the mean tiers).
+  explicit FallbackEstimator(std::unique_ptr<RuntimeEstimator> primary,
+                             std::unique_ptr<RuntimeEstimator> secondary = nullptr,
+                             FallbackOptions options = {});
+
+  Seconds estimate(const Job& job, Seconds age) override;
+  void job_completed(const Job& job, Seconds completion_time) override;
+  std::string name() const override;
+
+  const FallbackCounters& counters() const { return counters_; }
+  /// Tier that served the most recent estimate.
+  FallbackTier last_tier() const { return last_tier_; }
+
+  RuntimeEstimator& primary() { return *primary_; }
+  RuntimeEstimator* secondary() { return secondary_.get(); }
+
+ private:
+  /// Category key: queue, else executable, else user; empty = uncategorized.
+  static std::string category_key(const Job& job);
+
+  Seconds serve(FallbackTier tier, Seconds value, Seconds age);
+
+  std::unique_ptr<RuntimeEstimator> primary_;
+  std::unique_ptr<RuntimeEstimator> secondary_;
+  FallbackOptions options_;
+  std::unordered_map<std::string, RunningStats> category_means_;
+  RunningStats workload_mean_;
+  FallbackCounters counters_;
+  FallbackTier last_tier_ = FallbackTier::Default;
+};
+
+}  // namespace rtp

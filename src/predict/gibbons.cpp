@@ -95,6 +95,12 @@ Seconds GibbonsPredictor::estimate(const Job& job, Seconds age) {
   return finish(0, fallback);
 }
 
+std::optional<Seconds> GibbonsPredictor::try_estimate(const Job& job, Seconds age) {
+  const Seconds value = estimate(job, age);
+  if (last_level_ == 0) return std::nullopt;
+  return value;
+}
+
 void GibbonsPredictor::job_completed(const Job& job, Seconds completion_time) {
   (void)completion_time;
   observed_.add(job.runtime);

@@ -29,6 +29,8 @@ namespace rtp {
 class GibbonsPredictor final : public RuntimeEstimator {
  public:
   Seconds estimate(const Job& job, Seconds age) override;
+  /// nullopt when all six levels are empty (level-0 ramp-up fallback).
+  std::optional<Seconds> try_estimate(const Job& job, Seconds age) override;
   void job_completed(const Job& job, Seconds completion_time) override;
   std::string name() const override { return "gibbons"; }
 

@@ -77,6 +77,12 @@ Seconds StfPredictor::estimate(const Job& job, Seconds age) {
   return predict_detail(job, age).estimate;
 }
 
+std::optional<Seconds> StfPredictor::try_estimate(const Job& job, Seconds age) {
+  const StfPrediction detail = predict_detail(job, age);
+  if (detail.winning_template < 0) return std::nullopt;
+  return detail.estimate;
+}
+
 void StfPredictor::job_completed(const Job& job, Seconds completion_time) {
   (void)completion_time;
   observed_.add(job.runtime);

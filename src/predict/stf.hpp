@@ -45,6 +45,9 @@ class StfPredictor final : public RuntimeEstimator {
   StfPredictor(TemplateSet templates, StfOptions options = {});
 
   Seconds estimate(const Job& job, Seconds age) override;
+  /// nullopt when no template category can predict (ramp-up fallback would
+  /// have fired); lets FallbackEstimator degrade to the next tier.
+  std::optional<Seconds> try_estimate(const Job& job, Seconds age) override;
   void job_completed(const Job& job, Seconds completion_time) override;
   std::string name() const override { return "stf"; }
 

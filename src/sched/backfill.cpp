@@ -8,8 +8,10 @@ std::vector<JobId> BackfillPolicy::select_starts(Seconds now, const SystemState&
   // Free capacity over time, given the estimated completions of running
   // jobs.  A job that has outlived its estimate occupies its nodes for a
   // small floor so the profile stays consistent; the next scheduling pass
-  // will re-evaluate.
-  AvailabilityProfile profile(now, state.machine_nodes());
+  // will re-evaluate.  Nodes that are down (fault injection) are excluded
+  // from capacity; future repairs are unknown here, so they are treated as
+  // down indefinitely and re-examined when the next pass runs.
+  AvailabilityProfile profile(now, state.available_nodes());
   for (const SchedJob& running : state.running())
     profile.reserve(now, now + running.remaining(now), running.nodes());
 
@@ -20,6 +22,10 @@ std::vector<JobId> BackfillPolicy::select_starts(Seconds now, const SystemState&
   // reserve nodes for it at the earliest possible time (conservative) or
   // only for the first blocked job (EASY).
   for (const SchedJob& sj : state.queue()) {
+    // A job wider than the in-service capacity cannot start or hold a
+    // reservation until nodes are repaired; set it aside rather than
+    // blocking the profile (only reachable with fault injection).
+    if (sj.nodes() > state.available_nodes()) continue;
     // Floor the booked duration so zero estimates cannot create
     // zero-length reservations that let everything overtake everything.
     const Seconds duration = std::max<Seconds>(1.0, sj.estimate);

@@ -6,6 +6,8 @@
 // machinery.
 #pragma once
 
+#include <optional>
+
 #include "core/time.hpp"
 #include "workload/job.hpp"
 
@@ -19,6 +21,16 @@ class RuntimeEstimator {
   /// has already been executing (0 for queued jobs); implementations should
   /// never return less than `age`.
   virtual Seconds estimate(const Job& job, Seconds age) = 0;
+
+  /// Like estimate(), but returns nullopt instead of a degenerate guess
+  /// when the predictor has no informative history for the job (empty
+  /// category, ramp-up).  The default assumes the estimator can always
+  /// predict; history-based predictors override this so fallback chains
+  /// (FallbackEstimator) can degrade gracefully instead of silently
+  /// propagating a default.
+  virtual std::optional<Seconds> try_estimate(const Job& job, Seconds age) {
+    return estimate(job, age);
+  }
 
   /// Invoked once when a job completes so history-based predictors can
   /// incorporate the observed run time (job.runtime).

@@ -33,6 +33,14 @@ std::unordered_map<JobId, Seconds> replay(SystemState state, const SchedulerPoli
     }
     if (state.queue().empty()) break;
 
+    // Nothing running and nothing startable: the rest of the queue is wider
+    // than the in-service capacity (fault injection).  The replay cannot
+    // see future repairs, so those starts are unknown — report "never".
+    if (state.running().empty()) {
+      for (const SchedJob& sj : state.queue()) starts.emplace(sj.id(), kTimeInfinity);
+      break;
+    }
+
     // Advance to the next estimated completion.  remaining() floors at one
     // second, so jobs that outlived their estimate finish "immediately"
     // rather than stalling the replay.
@@ -51,9 +59,11 @@ std::unordered_map<JobId, Seconds> replay(SystemState state, const SchedulerPoli
   return starts;
 }
 
-/// Book the running set into a fresh profile.
+/// Book the running set into a fresh profile.  Down nodes (fault
+/// injection) are excluded from capacity: the predictor cannot see future
+/// repairs, so the shadow schedule assumes today's capacity persists.
 AvailabilityProfile profile_from_running(const SystemState& state, Seconds now) {
-  AvailabilityProfile profile(now, state.machine_nodes());
+  AvailabilityProfile profile(now, state.available_nodes());
   for (const SchedJob& running : state.running())
     profile.reserve(now, now + running.remaining(now), running.nodes());
   return profile;
@@ -82,6 +92,13 @@ std::unordered_map<JobId, Seconds> chain_schedule(const SystemState& state, Seco
   starts.reserve(order.size());
   Seconds not_before = now;
   for (const SchedJob* sj : order) {
+    // Wider than the in-service capacity (fault injection): start unknown
+    // until repairs land; don't let it block the jobs behind it.
+    if (sj->nodes() > state.available_nodes()) {
+      starts.emplace(sj->id(), kTimeInfinity);
+      if (sj->id() == stop_after) break;
+      continue;
+    }
     const Seconds duration = std::max<Seconds>(1.0, sj->estimate);
     const Seconds t = profile.earliest_fit(not_before, sj->nodes(), duration);
     profile.reserve(t, t + duration, sj->nodes());
@@ -101,6 +118,11 @@ std::unordered_map<JobId, Seconds> conservative_schedule(const SystemState& stat
   std::unordered_map<JobId, Seconds> starts;
   starts.reserve(state.queue().size());
   for (const SchedJob& sj : state.queue()) {
+    if (sj.nodes() > state.available_nodes()) {
+      starts.emplace(sj.id(), kTimeInfinity);
+      if (sj.id() == stop_after) break;
+      continue;
+    }
     const Seconds duration = std::max<Seconds>(1.0, sj.estimate);
     const Seconds t = profile.earliest_fit(now, sj.nodes(), duration);
     profile.reserve(t, t + duration, sj.nodes());

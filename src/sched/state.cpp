@@ -41,6 +41,21 @@ void SystemState::finish_job(JobId id) {
   running_.erase(it);
 }
 
+void SystemState::take_nodes_down(int nodes) {
+  RTP_CHECK(nodes >= 0, "take_nodes_down: negative node count");
+  RTP_CHECK(nodes <= free_nodes_,
+            "take_nodes_down: not enough free nodes; evict running jobs first");
+  free_nodes_ -= nodes;
+  down_nodes_ += nodes;
+}
+
+void SystemState::bring_nodes_up(int nodes) {
+  RTP_CHECK(nodes >= 0 && nodes <= down_nodes_,
+            "bring_nodes_up: more nodes than are down");
+  down_nodes_ -= nodes;
+  free_nodes_ += nodes;
+}
+
 const SchedJob* SystemState::find_queued(JobId id) const {
   for (const SchedJob& sj : queue_)
     if (sj.id() == id) return &sj;

@@ -39,6 +39,13 @@ class SystemState {
   int machine_nodes() const { return machine_nodes_; }
   int free_nodes() const { return free_nodes_; }
 
+  /// Nodes currently out of service (fault injection); 0 on a healthy
+  /// machine.
+  int down_nodes() const { return down_nodes_; }
+
+  /// Capacity that is actually in service right now.
+  int available_nodes() const { return machine_nodes_ - down_nodes_; }
+
   const std::vector<SchedJob>& running() const { return running_; }
   const std::vector<SchedJob>& queue() const { return queue_; }
 
@@ -56,6 +63,16 @@ class SystemState {
   /// Remove a running job (completion).  Throws if not running.
   void finish_job(JobId id);
 
+  /// Take `nodes` out of service.  Only free nodes can be removed: the
+  /// caller must evict running jobs first when free capacity is
+  /// insufficient (the simulator kills victims through finish_job and
+  /// resubmits them).  Throws otherwise.
+  void take_nodes_down(int nodes);
+
+  /// Return `nodes` to service.  Throws if more nodes would come up than
+  /// are down.
+  void bring_nodes_up(int nodes);
+
   /// Queued job lookup; nullptr when absent.
   const SchedJob* find_queued(JobId id) const;
   const SchedJob* find_running(JobId id) const;
@@ -65,6 +82,7 @@ class SystemState {
  private:
   int machine_nodes_ = 0;
   int free_nodes_ = 0;
+  int down_nodes_ = 0;
   std::vector<SchedJob> running_;
   std::vector<SchedJob> queue_;  // arrival order
 };

@@ -1,0 +1,118 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace rtp {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+void validate(const FaultConfig& config) {
+  RTP_CHECK(config.job_failure_rate >= 0.0 && config.job_failure_rate <= 1.0,
+            "FaultConfig: job_failure_rate must be in [0, 1]");
+  RTP_CHECK(config.outages_per_day >= 0.0, "FaultConfig: negative outage rate");
+  RTP_CHECK(config.outage_nodes >= 1 && config.burst_nodes >= 1,
+            "FaultConfig: outages must remove at least one node");
+  RTP_CHECK(config.max_down_fraction > 0.0 && config.max_down_fraction < 1.0,
+            "FaultConfig: max_down_fraction must be in (0, 1)");
+  RTP_CHECK(config.retry.max_attempts >= 1, "RetryPolicy: max_attempts must be >= 1");
+  RTP_CHECK(config.retry.checkpoint_fraction >= 0.0 && config.retry.checkpoint_fraction <= 1.0,
+            "RetryPolicy: checkpoint_fraction must be in [0, 1]");
+  RTP_CHECK(config.retry.jitter >= 0.0 && config.retry.jitter < 1.0,
+            "RetryPolicy: jitter must be in [0, 1)");
+  RTP_CHECK(config.retry.backoff_multiplier >= 1.0,
+            "RetryPolicy: backoff_multiplier must be >= 1");
+}
+
+}  // namespace
+
+FaultModel::FaultModel(FaultConfig config, int machine_nodes, Seconds horizon)
+    : config_(config) {
+  validate(config_);
+  RTP_CHECK(machine_nodes >= 1, "FaultModel: machine_nodes must be >= 1");
+  if (config_.outages_per_day > 0.0) generate_outages(machine_nodes, horizon);
+}
+
+FaultModel::FaultModel(FaultConfig config, const Workload& workload)
+    : FaultModel(config, std::max(1, workload.machine_nodes()), [&] {
+        // Horizon: last submission plus drain slack so outages keep firing
+        // while the queue empties (retries can extend well past the last
+        // arrival).
+        Seconds last_submit = 0.0;
+        double runtime_sum = 0.0;
+        for (const Job& j : workload.jobs()) {
+          last_submit = std::max(last_submit, j.submit);
+          runtime_sum += j.runtime;
+        }
+        const Seconds mean_runtime =
+            workload.empty() ? 0.0 : runtime_sum / static_cast<double>(workload.size());
+        return last_submit + std::max(days(1), 16.0 * mean_runtime);
+      }()) {}
+
+void FaultModel::generate_outages(int machine_nodes, Seconds horizon) {
+  const int max_down =
+      std::max(0, static_cast<int>(config_.max_down_fraction * machine_nodes));
+  if (max_down == 0) return;  // machine too small to take anything down
+
+  Rng rng(splitmix64(config_.seed ^ 0x0f4a6e50ULL));
+  const Seconds mean_gap = days(1) / config_.outages_per_day;
+  Seconds t = 0.0;
+  while (true) {
+    t += rng.exponential(mean_gap);
+    if (t >= horizon) break;
+    const bool burst = rng.chance(config_.burst_probability);
+    const Seconds duration = std::max<Seconds>(1.0, rng.exponential(config_.outage_duration_mean));
+    int nodes = std::min(burst ? config_.burst_nodes : config_.outage_nodes, max_down);
+
+    // Respect the concurrent-down cap against already-scheduled outages so
+    // the simulator can always satisfy take_nodes_down by evicting jobs.
+    int down_now = 0;
+    for (const NodeOutage& o : outages_)
+      if (o.down <= t && t < o.up) down_now += o.nodes;
+    nodes = std::min(nodes, max_down - down_now);
+    if (nodes <= 0) continue;  // draws above keep the stream position stable
+
+    outages_.push_back({t, t + duration, nodes});
+  }
+}
+
+double FaultModel::hash_uniform(std::uint64_t stream, JobId id, int attempt) const {
+  std::uint64_t h = splitmix64(config_.seed ^ (stream * 0x9e3779b97f4a7c15ULL));
+  h = splitmix64(h ^ static_cast<std::uint64_t>(id));
+  h = splitmix64(h ^ static_cast<std::uint64_t>(attempt));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+AttemptOutcome FaultModel::attempt_outcome(const Job& job, int attempt) const {
+  AttemptOutcome out;
+  if (config_.job_failure_rate <= 0.0) return out;
+  out.fails = hash_uniform(1, job.id, attempt) < config_.job_failure_rate;
+  if (out.fails) {
+    // Die strictly inside the run: [5%, 95%] of the attempt's duration.
+    out.fail_fraction = 0.05 + 0.90 * hash_uniform(2, job.id, attempt);
+  }
+  return out;
+}
+
+Seconds FaultModel::resubmit_delay(const Job& job, int failed_attempt) const {
+  const RetryPolicy& retry = config_.retry;
+  Seconds delay = retry.backoff_base *
+                  std::pow(retry.backoff_multiplier, std::max(0, failed_attempt - 1));
+  delay = std::min(delay, retry.backoff_cap);
+  if (retry.jitter > 0.0) {
+    const double u = hash_uniform(3, job.id, failed_attempt);  // [0, 1)
+    delay *= 1.0 + retry.jitter * (2.0 * u - 1.0);
+  }
+  return std::max<Seconds>(1.0, delay);
+}
+
+}  // namespace rtp

@@ -1,0 +1,130 @@
+// Fault injection for the simulator: node outages, per-job failure
+// hazards, and the retry policy that governs resubmission.
+//
+// Everything here is deterministic in the config seed.  Two mechanisms
+// matter for that:
+//
+//  * Node outages are a Poisson process materialized *up front* over a
+//    horizon derived from the workload, so the outage timeline is fixed
+//    before the simulation starts and identical across schedulers.
+//  * Per-attempt decisions (does attempt k of job j fail, where in the run
+//    does it die, how much backoff jitter) are *counter-based*: a splitmix64
+//    hash of (seed, job id, attempt) rather than draws from a shared stream.
+//    The outcome of an attempt therefore does not depend on the order in
+//    which the scheduler happens to start jobs — a prerequisite for
+//    comparing policies under an identical fault sequence.
+//
+// This subsystem is an extension beyond the paper (whose traces are clean);
+// with the model disabled the simulator's behavior is bit-for-bit the
+// clean-trace behavior.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/time.hpp"
+#include "workload/workload.hpp"
+
+namespace rtp {
+
+/// How failed jobs are resubmitted.
+struct RetryPolicy {
+  /// Total attempts a job may consume, including the first; once exhausted
+  /// the job is abandoned.  Must be >= 1.
+  int max_attempts = 3;
+
+  /// Delay before the second attempt; attempt k waits
+  /// base * multiplier^(k-2), capped at `backoff_cap`.
+  Seconds backoff_base = minutes(1);
+  double backoff_multiplier = 2.0;
+  Seconds backoff_cap = hours(4);
+
+  /// Uniform jitter fraction on the delay (0.25 = +/-25%), deterministic
+  /// per (job, attempt).
+  double jitter = 0.25;
+
+  /// Fraction of a failed attempt's completed work a retry keeps
+  /// (checkpointing).  0 = every retry starts from scratch; 1 = perfect
+  /// checkpoints, no work is ever redone.
+  double checkpoint_fraction = 0.0;
+};
+
+struct FaultConfig {
+  std::uint64_t seed = 1;
+
+  /// Probability that any given attempt of a job dies before completing.
+  double job_failure_rate = 0.0;
+
+  /// Node outage Poisson rate per simulated day; 0 disables outages.
+  double outages_per_day = 0.0;
+  /// Mean repair time (outage durations are exponential).
+  Seconds outage_duration_mean = hours(2);
+  /// Nodes an ordinary outage removes.
+  int outage_nodes = 1;
+  /// Chance an outage is a correlated burst (rack / switch failure) ...
+  double burst_probability = 0.15;
+  /// ... which removes this many nodes at once.
+  int burst_nodes = 8;
+  /// Cap on the fraction of the machine that may be down concurrently, so
+  /// the simulation can always make progress.
+  double max_down_fraction = 0.5;
+
+  RetryPolicy retry;
+
+  bool enabled() const { return job_failure_rate > 0.0 || outages_per_day > 0.0; }
+};
+
+/// One node outage on the pre-generated timeline: `nodes` leave service at
+/// `down` and return at `up`.
+struct NodeOutage {
+  Seconds down = 0.0;
+  Seconds up = 0.0;
+  int nodes = 0;
+};
+
+/// Fate of one attempt, decided the moment it starts.
+struct AttemptOutcome {
+  bool fails = false;
+  /// Fraction of the attempt's duration at which it dies (only meaningful
+  /// when `fails`); kept inside (0, 1) so failures strictly follow starts.
+  double fail_fraction = 1.0;
+};
+
+class FaultModel {
+ public:
+  /// Disabled model: no outages, no hazards.
+  FaultModel() = default;
+
+  /// Deterministic in (config, machine_nodes, horizon): the outage
+  /// timeline covers [0, horizon).
+  FaultModel(FaultConfig config, int machine_nodes, Seconds horizon);
+
+  /// Convenience: the horizon is derived from the workload (last submit
+  /// plus generous drain slack).
+  FaultModel(FaultConfig config, const Workload& workload);
+
+  bool enabled() const { return config_.enabled(); }
+  const FaultConfig& config() const { return config_; }
+  const RetryPolicy& retry() const { return config_.retry; }
+
+  /// Pre-generated outage timeline, ordered by `down` time.
+  const std::vector<NodeOutage>& outages() const { return outages_; }
+
+  /// Counter-based fate of attempt `attempt` (1-based) of `job`.
+  AttemptOutcome attempt_outcome(const Job& job, int attempt) const;
+
+  /// Backoff before the attempt after `failed_attempt` (1-based) is
+  /// resubmitted, jitter included.  Always > 0.
+  Seconds resubmit_delay(const Job& job, int failed_attempt) const;
+
+ private:
+  /// Uniform in [0, 1), keyed by (seed, stream, job id, attempt).
+  double hash_uniform(std::uint64_t stream, JobId id, int attempt) const;
+
+  void generate_outages(int machine_nodes, Seconds horizon);
+
+  FaultConfig config_;
+  std::vector<NodeOutage> outages_;
+};
+
+}  // namespace rtp

@@ -12,8 +12,14 @@ void finalize_metrics(SimResult& result, double total_work, int machine_nodes,
                       Seconds first_submit, Seconds last_completion) {
   RTP_CHECK(machine_nodes > 0, "finalize_metrics: machine nodes must be positive");
   result.makespan = std::max<Seconds>(0.0, last_completion - first_submit);
-  if (result.makespan > 0.0)
-    result.utilization = total_work / (static_cast<double>(machine_nodes) * result.makespan);
+  if (result.makespan > 0.0) {
+    const double area = static_cast<double>(machine_nodes) * result.makespan;
+    // `total_work` is useful work; wasted node-seconds count as busy for
+    // utilization but not for goodput.  Clean runs have zero waste, so the
+    // two coincide and utilization matches the paper's definition exactly.
+    result.utilization = (total_work + result.wasted_work) / area;
+    result.goodput = total_work / area;
+  }
 
   if (result.waits.empty()) return;
   RunningStats wait_stats;

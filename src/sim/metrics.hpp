@@ -25,9 +25,32 @@ struct SimResult {
   /// First submission to last completion.
   Seconds makespan = 0.0;
 
-  /// Per-job start times and waits, indexed by JobId.
+  /// Per-job start times and waits, indexed by JobId.  For jobs that were
+  /// retried these record the *first* attempt; a job that never started
+  /// keeps kNoTime.
   std::vector<Seconds> start_times;
   std::vector<Seconds> waits;
+
+  // -------------------------------------------------------------------
+  // Fault-tolerance accounting.  All zero / trivial on a clean run, where
+  // goodput == utilization and attempts[i] == 1.
+
+  /// Attempts per job (1 on a clean run), indexed by JobId.
+  std::vector<int> attempts;
+
+  std::size_t attempts_started = 0;  ///< job starts, retries included
+  std::size_t completed = 0;         ///< jobs that ran to completion
+  std::size_t failures = 0;          ///< failed attempts (hazard or node loss)
+  std::size_t retries = 0;           ///< resubmissions performed
+  std::size_t abandoned = 0;         ///< jobs dropped after max_attempts
+  std::size_t node_outages = 0;      ///< node-down events processed
+
+  /// Node-seconds burned by failed attempts (checkpointed work excluded).
+  double wasted_work = 0.0;
+
+  /// Useful work only: completed jobs' node-seconds over the machine-time
+  /// area.  `utilization` counts wasted work as busy; goodput does not.
+  double goodput = 0.0;
 };
 
 /// Fill the aggregate fields of `result` from its per-job vectors plus the

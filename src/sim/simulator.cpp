@@ -8,12 +8,24 @@
 namespace rtp {
 namespace {
 
-struct Completion {
+// Internal event kinds, in processing order at equal times: completions
+// and failures free nodes first, repairs restore capacity before the next
+// outage claims it, and resubmissions enqueue last so they see the freed
+// machine.  A clean run only ever creates Finish events, which then sort
+// exactly like the original completion heap (time, then id).
+enum class EvKind : int { Finish = 0, Fail = 1, NodeUp = 2, NodeDown = 3, Resubmit = 4 };
+
+struct Event {
   Seconds time;
-  JobId id;
-  // Min-heap by time; ties broken by id for determinism.
-  bool operator>(const Completion& other) const {
+  EvKind kind;
+  JobId id;     // job for Finish/Fail/Resubmit; outage index for node events
+  int nodes;    // node events only
+  int attempt;  // Finish/Fail: which attempt scheduled this event
+
+  // Min-heap by (time, kind, id) for determinism.
+  bool operator>(const Event& other) const {
     if (time != other.time) return time > other.time;
+    if (kind != other.kind) return kind > other.kind;
     return id > other.id;
   }
 };
@@ -27,6 +39,7 @@ class Simulation {
         estimator_(estimator),
         observer_(observer),
         options_(options),
+        faults_(options.faults && options.faults->enabled() ? options.faults : nullptr),
         state_(workload.machine_nodes()) {}
 
   SimResult run() {
@@ -36,30 +49,39 @@ class Simulation {
     result.estimator_name = estimator_.name();
     result.start_times.assign(workload_.size(), kNoTime);
     result.waits.assign(workload_.size(), 0.0);
+    result.attempts.assign(workload_.size(), 0);
+
+    attempt_start_.assign(workload_.size(), kNoTime);
+    running_attempt_.assign(workload_.size(), -1);
+    if (faults_) {
+      remaining_.reserve(workload_.size());
+      for (const Job& j : workload_.jobs()) remaining_.push_back(j.runtime);
+      kept_credit_.assign(workload_.size(), 0.0);
+      for (std::size_t i = 0; i < faults_->outages().size(); ++i) {
+        const NodeOutage& o = faults_->outages()[i];
+        events_.push({o.down, EvKind::NodeDown, static_cast<JobId>(i), o.nodes, 0});
+        events_.push({o.up, EvKind::NodeUp, static_cast<JobId>(i), o.nodes, 0});
+      }
+    }
 
     const auto& jobs = workload_.jobs();
     std::size_t next_arrival = 0;
-    double total_work = 0.0;
     Seconds last_completion = 0.0;
 
-    while (next_arrival < jobs.size() || !completions_.empty()) {
+    while (next_arrival < jobs.size() || !events_.empty()) {
       const bool have_arrival = next_arrival < jobs.size();
-      const bool have_completion = !completions_.empty();
+      const bool have_event = !events_.empty();
       const Seconds ta = have_arrival ? jobs[next_arrival].submit : kTimeInfinity;
-      const Seconds tc = have_completion ? completions_.top().time : kTimeInfinity;
+      const Seconds te = have_event ? events_.top().time : kTimeInfinity;
 
-      if (tc <= ta) {
-        // Completion(s) first; drain every completion at this instant.
-        const Seconds now = tc;
-        while (!completions_.empty() && completions_.top().time <= now) {
-          const JobId id = completions_.top().id;
-          completions_.pop();
-          state_.finish_job(id);
-          const Job& job = workload_.job(id);
-          estimator_.job_completed(job, now);
-          if (observer_) observer_->on_finish(job, now);
-          total_work += job.work();
-          last_completion = std::max(last_completion, now);
+      if (te <= ta) {
+        // Internal event(s) first; drain everything at this instant, then
+        // run one scheduling pass over the settled state.
+        const Seconds now = te;
+        while (!events_.empty() && events_.top().time <= now) {
+          const Event ev = events_.top();
+          events_.pop();
+          handle_event(ev, now, result, last_completion);
         }
         schedule_pass(now, result);
       } else {
@@ -73,12 +95,96 @@ class Simulation {
     }
 
     const Seconds first_submit = jobs.empty() ? 0.0 : jobs.front().submit;
-    finalize_metrics(result, total_work, workload_.machine_nodes(), first_submit,
+    result.wasted_work = wasted_work_;
+    finalize_metrics(result, total_work_, workload_.machine_nodes(), first_submit,
                      last_completion);
     return result;
   }
 
  private:
+  void handle_event(const Event& ev, Seconds now, SimResult& result,
+                    Seconds& last_completion) {
+    switch (ev.kind) {
+      case EvKind::Finish: {
+        if (running_attempt_[ev.id] != ev.attempt) return;  // stale: attempt was killed
+        running_attempt_[ev.id] = -1;
+        state_.finish_job(ev.id);
+        const Job& job = workload_.job(ev.id);
+        estimator_.job_completed(job, now);
+        if (observer_) observer_->on_finish(job, now);
+        total_work_ += job.work();
+        ++result.completed;
+        last_completion = std::max(last_completion, now);
+        break;
+      }
+      case EvKind::Fail: {
+        if (running_attempt_[ev.id] != ev.attempt) return;  // stale
+        fail_attempt(ev.id, now, result);
+        break;
+      }
+      case EvKind::NodeUp: {
+        state_.bring_nodes_up(ev.nodes);
+        if (observer_) observer_->on_node_up(now, state_.down_nodes());
+        break;
+      }
+      case EvKind::NodeDown: {
+        // Node loss kills whatever runs on the lost nodes.  Victims are the
+        // most recently started jobs (ties by id, descending) until enough
+        // capacity is free — deterministic, and it biases the damage toward
+        // backfilled jobs rather than long-running heads.
+        while (state_.free_nodes() < ev.nodes) {
+          const SchedJob* victim = nullptr;
+          for (const SchedJob& sj : state_.running()) {
+            if (!victim || sj.start > victim->start ||
+                (sj.start == victim->start && sj.id() > victim->id()))
+              victim = &sj;
+          }
+          RTP_ASSERT(victim != nullptr);
+          fail_attempt(victim->id(), now, result);
+        }
+        state_.take_nodes_down(ev.nodes);
+        ++result.node_outages;
+        if (observer_) observer_->on_node_down(now, state_.down_nodes());
+        break;
+      }
+      case EvKind::Resubmit: {
+        const Job& job = workload_.job(ev.id);
+        state_.enqueue(job, now, estimator_.estimate(job, 0.0));
+        ++result.retries;
+        break;
+      }
+    }
+  }
+
+  /// Terminate the current attempt of `id` as a failure: free its nodes,
+  /// account wasted work and checkpoint credit, then resubmit or abandon.
+  void fail_attempt(JobId id, Seconds now, SimResult& result) {
+    const Job& job = workload_.job(id);
+    const int attempt = running_attempt_[id];
+    RTP_ASSERT(attempt >= 1);
+    running_attempt_[id] = -1;
+    state_.finish_job(id);
+
+    const RetryPolicy& retry = faults_->retry();
+    const Seconds elapsed = std::max<Seconds>(0.0, now - attempt_start_[id]);
+    const Seconds kept = retry.checkpoint_fraction * elapsed;
+    remaining_[id] = std::max<Seconds>(1.0, remaining_[id] - kept);
+    wasted_work_ += static_cast<double>(job.nodes) * (elapsed - kept);
+    kept_credit_[id] += static_cast<double>(job.nodes) * kept;
+
+    ++result.failures;
+    if (observer_) observer_->on_fail(job, now, attempt);
+
+    if (attempt >= retry.max_attempts) {
+      ++result.abandoned;
+      // Checkpointed work of an abandoned job was ultimately wasted too.
+      wasted_work_ += kept_credit_[id];
+      kept_credit_[id] = 0.0;
+    } else {
+      events_.push({now + faults_->resubmit_delay(job, attempt), EvKind::Resubmit, id, 0, 0});
+    }
+  }
+
   void refresh_estimates(Seconds now) {
     if (policy_.uses_queue_estimates())
       for (SchedJob& sj : state_.mutable_queue())
@@ -93,9 +199,28 @@ class Simulation {
     for (JobId id : policy_.select_starts(now, state_)) {
       state_.start_job(id, now);
       const Job& job = workload_.job(id);
-      result.start_times[id] = now;
-      result.waits[id] = now - job.submit;
-      completions_.push({now + std::max(options_.min_runtime, job.runtime), id});
+      if (result.attempts[id] == 0) {
+        result.start_times[id] = now;
+        result.waits[id] = now - job.submit;
+      }
+      const int attempt = ++result.attempts[id];
+      ++result.attempts_started;
+      attempt_start_[id] = now;
+      running_attempt_[id] = attempt;
+
+      const Seconds duration =
+          std::max(options_.min_runtime, faults_ ? remaining_[id] : job.runtime);
+      if (faults_) {
+        const AttemptOutcome outcome = faults_->attempt_outcome(job, attempt);
+        if (outcome.fails) {
+          const Seconds elapsed = std::max<Seconds>(1e-3, outcome.fail_fraction * duration);
+          events_.push({now + elapsed, EvKind::Fail, id, 0, attempt});
+        } else {
+          events_.push({now + duration, EvKind::Finish, id, 0, attempt});
+        }
+      } else {
+        events_.push({now + duration, EvKind::Finish, id, 0, attempt});
+      }
       if (observer_) observer_->on_start(job, now);
     }
   }
@@ -105,9 +230,18 @@ class Simulation {
   RuntimeEstimator& estimator_;
   SimObserver* observer_;
   SimOptions options_;
+  const FaultModel* faults_;  // nullptr when disabled
   SystemState state_;
-  std::priority_queue<Completion, std::vector<Completion>, std::greater<Completion>>
-      completions_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+
+  double total_work_ = 0.0;   // useful (completed) node-seconds
+  double wasted_work_ = 0.0;  // failed-attempt node-seconds, net of checkpoints
+
+  // Per-job attempt bookkeeping, indexed by JobId.
+  std::vector<Seconds> attempt_start_;
+  std::vector<int> running_attempt_;   // attempt number while running, else -1
+  std::vector<Seconds> remaining_;     // run time still owed (faults only)
+  std::vector<double> kept_credit_;    // checkpointed node-seconds (faults only)
 };
 
 }  // namespace

@@ -1,17 +1,21 @@
 // Event-driven simulation of a space-shared machine under one policy.
 //
-// Events are job arrivals (from the workload) and job completions (at the
-// job's *actual* run time).  At every event the scheduler's run-time
-// estimates are refreshed from the estimator and the policy picks jobs to
-// start — the paper's "the scheduling algorithm attempts to start an
-// application whenever any application is enqueued or finishes".
+// Events are job arrivals (from the workload), job completions (at the
+// job's *actual* run time), and — when a FaultModel is attached — attempt
+// failures, node outages / repairs, and retry resubmissions.  At every
+// event the scheduler's run-time estimates are refreshed from the estimator
+// and the policy picks jobs to start — the paper's "the scheduling
+// algorithm attempts to start an application whenever any application is
+// enqueued or finishes".
 //
 // Completions at a given instant are processed before arrivals at the same
-// instant so freed nodes are visible to the arriving job.
+// instant so freed nodes are visible to the arriving job.  With the fault
+// model disabled the simulation is bit-for-bit the clean-trace simulation.
 #pragma once
 
 #include "sched/estimator.hpp"
 #include "sched/policy.hpp"
+#include "sim/faults.hpp"
 #include "sim/metrics.hpp"
 #include "workload/workload.hpp"
 
@@ -24,20 +28,36 @@ class SimObserver {
 
   /// After `job` is enqueued (estimates refreshed) and before the
   /// scheduling pass runs.  `state` includes the new job at the queue tail.
+  /// Fired for trace arrivals only, not fault-driven resubmissions.
   virtual void on_submit(Seconds now, const SystemState& state, const Job& job) {
     (void)now, (void)state, (void)job;
   }
 
-  /// When a job begins executing.
+  /// When a job begins executing (every attempt).
   virtual void on_start(const Job& job, Seconds start) { (void)job, (void)start; }
 
   /// When a job completes (after the estimator has incorporated it).
   virtual void on_finish(const Job& job, Seconds end) { (void)job, (void)end; }
+
+  /// When attempt `attempt` (1-based) of a running job dies — its own
+  /// hazard or a node outage killing it.
+  virtual void on_fail(const Job& job, Seconds when, int attempt) {
+    (void)job, (void)when, (void)attempt;
+  }
+
+  /// Capacity changes; `down_nodes` is the total currently out of service
+  /// after the event.
+  virtual void on_node_down(Seconds when, int down_nodes) { (void)when, (void)down_nodes; }
+  virtual void on_node_up(Seconds when, int down_nodes) { (void)when, (void)down_nodes; }
 };
 
 struct SimOptions {
   /// Floor for zero actual run times so completions strictly follow starts.
   Seconds min_runtime = 1.0;
+
+  /// Optional fault injection; nullptr (or a disabled model) leaves the
+  /// clean-trace behavior untouched.  Not owned; must outlive simulate().
+  const FaultModel* faults = nullptr;
 };
 
 /// Run the whole workload to completion.  The estimator provides run-time

@@ -27,11 +27,14 @@ std::map<std::string, std::string> parse_header_comment(std::string_view line) {
   return out;
 }
 
-}  // namespace
-
-SwfReadResult read_swf(std::istream& in, const std::string& name, int machine_nodes) {
+/// Shared by the stream and file entry points; `source` labels every error
+/// ("trace.swf" or the caller's stream name).
+SwfReadResult read_swf_impl(std::istream& in, const std::string& name, int machine_nodes,
+                            const SwfOptions& options, const std::string& source) {
   std::vector<Job> jobs;
   std::size_t skipped = 0;
+  std::size_t malformed = 0;
+  std::size_t data_lines = 0;
   std::string line;
   std::size_t line_no = 0;
   int header_procs = 0;
@@ -40,50 +43,68 @@ SwfReadResult read_swf(std::istream& in, const std::string& name, int machine_no
     ++line_no;
     std::string_view sv = trim(line);
     if (sv.empty()) continue;
+    const std::string ctx = "SWF '" + source + "' line " + std::to_string(line_no);
     if (sv.front() == ';') {
       for (auto& [key, value] : parse_header_comment(sv)) {
-        if (key == "MaxProcs") header_procs = static_cast<int>(parse_int(value, "SWF MaxProcs"));
+        if (key == "MaxProcs") header_procs = static_cast<int>(parse_int(value, ctx + " MaxProcs"));
       }
       continue;
     }
-    const auto fields = split_whitespace(sv);
-    RTP_CHECK(fields.size() >= kSwfFieldCount,
-              "SWF line " + std::to_string(line_no) + " has " + std::to_string(fields.size()) +
-                  " fields, expected " + std::to_string(kSwfFieldCount));
-    const std::string ctx = "SWF line " + std::to_string(line_no);
-    const double submit = parse_double(fields[1], ctx);
-    const double wait = parse_double(fields[2], ctx);
-    const double run = parse_double(fields[3], ctx);
-    const double used_procs = parse_double(fields[4], ctx);
-    const double req_procs = parse_double(fields[7], ctx);
-    const double req_time = parse_double(fields[8], ctx);
-    const long long uid = parse_int(fields[11], ctx);
-    const long long exe = parse_int(fields[13], ctx);
-    const long long queue = parse_int(fields[14], ctx);
+    ++data_lines;
+    try {
+      const auto fields = split_whitespace(sv);
+      RTP_CHECK(fields.size() >= kSwfFieldCount,
+                ctx + " has " + std::to_string(fields.size()) + " fields, expected " +
+                    std::to_string(kSwfFieldCount));
+      const double submit = parse_double(fields[1], ctx);
+      const double wait = parse_double(fields[2], ctx);
+      const double run = parse_double(fields[3], ctx);
+      const double used_procs = parse_double(fields[4], ctx);
+      const double req_procs = parse_double(fields[7], ctx);
+      const double req_time = parse_double(fields[8], ctx);
+      const long long uid = parse_int(fields[11], ctx);
+      const long long exe = parse_int(fields[13], ctx);
+      const long long queue = parse_int(fields[14], ctx);
 
-    double nodes = req_procs > 0 ? req_procs : used_procs;
-    if (run < 0 || nodes <= 0) {
+      double nodes = req_procs > 0 ? req_procs : used_procs;
+      if (run < 0 || nodes <= 0) {
+        ++skipped;
+        continue;
+      }
+      Job job;
+      job.submit = submit;
+      job.runtime = run;
+      job.nodes = static_cast<int>(nodes);
+      if (req_time > 0) job.max_runtime = req_time;
+      if (uid >= 0) job.user = "u" + std::to_string(uid);
+      if (exe >= 0) job.executable = "e" + std::to_string(exe);
+      if (queue >= 0) job.queue = "q" + std::to_string(queue);
+      if (wait >= 0) job.trace_start = submit + wait;
+      // SWF requested time is a limit the site enforced; clamp the rare
+      // overruns so Workload::validate's invariant holds.
+      if (job.has_max_runtime() && job.runtime > job.max_runtime)
+        job.max_runtime = job.runtime;
+      jobs.push_back(std::move(job));
+    } catch (const Error&) {
+      if (!options.tolerant) throw;
+      ++malformed;
       ++skipped;
-      continue;
     }
-    Job job;
-    job.submit = submit;
-    job.runtime = run;
-    job.nodes = static_cast<int>(nodes);
-    if (req_time > 0) job.max_runtime = req_time;
-    if (uid >= 0) job.user = "u" + std::to_string(uid);
-    if (exe >= 0) job.executable = "e" + std::to_string(exe);
-    if (queue >= 0) job.queue = "q" + std::to_string(queue);
-    if (wait >= 0) job.trace_start = submit + wait;
-    // SWF requested time is a limit the site enforced; clamp the rare
-    // overruns so Workload::validate's invariant holds.
-    if (job.has_max_runtime() && job.runtime > job.max_runtime)
-      job.max_runtime = job.runtime;
-    jobs.push_back(std::move(job));
+  }
+
+  if (options.tolerant && data_lines > 0) {
+    const double ratio = static_cast<double>(skipped) / static_cast<double>(data_lines);
+    RTP_CHECK(ratio <= options.max_skip_ratio,
+              "SWF '" + source + "': skipped " + std::to_string(skipped) + " of " +
+                  std::to_string(data_lines) + " data lines (" +
+                  std::to_string(malformed) + " malformed), exceeding max_skip_ratio " +
+                  std::to_string(options.max_skip_ratio) +
+                  " — refusing to return a near-empty workload");
   }
 
   if (machine_nodes <= 0) machine_nodes = header_procs;
-  RTP_CHECK(machine_nodes > 0, "SWF trace lacks MaxProcs header; pass machine_nodes explicitly");
+  RTP_CHECK(machine_nodes > 0,
+            "SWF '" + source + "' lacks MaxProcs header; pass machine_nodes explicitly");
 
   FieldMask fields;
   fields.set(Characteristic::Nodes);
@@ -100,6 +121,7 @@ SwfReadResult read_swf(std::istream& in, const std::string& name, int machine_no
   SwfReadResult result;
   result.workload = Workload(name, machine_nodes, fields);
   result.skipped = skipped;
+  result.malformed = malformed;
   std::stable_sort(jobs.begin(), jobs.end(),
                    [](const Job& a, const Job& b) { return a.submit < b.submit; });
   for (Job& j : jobs) {
@@ -109,11 +131,18 @@ SwfReadResult read_swf(std::istream& in, const std::string& name, int machine_no
   return result;
 }
 
+}  // namespace
+
+SwfReadResult read_swf(std::istream& in, const std::string& name, int machine_nodes,
+                       const SwfOptions& options) {
+  return read_swf_impl(in, name, machine_nodes, options, name);
+}
+
 SwfReadResult read_swf_file(const std::string& path, const std::string& name,
-                            int machine_nodes) {
+                            int machine_nodes, const SwfOptions& options) {
   std::ifstream in(path);
   if (!in) fail("cannot open SWF file '" + path + "'");
-  return read_swf(in, name, machine_nodes);
+  return read_swf_impl(in, name, machine_nodes, options, path);
 }
 
 void write_swf(std::ostream& out, const Workload& workload) {

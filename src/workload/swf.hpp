@@ -17,7 +17,8 @@
 //   15 queue id          -> queue  ("q<id>", -1 = absent)
 //   3  wait time         -> trace_start = submit + wait
 // Jobs with unknown (-1) run time or node count are skipped; a count of
-// skipped jobs is reported through SwfReadResult.
+// skipped jobs is reported through SwfReadResult.  Every parse error names
+// the source (file or stream label) and line number.
 #pragma once
 
 #include <iosfwd>
@@ -27,18 +28,32 @@
 
 namespace rtp {
 
+struct SwfOptions {
+  /// Skip malformed data lines (wrong field count, unparsable numbers)
+  /// instead of throwing; each skip is counted in SwfReadResult::malformed
+  /// and ::skipped.  Parsing still fails when the damage exceeds
+  /// `max_skip_ratio`.
+  bool tolerant = false;
+
+  /// In tolerant mode: maximum (skipped / data lines) before the reader
+  /// refuses to return a near-empty workload and throws instead.
+  double max_skip_ratio = 0.5;
+};
+
 struct SwfReadResult {
   Workload workload;
-  std::size_t skipped = 0;  // records dropped for missing runtime/nodes
+  std::size_t skipped = 0;    // records dropped (missing runtime/nodes, or malformed)
+  std::size_t malformed = 0;  // subset of skipped: lines that failed to parse
 };
 
 /// Parse SWF text.  `machine_nodes` <= 0 reads the size from the
 /// "; MaxProcs:" header comment (error if absent).
-SwfReadResult read_swf(std::istream& in, const std::string& name, int machine_nodes = 0);
+SwfReadResult read_swf(std::istream& in, const std::string& name, int machine_nodes = 0,
+                       const SwfOptions& options = {});
 
-/// Convenience: open and parse a file.
+/// Convenience: open and parse a file; errors carry the file path.
 SwfReadResult read_swf_file(const std::string& path, const std::string& name,
-                            int machine_nodes = 0);
+                            int machine_nodes = 0, const SwfOptions& options = {});
 
 /// Write a workload as SWF (lossy: only SWF-representable fields survive).
 void write_swf(std::ostream& out, const Workload& workload);

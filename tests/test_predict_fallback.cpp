@@ -1,0 +1,155 @@
+#include "predict/fallback.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "predict/factory.hpp"
+#include "predict/gibbons.hpp"
+#include "predict/stf.hpp"
+#include "predict/template_set.hpp"
+#include "workload/synthetic.hpp"
+
+namespace rtp {
+namespace {
+
+Job make_job(const std::string& user, const std::string& queue, int nodes,
+             Seconds runtime, Seconds max_runtime = kNoTime) {
+  Job j;
+  j.id = 0;
+  j.user = user;
+  j.queue = queue;
+  j.nodes = nodes;
+  j.runtime = runtime;
+  j.max_runtime = max_runtime;
+  return j;
+}
+
+/// STF over a single (user) template: empty-category behavior is easy to
+/// provoke by asking about an unseen user.
+std::unique_ptr<StfPredictor> user_stf() {
+  TemplateSet set;
+  Template t;
+  t.characteristics.set(Characteristic::User);
+  set.templates.push_back(t);
+  return std::make_unique<StfPredictor>(std::move(set));
+}
+
+TEST(Fallback, EmptyHistoryServesDefaultTier) {
+  FallbackEstimator chain(user_stf());
+  const Job j = make_job("alice", "short", 4, 100.0);
+  const Seconds v = chain.estimate(j, 0.0);
+  EXPECT_EQ(chain.last_tier(), FallbackTier::Default);
+  EXPECT_DOUBLE_EQ(v, hours(1));  // no max runtime -> static default
+  EXPECT_EQ(chain.counters().at(FallbackTier::Default), 1u);
+  EXPECT_EQ(chain.counters().total(), 1u);
+}
+
+TEST(Fallback, DefaultTierPrefersMaxRuntime) {
+  FallbackEstimator chain(user_stf());
+  const Job j = make_job("alice", "short", 4, 100.0, /*max_runtime=*/1800.0);
+  EXPECT_DOUBLE_EQ(chain.estimate(j, 0.0), 1800.0);
+  EXPECT_EQ(chain.last_tier(), FallbackTier::Default);
+}
+
+TEST(Fallback, PrimaryTierWinsWhenCategoryPopulated) {
+  FallbackEstimator chain(user_stf());
+  const Job seen = make_job("alice", "short", 4, 500.0);
+  for (int i = 0; i < 4; ++i) chain.job_completed(seen, 0.0);
+  const Seconds v = chain.estimate(seen, 0.0);
+  EXPECT_EQ(chain.last_tier(), FallbackTier::Primary);
+  EXPECT_DOUBLE_EQ(v, 500.0);
+}
+
+TEST(Fallback, CategoryMeanFiresForUnseenUserInKnownQueue) {
+  FallbackEstimator chain(user_stf());  // no secondary
+  // History: three completions by alice in queue "short".
+  for (int i = 0; i < 3; ++i)
+    chain.job_completed(make_job("alice", "short", 4, 600.0), 0.0);
+  // bob is unknown to the user-keyed STF, but his queue has history.
+  const Seconds v = chain.estimate(make_job("bob", "short", 4, 100.0), 0.0);
+  EXPECT_EQ(chain.last_tier(), FallbackTier::CategoryMean);
+  EXPECT_DOUBLE_EQ(v, 600.0);
+}
+
+TEST(Fallback, WorkloadMeanFiresWhenCategoryUnknown) {
+  FallbackEstimator chain(user_stf());
+  for (int i = 0; i < 3; ++i)
+    chain.job_completed(make_job("alice", "short", 4, 600.0), 0.0);
+  // carol: unseen user, unseen queue -> workload mean.
+  const Seconds v = chain.estimate(make_job("carol", "long", 4, 100.0), 0.0);
+  EXPECT_EQ(chain.last_tier(), FallbackTier::WorkloadMean);
+  EXPECT_DOUBLE_EQ(v, 600.0);
+}
+
+TEST(Fallback, SecondaryTierFiresBeforeMeans) {
+  // Gibbons's root (nodes, rtime) category has data after any completion,
+  // so it catches jobs the narrow STF template cannot.
+  FallbackEstimator chain(user_stf(), std::make_unique<GibbonsPredictor>());
+  for (int i = 0; i < 3; ++i)
+    chain.job_completed(make_job("alice", "short", 4, 600.0), 0.0);
+  chain.estimate(make_job("bob", "short", 4, 100.0), 0.0);
+  EXPECT_EQ(chain.last_tier(), FallbackTier::Secondary);
+}
+
+TEST(Fallback, CountersAccumulateAcrossTiers) {
+  FallbackEstimator chain(user_stf());
+  const Job unknown = make_job("bob", "", 4, 100.0);
+  chain.estimate(unknown, 0.0);  // default
+  for (int i = 0; i < 4; ++i) chain.job_completed(make_job("alice", "q1", 4, 300.0), 0.0);
+  chain.estimate(make_job("alice", "q1", 4, 300.0), 0.0);  // primary
+  chain.estimate(make_job("bob", "q1", 4, 100.0), 0.0);    // category mean
+  chain.estimate(make_job("bob", "", 4, 100.0), 0.0);      // workload mean (no category)
+  const FallbackCounters& c = chain.counters();
+  EXPECT_EQ(c.at(FallbackTier::Default), 1u);
+  EXPECT_EQ(c.at(FallbackTier::Primary), 1u);
+  EXPECT_EQ(c.at(FallbackTier::CategoryMean), 1u);
+  EXPECT_EQ(c.at(FallbackTier::WorkloadMean), 1u);
+  EXPECT_EQ(c.total(), 4u);
+}
+
+TEST(Fallback, EstimateNeverBelowAge) {
+  FallbackEstimator chain(user_stf());
+  chain.job_completed(make_job("alice", "q1", 4, 10.0), 0.0);
+  const Seconds v = chain.estimate(make_job("bob", "q1", 4, 10.0), /*age=*/5000.0);
+  EXPECT_GE(v, 5001.0);
+}
+
+TEST(Fallback, ForwardsCompletionsToBothPredictors) {
+  auto stf = user_stf();
+  StfPredictor* stf_raw = stf.get();
+  auto gibbons = std::make_unique<GibbonsPredictor>();
+  GibbonsPredictor* gibbons_raw = gibbons.get();
+  FallbackEstimator chain(std::move(stf), std::move(gibbons));
+  chain.job_completed(make_job("alice", "q1", 4, 300.0), 0.0);
+  EXPECT_GT(stf_raw->category_count(), 0u);
+  // Gibbons can now serve its root category.
+  EXPECT_TRUE(gibbons_raw->try_estimate(make_job("zed", "zq", 4, 1.0), 0.0).has_value());
+}
+
+TEST(Fallback, TryEstimateReportsEmptyCategories) {
+  // The raw predictors report nullopt exactly where they would silently
+  // serve a degenerate default.
+  auto stf = user_stf();
+  EXPECT_FALSE(stf->try_estimate(make_job("nobody", "", 1, 1.0), 0.0).has_value());
+  GibbonsPredictor gibbons;
+  EXPECT_FALSE(gibbons.try_estimate(make_job("nobody", "", 1, 1.0), 0.0).has_value());
+  gibbons.job_completed(make_job("alice", "", 4, 100.0), 0.0);
+  EXPECT_TRUE(gibbons.try_estimate(make_job("alice", "", 4, 1.0), 0.0).has_value());
+}
+
+TEST(Fallback, FactoryBuildsStfChainWithSecondary) {
+  const Workload w = generate_synthetic(anl_config(0.01));
+  auto chain = make_fallback_estimator(PredictorKind::Stf, w);
+  ASSERT_NE(chain, nullptr);
+  EXPECT_NE(chain->secondary(), nullptr);
+  EXPECT_EQ(chain->name(), "fallback(stf->gibbons)");
+  auto plain = make_fallback_estimator(PredictorKind::DowneyAverage, w);
+  EXPECT_EQ(plain->secondary(), nullptr);
+}
+
+TEST(Fallback, RequiresPrimary) {
+  EXPECT_THROW(FallbackEstimator(nullptr), Error);
+}
+
+}  // namespace
+}  // namespace rtp

@@ -1,0 +1,270 @@
+#include "sim/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "predict/simple.hpp"
+#include "sim/simulator.hpp"
+#include "workload/synthetic.hpp"
+
+namespace rtp {
+namespace {
+
+Workload tiny(int machine, std::vector<std::tuple<Seconds, Seconds, int>> specs) {
+  FieldMask fields;
+  fields.set(Characteristic::User).set(Characteristic::Nodes);
+  Workload w("tiny", machine, fields);
+  for (auto& [submit, runtime, nodes] : specs) {
+    Job j;
+    j.submit = submit;
+    j.runtime = runtime;
+    j.nodes = nodes;
+    j.user = "u";
+    w.add_job(std::move(j));
+  }
+  return w;
+}
+
+FaultConfig hazard_config(double rate, int max_attempts = 5) {
+  FaultConfig config;
+  config.seed = 42;
+  config.job_failure_rate = rate;
+  config.retry.max_attempts = max_attempts;
+  config.retry.backoff_base = 30.0;
+  return config;
+}
+
+SimResult run_with(const Workload& w, const FaultModel& model) {
+  FcfsPolicy fcfs;
+  ActualRuntimePredictor oracle;
+  SimOptions options;
+  options.faults = &model;
+  return simulate(w, fcfs, oracle, nullptr, options);
+}
+
+TEST(FaultModel, DisabledByDefault) {
+  FaultModel model;
+  EXPECT_FALSE(model.enabled());
+  EXPECT_TRUE(model.outages().empty());
+}
+
+TEST(FaultModel, ZeroRatesLeaveSimulationUntouched) {
+  const Workload w = generate_synthetic(anl_config(0.02));
+  FcfsPolicy fcfs;
+
+  ActualRuntimePredictor oracle_a;
+  const SimResult clean = simulate(w, fcfs, oracle_a);
+
+  FaultConfig config;  // all rates zero
+  const FaultModel model(config, w);
+  EXPECT_FALSE(model.enabled());
+  const SimResult faulty = run_with(w, model);
+
+  EXPECT_EQ(clean.start_times, faulty.start_times);
+  EXPECT_EQ(clean.waits, faulty.waits);
+  EXPECT_DOUBLE_EQ(clean.utilization, faulty.utilization);
+  EXPECT_DOUBLE_EQ(clean.makespan, faulty.makespan);
+  EXPECT_EQ(faulty.failures, 0u);
+  EXPECT_EQ(faulty.retries, 0u);
+  EXPECT_DOUBLE_EQ(faulty.wasted_work, 0.0);
+  EXPECT_DOUBLE_EQ(faulty.goodput, faulty.utilization);
+}
+
+TEST(FaultModel, SameSeedSameResult) {
+  const Workload w = generate_synthetic(ctc_config(0.02));
+  FaultConfig config = hazard_config(0.15);
+  config.outages_per_day = 2.0;
+  config.outage_duration_mean = hours(1);
+  const FaultModel model_a(config, w);
+  const FaultModel model_b(config, w);
+
+  const SimResult a = run_with(w, model_a);
+  const SimResult b = run_with(w, model_b);
+
+  EXPECT_EQ(a.start_times, b.start_times);
+  EXPECT_EQ(a.waits, b.waits);
+  EXPECT_EQ(a.attempts, b.attempts);
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.abandoned, b.abandoned);
+  EXPECT_EQ(a.node_outages, b.node_outages);
+  EXPECT_DOUBLE_EQ(a.wasted_work, b.wasted_work);
+  EXPECT_DOUBLE_EQ(a.goodput, b.goodput);
+  EXPECT_DOUBLE_EQ(a.utilization, b.utilization);
+}
+
+TEST(FaultModel, DifferentSeedDifferentFaults) {
+  const Workload w = generate_synthetic(ctc_config(0.02));
+  FaultConfig config = hazard_config(0.15);
+  FaultConfig other = config;
+  other.seed = 1234;
+  const SimResult a = run_with(w, FaultModel(config, w));
+  const SimResult b = run_with(w, FaultModel(other, w));
+  // The hazard hits different (job, attempt) pairs under a different seed.
+  EXPECT_NE(a.attempts, b.attempts);
+}
+
+TEST(FaultModel, ConservationInvariants) {
+  const Workload w = generate_synthetic(sdsc95_config(0.02));
+  FaultConfig config = hazard_config(0.2, /*max_attempts=*/3);
+  config.outages_per_day = 1.0;
+  const SimResult r = run_with(w, FaultModel(config, w));
+
+  // Every attempt ended either in completion or failure (nothing running
+  // at drain), and every failure was either retried or ended the job.
+  EXPECT_EQ(r.attempts_started, r.completed + r.failures);
+  EXPECT_EQ(r.failures, r.retries + r.abandoned);
+  // Every job either completed or was abandoned.
+  EXPECT_EQ(r.completed + r.abandoned, w.size());
+  EXPECT_GT(r.failures, 0u);
+  EXPECT_GE(r.wasted_work, 0.0);
+  EXPECT_LE(r.goodput, r.utilization + 1e-12);
+}
+
+TEST(FaultModel, CertainFailureExhaustsRetries) {
+  const Workload w = tiny(4, {{0.0, 1000.0, 2}});
+  FaultConfig config = hazard_config(1.0, /*max_attempts=*/3);
+  const SimResult r = run_with(w, FaultModel(config, w));
+  EXPECT_EQ(r.attempts_started, 3u);
+  EXPECT_EQ(r.failures, 3u);
+  EXPECT_EQ(r.retries, 2u);
+  EXPECT_EQ(r.abandoned, 1u);
+  EXPECT_EQ(r.completed, 0u);
+  EXPECT_EQ(r.attempts[0], 3);
+  EXPECT_GT(r.wasted_work, 0.0);
+}
+
+TEST(FaultModel, BackoffDelaysGrowAndJitterIsDeterministic) {
+  Job j;
+  j.id = 7;
+  FaultConfig config = hazard_config(0.5);
+  config.retry.jitter = 0.25;
+  const FaultModel model(config, 16, days(10));
+  const Seconds d1 = model.resubmit_delay(j, 1);
+  const Seconds d2 = model.resubmit_delay(j, 2);
+  const Seconds d3 = model.resubmit_delay(j, 3);
+  EXPECT_GT(d1, 0.0);
+  // Exponential growth dominates the +/-25% jitter band.
+  EXPECT_GT(d2, d1);
+  EXPECT_GT(d3, d2);
+  EXPECT_DOUBLE_EQ(model.resubmit_delay(j, 1), d1);  // pure function of (job, attempt)
+}
+
+TEST(FaultModel, CheckpointingReducesWaste) {
+  const Workload w = generate_synthetic(anl_config(0.02));
+  FaultConfig scratch = hazard_config(0.3, /*max_attempts=*/8);
+  FaultConfig checkpointed = scratch;
+  checkpointed.retry.checkpoint_fraction = 0.9;
+  const SimResult a = run_with(w, FaultModel(scratch, w));
+  const SimResult b = run_with(w, FaultModel(checkpointed, w));
+  // Identical failure pattern (same seed, counter-based), but retries keep
+  // 90% of the lost work.
+  EXPECT_GT(a.wasted_work, 0.0);
+  EXPECT_LT(b.wasted_work, a.wasted_work);
+}
+
+TEST(FaultModel, OutageTimelineRespectsConcurrencyCap) {
+  FaultConfig config;
+  config.seed = 9;
+  config.outages_per_day = 24.0;  // dense on purpose
+  config.outage_duration_mean = hours(6);
+  config.burst_probability = 0.5;
+  config.burst_nodes = 16;
+  config.max_down_fraction = 0.5;
+  const int machine = 32;
+  const FaultModel model(config, machine, days(30));
+  ASSERT_FALSE(model.outages().empty());
+  for (const NodeOutage& probe : model.outages()) {
+    int down = 0;
+    for (const NodeOutage& o : model.outages())
+      if (o.down <= probe.down && probe.down < o.up) down += o.nodes;
+    EXPECT_LE(down, static_cast<int>(config.max_down_fraction * machine));
+  }
+}
+
+TEST(FaultModel, NodeOutagesStallAndRecover) {
+  // One node, jobs spaced out; outages force queueing that a clean run
+  // would not see.
+  const Workload w = generate_synthetic(sdsc96_config(0.02));
+  FcfsPolicy fcfs;
+  ActualRuntimePredictor oracle;
+  const SimResult clean = simulate(w, fcfs, oracle);
+
+  FaultConfig config;
+  config.seed = 5;
+  config.outages_per_day = 4.0;
+  config.outage_duration_mean = hours(3);
+  config.burst_probability = 0.3;
+  config.burst_nodes = 64;
+  const SimResult faulty = run_with(w, FaultModel(config, w));
+
+  EXPECT_GT(faulty.node_outages, 0u);
+  EXPECT_EQ(faulty.completed + faulty.abandoned, w.size());
+  // Losing capacity cannot shorten the schedule.
+  EXPECT_GE(faulty.makespan, clean.makespan - 1e-9);
+}
+
+class FaultObserver : public SimObserver {
+ public:
+  int fails = 0, downs = 0, ups = 0, finishes = 0;
+  int max_down = 0;
+  void on_fail(const Job&, Seconds, int) override { ++fails; }
+  void on_node_down(Seconds, int down) override {
+    ++downs;
+    max_down = std::max(max_down, down);
+  }
+  void on_node_up(Seconds, int) override { ++ups; }
+  void on_finish(const Job&, Seconds) override { ++finishes; }
+};
+
+TEST(FaultModel, ObserverSeesFaultEvents) {
+  const Workload w = generate_synthetic(anl_config(0.02));
+  FaultConfig config = hazard_config(0.2);
+  config.outages_per_day = 2.0;
+  const FaultModel model(config, w);
+  FcfsPolicy fcfs;
+  ActualRuntimePredictor oracle;
+  FaultObserver obs;
+  SimOptions options;
+  options.faults = &model;
+  const SimResult r = simulate(w, fcfs, oracle, &obs, options);
+  EXPECT_EQ(static_cast<std::size_t>(obs.fails), r.failures);
+  EXPECT_EQ(static_cast<std::size_t>(obs.downs), r.node_outages);
+  EXPECT_EQ(obs.downs, obs.ups);  // every outage is repaired
+  EXPECT_EQ(static_cast<std::size_t>(obs.finishes), r.completed);
+  EXPECT_GT(obs.max_down, 0);
+}
+
+TEST(FaultModel, WorksUnderEveryPolicy) {
+  const Workload w = generate_synthetic(sdsc95_config(0.02));
+  FaultConfig config = hazard_config(0.15);
+  config.outages_per_day = 2.0;
+  const FaultModel model(config, w);
+  for (PolicyKind kind : {PolicyKind::Fcfs, PolicyKind::Lwf,
+                          PolicyKind::BackfillConservative, PolicyKind::BackfillEasy}) {
+    auto policy = make_policy(kind);
+    ActualRuntimePredictor oracle;
+    SimOptions options;
+    options.faults = &model;
+    const SimResult r = simulate(w, *policy, oracle, nullptr, options);
+    EXPECT_EQ(r.completed + r.abandoned, w.size()) << policy->name();
+    EXPECT_EQ(r.attempts_started, r.completed + r.failures) << policy->name();
+  }
+}
+
+TEST(FaultModel, ValidatesConfig) {
+  FaultConfig bad;
+  bad.job_failure_rate = 1.5;
+  EXPECT_THROW(FaultModel(bad, 16, days(1)), Error);
+  FaultConfig bad2;
+  bad2.retry.max_attempts = 0;
+  EXPECT_THROW(FaultModel(bad2, 16, days(1)), Error);
+  FaultConfig bad3;
+  bad3.retry.checkpoint_fraction = 2.0;
+  EXPECT_THROW(FaultModel(bad3, 16, days(1)), Error);
+}
+
+}  // namespace
+}  // namespace rtp

@@ -92,6 +92,61 @@ TEST(Swf, RoundTripPreservesCoreFields) {
   }
 }
 
+constexpr const char* kMalformed =
+    "; MaxProcs: 16\n"
+    "1 0 0 60 2 -1 -1 2 -1 -1 1 1 -1 -1 -1 -1 -1 -1\n"
+    "this line is garbage\n"
+    "2 10 0 sixty 2 -1 -1 2 -1 -1 1 1 -1 -1 -1 -1 -1 -1\n"
+    "3 20 0 60 2 -1 -1 2 -1 -1 1 1 -1 -1 -1 -1 -1 -1\n";
+
+TEST(Swf, StrictModeThrowsOnMalformedLine) {
+  std::istringstream in(kMalformed);
+  try {
+    read_swf(in, "bad-trace");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    // Error names the source and the offending line.
+    EXPECT_NE(std::string(e.what()).find("bad-trace"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Swf, TolerantModeCountsMalformedLines) {
+  std::istringstream in(kMalformed);
+  SwfOptions options;
+  options.tolerant = true;
+  const SwfReadResult result = read_swf(in, "bad-trace", 0, options);
+  EXPECT_EQ(result.malformed, 2u);
+  EXPECT_EQ(result.skipped, 2u);
+  ASSERT_EQ(result.workload.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.workload.job(0).submit, 0.0);
+  EXPECT_DOUBLE_EQ(result.workload.job(1).submit, 20.0);
+}
+
+TEST(Swf, TolerantModeRefusesNearEmptyWorkload) {
+  std::istringstream in(kMalformed);
+  SwfOptions options;
+  options.tolerant = true;
+  options.max_skip_ratio = 0.25;  // 2/4 lines skipped > 25%
+  try {
+    read_swf(in, "bad-trace", 0, options);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("max_skip_ratio"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Swf, ErrorsCarrySourceLocation) {
+  std::istringstream in("; MaxProcs: 16\n1 0 10 300\n");
+  try {
+    read_swf(in, "s");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_FALSE(e.location().empty());
+    EXPECT_NE(e.location().find("swf.cpp"), std::string::npos) << e.location();
+  }
+}
+
 TEST(Swf, SortsOutOfOrderRecords) {
   std::istringstream in(
       "; MaxProcs: 16\n"
