@@ -1,6 +1,9 @@
 // Shared command-line handling and table rendering for the per-table bench
 // binaries.  Every binary accepts:
 //   --scale S   fraction of each trace's job count to generate (default 1.0)
+//   --threads N experiment cells run on N workers via ExperimentRunner
+//               (default 0 = hardware concurrency; 1 = serial).  Emitted
+//               tables are byte-identical at any thread count.
 //   --ga        run the paper's GA template search per (workload, policy)
 //               instead of the hand-built default template set (STF only)
 //   --ga-pop / --ga-gens   GA budget when --ga is given
@@ -13,10 +16,12 @@
 #include <vector>
 
 #include "core/args.hpp"
+#include "core/error.hpp"
 #include "core/log.hpp"
 #include "core/strings.hpp"
 #include "core/table.hpp"
 #include "exp/experiments.hpp"
+#include "exp/runner.hpp"
 #include "workload/synthetic.hpp"
 
 namespace rtp::bench {
@@ -24,6 +29,7 @@ namespace rtp::bench {
 struct BenchOptions {
   double scale = 1.0;
   bool csv = false;
+  std::size_t threads = 0;  // ExperimentRunner workers; 0 = hardware
   StfSource stf;
 };
 
@@ -31,6 +37,7 @@ struct BenchOptions {
 inline std::optional<BenchOptions> parse(int argc, char** argv, double default_scale = 1.0) {
   ArgParser args(argc, argv);
   args.add_option("scale", "fraction of each trace's job count", std::to_string(default_scale));
+  args.add_option("threads", "experiment-cell workers (0 = hardware, 1 = serial)", "0");
   args.add_flag("ga", "run the GA template search per workload/policy (STF only)");
   args.add_option("ga-pop", "GA population size", "24");
   args.add_option("ga-gens", "GA generations", "12");
@@ -41,6 +48,9 @@ inline std::optional<BenchOptions> parse(int argc, char** argv, double default_s
   BenchOptions out;
   out.scale = args.real("scale");
   out.csv = args.flag("csv");
+  const long long threads = args.integer("threads");
+  RTP_CHECK(threads >= 0, "--threads must be >= 0");
+  out.threads = static_cast<std::size_t>(threads);
   if (args.flag("verbose")) set_log_level(LogLevel::Info);
   if (args.flag("ga")) {
     GaOptions ga;

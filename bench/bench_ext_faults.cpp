@@ -10,6 +10,7 @@
 #include "bench_common.hpp"
 
 #include <algorithm>
+#include <iterator>
 
 #include "predict/factory.hpp"
 #include "predict/fallback.hpp"
@@ -38,6 +39,14 @@ rtp::FaultModel make_model(const Scenario& s, const rtp::Workload& w) {
 
 }  // namespace
 
+struct Cell {
+  const rtp::Workload* workload = nullptr;
+  const rtp::FaultModel* model = nullptr;
+  const Scenario* scenario = nullptr;
+  rtp::PolicyKind policy = rtp::PolicyKind::Fcfs;
+  rtp::PredictorKind predictor = rtp::PredictorKind::MaxRuntime;
+};
+
 int main(int argc, char** argv) {
   auto options = rtp::bench::parse(argc, argv, /*default_scale=*/0.2);
   if (!options) return 0;
@@ -52,32 +61,45 @@ int main(int argc, char** argv) {
   const rtp::PolicyKind policies[] = {rtp::PolicyKind::Fcfs, rtp::PolicyKind::Lwf,
                                       rtp::PolicyKind::BackfillConservative};
 
+  // Materialize workloads and fault models up front so cells share them
+  // read-only; each cell owns its policy and estimator.  The reserve must
+  // cover every model: cells keep pointers into `models`.
+  const auto workloads = rtp::paper_workloads(options->scale);
+  std::vector<rtp::FaultModel> models;
+  models.reserve(workloads.size() * std::size(scenarios));
+  std::vector<Cell> cells;
+  for (const rtp::Workload& w : workloads) {
+    for (const Scenario& s : scenarios) {
+      models.push_back(make_model(s, w));
+      for (rtp::PolicyKind pkind : policies)
+        for (rtp::PredictorKind ekind : predictors)
+          cells.push_back({&w, &models.back(), &s, pkind, ekind});
+    }
+  }
+
+  const rtp::ExperimentRunner runner(options->threads);
+  const auto rows = runner.map<std::vector<std::string>>(cells.size(), [&](std::size_t i) {
+    const Cell& cell = cells[i];
+    auto policy = rtp::make_policy(cell.policy);
+    // Fresh estimator per run: history predictors learn online, and the
+    // STF chain degrades gracefully while its categories fill.
+    auto estimator = rtp::make_fallback_estimator(cell.predictor, *cell.workload);
+    rtp::SimOptions sim_options;
+    if (cell.model->enabled()) sim_options.faults = cell.model;
+    const rtp::SimResult r =
+        rtp::simulate(*cell.workload, *policy, *estimator, nullptr, sim_options);
+    return std::vector<std::string>{
+        cell.workload->name(), policy->name(), rtp::to_string(cell.predictor),
+        cell.scenario->label, rtp::format_double(100.0 * r.utilization, 2),
+        rtp::format_double(100.0 * r.goodput, 2),
+        rtp::format_double(rtp::to_minutes(r.mean_wait), 2), std::to_string(r.retries),
+        std::to_string(r.abandoned), rtp::format_double(r.wasted_work / rtp::hours(1), 1)};
+  });
+
   rtp::TablePrinter table({"Workload", "Scheduling Algorithm", "Predictor", "Faults",
                            "Util (%)", "Goodput (%)", "Mean Wait (min)", "Retries",
                            "Abandoned", "Wasted (node-h)"});
-  for (const rtp::Workload& w : rtp::paper_workloads(options->scale)) {
-    for (const Scenario& s : scenarios) {
-      const rtp::FaultModel model = make_model(s, w);
-      for (rtp::PolicyKind pkind : policies) {
-        for (rtp::PredictorKind ekind : predictors) {
-          auto policy = rtp::make_policy(pkind);
-          // Fresh estimator per run: history predictors learn online, and
-          // the STF chain degrades gracefully while its categories fill.
-          auto estimator = rtp::make_fallback_estimator(ekind, w);
-          rtp::SimOptions sim_options;
-          if (model.enabled()) sim_options.faults = &model;
-          const rtp::SimResult r =
-              rtp::simulate(w, *policy, *estimator, nullptr, sim_options);
-          table.add_row({w.name(), policy->name(), rtp::to_string(ekind), s.label,
-                         rtp::format_double(100.0 * r.utilization, 2),
-                         rtp::format_double(100.0 * r.goodput, 2),
-                         rtp::format_double(rtp::to_minutes(r.mean_wait), 2),
-                         std::to_string(r.retries), std::to_string(r.abandoned),
-                         rtp::format_double(r.wasted_work / rtp::hours(1), 1)});
-        }
-      }
-    }
-  }
+  for (const auto& row : rows) table.add_row(row);
   if (options->csv)
     table.print_csv(std::cout);
   else {

@@ -5,6 +5,8 @@
 // from this output).
 #include "bench_common.hpp"
 
+#include <algorithm>
+
 #include "exp/paper_values.hpp"
 
 namespace {
@@ -51,10 +53,12 @@ void emit(rtp::TablePrinter& table, bool markdown, const std::string& title) {
 int main(int argc, char** argv) {
   rtp::ArgParser args(argc, argv);
   args.add_option("scale", "fraction of each trace's job count", "1.0");
+  args.add_option("threads", "experiment-cell workers (0 = hardware, 1 = serial)", "0");
   args.add_flag("markdown", "emit Markdown tables");
   args.add_flag("ga", "GA template search for the STF predictor");
   if (!args.parse()) return 0;
   const bool markdown = args.flag("markdown");
+  const auto threads = static_cast<std::size_t>(std::max(0LL, args.integer("threads")));
 
   rtp::StfSource stf;
   if (args.flag("ga")) {
@@ -77,7 +81,7 @@ int main(int argc, char** argv) {
   for (PredictorKind predictor : kPredictors) {
     const bool include_fcfs = predictor != PredictorKind::Actual;
     const auto rows = rtp::wait_prediction_table(
-        workloads, rtp::wait_prediction_policies(include_fcfs), predictor, stf);
+        workloads, rtp::wait_prediction_policies(include_fcfs), predictor, stf, threads);
     rtp::TablePrinter table({"Workload", "Algorithm", "Paper err (min)", "Ours err (min)",
                              "Paper % of wait", "Ours % of wait"});
     for (const auto& r : rows) {
@@ -106,7 +110,7 @@ int main(int argc, char** argv) {
 
   for (PredictorKind predictor : kPredictors) {
     const auto rows =
-        rtp::scheduling_table(workloads, rtp::scheduling_policies(), predictor, stf);
+        rtp::scheduling_table(workloads, rtp::scheduling_policies(), predictor, stf, threads);
     rtp::TablePrinter table({"Workload", "Algorithm", "Paper util %", "Ours util %",
                              "Paper wait (min)", "Ours wait (min)"});
     std::map<std::string, std::pair<double, double>> waits;  // per workload: lwf, bf

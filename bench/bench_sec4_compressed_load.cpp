@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
   };
   for (rtp::PredictorKind predictor : kPredictors) {
     const auto rows = rtp::scheduling_table(workloads, rtp::scheduling_policies(), predictor,
-                                            options->stf);
+                                            options->stf, options->threads);
     rtp::bench::print_sched_rows(
         "Section 4 (2x compressed SDSC load): predictor = " + rtp::to_string(predictor), rows,
         options->csv);

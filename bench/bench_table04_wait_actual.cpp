@@ -9,7 +9,7 @@ int main(int argc, char** argv) {
   const auto workloads = rtp::paper_workloads(options->scale);
   const auto rows = rtp::wait_prediction_table(
       workloads, rtp::wait_prediction_policies(/*include_fcfs=*/false),
-      rtp::PredictorKind::Actual, options->stf);
+      rtp::PredictorKind::Actual, options->stf, options->threads);
   rtp::bench::print_wait_rows("Table 4: wait-time prediction, actual run times", rows,
                               options->csv);
   return 0;

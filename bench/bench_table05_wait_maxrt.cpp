@@ -7,7 +7,7 @@ int main(int argc, char** argv) {
   const auto workloads = rtp::paper_workloads(options->scale);
   const auto rows = rtp::wait_prediction_table(
       workloads, rtp::wait_prediction_policies(/*include_fcfs=*/true),
-      rtp::PredictorKind::MaxRuntime, options->stf);
+      rtp::PredictorKind::MaxRuntime, options->stf, options->threads);
   rtp::bench::print_wait_rows("Table 5: wait-time prediction, maximum run times", rows,
                               options->csv);
   return 0;

@@ -9,7 +9,7 @@ int main(int argc, char** argv) {
   const auto workloads = rtp::paper_workloads(options->scale);
   const auto rows = rtp::wait_prediction_table(
       workloads, rtp::wait_prediction_policies(/*include_fcfs=*/true),
-      rtp::PredictorKind::Stf, options->stf);
+      rtp::PredictorKind::Stf, options->stf, options->threads);
   rtp::bench::print_wait_rows("Table 6: wait-time prediction, our run-time predictor", rows,
                               options->csv);
   return 0;

@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
   const auto workloads = rtp::paper_workloads(options->scale);
   const auto rows = rtp::wait_prediction_table(
       workloads, rtp::wait_prediction_policies(/*include_fcfs=*/true),
-      rtp::PredictorKind::Gibbons, options->stf);
+      rtp::PredictorKind::Gibbons, options->stf, options->threads);
   rtp::bench::print_wait_rows("Table 7: wait-time prediction, Gibbons's predictor", rows,
                               options->csv);
   return 0;

@@ -8,7 +8,7 @@ int main(int argc, char** argv) {
   const auto workloads = rtp::paper_workloads(options->scale);
   const auto rows = rtp::wait_prediction_table(
       workloads, rtp::wait_prediction_policies(/*include_fcfs=*/true),
-      rtp::PredictorKind::DowneyAverage, options->stf);
+      rtp::PredictorKind::DowneyAverage, options->stf, options->threads);
   rtp::bench::print_wait_rows("Table 8: wait-time prediction, Downey conditional average",
                               rows, options->csv);
   return 0;

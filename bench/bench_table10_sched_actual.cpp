@@ -7,7 +7,7 @@ int main(int argc, char** argv) {
   if (!options) return 0;
   const auto workloads = rtp::paper_workloads(options->scale);
   const auto rows = rtp::scheduling_table(workloads, rtp::scheduling_policies(),
-                                          rtp::PredictorKind::Actual, options->stf);
+                                          rtp::PredictorKind::Actual, options->stf, options->threads);
   rtp::bench::print_sched_rows("Table 10: scheduling performance, actual run times", rows,
                                options->csv);
   return 0;

@@ -6,7 +6,7 @@ int main(int argc, char** argv) {
   if (!options) return 0;
   const auto workloads = rtp::paper_workloads(options->scale);
   const auto rows = rtp::scheduling_table(workloads, rtp::scheduling_policies(),
-                                          rtp::PredictorKind::Gibbons, options->stf);
+                                          rtp::PredictorKind::Gibbons, options->stf, options->threads);
   rtp::bench::print_sched_rows("Table 13: scheduling performance, Gibbons's predictor", rows,
                                options->csv);
   return 0;

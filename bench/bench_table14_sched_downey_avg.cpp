@@ -7,7 +7,7 @@ int main(int argc, char** argv) {
   if (!options) return 0;
   const auto workloads = rtp::paper_workloads(options->scale);
   const auto rows = rtp::scheduling_table(workloads, rtp::scheduling_policies(),
-                                          rtp::PredictorKind::DowneyAverage, options->stf);
+                                          rtp::PredictorKind::DowneyAverage, options->stf, options->threads);
   rtp::bench::print_sched_rows(
       "Table 14: scheduling performance, Downey conditional average", rows, options->csv);
   return 0;

@@ -19,6 +19,13 @@ run_config() {
   cmake --build "$dir" -j "$jobs"
   echo "=== ctest $dir ==="
   ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+  # The parallel-runner determinism tests are the contract behind every
+  # bench's --threads flag; run them explicitly (and under the sanitizers,
+  # where thread bugs actually surface) with a hard timeout so a deadlocked
+  # pool fails fast instead of hanging the gauntlet.
+  echo "=== ctest $dir (runner determinism) ==="
+  ctest --test-dir "$dir" -R 'ExperimentRunner|ThreadPool' --timeout 300 \
+    --output-on-failure -j "$jobs"
 }
 
 mode=${1:-all}

@@ -1,6 +1,8 @@
 #include "core/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
 
 namespace rtp {
 
@@ -54,8 +56,24 @@ void ThreadPool::worker_loop() {
 
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& body) {
-  for (std::size_t i = 0; i < count; ++i) pool.submit([&body, i] { body(i); });
+  // submit() requires non-throwing tasks, so the wrapper captures the first
+  // exception here and parallel_for rethrows it on the calling thread.
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  for (std::size_t i = 0; i < count; ++i)
+    pool.submit([&, i] {
+      if (failed.load(std::memory_order_acquire)) return;
+      try {
+        body(i);
+      } catch (...) {
+        std::scoped_lock lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_release);
+      }
+    });
   pool.wait_idle();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace rtp

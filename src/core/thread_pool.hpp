@@ -45,7 +45,10 @@ class ThreadPool {
 };
 
 /// Run body(i) for i in [0, count) across the pool and wait for completion.
-/// `body` must be safe to invoke concurrently for distinct indices.
+/// `body` must be safe to invoke concurrently for distinct indices.  `body`
+/// may throw: the first exception captured is rethrown on the caller's
+/// thread once every task has drained; indices scheduled after the failure
+/// are skipped (their bodies never run).
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& body);
 

@@ -1,6 +1,7 @@
 #include "exp/experiments.hpp"
 
 #include "core/log.hpp"
+#include "exp/runner.hpp"
 #include "predict/recording.hpp"
 #include "predict/stf.hpp"
 #include "sim/simulator.hpp"
@@ -17,7 +18,8 @@ TemplateSet resolve_stf_templates(const Workload& workload, PolicyKind policy,
     SearchResult found =
         search_templates_ga(eval, workload.fields(), has_max, *source.ga);
     log_info("GA best error ", to_minutes(found.best_error), " min with ",
-             found.best.templates.size(), " templates");
+             found.best.templates.size(), " templates (", found.evaluations,
+             " replays, ", found.memo_hits, " memo hits)");
     return std::move(found.best);
   }
   return default_template_set(workload.fields(), has_max);
@@ -30,9 +32,37 @@ std::unique_ptr<RuntimeEstimator> build_estimator(const Workload& workload,
                                                   const StfSource& stf) {
   if (kind == PredictorKind::Stf) {
     TemplateSet set = resolve_stf_templates(workload, policy, stf);
-    return std::make_unique<StfPredictor>(std::move(set));
+    // Experiment cells only ever feed this predictor jobs owned by one
+    // workload, so memoized category keys are safe.
+    StfOptions options;
+    options.memoize_keys = true;
+    return std::make_unique<StfPredictor>(std::move(set), options);
   }
   return make_runtime_estimator(kind, workload);
+}
+
+/// One (workload, policy) cell per table entry, in row order.
+struct Cell {
+  const Workload* workload = nullptr;
+  PolicyKind policy = PolicyKind::Fcfs;
+};
+
+std::vector<Cell> cross(const std::vector<Workload>& workloads,
+                        const std::vector<PolicyKind>& policies) {
+  std::vector<Cell> cells;
+  cells.reserve(workloads.size() * policies.size());
+  for (const Workload& workload : workloads)
+    for (PolicyKind policy : policies) cells.push_back({&workload, policy});
+  return cells;
+}
+
+/// When cells themselves run in parallel, a nested hardware-sized GA pool
+/// per cell would oversubscribe the machine; pin the per-cell GA to one
+/// thread (its result does not depend on its thread count).
+StfSource per_cell_stf(const StfSource& stf, std::size_t runner_threads) {
+  StfSource out = stf;
+  if (runner_threads > 1 && out.ga && out.ga->threads == 0) out.ga->threads = 1;
+  return out;
 }
 
 }  // namespace
@@ -53,16 +83,15 @@ WaitPredRow wait_prediction_cell(const Workload& workload, PolicyKind policy,
 std::vector<WaitPredRow> wait_prediction_table(const std::vector<Workload>& workloads,
                                                const std::vector<PolicyKind>& policies,
                                                PredictorKind predictor,
-                                               const StfSource& stf) {
-  std::vector<WaitPredRow> rows;
-  rows.reserve(workloads.size() * policies.size());
-  for (const Workload& workload : workloads)
-    for (PolicyKind policy : policies) {
-      log_info("wait prediction: ", workload.name(), " / ", to_string(policy), " / ",
-               to_string(predictor));
-      rows.push_back(wait_prediction_cell(workload, policy, predictor, stf));
-    }
-  return rows;
+                                               const StfSource& stf, std::size_t threads) {
+  const ExperimentRunner runner(threads);
+  const std::vector<Cell> cells = cross(workloads, policies);
+  const StfSource cell_stf = per_cell_stf(stf, runner.thread_count());
+  return runner.map<WaitPredRow>(cells.size(), [&](std::size_t i) {
+    log_info("wait prediction: ", cells[i].workload->name(), " / ",
+             to_string(cells[i].policy), " / ", to_string(predictor));
+    return wait_prediction_cell(*cells[i].workload, cells[i].policy, predictor, cell_stf);
+  });
 }
 
 SchedPerfRow scheduling_cell(const Workload& workload, PolicyKind policy,
@@ -85,16 +114,15 @@ SchedPerfRow scheduling_cell(const Workload& workload, PolicyKind policy,
 std::vector<SchedPerfRow> scheduling_table(const std::vector<Workload>& workloads,
                                            const std::vector<PolicyKind>& policies,
                                            PredictorKind predictor,
-                                           const StfSource& stf) {
-  std::vector<SchedPerfRow> rows;
-  rows.reserve(workloads.size() * policies.size());
-  for (const Workload& workload : workloads)
-    for (PolicyKind policy : policies) {
-      log_info("scheduling: ", workload.name(), " / ", to_string(policy), " / ",
-               to_string(predictor));
-      rows.push_back(scheduling_cell(workload, policy, predictor, stf));
-    }
-  return rows;
+                                           const StfSource& stf, std::size_t threads) {
+  const ExperimentRunner runner(threads);
+  const std::vector<Cell> cells = cross(workloads, policies);
+  const StfSource cell_stf = per_cell_stf(stf, runner.thread_count());
+  return runner.map<SchedPerfRow>(cells.size(), [&](std::size_t i) {
+    log_info("scheduling: ", cells[i].workload->name(), " / ", to_string(cells[i].policy),
+             " / ", to_string(predictor));
+    return scheduling_cell(*cells[i].workload, cells[i].policy, predictor, cell_stf);
+  });
 }
 
 std::vector<PolicyKind> wait_prediction_policies(bool include_fcfs) {

@@ -51,11 +51,14 @@ struct WaitPredRow {
 
 /// One row per (workload, policy).  The live scheduler runs on maximum run
 /// times (the paper's setup); `predictor` drives only the shadow
-/// simulation.
+/// simulation.  Cells fan out across `threads` workers (0 = hardware
+/// concurrency, 1 = serial) via ExperimentRunner; row order and content are
+/// thread-count independent.
 std::vector<WaitPredRow> wait_prediction_table(const std::vector<Workload>& workloads,
                                                const std::vector<PolicyKind>& policies,
                                                PredictorKind predictor,
-                                               const StfSource& stf = {});
+                                               const StfSource& stf = {},
+                                               std::size_t threads = 1);
 
 // ---------------------------------------------------------------------------
 // Scheduler-performance experiments (Tables 10-15).
@@ -72,10 +75,12 @@ struct SchedPerfRow {
 };
 
 /// One row per (workload, policy); the scheduler runs on `predictor`.
+/// `threads` as in wait_prediction_table.
 std::vector<SchedPerfRow> scheduling_table(const std::vector<Workload>& workloads,
                                            const std::vector<PolicyKind>& policies,
                                            PredictorKind predictor,
-                                           const StfSource& stf = {});
+                                           const StfSource& stf = {},
+                                           std::size_t threads = 1);
 
 /// Single-cell variants for custom experiments.
 WaitPredRow wait_prediction_cell(const Workload& workload, PolicyKind policy,

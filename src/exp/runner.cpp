@@ -1,0 +1,29 @@
+#include "exp/runner.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace rtp {
+
+ExperimentRunner::ExperimentRunner(std::size_t threads) {
+  if (threads == 0)
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+ExperimentRunner::~ExperimentRunner() = default;
+
+std::size_t ExperimentRunner::thread_count() const {
+  return pool_ ? pool_->thread_count() : 1;
+}
+
+void ExperimentRunner::for_each(std::size_t count,
+                                const std::function<void(std::size_t)>& body) const {
+  if (!pool_ || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  parallel_for(*pool_, count, body);
+}
+
+}  // namespace rtp

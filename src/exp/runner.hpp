@@ -1,0 +1,56 @@
+// Parallel experiment runner: the shared substrate the table benches (and
+// any future sweep) fan their experiment cells across.
+//
+// A "cell" is one independent (workload x predictor x policy x scenario)
+// computation.  The runner executes cells on the process-wide ThreadPool
+// semantics of core/thread_pool and collects results in *submission order*,
+// so the emitted tables are byte-identical regardless of thread count or
+// completion order.  Exceptions thrown by a cell are rethrown on the
+// caller's thread.
+//
+// Determinism contract: a cell must depend only on its own inputs (shared
+// state may be read, never written), and every cell body must be safe to
+// run concurrently with every other.  Under that contract,
+// run(1 thread) == run(N threads) bit for bit.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+
+namespace rtp {
+
+class ExperimentRunner {
+ public:
+  /// `threads == 0` selects hardware concurrency; 1 runs cells serially
+  /// inline without spawning workers.
+  explicit ExperimentRunner(std::size_t threads = 0);
+  ~ExperimentRunner();
+
+  ExperimentRunner(const ExperimentRunner&) = delete;
+  ExperimentRunner& operator=(const ExperimentRunner&) = delete;
+
+  /// Worker count (1 when serial).
+  std::size_t thread_count() const;
+
+  /// Run body(i) for i in [0, count); the first exception is rethrown on
+  /// the calling thread.
+  void for_each(std::size_t count, const std::function<void(std::size_t)>& body) const;
+
+  /// Run fn(i) for i in [0, count) and return the results indexed by
+  /// submission order, independent of completion order.
+  template <typename T>
+  std::vector<T> map(std::size_t count, const std::function<T(std::size_t)>& fn) const {
+    std::vector<T> out(count);
+    for_each(count, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+ private:
+  std::unique_ptr<ThreadPool> pool_;  // null when serial
+};
+
+}  // namespace rtp

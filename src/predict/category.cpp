@@ -17,14 +17,23 @@ constexpr std::size_t kMinRegressionPoints = 3;  // residual stddev defined
 
 void Category::insert(const DataPoint& point, std::size_t max_history) {
   if (max_history > 0 && points_.size() >= max_history) {
-    const DataPoint& old = points_.front();
-    sum_ -= old.value;
-    sum_sq_ -= old.value * old.value;
+    // Reverse Welford update for the evicted point.
+    const double x = points_.front().value;
+    const std::size_t n = points_.size();
+    if (n == 1) {
+      mean_ = 0.0;
+      m2_ = 0.0;
+    } else {
+      const double old_mean = mean_;
+      mean_ = (static_cast<double>(n) * mean_ - x) / static_cast<double>(n - 1);
+      m2_ -= (x - old_mean) * (x - mean_);
+    }
     points_.pop_front();
   }
   points_.push_back(point);
-  sum_ += point.value;
-  sum_sq_ += point.value * point.value;
+  const double delta = point.value - mean_;
+  mean_ += delta / static_cast<double>(points_.size());
+  m2_ += delta * (point.value - mean_);
 }
 
 CategoryEstimate Category::estimate(EstimatorKind kind, double nodes, Seconds min_runtime,
@@ -40,11 +49,12 @@ CategoryEstimate Category::mean_fast(double alpha) const {
   CategoryEstimate out;
   const std::size_t n = points_.size();
   if (n < kMinMeanPoints) return out;
-  const double mean = sum_ / static_cast<double>(n);
-  double var = (sum_sq_ - static_cast<double>(n) * mean * mean) / static_cast<double>(n - 1);
-  var = std::max(var, 0.0);  // guard accumulated FP error
+  // The eviction updates can leave M2 a hair below zero; that residue is
+  // genuine rounding noise, unlike the cancellation the old sum-of-squares
+  // form hid behind the same clamp.
+  const double var = std::max(m2_, 0.0) / static_cast<double>(n - 1);
   out.valid = true;
-  out.value = mean;
+  out.value = mean_;
   out.ci_halfwidth = prediction_interval_halfwidth(n, std::sqrt(var), alpha);
   out.count = n;
   return out;
@@ -52,18 +62,24 @@ CategoryEstimate Category::mean_fast(double alpha) const {
 
 CategoryEstimate Category::mean_scan(Seconds min_runtime, double alpha) const {
   CategoryEstimate out;
+  // Centered two-pass: mean first, then squared deviations, so large values
+  // with small spread do not cancel.
   std::size_t n = 0;
-  double sum = 0.0, sum_sq = 0.0;
+  double sum = 0.0;
   for (const DataPoint& p : points_) {
     if (p.runtime < min_runtime) continue;
     ++n;
     sum += p.value;
-    sum_sq += p.value * p.value;
   }
   if (n < kMinMeanPoints) return out;
   const double mean = sum / static_cast<double>(n);
-  double var = (sum_sq - static_cast<double>(n) * mean * mean) / static_cast<double>(n - 1);
-  var = std::max(var, 0.0);
+  double sq_dev = 0.0;
+  for (const DataPoint& p : points_) {
+    if (p.runtime < min_runtime) continue;
+    const double d = p.value - mean;
+    sq_dev += d * d;
+  }
+  const double var = sq_dev / static_cast<double>(n - 1);
   out.valid = true;
   out.value = mean;
   out.ci_halfwidth = prediction_interval_halfwidth(n, std::sqrt(var), alpha);

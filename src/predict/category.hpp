@@ -51,9 +51,11 @@ class Category {
                                    bool condition_on_age, double alpha) const;
 
   std::deque<DataPoint> points_;
-  // Incremental moments of `value` for the O(1) unconditioned mean.
-  double sum_ = 0.0;
-  double sum_sq_ = 0.0;
+  // Welford accumulators of `value` for the O(1) unconditioned mean.  The
+  // naive sum/sum-of-squares form cancels catastrophically for large run
+  // times (1e5 s) under long sliding windows; mean/M2 stays accurate.
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // sum of squared deviations from the running mean
 };
 
 }  // namespace rtp

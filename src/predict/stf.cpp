@@ -15,6 +15,19 @@ StfPredictor::StfPredictor(TemplateSet templates, StfOptions options)
     (void)t;
   }
   stores_.resize(templates_.templates.size());
+  key_cache_.resize(templates_.templates.size());
+}
+
+const std::string& StfPredictor::category_key(std::size_t i, const Job& job) const {
+  if (!options_.memoize_keys || job.id == kInvalidJob) {
+    scratch_key_ = templates_.templates[i].key_for(job);
+    return scratch_key_;
+  }
+  auto& cache = key_cache_[i];
+  auto it = cache.find(job.id);
+  if (it == cache.end())
+    it = cache.emplace(job.id, templates_.templates[i].key_for(job)).first;
+  return it->second;
 }
 
 StfPrediction StfPredictor::predict_detail(const Job& job, Seconds age) const {
@@ -25,7 +38,7 @@ StfPrediction StfPredictor::predict_detail(const Job& job, Seconds age) const {
     const Template& tmpl = templates_.templates[i];
     if (tmpl.relative && !job.has_max_runtime()) continue;
     const auto& store = stores_[i];
-    auto it = store.find(tmpl.key_for(job));
+    auto it = store.find(category_key(i, job));
     if (it == store.end()) continue;
 
     // Relative templates store ratios; conditioning must therefore compare
@@ -94,7 +107,7 @@ void StfPredictor::job_completed(const Job& job, Seconds completion_time) {
     point.nodes = job.nodes;
     point.value =
         tmpl.relative ? job.runtime / std::max<Seconds>(1.0, job.max_runtime) : job.runtime;
-    stores_[i][tmpl.key_for(job)].insert(point, tmpl.max_history);
+    stores_[i][category_key(i, job)].insert(point, tmpl.max_history);
   }
 }
 

@@ -30,6 +30,12 @@ struct StfOptions {
   bool clamp_to_max_runtime = false;
   /// Fallback when no category can predict and the job has no maximum.
   Seconds default_estimate = hours(1);
+  /// Memoize category keys per (template, job id).  Only safe when every
+  /// job this predictor will see has a unique stable id and immutable
+  /// fields — true for jobs owned by one Workload.  The GA's per-genome
+  /// evaluation and the experiment harness enable it; jobs without an id
+  /// (kInvalidJob) always bypass the cache.
+  bool memoize_keys = false;
 };
 
 /// Detail returned by predict_detail for diagnostics, tests and examples.
@@ -66,9 +72,17 @@ class StfPredictor final : public RuntimeEstimator {
   std::size_t category_count() const;
 
  private:
+  /// Category key of `job` under template `i`.  With memoize_keys set,
+  /// built once per (template, job id): every job is looked up at least
+  /// twice (predict at submission, insert at completion) and repeatedly by
+  /// forward simulations, so this amortizes the dominant lookup cost.
+  const std::string& category_key(std::size_t i, const Job& job) const;
+
   TemplateSet templates_;
   StfOptions options_;
   std::vector<std::unordered_map<std::string, Category>> stores_;  // per template
+  mutable std::vector<std::unordered_map<JobId, std::string>> key_cache_;
+  mutable std::string scratch_key_;  // un-memoized path
   RunningStats observed_;  // all completed run times (fallback)
 };
 

@@ -119,6 +119,42 @@ Genome TemplateCodec::encode(const TemplateSet& set) const {
   return genome;
 }
 
+Genome TemplateCodec::canonicalize(const Genome& genome) const {
+  const TemplateSet decoded = decode(genome);
+  TemplateSet unique;
+  unique.templates.reserve(decoded.templates.size());
+  for (const Template& t : decoded.templates) {
+    bool seen = false;
+    for (const Template& u : unique.templates)
+      if (u == t) {
+        seen = true;
+        break;
+      }
+    if (!seen) unique.templates.push_back(t);
+  }
+  return encode(unique);
+}
+
+std::string TemplateCodec::canonical_key(const Genome& genome) const {
+  const Genome canonical = canonicalize(genome);
+  // Pack eight bits per byte; prefix with the bit count so genomes of
+  // different lengths can never collide through zero padding.
+  std::string key;
+  key.reserve(2 + canonical.size() / 8 + 1);
+  key.push_back(static_cast<char>(canonical.size() & 0xFF));
+  key.push_back(static_cast<char>((canonical.size() >> 8) & 0xFF));
+  std::uint8_t byte = 0;
+  for (std::size_t i = 0; i < canonical.size(); ++i) {
+    byte = static_cast<std::uint8_t>((byte << 1) | (canonical[i] & 1u));
+    if (i % 8 == 7) {
+      key.push_back(static_cast<char>(byte));
+      byte = 0;
+    }
+  }
+  if (canonical.size() % 8 != 0) key.push_back(static_cast<char>(byte));
+  return key;
+}
+
 Genome TemplateCodec::random_genome(Rng& rng, std::size_t templates) const {
   RTP_CHECK(templates >= 1, "random_genome: need at least one template");
   Genome genome(templates * bits_per_template_);

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/rng.hpp"
@@ -45,6 +46,20 @@ class TemplateCodec {
 
   /// Uniformly random genome with `templates` templates.
   Genome random_genome(Rng& rng, std::size_t templates) const;
+
+  /// Semantics-preserving canonical form: decoding and re-encoding
+  /// normalizes every don't-care bit pattern (masked relative bit, modulo
+  /// range/history exponents, disabled-history exponent bits), and exact
+  /// duplicate templates after the first are dropped — a later duplicate
+  /// produces identical category estimates and can never win the strictly-
+  /// smaller-CI contest, so removal cannot change any prediction.  Template
+  /// order is preserved; two genomes with equal canonical forms evaluate to
+  /// identical fitness on any prediction workload.
+  Genome canonicalize(const Genome& genome) const;
+
+  /// Compact hashable key of the canonical form (used by the GA's
+  /// generation-spanning fitness memo table).
+  std::string canonical_key(const Genome& genome) const;
 
   const std::vector<Characteristic>& characteristics() const { return chars_; }
 

@@ -16,6 +16,12 @@ PredictionWorkload PredictionWorkload::from_schedule(const Workload& workload,
   PredictionWorkload pw;
   pw.events_.reserve(workload.size() * 2);
   for (const Job& job : workload.jobs()) {
+    // Job ids need not be dense; a sparse id past the schedule is caller
+    // error, not a license to read out of bounds.
+    RTP_CHECK(job.id < start_times.size(),
+              "from_schedule: job id " + std::to_string(job.id) +
+                  " has no start time (start_times has " +
+                  std::to_string(start_times.size()) + " entries)");
     RTP_CHECK(start_times[job.id] >= 0.0, "from_schedule: job never started");
     pw.events_.push_back({job.submit, false, &job});
     pw.events_.push_back({start_times[job.id] + job.runtime, true, &job});

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <string>
+#include <unordered_map>
 
 #include "core/error.hpp"
 #include "core/log.hpp"
@@ -12,7 +15,12 @@ namespace {
 
 double evaluate_genome(const TemplateCodec& codec, const PredictionWorkload& eval,
                        const Genome& genome) {
-  StfPredictor predictor(codec.decode(genome));
+  // Eval jobs come from one workload (unique stable ids), so the per-genome
+  // category-key cache is safe: each job's keys are built once instead of
+  // once per predict plus once per insert.
+  StfOptions options;
+  options.memoize_keys = true;
+  StfPredictor predictor(codec.decode(genome), options);
   return eval.evaluate(predictor);
 }
 
@@ -109,10 +117,15 @@ SearchResult search_templates_ga(const PredictionWorkload& eval, FieldMask avail
 
   std::vector<Genome> population;
   population.reserve(options.population);
+  // Initial template counts are biased small (<= 4) but must respect the
+  // caller's lower bound: with min_templates > 4 the naive min() would
+  // invert the uniform_int bounds.
+  const std::size_t init_hi = std::max(
+      options.min_templates, std::min<std::size_t>(options.max_templates, 4));
   for (std::size_t i = 0; i < options.population; ++i) {
-    const std::size_t templates = static_cast<std::size_t>(rng.uniform_int(
-        static_cast<long long>(options.min_templates),
-        static_cast<long long>(std::min<std::size_t>(options.max_templates, 4))));
+    const std::size_t templates = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<long long>(options.min_templates),
+                        static_cast<long long>(init_hi)));
     population.push_back(codec.random_genome(rng, templates));
   }
 
@@ -120,12 +133,37 @@ SearchResult search_templates_ga(const PredictionWorkload& eval, FieldMask avail
   Genome best_genome;
   double best_error = std::numeric_limits<double>::infinity();
 
+  // Generation-spanning fitness memo: canonical genome form -> error.
+  // Elites re-enter every generation unmutated and crossover/mutation
+  // routinely reproduce earlier genomes; neither replays the workload.
+  std::unordered_map<std::string, double> memo;
+
   for (std::size_t gen = 0; gen < options.generations; ++gen) {
     std::vector<double> errors(population.size());
-    parallel_for(pool, population.size(), [&](std::size_t i) {
-      errors[i] = evaluate_genome(codec, eval, population[i]);
+    std::vector<std::string> keys(population.size());
+    for (std::size_t i = 0; i < keys.size(); ++i)
+      keys[i] = codec.canonical_key(population[i]);
+
+    // First occurrence of each not-yet-memoized key, in population order so
+    // the evaluation schedule (and thus the result) is thread-count
+    // independent.
+    std::vector<std::size_t> fresh;
+    fresh.reserve(population.size());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (memo.count(keys[i]) != 0) {
+        ++result.memo_hits;
+      } else {
+        memo.emplace(keys[i], std::numeric_limits<double>::quiet_NaN());
+        fresh.push_back(i);
+      }
+    }
+    parallel_for(pool, fresh.size(), [&](std::size_t j) {
+      errors[fresh[j]] = evaluate_genome(codec, eval, population[fresh[j]]);
     });
-    result.evaluations += population.size();
+    for (std::size_t j : fresh) memo[keys[j]] = errors[j];
+    for (std::size_t i = 0; i < keys.size(); ++i) errors[i] = memo.at(keys[i]);
+    result.evaluations += fresh.size();
+    result.memo_misses += fresh.size();
 
     // Track the best-ever individual.
     for (std::size_t i = 0; i < population.size(); ++i) {

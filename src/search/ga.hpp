@@ -36,7 +36,12 @@ struct SearchResult {
   TemplateSet best;
   double best_error = 0.0;  // mean absolute run-time error, seconds
   std::vector<double> best_error_per_generation;
+  /// Workload replays actually performed (== memo_misses): elites and
+  /// duplicate genomes are served from the generation-spanning fitness memo
+  /// table keyed by TemplateCodec::canonical_key.
   std::size_t evaluations = 0;
+  std::size_t memo_hits = 0;
+  std::size_t memo_misses = 0;
 };
 
 SearchResult search_templates_ga(const PredictionWorkload& eval, FieldMask available,

@@ -4,7 +4,10 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
+
+#include "core/error.hpp"
 
 namespace rtp {
 namespace {
@@ -52,6 +55,45 @@ TEST(ThreadPool, SingleThreadDegradesGracefully) {
 TEST(ThreadPool, DefaultThreadCountPositive) {
   ThreadPool pool;
   EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, ParallelForRethrowsBodyException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_for(pool, 100,
+                            [](std::size_t i) {
+                              if (i == 42) throw Error("task 42 failed");
+                            }),
+               Error);
+}
+
+TEST(ThreadPool, ParallelForRethrowsNonRtpExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      parallel_for(pool, 10,
+                   [](std::size_t) { throw std::runtime_error("plain exception"); }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, PoolSurvivesThrowingTask) {
+  // A throwing body must not terminate the workers: the pool stays usable
+  // for later batches, and indices after the failure are skipped rather
+  // than left half-run.  One worker makes the skip deterministic (tasks run
+  // in submission order).
+  ThreadPool pool(1);
+  std::atomic<int> ran{0};
+  try {
+    parallel_for(pool, 200, [&](std::size_t i) {
+      if (i == 0) throw Error("first task fails");
+      ++ran;
+    });
+    FAIL() << "expected Error";
+  } catch (const Error&) {
+  }
+  EXPECT_EQ(ran.load(), 0);
+
+  std::atomic<int> done{0};
+  parallel_for(pool, 50, [&](std::size_t) { ++done; });
+  EXPECT_EQ(done.load(), 50);
 }
 
 }  // namespace

@@ -1,0 +1,134 @@
+#include "exp/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/strings.hpp"
+#include "exp/experiments.hpp"
+#include "workload/synthetic.hpp"
+
+namespace rtp {
+namespace {
+
+TEST(Runner, SerialRunnerHasOneWorkerAndNoPool) {
+  const ExperimentRunner runner(1);
+  EXPECT_EQ(runner.thread_count(), 1u);
+}
+
+TEST(Runner, ZeroSelectsHardwareConcurrency) {
+  const ExperimentRunner runner(0);
+  EXPECT_GE(runner.thread_count(), 1u);
+}
+
+TEST(Runner, MapCollectsInSubmissionOrder) {
+  const ExperimentRunner runner(4);
+  const auto out =
+      runner.map<int>(200, [](std::size_t i) { return static_cast<int>(i * i); });
+  ASSERT_EQ(out.size(), 200u);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_EQ(out[i], static_cast<int>(i * i));
+}
+
+TEST(Runner, ForEachRunsEveryIndexOnce) {
+  const ExperimentRunner runner(3);
+  std::vector<std::atomic<int>> hits(64);
+  runner.for_each(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Runner, CellExceptionRethrownOnCaller) {
+  const ExperimentRunner runner(4);
+  EXPECT_THROW(runner.for_each(50,
+                               [](std::size_t i) {
+                                 if (i == 17) throw Error("cell 17 failed");
+                               }),
+               Error);
+  // The runner stays usable after a failed sweep.
+  const auto out = runner.map<int>(8, [](std::size_t i) { return static_cast<int>(i); });
+  EXPECT_EQ(out.back(), 7);
+}
+
+TEST(Runner, SerialCellExceptionPropagates) {
+  const ExperimentRunner runner(1);
+  EXPECT_THROW(
+      runner.for_each(3, [](std::size_t i) { if (i == 1) throw Error("boom"); }),
+      Error);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: the tables the benches emit must be byte-identical at any
+// thread count.  These run the real experiment cells (bench_table06 shape:
+// STF predictor over workload x policy) serially and on four workers and
+// compare both the raw doubles and the formatted table fields.
+
+std::vector<Workload> tiny_workloads() {
+  std::vector<Workload> out;
+  out.push_back(generate_synthetic(anl_config(0.02)));
+  out.push_back(generate_synthetic(sdsc95_config(0.01)));
+  return out;
+}
+
+TEST(ExperimentRunner, WaitTableByteIdenticalAcrossThreadCounts) {
+  const auto workloads = tiny_workloads();
+  const auto policies = wait_prediction_policies(/*include_fcfs=*/true);
+  const auto serial =
+      wait_prediction_table(workloads, policies, PredictorKind::Stf, {}, 1);
+  const auto parallel =
+      wait_prediction_table(workloads, policies, PredictorKind::Stf, {}, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].workload, parallel[i].workload);
+    EXPECT_EQ(serial[i].algorithm, parallel[i].algorithm);
+    // Bitwise equality, not EXPECT_NEAR: the determinism contract is exact.
+    EXPECT_EQ(serial[i].mean_error_minutes, parallel[i].mean_error_minutes);
+    EXPECT_EQ(serial[i].percent_of_mean_wait, parallel[i].percent_of_mean_wait);
+    EXPECT_EQ(serial[i].mean_wait_minutes, parallel[i].mean_wait_minutes);
+    // The strings the bench prints.
+    EXPECT_EQ(format_double(serial[i].mean_error_minutes, 2),
+              format_double(parallel[i].mean_error_minutes, 2));
+  }
+}
+
+TEST(ExperimentRunner, SchedulingTableByteIdenticalAcrossThreadCounts) {
+  const auto workloads = tiny_workloads();
+  const auto policies = scheduling_policies();
+  const auto serial = scheduling_table(workloads, policies, PredictorKind::Stf, {}, 1);
+  const auto parallel = scheduling_table(workloads, policies, PredictorKind::Stf, {}, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].workload, parallel[i].workload);
+    EXPECT_EQ(serial[i].algorithm, parallel[i].algorithm);
+    EXPECT_EQ(serial[i].utilization_percent, parallel[i].utilization_percent);
+    EXPECT_EQ(serial[i].mean_wait_minutes, parallel[i].mean_wait_minutes);
+    EXPECT_EQ(serial[i].runtime_error_minutes, parallel[i].runtime_error_minutes);
+    EXPECT_EQ(serial[i].runtime_error_percent, parallel[i].runtime_error_percent);
+  }
+}
+
+TEST(ExperimentRunner, GaCellsDeterministicAcrossThreadCounts) {
+  // The expensive path: per-cell GA search.  The runner pins the nested GA
+  // pool to one thread; the result must still match the serial sweep.
+  std::vector<Workload> workloads;
+  workloads.push_back(generate_synthetic(anl_config(0.015)));
+  StfSource stf;
+  GaOptions ga;
+  ga.population = 8;
+  ga.generations = 2;
+  stf.ga = ga;
+  const auto policies = wait_prediction_policies(/*include_fcfs=*/false);
+  const auto serial = wait_prediction_table(workloads, policies, PredictorKind::Stf, stf, 1);
+  const auto parallel =
+      wait_prediction_table(workloads, policies, PredictorKind::Stf, stf, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].mean_error_minutes, parallel[i].mean_error_minutes);
+    EXPECT_EQ(serial[i].percent_of_mean_wait, parallel[i].percent_of_mean_wait);
+  }
+}
+
+}  // namespace
+}  // namespace rtp

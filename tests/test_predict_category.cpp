@@ -63,6 +63,57 @@ TEST(Category, EvictionKeepsMomentsConsistent) {
   EXPECT_NEAR(a.ci_halfwidth, b.ci_halfwidth, 1e-9);
 }
 
+TEST(Category, LargeRuntimesSurviveLongSlidingWindow) {
+  // Regression: the old sum / sum-of-squares accumulator computed the
+  // variance as sum_sq - n*mean^2, which cancels catastrophically for
+  // ~1e5-second run times with a small spread.  After tens of thousands of
+  // sliding-window insert/evict updates the residue dwarfed the true
+  // variance and the max(var, 0) clamp silently collapsed the CI half-width.
+  // Welford (plus the reverse-Welford eviction) keeps the moments tied to
+  // the surviving window.
+  Category c;
+  const std::size_t window = 64;
+  const std::size_t total = 50000;
+  auto value_at = [](std::size_t i) {
+    return 100000.0 + 1e-3 * static_cast<double>(i % 7);
+  };
+  for (std::size_t i = 0; i < total; ++i) c.insert(point(value_at(i)), window);
+  ASSERT_EQ(c.size(), window);
+
+  // Exact reference moments of the surviving window, centered two-pass.
+  double sum = 0.0;
+  for (std::size_t i = total - window; i < total; ++i) sum += value_at(i);
+  const double mean = sum / static_cast<double>(window);
+  double sq_dev = 0.0;
+  for (std::size_t i = total - window; i < total; ++i) {
+    const double d = value_at(i) - mean;
+    sq_dev += d * d;
+  }
+  const double sd = std::sqrt(sq_dev / static_cast<double>(window - 1));
+  ASSERT_GT(sd, 0.0);
+
+  const auto est = c.estimate(EstimatorKind::Mean, 1, 0, false);
+  ASSERT_TRUE(est.valid);
+  EXPECT_NEAR(est.value, mean, 1e-6);
+  EXPECT_GT(est.ci_halfwidth, 0.0);
+  // 1% of a ~2e-3 stddev: far below the cancellation the old code produced.
+  EXPECT_NEAR(est.ci_halfwidth, prediction_interval_halfwidth(window, sd, 0.10),
+              0.01 * prediction_interval_halfwidth(window, sd, 0.10));
+}
+
+TEST(Category, AgeConditionedScanStableAtLargeValues) {
+  // The filtered (age-conditioned) mean takes the scan path; it must use a
+  // centered two-pass, not the cancelling single-pass form.
+  Category c;
+  for (int i = 0; i < 40; ++i)
+    c.insert(point(100000.0 + 0.001 * (i % 5), 1000.0 + i), 0);
+  const auto est = c.estimate(EstimatorKind::Mean, 1, 1010.0, true);
+  ASSERT_TRUE(est.valid);
+  EXPECT_EQ(est.count, 30u);
+  EXPECT_GT(est.ci_halfwidth, 0.0);
+  EXPECT_NEAR(est.value, 100000.0, 1.0);
+}
+
 TEST(Category, AgeConditioningFiltersShortRuns) {
   Category c;
   c.insert(point(50, 50), 0);

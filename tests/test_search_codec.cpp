@@ -121,6 +121,56 @@ TEST_P(CodecRoundTrip, DecodeEncodeDecodeIsIdentity) {
 INSTANTIATE_TEST_SUITE_P(Seeds, CodecRoundTrip,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
 
+TEST(Codec, CanonicalKeyCollapsesDuplicateTemplates) {
+  TemplateCodec codec(anl_fields(), true);
+  Template t;
+  t.estimator = EstimatorKind::Mean;
+  t.characteristics.set(Characteristic::User);
+  Template u;
+  u.use_nodes = true;
+  u.node_range_size = 4;
+
+  TemplateSet once;
+  once.templates = {t, u};
+  TemplateSet twice;
+  twice.templates = {t, u, t};  // a later duplicate can never win the CI contest
+
+  EXPECT_EQ(codec.canonical_key(codec.encode(once)), codec.canonical_key(codec.encode(twice)));
+  const TemplateSet canon = codec.decode(codec.canonicalize(codec.encode(twice)));
+  EXPECT_EQ(canon, once);  // order preserved, duplicate dropped
+}
+
+TEST(Codec, CanonicalKeyNormalizesDontCareBits) {
+  TemplateCodec codec(anl_fields(), true);
+  Template t;  // max_history = 0: the 4 history-exponent bits are don't-care
+  Genome a;
+  codec.encode_template(t, a);
+  Genome b = a;
+  b[codec.bits_per_template() - 2] ^= 1;  // flip one disabled history-exponent bit
+  EXPECT_NE(a, b);
+  EXPECT_EQ(codec.decode_template(a), codec.decode_template(b));
+  EXPECT_EQ(codec.canonical_key(a), codec.canonical_key(b));
+}
+
+TEST(Codec, CanonicalKeyDistinguishesDifferentSets) {
+  TemplateCodec codec(anl_fields(), true);
+  Template t;
+  Template u;
+  u.characteristics.set(Characteristic::User);
+  TemplateSet a;
+  a.templates = {t};
+  TemplateSet b;
+  b.templates = {u};
+  TemplateSet c;
+  c.templates = {t, u};
+  EXPECT_NE(codec.canonical_key(codec.encode(a)), codec.canonical_key(codec.encode(b)));
+  EXPECT_NE(codec.canonical_key(codec.encode(a)), codec.canonical_key(codec.encode(c)));
+  // Order is semantic for ties, so permutations keep distinct keys.
+  TemplateSet d;
+  d.templates = {u, t};
+  EXPECT_NE(codec.canonical_key(codec.encode(c)), codec.canonical_key(codec.encode(d)));
+}
+
 TEST(Codec, WrongGenomeLengthThrows) {
   TemplateCodec codec(anl_fields(), true);
   Genome g(codec.bits_per_template() + 1, 0);

@@ -82,6 +82,20 @@ TEST(Eval, MissingStartThrows) {
   EXPECT_THROW(PredictionWorkload::from_schedule(w, {0.0}), Error);
 }
 
+TEST(Eval, SparseJobIdsRejectedWithClearError) {
+  // Regression: start_times is indexed by job id.  A workload whose ids are
+  // not dense (e.g. filtered without renumbering) must fail the validation
+  // check, not read out of bounds.
+  Workload w = two_jobs();
+  const_cast<Job&>(w.jobs()[1]).id = 5;
+  try {
+    PredictionWorkload::from_schedule(w, {0.0, 100.0});
+    FAIL() << "expected Error for sparse job id";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("no start time"), std::string::npos);
+  }
+}
+
 TEST(Eval, FromPolicyRunsTheScheduler) {
   const Workload w = generate_synthetic(anl_config(0.02));
   const PredictionWorkload pw = PredictionWorkload::from_policy(w, PolicyKind::Lwf);

@@ -77,6 +77,43 @@ TEST(Ga, RejectsBadOptions) {
   EXPECT_THROW(search_templates_ga(eval, w.fields(), true, bad), Error);
 }
 
+TEST(Ga, MemoServesElitesAndDuplicates) {
+  const Workload w = generate_synthetic(anl_config(0.02));
+  const PredictionWorkload eval = PredictionWorkload::from_policy(w, PolicyKind::Fcfs);
+  const GaOptions options = small_ga();
+  const SearchResult result = search_templates_ga(eval, w.fields(), true, options);
+  // Every individual in every generation is either replayed or served from
+  // the memo table; the elites carried over unmutated guarantee hits.
+  EXPECT_EQ(result.memo_hits + result.memo_misses,
+            options.population * options.generations);
+  EXPECT_EQ(result.evaluations, result.memo_misses);
+  EXPECT_GT(result.memo_hits, 0u);
+  EXPECT_LT(result.evaluations, options.population * options.generations);
+}
+
+TEST(Ga, MemoizedFitnessEqualsFreshEvaluation) {
+  const Workload w = generate_synthetic(anl_config(0.02));
+  const PredictionWorkload eval = PredictionWorkload::from_policy(w, PolicyKind::Fcfs);
+  const SearchResult result = search_templates_ga(eval, w.fields(), true, small_ga());
+  // best_error was (by the final generation) almost certainly a memo hit;
+  // re-evaluating the winning set from scratch must give the same number.
+  StfPredictor fresh(result.best);
+  EXPECT_DOUBLE_EQ(eval.evaluate(fresh), result.best_error);
+}
+
+TEST(Ga, InitHandlesMinTemplatesAboveInitialCap) {
+  // Regression: population init used uniform_int(min, min(max, 4)), which
+  // inverts the bounds when min_templates > 4.
+  const Workload w = generate_synthetic(anl_config(0.02));
+  const PredictionWorkload eval = PredictionWorkload::from_policy(w, PolicyKind::Fcfs);
+  GaOptions options = small_ga();
+  options.generations = 2;
+  options.min_templates = 6;
+  options.max_templates = 6;
+  const SearchResult result = search_templates_ga(eval, w.fields(), true, options);
+  EXPECT_EQ(result.best.templates.size(), 6u);
+}
+
 TEST(Ga, SdscTemplatesNeverUseUnrecordedFields) {
   const Workload w = generate_synthetic(sdsc95_config(0.02));
   const PredictionWorkload eval = PredictionWorkload::from_policy(w, PolicyKind::Lwf);
