@@ -1,0 +1,102 @@
+// Online service throughput: replay recorded scheduler sessions through
+// OnlineSession and measure the estimate path, cache off vs. cache on.
+//
+// For each site, the batch scheduler (live on user maxima, as in the
+// paper's wait-time setup) is recorded once into an event stream; the
+// stream is then replayed open-loop through two fresh sessions — the
+// estimate cache disabled and enabled — issuing 1 + --repeats ESTIMATE
+// queries per submission.  Reported per run: queries/sec and the
+// p50/p95/p99/max per-query latency from the log-bucketed histogram.  The
+// two runs must return bit-identical answers; the binary exits non-zero if
+// they diverge or the cache never hits.
+//
+//   ./bench_service_throughput [--scale 0.02] [--repeats 3] [--policy backfill]
+//                              [--predictor max] [--compression 0] [--csv]
+#include <iostream>
+
+#include "core/args.hpp"
+#include "core/error.hpp"
+#include "core/strings.hpp"
+#include "core/table.hpp"
+#include "predict/factory.hpp"
+#include "predict/simple.hpp"
+#include "sched/policy.hpp"
+#include "service/replay.hpp"
+#include "workload/synthetic.hpp"
+
+int main(int argc, char** argv) {
+  try {
+    rtp::ArgParser args(argc, argv);
+    args.add_option("scale", "fraction of each trace's job count", "0.02");
+    args.add_option("repeats", "extra ESTIMATE queries per submission", "3");
+    args.add_option("policy", "fcfs|lwf|backfill|easy", "backfill");
+    args.add_option("predictor", "actual|max|stf|gibbons|downey-avg|downey-med", "max");
+    args.add_option("compression", "simulated seconds per wall second (0 = unpaced)", "0");
+    args.add_flag("csv", "emit CSV");
+    if (!args.parse()) return 0;
+
+    const auto policy = rtp::make_policy(rtp::policy_kind_from_string(args.str("policy")));
+    const auto predictor_kind = rtp::predictor_kind_from_string(args.str("predictor"));
+    rtp::ReplayOptions replay_options;
+    replay_options.time_compression = args.real("compression");
+    replay_options.extra_queries = static_cast<int>(args.integer("repeats"));
+
+    rtp::TablePrinter table({"Workload", "Cache", "Events", "Queries", "Queries/s",
+                             "p50 (us)", "p95 (us)", "p99 (us)", "max (us)", "Hit Rate"});
+    bool ok = true;
+    for (const rtp::Workload& w : rtp::paper_workloads(args.real("scale"))) {
+      rtp::MaxRuntimePredictor live(w);
+      const rtp::RecordedRun recorded = rtp::record_session_log(w, *policy, live);
+
+      rtp::RunningStats answers[2];
+      for (const bool cached : {false, true}) {
+        auto predictor = rtp::make_runtime_estimator(predictor_kind, w);
+        rtp::SessionOptions session_options;
+        session_options.name = w.name();
+        session_options.cache_estimates = cached;
+        rtp::OnlineSession session(w.machine_nodes(), *policy, *predictor, session_options);
+        const rtp::ReplayReport report =
+            rtp::replay_through_session(session, recorded.events, replay_options);
+        answers[cached ? 1 : 0] = report.answers;
+
+        const std::uint64_t lookups = report.cache_hits + report.cache_misses;
+        const double hit_rate =
+            lookups > 0 ? static_cast<double>(report.cache_hits) /
+                              static_cast<double>(lookups)
+                        : 0.0;
+        table.add_row({w.name(), cached ? "on" : "off", std::to_string(report.events),
+                       std::to_string(report.queries),
+                       rtp::format_double(report.queries_per_sec, 0),
+                       rtp::format_double(report.latency_us.p50(), 1),
+                       rtp::format_double(report.latency_us.p95(), 1),
+                       rtp::format_double(report.latency_us.p99(), 1),
+                       rtp::format_double(report.latency_us.max(), 1),
+                       rtp::format_double(hit_rate, 3)});
+        if (cached && report.cache_hits == 0) {
+          std::cerr << w.name() << ": cache enabled but never hit\n";
+          ok = false;
+        }
+      }
+      // The cache must be invisible in the answers: bit-identical stats.
+      if (answers[0].count() != answers[1].count() ||
+          answers[0].sum() != answers[1].sum() || answers[0].min() != answers[1].min() ||
+          answers[0].max() != answers[1].max()) {
+        std::cerr << w.name() << ": cache on/off answers diverge\n";
+        ok = false;
+      }
+    }
+
+    if (args.flag("csv")) {
+      table.print_csv(std::cout);
+    } else {
+      std::cout << "Online wait-time service throughput (1 + repeats queries per submit)\n";
+      table.print(std::cout);
+    }
+    std::cout << (ok ? "cache check: answers identical with cache on/off\n"
+                     : "cache check: FAILED\n");
+    return ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "bench_service_throughput: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -26,6 +26,25 @@ run_config() {
   echo "=== ctest $dir (runner determinism) ==="
   ctest --test-dir "$dir" -R 'ExperimentRunner|ThreadPool' --timeout 300 \
     --output-on-failure -j "$jobs"
+  # End-to-end smoke of the online wait-time daemon: record a small ANL
+  # session as an RTP/1 event log, then drive rtpd in stdin mode with the
+  # log plus a STATE/STATS/QUIT epilogue.  Catches protocol or session
+  # regressions that unit tests on the pieces might miss.
+  echo "=== rtpd stdin smoke ($dir) ==="
+  local tmp
+  tmp=$(mktemp -d)
+  "$dir/examples/tracegen" --out-dir "$tmp" --scale 0.01 >/dev/null
+  "$dir/tools/rtpd" --trace "$tmp/anl.trace" --dump-log > "$tmp/anl.events"
+  { cat "$tmp/anl.events"; printf 'STATE\nSTATS\nQUIT\n'; } |
+    "$dir/tools/rtpd" --trace "$tmp/anl.trace" --mode stdin > "$tmp/anl.replies"
+  if grep -q '^ERR' "$tmp/anl.replies"; then
+    echo "rtpd smoke: unexpected ERR response" >&2
+    grep '^ERR' "$tmp/anl.replies" >&2
+    exit 1
+  fi
+  grep -q '^OK bye$' "$tmp/anl.replies" || { echo "rtpd smoke: no OK bye" >&2; exit 1; }
+  grep -q 'hit_rate=' "$tmp/anl.replies" || { echo "rtpd smoke: no STATS line" >&2; exit 1; }
+  rm -rf "$tmp"
 }
 
 mode=${1:-all}

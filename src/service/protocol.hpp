@@ -1,0 +1,111 @@
+// The rtpd line protocol: deterministic, versioned, strict.
+//
+// One request per line, whitespace-separated tokens, one response line per
+// request — drivable from files, pipes and tests alike.  Event lines carry
+// the event time first; job fields use the paper's single-letter
+// abbreviations as key=value pairs ("-" marks an absent maximum run time):
+//
+//   HELLO RTP/1
+//   SUBMIT <t> <id> <nodes> <runtime> <maxrt|-> [u=... e=... a=... ...]
+//   START <t> <id>
+//   FINISH <t> <id>
+//   CANCEL <t> <id>
+//   FAIL <t> <id>
+//   NODEDOWN <t> <nodes>
+//   NODEUP <t> <nodes>
+//   ESTIMATE <id>
+//   INTERVAL <id> [<optimistic_scale> <pessimistic_scale>]
+//   STATE
+//   STATS
+//   QUIT
+//
+// Responses:
+//
+//   OK [key=value ...]
+//   ERR line=<n> code=<parse|state|proto> msg=<text to end of line>
+//
+// Parse errors (malformed tokens) report code=parse; semantically invalid
+// events against a healthy session (FINISH before SUBMIT, duplicate ids,
+// time running backwards) report code=state; version mismatches and unknown
+// verbs report code=proto.  An ERR line never changes session state.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "workload/job.hpp"
+
+namespace rtp {
+
+/// Protocol version token; the server greets with it and HELLO checks it.
+inline constexpr std::string_view kProtocolVersion = "RTP/1";
+
+enum class RequestKind {
+  Hello,
+  Submit,
+  Start,
+  Finish,
+  Cancel,
+  Fail,
+  NodeDown,
+  NodeUp,
+  Estimate,
+  Interval,
+  State,
+  Stats,
+  Quit,
+};
+
+struct Request {
+  RequestKind kind = RequestKind::State;
+  Seconds time = 0.0;       // event requests
+  JobId id = kInvalidJob;   // job-addressed requests
+  int nodes = 0;            // NODEDOWN / NODEUP
+  Job job;                  // SUBMIT payload (id duplicated into `job.id`)
+  double optimistic_scale = 0.5;   // INTERVAL
+  double pessimistic_scale = 2.0;  // INTERVAL
+  std::string version;      // HELLO payload
+};
+
+/// Error category carried by ProtocolError; rendered into the ERR line.
+enum class ProtocolErrorCode { Parse, State, Proto };
+
+/// Thrown by parse_request on malformed input; the server also raises it
+/// for version mismatches.  Session-level rtp::Error maps to code=state.
+class ProtocolError : public std::runtime_error {
+ public:
+  ProtocolError(ProtocolErrorCode code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+  ProtocolErrorCode code() const { return code_; }
+
+ private:
+  ProtocolErrorCode code_;
+};
+
+/// Parse one request line (blank and '#'-comment lines are not requests;
+/// callers skip them — see is_request_line).  Throws ProtocolError.
+Request parse_request(std::string_view line);
+
+/// False for blank lines and '#' comments, which carry no request.
+bool is_request_line(std::string_view line);
+
+/// Serialize a request back into a protocol line (used by the event-log
+/// dumper; parse_request(format_request(r)) round-trips).
+std::string format_request(const Request& request);
+
+/// Response formatting.  `detail` is a preformatted "key=value ..." tail
+/// (may be empty).
+std::string format_ok(const std::string& detail = {});
+std::string format_error(std::size_t line_number, ProtocolErrorCode code,
+                         const std::string& message);
+
+std::string to_string(ProtocolErrorCode code);
+
+/// Deterministic number rendering used across responses and the event-log
+/// dumper: fixed notation, up to 6 fractional digits, trailing zeros
+/// trimmed ("12", "0.5", "3.25").
+std::string format_number(double value);
+
+}  // namespace rtp

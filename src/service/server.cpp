@@ -1,0 +1,265 @@
+#include "service/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "core/error.hpp"
+#include "core/log.hpp"
+
+namespace rtp {
+
+ServiceServer::ServiceServer(OnlineSession& session, ServerOptions options)
+    : session_(session),
+      options_(options),
+      pool_(options.threads),
+      started_(std::chrono::steady_clock::now()) {}
+
+std::string ServiceServer::greeting() const {
+  const SystemState& state = session_.state();
+  return std::string(kProtocolVersion) + " ready nodes=" +
+         std::to_string(state.machine_nodes()) + " session=" + session_.options().name;
+}
+
+std::string ServiceServer::render(const Request& request, bool* quit) {
+  switch (request.kind) {
+    case RequestKind::Hello:
+      if (request.version != kProtocolVersion)
+        throw ProtocolError(ProtocolErrorCode::Proto,
+                            "unsupported version '" + request.version + "', want " +
+                                std::string(kProtocolVersion));
+      return format_ok("proto=" + std::string(kProtocolVersion));
+    case RequestKind::Submit:
+      session_.submit(request.job, request.time);
+      return format_ok("version=" + std::to_string(session_.state_version()));
+    case RequestKind::Start:
+      session_.start(request.id, request.time);
+      return format_ok("version=" + std::to_string(session_.state_version()));
+    case RequestKind::Finish:
+      session_.finish(request.id, request.time);
+      return format_ok("version=" + std::to_string(session_.state_version()));
+    case RequestKind::Cancel:
+      session_.cancel(request.id, request.time);
+      return format_ok("version=" + std::to_string(session_.state_version()));
+    case RequestKind::Fail:
+      session_.fail(request.id, request.time);
+      return format_ok("version=" + std::to_string(session_.state_version()));
+    case RequestKind::NodeDown:
+      session_.node_down(request.nodes, request.time);
+      return format_ok("version=" + std::to_string(session_.state_version()));
+    case RequestKind::NodeUp:
+      session_.node_up(request.nodes, request.time);
+      return format_ok("version=" + std::to_string(session_.state_version()));
+    case RequestKind::Estimate: {
+      const std::uint64_t hits_before = session_.counters().cache_hits;
+      const Seconds wait = session_.estimate_wait(request.id);
+      const bool cached = session_.counters().cache_hits > hits_before;
+      return format_ok("job=" + std::to_string(request.id) +
+                       " wait=" + format_number(wait) +
+                       " start=" + format_number(session_.now() + wait) +
+                       " cached=" + (cached ? "1" : "0"));
+    }
+    case RequestKind::Interval: {
+      const WaitInterval band = session_.estimate_interval(
+          request.id, request.optimistic_scale, request.pessimistic_scale);
+      return format_ok("job=" + std::to_string(request.id) +
+                       " wait=" + format_number(band.expected) +
+                       " optimistic=" + format_number(band.optimistic) +
+                       " pessimistic=" + format_number(band.pessimistic));
+    }
+    case RequestKind::State: {
+      const SystemState& s = session_.state();
+      return format_ok("now=" + format_number(session_.now()) +
+                       " version=" + std::to_string(session_.state_version()) +
+                       " nodes=" + std::to_string(s.machine_nodes()) +
+                       " free=" + std::to_string(s.free_nodes()) +
+                       " down=" + std::to_string(s.down_nodes()) +
+                       " running=" + std::to_string(s.running().size()) +
+                       " queued=" + std::to_string(s.queue().size()));
+    }
+    case RequestKind::Stats: {
+      const SessionCounters& c = session_.counters();
+      const double uptime =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - started_).count();
+      const std::uint64_t lookups = c.cache_hits + c.cache_misses;
+      const double hit_rate =
+          lookups > 0 ? static_cast<double>(c.cache_hits) / static_cast<double>(lookups) : 0.0;
+      const double qps = uptime > 0.0 ? static_cast<double>(requests_) / uptime : 0.0;
+      std::string out =
+          "requests=" + std::to_string(requests_) + " errors=" + std::to_string(errors_) +
+          " qps=" + format_number(qps) + " events=" + std::to_string(c.events) +
+          " queries=" + std::to_string(c.queries) +
+          " cache_hits=" + std::to_string(c.cache_hits) +
+          " cache_misses=" + std::to_string(c.cache_misses) +
+          " hit_rate=" + format_number(hit_rate) +
+          " p50_us=" + format_number(estimate_latency_us_.p50()) +
+          " p95_us=" + format_number(estimate_latency_us_.p95()) +
+          " p99_us=" + format_number(estimate_latency_us_.p99()) +
+          " max_us=" + format_number(estimate_latency_us_.max()) +
+          " completed=" + std::to_string(session_.result().completed) +
+          " mean_wait_s=" + format_number(session_.wait_stats().mean()) +
+          " mean_abs_err_s=" + format_number(session_.error_stats().mean());
+      return format_ok(out);
+    }
+    case RequestKind::Quit:
+      if (quit != nullptr) *quit = true;
+      return format_ok("bye");
+  }
+  fail("unreachable request kind");
+}
+
+std::string ServiceServer::handle_line(std::string_view line, std::size_t line_number,
+                                       bool* quit) {
+  if (!is_request_line(line)) return {};
+  const auto t0 = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++requests_;
+  std::string response;
+  bool is_estimate = false;
+  try {
+    const Request request = parse_request(line);
+    is_estimate =
+        request.kind == RequestKind::Estimate || request.kind == RequestKind::Interval;
+    response = render(request, quit);
+  } catch (const ProtocolError& e) {
+    ++errors_;
+    response = format_error(line_number, e.code(), e.what());
+  } catch (const Error& e) {
+    // Session-level rejection: the event/query was invalid for the current
+    // state.  The session guarantees it mutated nothing.
+    ++errors_;
+    response = format_error(line_number, ProtocolErrorCode::State, e.what());
+  }
+  const auto dt = std::chrono::duration<double, std::micro>(
+      std::chrono::steady_clock::now() - t0);
+  request_latency_us_.add(dt.count());
+  if (is_estimate) estimate_latency_us_.add(dt.count());
+  return response;
+}
+
+void ServiceServer::serve_stream(std::istream& in, std::ostream& out) {
+  if (options_.greeting) out << greeting() << "\n";
+  std::string line;
+  std::size_t line_number = 0;
+  bool quit = false;
+  while (!quit && std::getline(in, line)) {
+    ++line_number;
+    const std::string response = handle_line(line, line_number, &quit);
+    if (!response.empty()) out << response << "\n";
+  }
+  out.flush();
+}
+
+std::uint16_t ServiceServer::listen_on(std::uint16_t port) {
+  RTP_CHECK(listen_fd_ < 0, "server is already listening");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  RTP_CHECK(fd >= 0, std::string("socket: ") + std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(fd);
+    fail("bind 127.0.0.1:" + std::to_string(port) + ": " + reason);
+  }
+  if (::listen(fd, 16) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(fd);
+    fail("listen: " + reason);
+  }
+  socklen_t len = sizeof(addr);
+  RTP_CHECK(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0,
+            "getsockname failed");
+  listen_fd_ = fd;
+  return ntohs(addr.sin_port);
+}
+
+void ServiceServer::serve() {
+  RTP_CHECK(listen_fd_ >= 0, "serve() requires listen_on() first");
+  while (!stopping_.load()) {
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (stopping_.load() || errno == EBADF || errno == EINVAL) break;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      log_warn("rtpd accept: ", std::strerror(errno));
+      break;
+    }
+    pool_.submit([this, client] {
+      try {
+        handle_connection(client);
+      } catch (const std::exception& e) {
+        // The pool requires non-throwing tasks; a broken client connection
+        // must not take the server down.
+        log_warn("rtpd connection error: ", e.what());
+      }
+      ::close(client);
+    });
+  }
+  pool_.wait_idle();
+}
+
+void ServiceServer::shutdown() {
+  stopping_.store(true);
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void ServiceServer::handle_connection(int fd) {
+  auto send_all = [fd](const std::string& text) {
+    std::size_t off = 0;
+    while (off < text.size()) {
+      const ssize_t n = ::send(fd, text.data() + off, text.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  };
+
+  if (options_.greeting && !send_all(greeting() + "\n")) return;
+
+  std::string buffer;
+  std::size_t line_number = 0;
+  bool quit = false;
+  char chunk[4096];
+  while (!quit) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;  // disconnect (or shutdown closing the socket)
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t pos;
+    while (!quit && (pos = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, pos);
+      buffer.erase(0, pos + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      ++line_number;
+      const std::string response = handle_line(line, line_number, &quit);
+      if (!response.empty() && !send_all(response + "\n")) return;
+    }
+  }
+}
+
+ServerStats ServiceServer::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ServerStats out;
+  out.requests = requests_;
+  out.errors = errors_;
+  out.uptime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started_).count();
+  out.request_latency_us = request_latency_us_;
+  out.estimate_latency_us = estimate_latency_us_;
+  return out;
+}
+
+}  // namespace rtp

@@ -1,0 +1,96 @@
+// Request loop for the online wait-time service.
+//
+// One ServiceServer drives one OnlineSession from any number of clients:
+//
+//  * stream mode — serve_stream(in, out) reads protocol lines from an
+//    istream and answers on an ostream: stdin/stdout pipes, files, tests.
+//  * TCP mode — listen_on() binds 127.0.0.1, serve() accepts clients and
+//    hands each connection to the shared ThreadPool; shutdown() (from any
+//    thread) stops the accept loop and drains the pool.
+//
+// The session itself is single-threaded by design, so a mutex serializes
+// request handling; concurrency buys overlapped I/O, not parallel shadow
+// simulations.  Every request is timed into log-bucketed histograms
+// (src/stats/histogram.hpp) and the STATS verb reports throughput, cache
+// hit rate, latency quantiles and the session's wait/error aggregates.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "core/thread_pool.hpp"
+#include "service/protocol.hpp"
+#include "service/session.hpp"
+#include "stats/histogram.hpp"
+
+namespace rtp {
+
+struct ServerOptions {
+  /// Workers for TCP connections (0 = hardware concurrency).
+  std::size_t threads = 2;
+  /// Emit the greeting line when a client connects / a stream starts.
+  bool greeting = true;
+};
+
+/// Aggregate serving statistics (snapshot; see ServiceServer::stats()).
+struct ServerStats {
+  std::uint64_t requests = 0;   ///< request lines handled (blank/comment excluded)
+  std::uint64_t errors = 0;     ///< requests answered with ERR
+  double uptime_seconds = 0.0;
+  LatencyHistogram request_latency_us;
+  LatencyHistogram estimate_latency_us;
+};
+
+class ServiceServer {
+ public:
+  /// `session` is not owned and must outlive the server.
+  explicit ServiceServer(OnlineSession& session, ServerOptions options = {});
+
+  /// Greeting line sent to every client (no trailing newline).
+  std::string greeting() const;
+
+  /// Handle one request line; returns the response line (no trailing
+  /// newline), or an empty string for blank/comment lines.  Sets `*quit`
+  /// on QUIT.  Thread-safe.
+  std::string handle_line(std::string_view line, std::size_t line_number, bool* quit);
+
+  /// Stream mode: answer requests from `in` on `out` until QUIT or EOF.
+  void serve_stream(std::istream& in, std::ostream& out);
+
+  /// Bind a listening socket on 127.0.0.1:`port` (0 picks an ephemeral
+  /// port) and return the bound port.  Throws rtp::Error on failure.
+  std::uint16_t listen_on(std::uint16_t port);
+
+  /// Accept loop; blocks until shutdown().  Requires listen_on() first.
+  void serve();
+
+  /// Stop the accept loop, close the listener, finish in-flight clients.
+  void shutdown();
+
+  ServerStats stats() const;
+
+ private:
+  void handle_connection(int fd);
+  std::string render(const Request& request, bool* quit);
+
+  OnlineSession& session_;
+  ServerOptions options_;
+  ThreadPool pool_;
+  mutable std::mutex mutex_;  // session + stats
+  std::chrono::steady_clock::time_point started_;
+
+  std::uint64_t requests_ = 0;
+  std::uint64_t errors_ = 0;
+  LatencyHistogram request_latency_us_;
+  LatencyHistogram estimate_latency_us_;
+
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace rtp

@@ -1,0 +1,255 @@
+#include "service/session.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "sched/forward_sim.hpp"
+
+namespace rtp {
+
+OnlineSession::OnlineSession(int machine_nodes, const SchedulerPolicy& policy,
+                             RuntimeEstimator& predictor, SessionOptions options)
+    : options_(std::move(options)),
+      policy_(policy),
+      predictor_(predictor),
+      state_(machine_nodes) {
+  RTP_CHECK(machine_nodes > 0, "session machine_nodes must be positive");
+}
+
+void OnlineSession::advance_time(Seconds t) {
+  RTP_CHECK(t >= now_, "event time went backwards (session time " +
+                           std::to_string(now_) + ", event " + std::to_string(t) + ")");
+}
+
+void OnlineSession::bump_version() {
+  ++version_;
+  ++counters_.events;
+}
+
+OnlineSession::JobRecord& OnlineSession::known(JobId id) {
+  auto it = jobs_.find(id);
+  RTP_CHECK(it != jobs_.end(), "unknown job id " + std::to_string(id));
+  return it->second;
+}
+
+void OnlineSession::submit(const Job& job, Seconds t) {
+  advance_time(t);
+  RTP_CHECK(job.id != kInvalidJob, "submit: job id is invalid");
+  RTP_CHECK(jobs_.find(job.id) == jobs_.end(),
+            "duplicate job id " + std::to_string(job.id));
+  RTP_CHECK(job.nodes >= 1, "submit: nodes must be >= 1");
+  RTP_CHECK(job.nodes <= state_.machine_nodes(),
+            "submit: job does not fit on the machine at all");
+  RTP_CHECK(job.runtime >= 0.0, "submit: negative runtime");
+
+  now_ = t;
+  JobRecord record;
+  record.job = std::make_unique<Job>(job);
+  record.job->submit = t;
+  record.submit = t;
+  record.queued = true;
+  const Job* stable = record.job.get();
+  jobs_.emplace(job.id, std::move(record));
+  // Estimates in the live mirror are refreshed per query (reestimate_all on
+  // a snapshot); the stored value is never read before then.
+  state_.enqueue(*stable, t, 0.0);
+
+  if (!saw_event_) first_submit_ = t;
+  saw_event_ = true;
+  if (!any_job_seen_ || job.id > max_id_seen_) max_id_seen_ = job.id;
+  any_job_seen_ = true;
+  bump_version();
+}
+
+void OnlineSession::start(JobId id, Seconds t) {
+  advance_time(t);
+  JobRecord& record = known(id);
+  RTP_CHECK(record.queued, "start: job " + std::to_string(id) + " is not queued");
+  RTP_CHECK(record.job->nodes <= state_.free_nodes(),
+            "start: not enough free nodes for job " + std::to_string(id));
+
+  now_ = t;
+  state_.start_job(id, t);
+  record.queued = false;
+  record.running = true;
+  record.attempt_start = t;
+  if (record.attempts == 0) record.first_start = t;
+  ++record.attempts;
+  ++attempts_started_;
+
+  // Score the estimate made at submission, exactly as WaitTimeObserver does.
+  auto it = predicted_wait_.find(id);
+  if (it != predicted_wait_.end()) {
+    const Seconds actual_wait = t - record.submit;
+    error_.add(std::fabs(it->second - actual_wait));
+    signed_error_.add(it->second - actual_wait);
+    waits_.add(actual_wait);
+    predicted_wait_.erase(it);
+  }
+  bump_version();
+}
+
+void OnlineSession::finish(JobId id, Seconds t) {
+  advance_time(t);
+  JobRecord& record = known(id);
+  RTP_CHECK(record.running, "finish: job " + std::to_string(id) + " is not running");
+
+  now_ = t;
+  state_.finish_job(id);
+  record.running = false;
+  record.finished = true;
+  predictor_.job_completed(*record.job, t);
+  total_work_ += record.job->work();
+  ++completed_;
+  last_completion_ = std::max(last_completion_, t);
+  bump_version();
+}
+
+void OnlineSession::cancel(JobId id, Seconds t) {
+  advance_time(t);
+  JobRecord& record = known(id);
+  RTP_CHECK(record.queued, "cancel: job " + std::to_string(id) + " is not queued");
+
+  now_ = t;
+  auto& queue = state_.mutable_queue();
+  for (auto it = queue.begin(); it != queue.end(); ++it) {
+    if (it->id() == id) {
+      queue.erase(it);
+      break;
+    }
+  }
+  record.queued = false;
+  record.canceled = true;
+  predicted_wait_.erase(id);
+  ++counters_.canceled;
+  bump_version();
+}
+
+void OnlineSession::fail(JobId id, Seconds t) {
+  advance_time(t);
+  JobRecord& record = known(id);
+  RTP_CHECK(record.running, "fail: job " + std::to_string(id) + " is not running");
+
+  now_ = t;
+  const Seconds elapsed = std::max<Seconds>(0.0, t - record.attempt_start);
+  wasted_work_ += static_cast<double>(record.job->nodes) * elapsed;
+  ++failures_;
+  state_.finish_job(id);
+  record.running = false;
+  // Back to the queue tail immediately: the mirror has no backoff clock of
+  // its own; the mirrored scheduler's next START decides when it runs again.
+  state_.enqueue(*record.job, t, 0.0);
+  record.queued = true;
+  ++retries_;
+  bump_version();
+}
+
+void OnlineSession::node_down(int nodes, Seconds t) {
+  advance_time(t);
+  RTP_CHECK(nodes > 0, "node_down: node count must be positive");
+  RTP_CHECK(nodes <= state_.free_nodes(),
+            "node_down: not enough free nodes; evict running jobs first (FAIL)");
+  now_ = t;
+  state_.take_nodes_down(nodes);
+  ++node_outages_;
+  bump_version();
+}
+
+void OnlineSession::node_up(int nodes, Seconds t) {
+  advance_time(t);
+  RTP_CHECK(nodes > 0, "node_up: node count must be positive");
+  RTP_CHECK(nodes <= state_.down_nodes(), "node_up: more nodes than are down");
+  now_ = t;
+  state_.bring_nodes_up(nodes);
+  bump_version();
+}
+
+SystemState OnlineSession::shadow_state() {
+  SystemState shadow = state_;
+  reestimate_all(shadow, predictor_, now_);
+  return shadow;
+}
+
+OnlineSession::CachedEstimate& OnlineSession::cache_slot(JobId id) {
+  if (cache_version_ != version_) {
+    cache_.clear();
+    cache_version_ = version_;
+  }
+  return cache_[id];
+}
+
+Seconds OnlineSession::estimate_wait(JobId id) {
+  JobRecord& record = known(id);
+  RTP_CHECK(record.queued, "estimate: job " + std::to_string(id) + " is not queued");
+  ++counters_.queries;
+
+  CachedEstimate& slot = cache_slot(id);
+  Seconds expected;
+  if (options_.cache_estimates && slot.has_expected) {
+    ++counters_.cache_hits;
+    expected = slot.expected;
+  } else {
+    ++counters_.cache_misses;
+    expected = predict_start_time(shadow_state(), policy_, now_, id) - now_;
+    slot.expected = expected;
+    slot.has_expected = true;
+  }
+  // The first estimate after a submission is the paper's "prediction at
+  // submit time"; it is scored against the actual wait at START.
+  if (record.attempts == 0) predicted_wait_.emplace(id, expected);
+  return expected;
+}
+
+WaitInterval OnlineSession::estimate_interval(JobId id, double optimistic_scale,
+                                              double pessimistic_scale) {
+  JobRecord& record = known(id);
+  RTP_CHECK(record.queued, "estimate: job " + std::to_string(id) + " is not queued");
+  ++counters_.queries;
+
+  CachedEstimate& slot = cache_slot(id);
+  if (options_.cache_estimates && slot.has_band &&
+      slot.optimistic_scale == optimistic_scale &&
+      slot.pessimistic_scale == pessimistic_scale) {
+    ++counters_.cache_hits;
+  } else {
+    ++counters_.cache_misses;
+    slot.band = predict_wait_interval(shadow_state(), policy_, now_, id, optimistic_scale,
+                                      pessimistic_scale);
+    slot.has_band = true;
+    slot.optimistic_scale = optimistic_scale;
+    slot.pessimistic_scale = pessimistic_scale;
+    slot.expected = slot.band.expected;
+    slot.has_expected = true;
+  }
+  if (record.attempts == 0) predicted_wait_.emplace(id, slot.band.expected);
+  return slot.band;
+}
+
+SimResult OnlineSession::result() const {
+  SimResult r;
+  r.workload_name = options_.name;
+  r.policy_name = policy_.name();
+  r.estimator_name = predictor_.name();
+
+  const std::size_t n = any_job_seen_ ? static_cast<std::size_t>(max_id_seen_) + 1 : 0;
+  r.start_times.assign(n, kNoTime);
+  r.waits.assign(n, 0.0);
+  r.attempts.assign(n, 0);
+  for (const auto& [id, record] : jobs_) {
+    r.start_times[id] = record.first_start;
+    if (record.first_start >= 0.0) r.waits[id] = record.first_start - record.submit;
+    r.attempts[id] = record.attempts;
+  }
+
+  r.attempts_started = attempts_started_;
+  r.completed = completed_;
+  r.failures = failures_;
+  r.retries = retries_;
+  r.abandoned = counters_.canceled;
+  r.node_outages = node_outages_;
+  r.wasted_work = wasted_work_;
+  finalize_metrics(r, total_work_, state_.machine_nodes(), first_submit_, last_completion_);
+  return r;
+}
+
+}  // namespace rtp

@@ -1,0 +1,197 @@
+// OnlineSession: the batch simulator turned inside-out.
+//
+// A session maintains live SystemState from a *stream* of scheduler events
+// — SUBMIT / START / FINISH / CANCEL plus the fault events FAIL and
+// NODEDOWN / NODEUP — instead of pulling a stored workload through
+// simulate().  It mirrors a live scheduler (the paper's deployment: the
+// estimate service sits beside the real scheduler and observes it), feeds
+// completions to the run-time predictor online, and answers wait-time
+// queries with the existing shadow simulation (predict_start_time /
+// predict_wait_interval) over a snapshot of its state.
+//
+// Estimate cache.  A query copies the state, re-estimates every job with
+// the predictor, and replays the policy forward — O(jobs in system) work.
+// Between state-changing events the answer cannot change, so the session
+// keeps a cache keyed on a *state version counter* (bumped by every applied
+// event); repeated queries between events are O(1) lookups.  Answers are
+// identical with the cache on or off.
+//
+// Equivalence.  Replaying a batch run's event stream (service/replay.hpp)
+// through a session reproduces the batch SimResult metrics and the
+// WaitTimeObserver error statistics bit-for-bit: the service is a new
+// interface over the same semantics, not a fork of them.
+//
+// Sessions are single-threaded; the server serializes access (see
+// service/server.hpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sched/estimator.hpp"
+#include "sched/policy.hpp"
+#include "sim/metrics.hpp"
+#include "stats/summary.hpp"
+#include "waitpred/waitpred.hpp"
+#include "workload/job.hpp"
+
+namespace rtp {
+
+struct SessionOptions {
+  /// Name stamped on result() (SimResult::workload_name).
+  std::string name = "online";
+  /// Serve estimates from the version-keyed cache.  Off, every query runs
+  /// the shadow simulation afresh (answers are identical either way).
+  bool cache_estimates = true;
+};
+
+/// Counters the session keeps beyond SimResult.
+struct SessionCounters {
+  std::uint64_t events = 0;        ///< state-changing events applied
+  std::uint64_t queries = 0;       ///< estimate_wait + estimate_interval calls
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t canceled = 0;      ///< jobs removed from the queue by CANCEL
+};
+
+class OnlineSession {
+ public:
+  /// `policy` and `predictor` are not owned and must outlive the session.
+  /// The policy is the one the mirrored scheduler runs (the shadow replays
+  /// it); the predictor supplies run-time predictions for estimates and
+  /// learns from FINISH events in arrival order.
+  OnlineSession(int machine_nodes, const SchedulerPolicy& policy,
+                RuntimeEstimator& predictor, SessionOptions options = {});
+
+  // --- Event stream (times must be non-decreasing). ---------------------
+  // Each call validates fully before mutating: a throw (rtp::Error) leaves
+  // the session exactly as it was, so a malformed line cannot corrupt state.
+
+  /// A new job entered the queue.  `job.id` must be fresh; `job.submit` is
+  /// overwritten with `t`.  The job record travels with the event (the
+  /// native-trace fields); `job.runtime` is used only for work accounting
+  /// at FINISH and is surfaced to the predictor no earlier than that.
+  void submit(const Job& job, Seconds t);
+
+  /// The mirrored scheduler started queued job `id` at `t`.
+  void start(JobId id, Seconds t);
+
+  /// Running job `id` completed at `t`.  Feeds the predictor.
+  void finish(JobId id, Seconds t);
+
+  /// Queued job `id` was removed without running (user abort, abandoned
+  /// retries).
+  void cancel(JobId id, Seconds t);
+
+  /// The current attempt of running job `id` died (job hazard or node
+  /// loss).  The job returns to the queue tail immediately; its elapsed
+  /// node-seconds count as wasted work.
+  void fail(JobId id, Seconds t);
+
+  /// Capacity events.  NODEDOWN requires the nodes to be free: the
+  /// mirrored scheduler evicts victims first (FAIL events), exactly the
+  /// batch simulator's order.
+  void node_down(int nodes, Seconds t);
+  void node_up(int nodes, Seconds t);
+
+  // --- Queries (cached; do not advance time). ---------------------------
+
+  /// Expected wait of queued job `id` from the current session time, via
+  /// shadow simulation with every estimate refreshed by the predictor.
+  /// The first query after a job's submission is recorded and scored
+  /// against the actual wait when the job starts (error_stats()).
+  Seconds estimate_wait(JobId id);
+
+  /// Expected wait with the optimistic/pessimistic band of
+  /// predict_wait_interval.
+  WaitInterval estimate_interval(JobId id, double optimistic_scale = 0.5,
+                                 double pessimistic_scale = 2.0);
+
+  // --- Introspection. ---------------------------------------------------
+
+  Seconds now() const { return now_; }
+  /// Bumped by every applied (state-changing) event; the cache key.
+  std::uint64_t state_version() const { return version_; }
+  const SystemState& state() const { return state_; }
+  const SessionCounters& counters() const { return counters_; }
+  const SessionOptions& options() const { return options_; }
+
+  /// Wait-prediction scoring, same accounting as WaitTimeObserver:
+  /// |predicted - actual| wait, actual waits, signed error.
+  const RunningStats& error_stats() const { return error_; }
+  const RunningStats& wait_stats() const { return waits_; }
+  const RunningStats& signed_error_stats() const { return signed_error_; }
+
+  /// SimResult over everything observed so far (vectors indexed by JobId up
+  /// to the largest id seen).  On a full clean replay this is bit-for-bit
+  /// the batch simulate() result.
+  SimResult result() const;
+
+ private:
+  struct JobRecord {
+    std::unique_ptr<Job> job;       // stable address: SystemState keeps Job*
+    Seconds submit = 0.0;           // trace submission (first SUBMIT)
+    Seconds first_start = kNoTime;
+    Seconds attempt_start = kNoTime;
+    int attempts = 0;
+    bool queued = false;
+    bool running = false;
+    bool finished = false;
+    bool canceled = false;
+  };
+
+  struct CachedEstimate {
+    bool has_expected = false;
+    Seconds expected = 0.0;
+    bool has_band = false;
+    double optimistic_scale = 0.0;
+    double pessimistic_scale = 0.0;
+    WaitInterval band;
+  };
+
+  /// Advance the clock; throws on regression, leaving state untouched.
+  void advance_time(Seconds t);
+  void bump_version();
+  JobRecord& known(JobId id);
+  /// Shadow snapshot with every estimate refreshed by the predictor.
+  SystemState shadow_state();
+  CachedEstimate& cache_slot(JobId id);
+
+  SessionOptions options_;
+  const SchedulerPolicy& policy_;
+  RuntimeEstimator& predictor_;
+  SystemState state_;
+  Seconds now_ = 0.0;
+  bool saw_event_ = false;           // first event pins first_submit_
+  Seconds first_submit_ = 0.0;
+  Seconds last_completion_ = 0.0;
+  std::uint64_t version_ = 0;
+
+  std::unordered_map<JobId, JobRecord> jobs_;
+  JobId max_id_seen_ = 0;
+  bool any_job_seen_ = false;
+
+  // Estimate cache: valid while cache_version_ == version_.
+  std::unordered_map<JobId, CachedEstimate> cache_;
+  std::uint64_t cache_version_ = 0;
+
+  // Wait-prediction scoring (first estimate after each submission).
+  std::unordered_map<JobId, Seconds> predicted_wait_;
+  RunningStats error_;
+  RunningStats waits_;
+  RunningStats signed_error_;
+
+  // SimResult accumulation.
+  SessionCounters counters_;
+  std::size_t completed_ = 0;
+  std::size_t failures_ = 0;
+  std::size_t retries_ = 0;
+  std::size_t attempts_started_ = 0;
+  std::size_t node_outages_ = 0;
+  double total_work_ = 0.0;
+  double wasted_work_ = 0.0;
+};
+
+}  // namespace rtp

@@ -1,0 +1,83 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace rtp {
+
+LatencyHistogram::LatencyHistogram(LatencyHistogramOptions options) : options_(options) {
+  RTP_CHECK(options_.min_value > 0.0, "histogram min_value must be positive");
+  RTP_CHECK(options_.max_value > options_.min_value,
+            "histogram max_value must exceed min_value");
+  RTP_CHECK(options_.growth > 1.0, "histogram growth must be > 1");
+  log_growth_ = std::log(options_.growth);
+  const double span = std::log(options_.max_value / options_.min_value) / log_growth_;
+  const auto finite = static_cast<std::size_t>(std::ceil(span));
+  counts_.assign(finite + 2, 0);  // + underflow and overflow
+}
+
+std::size_t LatencyHistogram::bucket_index(double value) const {
+  if (!(value >= options_.min_value)) return 0;  // underflow; also catches NaN
+  if (value >= options_.max_value) return counts_.size() - 1;
+  const auto k =
+      static_cast<std::size_t>(std::log(value / options_.min_value) / log_growth_);
+  return std::min(k + 1, counts_.size() - 2);
+}
+
+void LatencyHistogram::add(double value) {
+  ++counts_[bucket_index(value)];
+  sum_ += value;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  RTP_CHECK(counts_.size() == other.counts_.size() &&
+                options_.min_value == other.options_.min_value &&
+                options_.growth == other.options_.growth,
+            "histogram merge requires identical bucket geometry");
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  sum_ += other.sum_;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+}
+
+double LatencyHistogram::quantile(double q) const {
+  RTP_CHECK(q >= 0.0 && q <= 1.0, "quantile q must be in [0, 1]");
+  if (count_ == 0) return 0.0;
+  // Rank of the q-th value (nearest-rank, 1-based), then walk the buckets.
+  const auto rank = static_cast<std::uint64_t>(
+      std::max<double>(1.0, std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen < rank) continue;
+    double estimate;
+    if (i == 0) {
+      estimate = min_;  // underflow: exact observed minimum, like overflow/max
+    } else if (i == counts_.size() - 1) {
+      estimate = max_;
+    } else {
+      const double lo = options_.min_value * std::exp(log_growth_ * static_cast<double>(i - 1));
+      estimate = lo * std::sqrt(options_.growth);  // geometric bucket midpoint
+    }
+    return std::clamp(estimate, min_, max_);
+  }
+  return max_;  // unreachable: counts sum to count_
+}
+
+}  // namespace rtp

@@ -1,0 +1,74 @@
+// Mergeable log-bucketed histogram for latency accounting.
+//
+// Buckets grow geometrically, so the histogram covers nanoseconds to hours
+// with a fixed, small footprint and a bounded relative quantile error (the
+// bucket growth factor).  Unlike a sorted-vector quantile it is O(1) per
+// add, mergeable across threads, and never reallocates after construction —
+// which is what the serving path needs for per-request latency recording.
+//
+// Values are unit-agnostic doubles; the service records microseconds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rtp {
+
+struct LatencyHistogramOptions {
+  /// Lower edge of the first finite bucket; values below land in an
+  /// underflow bucket reported at the exact observed minimum.
+  double min_value = 1e-3;
+  /// Upper edge of the last finite bucket; values at or above land in an
+  /// overflow bucket reported at their exact maximum.
+  double max_value = 1e12;
+  /// Geometric growth per bucket; also the worst-case relative error of a
+  /// quantile estimate.  Must be > 1.
+  double growth = 1.05;
+};
+
+class LatencyHistogram {
+ public:
+  explicit LatencyHistogram(LatencyHistogramOptions options = {});
+
+  void add(double value);
+
+  /// Merge counts from a histogram with identical bucket geometry (throws
+  /// rtp::Error otherwise).  Exact: merge(add-stream A, add-stream B) equals
+  /// add-stream A+B.
+  void merge(const LatencyHistogram& other);
+
+  std::size_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+
+  /// Exact observed extrema (not bucketed).
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  /// Quantile estimate for q in [0, 1]: the geometric midpoint of the
+  /// bucket containing the q-th ranked value, clamped to the observed
+  /// [min, max].  Relative error is bounded by the growth factor.
+  double quantile(double q) const;
+
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+
+  const LatencyHistogramOptions& options() const { return options_; }
+  std::size_t bucket_count() const { return counts_.size(); }
+
+ private:
+  std::size_t bucket_index(double value) const;
+
+  LatencyHistogramOptions options_;
+  double log_growth_ = 0.0;        // cached log(growth)
+  std::vector<std::uint64_t> counts_;  // [under, finite buckets..., over]
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace rtp

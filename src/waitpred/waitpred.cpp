@@ -11,15 +11,18 @@ namespace rtp {
 WaitTimeObserver::WaitTimeObserver(const SchedulerPolicy& policy, RuntimeEstimator& predictor)
     : policy_(policy), predictor_(predictor) {}
 
+void reestimate_all(SystemState& state, RuntimeEstimator& predictor, Seconds now) {
+  for (SchedJob& sj : state.mutable_queue())
+    sj.estimate = predictor.estimate(*sj.job, 0.0);
+  for (SchedJob& sj : state.mutable_running())
+    sj.estimate = predictor.estimate(*sj.job, sj.age(now));
+}
+
 void WaitTimeObserver::on_submit(Seconds now, const SystemState& state, const Job& job) {
   // Snapshot the live state and re-estimate every job with the predictor
-  // under test — "a wait-time prediction requires run-time predictions of
-  // all applications in the system".
+  // under test.
   SystemState shadow = state;
-  for (SchedJob& sj : shadow.mutable_queue())
-    sj.estimate = predictor_.estimate(*sj.job, 0.0);
-  for (SchedJob& sj : shadow.mutable_running())
-    sj.estimate = predictor_.estimate(*sj.job, sj.age(now));
+  reestimate_all(shadow, predictor_, now);
 
   const Seconds predicted_start = predict_start_time(shadow, policy_, now, job.id);
   predicted_wait_.emplace(job.id, predicted_start - now);

@@ -26,6 +26,13 @@
 
 namespace rtp {
 
+/// Overwrite every job's `estimate` in `state` with `predictor`'s current
+/// prediction: queued jobs at age 0, running jobs at their age relative to
+/// `now` — "a wait-time prediction requires run-time predictions of all
+/// applications in the system".  Shared by WaitTimeObserver and the online
+/// service's OnlineSession so the two estimate paths cannot drift.
+void reestimate_all(SystemState& state, RuntimeEstimator& predictor, Seconds now);
+
 /// Observer implementing the shadow-simulation wait-time predictor.  Usable
 /// directly for custom experiments; run_wait_prediction wires it up for the
 /// paper's tables.

@@ -1,0 +1,217 @@
+// Protocol robustness: parsing, formatting round-trips, and the server's
+// structured error responses.  Malformed or semantically invalid input must
+// produce an ERR line with the offending line number — never a crash, and
+// never a corrupted session.
+#include "service/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "predict/simple.hpp"
+#include "sched/policy.hpp"
+#include "service/server.hpp"
+#include "service/session.hpp"
+
+namespace rtp {
+namespace {
+
+TEST(Protocol, ParsesEveryVerb) {
+  Request r = parse_request("HELLO RTP/1");
+  EXPECT_EQ(r.kind, RequestKind::Hello);
+  EXPECT_EQ(r.version, "RTP/1");
+
+  r = parse_request("SUBMIT 12.5 3 16 600 3600 u=alice e=a.out");
+  EXPECT_EQ(r.kind, RequestKind::Submit);
+  EXPECT_EQ(r.time, 12.5);
+  EXPECT_EQ(r.id, 3u);
+  EXPECT_EQ(r.job.id, 3u);
+  EXPECT_EQ(r.job.nodes, 16);
+  EXPECT_EQ(r.job.runtime, 600.0);
+  EXPECT_EQ(r.job.max_runtime, 3600.0);
+  EXPECT_EQ(r.job.submit, 12.5);
+  EXPECT_EQ(r.job.user, "alice");
+  EXPECT_EQ(r.job.executable, "a.out");
+
+  r = parse_request("SUBMIT 0 0 1 60 -");
+  EXPECT_FALSE(r.job.has_max_runtime());
+
+  r = parse_request("start 5 3");  // verbs are case-insensitive
+  EXPECT_EQ(r.kind, RequestKind::Start);
+  EXPECT_EQ(r.time, 5.0);
+  EXPECT_EQ(r.id, 3u);
+
+  EXPECT_EQ(parse_request("FINISH 9 3").kind, RequestKind::Finish);
+  EXPECT_EQ(parse_request("CANCEL 9 3").kind, RequestKind::Cancel);
+  EXPECT_EQ(parse_request("FAIL 9 3").kind, RequestKind::Fail);
+
+  r = parse_request("NODEDOWN 10 4");
+  EXPECT_EQ(r.kind, RequestKind::NodeDown);
+  EXPECT_EQ(r.nodes, 4);
+  EXPECT_EQ(parse_request("NODEUP 11 4").kind, RequestKind::NodeUp);
+
+  r = parse_request("ESTIMATE 7");
+  EXPECT_EQ(r.kind, RequestKind::Estimate);
+  EXPECT_EQ(r.id, 7u);
+
+  r = parse_request("INTERVAL 7");
+  EXPECT_EQ(r.optimistic_scale, 0.5);
+  EXPECT_EQ(r.pessimistic_scale, 2.0);
+  r = parse_request("INTERVAL 7 0.25 4");
+  EXPECT_EQ(r.optimistic_scale, 0.25);
+  EXPECT_EQ(r.pessimistic_scale, 4.0);
+
+  EXPECT_EQ(parse_request("STATE").kind, RequestKind::State);
+  EXPECT_EQ(parse_request("STATS").kind, RequestKind::Stats);
+  EXPECT_EQ(parse_request("QUIT").kind, RequestKind::Quit);
+}
+
+void expect_parse_error(const std::string& line, ProtocolErrorCode code) {
+  try {
+    parse_request(line);
+    FAIL() << "no error for: " << line;
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code(), code) << line << " -> " << e.what();
+  }
+}
+
+TEST(Protocol, MalformedLinesThrowParseErrors) {
+  expect_parse_error("SUBMIT", ProtocolErrorCode::Parse);              // truncated
+  expect_parse_error("SUBMIT 0 0 1 60", ProtocolErrorCode::Parse);    // missing maxrt
+  expect_parse_error("SUBMIT x 0 1 60 -", ProtocolErrorCode::Parse);  // bad time
+  expect_parse_error("SUBMIT -1 0 1 60 -", ProtocolErrorCode::Parse); // negative time
+  expect_parse_error("SUBMIT 0 -3 1 60 -", ProtocolErrorCode::Parse); // negative id
+  expect_parse_error("SUBMIT 0 0 0 60 -", ProtocolErrorCode::Parse);  // zero nodes
+  expect_parse_error("SUBMIT 0 0 1 -60 -", ProtocolErrorCode::Parse); // negative runtime
+  expect_parse_error("SUBMIT 0 0 1 60 - u", ProtocolErrorCode::Parse);    // not k=v
+  expect_parse_error("SUBMIT 0 0 1 60 - zz=x", ProtocolErrorCode::Parse); // bad abbr
+  expect_parse_error("SUBMIT 0 0 1 60 - n=4", ProtocolErrorCode::Parse);  // numeric field
+  expect_parse_error("START 5", ProtocolErrorCode::Parse);
+  expect_parse_error("START 5 3 extra", ProtocolErrorCode::Parse);
+  expect_parse_error("FINISH five 3", ProtocolErrorCode::Parse);
+  expect_parse_error("NODEDOWN 5 0", ProtocolErrorCode::Parse);
+  expect_parse_error("ESTIMATE", ProtocolErrorCode::Parse);
+  expect_parse_error("INTERVAL 3 0.5", ProtocolErrorCode::Parse);   // half a band
+  expect_parse_error("INTERVAL 3 0 2", ProtocolErrorCode::Parse);   // scale out of range
+  expect_parse_error("INTERVAL 3 0.5 0.9", ProtocolErrorCode::Parse);
+  expect_parse_error("FROBNICATE", ProtocolErrorCode::Proto);       // unknown verb
+  expect_parse_error("STATE now", ProtocolErrorCode::Parse);        // extra token
+}
+
+TEST(Protocol, RequestLinesSkipBlanksAndComments) {
+  EXPECT_FALSE(is_request_line(""));
+  EXPECT_FALSE(is_request_line("   \t  "));
+  EXPECT_FALSE(is_request_line("# rtp-session-log v1"));
+  EXPECT_TRUE(is_request_line("STATE"));
+  EXPECT_TRUE(is_request_line("  STATE  "));
+}
+
+TEST(Protocol, FormatRoundTrips) {
+  for (const char* line : {
+           "HELLO RTP/1",
+           "SUBMIT 12.5 3 16 600 3600 u=alice e=a.out",
+           "SUBMIT 0 0 1 60.25 -",
+           "START 5 3",
+           "FINISH 9.125 3",
+           "CANCEL 9 3",
+           "FAIL 9 3",
+           "NODEDOWN 10 4",
+           "NODEUP 11 4",
+           "ESTIMATE 7",
+           "INTERVAL 7 0.25 4",
+           "STATE",
+           "STATS",
+           "QUIT",
+       }) {
+    EXPECT_EQ(format_request(parse_request(line)), line);
+  }
+}
+
+TEST(Protocol, FormatNumberIsMinimalFixedNotation) {
+  EXPECT_EQ(format_number(12.0), "12");
+  EXPECT_EQ(format_number(0.5), "0.5");
+  EXPECT_EQ(format_number(3.25), "3.25");
+  EXPECT_EQ(format_number(0.0), "0");
+  EXPECT_EQ(format_number(1e-7), "0");  // below the 6-digit grid
+}
+
+TEST(Protocol, ErrorFormatting) {
+  EXPECT_EQ(format_error(17, ProtocolErrorCode::State, "no such job"),
+            "ERR line=17 code=state msg=no such job");
+  EXPECT_EQ(format_ok(), "OK");
+  EXPECT_EQ(format_ok("a=1"), "OK a=1");
+}
+
+// --- server-level robustness: structured errors, state never corrupted ---
+
+class ServerErrors : public ::testing::Test {
+ protected:
+  ServerErrors()
+      : predictor_(600.0),
+        policy_(make_policy(PolicyKind::Fcfs)),
+        session_(8, *policy_, predictor_),
+        server_(session_) {}
+
+  std::string run(const std::string& line, std::size_t line_number) {
+    bool quit = false;
+    return server_.handle_line(line, line_number, &quit);
+  }
+
+  ConstantPredictor predictor_;
+  std::unique_ptr<SchedulerPolicy> policy_;
+  OnlineSession session_;
+  ServiceServer server_;
+};
+
+TEST_F(ServerErrors, StructuredErrorsCarryLineNumbersAndCodes) {
+  // FINISH before any SUBMIT: structured state error, line number included.
+  const std::string early = run("FINISH 5 0", 1);
+  EXPECT_TRUE(early.rfind("ERR line=1 code=state msg=", 0) == 0) << early;
+  EXPECT_TRUE(run("SUBMIT 10 0 4 60 600", 2).rfind("OK", 0) == 0);
+  // Duplicate id.
+  const std::string dup = run("SUBMIT 11 0 4 60 600", 3);
+  EXPECT_TRUE(dup.rfind("ERR line=3 code=state", 0) == 0) << dup;
+  // Time running backwards.
+  const std::string backwards = run("START 5 0", 4);
+  EXPECT_TRUE(backwards.rfind("ERR line=4 code=state", 0) == 0) << backwards;
+  // Malformed line: parse error with its line number.
+  const std::string bad = run("START ten 0", 5);
+  EXPECT_TRUE(bad.rfind("ERR line=5 code=parse", 0) == 0) << bad;
+  // Unknown verb.
+  const std::string verb = run("BOGUS", 6);
+  EXPECT_TRUE(verb.rfind("ERR line=6 code=proto", 0) == 0) << verb;
+  // Version mismatch.
+  const std::string hello = run("HELLO RTP/9", 7);
+  EXPECT_TRUE(hello.rfind("ERR line=7 code=proto", 0) == 0) << hello;
+
+  // After all of the above the session is intact and serviceable.
+  EXPECT_EQ(session_.now(), 10.0);
+  EXPECT_EQ(session_.state().queue().size(), 1u);
+  EXPECT_TRUE(run("START 20 0", 8).rfind("OK", 0) == 0);
+  EXPECT_TRUE(run("FINISH 80 0", 9).rfind("OK", 0) == 0);
+  EXPECT_EQ(session_.result().completed, 1u);
+  EXPECT_EQ(session_.result().waits[0], 10.0);
+
+  const ServerStats stats = server_.stats();
+  EXPECT_EQ(stats.requests, 9u);
+  EXPECT_EQ(stats.errors, 6u);
+}
+
+TEST_F(ServerErrors, EstimateForUnknownOrRunningJobIsAnError) {
+  EXPECT_TRUE(run("ESTIMATE 42", 1).rfind("ERR line=1 code=state", 0) == 0);
+  run("SUBMIT 0 0 4 60 600", 2);
+  EXPECT_TRUE(run("ESTIMATE 0", 3).rfind("OK job=0 wait=", 0) == 0);
+  run("START 1 0", 4);
+  // A running job has no wait left to predict.
+  EXPECT_TRUE(run("ESTIMATE 0", 5).rfind("ERR line=5 code=state", 0) == 0);
+}
+
+TEST_F(ServerErrors, BlankAndCommentLinesProduceNoResponse) {
+  EXPECT_EQ(run("", 1), "");
+  EXPECT_EQ(run("   ", 2), "");
+  EXPECT_EQ(run("# comment", 3), "");
+  EXPECT_EQ(server_.stats().requests, 0u);
+}
+
+}  // namespace
+}  // namespace rtp

@@ -1,0 +1,184 @@
+// ServiceServer request loop: stream-mode dialogues, STATS reporting, and a
+// TCP loopback smoke test with concurrent clients.
+#include "service/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "predict/simple.hpp"
+#include "sched/policy.hpp"
+#include "service/session.hpp"
+
+namespace rtp {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  for (std::string line; std::getline(in, line);) out.push_back(line);
+  return out;
+}
+
+TEST(ServiceServerStream, DialogueAnswersOnePerRequestLine) {
+  ConstantPredictor predictor(600.0);
+  const auto policy = make_policy(PolicyKind::Fcfs);
+  OnlineSession session(8, *policy, predictor);
+  ServiceServer server(session);
+
+  std::istringstream in(
+      "HELLO RTP/1\n"
+      "# a comment the server must ignore\n"
+      "SUBMIT 0 0 8 120 600\n"
+      "START 0 0\n"
+      "SUBMIT 5 1 4 60 600\n"
+      "ESTIMATE 1\n"
+      "ESTIMATE 1\n"
+      "INTERVAL 1\n"
+      "STATE\n"
+      "STATS\n"
+      "QUIT\n"
+      "STATE\n");  // after QUIT: must not be served
+  std::ostringstream out;
+  server.serve_stream(in, out);
+
+  const std::vector<std::string> replies = lines_of(out.str());
+  ASSERT_EQ(replies.size(), 11u);  // greeting + 10 request lines, nothing after QUIT
+  EXPECT_EQ(replies[0], server.greeting());
+  EXPECT_TRUE(replies[0].rfind("RTP/1 ready nodes=8", 0) == 0) << replies[0];
+  EXPECT_EQ(replies[1], "OK proto=" + std::string(kProtocolVersion));
+  EXPECT_EQ(replies[2], "OK version=1");  // SUBMIT bumps the state version
+  EXPECT_EQ(replies[3], "OK version=2");  // START
+  EXPECT_EQ(replies[4], "OK version=3");  // SUBMIT
+
+  // Job 0 holds all 8 nodes for 600 s (the constant estimate); job 1 waits.
+  EXPECT_EQ(replies[5], "OK job=1 wait=595 start=600 cached=0");
+  EXPECT_EQ(replies[6], "OK job=1 wait=595 start=600 cached=1");
+  EXPECT_TRUE(replies[7].rfind("OK job=1 wait=595 optimistic=", 0) == 0) << replies[7];
+  EXPECT_EQ(replies[8], "OK now=5 version=3 nodes=8 free=0 down=0 running=1 queued=1");
+  EXPECT_TRUE(replies[9].rfind("OK requests=9", 0) == 0) << replies[9];
+  EXPECT_NE(replies[9].find(" cache_hits=1 "), std::string::npos) << replies[9];
+  EXPECT_EQ(replies[10], "OK bye");
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.requests, 10u);
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_EQ(stats.request_latency_us.count(), 10u);
+  EXPECT_EQ(stats.estimate_latency_us.count(), 3u);  // ESTIMATE x2 + INTERVAL
+  EXPECT_GT(stats.request_latency_us.max(), 0.0);
+}
+
+TEST(ServiceServerStream, GreetingCanBeSuppressed) {
+  ConstantPredictor predictor(60.0);
+  const auto policy = make_policy(PolicyKind::Fcfs);
+  OnlineSession session(4, *policy, predictor);
+  ServerOptions options;
+  options.greeting = false;
+  ServiceServer server(session, options);
+
+  std::istringstream in("STATE\n");
+  std::ostringstream out;
+  server.serve_stream(in, out);
+  const std::vector<std::string> replies = lines_of(out.str());
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_TRUE(replies[0].rfind("OK now=0", 0) == 0) << replies[0];
+}
+
+// Minimal blocking line client for the loopback test.
+class LineClient {
+ public:
+  explicit LineClient(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
+        << "connect failed";
+  }
+  ~LineClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void send_line(const std::string& line) {
+    const std::string payload = line + "\n";
+    std::size_t sent = 0;
+    while (sent < payload.size()) {
+      const ssize_t n = ::send(fd_, payload.data() + sent, payload.size() - sent, 0);
+      ASSERT_GT(n, 0);
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+
+  std::string read_line() {
+    std::string line;
+    char c = 0;
+    while (true) {
+      const ssize_t n = ::recv(fd_, &c, 1, 0);
+      if (n <= 0) return line;  // peer closed
+      if (c == '\n') return line;
+      if (c != '\r') line.push_back(c);
+    }
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+TEST(ServiceServerTcp, LoopbackClientsShareOneSession) {
+  ConstantPredictor predictor(600.0);
+  const auto policy = make_policy(PolicyKind::Fcfs);
+  OnlineSession session(8, *policy, predictor);
+  ServerOptions options;
+  options.threads = 2;
+  ServiceServer server(session, options);
+
+  const std::uint16_t port = server.listen_on(0);
+  ASSERT_GT(port, 0);
+  std::thread accept_thread([&server] { server.serve(); });
+
+  {
+    // First client submits and starts a job...
+    LineClient feeder(port);
+    EXPECT_EQ(feeder.read_line(), server.greeting());
+    feeder.send_line("SUBMIT 0 0 8 120 600");
+    EXPECT_EQ(feeder.read_line(), "OK version=1");
+    feeder.send_line("START 0 0");
+    EXPECT_EQ(feeder.read_line(), "OK version=2");
+    feeder.send_line("SUBMIT 5 1 4 60 600");
+    EXPECT_EQ(feeder.read_line(), "OK version=3");
+
+    // ...and a second, concurrent client sees that state and queries it.
+    LineClient querier(port);
+    EXPECT_EQ(querier.read_line(), server.greeting());
+    querier.send_line("ESTIMATE 1");
+    EXPECT_EQ(querier.read_line(), "OK job=1 wait=595 start=600 cached=0");
+    querier.send_line("STATE");
+    EXPECT_EQ(querier.read_line(),
+              "OK now=5 version=3 nodes=8 free=0 down=0 running=1 queued=1");
+    querier.send_line("QUIT");
+    EXPECT_EQ(querier.read_line(), "OK bye");
+
+    feeder.send_line("QUIT");
+    EXPECT_EQ(feeder.read_line(), "OK bye");
+  }
+
+  server.shutdown();
+  accept_thread.join();
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.requests, 7u);
+  EXPECT_EQ(stats.errors, 0u);
+}
+
+}  // namespace
+}  // namespace rtp

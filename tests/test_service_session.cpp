@@ -1,0 +1,251 @@
+// OnlineSession semantics: the keystone equivalence with the batch
+// simulator, cache correctness, and event validation.
+#include "service/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include "predict/factory.hpp"
+#include "predict/simple.hpp"
+#include "sched/policy.hpp"
+#include "service/replay.hpp"
+#include "workload/synthetic.hpp"
+
+namespace rtp {
+namespace {
+
+/// Every numeric field of two SimResults must match bit-for-bit: the
+/// service is a new interface over the same semantics, not a fork.
+void expect_sim_equal(const SimResult& a, const SimResult& b) {
+  EXPECT_EQ(a.utilization, b.utilization);
+  EXPECT_EQ(a.goodput, b.goodput);
+  EXPECT_EQ(a.mean_wait, b.mean_wait);
+  EXPECT_EQ(a.median_wait, b.median_wait);
+  EXPECT_EQ(a.max_wait, b.max_wait);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.start_times, b.start_times);
+  EXPECT_EQ(a.waits, b.waits);
+  EXPECT_EQ(a.attempts, b.attempts);
+  EXPECT_EQ(a.attempts_started, b.attempts_started);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.node_outages, b.node_outages);
+  EXPECT_EQ(a.wasted_work, b.wasted_work);
+}
+
+struct EquivCase {
+  const char* label;
+  SyntheticConfig config;
+  PolicyKind policy;
+  PredictorKind predictor;
+};
+
+std::vector<EquivCase> equivalence_cases() {
+  return {
+      {"anl-lwf-stf", anl_config(0.01), PolicyKind::Lwf, PredictorKind::Stf},
+      {"ctc-backfill-stf", ctc_config(0.01), PolicyKind::BackfillConservative,
+       PredictorKind::Stf},
+      {"sdsc95-backfill-gibbons", sdsc95_config(0.01), PolicyKind::BackfillConservative,
+       PredictorKind::Gibbons},
+      {"sdsc96-lwf-downey", sdsc96_config(0.01), PolicyKind::Lwf,
+       PredictorKind::DowneyAverage},
+  };
+}
+
+class SessionEquivalence : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SessionEquivalence, ReplayReproducesBatchBitForBit) {
+  const EquivCase c = equivalence_cases()[GetParam()];
+  SCOPED_TRACE(c.label);
+  const Workload w = generate_synthetic(c.config);
+  const auto policy = make_policy(c.policy);
+
+  // Batch path: live scheduler on user maxima, predictor under test in the
+  // shadow — the paper's Tables 4-9 harness.
+  auto batch_predictor = make_runtime_estimator(c.predictor, w);
+  const WaitPredictionResult batch = run_wait_prediction(w, c.policy, *batch_predictor);
+
+  // Service path: record the live run as an event stream, feed it through
+  // a session with a *fresh* predictor of the same kind, estimating every
+  // job at submission.
+  MaxRuntimePredictor live(w);
+  const RecordedRun recorded = record_session_log(w, *policy, live);
+  expect_sim_equal(recorded.batch, batch.sim);
+
+  auto session_predictor = make_runtime_estimator(c.predictor, w);
+  OnlineSession session(w.machine_nodes(), *policy, *session_predictor);
+  replay_through_session(session, recorded.events);
+
+  expect_sim_equal(session.result(), batch.sim);
+  EXPECT_EQ(session.error_stats().count(), batch.jobs);
+  EXPECT_EQ(to_minutes(session.error_stats().mean()), batch.mean_error_minutes);
+  EXPECT_EQ(to_minutes(session.wait_stats().mean()), batch.mean_wait_minutes);
+  EXPECT_EQ(to_minutes(session.signed_error_stats().mean()),
+            batch.mean_signed_error_minutes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sites, SessionEquivalence, ::testing::Values(0u, 1u, 2u, 3u));
+
+TEST(SessionCache, SameAnswersAndStatsWithCacheOnAndOff) {
+  const Workload w = generate_synthetic(anl_config(0.01));
+  const auto policy = make_policy(PolicyKind::BackfillConservative);
+  MaxRuntimePredictor live(w);
+  const RecordedRun recorded = record_session_log(w, *policy, live);
+
+  ReplayOptions options;
+  options.extra_queries = 2;  // repeats exercise the cache when enabled
+
+  RunningStats answers[2];
+  RunningStats errors[2];
+  std::uint64_t hits[2];
+  for (const bool cached : {false, true}) {
+    auto predictor = make_runtime_estimator(PredictorKind::Stf, w);
+    SessionOptions session_options;
+    session_options.cache_estimates = cached;
+    OnlineSession session(w.machine_nodes(), *policy, *predictor, session_options);
+    const ReplayReport report = replay_through_session(session, recorded.events, options);
+    answers[cached] = report.answers;
+    errors[cached] = session.error_stats();
+    hits[cached] = report.cache_hits;
+  }
+  EXPECT_EQ(hits[0], 0u);
+  EXPECT_GT(hits[1], 0u);
+  EXPECT_EQ(answers[0].count(), answers[1].count());
+  EXPECT_EQ(answers[0].sum(), answers[1].sum());
+  EXPECT_EQ(answers[0].min(), answers[1].min());
+  EXPECT_EQ(answers[0].max(), answers[1].max());
+  EXPECT_EQ(errors[0].count(), errors[1].count());
+  EXPECT_EQ(errors[0].mean(), errors[1].mean());
+}
+
+TEST(SessionCache, RepeatedQueryHitsUntilStateChanges) {
+  ConstantPredictor predictor(minutes(10));
+  const auto policy = make_policy(PolicyKind::Fcfs);
+  OnlineSession session(4, *policy, predictor);
+
+  Job a;
+  a.id = 0;
+  a.nodes = 4;
+  a.runtime = minutes(10);
+  Job b = a;
+  b.id = 1;
+  session.submit(a, 0.0);
+  session.start(0, 0.0);
+  session.submit(b, 5.0);
+
+  const std::uint64_t v = session.state_version();
+  const Seconds first = session.estimate_wait(1);
+  EXPECT_EQ(session.counters().cache_misses, 1u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(session.estimate_wait(1), first);
+  EXPECT_EQ(session.counters().cache_hits, 5u);
+  EXPECT_EQ(session.state_version(), v);  // queries do not advance state
+
+  // A state-changing event invalidates: next query recomputes.
+  session.finish(0, minutes(2));
+  EXPECT_NE(session.state_version(), v);
+  session.estimate_wait(1);
+  EXPECT_EQ(session.counters().cache_misses, 2u);
+}
+
+TEST(SessionCache, IntervalSharesTheCacheAndBandOrdering) {
+  ConstantPredictor predictor(minutes(10));
+  const auto policy = make_policy(PolicyKind::Fcfs);
+  OnlineSession session(4, *policy, predictor);
+
+  Job a;
+  a.id = 0;
+  a.nodes = 4;
+  a.runtime = minutes(10);
+  Job b = a;
+  b.id = 1;
+  session.submit(a, 0.0);
+  session.start(0, 0.0);
+  session.submit(b, 0.0);
+
+  const WaitInterval band = session.estimate_interval(1);
+  EXPECT_LE(band.optimistic, band.expected);
+  EXPECT_GE(band.pessimistic, band.expected);
+  // The interval computed the expected value; a plain estimate now hits.
+  const std::uint64_t misses = session.counters().cache_misses;
+  EXPECT_EQ(session.estimate_wait(1), band.expected);
+  EXPECT_EQ(session.counters().cache_misses, misses);
+  // Same scales hit; different scales recompute.
+  session.estimate_interval(1);
+  EXPECT_EQ(session.counters().cache_misses, misses);
+  session.estimate_interval(1, 0.25, 4.0);
+  EXPECT_EQ(session.counters().cache_misses, misses + 1);
+}
+
+TEST(SessionEvents, ValidationRejectsWithoutCorruptingState) {
+  ConstantPredictor predictor(100.0);
+  const auto policy = make_policy(PolicyKind::Fcfs);
+  OnlineSession session(8, *policy, predictor);
+
+  Job a;
+  a.id = 0;
+  a.nodes = 4;
+  a.runtime = 50.0;
+  session.submit(a, 10.0);
+
+  EXPECT_THROW(session.finish(0, 11.0), Error);       // not running yet
+  EXPECT_THROW(session.start(7, 11.0), Error);        // unknown id
+  EXPECT_THROW(session.submit(a, 12.0), Error);       // duplicate id
+  EXPECT_THROW(session.start(0, 5.0), Error);         // time went backwards
+  EXPECT_THROW(session.node_down(9, 11.0), Error);    // more than free
+  EXPECT_THROW(session.node_up(1, 11.0), Error);      // nothing is down
+
+  // Nothing above mutated the session: the job is still queued and the
+  // clock still sits at the submit time.
+  EXPECT_EQ(session.now(), 10.0);
+  EXPECT_EQ(session.state().queue().size(), 1u);
+  EXPECT_EQ(session.state().free_nodes(), 8);
+
+  session.start(0, 20.0);
+  session.finish(0, 70.0);
+  const SimResult r = session.result();
+  EXPECT_EQ(r.completed, 1u);
+  EXPECT_EQ(r.waits[0], 10.0);
+}
+
+TEST(SessionEvents, FailRequeuesAndNodeEventsTrackCapacity) {
+  ConstantPredictor predictor(100.0);
+  const auto policy = make_policy(PolicyKind::Fcfs);
+  OnlineSession session(8, *policy, predictor);
+
+  Job a;
+  a.id = 0;
+  a.nodes = 4;
+  a.runtime = 50.0;
+  session.submit(a, 0.0);
+  session.start(0, 0.0);
+  session.fail(0, 30.0);  // attempt dies; back in the queue
+  EXPECT_EQ(session.state().queue().size(), 1u);
+  EXPECT_EQ(session.state().free_nodes(), 8);
+
+  session.node_down(4, 40.0);
+  EXPECT_EQ(session.state().available_nodes(), 4);
+  session.start(0, 50.0);
+  session.finish(0, 100.0);
+  session.node_up(4, 120.0);
+
+  const SimResult r = session.result();
+  EXPECT_EQ(r.failures, 1u);
+  EXPECT_EQ(r.retries, 1u);
+  EXPECT_EQ(r.node_outages, 1u);
+  EXPECT_EQ(r.attempts[0], 2);
+  EXPECT_EQ(r.wasted_work, 4.0 * 30.0);
+  EXPECT_EQ(r.start_times[0], 0.0);  // first attempt pins the start time
+
+  // Cancel path: a queued job can be withdrawn.
+  Job b;
+  b.id = 1;
+  b.nodes = 2;
+  b.runtime = 10.0;
+  session.submit(b, 130.0);
+  session.cancel(1, 131.0);
+  EXPECT_TRUE(session.state().queue().empty());
+  EXPECT_THROW(session.start(1, 132.0), Error);
+}
+
+}  // namespace
+}  // namespace rtp

@@ -1,0 +1,139 @@
+// Log-bucketed latency histogram: add/merge/quantile semantics.
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/error.hpp"
+
+namespace rtp {
+namespace {
+
+TEST(LatencyHistogram, EmptyIsZeroEverywhere) {
+  LatencyHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.p50(), 0.0);
+  EXPECT_EQ(h.quantile(0.0), 0.0);
+  EXPECT_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(LatencyHistogram, SingleValueIsExactAtEveryQuantile) {
+  LatencyHistogram h;
+  h.add(42.5);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 42.5);
+  EXPECT_EQ(h.max(), 42.5);
+  EXPECT_EQ(h.mean(), 42.5);
+  // The bucket midpoint is clamped to [min, max], so one value is exact.
+  EXPECT_EQ(h.quantile(0.0), 42.5);
+  EXPECT_EQ(h.p50(), 42.5);
+  EXPECT_EQ(h.quantile(1.0), 42.5);
+}
+
+TEST(LatencyHistogram, QuantileRelativeErrorBoundedByGrowth) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 10000; ++i) h.add(static_cast<double>(i));
+  const double growth = h.options().growth;
+  for (const auto [q, exact] : {std::pair{0.50, 5000.0},
+                                std::pair{0.95, 9500.0},
+                                std::pair{0.99, 9900.0}}) {
+    const double estimate = h.quantile(q);
+    EXPECT_GE(estimate, exact / growth) << "q=" << q;
+    EXPECT_LE(estimate, exact * growth) << "q=" << q;
+  }
+  EXPECT_EQ(h.quantile(1.0), 10000.0);  // clamped to the exact max
+  EXPECT_EQ(h.quantile(0.0), 1.0);      // clamped to the exact min
+  EXPECT_EQ(h.sum(), 10000.0 * 10001.0 / 2.0);
+}
+
+TEST(LatencyHistogram, QuantilesAreMonotoneInQ) {
+  LatencyHistogram h;
+  std::mt19937 rng(7);
+  std::lognormal_distribution<double> dist(2.0, 1.5);
+  for (int i = 0; i < 5000; ++i) h.add(dist(rng));
+  double prev = h.quantile(0.0);
+  for (int step = 1; step <= 20; ++step) {
+    const double q = static_cast<double>(step) / 20.0;
+    const double cur = h.quantile(q);
+    EXPECT_GE(cur, prev) << "q=" << q;
+    prev = cur;
+  }
+}
+
+TEST(LatencyHistogram, UnderflowAndOverflowAreCaptured) {
+  LatencyHistogramOptions options;
+  options.min_value = 1.0;
+  options.max_value = 1000.0;
+  LatencyHistogram h(options);
+  h.add(1e-6);  // below the first finite bucket
+  h.add(5.0);
+  h.add(1e9);  // above the last finite bucket
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min(), 1e-6);
+  EXPECT_EQ(h.max(), 1e9);
+  // Extremes stay within the observed range thanks to the clamp.
+  EXPECT_EQ(h.quantile(0.0), 1e-6);
+  EXPECT_EQ(h.quantile(1.0), 1e9);
+}
+
+TEST(LatencyHistogram, MergeMatchesCombinedAddStream) {
+  LatencyHistogram a, b, combined;
+  std::mt19937 rng(11);
+  std::exponential_distribution<double> dist(0.01);
+  for (int i = 0; i < 3000; ++i) {
+    const double v = dist(rng);
+    (i % 2 == 0 ? a : b).add(v);
+    combined.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  // Bucket counts and extrema merge exactly; the sum differs only by
+  // floating-point accumulation order.
+  EXPECT_NEAR(a.sum(), combined.sum(), 1e-9 * combined.sum());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(a.quantile(q), combined.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogram, MergeWithEmptyIsIdentityBothWays) {
+  LatencyHistogram h, empty;
+  h.add(3.0);
+  h.add(7.0);
+  h.merge(empty);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 3.0);
+  EXPECT_EQ(h.max(), 7.0);
+  empty.merge(h);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_EQ(empty.min(), 3.0);
+  EXPECT_EQ(empty.max(), 7.0);
+}
+
+TEST(LatencyHistogram, MergeRejectsMismatchedGeometry) {
+  LatencyHistogramOptions coarse;
+  coarse.growth = 2.0;
+  LatencyHistogram a, b(coarse);
+  EXPECT_THROW(a.merge(b), Error);
+}
+
+TEST(LatencyHistogram, NaNAndNonPositiveLandInUnderflow) {
+  LatencyHistogram h;
+  h.add(0.0);
+  h.add(-5.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), -5.0);
+  // All mass is in the underflow bucket; quantiles clamp into [min, max].
+  EXPECT_LE(h.p50(), 0.0);
+  EXPECT_GE(h.p50(), -5.0);
+}
+
+}  // namespace
+}  // namespace rtp

@@ -1,0 +1,113 @@
+// rtpd — the online wait-time estimate daemon.
+//
+// Serves the rtpd line protocol (src/service/protocol.hpp) over stdin or a
+// localhost TCP socket.  The session mirrors a live scheduler: pipe a
+// recorded event stream in, interleave ESTIMATE / INTERVAL / STATS queries.
+//
+//   # convert a trace into a protocol event stream (runs the batch
+//   # scheduler once to decide starts):
+//   ./rtpd --trace traces/anl.trace --dump-log > anl.events
+//
+//   # serve it over a pipe, querying as it goes:
+//   (head -n 500 anl.events; printf 'STATS\nQUIT\n') | ./rtpd --trace traces/anl.trace
+//
+//   # or serve TCP on an ephemeral port:
+//   ./rtpd --trace traces/anl.trace --mode tcp --port 7421
+//
+// --trace supplies the machine size and the field mask the predictor is
+// built from; --replay-events pre-plays a prefix of the recorded stream so
+// the session has live state before serving.  Without --trace the session
+// starts empty on --nodes nodes (history predictors start cold).
+#include <fstream>
+#include <iostream>
+
+#include "core/args.hpp"
+#include "core/error.hpp"
+#include "core/log.hpp"
+#include "predict/factory.hpp"
+#include "predict/simple.hpp"
+#include "sched/policy.hpp"
+#include "service/replay.hpp"
+#include "service/server.hpp"
+#include "service/session.hpp"
+#include "workload/native.hpp"
+
+int main(int argc, char** argv) {
+  try {
+    rtp::ArgParser args(argc, argv);
+    args.add_option("trace", "native trace file backing the session (see tracegen)", "");
+    args.add_flag("dump-log", "print the trace's protocol event stream and exit");
+    args.add_option("replay-events", "pre-play this many recorded events (-1 = all)", "0");
+    args.add_option("mode", "stdin|tcp", "stdin");
+    args.add_option("port", "TCP port (0 = ephemeral)", "0");
+    args.add_option("nodes", "machine nodes when no --trace is given", "128");
+    args.add_option("policy", "fcfs|lwf|backfill|easy (mirrored scheduler)", "backfill");
+    args.add_option("predictor", "actual|max|stf|gibbons|downey-avg|downey-med", "max");
+    args.add_option("threads", "TCP connection workers", "2");
+    args.add_flag("verbose", "progress logging to stderr");
+    if (!args.parse()) return 0;
+    if (args.flag("verbose")) rtp::set_log_level(rtp::LogLevel::Info);
+
+    const std::string mode = args.str("mode");
+    RTP_CHECK(mode == "stdin" || mode == "tcp", "--mode must be stdin or tcp");
+
+    auto policy = rtp::make_policy(rtp::policy_kind_from_string(args.str("policy")));
+
+    rtp::Workload workload;
+    const bool have_trace = !args.str("trace").empty();
+    if (have_trace) workload = rtp::read_native_file(args.str("trace"));
+    const int nodes =
+        have_trace ? workload.machine_nodes() : static_cast<int>(args.integer("nodes"));
+
+    auto predictor = rtp::make_runtime_estimator(
+        rtp::predictor_kind_from_string(args.str("predictor")), workload);
+
+    rtp::RecordedRun recorded;
+    if (have_trace) {
+      // The mirrored scheduler runs on user maxima (the EASY convention),
+      // exactly as in run_wait_prediction.
+      rtp::MaxRuntimePredictor live(workload);
+      recorded = rtp::record_session_log(workload, *policy, live);
+    }
+    if (args.flag("dump-log")) {
+      RTP_CHECK(have_trace, "--dump-log requires --trace");
+      rtp::write_event_log(std::cout, recorded.events);
+      return 0;
+    }
+
+    rtp::SessionOptions session_options;
+    session_options.name = have_trace ? workload.name() : "online";
+    rtp::OnlineSession session(nodes, *policy, *predictor, session_options);
+
+    const long long replay_events = args.integer("replay-events");
+    if (replay_events != 0) {
+      RTP_CHECK(have_trace, "--replay-events requires --trace");
+      std::vector<rtp::Request> prefix = recorded.events;
+      if (replay_events > 0 &&
+          static_cast<std::size_t>(replay_events) < prefix.size())
+        prefix.resize(static_cast<std::size_t>(replay_events));
+      rtp::ReplayOptions replay_options;
+      replay_options.estimate_on_submit = false;  // pre-play state, not queries
+      rtp::replay_through_session(session, prefix, replay_options);
+      rtp::log_info("pre-played ", prefix.size(), " events; session now at t=",
+                    session.now());
+    }
+
+    rtp::ServerOptions server_options;
+    server_options.threads = static_cast<std::size_t>(args.integer("threads"));
+    rtp::ServiceServer server(session, server_options);
+
+    if (mode == "stdin") {
+      server.serve_stream(std::cin, std::cout);
+    } else {
+      const std::uint16_t port =
+          server.listen_on(static_cast<std::uint16_t>(args.integer("port")));
+      std::cerr << "rtpd listening on 127.0.0.1:" << port << "\n";
+      server.serve();
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "rtpd: " << e.what() << "\n";
+    return 1;
+  }
+}
