@@ -1,10 +1,20 @@
 #!/usr/bin/env bash
-# Build and test both the plain and the sanitized (ASan+UBSan)
-# configurations.  The sanitized pass exists to catch lifetime bugs on the
-# fault paths (job resubmission, node-map mutation) that a plain build can
-# silently survive.
+# Build and test the analysis gauntlet configurations:
 #
-# Usage: scripts/check.sh [--plain-only|--sanitize-only]
+#   plain     default build; also runs the rtlint determinism linter over
+#             the source tree (the binary is built as part of the tree)
+#   sanitize  ASan+UBSan (-DRTP_SANITIZE=address): lifetime bugs on the
+#             fault paths (job resubmission, node-map mutation) that a
+#             plain build can silently survive
+#   tsan      ThreadSanitizer (-DRTP_SANITIZE=thread): data races in
+#             ThreadPool, ServiceServer, ExperimentRunner and the GA memo,
+#             driven hard by the contention stress tests.  Zero reports,
+#             no suppression file.
+#
+# Usage: scripts/check.sh [--plain-only|--sanitize-only|--tsan|--all-sans]
+#   (default runs plain + sanitize; --all-sans adds the tsan pass)
+# Extra configure flags (e.g. RTP_CMAKE_ARGS=-DRTP_WERROR=ON, as CI does)
+# are appended to every cmake invocation.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -13,8 +23,9 @@ jobs=$(nproc 2>/dev/null || echo 4)
 run_config() {
   local dir=$1
   shift
-  echo "=== configure $dir ($*) ==="
-  cmake -B "$dir" -S . "$@" >/dev/null
+  echo "=== configure $dir ($* ${RTP_CMAKE_ARGS:-}) ==="
+  # shellcheck disable=SC2086
+  cmake -B "$dir" -S . "$@" ${RTP_CMAKE_ARGS:-} >/dev/null
   echo "=== build $dir ==="
   cmake --build "$dir" -j "$jobs"
   echo "=== ctest $dir ==="
@@ -22,10 +33,11 @@ run_config() {
   # The parallel-runner determinism tests are the contract behind every
   # bench's --threads flag; run them explicitly (and under the sanitizers,
   # where thread bugs actually surface) with a hard timeout so a deadlocked
-  # pool fails fast instead of hanging the gauntlet.
-  echo "=== ctest $dir (runner determinism) ==="
-  ctest --test-dir "$dir" -R 'ExperimentRunner|ThreadPool' --timeout 300 \
-    --output-on-failure -j "$jobs"
+  # pool fails fast instead of hanging the gauntlet.  The Stress suite
+  # carries its own ctest TIMEOUT property on top.
+  echo "=== ctest $dir (runner determinism + contention stress) ==="
+  ctest --test-dir "$dir" -R 'ExperimentRunner|ThreadPool|Stress|GaMemo' \
+    --timeout 300 --output-on-failure -j "$jobs"
   # End-to-end smoke of the online wait-time daemon: record a small ANL
   # session as an RTP/1 event log, then drive rtpd in stdin mode with the
   # log plus a STATE/STATS/QUIT epilogue.  Catches protocol or session
@@ -47,17 +59,42 @@ run_config() {
   rm -rf "$tmp"
 }
 
+run_rtlint() {
+  local dir=$1
+  echo "=== rtlint ($dir) ==="
+  "$dir/tools/rtlint" --allowlist tools/rtlint.allow src tools/rtlint tools/rtpd.cpp
+}
+
+run_tsan() {
+  # TSAN_OPTIONS makes any report fatal (exit code), catches races on exit
+  # paths too, and keeps history large enough for the stress tests' deep
+  # happens-before chains.
+  TSAN_OPTIONS="halt_on_error=1 exitcode=66 history_size=7" \
+    run_config build-tsan -DRTP_SANITIZE=thread
+}
+
 mode=${1:-all}
 case "$mode" in
   --plain-only|plain)
     run_config build
+    run_rtlint build
     ;;
   --sanitize-only|sanitize)
-    run_config build-asan -DRTP_SANITIZE=ON
+    run_config build-asan -DRTP_SANITIZE=address
+    ;;
+  --tsan|tsan)
+    run_tsan
+    ;;
+  --all-sans)
+    run_config build
+    run_rtlint build
+    run_config build-asan -DRTP_SANITIZE=address
+    run_tsan
     ;;
   all|*)
     run_config build
-    run_config build-asan -DRTP_SANITIZE=ON
+    run_rtlint build
+    run_config build-asan -DRTP_SANITIZE=address
     ;;
 esac
 

@@ -22,6 +22,10 @@ ServiceServer::ServiceServer(OnlineSession& session, ServerOptions options)
       started_(std::chrono::steady_clock::now()) {}
 
 std::string ServiceServer::greeting() const {
+  // A TCP client can connect (and be greeted) while another connection's
+  // request is mutating the session, so the snapshot needs the same lock
+  // that serializes request handling.
+  std::lock_guard<std::mutex> lock(mutex_);
   const SystemState& state = session_.state();
   return std::string(kProtocolVersion) + " ready nodes=" +
          std::to_string(state.machine_nodes()) + " session=" + session_.options().name;
@@ -157,7 +161,7 @@ void ServiceServer::serve_stream(std::istream& in, std::ostream& out) {
 }
 
 std::uint16_t ServiceServer::listen_on(std::uint16_t port) {
-  RTP_CHECK(listen_fd_ < 0, "server is already listening");
+  RTP_CHECK(listen_fd_.load() < 0, "server is already listening");
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   RTP_CHECK(fd >= 0, std::string("socket: ") + std::strerror(errno));
   const int one = 1;
@@ -180,14 +184,16 @@ std::uint16_t ServiceServer::listen_on(std::uint16_t port) {
   socklen_t len = sizeof(addr);
   RTP_CHECK(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0,
             "getsockname failed");
-  listen_fd_ = fd;
+  listen_fd_.store(fd);
   return ntohs(addr.sin_port);
 }
 
 void ServiceServer::serve() {
-  RTP_CHECK(listen_fd_ >= 0, "serve() requires listen_on() first");
+  RTP_CHECK(listen_fd_.load() >= 0, "serve() requires listen_on() first");
   while (!stopping_.load()) {
-    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    const int listener = listen_fd_.load();
+    if (listener < 0) break;  // shutdown() already closed it
+    const int client = ::accept(listener, nullptr, nullptr);
     if (client < 0) {
       if (stopping_.load() || errno == EBADF || errno == EINVAL) break;
       if (errno == EINTR || errno == ECONNABORTED) continue;
@@ -210,10 +216,11 @@ void ServiceServer::serve() {
 
 void ServiceServer::shutdown() {
   stopping_.store(true);
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  // exchange() so concurrent shutdown() calls close the listener once.
+  const int fd = listen_fd_.exchange(-1);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
   }
 }
 

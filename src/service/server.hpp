@@ -89,7 +89,9 @@ class ServiceServer {
   LatencyHistogram request_latency_us_;
   LatencyHistogram estimate_latency_us_;
 
-  int listen_fd_ = -1;
+  // Written by shutdown() from an arbitrary thread while serve() reads it,
+  // so it must be atomic; -1 means "not listening".
+  std::atomic<int> listen_fd_{-1};
   std::atomic<bool> stopping_{false};
 };
 

@@ -235,6 +235,8 @@ SimResult OnlineSession::result() const {
   r.start_times.assign(n, kNoTime);
   r.waits.assign(n, 0.0);
   r.attempts.assign(n, 0);
+  // rtlint: allow(unordered-iter) every write lands in a slot indexed by the
+  // job's own id, so the visit order cannot reach the result.
   for (const auto& [id, record] : jobs_) {
     r.start_times[id] = record.first_start;
     if (record.first_start >= 0.0) r.waits[id] = record.first_start - record.submit;

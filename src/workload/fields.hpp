@@ -52,7 +52,7 @@ class FieldMask {
     return *this;
   }
   constexpr FieldMask& clear(Characteristic c) {
-    bits_ &= ~bit(c);
+    bits_ = static_cast<std::uint16_t>(bits_ & ~bit(c));
     return *this;
   }
   constexpr bool has(Characteristic c) const { return (bits_ & bit(c)) != 0; }

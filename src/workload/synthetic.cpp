@@ -348,7 +348,8 @@ namespace {
 
 std::size_t scaled_count(std::size_t count, double scale) {
   RTP_CHECK(scale > 0.0 && scale <= 1.0, "workload scale must be in (0,1]");
-  return std::max<std::size_t>(50, static_cast<std::size_t>(count * scale));
+  return std::max<std::size_t>(
+      50, static_cast<std::size_t>(static_cast<double>(count) * scale));
 }
 
 }  // namespace

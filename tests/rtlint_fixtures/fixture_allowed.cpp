@@ -1,0 +1,17 @@
+// rtlint fixture: the same violations as the other fixtures, each carrying
+// an inline justification — the whole file must lint clean.
+#include <cstdlib>
+#include <unordered_map>
+
+std::unordered_map<int, double> fixture_allowed_scores();
+
+double fixture_allowed() {
+  std::unordered_map<int, double> totals;
+  double sum = static_cast<double>(std::rand());  // rtlint: allow(nondeterministic-source) fixture exercises suppression
+  for (const auto& [id, v] : totals) sum += v;  // rtlint: allow(unordered-iter) accumulation is order-free under test tolerance
+  if (sum == 0.0) return 1.0;  // rtlint: allow(float-eq) exact sentinel produced above
+  // rtlint: allow(unordered-iter) an annotation on a comment-only line
+  // covers the next code line, so justifications can sit above the code.
+  for (const auto& [id, v] : totals) sum -= v;
+  return sum;
+}

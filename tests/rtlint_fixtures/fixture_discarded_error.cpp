@@ -1,0 +1,14 @@
+// rtlint fixture: discarding a try_*/optional-returning result must trip
+// discarded-error; consuming it must not.
+#include <optional>
+
+std::optional<int> try_parse(int raw);
+std::optional<double> checked_divide(double a, double b);
+
+int fixture_use(int raw) {
+  try_parse(raw);            // finding: result discarded
+  checked_divide(1.0, 2.0);  // finding: declared std::optional return
+  const auto parsed = try_parse(raw);  // ok: consumed
+  if (try_parse(raw)) return 1;        // ok: tested
+  return parsed.value_or(0);
+}

@@ -1,0 +1,9 @@
+// rtlint fixture: ==/!= against floating-point literals must trip float-eq;
+// ordered comparisons and integer equality must not.
+bool fixture_compare(double x, int n) {
+  bool bad = x == 0.0;    // finding
+  bad = bad || 1.5f != x;  // finding
+  bad = bad || x == 1e-9;  // finding
+  const bool fine = x >= 0.0 && x <= 2.0 && n == 0;  // no findings
+  return bad && fine;
+}

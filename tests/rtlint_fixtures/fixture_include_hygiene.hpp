@@ -1,0 +1,6 @@
+// rtlint fixture: missing #pragma once, a parent-relative include, and a
+// libstdc++-internal include — three include-hygiene findings.
+#include "../secrets/internal.hpp"
+#include <bits/stdc++.h>
+
+int fixture_hygiene();

@@ -1,0 +1,12 @@
+// rtlint fixture: every line here must trip nondeterministic-source.
+// Never compiled; linted by test_tools_rtlint and kept out of src/ globs.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int fixture_noise() {
+  std::srand(static_cast<unsigned>(time(nullptr)));  // two findings on one line
+  std::random_device entropy;
+  const long stamp = std::time(nullptr);  // qualified form must fire too
+  return std::rand() + static_cast<int>(entropy()) + static_cast<int>(stamp);
+}

@@ -1,0 +1,21 @@
+// rtlint fixture: range-for over unordered containers must trip
+// unordered-iter; iterating an ordered container of unordered maps must not.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+std::unordered_map<int, double> fixture_scores();
+
+double fixture_sum() {
+  std::unordered_map<std::string, double> totals;
+  std::unordered_set<int> seen;
+  std::vector<std::unordered_map<int, double>> shards;  // ordered outer: fine
+
+  double sum = 0.0;
+  for (const auto& [key, value] : totals) sum += value;  // finding: hash order
+  for (int id : seen) sum += id;                         // finding: hash order
+  for (const auto& [id, score] : fixture_scores()) sum += score;  // finding
+  for (const auto& shard : shards) sum += static_cast<double>(shard.size());  // ok
+  return sum;
+}

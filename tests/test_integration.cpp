@@ -80,7 +80,9 @@ INSTANTIATE_TEST_SUITE_P(
                       Combo{"bf_downey", PolicyKind::BackfillConservative,
                             PredictorKind::DowneyMedian},
                       Combo{"easy_stf", PolicyKind::BackfillEasy, PredictorKind::Stf}),
-    [](const ::testing::TestParamInfo<Combo>& info) { return info.param.name; });
+    [](const ::testing::TestParamInfo<Combo>& param_info) {
+      return param_info.param.name;
+    });
 
 TEST(Integration, FcfsStartsInArrivalOrder) {
   const Workload w = generate_synthetic(ctc_config(0.01));

@@ -40,7 +40,7 @@ TEST(LatencyHistogram, QuantileRelativeErrorBoundedByGrowth) {
   LatencyHistogram h;
   for (int i = 1; i <= 10000; ++i) h.add(static_cast<double>(i));
   const double growth = h.options().growth;
-  for (const auto [q, exact] : {std::pair{0.50, 5000.0},
+  for (const auto& [q, exact] : {std::pair{0.50, 5000.0},
                                 std::pair{0.95, 9500.0},
                                 std::pair{0.99, 9900.0}}) {
     const double estimate = h.quantile(q);

@@ -1,0 +1,274 @@
+// Deterministic-under-contention stress tests for every concurrent
+// component: ThreadPool, ExperimentRunner (nested pools), the GA's
+// generation-spanning fitness memo, and ServiceServer (stream and TCP).
+//
+// These exist primarily as ThreadSanitizer fodder — scripts/check.sh --tsan
+// runs the whole suite under TSan, and contention here is what makes latent
+// races actually interleave.  Each test also asserts the determinism
+// contract: contended runs must produce bit-identical results to serial
+// runs.  The ctest entries carry a TIMEOUT property so a deadlocked pool
+// fails fast instead of hanging the gauntlet.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/thread_pool.hpp"
+#include "exp/runner.hpp"
+#include "predict/simple.hpp"
+#include "sched/policy.hpp"
+#include "search/ga.hpp"
+#include "service/server.hpp"
+#include "service/session.hpp"
+#include "workload/synthetic.hpp"
+
+namespace rtp {
+namespace {
+
+TEST(ThreadPoolStress, ConcurrentSubmittersRunEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  constexpr int kSubmitters = 8;
+  constexpr int kTasksPerSubmitter = 400;
+
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s)
+    submitters.emplace_back([&pool, &executed] {
+      for (int t = 0; t < kTasksPerSubmitter; ++t)
+        pool.submit([&executed] { executed.fetch_add(1, std::memory_order_relaxed); });
+    });
+  for (std::thread& t : submitters) t.join();
+  pool.wait_idle();
+  EXPECT_EQ(executed.load(), kSubmitters * kTasksPerSubmitter);
+
+  // The pool must stay serviceable after the storm.
+  pool.submit([&executed] { executed.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait_idle();
+  EXPECT_EQ(executed.load(), kSubmitters * kTasksPerSubmitter + 1);
+}
+
+TEST(ThreadPoolStress, ParallelForUnderContentionIsDeterministic) {
+  ThreadPool pool(4);
+  const auto run_once = [&pool] {
+    std::vector<double> out(512, 0.0);
+    parallel_for(pool, out.size(), [&out](std::size_t i) {
+      double acc = static_cast<double>(i) + 1.0;
+      for (int k = 0; k < 100; ++k) acc = acc * 1.0000001 + static_cast<double>(k % 7);
+      out[i] = acc;
+    });
+    return out;
+  };
+  const std::vector<double> first = run_once();
+  const std::vector<double> second = run_once();
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) EXPECT_EQ(first[i], second[i]) << i;
+}
+
+TEST(ThreadPoolStress, RapidConstructDestroyWithInflightTasks) {
+  std::atomic<int> executed{0};
+  for (int round = 0; round < 32; ++round) {
+    ThreadPool pool(3);
+    for (int t = 0; t < 16; ++t)
+      pool.submit([&executed] { executed.fetch_add(1, std::memory_order_relaxed); });
+    pool.wait_idle();
+  }
+  EXPECT_EQ(executed.load(), 32 * 16);
+}
+
+TEST(ExperimentRunnerStress, NestedPoolsMatchSerialBitForBit) {
+  // Mirrors the bench shape: outer cells on the runner, each cell spinning
+  // up its own single-threaded inner pool (as GA cells do).
+  const auto run_with = [](std::size_t threads) {
+    const ExperimentRunner runner(threads);
+    return runner.map<double>(48, [](std::size_t cell) {
+      ThreadPool inner(1);
+      std::vector<double> partial(8, 0.0);
+      parallel_for(inner, partial.size(), [&partial, cell](std::size_t i) {
+        partial[i] = static_cast<double>(cell * 31 + i) * 1.000001;
+      });
+      double sum = 0.0;
+      for (const double v : partial) sum += v;
+      return sum;
+    });
+  };
+  const std::vector<double> serial = run_with(1);
+  const std::vector<double> contended = run_with(4);
+  ASSERT_EQ(serial.size(), contended.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) EXPECT_EQ(serial[i], contended[i]) << i;
+}
+
+TEST(GaMemoStress, ThreadedSearchIsBitIdenticalToSerial) {
+  const Workload w = generate_synthetic(anl_config(0.02));
+  const PredictionWorkload eval = PredictionWorkload::from_policy(w, PolicyKind::Fcfs);
+  GaOptions options;
+  options.population = 12;
+  options.generations = 5;
+
+  options.threads = 1;
+  const SearchResult serial = search_templates_ga(eval, w.fields(), true, options);
+  options.threads = 4;
+  const SearchResult contended = search_templates_ga(eval, w.fields(), true, options);
+  const SearchResult again = search_templates_ga(eval, w.fields(), true, options);
+
+  EXPECT_EQ(serial.best, contended.best);
+  EXPECT_EQ(serial.best_error, contended.best_error);
+  EXPECT_EQ(serial.evaluations, contended.evaluations);
+  EXPECT_EQ(serial.memo_hits, contended.memo_hits);
+  EXPECT_EQ(serial.memo_misses, contended.memo_misses);
+  EXPECT_EQ(serial.best_error_per_generation, contended.best_error_per_generation);
+  EXPECT_EQ(contended.best, again.best);
+  EXPECT_EQ(contended.best_error_per_generation, again.best_error_per_generation);
+}
+
+/// Shared session with two jobs (one running, one queued), as in the
+/// server dialogue tests.
+struct ServedSession {
+  ConstantPredictor predictor{600.0};
+  std::unique_ptr<SchedulerPolicy> policy = make_policy(PolicyKind::Fcfs);
+  OnlineSession session{8, *policy, predictor};
+
+  std::unique_ptr<ServiceServer> server;
+
+  explicit ServedSession(std::size_t threads = 2) {
+    ServerOptions options;
+    options.threads = threads;
+    server = std::make_unique<ServiceServer>(session, options);
+    bool quit = false;
+    EXPECT_EQ(server->handle_line("SUBMIT 0 0 8 120 600", 1, &quit), "OK version=1");
+    EXPECT_EQ(server->handle_line("START 0 0", 2, &quit), "OK version=2");
+    EXPECT_EQ(server->handle_line("SUBMIT 5 1 4 60 600", 3, &quit), "OK version=3");
+  }
+};
+
+TEST(ServiceServerStress, ConcurrentQueriesAnswerIdenticallyAndAreAllCounted) {
+  ServedSession fixture;
+  ServiceServer& server = *fixture.server;
+
+  constexpr std::size_t kThreads = 6;
+  constexpr std::size_t kRounds = 50;
+  const std::vector<std::string> queries = {"INTERVAL 1", "STATE"};
+
+  std::vector<std::vector<std::string>> replies(kThreads);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads + 1);
+  for (std::size_t t = 0; t < kThreads; ++t)
+    workers.emplace_back([&server, &queries, &replies, t] {
+      bool quit = false;
+      for (std::size_t round = 0; round < kRounds; ++round)
+        for (const std::string& query : queries)
+          replies[t].push_back(server.handle_line(query, 100 + round, &quit));
+    });
+  // A reader hammering the stats/greeting snapshots while requests fly.
+  std::atomic<bool> done{false};
+  workers.emplace_back([&server, &done] {
+    while (!done.load()) {
+      const ServerStats snapshot = server.stats();
+      EXPECT_LE(snapshot.errors, snapshot.requests);
+      (void)server.greeting();
+    }
+  });
+  for (std::size_t t = 0; t < kThreads; ++t) workers[t].join();
+  done.store(true);
+  workers.back().join();
+
+  // Read-only contention must not perturb any answer: every thread saw the
+  // same reply sequence.
+  for (std::size_t t = 1; t < kThreads; ++t) EXPECT_EQ(replies[t], replies[0]);
+  EXPECT_EQ(replies[0][0].rfind("OK job=1 wait=595 optimistic=", 0), 0u) << replies[0][0];
+  EXPECT_EQ(replies[0][1], "OK now=5 version=3 nodes=8 free=0 down=0 running=1 queued=1");
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.requests, 3 + kThreads * kRounds * queries.size());
+  EXPECT_EQ(stats.errors, 0u);
+}
+
+/// Minimal blocking line client for the loopback stress test.
+class StressClient {
+ public:
+  explicit StressClient(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  }
+  ~StressClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void send_line(const std::string& line) {
+    const std::string payload = line + "\n";
+    std::size_t sent = 0;
+    while (sent < payload.size()) {
+      const ssize_t n = ::send(fd_, payload.data() + sent, payload.size() - sent, 0);
+      ASSERT_GT(n, 0);
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+
+  std::string read_line() {
+    std::string line;
+    char c = 0;
+    while (true) {
+      const ssize_t n = ::recv(fd_, &c, 1, 0);
+      if (n <= 0) return line;
+      if (c == '\n') return line;
+      if (c != '\r') line.push_back(c);
+    }
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+TEST(ServiceServerStress, TcpClientsUnderContentionSeeIdenticalAnswers) {
+  ServedSession fixture(/*threads=*/4);
+  ServiceServer& server = *fixture.server;
+
+  const std::uint16_t port = server.listen_on(0);
+  ASSERT_GT(port, 0);
+  std::thread accept_thread([&server] { server.serve(); });
+
+  constexpr std::size_t kClients = 4;
+  constexpr std::size_t kRounds = 25;
+  std::vector<std::vector<std::string>> replies(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (std::size_t c = 0; c < kClients; ++c)
+    clients.emplace_back([port, &replies, c] {
+      StressClient client(port);
+      const std::string greeting = client.read_line();
+      EXPECT_EQ(greeting.rfind("RTP/1 ready nodes=8", 0), 0u) << greeting;
+      for (std::size_t round = 0; round < kRounds; ++round) {
+        client.send_line("INTERVAL 1");
+        replies[c].push_back(client.read_line());
+        client.send_line("STATE");
+        replies[c].push_back(client.read_line());
+      }
+      client.send_line("QUIT");
+      EXPECT_EQ(client.read_line(), "OK bye");
+    });
+  for (std::thread& t : clients) t.join();
+  server.shutdown();
+  accept_thread.join();
+
+  for (std::size_t c = 1; c < kClients; ++c) EXPECT_EQ(replies[c], replies[0]);
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.requests, 3 + kClients * (2 * kRounds + 1));
+  EXPECT_EQ(stats.errors, 0u);
+}
+
+}  // namespace
+}  // namespace rtp

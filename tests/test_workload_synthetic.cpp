@@ -51,7 +51,8 @@ TEST_P(SiteParam, MatchesTableOneAggregates) {
   const WorkloadStats stats = compute_stats(w);
 
   EXPECT_EQ(w.machine_nodes(), site.nodes);
-  EXPECT_EQ(w.size(), static_cast<std::size_t>(site.full_count * 0.25));
+  EXPECT_EQ(w.size(),
+            static_cast<std::size_t>(static_cast<double>(site.full_count) * 0.25));
   // Mean run time within 10% of the Table 1 value (limit clamping shaves a
   // little off the exact scaled mean).
   EXPECT_NEAR(stats.mean_runtime_minutes, site.mean_runtime, 0.10 * site.mean_runtime);
@@ -88,7 +89,9 @@ INSTANTIATE_TEST_SUITE_P(
                       SiteCase{"CTC", ctc_config, 13217, 512, 171.14, true, false},
                       SiteCase{"SDSC95", sdsc95_config, 22885, 400, 108.21, false, true},
                       SiteCase{"SDSC96", sdsc96_config, 22337, 400, 166.98, false, true}),
-    [](const ::testing::TestParamInfo<SiteCase>& info) { return info.param.name; });
+    [](const ::testing::TestParamInfo<SiteCase>& param_info) {
+      return param_info.param.name;
+    });
 
 TEST(Synthetic, SdscHasPaperLikeQueueCount) {
   const Workload w = generate_synthetic(sdsc95_config(0.25));
@@ -136,7 +139,7 @@ TEST(Synthetic, RepeatedAppRunsShareCategoryKeyFields) {
     if (w.job(i).user == w.job(i - 1).user &&
         w.job(i).executable == w.job(i - 1).executable)
       ++adjacent_same;
-  EXPECT_GT(static_cast<double>(adjacent_same) / w.size(), 0.2);
+  EXPECT_GT(static_cast<double>(adjacent_same) / static_cast<double>(w.size()), 0.2);
 }
 
 TEST(RoundUpToLimitGrid, GridValues) {

@@ -1,0 +1,77 @@
+// rtlint CLI.  Usage:
+//   rtlint [--allowlist FILE] [--list-rules] PATH...
+//
+// Lints every .hpp/.cpp under each PATH (file or directory) and prints one
+// "file:line: [rule] message" per finding.  Exit status: 0 clean, 1
+// findings, 2 usage/IO error.  With no --allowlist, `tools/rtlint.allow`
+// relative to the current directory is used when present, so
+// `build/tools/rtlint src` from the repo root picks up the repo allowlist.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rtlint/rtlint.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: rtlint [--allowlist FILE] [--list-rules] PATH...\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  std::string allowlist_path;
+  bool list_rules = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--allowlist") {
+      if (i + 1 >= argc) return usage();
+      allowlist_path = argv[++i];
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (list_rules) {
+    for (const std::string& rule : rtlint::rule_names()) std::cout << rule << "\n";
+    return 0;
+  }
+  if (roots.empty()) return usage();
+
+  if (allowlist_path.empty() && std::filesystem::exists("tools/rtlint.allow"))
+    allowlist_path = "tools/rtlint.allow";
+
+  rtlint::LintOptions options;
+  try {
+    if (!allowlist_path.empty()) {
+      std::ifstream in(allowlist_path);
+      if (!in) {
+        std::cerr << "rtlint: cannot read allowlist " << allowlist_path << "\n";
+        return 2;
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      options.allowlist = rtlint::parse_allowlist(text.str());
+    }
+    const std::vector<rtlint::Diagnostic> diagnostics = rtlint::lint_tree(roots, options);
+    for (const rtlint::Diagnostic& d : diagnostics)
+      std::cout << rtlint::format_diagnostic(d) << "\n";
+    if (!diagnostics.empty()) {
+      std::cerr << "rtlint: " << diagnostics.size() << " finding(s)\n";
+      return 1;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "rtlint: " << e.what() << "\n";
+    return 2;
+  }
+  return 0;
+}
