@@ -56,6 +56,65 @@ run_config() {
   fi
   grep -q '^OK bye$' "$tmp/anl.replies" || { echo "rtpd smoke: no OK bye" >&2; exit 1; }
   grep -q 'hit_rate=' "$tmp/anl.replies" || { echo "rtpd smoke: no STATS line" >&2; exit 1; }
+
+  # Crash-recovery smoke: run the same stream with an ESTIMATE after every
+  # SUBMIT, kill -9 the journaling server mid-stream, restart with --recover
+  # and feed the rest.  The recovered run's replies (every event ack, every
+  # estimate, the STATE line) and the deterministic STATS keys must be
+  # identical to an uncrashed reference run.
+  echo "=== rtpd crash-recovery smoke ($dir) ==="
+  awk 'NF && $1 !~ /^#/ { print; if ($1 == "SUBMIT") print "ESTIMATE", $3 }' \
+    "$tmp/anl.events" > "$tmp/flow"
+  local total cut
+  total=$(wc -l < "$tmp/flow")
+  cut=$((total / 2))
+  { cat "$tmp/flow"; printf 'STATE\nSTATS\nQUIT\n'; } |
+    "$dir/tools/rtpd" --trace "$tmp/anl.trace" --mode stdin > "$tmp/ref.replies"
+
+  mkfifo "$tmp/feed"
+  "$dir/tools/rtpd" --trace "$tmp/anl.trace" --mode stdin \
+    --journal "$tmp/wal.rtpj" --fsync always --snapshot-every 40 \
+    < "$tmp/feed" > "$tmp/crash.replies" &
+  local victim=$!
+  exec 9> "$tmp/feed"
+  head -n "$cut" "$tmp/flow" >&9
+  # Every fed line is answered (and journaled) before the kill: wait for the
+  # greeting plus one reply per line, then murder the server mid-session.
+  for _ in $(seq 1 300); do
+    [ "$(wc -l < "$tmp/crash.replies")" -ge $((cut + 1)) ] && break
+    sleep 0.1
+  done
+  kill -9 "$victim" 2>/dev/null || true
+  wait "$victim" 2>/dev/null || true
+  exec 9>&-
+  [ "$(wc -l < "$tmp/crash.replies")" -eq $((cut + 1)) ] ||
+    { echo "rtpd crash smoke: expected $((cut + 1)) pre-crash replies" >&2; exit 1; }
+
+  { tail -n +$((cut + 1)) "$tmp/flow"; printf 'STATE\nSTATS\nQUIT\n'; } |
+    "$dir/tools/rtpd" --trace "$tmp/anl.trace" --mode stdin \
+      --recover "$tmp/wal.rtpj" --fsync always --snapshot-every 40 \
+      > "$tmp/rec.replies" 2> "$tmp/rec.log"
+  grep -q '^rtpd recovered ' "$tmp/rec.log" ||
+    { echo "rtpd crash smoke: no recovery banner" >&2; cat "$tmp/rec.log" >&2; exit 1; }
+  if grep -q '^ERR' "$tmp/crash.replies" "$tmp/rec.replies"; then
+    echo "rtpd crash smoke: unexpected ERR response" >&2
+    grep '^ERR' "$tmp/crash.replies" "$tmp/rec.replies" >&2
+    exit 1
+  fi
+  # Post-crash replies (tail events, estimates, STATE) must match the
+  # uncrashed run byte for byte; STATS is compared on its deterministic keys
+  # (requests/qps/journal counters legitimately differ across the restart).
+  tail -n +$((cut + 2)) "$tmp/ref.replies" | head -n $((total - cut + 1)) > "$tmp/ref.tail"
+  tail -n +2 "$tmp/rec.replies" | head -n $((total - cut + 1)) > "$tmp/rec.tail"
+  diff "$tmp/ref.tail" "$tmp/rec.tail" ||
+    { echo "rtpd crash smoke: recovered replies diverge" >&2; exit 1; }
+  local key ref_val rec_val
+  for key in ' events=' ' completed=' ' mean_wait_s=' ' mean_abs_err_s='; do
+    ref_val=$(grep '^OK requests=' "$tmp/ref.replies" | grep -o "$key[^ ]*")
+    rec_val=$(grep '^OK requests=' "$tmp/rec.replies" | grep -o "$key[^ ]*")
+    [ -n "$ref_val" ] && [ "$ref_val" = "$rec_val" ] ||
+      { echo "rtpd crash smoke: STATS mismatch:$ref_val vs$rec_val" >&2; exit 1; }
+  done
   rm -rf "$tmp"
 }
 

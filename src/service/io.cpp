@@ -1,0 +1,120 @@
+#include "service/io.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace rtp::io {
+namespace {
+
+IoResult failure(std::size_t bytes) {
+  IoResult r;
+  r.status = IoStatus::Failed;
+  r.error = errno;
+  r.bytes = bytes;
+  return r;
+}
+
+IoResult disconnect(std::size_t bytes) {
+  IoResult r;
+  r.status = IoStatus::Disconnected;
+  r.bytes = bytes;
+  return r;
+}
+
+}  // namespace
+
+std::string describe(const IoResult& result) {
+  switch (result.status) {
+    case IoStatus::Ok: return "ok";
+    case IoStatus::Disconnected: return "peer disconnected";
+    case IoStatus::Failed: return std::strerror(result.error);
+  }
+  return "unknown";
+}
+
+IoResult write_all(int fd, const char* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    // rtlint: allow(raw-io) this IS the checked wrapper around ::write
+    const ssize_t w = ::write(fd, data + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE) return disconnect(off);
+      return failure(off);
+    }
+    if (w == 0) {
+      // No progress and no error: treat as a failed (short) write so the
+      // caller reports it instead of spinning.
+      errno = ENOSPC;
+      return failure(off);
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  IoResult r;
+  r.bytes = off;
+  return r;
+}
+
+IoResult read_some(int fd, char* buffer, std::size_t n) {
+  for (;;) {
+    // rtlint: allow(raw-io) this IS the checked wrapper around ::read
+    const ssize_t r = ::read(fd, buffer, n);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return failure(0);
+    }
+    if (r == 0) return disconnect(0);
+    IoResult out;
+    out.bytes = static_cast<std::size_t>(r);
+    return out;
+  }
+}
+
+IoResult send_all(int fd, const char* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    // rtlint: allow(raw-io) this IS the checked wrapper around ::send
+    const ssize_t s = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (s < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) return disconnect(off);
+      return failure(off);
+    }
+    if (s == 0) {
+      errno = EPIPE;
+      return disconnect(off);
+    }
+    off += static_cast<std::size_t>(s);
+  }
+  IoResult r;
+  r.bytes = off;
+  return r;
+}
+
+IoResult recv_some(int fd, char* buffer, std::size_t n) {
+  for (;;) {
+    // rtlint: allow(raw-io) this IS the checked wrapper around ::recv
+    const ssize_t r = ::recv(fd, buffer, n, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == ECONNRESET) return disconnect(0);
+      return failure(0);
+    }
+    if (r == 0) return disconnect(0);
+    IoResult out;
+    out.bytes = static_cast<std::size_t>(r);
+    return out;
+  }
+}
+
+IoResult fsync_fd(int fd) {
+  for (;;) {
+    if (::fsync(fd) == 0) return {};
+    if (errno != EINTR) return failure(0);
+  }
+}
+
+}  // namespace rtp::io

@@ -1,0 +1,58 @@
+// Checked POSIX I/O wrappers for the service layer.
+//
+// Every raw ::read/::write/::send/::recv in the daemon goes through these
+// helpers (the rtlint `raw-io` rule enforces it): they retry EINTR, loop
+// partial writes to completion, and classify errno into the three outcomes
+// a server actually cares about — success, a client that went away
+// (EPIPE / ECONNRESET / orderly EOF, which is routine and must not be
+// logged as a server error), and a real failure (ENOSPC, EIO, a send
+// timeout on a slow client) whose errno is preserved for the caller's
+// structured error message.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace rtp::io {
+
+enum class IoStatus {
+  Ok,            ///< full transfer completed
+  Disconnected,  ///< peer closed the connection (EOF, EPIPE, ECONNRESET)
+  Failed,        ///< real error; `error` holds errno
+};
+
+struct IoResult {
+  IoStatus status = IoStatus::Ok;
+  int error = 0;          ///< errno when status == Failed
+  std::size_t bytes = 0;  ///< bytes actually transferred
+
+  bool ok() const { return status == IoStatus::Ok; }
+  bool disconnected() const { return status == IoStatus::Disconnected; }
+  bool failed() const { return status == IoStatus::Failed; }
+};
+
+/// strerror(result.error) with the errno name-ish prefix, for messages.
+std::string describe(const IoResult& result);
+
+/// Write all `n` bytes to a file descriptor (regular file or pipe),
+/// retrying EINTR and short writes.  A zero-progress write is reported as
+/// Failed (ENOSPC behaves this way on some filesystems).
+IoResult write_all(int fd, const char* data, std::size_t n);
+
+/// Read up to `n` bytes; retries EINTR.  bytes == 0 with Disconnected
+/// means end-of-file.
+IoResult read_some(int fd, char* buffer, std::size_t n);
+
+/// Socket send of all `n` bytes with MSG_NOSIGNAL, retrying EINTR and
+/// partial sends.  EPIPE/ECONNRESET map to Disconnected; EAGAIN (an
+/// SO_SNDTIMEO write timeout on a slow client) maps to Failed.
+IoResult send_all(int fd, const char* data, std::size_t n);
+
+/// Socket receive of up to `n` bytes; retries EINTR.  Orderly shutdown and
+/// ECONNRESET map to Disconnected.
+IoResult recv_some(int fd, char* buffer, std::size_t n);
+
+/// fsync(fd), retrying EINTR.  Returns Ok or Failed.
+IoResult fsync_fd(int fd);
+
+}  // namespace rtp::io

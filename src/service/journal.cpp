@@ -1,0 +1,356 @@
+#include "service/journal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "core/error.hpp"
+#include "core/strings.hpp"
+#include "service/io.hpp"
+#include "service/protocol.hpp"
+#include "service/session.hpp"
+
+namespace rtp {
+namespace {
+
+/// Frame header: u32 payload length + u32 CRC-32 of the payload, both
+/// little-endian so journals are byte-portable across hosts.
+constexpr std::size_t kFrameHeaderBytes = 8;
+/// Sanity cap on a single record; anything larger is treated as a torn
+/// frame rather than an attempt to allocate gigabytes from garbage bytes.
+constexpr std::size_t kMaxRecordBytes = std::size_t{1} << 28;
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit)
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+void put_u32_le(std::string& out, std::uint32_t value) {
+  out.push_back(static_cast<char>(value & 0xFFu));
+  out.push_back(static_cast<char>((value >> 8) & 0xFFu));
+  out.push_back(static_cast<char>((value >> 16) & 0xFFu));
+  out.push_back(static_cast<char>((value >> 24) & 0xFFu));
+}
+
+std::uint32_t get_u32_le(const char* p) {
+  const auto b = [&](int i) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]));
+  };
+  return b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
+}
+
+[[noreturn]] void io_fail(const std::string& what, const std::string& path, int error) {
+  fail("journal " + what + " failed for '" + path + "': " + std::strerror(error));
+}
+
+bool valid_record_type(char c) {
+  return c == static_cast<char>(RecordType::Event) ||
+         c == static_cast<char>(RecordType::Prediction) ||
+         c == static_cast<char>(RecordType::Snapshot);
+}
+
+std::string truncation_warning(std::size_t offset, std::size_t total,
+                               const std::string& reason) {
+  return "journal truncated at byte " + std::to_string(offset) + " of " +
+         std::to_string(total) + ": " + reason;
+}
+
+/// Apply one recovered event line to the session (the WAL only ever holds
+/// accepted events, so a rejection here means the crash tore an
+/// append/rewind pair — the caller skips and counts it).
+void apply_event(OnlineSession& session, const Request& request) {
+  switch (request.kind) {
+    case RequestKind::Submit: session.submit(request.job, request.time); return;
+    case RequestKind::Start: session.start(request.id, request.time); return;
+    case RequestKind::Finish: session.finish(request.id, request.time); return;
+    case RequestKind::Cancel: session.cancel(request.id, request.time); return;
+    case RequestKind::Fail: session.fail(request.id, request.time); return;
+    case RequestKind::NodeDown: session.node_down(request.nodes, request.time); return;
+    case RequestKind::NodeUp: session.node_up(request.nodes, request.time); return;
+    default: fail("journal event record is not a mutating event");
+  }
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char ch : data) {
+    const auto byte = static_cast<unsigned char>(ch);
+    crc = table[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+FsyncPolicy fsync_policy_from_string(std::string_view text) {
+  if (text == "always") return FsyncPolicy::Always;
+  if (text == "interval") return FsyncPolicy::Interval;
+  if (text == "never") return FsyncPolicy::Never;
+  fail("unknown fsync policy '" + std::string(text) + "' (always|interval|never)");
+}
+
+std::string to_string(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::Always: return "always";
+    case FsyncPolicy::Interval: return "interval";
+    case FsyncPolicy::Never: return "never";
+  }
+  fail("unreachable fsync policy");
+}
+
+void append_frame(std::string& out, RecordType type, std::string_view payload) {
+  RTP_CHECK(payload.size() + 1 <= kMaxRecordBytes, "journal record too large");
+  std::string body;
+  body.reserve(payload.size() + 1);
+  body.push_back(static_cast<char>(type));
+  body.append(payload);
+  put_u32_le(out, static_cast<std::uint32_t>(body.size()));
+  put_u32_le(out, crc32(body));
+  out.append(body);
+}
+
+JournalScan scan_journal_bytes(std::string_view bytes) {
+  JournalScan scan;
+  if (bytes.empty()) return scan;  // a valid, empty journal
+  if (bytes.size() < kJournalMagic.size()) {
+    // A torn write of the header itself: recover as empty, drop the bytes.
+    RTP_CHECK(kJournalMagic.substr(0, bytes.size()) == bytes,
+              "not a journal: bad magic header");
+    scan.truncated = true;
+    scan.warning = truncation_warning(0, bytes.size(), "torn magic header");
+    return scan;
+  }
+  RTP_CHECK(bytes.substr(0, kJournalMagic.size()) == kJournalMagic,
+            "not a journal: bad magic header");
+
+  std::size_t offset = kJournalMagic.size();
+  scan.valid_bytes = offset;
+  while (offset < bytes.size()) {
+    if (bytes.size() - offset < kFrameHeaderBytes) {
+      scan.truncated = true;
+      scan.warning = truncation_warning(offset, bytes.size(), "torn frame header");
+      break;
+    }
+    const std::uint32_t length = get_u32_le(bytes.data() + offset);
+    const std::uint32_t stored_crc = get_u32_le(bytes.data() + offset + 4);
+    if (length == 0 || length > kMaxRecordBytes) {
+      scan.truncated = true;
+      scan.warning = truncation_warning(offset, bytes.size(),
+                                        "implausible record length " + std::to_string(length));
+      break;
+    }
+    if (bytes.size() - offset - kFrameHeaderBytes < length) {
+      scan.truncated = true;
+      scan.warning = truncation_warning(offset, bytes.size(), "torn record body");
+      break;
+    }
+    const std::string_view body = bytes.substr(offset + kFrameHeaderBytes, length);
+    if (crc32(body) != stored_crc) {
+      scan.truncated = true;
+      scan.warning = truncation_warning(offset, bytes.size(), "CRC mismatch");
+      break;
+    }
+    if (!valid_record_type(body.front())) {
+      scan.truncated = true;
+      scan.warning = truncation_warning(offset, bytes.size(),
+                                        "unknown record type byte " +
+                                            std::to_string(static_cast<int>(
+                                                static_cast<unsigned char>(body.front()))));
+      break;
+    }
+    JournalRecord record;
+    record.type = static_cast<RecordType>(body.front());
+    record.payload = std::string(body.substr(1));
+    offset += kFrameHeaderBytes + length;
+    record.end_offset = offset;
+    scan.records.push_back(std::move(record));
+    scan.valid_bytes = offset;
+  }
+  return scan;
+}
+
+JournalScan scan_journal_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  RTP_CHECK(in.good(), "cannot open journal '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  RTP_CHECK(!in.bad(), "read error on journal '" + path + "'");
+  return scan_journal_bytes(buffer.str());
+}
+
+JournalWriter::JournalWriter(std::string path, JournalOptions options)
+    : path_(std::move(path)), options_(options) {
+  RTP_CHECK(options_.fsync != FsyncPolicy::Interval || options_.fsync_interval > 0,
+            "fsync interval must be positive");
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd_ < 0) io_fail("open", path_, errno);
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) io_fail("fstat", path_, errno);
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ == 0) {
+    const io::IoResult r = io::write_all(fd_, kJournalMagic.data(), kJournalMagic.size());
+    if (!r.ok()) io_fail("header write", path_, r.error);
+    size_ = kJournalMagic.size();
+    sync();
+  } else {
+    char header[16] = {};
+    RTP_CHECK(size_ >= kJournalMagic.size(),
+              "journal '" + path_ + "' is shorter than its header; scan it first");
+    const ssize_t got = ::pread(fd_, header, kJournalMagic.size(), 0);
+    if (got < 0) io_fail("header read", path_, errno);
+    RTP_CHECK(static_cast<std::size_t>(got) == kJournalMagic.size() &&
+                  std::string_view(header, kJournalMagic.size()) == kJournalMagic,
+              "'" + path_ + "' is not a journal: bad magic header");
+    if (::lseek(fd_, 0, SEEK_END) < 0) io_fail("seek", path_, errno);
+  }
+}
+
+JournalWriter::~JournalWriter() {
+  if (fd_ >= 0) {
+    io::fsync_fd(fd_);  // best-effort: nowhere to report from a destructor
+    ::close(fd_);
+  }
+}
+
+std::size_t JournalWriter::append_record(RecordType type, std::string_view payload) {
+  const std::size_t mark = size_;
+  std::string frame;
+  append_frame(frame, type, payload);
+  const io::IoResult r = io::write_all(fd_, frame.data(), frame.size());
+  if (!r.ok()) {
+    // A short append leaves a torn frame; roll it back so the on-disk tail
+    // stays scannable, then surface the original error.
+    const int write_error = r.error;
+    rewind_to(mark);
+    io_fail("append", path_, write_error);
+  }
+  size_ += frame.size();
+  pending_bytes_ = frame.size();
+  if (type == RecordType::Snapshot) ++counters_.snapshots;
+  return mark;
+}
+
+std::size_t JournalWriter::append_event(std::string_view line) {
+  return append_record(RecordType::Event, line);
+}
+
+std::size_t JournalWriter::append_prediction(JobId id, Seconds wait) {
+  return append_record(RecordType::Prediction,
+                       std::to_string(id) + " " + format_double_bits(wait));
+}
+
+std::size_t JournalWriter::append_snapshot(std::string_view snapshot_text) {
+  return append_record(RecordType::Snapshot, snapshot_text);
+}
+
+void JournalWriter::rewind_to(std::size_t offset) {
+  RTP_CHECK(offset >= kJournalMagic.size() && offset <= size_,
+            "journal rewind offset out of range");
+  if (::ftruncate(fd_, static_cast<off_t>(offset)) != 0) io_fail("rewind", path_, errno);
+  if (::lseek(fd_, static_cast<off_t>(offset), SEEK_SET) < 0) io_fail("seek", path_, errno);
+  size_ = offset;
+  pending_bytes_ = 0;
+  ++counters_.rewinds;
+}
+
+void JournalWriter::commit() {
+  ++counters_.records;
+  counters_.bytes += pending_bytes_;
+  pending_bytes_ = 0;
+  switch (options_.fsync) {
+    case FsyncPolicy::Always:
+      sync();
+      break;
+    case FsyncPolicy::Interval:
+      if (++unsynced_ >= options_.fsync_interval) sync();
+      break;
+    case FsyncPolicy::Never:
+      break;
+  }
+}
+
+void JournalWriter::sync() {
+  const io::IoResult r = io::fsync_fd(fd_);
+  if (!r.ok()) io_fail("fsync", path_, r.error);
+  ++counters_.syncs;
+  unsynced_ = 0;
+}
+
+RecoveryReport recover_session(const std::string& path, OnlineSession& session,
+                               bool truncate_file) {
+  const JournalScan scan = scan_journal_file(path);
+  RecoveryReport report;
+  report.truncated = scan.truncated;
+  report.valid_bytes = scan.valid_bytes;
+  report.warning = scan.warning;
+
+  // Restore from the last snapshot (if any), then replay only the tail.
+  std::size_t first_tail = 0;
+  for (std::size_t i = scan.records.size(); i > 0; --i) {
+    if (scan.records[i - 1].type == RecordType::Snapshot) {
+      first_tail = i;
+      break;
+    }
+  }
+  if (first_tail > 0) {
+    std::istringstream snapshot(scan.records[first_tail - 1].payload);
+    session.restore(snapshot);
+    report.used_snapshot = true;
+  }
+
+  for (std::size_t i = first_tail; i < scan.records.size(); ++i) {
+    const JournalRecord& record = scan.records[i];
+    try {
+      if (record.type == RecordType::Event) {
+        apply_event(session, parse_request(record.payload));
+        ++report.events;
+      } else if (record.type == RecordType::Prediction) {
+        const auto tokens = split_whitespace(record.payload);
+        RTP_CHECK(tokens.size() == 2, "malformed prediction record");
+        const long long id = parse_int(tokens[0], "prediction record id");
+        RTP_CHECK(id >= 0 && id < static_cast<long long>(kInvalidJob),
+                  "prediction record id out of range");
+        session.restore_prediction(static_cast<JobId>(id), parse_double_bits(tokens[1]));
+        ++report.predictions;
+      }
+      // A snapshot in the tail is impossible (first_tail points past the
+      // last one); nothing else reaches here.
+    } catch (const Error& e) {
+      // Possible only when the crash tore an append/rewind pair at the very
+      // tail: skip, count, and report — never die on recovery.
+      ++report.rejected_events;
+      if (!report.warning.empty()) report.warning += "; ";
+      report.warning += "replayed record " + std::to_string(i) + " rejected: " + e.what();
+    } catch (const ProtocolError& e) {
+      // A CRC-valid record that fails to parse should be impossible; skip
+      // it anyway — recovery must never crash on journal content.
+      ++report.rejected_events;
+      if (!report.warning.empty()) report.warning += "; ";
+      report.warning += "replayed record " + std::to_string(i) + " unparseable: " + e.what();
+    }
+  }
+  report.records = scan.records.size();
+
+  if (truncate_file && scan.truncated) {
+    if (::truncate(path.c_str(), static_cast<off_t>(scan.valid_bytes)) != 0)
+      io_fail("truncate", path, errno);
+  }
+  return report;
+}
+
+}  // namespace rtp

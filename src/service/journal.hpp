@@ -1,0 +1,192 @@
+// Write-ahead event journal: crash durability for the online session.
+//
+// rtpd survives kill -9 by journaling every *accepted* mutating event
+// before acknowledging it, and replaying the journal on restart.  The file
+// is a magic header followed by framed records:
+//
+//   "RTPJRNL1\n"
+//   [u32 length (LE)] [u32 crc32 (LE, over payload)] [payload bytes] ...
+//
+// Payload byte 0 is the record type:
+//
+//   'E'  an accepted protocol event line, exactly as parsed (SUBMIT /
+//        START / FINISH / CANCEL / FAIL / NODEDOWN / NODEUP)
+//   'P'  a registered submit-time prediction: "<id> <16-hex double bits>"
+//        (the first ESTIMATE/INTERVAL for a job mutates session state —
+//        it arms the wait-error scoring — so it must be durable too; the
+//        exact bit pattern is stored so recovery never re-runs the shadow
+//        simulation)
+//   'S'  a full session snapshot (OnlineSession::serialize text); recovery
+//        restores the *last* snapshot and replays only the tail after it
+//
+// Write-ahead discipline: the server appends the record, *then* applies the
+// event to the session; if the session rejects it, the journal is rewound
+// (ftruncate) to the pre-append mark, so a scanned journal replays cleanly.
+// fsync policy trades durability for throughput: `always` syncs on every
+// commit, `interval` every N records (default 64), `never` leaves flushing
+// to the kernel.
+//
+// Torn tails are expected after a crash: scanning stops at the first record
+// whose frame is short or whose CRC mismatches, reports the valid prefix
+// length, and recovery truncates the file there — a torn write can lose the
+// *unacknowledged* suffix, never acknowledged history, and never produces a
+// crash or a silently wrong state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/time.hpp"
+#include "workload/job.hpp"
+
+namespace rtp {
+
+class OnlineSession;
+
+/// How often the journal writer fsyncs committed records.
+enum class FsyncPolicy {
+  Always,    ///< fsync on every commit (max durability)
+  Interval,  ///< fsync every `fsync_interval` committed records
+  Never,     ///< never fsync explicitly; the kernel flushes eventually
+};
+
+/// Parse "always" / "interval" / "never"; throws rtp::Error otherwise.
+FsyncPolicy fsync_policy_from_string(std::string_view text);
+std::string to_string(FsyncPolicy policy);
+
+struct JournalOptions {
+  FsyncPolicy fsync = FsyncPolicy::Interval;
+  /// Commits between fsyncs under FsyncPolicy::Interval.
+  std::size_t fsync_interval = 64;
+};
+
+enum class RecordType : char {
+  Event = 'E',
+  Prediction = 'P',
+  Snapshot = 'S',
+};
+
+/// One decoded record (CRC already verified).
+struct JournalRecord {
+  RecordType type = RecordType::Event;
+  std::string payload;       ///< record body, type byte stripped
+  std::size_t end_offset = 0;  ///< file offset one past this record's frame
+};
+
+/// Result of scanning a journal: the valid record prefix plus truncation
+/// diagnostics.  `truncated` is true when bytes past `valid_bytes` were
+/// unreadable (torn frame, CRC mismatch, unknown type); `warning` then
+/// carries a structured description.
+struct JournalScan {
+  std::vector<JournalRecord> records;
+  std::size_t valid_bytes = 0;  ///< header + every intact record
+  bool truncated = false;
+  std::string warning;
+};
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, init/xorout 0xFFFFFFFF).
+/// crc32("123456789") == 0xCBF43926.
+std::uint32_t crc32(std::string_view data);
+
+/// Append one framed record (length + crc + type byte + payload) to `out`.
+void append_frame(std::string& out, RecordType type, std::string_view payload);
+
+/// Journal file magic, including its terminating newline.
+inline constexpr std::string_view kJournalMagic = "RTPJRNL1\n";
+
+/// Decode an in-memory journal image.  An empty image is a valid empty
+/// journal; a partial magic prefix scans as empty-but-truncated; anything
+/// else that does not begin with the magic throws rtp::Error (the file is
+/// not a journal — refusing beats silently truncating it to nothing).
+JournalScan scan_journal_bytes(std::string_view bytes);
+
+/// Read and decode a journal file; throws rtp::Error when unreadable.
+JournalScan scan_journal_file(const std::string& path);
+
+/// Appends framed records to a journal file with write-ahead semantics.
+/// Not thread-safe; the server serializes access like the session.
+class JournalWriter {
+ public:
+  struct Counters {
+    std::uint64_t records = 0;    ///< committed records
+    std::uint64_t bytes = 0;      ///< committed payload+frame bytes
+    std::uint64_t syncs = 0;      ///< fsync calls issued
+    std::uint64_t snapshots = 0;  ///< snapshot records written
+    std::uint64_t rewinds = 0;    ///< rejected events rolled back
+  };
+
+  /// Open `path` for appending, writing the magic header when the file is
+  /// new or empty.  The caller is expected to have scanned and truncated
+  /// the file first (recover_session does); the writer itself only checks
+  /// the header.  Throws rtp::Error on I/O failure.
+  JournalWriter(std::string path, JournalOptions options = {});
+  ~JournalWriter();
+
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Append an event record and return the pre-append offset (the rewind
+  /// mark).  The record is NOT yet committed: call commit() after the
+  /// session accepts the event, or rewind_to(mark) when it rejects it.
+  std::size_t append_event(std::string_view line);
+
+  /// Append a prediction record ("<id> <double bits>") and return the
+  /// rewind mark.
+  std::size_t append_prediction(JobId id, Seconds wait);
+
+  /// Append a snapshot record and return the rewind mark.
+  std::size_t append_snapshot(std::string_view snapshot_text);
+
+  /// Roll the file back to `offset` (ftruncate) after the session rejected
+  /// the just-appended record.
+  void rewind_to(std::size_t offset);
+
+  /// Count the just-appended record as committed and fsync per policy.
+  void commit();
+
+  /// Unconditional flush to stable storage (drain / shutdown path).
+  void sync();
+
+  std::size_t size() const { return size_; }
+  const Counters& counters() const { return counters_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::size_t append_record(RecordType type, std::string_view payload);
+
+  std::string path_;
+  JournalOptions options_;
+  int fd_ = -1;
+  std::size_t size_ = 0;          ///< current file size (append offset)
+  std::size_t pending_bytes_ = 0; ///< last append, not yet committed
+  std::size_t unsynced_ = 0;      ///< commits since the last fsync
+  Counters counters_;
+};
+
+/// What recovery did, for the startup banner and the tests.
+struct RecoveryReport {
+  std::size_t records = 0;      ///< journal records consumed
+  std::size_t events = 0;       ///< event records replayed
+  std::size_t predictions = 0;  ///< prediction records restored
+  bool used_snapshot = false;   ///< state came from a snapshot record
+  bool truncated = false;       ///< a torn/corrupt tail was dropped
+  std::size_t valid_bytes = 0;  ///< journal size after truncation
+  /// Tail events the restored session rejected (possible only when the
+  /// crash interleaved an append with its rewind); they are skipped and
+  /// counted, never fatal.
+  std::size_t rejected_events = 0;
+  std::string warning;          ///< structured description when truncated
+};
+
+/// Rebuild `session` (which must be fresh) from the journal at `path`:
+/// restore the last snapshot record, then replay the event / prediction
+/// tail after it.  When `truncate_file` is set (the default), a torn tail
+/// is also physically truncated so a writer can append cleanly.  Throws
+/// rtp::Error when the file is not a journal or the snapshot does not match
+/// the session's configuration.
+RecoveryReport recover_session(const std::string& path, OnlineSession& session,
+                               bool truncate_file = true);
+
+}  // namespace rtp

@@ -1,6 +1,8 @@
 #include "service/protocol.hpp"
 
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 
 #include "core/error.hpp"
 #include "core/strings.hpp"
@@ -241,8 +243,37 @@ std::string to_string(ProtocolErrorCode code) {
     case ProtocolErrorCode::Parse: return "parse";
     case ProtocolErrorCode::State: return "state";
     case ProtocolErrorCode::Proto: return "proto";
+    case ProtocolErrorCode::Busy: return "busy";
   }
   fail("unreachable protocol error code");
+}
+
+std::string format_double_bits(double value) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value), "double must be 64-bit");
+  std::memcpy(&bits, &value, sizeof(bits));
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(bits));
+  return std::string(buf);
+}
+
+double parse_double_bits(std::string_view text) {
+  if (text.size() != 16) parse_fail("double bits must be 16 hex digits");
+  std::uint64_t bits = 0;
+  for (const char c : text) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      parse_fail("malformed double bits '" + std::string(text) + "'");
+    }
+    bits = (bits << 4) | static_cast<std::uint64_t>(digit);
+  }
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
 }
 
 std::string format_ok(const std::string& detail) {

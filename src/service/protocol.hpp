@@ -70,7 +70,10 @@ struct Request {
 };
 
 /// Error category carried by ProtocolError; rendered into the ERR line.
-enum class ProtocolErrorCode { Parse, State, Proto };
+/// `Busy` is the overload-shedding code: the server refused to queue the
+/// request (bounded pending queue, deadline exceeded, connection limit) —
+/// the client should back off and retry.
+enum class ProtocolErrorCode { Parse, State, Proto, Busy };
 
 /// Thrown by parse_request on malformed input; the server also raises it
 /// for version mismatches.  Session-level rtp::Error maps to code=state.
@@ -107,5 +110,14 @@ std::string to_string(ProtocolErrorCode code);
 /// dumper: fixed notation, up to 6 fractional digits, trailing zeros
 /// trimmed ("12", "0.5", "3.25").
 std::string format_number(double value);
+
+/// Exact (bit-faithful) double encoding for the durability layer: the IEEE
+/// bit pattern as 16 lower-case hex digits.  parse_double_bits round-trips
+/// every value, including ones format_number would round.
+std::string format_double_bits(double value);
+
+/// Inverse of format_double_bits; throws ProtocolError(Parse) on malformed
+/// input.
+double parse_double_bits(std::string_view text);
 
 }  // namespace rtp

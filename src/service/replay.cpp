@@ -130,6 +130,12 @@ ReplayReport replay_through_session(OnlineSession& session,
 void write_event_log(std::ostream& out, const std::vector<Request>& events) {
   out << "# rtp-session-log v1 (pipe into: rtpd --mode stdin)\n";
   for (const Request& ev : events) out << format_request(ev) << "\n";
+  out.flush();
+  // A truncated event log replays as a silently shorter session; surface
+  // short writes (closed pipe, ENOSPC) as a structured error instead.
+  RTP_CHECK(out.good(),
+            "event log write failed after " + std::to_string(events.size()) +
+                " events (short write or no space on device)");
 }
 
 }  // namespace rtp

@@ -7,13 +7,32 @@
 
 #include <cerrno>
 #include <cstring>
+#include <thread>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
 #include "core/error.hpp"
 #include "core/log.hpp"
+#include "service/io.hpp"
+#include "service/journal.hpp"
 
 namespace rtp {
+namespace {
+
+/// Decrements the pending-request gate on every exit path.
+class PendingGuard {
+ public:
+  explicit PendingGuard(std::atomic<std::size_t>& pending) : pending_(pending) {}
+  ~PendingGuard() { pending_.fetch_sub(1, std::memory_order_relaxed); }
+  PendingGuard(const PendingGuard&) = delete;
+  PendingGuard& operator=(const PendingGuard&) = delete;
+
+ private:
+  std::atomic<std::size_t>& pending_;
+};
+
+}  // namespace
 
 ServiceServer::ServiceServer(OnlineSession& session, ServerOptions options)
     : session_(session),
@@ -31,7 +50,74 @@ std::string ServiceServer::greeting() const {
          std::to_string(state.machine_nodes()) + " session=" + session_.options().name;
 }
 
-std::string ServiceServer::render(const Request& request, bool* quit) {
+template <typename Fn>
+void ServiceServer::journaled_event(std::string_view line, Fn&& apply) {
+  JournalWriter* journal = options_.journal;
+  if (journal == nullptr) {
+    apply();
+    return;
+  }
+  // Write-ahead: append first, apply second.  A rejected event rewinds the
+  // journal so it only ever holds accepted history; an accepted event is
+  // committed (fsync per policy) before the caller renders its OK.
+  const std::size_t mark = journal->append_event(line);
+  try {
+    apply();
+  } catch (...) {
+    journal->rewind_to(mark);
+    throw;
+  }
+  journal->commit();
+  ++records_since_snapshot_;
+  maybe_snapshot();
+}
+
+void ServiceServer::journal_prediction(JobId id, std::size_t registered_before) {
+  JournalWriter* journal = options_.journal;
+  if (journal == nullptr || session_.recorded_predictions() <= registered_before) return;
+  const Seconds wait = session_.recorded_prediction(id);
+  if (wait == kNoTime) return;  // the new registration was for another job
+  journal->append_prediction(id, wait);
+  journal->commit();
+  ++records_since_snapshot_;
+  maybe_snapshot();
+}
+
+void ServiceServer::maybe_snapshot() {
+  JournalWriter* journal = options_.journal;
+  if (journal == nullptr || options_.snapshot_every == 0) return;
+  if (records_since_snapshot_ < options_.snapshot_every) return;
+  try {
+    std::ostringstream snapshot;
+    session_.serialize(snapshot);
+    journal->append_snapshot(snapshot.str());
+    journal->commit();
+    records_since_snapshot_ = 0;
+  } catch (const Error& e) {
+    // The event tail is still intact, so recovery works without this
+    // snapshot; warn and try again at the next cadence point.
+    log_warn("rtpd snapshot failed: ", e.what());
+    records_since_snapshot_ = 0;
+  }
+}
+
+void ServiceServer::snapshot_now() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JournalWriter* journal = options_.journal;
+  if (journal == nullptr) return;
+  std::ostringstream snapshot;
+  session_.serialize(snapshot);
+  journal->append_snapshot(snapshot.str());
+  journal->commit();
+  journal->sync();
+  records_since_snapshot_ = 0;
+}
+
+std::string ServiceServer::render(const Request& request, std::string_view line,
+                                  bool* quit) {
+  const auto ok_version = [this] {
+    return format_ok("version=" + std::to_string(session_.state_version()));
+  };
   switch (request.kind) {
     case RequestKind::Hello:
       if (request.version != kProtocolVersion)
@@ -40,38 +126,42 @@ std::string ServiceServer::render(const Request& request, bool* quit) {
                                 std::string(kProtocolVersion));
       return format_ok("proto=" + std::string(kProtocolVersion));
     case RequestKind::Submit:
-      session_.submit(request.job, request.time);
-      return format_ok("version=" + std::to_string(session_.state_version()));
+      journaled_event(line, [&] { session_.submit(request.job, request.time); });
+      return ok_version();
     case RequestKind::Start:
-      session_.start(request.id, request.time);
-      return format_ok("version=" + std::to_string(session_.state_version()));
+      journaled_event(line, [&] { session_.start(request.id, request.time); });
+      return ok_version();
     case RequestKind::Finish:
-      session_.finish(request.id, request.time);
-      return format_ok("version=" + std::to_string(session_.state_version()));
+      journaled_event(line, [&] { session_.finish(request.id, request.time); });
+      return ok_version();
     case RequestKind::Cancel:
-      session_.cancel(request.id, request.time);
-      return format_ok("version=" + std::to_string(session_.state_version()));
+      journaled_event(line, [&] { session_.cancel(request.id, request.time); });
+      return ok_version();
     case RequestKind::Fail:
-      session_.fail(request.id, request.time);
-      return format_ok("version=" + std::to_string(session_.state_version()));
+      journaled_event(line, [&] { session_.fail(request.id, request.time); });
+      return ok_version();
     case RequestKind::NodeDown:
-      session_.node_down(request.nodes, request.time);
-      return format_ok("version=" + std::to_string(session_.state_version()));
+      journaled_event(line, [&] { session_.node_down(request.nodes, request.time); });
+      return ok_version();
     case RequestKind::NodeUp:
-      session_.node_up(request.nodes, request.time);
-      return format_ok("version=" + std::to_string(session_.state_version()));
+      journaled_event(line, [&] { session_.node_up(request.nodes, request.time); });
+      return ok_version();
     case RequestKind::Estimate: {
       const std::uint64_t hits_before = session_.counters().cache_hits;
+      const std::size_t registered_before = session_.recorded_predictions();
       const Seconds wait = session_.estimate_wait(request.id);
       const bool cached = session_.counters().cache_hits > hits_before;
+      journal_prediction(request.id, registered_before);
       return format_ok("job=" + std::to_string(request.id) +
                        " wait=" + format_number(wait) +
                        " start=" + format_number(session_.now() + wait) +
                        " cached=" + (cached ? "1" : "0"));
     }
     case RequestKind::Interval: {
+      const std::size_t registered_before = session_.recorded_predictions();
       const WaitInterval band = session_.estimate_interval(
           request.id, request.optimistic_scale, request.pessimistic_scale);
+      journal_prediction(request.id, registered_before);
       return format_ok("job=" + std::to_string(request.id) +
                        " wait=" + format_number(band.expected) +
                        " optimistic=" + format_number(band.optimistic) +
@@ -91,12 +181,14 @@ std::string ServiceServer::render(const Request& request, bool* quit) {
       const SessionCounters& c = session_.counters();
       const double uptime =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - started_).count();
+      const std::uint64_t requests = requests_.load(std::memory_order_relaxed);
       const std::uint64_t lookups = c.cache_hits + c.cache_misses;
       const double hit_rate =
           lookups > 0 ? static_cast<double>(c.cache_hits) / static_cast<double>(lookups) : 0.0;
-      const double qps = uptime > 0.0 ? static_cast<double>(requests_) / uptime : 0.0;
+      const double qps = uptime > 0.0 ? static_cast<double>(requests) / uptime : 0.0;
       std::string out =
-          "requests=" + std::to_string(requests_) + " errors=" + std::to_string(errors_) +
+          "requests=" + std::to_string(requests) +
+          " errors=" + std::to_string(errors_.load(std::memory_order_relaxed)) +
           " qps=" + format_number(qps) + " events=" + std::to_string(c.events) +
           " queries=" + std::to_string(c.queries) +
           " cache_hits=" + std::to_string(c.cache_hits) +
@@ -108,7 +200,17 @@ std::string ServiceServer::render(const Request& request, bool* quit) {
           " max_us=" + format_number(estimate_latency_us_.max()) +
           " completed=" + std::to_string(session_.result().completed) +
           " mean_wait_s=" + format_number(session_.wait_stats().mean()) +
-          " mean_abs_err_s=" + format_number(session_.error_stats().mean());
+          " mean_abs_err_s=" + format_number(session_.error_stats().mean()) +
+          " shed=" + std::to_string(shed_.load(std::memory_order_relaxed)) +
+          " shed_connections=" +
+          std::to_string(shed_connections_.load(std::memory_order_relaxed));
+      if (options_.journal != nullptr) {
+        const JournalWriter::Counters& j = options_.journal->counters();
+        out += " journal_records=" + std::to_string(j.records) +
+               " journal_bytes=" + std::to_string(j.bytes) +
+               " journal_syncs=" + std::to_string(j.syncs) +
+               " snapshots=" + std::to_string(j.snapshots);
+      }
       return format_ok(out);
     }
     case RequestKind::Quit:
@@ -118,26 +220,68 @@ std::string ServiceServer::render(const Request& request, bool* quit) {
   fail("unreachable request kind");
 }
 
+std::string ServiceServer::shed_response(std::size_t line_number, const char* reason) {
+  errors_.fetch_add(1, std::memory_order_relaxed);
+  shed_.fetch_add(1, std::memory_order_relaxed);
+  return format_error(line_number, ProtocolErrorCode::Busy, reason);
+}
+
 std::string ServiceServer::handle_line(std::string_view line, std::size_t line_number,
                                        bool* quit) {
   if (!is_request_line(line)) return {};
   const auto t0 = std::chrono::steady_clock::now();
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++requests_;
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  // Bound per-line memory before parsing (and before taking the lock).
+  if (options_.max_line_bytes > 0 && line.size() > options_.max_line_bytes) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return format_error(line_number, ProtocolErrorCode::Parse,
+                        "line too long (" + std::to_string(line.size()) + " > " +
+                            std::to_string(options_.max_line_bytes) + " bytes)");
+  }
+
+  // Admission gate: at most max_pending requests in flight.  fetch_add
+  // returns the prior count, so the gate is race-free without a lock.
+  if (options_.max_pending > 0 &&
+      pending_.fetch_add(1, std::memory_order_relaxed) >= options_.max_pending) {
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+    return shed_response(line_number, "server overloaded (pending limit); retry");
+  }
+  if (options_.max_pending == 0) pending_.fetch_add(1, std::memory_order_relaxed);
+  PendingGuard pending_guard(pending_);
+
+  // The deadline is a polled try_lock, not std::timed_mutex::try_lock_for:
+  // glibc serves the latter through pthread_mutex_clocklock, which
+  // ThreadSanitizer does not intercept, so every successful timed acquire
+  // would be reported as an unlock of an unlocked mutex.
+  std::unique_lock<std::mutex> lock(mutex_, std::defer_lock);
+  if (options_.request_deadline_ms > 0) {
+    const auto deadline =
+        t0 + std::chrono::milliseconds(options_.request_deadline_ms);
+    while (!lock.try_lock()) {
+      if (std::chrono::steady_clock::now() >= deadline)
+        return shed_response(line_number, "request deadline exceeded; retry");
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  } else {
+    lock.lock();
+  }
+
   std::string response;
   bool is_estimate = false;
   try {
     const Request request = parse_request(line);
     is_estimate =
         request.kind == RequestKind::Estimate || request.kind == RequestKind::Interval;
-    response = render(request, quit);
+    response = render(request, line, quit);
   } catch (const ProtocolError& e) {
-    ++errors_;
+    errors_.fetch_add(1, std::memory_order_relaxed);
     response = format_error(line_number, e.code(), e.what());
   } catch (const Error& e) {
     // Session-level rejection: the event/query was invalid for the current
-    // state.  The session guarantees it mutated nothing.
-    ++errors_;
+    // state.  The session guarantees it mutated nothing (and the journal
+    // was rewound).
+    errors_.fetch_add(1, std::memory_order_relaxed);
     response = format_error(line_number, ProtocolErrorCode::State, e.what());
   }
   const auto dt = std::chrono::duration<double, std::micro>(
@@ -148,14 +292,16 @@ std::string ServiceServer::handle_line(std::string_view line, std::size_t line_n
 }
 
 void ServiceServer::serve_stream(std::istream& in, std::ostream& out) {
-  if (options_.greeting) out << greeting() << "\n";
+  if (options_.greeting) out << greeting() << "\n" << std::flush;
   std::string line;
   std::size_t line_number = 0;
   bool quit = false;
   while (!quit && std::getline(in, line)) {
     ++line_number;
     const std::string response = handle_line(line, line_number, &quit);
-    if (!response.empty()) out << response << "\n";
+    // Flush per response: an acknowledged (journaled) event must be visible
+    // to the consumer even if the process dies before the next line.
+    if (!response.empty()) out << response << "\n" << std::flush;
   }
   out.flush();
 }
@@ -200,6 +346,21 @@ void ServiceServer::serve() {
       log_warn("rtpd accept: ", std::strerror(errno));
       break;
     }
+    // Connection admission: beyond the limit, greet with a busy error and
+    // close — the client learns to back off instead of hanging.
+    if (options_.max_connections > 0 &&
+        connections_.fetch_add(1, std::memory_order_relaxed) >= options_.max_connections) {
+      connections_.fetch_sub(1, std::memory_order_relaxed);
+      shed_connections_.fetch_add(1, std::memory_order_relaxed);
+      const std::string busy =
+          format_error(0, ProtocolErrorCode::Busy, "server at connection limit; retry") +
+          "\n";
+      io::send_all(client, busy.data(), busy.size());  // best-effort
+      ::close(client);
+      continue;
+    }
+    if (options_.max_connections == 0)
+      connections_.fetch_add(1, std::memory_order_relaxed);
     pool_.submit([this, client] {
       try {
         handle_connection(client);
@@ -209,6 +370,7 @@ void ServiceServer::serve() {
         log_warn("rtpd connection error: ", e.what());
       }
       ::close(client);
+      connections_.fetch_sub(1, std::memory_order_relaxed);
     });
   }
   pool_.wait_idle();
@@ -225,26 +387,35 @@ void ServiceServer::shutdown() {
 }
 
 void ServiceServer::handle_connection(int fd) {
-  auto send_all = [fd](const std::string& text) {
-    std::size_t off = 0;
-    while (off < text.size()) {
-      const ssize_t n = ::send(fd, text.data() + off, text.size() - off, MSG_NOSIGNAL);
-      if (n <= 0) return false;
-      off += static_cast<std::size_t>(n);
-    }
-    return true;
+  // A client that stops draining responses blocks our send; bound the stall
+  // so one slow reader cannot pin a worker forever.
+  if (options_.write_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = options_.write_timeout_ms / 1000;
+    tv.tv_usec = static_cast<suseconds_t>((options_.write_timeout_ms % 1000) * 1000);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+
+  const auto send_line = [&](const std::string& text) {
+    const std::string framed = text + "\n";
+    const io::IoResult r = io::send_all(fd, framed.data(), framed.size());
+    if (r.failed()) log_warn("rtpd send: ", io::describe(r));
+    return r.ok();  // Disconnected ends the connection quietly
   };
 
-  if (options_.greeting && !send_all(greeting() + "\n")) return;
+  if (options_.greeting && !send_line(greeting())) return;
 
   std::string buffer;
   std::size_t line_number = 0;
   bool quit = false;
   char chunk[4096];
   while (!quit) {
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n <= 0) break;  // disconnect (or shutdown closing the socket)
-    buffer.append(chunk, static_cast<std::size_t>(n));
+    const io::IoResult r = io::recv_some(fd, chunk, sizeof(chunk));
+    if (!r.ok() || r.bytes == 0) {
+      if (r.failed()) log_warn("rtpd recv: ", io::describe(r));
+      break;  // disconnect (or shutdown closing the socket)
+    }
+    buffer.append(chunk, r.bytes);
     std::size_t pos;
     while (!quit && (pos = buffer.find('\n')) != std::string::npos) {
       std::string line = buffer.substr(0, pos);
@@ -252,7 +423,16 @@ void ServiceServer::handle_connection(int fd) {
       if (!line.empty() && line.back() == '\r') line.pop_back();
       ++line_number;
       const std::string response = handle_line(line, line_number, &quit);
-      if (!response.empty() && !send_all(response + "\n")) return;
+      if (!response.empty() && !send_line(response)) return;
+    }
+    // A newline-free flood must not grow the reassembly buffer without
+    // bound: answer with a parse error and drop the connection.
+    if (options_.max_line_bytes > 0 && buffer.size() > options_.max_line_bytes) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      send_line(format_error(line_number + 1, ProtocolErrorCode::Parse,
+                             "line exceeds " + std::to_string(options_.max_line_bytes) +
+                                 " bytes without a newline"));
+      return;
     }
   }
 }
@@ -260,8 +440,10 @@ void ServiceServer::handle_connection(int fd) {
 ServerStats ServiceServer::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   ServerStats out;
-  out.requests = requests_;
-  out.errors = errors_;
+  out.requests = requests_.load(std::memory_order_relaxed);
+  out.errors = errors_.load(std::memory_order_relaxed);
+  out.shed = shed_.load(std::memory_order_relaxed);
+  out.shed_connections = shed_connections_.load(std::memory_order_relaxed);
   out.uptime_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - started_).count();
   out.request_latency_us = request_latency_us_;

@@ -13,6 +13,23 @@
 // simulations.  Every request is timed into log-bucketed histograms
 // (src/stats/histogram.hpp) and the STATS verb reports throughput, cache
 // hit rate, latency quantiles and the session's wait/error aggregates.
+//
+// Durability.  With a JournalWriter attached (ServerOptions::journal) the
+// server is write-ahead: each mutating event line is appended to the
+// journal *before* the session applies it, rewound if the session rejects
+// it, and committed (fsync per policy) before the OK is sent — an
+// acknowledged event survives kill -9.  Registered submit-time predictions
+// are journaled the same way ('P' records), and a full session snapshot is
+// appended every `snapshot_every` committed records so recovery replays
+// snapshot + tail instead of the whole history.
+//
+// Overload protection.  The pending-request gate sheds work with
+// "ERR code=busy" instead of queueing without bound: at most `max_pending`
+// requests may be in flight (waiting on the session mutex) at once, a
+// request that cannot take the mutex within `request_deadline_ms` is shed,
+// oversized lines are rejected before parsing, TCP connections beyond
+// `max_connections` are greeted with a busy error and closed, and slow
+// clients are bounded by an SO_SNDTIMEO write timeout.
 #pragma once
 
 #include <atomic>
@@ -30,17 +47,47 @@
 
 namespace rtp {
 
+class JournalWriter;
+
 struct ServerOptions {
   /// Workers for TCP connections (0 = hardware concurrency).
   std::size_t threads = 2;
   /// Emit the greeting line when a client connects / a stream starts.
   bool greeting = true;
+
+  // --- Durability (service/journal.hpp). --------------------------------
+
+  /// Write-ahead journal; not owned, may be null (no durability).
+  JournalWriter* journal = nullptr;
+  /// Append a session snapshot record every this many committed journal
+  /// records (0 disables periodic snapshots).
+  std::size_t snapshot_every = 256;
+
+  // --- Overload protection. ---------------------------------------------
+
+  /// Requests admitted concurrently (in service + waiting on the session
+  /// mutex); beyond this the server answers "ERR code=busy".  0 = no gate.
+  std::size_t max_pending = 64;
+  /// Simultaneous TCP connections; excess connections receive a busy error
+  /// and are closed before reading anything.  0 = no limit.
+  std::size_t max_connections = 64;
+  /// Shed a request that cannot acquire the session within this deadline
+  /// (milliseconds).  0 = wait indefinitely.
+  std::uint32_t request_deadline_ms = 0;
+  /// SO_SNDTIMEO on client sockets: a client that stops draining its
+  /// responses for this long is disconnected.  0 = kernel default.
+  std::uint32_t write_timeout_ms = 5000;
+  /// Reject request lines longer than this before parsing (bounds per-line
+  /// memory; also caps the TCP reassembly buffer).  0 = no limit.
+  std::size_t max_line_bytes = 64 * 1024;
 };
 
 /// Aggregate serving statistics (snapshot; see ServiceServer::stats()).
 struct ServerStats {
   std::uint64_t requests = 0;   ///< request lines handled (blank/comment excluded)
   std::uint64_t errors = 0;     ///< requests answered with ERR
+  std::uint64_t shed = 0;       ///< requests answered with ERR code=busy
+  std::uint64_t shed_connections = 0;  ///< connections refused at the limit
   double uptime_seconds = 0.0;
   LatencyHistogram request_latency_us;
   LatencyHistogram estimate_latency_us;
@@ -48,7 +95,8 @@ struct ServerStats {
 
 class ServiceServer {
  public:
-  /// `session` is not owned and must outlive the server.
+  /// `session` is not owned and must outlive the server; the same goes for
+  /// `options.journal` when set.
   explicit ServiceServer(OnlineSession& session, ServerOptions options = {});
 
   /// Greeting line sent to every client (no trailing newline).
@@ -60,6 +108,8 @@ class ServiceServer {
   std::string handle_line(std::string_view line, std::size_t line_number, bool* quit);
 
   /// Stream mode: answer requests from `in` on `out` until QUIT or EOF.
+  /// Each response is flushed as it is written, so a consumer (or a crash
+  /// harness) sees every acknowledged request immediately.
   void serve_stream(std::istream& in, std::ostream& out);
 
   /// Bind a listening socket on 127.0.0.1:`port` (0 picks an ephemeral
@@ -72,20 +122,39 @@ class ServiceServer {
   /// Stop the accept loop, close the listener, finish in-flight clients.
   void shutdown();
 
+  /// Append a snapshot record to the attached journal now and fsync it
+  /// (startup baseline, drain path).  No-op without a journal.
+  void snapshot_now();
+
   ServerStats stats() const;
 
  private:
   void handle_connection(int fd);
-  std::string render(const Request& request, bool* quit);
+  std::string render(const Request& request, std::string_view line, bool* quit);
+  /// Write-ahead wrapper: journal `line`, run `apply`, rewind on rejection,
+  /// commit on success (and snapshot on cadence).
+  template <typename Fn>
+  void journaled_event(std::string_view line, Fn&& apply);
+  /// Journal a newly registered submit-time prediction for `id`, if any.
+  void journal_prediction(JobId id, std::size_t registered_before);
+  /// Snapshot on cadence; requires mutex_ held.  Failures are logged, not
+  /// fatal (the journal still has the full event tail).
+  void maybe_snapshot();
+  std::string shed_response(std::size_t line_number, const char* reason);
 
   OnlineSession& session_;
   ServerOptions options_;
   ThreadPool pool_;
-  mutable std::mutex mutex_;  // session + stats
+  mutable std::mutex mutex_;  // session + histograms
   std::chrono::steady_clock::time_point started_;
 
-  std::uint64_t requests_ = 0;
-  std::uint64_t errors_ = 0;
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> shed_connections_{0};
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<std::size_t> connections_{0};
+  std::size_t records_since_snapshot_ = 0;  // guarded by mutex_
   LatencyHistogram request_latency_us_;
   LatencyHistogram estimate_latency_us_;
 

@@ -26,8 +26,10 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sched/estimator.hpp"
@@ -129,6 +131,37 @@ class OnlineSession {
   /// the batch simulate() result.
   SimResult result() const;
 
+  // --- Durability (service/journal.hpp). --------------------------------
+
+  /// Write the deterministic session state as a text snapshot: clock,
+  /// version, every job record, queue/running order, registered
+  /// predictions, accumulated statistics (exact double bit patterns), and
+  /// the ordered completion history the predictor was fed.  Query-side
+  /// observability (queries, cache hit/miss counters, the estimate cache)
+  /// is deliberately excluded: it resets on recovery.
+  void serialize(std::ostream& out) const;
+
+  /// Rebuild from serialize() output.  Must be called on a *fresh* session
+  /// constructed with the same machine size, the same policy, and a
+  /// predictor in its construction-time state; the completion history is
+  /// replayed into the predictor so subsequent estimates are bit-identical
+  /// to the serialized session's.  Throws rtp::Error on a malformed
+  /// snapshot or a configuration mismatch (nodes / policy / predictor
+  /// name), leaving the session unusable only on a throw mid-restore into
+  /// an already-fresh session.
+  void restore(std::istream& in);
+
+  /// Registered-but-unscored submit-time predictions (journal P records).
+  std::size_t recorded_predictions() const { return predicted_wait_.size(); }
+
+  /// The registered prediction for `id`, or kNoTime when none is recorded.
+  Seconds recorded_prediction(JobId id) const;
+
+  /// Re-register a submit-time prediction during journal recovery without
+  /// re-running the shadow simulation (and without touching query
+  /// counters).  Throws if the job is unknown or has already started.
+  void restore_prediction(JobId id, Seconds wait);
+
  private:
   struct JobRecord {
     std::unique_ptr<Job> job;       // stable address: SystemState keeps Job*
@@ -182,6 +215,10 @@ class OnlineSession {
   RunningStats error_;
   RunningStats waits_;
   RunningStats signed_error_;
+
+  // Predictor feed history in exact arrival order, so restore() can replay
+  // it into a fresh predictor (grows with completed jobs, like jobs_).
+  std::vector<std::pair<JobId, Seconds>> completions_;
 
   // SimResult accumulation.
   SessionCounters counters_;

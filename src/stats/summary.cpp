@@ -37,6 +37,28 @@ void RunningStats::merge(const RunningStats& other) {
   max_ = std::max(max_, other.max_);
 }
 
+RunningStatsState RunningStats::state() const {
+  RunningStatsState s;
+  s.count = count_;
+  s.mean = mean_;
+  s.m2 = m2_;
+  s.sum = sum_;
+  s.min = min_;
+  s.max = max_;
+  return s;
+}
+
+RunningStats RunningStats::from_state(const RunningStatsState& state) {
+  RunningStats out;
+  out.count_ = state.count;
+  out.mean_ = state.mean;
+  out.m2_ = state.m2;
+  out.sum_ = state.sum;
+  out.min_ = state.min;
+  out.max_ = state.max;
+  return out;
+}
+
 double RunningStats::mean() const { return count_ == 0 ? 0.0 : mean_; }
 
 double RunningStats::variance() const {

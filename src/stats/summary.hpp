@@ -6,10 +6,28 @@
 
 namespace rtp {
 
+/// The exact accumulator fields of a RunningStats, exposed for durable
+/// serialization (the service journal snapshots them bit-for-bit so a
+/// recovered session reports identical statistics).
+struct RunningStatsState {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double m2 = 0.0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
 /// Numerically stable running mean / variance / min / max.
 class RunningStats {
  public:
   void add(double x);
+
+  /// Exact internal state, for bit-faithful serialization.
+  RunningStatsState state() const;
+
+  /// Rebuild an accumulator from state() output (exact round-trip).
+  static RunningStats from_state(const RunningStatsState& state);
 
   /// Merge another accumulator into this one (parallel reductions).
   void merge(const RunningStats& other);

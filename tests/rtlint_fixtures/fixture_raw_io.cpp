@@ -1,0 +1,26 @@
+// rtlint fixture for the raw-io rule.
+// Never compiled; linted by test_tools_rtlint and kept out of src/ globs.
+#include <unistd.h>
+
+#include <istream>
+
+long fixture_raw_calls(int fd, char* buf, unsigned long n) {
+  long total = 0;
+  total += ::write(fd, buf, n);  // finding: raw global write
+  total += ::read(fd, buf, n);   // finding: raw global read
+  total += ::send(fd, buf, n, 0);  // finding: raw global send
+  total += ::recv(fd, buf, n, 0);  // finding: raw global recv
+  return total;
+}
+
+long fixture_clean_calls(std::istream& in, char* buf, unsigned long n) {
+  in.read(buf, static_cast<long>(n));        // member call: not flagged
+  const long got = in.gcount();
+  std::istream::sentry guard(in);            // member qualification: not flagged
+  return got;
+}
+
+long fixture_annotated(int fd, char* buf, unsigned long n) {
+  // rtlint: allow(raw-io) fixture exercises the inline escape hatch
+  return ::write(fd, buf, n);
+}

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <sstream>
 
 #include "predict/simple.hpp"
@@ -140,6 +141,32 @@ TEST(Protocol, ErrorFormatting) {
             "ERR line=17 code=state msg=no such job");
   EXPECT_EQ(format_ok(), "OK");
   EXPECT_EQ(format_ok("a=1"), "OK a=1");
+}
+
+TEST(Protocol, BusyCodeRendersForLoadShedding) {
+  EXPECT_EQ(to_string(ProtocolErrorCode::Busy), "busy");
+  EXPECT_EQ(format_error(4, ProtocolErrorCode::Busy, "server overloaded; retry"),
+            "ERR line=4 code=busy msg=server overloaded; retry");
+}
+
+TEST(Protocol, DoubleBitsRoundTripExactly) {
+  // The durability layer stores doubles as IEEE bit patterns; every value —
+  // including ones format_number would round — must round-trip bit-for-bit.
+  for (const double value : {0.0, -0.0, 0.1, 1.0 / 3.0, 595.0, 1e-300, 1e300,
+                             123456.789012345, static_cast<double>(kNoTime)}) {
+    const std::string text = format_double_bits(value);
+    EXPECT_EQ(text.size(), 16u) << text;
+    const double back = parse_double_bits(text);
+    EXPECT_EQ(std::memcmp(&back, &value, sizeof(double)), 0)
+        << value << " -> " << text << " -> " << back;
+  }
+  EXPECT_EQ(format_double_bits(0.0), "0000000000000000");
+
+  for (const char* bad : {"", "123", "zzzzzzzzzzzzzzzz", "0000000000000000ff",
+                          "0X00000000000000", "000000000000000G",
+                          "ABCDEF0123456789"}) {  // upper case is rejected
+    EXPECT_THROW(parse_double_bits(bad), ProtocolError) << bad;
+  }
 }
 
 // --- server-level robustness: structured errors, state never corrupted ---

@@ -1,0 +1,305 @@
+// Snapshot round-trip and journal recovery semantics: serialize()/restore()
+// must reproduce the exact session state for every event kind and extreme
+// field values, recovered sessions must answer bit-identically to the
+// uncrashed original, and invariants (duplicate-id rejection, config
+// matching) must survive recovery.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+#include "predict/factory.hpp"
+#include "predict/simple.hpp"
+#include "sched/policy.hpp"
+#include "service/journal.hpp"
+#include "service/replay.hpp"
+#include "service/server.hpp"
+#include "service/session.hpp"
+#include "workload/synthetic.hpp"
+
+namespace rtp {
+namespace {
+
+std::string snapshot_of(const OnlineSession& session) {
+  std::ostringstream out;
+  session.serialize(out);
+  return out.str();
+}
+
+void restore_from(OnlineSession& session, const std::string& snapshot) {
+  std::istringstream in(snapshot);
+  session.restore(in);
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "rtp_recovery_" + name;
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << "cannot write " << path;
+}
+
+Job make_job(JobId id, int nodes, Seconds runtime, Seconds max_runtime) {
+  Job job;
+  job.id = id;
+  job.nodes = nodes;
+  job.runtime = runtime;
+  job.max_runtime = max_runtime;
+  return job;
+}
+
+/// Apply one recorded event to a session (the replay switch).
+void apply(OnlineSession& session, const Request& r) {
+  switch (r.kind) {
+    case RequestKind::Submit: session.submit(r.job, r.time); break;
+    case RequestKind::Start: session.start(r.id, r.time); break;
+    case RequestKind::Finish: session.finish(r.id, r.time); break;
+    case RequestKind::Cancel: session.cancel(r.id, r.time); break;
+    case RequestKind::Fail: session.fail(r.id, r.time); break;
+    case RequestKind::NodeDown: session.node_down(r.nodes, r.time); break;
+    case RequestKind::NodeUp: session.node_up(r.nodes, r.time); break;
+    default: FAIL() << "non-event request in recorded stream";
+  }
+}
+
+TEST(SessionSnapshot, RoundTripsEveryEventKindAndExtremeValues) {
+  const auto policy = make_policy(PolicyKind::Fcfs);
+  ConstantPredictor predictor(600.0);
+  OnlineSession session(8, *policy, predictor);
+
+  // Extreme timestamps (0, fractional, 1e15), absent max runtime, empty
+  // categorical fields, and a near-kilobyte field value.
+  Job a = make_job(1, 4, 0.125, 600.0);
+  a.user = "alice";
+  a.queue = std::string(1000, 'q');
+  session.submit(a, 0.0);
+  EXPECT_GT(session.estimate_wait(1), -1.0);  // registers a prediction
+  session.start(1, 0.0078125);
+
+  Job b = make_job(2, 2, 1e9, kNoTime);  // no max runtime, no fields
+  session.submit(b, 0.5);
+  (void)session.estimate_interval(2);
+
+  Job c = make_job(3, 8, 60.0, 120.0);
+  c.executable = "a.out";
+  session.submit(c, 1.0);
+
+  session.finish(1, 1e15);        // predictor fed an extreme completion
+  session.start(2, 1e15);
+  session.node_down(2, 1e15);
+  session.fail(2, 1e15 + 0.5);    // back to the queue
+  session.cancel(2, 1e15 + 1.0);
+  session.node_up(2, 1e15 + 2.0);
+  session.start(3, 1e15 + 2.0);
+  session.finish(3, 1e15 + 62.0);
+
+  const std::string before = snapshot_of(session);
+
+  ConstantPredictor fresh_predictor(600.0);
+  OnlineSession restored(8, *policy, fresh_predictor);
+  restore_from(restored, before);
+  EXPECT_EQ(snapshot_of(restored), before);
+  EXPECT_EQ(restored.state_version(), session.state_version());
+  EXPECT_EQ(restored.now(), session.now());
+
+  // The restored session keeps evolving identically: same events, same
+  // queries, byte-identical state and bit-identical answers.
+  for (OnlineSession* s : {&session, &restored}) {
+    Job d = make_job(4, 3, 30.0, 900.0);
+    d.user = "bob";
+    s->submit(d, 1e15 + 63.0);
+  }
+  EXPECT_EQ(session.estimate_wait(4), restored.estimate_wait(4));
+  EXPECT_EQ(snapshot_of(restored), snapshot_of(session));
+
+  const SimResult lhs = session.result();
+  const SimResult rhs = restored.result();
+  EXPECT_EQ(lhs.mean_wait, rhs.mean_wait);
+  EXPECT_EQ(lhs.waits, rhs.waits);
+  EXPECT_EQ(lhs.completed, rhs.completed);
+  EXPECT_EQ(lhs.wasted_work, rhs.wasted_work);
+}
+
+TEST(SessionSnapshot, ValidationSurvivesRestore) {
+  const auto policy = make_policy(PolicyKind::Fcfs);
+  ConstantPredictor predictor(600.0);
+  OnlineSession session(4, *policy, predictor);
+  session.submit(make_job(7, 2, 60.0, 600.0), 10.0);
+  session.submit(make_job(8, 2, 60.0, 600.0), 11.0);
+  session.start(8, 12.0);
+
+  ConstantPredictor fresh_predictor(600.0);
+  OnlineSession restored(4, *policy, fresh_predictor);
+  restore_from(restored, snapshot_of(session));
+
+  // Duplicate ids stay rejected, unknown ids stay unknown, time still
+  // cannot run backwards, and started jobs cannot re-register predictions.
+  EXPECT_THROW(restored.submit(make_job(7, 1, 5.0, 60.0), 13.0), Error);
+  EXPECT_THROW(restored.finish(99, 13.0), Error);
+  EXPECT_THROW(restored.submit(make_job(9, 1, 5.0, 60.0), 1.0), Error);
+  EXPECT_THROW(restored.restore_prediction(8, 3.0), Error);
+  EXPECT_THROW(restored.restore_prediction(99, 3.0), Error);
+  EXPECT_EQ(restored.recorded_prediction(99), kNoTime);
+}
+
+TEST(SessionSnapshot, ConfigMismatchAndBadSnapshotsAreRefused) {
+  const auto fcfs = make_policy(PolicyKind::Fcfs);
+  const auto lwf = make_policy(PolicyKind::Lwf);
+  ConstantPredictor predictor(600.0);
+  OnlineSession session(8, *fcfs, predictor);
+  session.submit(make_job(1, 2, 60.0, 600.0), 0.0);
+  const std::string snapshot = snapshot_of(session);
+
+  {  // wrong machine size
+    ConstantPredictor p(600.0);
+    OnlineSession target(16, *fcfs, p);
+    EXPECT_THROW(restore_from(target, snapshot), Error);
+  }
+  {  // wrong policy
+    ConstantPredictor p(600.0);
+    OnlineSession target(8, *lwf, p);
+    EXPECT_THROW(restore_from(target, snapshot), Error);
+  }
+  {  // wrong predictor kind
+    ActualRuntimePredictor p;
+    OnlineSession target(8, *fcfs, p);
+    EXPECT_THROW(restore_from(target, snapshot), Error);
+  }
+  {  // restore only into a fresh session
+    ConstantPredictor p(600.0);
+    OnlineSession target(8, *fcfs, p);
+    target.submit(make_job(5, 1, 5.0, 60.0), 0.0);
+    EXPECT_THROW(restore_from(target, snapshot), Error);
+  }
+  {  // not a snapshot at all
+    ConstantPredictor p(600.0);
+    OnlineSession target(8, *fcfs, p);
+    std::istringstream in("definitely not a snapshot\n");
+    EXPECT_THROW(target.restore(in), Error);
+  }
+}
+
+TEST(SessionSnapshot, LearningPredictorStateIsReplayedBitIdentically) {
+  // A predictor that *learns* from completions (STF template statistics) is
+  // the hard case: restore() must replay the completion history so later
+  // estimates match the uncrashed session exactly.
+  const Workload w = generate_synthetic(anl_config(0.01));
+  const auto policy = make_policy(PolicyKind::Fcfs);
+  MaxRuntimePredictor live(w);
+  const RecordedRun recorded = record_session_log(w, *policy, live);
+  ASSERT_GT(recorded.events.size(), 40u);
+
+  auto predictor_a = make_runtime_estimator(PredictorKind::Stf, w);
+  OnlineSession a(w.machine_nodes(), *policy, *predictor_a);
+  const std::size_t half = recorded.events.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    apply(a, recorded.events[i]);
+    if (recorded.events[i].kind == RequestKind::Submit)
+      (void)a.estimate_wait(recorded.events[i].id);
+  }
+
+  auto predictor_b = make_runtime_estimator(PredictorKind::Stf, w);
+  OnlineSession b(w.machine_nodes(), *policy, *predictor_b);
+  restore_from(b, snapshot_of(a));
+  EXPECT_EQ(snapshot_of(b), snapshot_of(a));
+
+  // Continue the stream on both; every post-restore answer must be
+  // bit-identical, which requires the predictor's learned state to match.
+  for (std::size_t i = half; i < recorded.events.size(); ++i) {
+    apply(a, recorded.events[i]);
+    apply(b, recorded.events[i]);
+    if (recorded.events[i].kind == RequestKind::Submit) {
+      const JobId id = recorded.events[i].id;
+      ASSERT_EQ(a.estimate_wait(id), b.estimate_wait(id)) << "event " << i;
+    }
+  }
+  EXPECT_EQ(snapshot_of(b), snapshot_of(a));
+  EXPECT_EQ(a.error_stats().count(), b.error_stats().count());
+  EXPECT_EQ(a.error_stats().mean(), b.error_stats().mean());
+}
+
+TEST(JournalRecovery, RejectedTailEventsAreSkippedAndCounted) {
+  // A crash can leave an append for an event the session rejected (the
+  // rewind itself was lost).  Recovery must skip it with a warning, never
+  // crash or corrupt the accepted history.
+  std::string image(kJournalMagic);
+  append_frame(image, RecordType::Event, "SUBMIT 0 1 4 120 600");
+  append_frame(image, RecordType::Event, "SUBMIT 0 1 4 120 600");  // duplicate id
+  append_frame(image, RecordType::Event, "START 0 1");
+  append_frame(image, RecordType::Event, "FROB 1 2");  // unparseable verb
+  const std::string path = temp_path("rejected.rtpj");
+  write_file(path, image);
+
+  const auto policy = make_policy(PolicyKind::Fcfs);
+  ConstantPredictor predictor(600.0);
+  OnlineSession session(8, *policy, predictor);
+  const RecoveryReport report = recover_session(path, session, false);
+  EXPECT_EQ(report.records, 4u);
+  EXPECT_EQ(report.events, 2u);
+  EXPECT_EQ(report.rejected_events, 2u);
+  EXPECT_NE(report.warning.find("rejected"), std::string::npos) << report.warning;
+  EXPECT_EQ(session.state_version(), 2u);  // submit + start applied
+  EXPECT_THROW(session.submit(make_job(1, 1, 5.0, 60.0), 1.0), Error);
+}
+
+TEST(JournalRecovery, RecoveredServerAnswersLikeTheUncrashedOne) {
+  const auto policy = make_policy(PolicyKind::Fcfs);
+  const std::string path = temp_path("server.rtpj");
+  write_file(path, "");
+
+  ConstantPredictor predictor(600.0);
+  OnlineSession live(8, *policy, predictor);
+  JournalOptions journal_options;
+  journal_options.fsync = FsyncPolicy::Never;
+  JournalWriter journal(path, journal_options);
+  ServerOptions server_options;
+  server_options.journal = &journal;
+  server_options.snapshot_every = 4;  // force snapshot-plus-tail recovery
+  ServiceServer server(live, server_options);
+
+  const char* lines[] = {
+      "SUBMIT 0 1 4 120 600 u=alice",  "ESTIMATE 1",
+      "START 0 1",                     "SUBMIT 10 2 4 300 600 u=bob",
+      "ESTIMATE 2",                    "SUBMIT 20 3 8 60 120",
+      "ESTIMATE 3",                    "FINISH 120 1",
+      "START 120 2",                   "SUBMIT 130 4 2 60 600",
+      "INTERVAL 4",
+  };
+  std::size_t n = 0;
+  bool quit = false;
+  for (const char* line : lines)
+    ASSERT_EQ(server.handle_line(line, ++n, &quit).rfind("OK", 0), 0u) << line;
+  journal.sync();
+
+  ConstantPredictor recovered_predictor(600.0);
+  OnlineSession recovered(8, *policy, recovered_predictor);
+  const RecoveryReport report = recover_session(path, recovered, false);
+  EXPECT_TRUE(report.used_snapshot);
+  EXPECT_EQ(report.rejected_events, 0u);
+  EXPECT_FALSE(report.truncated);
+  // Counts cover the replayed tail after the last snapshot; INTERVAL 4 is
+  // the one prediction registered past that point.
+  ASSERT_GE(report.predictions, 1u);
+
+  std::ostringstream live_state, recovered_state;
+  live.serialize(live_state);
+  recovered.serialize(recovered_state);
+  EXPECT_EQ(recovered_state.str(), live_state.str());
+
+  // Estimates after recovery are bit-identical to the uncrashed server's.
+  EXPECT_EQ(recovered.estimate_wait(3), live.estimate_wait(3));
+  EXPECT_EQ(recovered.estimate_wait(4), live.estimate_wait(4));
+  const WaitInterval li = live.estimate_interval(4);
+  const WaitInterval ri = recovered.estimate_interval(4);
+  EXPECT_EQ(li.expected, ri.expected);
+  EXPECT_EQ(li.optimistic, ri.optimistic);
+  EXPECT_EQ(li.pessimistic, ri.pessimistic);
+}
+
+}  // namespace
+}  // namespace rtp

@@ -90,6 +90,25 @@ TEST(RtlintRules, IncludeHygieneFires) {
       << "missing #pragma once, \"../\" include, and <bits/...> include";
 }
 
+TEST(RtlintRules, RawIoFiresOnGlobalCallsOnly) {
+  const auto diagnostics = lint_fixture("fixture_raw_io.cpp");
+  EXPECT_EQ(count_rule(diagnostics, "raw-io"), 4u)
+      << "::write, ::read, ::send and ::recv fire; istream member calls and "
+         "the annotated call must not";
+  for (const Diagnostic& d : diagnostics) EXPECT_EQ(d.rule, "raw-io");
+}
+
+TEST(RtlintRules, RawIoSparesWrappersViaAnnotation) {
+  // The wrapper implementation itself carries inline allow(raw-io)
+  // annotations; linting a snippet in its style must come back clean.
+  const std::string source =
+      "long wrap(int fd, char* b, unsigned long n) {\n"
+      "  // rtlint: allow(raw-io) this IS the checked wrapper\n"
+      "  return ::read(fd, b, n);\n"
+      "}\n";
+  EXPECT_TRUE(rtlint::lint_source("io.cpp", source, {}).empty());
+}
+
 TEST(RtlintSuppression, InlineAnnotationsSilenceEachRule) {
   EXPECT_TRUE(lint_fixture("fixture_allowed.cpp").empty());
 }

@@ -453,6 +453,33 @@ void check_discarded_error(const RuleContext& ctx,
   }
 }
 
+void check_raw_io(const RuleContext& ctx) {
+  // Global-qualified POSIX I/O calls (`::write(...)`) bypass the checked
+  // wrappers in src/service/io.hpp, which retry EINTR, loop partial writes
+  // and classify errno.  Member qualifications (istream::read) have an
+  // identifier before the `::` and are skipped.
+  static const std::string_view kCalls[] = {"write", "read", "send", "recv"};
+  const std::string_view text = ctx.scrubbed;
+  for (const std::string_view name : kCalls) {
+    std::size_t pos = 0;
+    while ((pos = text.find(name, pos)) != std::string_view::npos) {
+      const std::size_t end = pos + name.size();
+      const bool global_qualified =
+          pos >= 2 && text[pos - 1] == ':' && text[pos - 2] == ':' &&
+          (pos == 2 || (!is_ident_char(text[pos - 3]) && text[pos - 3] != ':'));
+      const bool name_ends = end >= text.size() || !is_ident_char(text[end]);
+      const std::size_t cursor = skip_spaces(text, end);
+      const bool is_call = cursor < text.size() && text[cursor] == '(';
+      if (global_qualified && name_ends && is_call)
+        ctx.report(pos, "raw-io",
+                   "raw ::" + std::string(name) +
+                       " call; use the checked rtp::io wrappers (src/service/io.hpp), "
+                       "which retry EINTR and classify errno");
+      pos = end;
+    }
+  }
+}
+
 void check_include_hygiene(const RuleContext& ctx, std::string_view source, bool is_header) {
   const std::string_view text = ctx.scrubbed;
   if (is_header && text.find("#pragma once") == std::string_view::npos)
@@ -519,7 +546,7 @@ void collect_files(const std::filesystem::path& root, std::vector<std::string>& 
 const std::vector<std::string>& rule_names() {
   static const std::vector<std::string> kRules = {
       "nondeterministic-source", "unordered-iter", "float-eq", "discarded-error",
-      "include-hygiene",
+      "include-hygiene", "raw-io",
   };
   return kRules;
 }
@@ -699,6 +726,7 @@ std::vector<Diagnostic> lint_source(const std::string& path, std::string_view so
   check_float_eq(ctx);
   check_discarded_error(ctx, options.nodiscard_functions);
   check_include_hygiene(ctx, source, has_suffix(path, ".hpp") || has_suffix(path, ".h"));
+  check_raw_io(ctx);
 
   std::vector<Diagnostic> out;
   for (Diagnostic& d : raw) {

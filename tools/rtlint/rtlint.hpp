@@ -24,6 +24,10 @@
 //                            expression statements
 //   include-hygiene          headers carry #pragma once; no "../" relative
 //                            includes; no <bits/...> internals
+//   raw-io                   no global-qualified ::write/::read/::send/::recv
+//                            calls outside the checked wrappers in
+//                            src/service/io.hpp (which retry EINTR, loop
+//                            partial transfers, and classify errno)
 //
 // Suppression is explicit and auditable: an inline
 //   // rtlint: allow(<rule>) <justification>

@@ -14,12 +14,26 @@
 //   # or serve TCP on an ephemeral port:
 //   ./rtpd --trace traces/anl.trace --mode tcp --port 7421
 //
+//   # crash-safe serving: journal every accepted event, then recover after
+//   # a kill -9 and continue exactly where the acknowledged stream ended:
+//   ./rtpd --nodes 64 --journal wal.rtpj --fsync always
+//   ./rtpd --nodes 64 --recover wal.rtpj
+//
 // --trace supplies the machine size and the field mask the predictor is
 // built from; --replay-events pre-plays a prefix of the recorded stream so
 // the session has live state before serving.  Without --trace the session
 // starts empty on --nodes nodes (history predictors start cold).
+//
+// SIGINT/SIGTERM drain gracefully: the server stops accepting, finishes
+// in-flight requests, fsyncs the journal, and emits a final STATS line on
+// stderr before exiting.
+#include <csignal>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <thread>
+
+#include <unistd.h>
 
 #include "core/args.hpp"
 #include "core/error.hpp"
@@ -27,10 +41,38 @@
 #include "predict/factory.hpp"
 #include "predict/simple.hpp"
 #include "sched/policy.hpp"
+#include "service/io.hpp"
+#include "service/journal.hpp"
 #include "service/replay.hpp"
 #include "service/server.hpp"
 #include "service/session.hpp"
 #include "workload/native.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+int g_wake_pipe[2] = {-1, -1};
+
+extern "C" void on_signal(int sig) {
+  g_signal = sig;
+  if (g_wake_pipe[1] >= 0) {
+    const char byte = 1;
+    // rtlint: allow(raw-io) async-signal-safe raw write from the handler;
+    // the io:: wrappers build strings and are off-limits here.
+    (void)!::write(g_wake_pipe[1], &byte, 1);
+  }
+}
+
+void install_signal_handlers() {
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: blocked reads must return so we can drain
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   try {
@@ -44,6 +86,17 @@ int main(int argc, char** argv) {
     args.add_option("policy", "fcfs|lwf|backfill|easy (mirrored scheduler)", "backfill");
     args.add_option("predictor", "actual|max|stf|gibbons|downey-avg|downey-med", "max");
     args.add_option("threads", "TCP connection workers", "2");
+    args.add_option("journal", "write-ahead journal file (created if absent)", "");
+    args.add_option("recover", "recover state from this journal, then keep journaling to it",
+                    "");
+    args.add_option("fsync", "journal fsync policy: always|interval|never", "interval");
+    args.add_option("fsync-interval", "committed records between fsyncs (interval policy)",
+                    "64");
+    args.add_option("snapshot-every", "journal records between snapshots (0 = never)", "256");
+    args.add_option("max-pending", "concurrent requests before shedding (0 = unbounded)",
+                    "64");
+    args.add_option("max-connections", "concurrent TCP clients (0 = unbounded)", "64");
+    args.add_option("deadline-ms", "per-request deadline before shedding (0 = none)", "0");
     args.add_flag("verbose", "progress logging to stderr");
     if (!args.parse()) return 0;
     if (args.flag("verbose")) rtp::set_log_level(rtp::LogLevel::Info);
@@ -72,6 +125,11 @@ int main(int argc, char** argv) {
     if (args.flag("dump-log")) {
       RTP_CHECK(have_trace, "--dump-log requires --trace");
       rtp::write_event_log(std::cout, recorded.events);
+      std::cout.flush();
+      // A partial event log silently drives a wrong session downstream, so
+      // a short write (closed pipe, full disk) must be a hard error.
+      RTP_CHECK(std::cout.good(), "--dump-log: write to stdout failed (short write or "
+                                  "no space on device)");
       return 0;
     }
 
@@ -79,9 +137,48 @@ int main(int argc, char** argv) {
     session_options.name = have_trace ? workload.name() : "online";
     rtp::OnlineSession session(nodes, *policy, *predictor, session_options);
 
+    // --- Durability: recovery first, then attach the writer. --------------
+    // Parsed up front so a bad --fsync value dies even without --journal.
+    const rtp::FsyncPolicy fsync_policy =
+        rtp::fsync_policy_from_string(args.str("fsync"));
+    std::string journal_path = args.str("journal");
+    const std::string recover_path = args.str("recover");
+    if (!recover_path.empty()) {
+      RTP_CHECK(journal_path.empty() || journal_path == recover_path,
+                "--recover and --journal must name the same file");
+      journal_path = recover_path;
+    }
+
+    rtp::RecoveryReport recovery;
+    bool recovered = false;
+    if (!recover_path.empty()) {
+      recovery = rtp::recover_session(recover_path, session);
+      recovered = true;
+    } else if (!journal_path.empty()) {
+      // Auto-recovery: an existing journal holds acknowledged state from a
+      // previous run; starting fresh on top of it would fork history.
+      std::ifstream probe(journal_path, std::ios::binary);
+      if (probe.good()) {
+        recovery = rtp::recover_session(journal_path, session);
+        recovered = recovery.records > 0 || recovery.used_snapshot;
+      }
+    }
+    if (recovered) {
+      std::cerr << "rtpd recovered " << recovery.records << " journal records ("
+                << recovery.events << " events, " << recovery.predictions
+                << " predictions" << (recovery.used_snapshot ? ", from snapshot" : "")
+                << "), session at t=" << session.now() << " version="
+                << session.state_version() << "\n";
+      if (recovery.truncated || recovery.rejected_events > 0)
+        std::cerr << "rtpd recovery warning: " << recovery.warning << "\n";
+    }
+
     const long long replay_events = args.integer("replay-events");
     if (replay_events != 0) {
       RTP_CHECK(have_trace, "--replay-events requires --trace");
+      RTP_CHECK(!recovered,
+                "--replay-events conflicts with journal recovery: the recovered session "
+                "already has state");
       std::vector<rtp::Request> prefix = recorded.events;
       if (replay_events > 0 &&
           static_cast<std::size_t>(replay_events) < prefix.size())
@@ -93,17 +190,65 @@ int main(int argc, char** argv) {
                     session.now());
     }
 
+    std::unique_ptr<rtp::JournalWriter> journal;
+    if (!journal_path.empty()) {
+      rtp::JournalOptions journal_options;
+      journal_options.fsync = fsync_policy;
+      journal_options.fsync_interval =
+          static_cast<std::size_t>(args.integer("fsync-interval"));
+      journal = std::make_unique<rtp::JournalWriter>(journal_path, journal_options);
+    }
+
     rtp::ServerOptions server_options;
     server_options.threads = static_cast<std::size_t>(args.integer("threads"));
+    server_options.journal = journal.get();
+    server_options.snapshot_every = static_cast<std::size_t>(args.integer("snapshot-every"));
+    server_options.max_pending = static_cast<std::size_t>(args.integer("max-pending"));
+    server_options.max_connections =
+        static_cast<std::size_t>(args.integer("max-connections"));
+    server_options.request_deadline_ms =
+        static_cast<std::uint32_t>(args.integer("deadline-ms"));
     rtp::ServiceServer server(session, server_options);
 
+    // Session state that is not in the journal (recovery consumed it, or
+    // --replay-events created it) must be snapshotted before serving, or a
+    // later recovery would replay the tail against the wrong base.
+    if (journal != nullptr && session.state_version() > 0) server.snapshot_now();
+
+    RTP_CHECK(::pipe(g_wake_pipe) == 0, "cannot create signal wake pipe");
+    install_signal_handlers();
+
     if (mode == "stdin") {
+      // A signal interrupts the blocked getline (no SA_RESTART), the stream
+      // loop ends, and the drain path below runs.
       server.serve_stream(std::cin, std::cout);
     } else {
       const std::uint16_t port =
           server.listen_on(static_cast<std::uint16_t>(args.integer("port")));
       std::cerr << "rtpd listening on 127.0.0.1:" << port << "\n";
+      // The watcher turns a signal into shutdown(): the handler writes one
+      // byte to the pipe, the watcher unblocks and closes the listener.
+      std::thread watcher([&server] {
+        char byte = 0;
+        rtp::io::read_some(g_wake_pipe[0], &byte, 1);
+        server.shutdown();
+      });
       server.serve();
+      // serve() can also return on its own (listener error); wake the
+      // watcher so it always terminates.  shutdown() is idempotent.
+      const char byte = 1;
+      rtp::io::write_all(g_wake_pipe[1], &byte, 1);
+      watcher.join();
+    }
+
+    // --- Drain: make acknowledged state durable, report, exit cleanly. ----
+    if (journal != nullptr) journal->sync();
+    if (g_signal != 0 || args.flag("verbose")) {
+      bool quit = false;
+      std::cerr << "rtpd "
+                << (g_signal != 0 ? "drained after signal " + std::to_string(g_signal)
+                                  : "final")
+                << ": " << server.handle_line("STATS", 0, &quit) << "\n";
     }
     return 0;
   } catch (const std::exception& e) {
