@@ -10,9 +10,17 @@
 // two runs must return bit-identical answers; the binary exits non-zero if
 // they diverge or the cache never hits.
 //
+// Results also persist as JSON (--json, default BENCH_service.json) so the
+// perf trajectory accumulates across checkouts: one record per (site,
+// cache) run with QPS and the latency quantiles.
+//
 //   ./bench_service_throughput [--scale 0.02] [--repeats 3] [--policy backfill]
 //                              [--predictor max] [--compression 0] [--csv]
+//                              [--json BENCH_service.json]
+#include <fstream>
 #include <iostream>
+#include <sstream>
+#include <vector>
 
 #include "core/args.hpp"
 #include "core/error.hpp"
@@ -33,6 +41,8 @@ int main(int argc, char** argv) {
     args.add_option("predictor", "actual|max|stf|gibbons|downey-avg|downey-med", "max");
     args.add_option("compression", "simulated seconds per wall second (0 = unpaced)", "0");
     args.add_flag("csv", "emit CSV");
+    args.add_option("json", "persist results to this JSON file ('' = skip)",
+                    "BENCH_service.json");
     if (!args.parse()) return 0;
 
     const auto policy = rtp::make_policy(rtp::policy_kind_from_string(args.str("policy")));
@@ -43,6 +53,8 @@ int main(int argc, char** argv) {
 
     rtp::TablePrinter table({"Workload", "Cache", "Events", "Queries", "Queries/s",
                              "p50 (us)", "p95 (us)", "p99 (us)", "max (us)", "Hit Rate"});
+    std::ostringstream json_runs;
+    bool first_run = true;
     bool ok = true;
     for (const rtp::Workload& w : rtp::paper_workloads(args.real("scale"))) {
       rtp::MaxRuntimePredictor live(w);
@@ -76,6 +88,18 @@ int main(int argc, char** argv) {
           std::cerr << w.name() << ": cache enabled but never hit\n";
           ok = false;
         }
+
+        if (!first_run) json_runs << ",";
+        first_run = false;
+        json_runs << "\n    {\"site\": \"" << w.name() << "\", \"cache\": \""
+                  << (cached ? "on" : "off") << "\", \"events\": " << report.events
+                  << ", \"queries\": " << report.queries << ", \"qps\": "
+                  << rtp::format_double(report.queries_per_sec, 1)
+                  << ", \"p50_us\": " << rtp::format_double(report.latency_us.p50(), 3)
+                  << ", \"p95_us\": " << rtp::format_double(report.latency_us.p95(), 3)
+                  << ", \"p99_us\": " << rtp::format_double(report.latency_us.p99(), 3)
+                  << ", \"max_us\": " << rtp::format_double(report.latency_us.max(), 3)
+                  << ", \"hit_rate\": " << rtp::format_double(hit_rate, 3) << "}";
       }
       // The cache must be invisible in the answers: bit-identical stats.
       if (answers[0].count() != answers[1].count() ||
@@ -94,6 +118,19 @@ int main(int argc, char** argv) {
     }
     std::cout << (ok ? "cache check: answers identical with cache on/off\n"
                      : "cache check: FAILED\n");
+
+    const std::string json_path = args.str("json");
+    if (!json_path.empty()) {
+      std::ofstream json(json_path, std::ios::trunc);
+      json << "{\n  \"bench\": \"service_throughput\",\n  \"policy\": \""
+           << args.str("policy") << "\",\n  \"predictor\": \"" << args.str("predictor")
+           << "\",\n  \"scale\": " << rtp::format_double(args.real("scale"), 4)
+           << ",\n  \"repeats\": " << args.integer("repeats") << ",\n  \"runs\": ["
+           << json_runs.str() << "\n  ]\n}\n";
+      RTP_CHECK(json.good(), "cannot write " + json_path);
+      std::cerr << "bench_service_throughput: results persisted to " << json_path
+                << "\n";
+    }
     return ok ? 0 : 1;
   } catch (const std::exception& e) {
     std::cerr << "bench_service_throughput: " << e.what() << "\n";

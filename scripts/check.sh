@@ -115,13 +115,125 @@ run_config() {
     [ -n "$ref_val" ] && [ "$ref_val" = "$rec_val" ] ||
       { echo "rtpd crash smoke: STATS mismatch:$ref_val vs$rec_val" >&2; exit 1; }
   done
+
+  # Replication failover smoke: a primary streams its journal to a warm
+  # standby THROUGH the rtpfault chaos proxy (with a scripted torn frame, so
+  # the resync path runs), the primary is killed with -9, the follower is
+  # promoted over the wire with rtpctl, and the promoted follower must
+  # answer the rest of the stream byte-for-byte like the uncrashed
+  # reference run.  Finishes with a SIGPIPE regression: a hard-closed link
+  # through rtpfault must not kill the server.
+  echo "=== rtpd replication failover smoke ($dir) ==="
+  local fol_port repl_port proxy_port last_seq fol_pid proxy_pid
+  # Fail without orphans: the smoke's daemons inherit our stdout/stderr, so
+  # leaving one behind would hold any pipe this script writes into open.
+  repl_fail() {
+    echo "repl smoke: $*" >&2
+    local p
+    for p in "${victim:-}" "${fol_pid:-}" "${proxy_pid:-}"; do
+      [ -n "$p" ] && kill -9 "$p" 2>/dev/null || true
+    done
+    exit 1
+  }
+  "$dir/tools/rtpd" --trace "$tmp/anl.trace" --mode tcp --port 0 \
+    --journal "$tmp/fol.rtpj" --follow 0 2> "$tmp/fol.log" &
+  fol_pid=$!
+  for _ in $(seq 1 300); do
+    grep -q '^rtpd listening on ' "$tmp/fol.log" &&
+      grep -q '^rtpd following on ' "$tmp/fol.log" && break
+    sleep 0.1
+  done
+  repl_port=$(sed -n 's/^rtpd following on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$tmp/fol.log")
+  fol_port=$(sed -n 's/^rtpd listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$tmp/fol.log")
+  [ -n "$repl_port" ] && [ -n "$fol_port" ] ||
+    { cat "$tmp/fol.log" >&2; repl_fail "follower did not come up"; }
+
+  "$dir/tools/rtpfault" --listen 0 --target "127.0.0.1:$repl_port" \
+    --script 'up:torn@2=9,jitter=1' --seed 7 2> "$tmp/fault.log" &
+  proxy_pid=$!
+  for _ in $(seq 1 300); do
+    grep -q '^rtpfault listening on ' "$tmp/fault.log" && break
+    sleep 0.1
+  done
+  proxy_port=$(sed -n 's/^rtpfault listening on 127\.0\.0\.1:\([0-9]*\) .*$/\1/p' "$tmp/fault.log")
+  [ -n "$proxy_port" ] ||
+    { cat "$tmp/fault.log" >&2; repl_fail "rtpfault did not come up"; }
+
+  mkfifo "$tmp/feed2"
+  "$dir/tools/rtpd" --trace "$tmp/anl.trace" --mode stdin \
+    --journal "$tmp/pri.rtpj" --fsync always --heartbeat-ms 50 \
+    --replicate-to "127.0.0.1:$proxy_port" \
+    < "$tmp/feed2" > "$tmp/pri.replies" &
+  victim=$!
+  exec 8> "$tmp/feed2"
+  { head -n "$cut" "$tmp/flow"; printf 'STATS\n'; } >&8
+  for _ in $(seq 1 300); do
+    [ "$(wc -l < "$tmp/pri.replies")" -ge $((cut + 2)) ] && break
+    sleep 0.1
+  done
+  last_seq=$(grep -o ' repl_last_seq=[0-9]*' "$tmp/pri.replies" | grep -o '[0-9]*$')
+  [ -n "$last_seq" ] || repl_fail "primary STATS has no repl_last_seq"
+  # Wait until the follower has applied every record the primary committed,
+  # then murder the primary mid-session.
+  for _ in $(seq 1 300); do
+    "$dir/tools/rtpctl" --servers "127.0.0.1:$fol_port" STATS 2>/dev/null |
+      grep -q " repl_applied_seq=$last_seq " && break
+    sleep 0.1
+  done
+  "$dir/tools/rtpctl" --servers "127.0.0.1:$fol_port" STATS |
+    grep -q " repl_applied_seq=$last_seq " ||
+    repl_fail "follower never caught up to seq $last_seq"
+  kill -9 "$victim" 2>/dev/null || true
+  wait "$victim" 2>/dev/null || true
+  exec 8>&-
+
+  "$dir/tools/rtpctl" --servers "127.0.0.1:$fol_port" PROMOTE > "$tmp/promote.reply"
+  grep -q '^OK role=primary' "$tmp/promote.reply" ||
+    { cat "$tmp/promote.reply" >&2; repl_fail "PROMOTE failed"; }
+
+  # The promoted follower finishes the stream; its replies (tail events,
+  # estimates, STATE) must equal the uncrashed reference byte for byte.
+  { tail -n +$((cut + 1)) "$tmp/flow"; printf 'STATE\n'; } |
+    "$dir/tools/rtpctl" --servers "127.0.0.1:$fol_port" --stdin > "$tmp/fol.tail"
+  diff "$tmp/ref.tail" "$tmp/fol.tail" ||
+    repl_fail "promoted follower replies diverge"
+  for key in ' events=' ' completed=' ' mean_wait_s='; do
+    ref_val=$(grep '^OK requests=' "$tmp/ref.replies" | grep -o "$key[^ ]*")
+    rec_val=$("$dir/tools/rtpctl" --servers "127.0.0.1:$fol_port" STATS |
+      grep -o "$key[^ ]*")
+    [ -n "$ref_val" ] && [ "$ref_val" = "$rec_val" ] ||
+      repl_fail "STATS mismatch:$ref_val vs$rec_val"
+  done
+  kill "$proxy_pid" 2>/dev/null || true  # the proxy outlives its links
+  wait "$proxy_pid" 2>/dev/null || true
+
+  # SIGPIPE regression: hard-close the first proxied link mid-greeting; the
+  # server must shrug (EPIPE through rtp::io, SIGPIPE ignored) and keep
+  # serving, and the client must retry onto a fresh link and succeed.
+  "$dir/tools/rtpfault" --listen 0 --target "127.0.0.1:$fol_port" \
+    --script 'down:close@1' --seed 7 2> "$tmp/fault2.log" &
+  proxy_pid=$!
+  for _ in $(seq 1 300); do
+    grep -q '^rtpfault listening on ' "$tmp/fault2.log" && break
+    sleep 0.1
+  done
+  proxy_port=$(sed -n 's/^rtpfault listening on 127\.0\.0\.1:\([0-9]*\) .*$/\1/p' "$tmp/fault2.log")
+  "$dir/tools/rtpctl" --servers "127.0.0.1:$proxy_port" STATS > /dev/null ||
+    repl_fail "STATS through hard-closing proxy failed"
+  "$dir/tools/rtpctl" --servers "127.0.0.1:$fol_port" STATS > /dev/null ||
+    repl_fail "server died after hard-closed link"
+  kill "$proxy_pid" 2>/dev/null || true
+  wait "$proxy_pid" 2>/dev/null || true
+  kill "$fol_pid" 2>/dev/null || true
+  wait "$fol_pid" 2>/dev/null || true
   rm -rf "$tmp"
 }
 
 run_rtlint() {
   local dir=$1
   echo "=== rtlint ($dir) ==="
-  "$dir/tools/rtlint" --allowlist tools/rtlint.allow src tools/rtlint tools/rtpd.cpp
+  "$dir/tools/rtlint" --allowlist tools/rtlint.allow src tools/rtlint \
+    tools/rtpd.cpp tools/rtpctl.cpp tools/rtpfault
 }
 
 run_tsan() {

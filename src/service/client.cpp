@@ -1,0 +1,172 @@
+#include "service/client.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "core/error.hpp"
+#include "core/strings.hpp"
+#include "service/io.hpp"
+#include "service/protocol.hpp"
+
+namespace rtp {
+namespace {
+
+/// The ERR code token ("busy" from "code=busy"), empty when absent.
+std::string error_code(std::string_view line) {
+  for (const std::string_view token : split_whitespace(line))
+    if (starts_with(token, "code=")) return std::string(token.substr(5));
+  return {};
+}
+
+}  // namespace
+
+ServiceClient::ServiceClient(std::vector<std::string> addresses, ClientOptions options)
+    : options_(options), rng_(options.jitter_seed) {
+  RTP_CHECK(!addresses.empty(), "rtp client needs at least one server address");
+  for (const std::string& address : addresses) {
+    Endpoint endpoint;
+    endpoint.address = address;
+    std::string error;
+    RTP_CHECK(io::split_hostport(address, &endpoint.host, &endpoint.port, &error),
+              "rtp client address: " + error);
+    endpoints_.push_back(std::move(endpoint));
+  }
+}
+
+ServiceClient::~ServiceClient() { close(); }
+
+void ServiceClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+std::string ServiceClient::connected_address() const {
+  return fd_ >= 0 ? endpoints_[current_].address : std::string();
+}
+
+bool ServiceClient::ensure_connected(std::string* error) {
+  if (fd_ >= 0) return true;
+  const Endpoint& endpoint = endpoints_[current_];
+  const int fd =
+      io::dial_tcp(endpoint.host, endpoint.port, options_.connect_timeout_ms, error);
+  if (fd < 0) {
+    *error = endpoint.address + ": " + *error;
+    return false;
+  }
+  if (options_.read_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = options_.read_timeout_ms / 1000;
+    tv.tv_usec = static_cast<suseconds_t>((options_.read_timeout_ms % 1000) * 1000);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  fd_ = fd;
+  buffer_.clear();
+  return true;
+}
+
+bool ServiceClient::exchange(const std::string& line, ClientReply* reply,
+                             std::string* error) {
+  const std::string framed = line + "\n";
+  const io::IoResult sent = io::send_all(fd_, framed.data(), framed.size());
+  if (!sent.ok()) {
+    *error = endpoints_[current_].address + " send: " + io::describe(sent);
+    return false;
+  }
+  // Read response lines, skipping greetings (a fresh connection delivers
+  // one before the first response when the server has greetings on).
+  for (;;) {
+    const std::size_t pos = buffer_.find('\n');
+    if (pos != std::string::npos) {
+      std::string response = buffer_.substr(0, pos);
+      buffer_.erase(0, pos + 1);
+      if (!response.empty() && response.back() == '\r') response.pop_back();
+      if (starts_with(response, kProtocolVersion)) continue;  // greeting
+      reply->line = std::move(response);
+      reply->address = endpoints_[current_].address;
+      reply->ok = starts_with(reply->line, "OK");
+      reply->code = reply->ok ? std::string() : error_code(reply->line);
+      if (!reply->ok && !starts_with(reply->line, "ERR")) {
+        *error = endpoints_[current_].address + ": malformed response '" +
+                 reply->line + "'";
+        return false;
+      }
+      return true;
+    }
+    if (buffer_.size() > options_.max_line_bytes) {
+      *error = endpoints_[current_].address + ": oversized response line";
+      return false;
+    }
+    char chunk[4096];
+    const io::IoResult r = io::recv_some(fd_, chunk, sizeof(chunk));
+    if (!r.ok()) {
+      *error = endpoints_[current_].address + " recv: " +
+               (r.failed() && (r.error == EAGAIN || r.error == EWOULDBLOCK)
+                    ? std::string("read timed out")
+                    : io::describe(r));
+      return false;
+    }
+    buffer_.append(chunk, r.bytes);
+  }
+}
+
+void ServiceClient::backoff(std::uint32_t attempt) {
+  const std::uint32_t shift = attempt < 16 ? attempt : 16;
+  const std::uint64_t uncapped = static_cast<std::uint64_t>(options_.backoff_min_ms)
+                                 << shift;
+  const std::uint64_t capped =
+      uncapped < options_.backoff_max_ms ? uncapped : options_.backoff_max_ms;
+  const auto delay = std::chrono::milliseconds(
+      static_cast<std::int64_t>(static_cast<double>(capped) * rng_.uniform(0.5, 1.0)));
+  std::this_thread::sleep_for(delay);
+}
+
+ClientReply ServiceClient::request(const std::string& line) {
+  RTP_CHECK(!line.empty() && line.find('\n') == std::string::npos,
+            "request must be a single non-empty line");
+  std::string last_error = "no attempts made";
+  ClientReply last_reply;
+  bool have_reply = false;
+  for (std::uint32_t attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (attempt > 0) backoff(attempt - 1);
+    std::string error;
+    if (!ensure_connected(&error)) {
+      last_error = error;
+      current_ = (current_ + 1) % endpoints_.size();
+      continue;
+    }
+    ClientReply reply;
+    if (!exchange(line, &reply, &error)) {
+      last_error = error;
+      close();
+      current_ = (current_ + 1) % endpoints_.size();
+      continue;
+    }
+    if (!reply.ok && reply.code == "busy") {
+      // Overloaded, not gone: back off and retry the same server.
+      last_reply = reply;
+      have_reply = true;
+      continue;
+    }
+    if (!reply.ok && reply.code == "readonly") {
+      // A follower: the primary is another address in the list.
+      last_reply = reply;
+      have_reply = true;
+      close();
+      current_ = (current_ + 1) % endpoints_.size();
+      continue;
+    }
+    return reply;
+  }
+  if (have_reply) return last_reply;
+  fail("rtp client: all " + std::to_string(options_.max_attempts) +
+       " attempts failed; last error: " + last_error);
+}
+
+}  // namespace rtp

@@ -1,5 +1,9 @@
 #include "service/io.hpp"
 
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -8,6 +12,35 @@
 
 namespace rtp::io {
 namespace {
+
+// Default syscall hooks: thin forwarders to the real POSIX calls.  The
+// checked wrappers below only ever go through these pointers so tests can
+// swap in fault-injecting versions (see exchange_syscall_hooks_for_tests).
+
+long default_write(int fd, const void* buf, std::size_t n) {
+  // rtlint: allow(raw-io) this IS the checked wrapper's backing ::write
+  return ::write(fd, buf, n);
+}
+
+long default_read(int fd, void* buf, std::size_t n) {
+  // rtlint: allow(raw-io) this IS the checked wrapper's backing ::read
+  return ::read(fd, buf, n);
+}
+
+long default_send(int fd, const void* buf, std::size_t n, int flags) {
+  // rtlint: allow(raw-io) this IS the checked wrapper's backing ::send
+  return ::send(fd, buf, n, flags);
+}
+
+long default_recv(int fd, void* buf, std::size_t n, int flags) {
+  // rtlint: allow(raw-io) this IS the checked wrapper's backing ::recv
+  return ::recv(fd, buf, n, flags);
+}
+
+int default_fsync(int fd) { return ::fsync(fd); }
+
+SyscallHooks g_hooks = {default_write, default_read, default_send, default_recv,
+                        default_fsync};
 
 IoResult failure(std::size_t bytes) {
   IoResult r;
@@ -26,6 +59,21 @@ IoResult disconnect(std::size_t bytes) {
 
 }  // namespace
 
+SyscallHooks exchange_syscall_hooks_for_tests(const SyscallHooks& hooks) {
+  const SyscallHooks previous = g_hooks;
+  if (hooks.write_fn != nullptr) g_hooks.write_fn = hooks.write_fn;
+  else g_hooks.write_fn = default_write;
+  if (hooks.read_fn != nullptr) g_hooks.read_fn = hooks.read_fn;
+  else g_hooks.read_fn = default_read;
+  if (hooks.send_fn != nullptr) g_hooks.send_fn = hooks.send_fn;
+  else g_hooks.send_fn = default_send;
+  if (hooks.recv_fn != nullptr) g_hooks.recv_fn = hooks.recv_fn;
+  else g_hooks.recv_fn = default_recv;
+  if (hooks.fsync_fn != nullptr) g_hooks.fsync_fn = hooks.fsync_fn;
+  else g_hooks.fsync_fn = default_fsync;
+  return previous;
+}
+
 std::string describe(const IoResult& result) {
   switch (result.status) {
     case IoStatus::Ok: return "ok";
@@ -38,8 +86,7 @@ std::string describe(const IoResult& result) {
 IoResult write_all(int fd, const char* data, std::size_t n) {
   std::size_t off = 0;
   while (off < n) {
-    // rtlint: allow(raw-io) this IS the checked wrapper around ::write
-    const ssize_t w = ::write(fd, data + off, n - off);
+    const long w = g_hooks.write_fn(fd, data + off, n - off);
     if (w < 0) {
       if (errno == EINTR) continue;
       if (errno == EPIPE) return disconnect(off);
@@ -60,8 +107,7 @@ IoResult write_all(int fd, const char* data, std::size_t n) {
 
 IoResult read_some(int fd, char* buffer, std::size_t n) {
   for (;;) {
-    // rtlint: allow(raw-io) this IS the checked wrapper around ::read
-    const ssize_t r = ::read(fd, buffer, n);
+    const long r = g_hooks.read_fn(fd, buffer, n);
     if (r < 0) {
       if (errno == EINTR) continue;
       return failure(0);
@@ -76,8 +122,7 @@ IoResult read_some(int fd, char* buffer, std::size_t n) {
 IoResult send_all(int fd, const char* data, std::size_t n) {
   std::size_t off = 0;
   while (off < n) {
-    // rtlint: allow(raw-io) this IS the checked wrapper around ::send
-    const ssize_t s = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    const long s = g_hooks.send_fn(fd, data + off, n - off, MSG_NOSIGNAL);
     if (s < 0) {
       if (errno == EINTR) continue;
       if (errno == EPIPE || errno == ECONNRESET) return disconnect(off);
@@ -96,8 +141,7 @@ IoResult send_all(int fd, const char* data, std::size_t n) {
 
 IoResult recv_some(int fd, char* buffer, std::size_t n) {
   for (;;) {
-    // rtlint: allow(raw-io) this IS the checked wrapper around ::recv
-    const ssize_t r = ::recv(fd, buffer, n, 0);
+    const long r = g_hooks.recv_fn(fd, buffer, n, 0);
     if (r < 0) {
       if (errno == EINTR) continue;
       if (errno == ECONNRESET) return disconnect(0);
@@ -110,11 +154,152 @@ IoResult recv_some(int fd, char* buffer, std::size_t n) {
   }
 }
 
+IoResult recv_exact(int fd, char* buffer, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    IoResult r = recv_some(fd, buffer + off, n - off);
+    if (!r.ok()) {
+      r.bytes = off;
+      return r;
+    }
+    off += r.bytes;
+  }
+  IoResult r;
+  r.bytes = off;
+  return r;
+}
+
 IoResult fsync_fd(int fd) {
   for (;;) {
-    if (::fsync(fd) == 0) return {};
+    if (g_hooks.fsync_fn(fd) == 0) return {};
     if (errno != EINTR) return failure(0);
   }
+}
+
+bool split_hostport(std::string_view address, std::string* host,
+                    std::uint16_t* port, std::string* error) {
+  const std::size_t colon = address.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 || colon + 1 == address.size()) {
+    *error = "expected host:port, got '" + std::string(address) + "'";
+    return false;
+  }
+  const std::string_view port_text = address.substr(colon + 1);
+  unsigned long value = 0;
+  for (const char c : port_text) {
+    if (c < '0' || c > '9') {
+      *error = "bad port in '" + std::string(address) + "'";
+      return false;
+    }
+    value = value * 10 + static_cast<unsigned long>(c - '0');
+    if (value > 65535) {
+      *error = "port out of range in '" + std::string(address) + "'";
+      return false;
+    }
+  }
+  if (value == 0) {
+    *error = "port must be positive in '" + std::string(address) + "'";
+    return false;
+  }
+  *host = std::string(address.substr(0, colon));
+  *port = static_cast<std::uint16_t>(value);
+  return true;
+}
+
+int dial_tcp(const std::string& host, std::uint16_t port,
+             std::uint32_t timeout_ms, std::string* error) {
+  const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) != 1) {
+    *error = "unresolvable host '" + host + "' (dotted IPv4 or localhost)";
+    return -1;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    *error = std::string("fcntl: ") + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) {
+      *error = std::string("connect: ") + std::strerror(errno);
+      ::close(fd);
+      return -1;
+    }
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    const int timeout = timeout_ms == 0 ? -1 : static_cast<int>(timeout_ms);
+    int ready;
+    do {
+      ready = ::poll(&pfd, 1, timeout);
+    } while (ready < 0 && errno == EINTR);
+    if (ready <= 0) {
+      *error = ready == 0 ? "connect timed out"
+                          : std::string("poll: ") + std::strerror(errno);
+      ::close(fd);
+      return -1;
+    }
+    int soerr = 0;
+    socklen_t len = sizeof(soerr);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len) != 0 || soerr != 0) {
+      *error = std::string("connect: ") + std::strerror(soerr != 0 ? soerr : errno);
+      ::close(fd);
+      return -1;
+    }
+  }
+  if (::fcntl(fd, F_SETFL, flags) != 0) {
+    *error = std::string("fcntl: ") + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+IoResult LineReader::read_line(std::string* line, std::size_t max_bytes) {
+  line->clear();
+  for (;;) {
+    const std::size_t pos = buffer_.find('\n');
+    if (pos != std::string::npos) {
+      *line = buffer_.substr(0, pos);
+      buffer_.erase(0, pos + 1);
+      if (!line->empty() && line->back() == '\r') line->pop_back();
+      IoResult r;
+      r.bytes = line->size();
+      return r;
+    }
+    if (buffer_.size() > max_bytes) {
+      errno = EMSGSIZE;
+      return failure(buffer_.size());
+    }
+    char chunk[4096];
+    const IoResult r = recv_some(fd_, chunk, sizeof(chunk));
+    if (!r.ok()) return r;
+    buffer_.append(chunk, r.bytes);
+  }
+}
+
+IoResult LineReader::read_exact(char* buffer, std::size_t n) {
+  std::size_t off = 0;
+  if (!buffer_.empty()) {
+    off = buffer_.size() < n ? buffer_.size() : n;
+    std::memcpy(buffer, buffer_.data(), off);
+    buffer_.erase(0, off);
+  }
+  if (off == n) {
+    IoResult r;
+    r.bytes = n;
+    return r;
+  }
+  IoResult r = recv_exact(fd_, buffer + off, n - off);
+  r.bytes += off;
+  return r;
 }
 
 }  // namespace rtp::io

@@ -11,7 +11,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace rtp::io {
 
@@ -52,7 +54,60 @@ IoResult send_all(int fd, const char* data, std::size_t n);
 /// ECONNRESET map to Disconnected.
 IoResult recv_some(int fd, char* buffer, std::size_t n);
 
+/// Socket receive of exactly `n` bytes (loops recv_some).  Disconnected
+/// with bytes < n means the peer went away mid-transfer — a torn frame.
+IoResult recv_exact(int fd, char* buffer, std::size_t n);
+
 /// fsync(fd), retrying EINTR.  Returns Ok or Failed.
 IoResult fsync_fd(int fd);
+
+/// Split "host:port" (host may be "localhost" or a dotted IPv4 address).
+/// Returns false with *error set on a malformed address.
+bool split_hostport(std::string_view address, std::string* host,
+                    std::uint16_t* port, std::string* error);
+
+/// Connect a TCP socket to host:port with a bounded connect timeout
+/// (non-blocking connect + poll).  Returns the connected fd, or -1 with
+/// *error describing the failure.  timeout_ms == 0 waits indefinitely.
+int dial_tcp(const std::string& host, std::uint16_t port,
+             std::uint32_t timeout_ms, std::string* error);
+
+/// Buffered reader over a socket fd for protocols that mix newline-framed
+/// lines with length-prefixed binary frames (the replication handshake).
+/// Bytes received past a line's newline are kept and handed to the next
+/// read_line/read_exact call, so switching framing mid-stream loses
+/// nothing.  Not thread-safe; does not own the fd.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// Read one '\n'-terminated line (newline stripped, trailing '\r' too).
+  /// Failed with errno EMSGSIZE when the line exceeds `max_bytes`.
+  IoResult read_line(std::string* line, std::size_t max_bytes);
+
+  /// Read exactly `n` bytes, draining the internal buffer first.
+  IoResult read_exact(char* buffer, std::size_t n);
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+/// Test seam: the syscalls the wrappers above sit on, swappable so tests
+/// can inject EINTR storms, short transfers, zero-progress writes and
+/// errno faults against ordinary pipe fds.  Production code never touches
+/// this; the hooks are plain pointers and must only be swapped while no
+/// other thread is inside rtp::io.
+struct SyscallHooks {
+  long (*write_fn)(int fd, const void* buf, std::size_t n);
+  long (*read_fn)(int fd, void* buf, std::size_t n);
+  long (*send_fn)(int fd, const void* buf, std::size_t n, int flags);
+  long (*recv_fn)(int fd, void* buf, std::size_t n, int flags);
+  int (*fsync_fn)(int fd);
+};
+
+/// Swap the active hooks, returning the previous set (restore in teardown).
+/// Null members in `hooks` keep the defaults.
+SyscallHooks exchange_syscall_hooks_for_tests(const SyscallHooks& hooks);
 
 }  // namespace rtp::io

@@ -258,6 +258,10 @@ std::size_t JournalWriter::append_snapshot(std::string_view snapshot_text) {
   return append_record(RecordType::Snapshot, snapshot_text);
 }
 
+std::size_t JournalWriter::append(RecordType type, std::string_view payload) {
+  return append_record(type, payload);
+}
+
 void JournalWriter::rewind_to(std::size_t offset) {
   RTP_CHECK(offset >= kJournalMagic.size() && offset <= size_,
             "journal rewind offset out of range");
@@ -291,6 +295,26 @@ void JournalWriter::sync() {
   unsynced_ = 0;
 }
 
+void apply_journal_record(OnlineSession& session, const JournalRecord& record) {
+  switch (record.type) {
+    case RecordType::Event:
+      apply_event(session, parse_request(record.payload));
+      return;
+    case RecordType::Prediction: {
+      const auto tokens = split_whitespace(record.payload);
+      RTP_CHECK(tokens.size() == 2, "malformed prediction record");
+      const long long id = parse_int(tokens[0], "prediction record id");
+      RTP_CHECK(id >= 0 && id < static_cast<long long>(kInvalidJob),
+                "prediction record id out of range");
+      session.restore_prediction(static_cast<JobId>(id), parse_double_bits(tokens[1]));
+      return;
+    }
+    case RecordType::Snapshot:
+      fail("snapshot records are restored, not replayed");
+  }
+  fail("unreachable record type");
+}
+
 RecoveryReport recover_session(const std::string& path, OnlineSession& session,
                                bool truncate_file) {
   const JournalScan scan = scan_journal_file(path);
@@ -316,20 +340,11 @@ RecoveryReport recover_session(const std::string& path, OnlineSession& session,
   for (std::size_t i = first_tail; i < scan.records.size(); ++i) {
     const JournalRecord& record = scan.records[i];
     try {
-      if (record.type == RecordType::Event) {
-        apply_event(session, parse_request(record.payload));
-        ++report.events;
-      } else if (record.type == RecordType::Prediction) {
-        const auto tokens = split_whitespace(record.payload);
-        RTP_CHECK(tokens.size() == 2, "malformed prediction record");
-        const long long id = parse_int(tokens[0], "prediction record id");
-        RTP_CHECK(id >= 0 && id < static_cast<long long>(kInvalidJob),
-                  "prediction record id out of range");
-        session.restore_prediction(static_cast<JobId>(id), parse_double_bits(tokens[1]));
-        ++report.predictions;
-      }
       // A snapshot in the tail is impossible (first_tail points past the
-      // last one); nothing else reaches here.
+      // last one), so this only ever replays events and predictions.
+      apply_journal_record(session, record);
+      if (record.type == RecordType::Event) ++report.events;
+      else ++report.predictions;
     } catch (const Error& e) {
       // Possible only when the crash tore an append/rewind pair at the very
       // tail: skip, count, and report — never die on recovery.

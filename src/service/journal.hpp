@@ -139,6 +139,11 @@ class JournalWriter {
   /// Append a snapshot record and return the rewind mark.
   std::size_t append_snapshot(std::string_view snapshot_text);
 
+  /// Append a record of any type with a pre-formatted payload — the
+  /// replication follower path, which mirrors the primary's records
+  /// byte-for-byte instead of re-deriving them.
+  std::size_t append(RecordType type, std::string_view payload);
+
   /// Roll the file back to `offset` (ftruncate) after the session rejected
   /// the just-appended record.
   void rewind_to(std::size_t offset);
@@ -179,6 +184,13 @@ struct RecoveryReport {
   std::size_t rejected_events = 0;
   std::string warning;          ///< structured description when truncated
 };
+
+/// Apply one decoded Event or Prediction record to the session — the shared
+/// replay path used by recover_session and the replication follower, so a
+/// mirrored journal and a recovered one produce identical state.  Snapshot
+/// records are restored wholesale, never replayed; passing one throws.
+/// Throws rtp::Error / ProtocolError when the session rejects the record.
+void apply_journal_record(OnlineSession& session, const JournalRecord& record);
 
 /// Rebuild `session` (which must be fresh) from the journal at `path`:
 /// restore the last snapshot record, then replay the event / prediction

@@ -167,6 +167,11 @@ Request parse_request(std::string_view line) {
     req.kind = RequestKind::Stats;
     return req;
   }
+  if (verb == "promote") {
+    expect_arity(tokens, 1, "PROMOTE");
+    req.kind = RequestKind::Promote;
+    return req;
+  }
   if (verb == "quit" || verb == "bye") {
     expect_arity(tokens, 1, "QUIT");
     req.kind = RequestKind::Quit;
@@ -232,6 +237,8 @@ std::string format_request(const Request& request) {
       return "STATE";
     case RequestKind::Stats:
       return "STATS";
+    case RequestKind::Promote:
+      return "PROMOTE";
     case RequestKind::Quit:
       return "QUIT";
   }
@@ -244,6 +251,7 @@ std::string to_string(ProtocolErrorCode code) {
     case ProtocolErrorCode::State: return "state";
     case ProtocolErrorCode::Proto: return "proto";
     case ProtocolErrorCode::Busy: return "busy";
+    case ProtocolErrorCode::ReadOnly: return "readonly";
   }
   fail("unreachable protocol error code");
 }

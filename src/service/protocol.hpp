@@ -17,12 +17,13 @@
 //   INTERVAL <id> [<optimistic_scale> <pessimistic_scale>]
 //   STATE
 //   STATS
+//   PROMOTE
 //   QUIT
 //
 // Responses:
 //
 //   OK [key=value ...]
-//   ERR line=<n> code=<parse|state|proto> msg=<text to end of line>
+//   ERR line=<n> code=<parse|state|proto|busy|readonly> msg=<text to end of line>
 //
 // Parse errors (malformed tokens) report code=parse; semantically invalid
 // events against a healthy session (FINISH before SUBMIT, duplicate ids,
@@ -55,6 +56,7 @@ enum class RequestKind {
   Interval,
   State,
   Stats,
+  Promote,
   Quit,
 };
 
@@ -72,8 +74,11 @@ struct Request {
 /// Error category carried by ProtocolError; rendered into the ERR line.
 /// `Busy` is the overload-shedding code: the server refused to queue the
 /// request (bounded pending queue, deadline exceeded, connection limit) —
-/// the client should back off and retry.
-enum class ProtocolErrorCode { Parse, State, Proto, Busy };
+/// the client should back off and retry.  `ReadOnly` is the follower code:
+/// a warm standby mirrors the primary and answers queries, but mutating
+/// events must go to the primary — the client should fail over to the next
+/// address in its list.
+enum class ProtocolErrorCode { Parse, State, Proto, Busy, ReadOnly };
 
 /// Thrown by parse_request on malformed input; the server also raises it
 /// for version mismatches.  Session-level rtp::Error maps to code=state.

@@ -1,0 +1,313 @@
+// Journal-streaming replication: warm-standby rtpd and failover.
+//
+// A primary rtpd already write-ahead journals every accepted mutating event
+// (service/journal.hpp).  Replication assigns each committed journal record
+// a monotone sequence number and streams the records — byte-for-byte, with
+// the journal's own CRC framing — to any number of followers *after* the
+// local commit point, so a follower only ever holds a prefix of the
+// primary's acknowledged history.  A follower appends each record to its
+// own journal (which therefore mirrors the primary's record-for-record) and
+// applies it through the same code path recovery uses; on promotion it
+// answers every query bit-identically to an uncrashed primary that had
+// committed the same prefix.
+//
+// Sequence numbers.  seq(record) = base + 1-based record index in the
+// journal file.  `base` is zero for a journal that holds its full history
+// and is persisted in a tiny sidecar file ("<journal>.base") when it does
+// not — a follower seeded from a snapshot starts its journal with the
+// snapshot record, so its first record already stands for `base + 1`
+// records of history.
+//
+// Wire protocol (RTPREPL1, primary connects to the follower's listener):
+//
+//   primary  > RTPREPL1 hello fingerprint=<crc32 hex> seq=<last committed>
+//   follower < RTPREPL1 follow seq=<last applied>          (or "err msg=…")
+//   primary  > RTPREPL1 stream from=<applied+1>
+//              — or, when the follower is behind the primary's base —
+//   primary  > RTPREPL1 snapshot seq=<S> bytes=<n>
+//              <n raw snapshot bytes>                       then stream S+1…
+//
+// after which the connection carries length-prefixed frames both ways:
+//
+//   [u64 seq LE] [u32 len LE] [u32 crc32 LE] [len payload bytes]
+//
+// A data frame (seq >= 1) carries exactly the journal record's framed
+// payload (type byte + body) with the journal's own CRC.  seq == 0 frames
+// are control messages: "H <seq>" heartbeats primary→follower, "A <seq>"
+// acks follower→primary (feeding the per-follower lag counters).  The
+// fingerprint is a CRC-32 over the session configuration (policy,
+// predictor, machine size); mismatched deployments refuse to pair.
+//
+// Resync.  Any gap, CRC mismatch, torn frame or rejected record makes the
+// follower drop the connection; the primary reconnects with capped
+// exponential backoff (deterministic seeded jitter, src/core/rng) and the
+// handshake re-negotiates the resume point from the follower's last
+// committed seq.  Nothing is retransmitted speculatively and nothing is
+// ever applied twice.
+//
+// Promotion.  A follower is read-only (the server answers mutating verbs
+// with "ERR code=readonly") until promote() — explicit via the PROMOTE
+// verb, or automatic after `promote_after_ms` of primary silence — which
+// fsyncs the mirrored journal, re-enables prediction registration, and
+// flips the server read-write.  Promotion is one-way.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "service/journal.hpp"
+
+namespace rtp {
+
+class OnlineSession;
+class ServiceServer;
+
+/// Replication handshake magic (first token of every handshake line).
+inline constexpr std::string_view kReplicationMagic = "RTPREPL1";
+
+/// Bytes in a wire frame header: u64 seq + u32 len + u32 crc.
+inline constexpr std::size_t kWireHeaderBytes = 16;
+
+/// CRC-32 (hex) over the session configuration: a primary and a follower
+/// must run the same policy, predictor, and machine size for the mirrored
+/// journal to mean the same thing.
+std::string session_fingerprint(const OnlineSession& session);
+
+/// Sidecar ("<journal_path>.base") holding the seq-number base of a journal
+/// that does not start at history's beginning.  Absent sidecar reads as 0.
+std::uint64_t read_seq_base(const std::string& journal_path);
+void write_seq_base(const std::string& journal_path, std::uint64_t base);
+
+/// Append one wire frame ([seq][len][crc][payload]) to `out`.
+void append_wire_frame(std::string& out, std::uint64_t seq, std::string_view payload);
+
+struct WireFrame {
+  std::uint64_t seq = 0;
+  std::string payload;
+};
+
+/// Decode the first complete wire frame in `buffer`.  Returns the bytes
+/// consumed (0 when the buffer holds only a partial frame); throws
+/// rtp::Error on an implausible length or a CRC mismatch.
+std::size_t parse_wire_frame(std::string_view buffer, WireFrame* frame);
+
+struct ReplicationOptions {
+  /// Heartbeat cadence on an idle stream; also bounds how stale a
+  /// follower's liveness view can be.
+  std::uint32_t heartbeat_ms = 500;
+  std::uint32_t connect_timeout_ms = 2000;
+  /// Reconnect backoff: min * 2^attempt, capped at max, each delay scaled
+  /// by a deterministic jitter factor in [0.5, 1.0).
+  std::uint32_t backoff_min_ms = 50;
+  std::uint32_t backoff_max_ms = 2000;
+  /// Seed for the jitter stream (forked per follower), so a test's retry
+  /// timeline is reproducible.
+  std::uint64_t jitter_seed = 0x52545052u;  // "RTPR"
+};
+
+/// A consistent (snapshot text, seq at which it was taken) pair, produced
+/// under the server's session lock.
+struct ReplicationSnapshot {
+  std::string text;
+  std::uint64_t seq = 0;
+};
+
+/// Per-follower view for STATS and the --stats-interval line.
+struct FollowerStatus {
+  std::string address;
+  bool connected = false;
+  std::uint64_t acked_seq = 0;
+  std::uint64_t lag = 0;          ///< last committed seq - acked seq
+  std::uint64_t frames_sent = 0;
+  std::uint64_t resyncs = 0;      ///< reconnects after an established stream
+};
+
+/// Primary-side streamer.  One instance tails one journal file and fans it
+/// out to any number of followers, each on its own thread.  advance() is
+/// the only coupling to the server: it must be called (under the server's
+/// session lock) after every journal commit, with the journal's new size.
+class ReplicationSender {
+ public:
+  /// `journal_path` must already exist (create the JournalWriter first) and
+  /// have been recovered/truncated; the constructor scans it to learn the
+  /// committed record count and reads the seq-base sidecar.
+  ReplicationSender(std::string journal_path, std::string fingerprint,
+                    ReplicationOptions options = {});
+  ~ReplicationSender();
+
+  ReplicationSender(const ReplicationSender&) = delete;
+  ReplicationSender& operator=(const ReplicationSender&) = delete;
+
+  /// Source for bootstrap snapshots (followers behind the seq base).  Must
+  /// produce a serialize() of the replicated session paired with the seq of
+  /// the last record it covers, atomically with respect to commits (take
+  /// the server's session lock; see ServiceServer::replication_snapshot).
+  /// Without a source, such followers are refused until wiped.
+  void set_snapshot_source(std::function<ReplicationSnapshot()> source);
+
+  /// Register a follower address before start().
+  void add_follower(std::string host, std::uint16_t port);
+
+  void start();
+  /// Stop all streaming threads (blocks until joined).  Idempotent.
+  void stop();
+
+  /// One more journal record is committed; `committed_bytes` is the journal
+  /// size including it.  Called under the server's session lock.
+  void advance(std::size_t committed_bytes);
+
+  std::uint64_t last_committed_seq() const;
+  std::uint64_t seq_base() const { return base_; }
+
+  std::vector<FollowerStatus> followers() const;
+  /// Smallest acked seq across followers (0 when none registered).
+  std::uint64_t min_acked_seq() const;
+
+  /// Block until every follower has acked `seq` (true) or `timeout_ms`
+  /// elapsed (false).  Drain aid for graceful handover and tests.
+  bool wait_for_acks(std::uint64_t seq, std::uint32_t timeout_ms) const;
+
+ private:
+  struct Follower {
+    std::string host;
+    std::uint16_t port = 0;
+    std::thread thread;
+    std::atomic<bool> connected{false};
+    std::atomic<std::uint64_t> acked{0};
+    std::atomic<std::uint64_t> frames{0};
+    std::atomic<std::uint64_t> resyncs{0};
+  };
+
+  void run_follower(Follower& follower, std::uint64_t seed);
+  /// Stream over one established connection; returns when the connection
+  /// dies or stop() is called.  `established` reports whether the handshake
+  /// completed (a failed handshake is not counted as a resync).
+  void stream_connection(Follower& follower, int fd, bool* established);
+  bool stopped() const;
+
+  std::string journal_path_;
+  std::string fingerprint_;
+  ReplicationOptions options_;
+  std::function<ReplicationSnapshot()> snapshot_fn_;
+  std::uint64_t base_ = 0;
+
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  std::uint64_t last_seq_ = 0;      ///< guarded by mutex_
+  std::size_t watermark_ = 0;       ///< committed journal bytes; guarded by mutex_
+  bool stop_ = false;               ///< guarded by mutex_
+  bool started_ = false;
+
+  std::vector<std::unique_ptr<Follower>> followers_;
+};
+
+struct FollowerOptions {
+  /// Auto-promote after this much primary silence (no connection, no frame,
+  /// no heartbeat).  0 disables auto-promotion (PROMOTE verb only).
+  std::uint32_t promote_after_ms = 0;
+  /// Event-loop poll granularity; bounds promotion-deadline precision.
+  std::uint32_t poll_ms = 20;
+};
+
+struct FollowerCounters {
+  std::uint64_t frames_applied = 0;
+  std::uint64_t heartbeats = 0;
+  std::uint64_t snapshots_loaded = 0;
+  std::uint64_t resyncs = 0;   ///< connections dropped on gap/CRC/reject
+  std::uint64_t rejected = 0;  ///< records the session refused (rewound)
+};
+
+/// Follower-side listener/applier.  Owns one replication listener and a
+/// single applier thread; constructing one flips the server read-only and
+/// disables prediction registration on the session (promotion undoes both).
+/// The session, journal and server must outlive the applier; all session
+/// and journal access happens under the server's session lock
+/// (ServiceServer::locked_apply), so the server can serve read-only queries
+/// concurrently with replication.
+class FollowerApplier {
+ public:
+  /// The journal must already be recovered into `session` (rtpd does this
+  /// before building the server); the constructor scans the journal file to
+  /// learn the applied seq.
+  FollowerApplier(ServiceServer& server, OnlineSession& session,
+                  JournalWriter& journal, std::string fingerprint,
+                  FollowerOptions options = {});
+  ~FollowerApplier();
+
+  FollowerApplier(const FollowerApplier&) = delete;
+  FollowerApplier& operator=(const FollowerApplier&) = delete;
+
+  /// Bind the replication listener on 127.0.0.1:`port` (0 = ephemeral);
+  /// returns the bound port.  Call before start().
+  std::uint16_t listen_on(std::uint16_t port);
+
+  void start();
+  /// Stop the applier thread and close the listener.  Idempotent.
+  void stop();
+
+  /// Flip to primary: final journal fsync, re-enable prediction
+  /// registration, clear the server's read-only gate.  promote() takes the
+  /// server's session lock; promote_locked() is for callers that already
+  /// hold it (the PROMOTE verb inside render()).  Both are idempotent.
+  void promote();
+  void promote_locked();
+  bool promoted() const { return promoted_.load(std::memory_order_acquire); }
+
+  std::uint64_t applied_seq() const { return applied_seq_.load(std::memory_order_acquire); }
+  FollowerCounters counters() const;
+
+ private:
+  struct Connection;
+
+  void run();
+  void accept_connection();
+  /// Drain and process buffered bytes; returns false when the connection
+  /// must be dropped (protocol violation, gap, rejected record).
+  bool process_buffer();
+  bool handle_frame(const WireFrame& frame);
+  bool load_snapshot(std::uint64_t seq, const std::string& text);
+  bool send_control(const std::string& text);
+  bool send_line(const std::string& line);
+  void close_connection();
+
+  ServiceServer& server_;
+  OnlineSession& session_;
+  JournalWriter& journal_;
+  std::string fingerprint_;
+  FollowerOptions options_;
+
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> promoted_{false};
+  std::atomic<std::uint64_t> applied_seq_{0};
+
+  std::atomic<std::uint64_t> frames_applied_{0};
+  std::atomic<std::uint64_t> heartbeats_{0};
+  std::atomic<std::uint64_t> snapshots_loaded_{0};
+  std::atomic<std::uint64_t> resyncs_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+
+  int listen_fd_ = -1;
+
+  // Connection state, touched only by the applier thread (and the
+  // destructor after join).
+  enum class Phase { Hello, Mode, Snapshot, Frames };
+  int conn_fd_ = -1;
+  Phase phase_ = Phase::Hello;
+  std::string buffer_;
+  std::uint64_t snapshot_seq_ = 0;
+  std::size_t snapshot_bytes_ = 0;
+  std::chrono::steady_clock::time_point last_activity_{};
+};
+
+}  // namespace rtp

@@ -16,6 +16,7 @@
 #include "core/log.hpp"
 #include "service/io.hpp"
 #include "service/journal.hpp"
+#include "service/replication.hpp"
 
 namespace rtp {
 namespace {
@@ -68,8 +69,14 @@ void ServiceServer::journaled_event(std::string_view line, Fn&& apply) {
     throw;
   }
   journal->commit();
+  replicate_commit();
   ++records_since_snapshot_;
   maybe_snapshot();
+}
+
+void ServiceServer::replicate_commit() {
+  if (options_.replication != nullptr && options_.journal != nullptr)
+    options_.replication->advance(options_.journal->size());
 }
 
 void ServiceServer::journal_prediction(JobId id, std::size_t registered_before) {
@@ -79,6 +86,7 @@ void ServiceServer::journal_prediction(JobId id, std::size_t registered_before) 
   if (wait == kNoTime) return;  // the new registration was for another job
   journal->append_prediction(id, wait);
   journal->commit();
+  replicate_commit();
   ++records_since_snapshot_;
   maybe_snapshot();
 }
@@ -92,6 +100,7 @@ void ServiceServer::maybe_snapshot() {
     session_.serialize(snapshot);
     journal->append_snapshot(snapshot.str());
     journal->commit();
+    replicate_commit();
     records_since_snapshot_ = 0;
   } catch (const Error& e) {
     // The event tail is still intact, so recovery works without this
@@ -110,7 +119,19 @@ void ServiceServer::snapshot_now() {
   journal->append_snapshot(snapshot.str());
   journal->commit();
   journal->sync();
+  replicate_commit();
   records_since_snapshot_ = 0;
+}
+
+ReplicationSnapshot ServiceServer::replication_snapshot() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ReplicationSnapshot snapshot;
+  std::ostringstream out;
+  session_.serialize(out);
+  snapshot.text = out.str();
+  snapshot.seq =
+      options_.replication != nullptr ? options_.replication->last_committed_seq() : 0;
+  return snapshot;
 }
 
 std::string ServiceServer::render(const Request& request, std::string_view line,
@@ -118,6 +139,19 @@ std::string ServiceServer::render(const Request& request, std::string_view line,
   const auto ok_version = [this] {
     return format_ok("version=" + std::to_string(session_.state_version()));
   };
+  // Follower gate: a warm standby mirrors the primary's journal, so local
+  // mutations would fork history.  Queries stay answerable (that is the
+  // point of a warm standby); mutating verbs bounce to the primary.
+  const bool mutating = request.kind == RequestKind::Submit ||
+                        request.kind == RequestKind::Start ||
+                        request.kind == RequestKind::Finish ||
+                        request.kind == RequestKind::Cancel ||
+                        request.kind == RequestKind::Fail ||
+                        request.kind == RequestKind::NodeDown ||
+                        request.kind == RequestKind::NodeUp;
+  if (mutating && read_only())
+    throw ProtocolError(ProtocolErrorCode::ReadOnly,
+                        "follower is read-only; send events to the primary");
   switch (request.kind) {
     case RequestKind::Hello:
       if (request.version != kProtocolVersion)
@@ -177,47 +211,90 @@ std::string ServiceServer::render(const Request& request, std::string_view line,
                        " running=" + std::to_string(s.running().size()) +
                        " queued=" + std::to_string(s.queue().size()));
     }
-    case RequestKind::Stats: {
-      const SessionCounters& c = session_.counters();
-      const double uptime =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - started_).count();
-      const std::uint64_t requests = requests_.load(std::memory_order_relaxed);
-      const std::uint64_t lookups = c.cache_hits + c.cache_misses;
-      const double hit_rate =
-          lookups > 0 ? static_cast<double>(c.cache_hits) / static_cast<double>(lookups) : 0.0;
-      const double qps = uptime > 0.0 ? static_cast<double>(requests) / uptime : 0.0;
-      std::string out =
-          "requests=" + std::to_string(requests) +
-          " errors=" + std::to_string(errors_.load(std::memory_order_relaxed)) +
-          " qps=" + format_number(qps) + " events=" + std::to_string(c.events) +
-          " queries=" + std::to_string(c.queries) +
-          " cache_hits=" + std::to_string(c.cache_hits) +
-          " cache_misses=" + std::to_string(c.cache_misses) +
-          " hit_rate=" + format_number(hit_rate) +
-          " p50_us=" + format_number(estimate_latency_us_.p50()) +
-          " p95_us=" + format_number(estimate_latency_us_.p95()) +
-          " p99_us=" + format_number(estimate_latency_us_.p99()) +
-          " max_us=" + format_number(estimate_latency_us_.max()) +
-          " completed=" + std::to_string(session_.result().completed) +
-          " mean_wait_s=" + format_number(session_.wait_stats().mean()) +
-          " mean_abs_err_s=" + format_number(session_.error_stats().mean()) +
-          " shed=" + std::to_string(shed_.load(std::memory_order_relaxed)) +
-          " shed_connections=" +
-          std::to_string(shed_connections_.load(std::memory_order_relaxed));
-      if (options_.journal != nullptr) {
-        const JournalWriter::Counters& j = options_.journal->counters();
-        out += " journal_records=" + std::to_string(j.records) +
-               " journal_bytes=" + std::to_string(j.bytes) +
-               " journal_syncs=" + std::to_string(j.syncs) +
-               " snapshots=" + std::to_string(j.snapshots);
-      }
-      return format_ok(out);
-    }
+    case RequestKind::Stats:
+      return format_ok(stats_body());
+    case RequestKind::Promote:
+      if (follower_ == nullptr)
+        throw ProtocolError(ProtocolErrorCode::State,
+                            "PROMOTE: this server is not a follower");
+      if (!read_only())
+        throw ProtocolError(ProtocolErrorCode::State,
+                            "PROMOTE: already promoted");
+      follower_->promote_locked();
+      return format_ok("role=primary seq=" + std::to_string(follower_->applied_seq()));
     case RequestKind::Quit:
       if (quit != nullptr) *quit = true;
       return format_ok("bye");
   }
   fail("unreachable request kind");
+}
+
+std::string ServiceServer::stats_body() const {
+  const SessionCounters& c = session_.counters();
+  const double uptime =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started_).count();
+  const std::uint64_t requests = requests_.load(std::memory_order_relaxed);
+  const std::uint64_t lookups = c.cache_hits + c.cache_misses;
+  const double hit_rate =
+      lookups > 0 ? static_cast<double>(c.cache_hits) / static_cast<double>(lookups) : 0.0;
+  const double qps = uptime > 0.0 ? static_cast<double>(requests) / uptime : 0.0;
+  std::string out =
+      "requests=" + std::to_string(requests) +
+      " errors=" + std::to_string(errors_.load(std::memory_order_relaxed)) +
+      " qps=" + format_number(qps) + " events=" + std::to_string(c.events) +
+      " queries=" + std::to_string(c.queries) +
+      " cache_hits=" + std::to_string(c.cache_hits) +
+      " cache_misses=" + std::to_string(c.cache_misses) +
+      " hit_rate=" + format_number(hit_rate) +
+      " p50_us=" + format_number(estimate_latency_us_.p50()) +
+      " p95_us=" + format_number(estimate_latency_us_.p95()) +
+      " p99_us=" + format_number(estimate_latency_us_.p99()) +
+      " max_us=" + format_number(estimate_latency_us_.max()) +
+      " completed=" + std::to_string(session_.result().completed) +
+      " mean_wait_s=" + format_number(session_.wait_stats().mean()) +
+      " mean_abs_err_s=" + format_number(session_.error_stats().mean()) +
+      " shed=" + std::to_string(shed_.load(std::memory_order_relaxed)) +
+      " shed_connections=" +
+      std::to_string(shed_connections_.load(std::memory_order_relaxed));
+  if (options_.journal != nullptr) {
+    const JournalWriter::Counters& j = options_.journal->counters();
+    out += " journal_records=" + std::to_string(j.records) +
+           " journal_bytes=" + std::to_string(j.bytes) +
+           " journal_syncs=" + std::to_string(j.syncs) +
+           " snapshots=" + std::to_string(j.snapshots);
+  }
+  // Replication keys appear only when a sender or applier is attached, so
+  // an unreplicated server's STATS line is byte-identical to before.
+  if (options_.replication != nullptr) {
+    const auto followers = options_.replication->followers();
+    std::size_t connected = 0;
+    std::uint64_t max_lag = 0;
+    for (const FollowerStatus& f : followers) {
+      if (f.connected) ++connected;
+      if (f.lag > max_lag) max_lag = f.lag;
+    }
+    out += " repl_role=primary repl_last_seq=" +
+           std::to_string(options_.replication->last_committed_seq()) +
+           " repl_followers=" + std::to_string(followers.size()) +
+           " repl_connected=" + std::to_string(connected) +
+           " repl_min_acked=" + std::to_string(options_.replication->min_acked_seq()) +
+           " repl_max_lag=" + std::to_string(max_lag);
+  }
+  if (follower_ != nullptr) {
+    const FollowerCounters f = follower_->counters();
+    out += std::string(" repl_role=") + (read_only() ? "follower" : "primary") +
+           " repl_applied_seq=" + std::to_string(follower_->applied_seq()) +
+           " repl_frames=" + std::to_string(f.frames_applied) +
+           " repl_heartbeats=" + std::to_string(f.heartbeats) +
+           " repl_resyncs=" + std::to_string(f.resyncs) +
+           " repl_rejected=" + std::to_string(f.rejected);
+  }
+  return out;
+}
+
+std::string ServiceServer::stats_line() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_body();
 }
 
 std::string ServiceServer::shed_response(std::size_t line_number, const char* reason) {

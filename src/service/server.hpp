@@ -48,6 +48,9 @@
 namespace rtp {
 
 class JournalWriter;
+class ReplicationSender;
+class FollowerApplier;
+struct ReplicationSnapshot;
 
 struct ServerOptions {
   /// Workers for TCP connections (0 = hardware concurrency).
@@ -62,6 +65,13 @@ struct ServerOptions {
   /// Append a session snapshot record every this many committed journal
   /// records (0 disables periodic snapshots).
   std::size_t snapshot_every = 256;
+
+  // --- Replication (service/replication.hpp). ---------------------------
+
+  /// Primary-side journal streamer; not owned, may be null.  Requires
+  /// `journal`: the server advances the sender after every commit, which is
+  /// what releases records to followers (commit-before-replicate).
+  ReplicationSender* replication = nullptr;
 
   // --- Overload protection. ---------------------------------------------
 
@@ -126,6 +136,37 @@ class ServiceServer {
   /// (startup baseline, drain path).  No-op without a journal.
   void snapshot_now();
 
+  // --- Replication (service/replication.hpp). ---------------------------
+
+  /// Follower mode: with the gate up, mutating verbs answer
+  /// "ERR code=readonly" while queries keep working against the mirrored
+  /// session.  The FollowerApplier raises it on construction and clears it
+  /// on promotion.
+  void set_read_only(bool read_only) {
+    read_only_.store(read_only, std::memory_order_release);
+  }
+  bool read_only() const { return read_only_.load(std::memory_order_acquire); }
+
+  /// Attach the follower applier so STATS can report replication progress
+  /// and the PROMOTE verb can reach it.  Call during single-threaded setup.
+  void attach_follower(FollowerApplier* follower) { follower_ = follower; }
+
+  /// Run `fn` with the session lock held — the replication follower's apply
+  /// path, serialized against request handling exactly like a request.
+  template <typename Fn>
+  auto locked_apply(Fn&& fn) -> decltype(fn()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return fn();
+  }
+
+  /// Serialize the session paired with the seq it covers, atomically with
+  /// respect to commits — the sender's bootstrap snapshot source.
+  ReplicationSnapshot replication_snapshot();
+
+  /// The STATS response body (without "OK "), for rtpd's --stats-interval
+  /// line.  Takes the session lock; does not count as a request.
+  std::string stats_line();
+
   ServerStats stats() const;
 
  private:
@@ -140,10 +181,17 @@ class ServiceServer {
   /// Snapshot on cadence; requires mutex_ held.  Failures are logged, not
   /// fatal (the journal still has the full event tail).
   void maybe_snapshot();
+  /// Release the just-committed journal record to the replication sender
+  /// (no-op without one); requires mutex_ held.
+  void replicate_commit();
+  /// The STATS body; requires mutex_ held.
+  std::string stats_body() const;
   std::string shed_response(std::size_t line_number, const char* reason);
 
   OnlineSession& session_;
   ServerOptions options_;
+  FollowerApplier* follower_ = nullptr;  // set during setup, before serving
+  std::atomic<bool> read_only_{false};
   ThreadPool pool_;
   mutable std::mutex mutex_;  // session + histograms
   std::chrono::steady_clock::time_point started_;

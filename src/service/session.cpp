@@ -204,7 +204,7 @@ Seconds OnlineSession::estimate_wait(JobId id) {
   }
   // The first estimate after a submission is the paper's "prediction at
   // submit time"; it is scored against the actual wait at START.
-  if (record.attempts == 0) predicted_wait_.emplace(id, expected);
+  if (record.attempts == 0 && record_predictions_) predicted_wait_.emplace(id, expected);
   return expected;
 }
 
@@ -229,7 +229,8 @@ WaitInterval OnlineSession::estimate_interval(JobId id, double optimistic_scale,
     slot.expected = slot.band.expected;
     slot.has_expected = true;
   }
-  if (record.attempts == 0) predicted_wait_.emplace(id, slot.band.expected);
+  if (record.attempts == 0 && record_predictions_)
+    predicted_wait_.emplace(id, slot.band.expected);
   return slot.band;
 }
 

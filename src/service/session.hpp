@@ -117,6 +117,10 @@ class OnlineSession {
   /// Bumped by every applied (state-changing) event; the cache key.
   std::uint64_t state_version() const { return version_; }
   const SystemState& state() const { return state_; }
+  /// Mirrored policy / predictor names (the replication config fingerprint
+  /// is built from these plus the machine size).
+  std::string policy_name() const { return policy_.name(); }
+  std::string predictor_name() const { return predictor_.name(); }
   const SessionCounters& counters() const { return counters_; }
   const SessionOptions& options() const { return options_; }
 
@@ -150,6 +154,14 @@ class OnlineSession {
   /// name), leaving the session unusable only on a throw mid-restore into
   /// an already-fresh session.
   void restore(std::istream& in);
+
+  /// Whether a job's first estimate registers a submit-time prediction for
+  /// wait-error scoring (the default).  A replication follower serves
+  /// estimates read-only: registration is disabled so its serialized state
+  /// stays byte-identical to the primary's (which replicates its own
+  /// registrations as P records), and re-enabled on promotion.
+  void set_record_predictions(bool record) { record_predictions_ = record; }
+  bool record_predictions() const { return record_predictions_; }
 
   /// Registered-but-unscored submit-time predictions (journal P records).
   std::size_t recorded_predictions() const { return predicted_wait_.size(); }
@@ -195,6 +207,7 @@ class OnlineSession {
   SessionOptions options_;
   const SchedulerPolicy& policy_;
   RuntimeEstimator& predictor_;
+  bool record_predictions_ = true;
   SystemState state_;
   Seconds now_ = 0.0;
   bool saw_event_ = false;           // first event pins first_submit_

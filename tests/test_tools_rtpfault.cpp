@@ -1,0 +1,144 @@
+// rtpfault rule engine (tools/rtpfault/faults.hpp): script parsing, the
+// per-direction chunk counters, one-shot fault resolution, deterministic
+// jitter, and counter persistence across the reconnects the faults provoke.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+#include "rtpfault/faults.hpp"
+
+namespace rtpfault {
+namespace {
+
+TEST(FaultScript, ParsesEveryFaultKindAndDirections) {
+  const std::vector<Rule> rules = parse_script(
+      "delay@3=250 up:drop@1 down:torn@7=5 close@9 partition@2=100 "
+      "slow@4=16 jitter=20,up:jitter=5");
+  ASSERT_EQ(rules.size(), 8u);
+
+  EXPECT_EQ(rules[0].fault, Fault::Delay);
+  EXPECT_EQ(rules[0].direction, Direction::Both);
+  EXPECT_EQ(rules[0].chunk, 3u);
+  EXPECT_EQ(rules[0].arg, 250u);
+
+  EXPECT_EQ(rules[1].fault, Fault::Drop);
+  EXPECT_EQ(rules[1].direction, Direction::Up);
+  EXPECT_EQ(rules[1].chunk, 1u);
+
+  EXPECT_EQ(rules[2].fault, Fault::Torn);
+  EXPECT_EQ(rules[2].direction, Direction::Down);
+  EXPECT_EQ(rules[2].arg, 5u);
+
+  EXPECT_EQ(rules[3].fault, Fault::Close);
+  EXPECT_EQ(rules[4].fault, Fault::Partition);
+  EXPECT_EQ(rules[5].fault, Fault::Slow);
+  EXPECT_EQ(rules[6].fault, Fault::Jitter);
+  EXPECT_EQ(rules[6].chunk, 0u);
+  EXPECT_EQ(rules[7].direction, Direction::Up);
+
+  EXPECT_TRUE(parse_script("").empty());
+  EXPECT_TRUE(parse_script("  ,  ").empty());
+}
+
+TEST(FaultScript, DescribeRoundTrips) {
+  for (const std::string& text :
+       {std::string("delay@3=250"), std::string("up:drop@1"),
+        std::string("down:torn@7=5"), std::string("partition@2=100"),
+        std::string("slow@4=16"), std::string("jitter=20")}) {
+    const std::vector<Rule> rules = parse_script(text);
+    ASSERT_EQ(rules.size(), 1u) << text;
+    EXPECT_EQ(describe(rules[0]), text);
+  }
+  // close has no argument; describe must not invent one.
+  EXPECT_EQ(describe(parse_script("close@9")[0]), "close@9");
+}
+
+TEST(FaultScript, RejectsMalformedRules) {
+  EXPECT_THROW(parse_script("explode@1"), rtp::Error);       // unknown fault
+  EXPECT_THROW(parse_script("delay@1"), rtp::Error);         // missing arg
+  EXPECT_THROW(parse_script("drop@1=5"), rtp::Error);        // surplus arg
+  EXPECT_THROW(parse_script("delay=5"), rtp::Error);         // missing chunk
+  EXPECT_THROW(parse_script("jitter@3=5"), rtp::Error);      // surplus chunk
+  EXPECT_THROW(parse_script("drop@0"), rtp::Error);          // chunks are 1-based
+  EXPECT_THROW(parse_script("torn@2=0"), rtp::Error);        // zero-byte tear
+  EXPECT_THROW(parse_script("delay@x=5"), rtp::Error);       // bad number
+  EXPECT_THROW(parse_script("delay@1=99999999999999999999"), rtp::Error);
+}
+
+TEST(FaultSchedule, FiresOnTheScriptedChunkOnly) {
+  Schedule schedule(parse_script("up:drop@2 down:delay@1=30"), 1);
+
+  Action a = schedule.next(Direction::Up);  // up chunk 1: clean
+  EXPECT_FALSE(a.drop);
+  EXPECT_EQ(a.delay_ms, 0u);
+
+  a = schedule.next(Direction::Down);  // down chunk 1: delayed
+  EXPECT_EQ(a.delay_ms, 30u);
+  EXPECT_FALSE(a.drop);
+
+  a = schedule.next(Direction::Up);  // up chunk 2: dropped
+  EXPECT_TRUE(a.drop);
+  EXPECT_FALSE(a.close);
+
+  a = schedule.next(Direction::Up);  // up chunk 3: clean again
+  EXPECT_FALSE(a.drop);
+
+  EXPECT_EQ(schedule.chunks_seen(Direction::Up), 3u);
+  EXPECT_EQ(schedule.chunks_seen(Direction::Down), 1u);
+  EXPECT_EQ(schedule.faults_fired(), 2u);
+}
+
+TEST(FaultSchedule, TornAndCloseAndPartitionCompose) {
+  Schedule schedule(parse_script("torn@1=5 close@2 partition@3=40"), 1);
+
+  Action a = schedule.next(Direction::Up);
+  EXPECT_EQ(a.torn_bytes, 5u);
+  EXPECT_TRUE(a.close);
+  EXPECT_FALSE(a.drop);  // torn forwards a prefix, close@N forwards nothing
+
+  a = schedule.next(Direction::Up);
+  EXPECT_TRUE(a.close);
+  EXPECT_TRUE(a.drop);
+
+  a = schedule.next(Direction::Up);
+  EXPECT_EQ(a.stall_ms, 40u);
+  EXPECT_FALSE(a.close);
+}
+
+TEST(FaultSchedule, JitterIsDeterministicPerSeed) {
+  const std::vector<Rule> rules = parse_script("jitter=50");
+  Schedule a(rules, 42);
+  Schedule b(rules, 42);
+  Schedule c(rules, 43);
+  std::vector<std::uint64_t> delays_a, delays_b, delays_c;
+  for (int i = 0; i < 16; ++i) {
+    delays_a.push_back(a.next(Direction::Up).delay_ms);
+    delays_b.push_back(b.next(Direction::Up).delay_ms);
+    delays_c.push_back(c.next(Direction::Up).delay_ms);
+  }
+  EXPECT_EQ(delays_a, delays_b);  // same seed, same timeline
+  EXPECT_NE(delays_a, delays_c);  // different seed, different timeline
+  for (const std::uint64_t d : delays_a) EXPECT_LT(d, 50u);
+}
+
+TEST(FaultSchedule, CountersPersistAcrossReconnects) {
+  // A proxy link torn down and re-established keeps the same Schedule, so
+  // a rule on chunk 3 still fires when chunks 1-2 came on the old link.
+  Schedule schedule(parse_script("up:close@3"), 1);
+  EXPECT_FALSE(schedule.next(Direction::Up).close);  // link 1, chunk 1
+  EXPECT_FALSE(schedule.next(Direction::Up).close);  // link 1, chunk 2
+  // ... link dies for unrelated reasons, peer reconnects ...
+  EXPECT_TRUE(schedule.next(Direction::Up).close);   // link 2, chunk 3
+}
+
+TEST(FaultSchedule, DirectionlessRulesFireOnEitherDirection) {
+  Schedule schedule(parse_script("drop@1"), 1);
+  EXPECT_TRUE(schedule.next(Direction::Up).drop);    // up chunk 1
+  EXPECT_TRUE(schedule.next(Direction::Down).drop);  // down chunk 1
+  EXPECT_FALSE(schedule.next(Direction::Up).drop);   // up chunk 2
+}
+
+}  // namespace
+}  // namespace rtpfault

@@ -1,0 +1,105 @@
+// rtpctl — command-line RTP/1 client with retry and failover.
+//
+// Sends request lines to an rtpd fleet through rtp::ServiceClient
+// (src/service/client.hpp): transport failures and "ERR code=readonly"
+// answers fail over to the next address in --servers order, "ERR code=busy"
+// retries the same server after a capped, deterministically jittered
+// backoff.  Each server's answer line is printed to stdout.
+//
+//   # one request, positional tokens joined into the request line:
+//   ./rtpctl --servers 127.0.0.1:7421 STATS
+//   ./rtpctl --servers 127.0.0.1:7421,127.0.0.1:7422 ESTIMATE 17
+//
+//   # promote a follower after its primary died:
+//   ./rtpctl --servers 127.0.0.1:7422 PROMOTE
+//
+//   # or stream request lines from stdin (one exchange per line):
+//   head -n 100 anl.events | ./rtpctl --servers 127.0.0.1:7421 --stdin
+//
+// Exit status: 0 when every answer was OK, 2 when any answer was ERR, 1 on
+// transport failure (no server produced a definitive answer) or usage
+// errors.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/args.hpp"
+#include "core/error.hpp"
+#include "service/client.hpp"
+
+namespace {
+
+/// Send one line; prints the answer and returns its OK/ERR verdict.
+bool exchange(rtp::ServiceClient& client, const std::string& line) {
+  const rtp::ClientReply reply = client.request(line);
+  std::cout << reply.line << "\n";
+  return reply.ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    rtp::ArgParser args(argc, argv);
+    args.add_option("servers",
+                    "comma-separated host:port list in failover order (primary first)",
+                    "127.0.0.1:7421");
+    args.add_option("attempts", "total tries per request across retry and failover", "4");
+    args.add_option("connect-timeout-ms", "TCP connect timeout per attempt", "2000");
+    args.add_option("read-timeout-ms", "response timeout per attempt", "5000");
+    args.add_option("backoff-min-ms", "first retry backoff", "50");
+    args.add_option("backoff-max-ms", "retry backoff cap", "2000");
+    args.add_option("seed", "backoff jitter seed (reproducible retry timelines)",
+                    "1381258307");
+    args.add_flag("stdin", "read request lines from stdin instead of the command line");
+    if (!args.parse()) return 0;
+
+    rtp::ClientOptions options;
+    options.max_attempts = static_cast<std::uint32_t>(args.integer("attempts"));
+    options.connect_timeout_ms =
+        static_cast<std::uint32_t>(args.integer("connect-timeout-ms"));
+    options.read_timeout_ms =
+        static_cast<std::uint32_t>(args.integer("read-timeout-ms"));
+    options.backoff_min_ms = static_cast<std::uint32_t>(args.integer("backoff-min-ms"));
+    options.backoff_max_ms = static_cast<std::uint32_t>(args.integer("backoff-max-ms"));
+    options.jitter_seed = static_cast<std::uint64_t>(args.integer("seed"));
+
+    std::vector<std::string> addresses;
+    {
+      const std::string servers = args.str("servers");
+      std::size_t start = 0;
+      while (start <= servers.size()) {
+        const std::size_t comma = servers.find(',', start);
+        const std::size_t end = comma == std::string::npos ? servers.size() : comma;
+        if (end > start) addresses.push_back(servers.substr(start, end - start));
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    }
+    rtp::ServiceClient client(std::move(addresses), options);
+
+    bool all_ok = true;
+    if (args.flag("stdin")) {
+      RTP_CHECK(args.positional().empty(),
+                "--stdin and a positional request are mutually exclusive");
+      std::string line;
+      while (std::getline(std::cin, line)) {
+        if (line.empty()) continue;
+        if (!exchange(client, line)) all_ok = false;
+      }
+    } else {
+      RTP_CHECK(!args.positional().empty(),
+                "no request given (pass verb tokens, or --stdin)");
+      std::string line;
+      for (const std::string& token : args.positional()) {
+        if (!line.empty()) line += ' ';
+        line += token;
+      }
+      if (!exchange(client, line)) all_ok = false;
+    }
+    return all_ok ? 0 : 2;
+  } catch (const std::exception& e) {
+    std::cerr << "rtpctl: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -24,13 +24,29 @@
 // the session has live state before serving.  Without --trace the session
 // starts empty on --nodes nodes (history predictors start cold).
 //
+// Replication (src/service/replication.hpp): a primary streams its journal
+// to warm standbys, a follower mirrors one and serves read-only queries:
+//
+//   # primary, streaming the journal to a follower's replication port:
+//   ./rtpd --nodes 64 --journal p.rtpj --replicate-to 127.0.0.1:7500
+//   # follower: replication listener on 7500, read-only clients on 7421:
+//   ./rtpd --nodes 64 --journal f.rtpj --follow 7500 --mode tcp --port 7421
+//   # failover: PROMOTE over the wire (rtpctl), --promote-after-ms
+//   # auto-promotion, or restart the follower's journal as the primary:
+//   ./rtpd --nodes 64 --journal f.rtpj --follow 7500 --promote
+//
 // SIGINT/SIGTERM drain gracefully: the server stops accepting, finishes
 // in-flight requests, fsyncs the journal, and emits a final STATS line on
-// stderr before exiting.
+// stderr before exiting.  SIGPIPE is ignored process-wide: peers (clients,
+// followers, chaos proxies) may vanish mid-write at any time, and the
+// rtp::io wrappers already turn EPIPE into an orderly disconnect.
+#include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <thread>
 
 #include <unistd.h>
@@ -38,12 +54,14 @@
 #include "core/args.hpp"
 #include "core/error.hpp"
 #include "core/log.hpp"
+#include "core/strings.hpp"
 #include "predict/factory.hpp"
 #include "predict/simple.hpp"
 #include "sched/policy.hpp"
 #include "service/io.hpp"
 #include "service/journal.hpp"
 #include "service/replay.hpp"
+#include "service/replication.hpp"
 #include "service/server.hpp"
 #include "service/session.hpp"
 #include "workload/native.hpp"
@@ -70,6 +88,12 @@ void install_signal_handlers() {
   sa.sa_flags = 0;  // no SA_RESTART: blocked reads must return so we can drain
   ::sigaction(SIGINT, &sa, nullptr);
   ::sigaction(SIGTERM, &sa, nullptr);
+  // A peer that hard-closes mid-write must surface as EPIPE through the
+  // rtp::io wrappers, never as a process-killing signal.
+  struct sigaction ignore_pipe{};
+  ignore_pipe.sa_handler = SIG_IGN;
+  sigemptyset(&ignore_pipe.sa_mask);
+  ::sigaction(SIGPIPE, &ignore_pipe, nullptr);
 }
 
 }  // namespace
@@ -97,6 +121,21 @@ int main(int argc, char** argv) {
                     "64");
     args.add_option("max-connections", "concurrent TCP clients (0 = unbounded)", "64");
     args.add_option("deadline-ms", "per-request deadline before shedding (0 = none)", "0");
+    args.add_option("replicate-to",
+                    "stream the journal to these follower replication ports "
+                    "(host:port, comma-separated; requires --journal)", "");
+    args.add_option("follow",
+                    "follower mode: accept a primary's journal stream on this "
+                    "replication port (0 = ephemeral; requires --journal)", "");
+    args.add_flag("promote",
+                  "with --follow: skip following and come up as the primary "
+                  "(restart a follower's journal after failover)");
+    args.add_option("promote-after-ms",
+                    "follower auto-promotion after this much primary silence "
+                    "(0 = PROMOTE verb only)", "0");
+    args.add_option("heartbeat-ms", "replication heartbeat cadence", "500");
+    args.add_option("stats-interval",
+                    "emit a STATS line to stderr every this many seconds (0 = off)", "0");
     args.add_flag("verbose", "progress logging to stderr");
     if (!args.parse()) return 0;
     if (args.flag("verbose")) rtp::set_log_level(rtp::LogLevel::Info);
@@ -199,6 +238,34 @@ int main(int argc, char** argv) {
       journal = std::make_unique<rtp::JournalWriter>(journal_path, journal_options);
     }
 
+    // --- Replication roles. -----------------------------------------------
+    const std::string replicate_to = args.str("replicate-to");
+    const std::string follow = args.str("follow");
+    RTP_CHECK(replicate_to.empty() || journal != nullptr,
+              "--replicate-to requires --journal");
+    RTP_CHECK(follow.empty() || journal != nullptr, "--follow requires --journal");
+    RTP_CHECK(replicate_to.empty() || follow.empty(),
+              "--replicate-to and --follow are mutually exclusive");
+    RTP_CHECK(!args.flag("promote") || !follow.empty(), "--promote requires --follow");
+
+    std::unique_ptr<rtp::ReplicationSender> sender;
+    if (!replicate_to.empty()) {
+      rtp::ReplicationOptions repl_options;
+      repl_options.heartbeat_ms =
+          static_cast<std::uint32_t>(args.integer("heartbeat-ms"));
+      sender = std::make_unique<rtp::ReplicationSender>(
+          journal_path, rtp::session_fingerprint(session), repl_options);
+      for (const std::string_view piece : rtp::split(replicate_to, ',')) {
+        const std::string address(rtp::trim(piece));
+        if (address.empty()) continue;
+        std::string host, error;
+        std::uint16_t port = 0;
+        RTP_CHECK(rtp::io::split_hostport(address, &host, &port, &error),
+                  "--replicate-to: " + error);
+        sender->add_follower(host, port);
+      }
+    }
+
     rtp::ServerOptions server_options;
     server_options.threads = static_cast<std::size_t>(args.integer("threads"));
     server_options.journal = journal.get();
@@ -208,15 +275,66 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(args.integer("max-connections"));
     server_options.request_deadline_ms =
         static_cast<std::uint32_t>(args.integer("deadline-ms"));
+    server_options.replication = sender.get();
     rtp::ServiceServer server(session, server_options);
 
     // Session state that is not in the journal (recovery consumed it, or
     // --replay-events created it) must be snapshotted before serving, or a
-    // later recovery would replay the tail against the wrong base.
-    if (journal != nullptr && session.state_version() > 0) server.snapshot_now();
+    // later recovery would replay the tail against the wrong base.  A
+    // follower must not: its journal is a record-for-record mirror of the
+    // primary's, and a locally minted snapshot record would fork it.
+    if (journal != nullptr && follow.empty() && session.state_version() > 0)
+      server.snapshot_now();
+
+    std::unique_ptr<rtp::FollowerApplier> applier;
+    if (!follow.empty()) {
+      rtp::FollowerOptions follower_options;
+      follower_options.promote_after_ms =
+          static_cast<std::uint32_t>(args.integer("promote-after-ms"));
+      applier = std::make_unique<rtp::FollowerApplier>(
+          server, session, *journal, rtp::session_fingerprint(session),
+          follower_options);
+      server.attach_follower(applier.get());
+      if (args.flag("promote")) {
+        // Failover restart: come up as the primary on the mirrored journal.
+        applier->promote();
+      } else {
+        const std::uint16_t repl_port = applier->listen_on(
+            static_cast<std::uint16_t>(args.integer("follow")));
+        std::cerr << "rtpd following on 127.0.0.1:" << repl_port << "\n";
+        applier->start();
+      }
+    }
+    if (sender != nullptr) {
+      sender->set_snapshot_source(
+          [&server] { return server.replication_snapshot(); });
+      sender->start();
+    }
 
     RTP_CHECK(::pipe(g_wake_pipe) == 0, "cannot create signal wake pipe");
     install_signal_handlers();
+
+    // --stats-interval: a one-line heartbeat on stderr so an operator (or a
+    // log scraper) can watch queue depth and replication lag without
+    // spending a client connection.
+    const long long stats_interval = args.integer("stats-interval");
+    std::thread stats_thread;
+    std::mutex stats_mutex;
+    std::condition_variable stats_cv;
+    bool stats_stop = false;
+    if (stats_interval > 0) {
+      stats_thread = std::thread([&] {
+        std::unique_lock<std::mutex> lock(stats_mutex);
+        for (;;) {
+          if (stats_cv.wait_for(lock, std::chrono::seconds(stats_interval),
+                                [&] { return stats_stop; }))
+            return;
+          lock.unlock();
+          std::cerr << "rtpd stats: " << server.stats_line() << "\n";
+          lock.lock();
+        }
+      });
+    }
 
     if (mode == "stdin") {
       // A signal interrupts the blocked getline (no SA_RESTART), the stream
@@ -242,6 +360,16 @@ int main(int argc, char** argv) {
     }
 
     // --- Drain: make acknowledged state durable, report, exit cleanly. ----
+    if (stats_thread.joinable()) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex);
+        stats_stop = true;
+      }
+      stats_cv.notify_all();
+      stats_thread.join();
+    }
+    if (applier != nullptr) applier->stop();
+    if (sender != nullptr) sender->stop();
     if (journal != nullptr) journal->sync();
     if (g_signal != 0 || args.flag("verbose")) {
       bool quit = false;

@@ -1,0 +1,180 @@
+#include "rtpfault/faults.hpp"
+
+#include "core/error.hpp"
+#include "core/strings.hpp"
+
+namespace rtpfault {
+namespace {
+
+/// Parse a non-negative decimal or die naming the script token.
+std::uint64_t parse_number(std::string_view text, std::string_view token) {
+  std::uint64_t value = 0;
+  if (text.empty()) rtp::fail("rtpfault script: empty number in '" + std::string(token) + "'");
+  for (const char c : text) {
+    if (c < '0' || c > '9')
+      rtp::fail("rtpfault script: bad number '" + std::string(text) + "' in '" +
+                std::string(token) + "'");
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10)
+      rtp::fail("rtpfault script: number overflow in '" + std::string(token) + "'");
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+Rule parse_rule(std::string_view token) {
+  Rule rule;
+  std::string_view rest = token;
+  if (rtp::starts_with(rest, "up:")) {
+    rule.direction = Direction::Up;
+    rest = rest.substr(3);
+  } else if (rtp::starts_with(rest, "down:")) {
+    rule.direction = Direction::Down;
+    rest = rest.substr(5);
+  }
+
+  std::string_view arg;
+  bool have_arg = false;
+  const std::size_t eq = rest.find('=');
+  if (eq != std::string_view::npos) {
+    arg = rest.substr(eq + 1);
+    rest = rest.substr(0, eq);
+    have_arg = true;
+  }
+  std::string_view chunk;
+  bool have_chunk = false;
+  const std::size_t at = rest.find('@');
+  if (at != std::string_view::npos) {
+    chunk = rest.substr(at + 1);
+    rest = rest.substr(0, at);
+    have_chunk = true;
+  }
+
+  struct Spec {
+    std::string_view name;
+    Fault fault;
+    bool needs_chunk;
+    bool needs_arg;
+  };
+  static constexpr Spec kSpecs[] = {
+      {"delay", Fault::Delay, true, true},   {"drop", Fault::Drop, true, false},
+      {"torn", Fault::Torn, true, true},     {"close", Fault::Close, true, false},
+      {"partition", Fault::Partition, true, true},
+      {"slow", Fault::Slow, true, true},     {"jitter", Fault::Jitter, false, true},
+  };
+  const Spec* spec = nullptr;
+  for (const Spec& candidate : kSpecs)
+    if (rest == candidate.name) spec = &candidate;
+  if (spec == nullptr)
+    rtp::fail("rtpfault script: unknown fault '" + std::string(rest) + "' in '" +
+              std::string(token) + "'");
+  if (spec->needs_chunk != have_chunk)
+    rtp::fail("rtpfault script: '" + std::string(spec->name) +
+              (spec->needs_chunk ? "' needs a '@<chunk>'" : "' takes no '@<chunk>'") +
+              " in '" + std::string(token) + "'");
+  if (spec->needs_arg != have_arg)
+    rtp::fail("rtpfault script: '" + std::string(spec->name) +
+              (spec->needs_arg ? "' needs an '=<arg>'" : "' takes no '=<arg>'") +
+              " in '" + std::string(token) + "'");
+
+  rule.fault = spec->fault;
+  if (have_chunk) {
+    rule.chunk = parse_number(chunk, token);
+    if (rule.chunk == 0) rtp::fail("rtpfault script: chunks are 1-based in '" +
+                                   std::string(token) + "'");
+  }
+  if (have_arg) rule.arg = parse_number(arg, token);
+  if (rule.fault == Fault::Torn && rule.arg == 0)
+    rtp::fail("rtpfault script: torn needs at least 1 byte in '" + std::string(token) +
+              "'");
+  return rule;
+}
+
+}  // namespace
+
+std::vector<Rule> parse_script(std::string_view script) {
+  std::vector<Rule> rules;
+  std::string normalized(script);
+  for (char& c : normalized)
+    if (c == ',') c = ' ';
+  for (const std::string_view token : rtp::split_whitespace(normalized))
+    rules.push_back(parse_rule(token));
+  return rules;
+}
+
+Schedule::Schedule(std::vector<Rule> rules, std::uint64_t seed)
+    : rules_(std::move(rules)), rng_(seed) {}
+
+std::uint64_t Schedule::chunks_seen(Direction direction) const {
+  return direction == Direction::Up ? up_chunks_ : down_chunks_;
+}
+
+Action Schedule::next(Direction direction) {
+  RTP_CHECK(direction != Direction::Both, "next() takes a concrete direction");
+  std::uint64_t& counter = direction == Direction::Up ? up_chunks_ : down_chunks_;
+  const std::uint64_t chunk = ++counter;
+
+  Action action;
+  for (const Rule& rule : rules_) {
+    if (rule.direction != Direction::Both && rule.direction != direction) continue;
+    if (rule.fault == Fault::Jitter) {
+      // Every-chunk rule: one deterministic draw per matching chunk.
+      if (rule.arg > 0) {
+        action.delay_ms += static_cast<std::uint64_t>(
+            rng_.uniform(0.0, static_cast<double>(rule.arg)));
+        ++faults_fired_;
+      }
+      continue;
+    }
+    if (rule.chunk != chunk) continue;
+    ++faults_fired_;
+    switch (rule.fault) {
+      case Fault::Delay:
+        action.delay_ms += rule.arg;
+        break;
+      case Fault::Drop:
+        action.drop = true;
+        break;
+      case Fault::Torn:
+        action.torn_bytes = rule.arg;
+        action.close = true;
+        break;
+      case Fault::Close:
+        action.drop = true;
+        action.close = true;
+        break;
+      case Fault::Partition:
+        action.stall_ms += rule.arg;
+        break;
+      case Fault::Slow:
+        action.slow_bytes = rule.arg;
+        break;
+      case Fault::Jitter:
+        break;  // handled above
+    }
+  }
+  return action;
+}
+
+std::string describe(const Rule& rule) {
+  std::string out;
+  if (rule.direction == Direction::Up) out += "up:";
+  if (rule.direction == Direction::Down) out += "down:";
+  switch (rule.fault) {
+    case Fault::Delay: out += "delay"; break;
+    case Fault::Drop: out += "drop"; break;
+    case Fault::Torn: out += "torn"; break;
+    case Fault::Close: out += "close"; break;
+    case Fault::Partition: out += "partition"; break;
+    case Fault::Slow: out += "slow"; break;
+    case Fault::Jitter: out += "jitter"; break;
+  }
+  if (rule.chunk > 0) out += "@" + std::to_string(rule.chunk);
+  const bool has_arg = rule.fault == Fault::Delay || rule.fault == Fault::Torn ||
+                       rule.fault == Fault::Partition || rule.fault == Fault::Slow ||
+                       rule.fault == Fault::Jitter;
+  if (has_arg) out += "=" + std::to_string(rule.arg);
+  return out;
+}
+
+}  // namespace rtpfault

@@ -1,0 +1,87 @@
+// rtpfault rule engine: deterministic fault schedules for the TCP proxy.
+//
+// A fault script is a whitespace- or comma-separated list of rules.  Each
+// rule names a fault, the 1-based chunk it fires on (a "chunk" is one
+// recv() worth of bytes on one direction of the proxied connection), and an
+// optional argument:
+//
+//   [up:|down:]<fault>@<chunk>[=<arg>]     one-shot, fires on chunk N
+//   [up:|down:]jitter=<ms>                 every chunk, uniform [0, ms)
+//
+//   delay@N=MS      hold chunk N for MS milliseconds, then forward it
+//   drop@N          swallow chunk N (bytes vanish; the stream continues)
+//   torn@N=K        forward only the first K bytes of chunk N, then
+//                   hard-close both sides (a torn write mid-frame)
+//   close@N         hard-close both sides instead of forwarding chunk N
+//   partition@N=MS  on chunk N, stall the whole connection (both
+//                   directions) for MS, then forward normally
+//   slow@N=BYTES    trickle chunk N out BYTES bytes at a time
+//
+// Directions are named from the proxied client's point of view: `up:` rules
+// fire on client→server chunks, `down:` on server→client chunks; a rule
+// with no prefix fires on either direction (each direction counts its own
+// chunks).  Chunk counters are global to the proxy, not per connection, so
+// a schedule keeps advancing across the reconnects it provokes.
+//
+// Every random draw (jitter) comes from a seeded rtp::Rng, so a given
+// (script, seed) pair replays the identical fault timeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace rtpfault {
+
+enum class Direction { Up, Down, Both };
+enum class Fault { Delay, Drop, Torn, Close, Partition, Slow, Jitter };
+
+struct Rule {
+  Direction direction = Direction::Both;
+  Fault fault = Fault::Delay;
+  std::uint64_t chunk = 0;  ///< 1-based trigger chunk; 0 for every-chunk rules
+  std::uint64_t arg = 0;    ///< ms, bytes, … per the fault kind
+};
+
+/// Parse a fault script; throws rtp::Error naming the bad token.
+std::vector<Rule> parse_script(std::string_view script);
+
+/// What the proxy must do with one just-received chunk.
+struct Action {
+  bool drop = false;            ///< swallow the chunk
+  bool close = false;           ///< hard-close both sides (after torn_bytes)
+  std::uint64_t delay_ms = 0;   ///< sleep before forwarding (delay + jitter)
+  std::uint64_t stall_ms = 0;   ///< partition: stall both directions first
+  /// Forward only this many bytes (then close); SIZE_MAX = the whole chunk.
+  std::uint64_t torn_bytes = UINT64_MAX;
+  std::uint64_t slow_bytes = 0;  ///< trickle granularity; 0 = one write
+};
+
+/// Stateful schedule: counts chunks per direction and resolves the rules
+/// (and jitter draws) that fire on each.  Counters survive reconnects.
+class Schedule {
+ public:
+  Schedule(std::vector<Rule> rules, std::uint64_t seed);
+
+  /// Record the arrival of the next chunk on `direction` and return what to
+  /// do with it.  `Direction::Both` is not a valid argument.
+  Action next(Direction direction);
+
+  std::uint64_t chunks_seen(Direction direction) const;
+  std::uint64_t faults_fired() const { return faults_fired_; }
+
+ private:
+  std::vector<Rule> rules_;
+  rtp::Rng rng_;
+  std::uint64_t up_chunks_ = 0;
+  std::uint64_t down_chunks_ = 0;
+  std::uint64_t faults_fired_ = 0;
+};
+
+/// Human-readable rule echo for --verbose and tests.
+std::string describe(const Rule& rule);
+
+}  // namespace rtpfault
