@@ -1,18 +1,21 @@
 // Online service throughput: replay recorded scheduler sessions through
-// OnlineSession and measure the estimate path, cache off vs. cache on.
+// OnlineSession and measure the estimate path across the shadow × cache
+// matrix.
 //
 // For each site, the batch scheduler (live on user maxima, as in the
 // paper's wait-time setup) is recorded once into an event stream; the
-// stream is then replayed open-loop through two fresh sessions — the
-// estimate cache disabled and enabled — issuing 1 + --repeats ESTIMATE
-// queries per submission.  Reported per run: queries/sec and the
-// p50/p95/p99/max per-query latency from the log-bucketed histogram.  The
-// two runs must return bit-identical answers; the binary exits non-zero if
-// they diverge or the cache never hits.
+// stream is then replayed open-loop through four fresh sessions — the
+// legacy recompute-per-query shadow and the incremental shadow schedule,
+// each with the estimate cache disabled and enabled — issuing 1 +
+// --repeats ESTIMATE queries per submission.  Reported per run:
+// queries/sec and the p50/p95/p99/max per-query latency from the
+// log-bucketed histogram.  All four runs must return bit-identical
+// answers; the binary exits non-zero if they diverge or an enabled cache
+// never hits.
 //
 // Results also persist as JSON (--json, default BENCH_service.json) so the
 // perf trajectory accumulates across checkouts: one record per (site,
-// cache) run with QPS and the latency quantiles.
+// shadow, cache) run with QPS and the latency quantiles.
 //
 //   ./bench_service_throughput [--scale 0.02] [--repeats 3] [--policy backfill]
 //                              [--predictor max] [--compression 0] [--csv]
@@ -51,8 +54,9 @@ int main(int argc, char** argv) {
     replay_options.time_compression = args.real("compression");
     replay_options.extra_queries = static_cast<int>(args.integer("repeats"));
 
-    rtp::TablePrinter table({"Workload", "Cache", "Events", "Queries", "Queries/s",
-                             "p50 (us)", "p95 (us)", "p99 (us)", "max (us)", "Hit Rate"});
+    rtp::TablePrinter table({"Workload", "Shadow", "Cache", "Events", "Queries",
+                             "Queries/s", "p50 (us)", "p95 (us)", "p99 (us)", "max (us)",
+                             "Hit Rate"});
     std::ostringstream json_runs;
     bool first_run = true;
     bool ok = true;
@@ -60,53 +64,65 @@ int main(int argc, char** argv) {
       rtp::MaxRuntimePredictor live(w);
       const rtp::RecordedRun recorded = rtp::record_session_log(w, *policy, live);
 
-      rtp::RunningStats answers[2];
-      for (const bool cached : {false, true}) {
-        auto predictor = rtp::make_runtime_estimator(predictor_kind, w);
-        rtp::SessionOptions session_options;
-        session_options.name = w.name();
-        session_options.cache_estimates = cached;
-        rtp::OnlineSession session(w.machine_nodes(), *policy, *predictor, session_options);
-        const rtp::ReplayReport report =
-            rtp::replay_through_session(session, recorded.events, replay_options);
-        answers[cached ? 1 : 0] = report.answers;
+      rtp::RunningStats answers[4];
+      int run = 0;
+      for (const bool incremental : {false, true}) {
+        for (const bool cached : {false, true}) {
+          auto predictor = rtp::make_runtime_estimator(predictor_kind, w);
+          rtp::SessionOptions session_options;
+          session_options.name = w.name();
+          session_options.cache_estimates = cached;
+          session_options.incremental_shadow = incremental;
+          rtp::OnlineSession session(w.machine_nodes(), *policy, *predictor,
+                                     session_options);
+          const rtp::ReplayReport report =
+              rtp::replay_through_session(session, recorded.events, replay_options);
+          answers[run++] = report.answers;
 
-        const std::uint64_t lookups = report.cache_hits + report.cache_misses;
-        const double hit_rate =
-            lookups > 0 ? static_cast<double>(report.cache_hits) /
-                              static_cast<double>(lookups)
-                        : 0.0;
-        table.add_row({w.name(), cached ? "on" : "off", std::to_string(report.events),
-                       std::to_string(report.queries),
-                       rtp::format_double(report.queries_per_sec, 0),
-                       rtp::format_double(report.latency_us.p50(), 1),
-                       rtp::format_double(report.latency_us.p95(), 1),
-                       rtp::format_double(report.latency_us.p99(), 1),
-                       rtp::format_double(report.latency_us.max(), 1),
-                       rtp::format_double(hit_rate, 3)});
-        if (cached && report.cache_hits == 0) {
-          std::cerr << w.name() << ": cache enabled but never hit\n";
+          const std::uint64_t lookups = report.cache_hits + report.cache_misses;
+          const double hit_rate =
+              lookups > 0 ? static_cast<double>(report.cache_hits) /
+                                static_cast<double>(lookups)
+                          : 0.0;
+          const char* shadow = incremental ? "incr" : "legacy";
+          table.add_row({w.name(), shadow, cached ? "on" : "off",
+                         std::to_string(report.events), std::to_string(report.queries),
+                         rtp::format_double(report.queries_per_sec, 0),
+                         rtp::format_double(report.latency_us.p50(), 1),
+                         rtp::format_double(report.latency_us.p95(), 1),
+                         rtp::format_double(report.latency_us.p99(), 1),
+                         rtp::format_double(report.latency_us.max(), 1),
+                         rtp::format_double(hit_rate, 3)});
+          if (cached && report.cache_hits == 0) {
+            std::cerr << w.name() << ": cache enabled but never hit\n";
+            ok = false;
+          }
+
+          if (!first_run) json_runs << ",";
+          first_run = false;
+          json_runs << "\n    {\"site\": \"" << w.name() << "\", \"shadow\": \""
+                    << (incremental ? "incremental" : "legacy") << "\", \"cache\": \""
+                    << (cached ? "on" : "off") << "\", \"events\": " << report.events
+                    << ", \"queries\": " << report.queries << ", \"qps\": "
+                    << rtp::format_double(report.queries_per_sec, 1)
+                    << ", \"p50_us\": " << rtp::format_double(report.latency_us.p50(), 3)
+                    << ", \"p95_us\": " << rtp::format_double(report.latency_us.p95(), 3)
+                    << ", \"p99_us\": " << rtp::format_double(report.latency_us.p99(), 3)
+                    << ", \"max_us\": " << rtp::format_double(report.latency_us.max(), 3)
+                    << ", \"hit_rate\": " << rtp::format_double(hit_rate, 3) << "}";
+        }
+      }
+      // Neither the cache nor the incremental shadow may be visible in the
+      // answers: all four runs' stats must match bit-for-bit.
+      for (int i = 1; i < 4; ++i) {
+        if (answers[0].count() != answers[i].count() ||
+            answers[0].sum() != answers[i].sum() ||
+            answers[0].min() != answers[i].min() ||
+            answers[0].max() != answers[i].max()) {
+          std::cerr << w.name() << ": shadow/cache run " << i
+                    << " answers diverge from the legacy cache-off reference\n";
           ok = false;
         }
-
-        if (!first_run) json_runs << ",";
-        first_run = false;
-        json_runs << "\n    {\"site\": \"" << w.name() << "\", \"cache\": \""
-                  << (cached ? "on" : "off") << "\", \"events\": " << report.events
-                  << ", \"queries\": " << report.queries << ", \"qps\": "
-                  << rtp::format_double(report.queries_per_sec, 1)
-                  << ", \"p50_us\": " << rtp::format_double(report.latency_us.p50(), 3)
-                  << ", \"p95_us\": " << rtp::format_double(report.latency_us.p95(), 3)
-                  << ", \"p99_us\": " << rtp::format_double(report.latency_us.p99(), 3)
-                  << ", \"max_us\": " << rtp::format_double(report.latency_us.max(), 3)
-                  << ", \"hit_rate\": " << rtp::format_double(hit_rate, 3) << "}";
-      }
-      // The cache must be invisible in the answers: bit-identical stats.
-      if (answers[0].count() != answers[1].count() ||
-          answers[0].sum() != answers[1].sum() || answers[0].min() != answers[1].min() ||
-          answers[0].max() != answers[1].max()) {
-        std::cerr << w.name() << ": cache on/off answers diverge\n";
-        ok = false;
       }
     }
 
@@ -116,8 +132,8 @@ int main(int argc, char** argv) {
       std::cout << "Online wait-time service throughput (1 + repeats queries per submit)\n";
       table.print(std::cout);
     }
-    std::cout << (ok ? "cache check: answers identical with cache on/off\n"
-                     : "cache check: FAILED\n");
+    std::cout << (ok ? "equivalence check: answers identical across shadow and cache modes\n"
+                     : "equivalence check: FAILED\n");
 
     const std::string json_path = args.str("json");
     if (!json_path.empty()) {

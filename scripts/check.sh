@@ -38,6 +38,12 @@ run_config() {
   echo "=== ctest $dir (runner determinism + contention stress) ==="
   ctest --test-dir "$dir" -R 'ExperimentRunner|ThreadPool|Stress|GaMemo' \
     --timeout 300 --output-on-failure -j "$jobs"
+  # The incremental-shadow fuzz is the bit-identity contract behind the
+  # ESTIMATE fast path; run it explicitly in every configuration (the
+  # sanitizers see the repair/release arithmetic under full churn).
+  echo "=== ctest $dir (incremental shadow fuzz) ==="
+  ctest --test-dir "$dir" -R 'ShadowFuzz' \
+    --timeout 300 --output-on-failure -j "$jobs"
   # End-to-end smoke of the online wait-time daemon: record a small ANL
   # session as an RTP/1 event log, then drive rtpd in stdin mode with the
   # log plus a STATE/STATS/QUIT epilogue.  Catches protocol or session
@@ -236,6 +242,16 @@ run_rtlint() {
     tools/rtpd.cpp tools/rtpctl.cpp tools/rtpfault
 }
 
+run_service_bench() {
+  # Persist the service-throughput quantiles (p50/p95/p99 per site across
+  # the shadow × cache matrix) so the perf trajectory accumulates in
+  # BENCH_service.json; the binary also exits non-zero if the four modes'
+  # answers ever diverge.
+  local dir=$1
+  echo "=== bench_service_throughput ($dir) ==="
+  "$dir/bench/bench_service_throughput" --json BENCH_service.json
+}
+
 run_tsan() {
   # TSAN_OPTIONS makes any report fatal (exit code), catches races on exit
   # paths too, and keeps history large enough for the stress tests' deep
@@ -249,6 +265,7 @@ case "$mode" in
   --plain-only|plain)
     run_config build
     run_rtlint build
+    run_service_bench build
     ;;
   --sanitize-only|sanitize)
     run_config build-asan -DRTP_SANITIZE=address
@@ -259,12 +276,14 @@ case "$mode" in
   --all-sans)
     run_config build
     run_rtlint build
+    run_service_bench build
     run_config build-asan -DRTP_SANITIZE=address
     run_tsan
     ;;
   all|*)
     run_config build
     run_rtlint build
+    run_service_bench build
     run_config build-asan -DRTP_SANITIZE=address
     ;;
 esac

@@ -6,7 +6,9 @@
 // event engine simple while the named constructors keep call sites readable.
 #pragma once
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <string>
 
@@ -32,6 +34,14 @@ constexpr double to_days(Seconds s) { return s / 86400.0; }
 
 /// True when two times are equal within a scheduling tolerance (1 ms).
 inline bool time_eq(Seconds a, Seconds b) { return std::fabs(a - b) < 1e-3; }
+
+/// True when two doubles carry identical bit patterns — cache-key equality,
+/// not numeric equality: it distinguishes +0.0 from -0.0 and matches a NaN
+/// to itself, so a reused cached value is guaranteed to have been computed
+/// from exactly these inputs.
+inline bool time_bits_eq(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
 
 /// Render a duration as a compact human-readable string, e.g. "2h03m".
 std::string format_duration(Seconds s);

@@ -18,13 +18,20 @@ std::unordered_map<JobId, Seconds> replay(SystemState state, const SchedulerPoli
   starts.reserve(state.queue().size());
 
   // Each loop iteration either starts at least one job or advances time to
-  // the next estimated completion, so the replay terminates after at most
-  // queue + running steps of each kind.
-  const std::size_t guard_limit = 4 * (state.queue().size() + state.running().size()) + 16;
+  // the next estimated completion.  Starts remove a queued job and
+  // completions remove a running one (including jobs started earlier in the
+  // replay), so at most queue + running start steps and queue + running
+  // completion steps can occur: 2 * (queue + running) iterations, plus
+  // slack for the empty-queue exits.
+  const std::size_t guard_limit = 2 * (state.queue().size() + state.running().size()) + 2;
   std::size_t guard = 0;
 
   while (!state.queue().empty()) {
-    RTP_CHECK(++guard <= guard_limit, "forward replay failed to make progress");
+    RTP_CHECK(++guard <= guard_limit,
+              "forward replay failed to make progress after " + std::to_string(guard - 1) +
+                  " steps (queued " + std::to_string(state.queue().size()) + ", running " +
+                  std::to_string(state.running().size()) + ", now " + std::to_string(now) +
+                  ")");
 
     for (JobId id : policy.select_starts(now, state)) {
       state.start_job(id, now);
@@ -59,74 +66,24 @@ std::unordered_map<JobId, Seconds> replay(SystemState state, const SchedulerPoli
   return starts;
 }
 
-/// Book the running set into a fresh profile.  Down nodes (fault
-/// injection) are excluded from capacity: the predictor cannot see future
-/// repairs, so the shadow schedule assumes today's capacity persists.
-AvailabilityProfile profile_from_running(const SystemState& state, Seconds now) {
-  AvailabilityProfile profile(now, state.available_nodes());
-  for (const SchedJob& running : state.running())
-    profile.reserve(now, now + running.remaining(now), running.nodes());
-  return profile;
-}
-
-/// Fast path for the in-order policies (FCFS; LWF is FCFS over the queue
-/// re-ordered by estimated work).  With completions pinned to the
-/// estimates, job i starts at the earliest profile slot that is not before
-/// job i-1's start — one booking pass instead of an event loop.
-std::unordered_map<JobId, Seconds> chain_schedule(const SystemState& state, Seconds now,
-                                                  bool least_work_order, JobId stop_after) {
-  std::vector<const SchedJob*> order;
-  order.reserve(state.queue().size());
-  for (const SchedJob& sj : state.queue()) order.push_back(&sj);
-  if (least_work_order) {
-    std::stable_sort(order.begin(), order.end(), [](const SchedJob* a, const SchedJob* b) {
-      const double wa = a->estimate * a->nodes();
-      const double wb = b->estimate * b->nodes();
-      if (wa != wb) return wa < wb;
-      return a->submit < b->submit;
-    });
-  }
+/// Fast path for FCFS / LWF / conservative backfill: one booking pass over
+/// the queue in policy order (see booking_order / book_reservation).  With
+/// completions pinned to the estimates every reservation computed now is
+/// realized exactly, so the pass reproduces the event-driven replay.
+std::unordered_map<JobId, Seconds> single_pass_schedule(const SystemState& state,
+                                                        Seconds now, PolicyKind kind,
+                                                        JobId stop_after) {
+  const std::vector<std::size_t> order = booking_order(state, kind);
+  const bool chain = kind != PolicyKind::BackfillConservative;
 
   AvailabilityProfile profile = profile_from_running(state, now);
   std::unordered_map<JobId, Seconds> starts;
   starts.reserve(order.size());
   Seconds not_before = now;
-  for (const SchedJob* sj : order) {
-    // Wider than the in-service capacity (fault injection): start unknown
-    // until repairs land; don't let it block the jobs behind it.
-    if (sj->nodes() > state.available_nodes()) {
-      starts.emplace(sj->id(), kTimeInfinity);
-      if (sj->id() == stop_after) break;
-      continue;
-    }
-    const Seconds duration = std::max<Seconds>(1.0, sj->estimate);
-    const Seconds t = profile.earliest_fit(not_before, sj->nodes(), duration);
-    profile.reserve(t, t + duration, sj->nodes());
-    starts.emplace(sj->id(), t);
-    not_before = t;
-    if (sj->id() == stop_after) break;
-  }
-  return starts;
-}
-
-/// Fast path for conservative backfill: with completions pinned to the
-/// estimates, every reservation computed now is realized exactly, so the
-/// forward schedule is one reservation pass in arrival order.
-std::unordered_map<JobId, Seconds> conservative_schedule(const SystemState& state,
-                                                         Seconds now, JobId stop_after) {
-  AvailabilityProfile profile = profile_from_running(state, now);
-  std::unordered_map<JobId, Seconds> starts;
-  starts.reserve(state.queue().size());
-  for (const SchedJob& sj : state.queue()) {
-    if (sj.nodes() > state.available_nodes()) {
-      starts.emplace(sj.id(), kTimeInfinity);
-      if (sj.id() == stop_after) break;
-      continue;
-    }
-    const Seconds duration = std::max<Seconds>(1.0, sj.estimate);
-    const Seconds t = profile.earliest_fit(now, sj.nodes(), duration);
-    profile.reserve(t, t + duration, sj.nodes());
-    starts.emplace(sj.id(), t);
+  for (const std::size_t index : order) {
+    const SchedJob& sj = state.queue()[index];
+    starts.emplace(sj.id(),
+                   book_reservation(profile, sj, state.available_nodes(), not_before, chain));
     if (sj.id() == stop_after) break;
   }
   return starts;
@@ -135,20 +92,53 @@ std::unordered_map<JobId, Seconds> conservative_schedule(const SystemState& stat
 std::unordered_map<JobId, Seconds> dispatch(const SystemState& state,
                                             const SchedulerPolicy& policy, Seconds now,
                                             JobId stop_after) {
-  switch (policy.kind()) {
-    case PolicyKind::Fcfs:
-      return chain_schedule(state, now, /*least_work_order=*/false, stop_after);
-    case PolicyKind::Lwf:
-      return chain_schedule(state, now, /*least_work_order=*/true, stop_after);
-    case PolicyKind::BackfillConservative:
-      return conservative_schedule(state, now, stop_after);
-    case PolicyKind::BackfillEasy:
-      return replay(state, policy, now, stop_after);
-  }
-  fail("unknown policy kind in forward_simulate");
+  if (single_pass_policy(policy.kind()))
+    return single_pass_schedule(state, now, policy.kind(), stop_after);
+  return replay(state, policy, now, stop_after);
 }
 
 }  // namespace
+
+bool single_pass_policy(PolicyKind kind) { return kind != PolicyKind::BackfillEasy; }
+
+AvailabilityProfile profile_from_running(const SystemState& state, Seconds now) {
+  AvailabilityProfile profile(now, state.available_nodes());
+  for (const SchedJob& running : state.running())
+    profile.reserve(now, now + running.remaining(now), running.nodes());
+  return profile;
+}
+
+bool lwf_before(const SchedJob& a, const SchedJob& b) {
+  const double wa = a.estimate * a.nodes();
+  const double wb = b.estimate * b.nodes();
+  if (wa != wb) return wa < wb;
+  return a.submit < b.submit;
+}
+
+std::vector<std::size_t> booking_order(const SystemState& state, PolicyKind kind) {
+  RTP_CHECK(single_pass_policy(kind), "booking_order: EASY has no static booking order");
+  std::vector<std::size_t> order(state.queue().size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  if (kind == PolicyKind::Lwf) {
+    const std::vector<SchedJob>& queue = state.queue();
+    std::stable_sort(order.begin(), order.end(), [&queue](std::size_t a, std::size_t b) {
+      return lwf_before(queue[a], queue[b]);
+    });
+  }
+  return order;
+}
+
+Seconds book_reservation(AvailabilityProfile& profile, const SchedJob& sj,
+                         int available_nodes, Seconds& not_before, bool chain) {
+  // Wider than the in-service capacity (fault injection): start unknown
+  // until repairs land; don't let it block the jobs behind it.
+  if (sj.nodes() > available_nodes) return kTimeInfinity;
+  const Seconds duration = std::max<Seconds>(1.0, sj.estimate);
+  const Seconds t = profile.earliest_fit(not_before, sj.nodes(), duration);
+  profile.reserve(t, t + duration, sj.nodes());
+  if (chain) not_before = t;
+  return t;
+}
 
 std::unordered_map<JobId, Seconds> forward_simulate(SystemState state,
                                                     const SchedulerPolicy& policy,

@@ -7,9 +7,12 @@
 // is its predicted start time; minus "now", its predicted queue wait.
 #pragma once
 
+#include <cstddef>
 #include <unordered_map>
+#include <vector>
 
 #include "sched/policy.hpp"
+#include "sched/profile.hpp"
 #include "sched/state.hpp"
 
 namespace rtp {
@@ -19,6 +22,44 @@ namespace rtp {
 std::unordered_map<JobId, Seconds> forward_simulate(SystemState state,
                                                     const SchedulerPolicy& policy,
                                                     Seconds now);
+
+// --- Single-pass booking primitives. ------------------------------------
+// FCFS, LWF and conservative backfill admit a closed-form shadow schedule:
+// order the queue by policy, then book each job into an availability
+// profile seeded with the running set.  The pieces are exposed so the
+// incremental shadow schedule (sched/shadow.hpp) can repair a suffix of
+// bookings with exactly the arithmetic forward_simulate uses — any drift
+// between the two would break the bit-identity contract.
+
+/// True when `kind` admits the single-pass booking schedule (everything but
+/// EASY, whose dynamic backfilling must be replayed event by event).
+bool single_pass_policy(PolicyKind kind);
+
+/// Book the running set into a fresh profile.  Down nodes (fault
+/// injection) are excluded from capacity: the predictor cannot see future
+/// repairs, so the shadow schedule assumes today's capacity persists.
+AvailabilityProfile profile_from_running(const SystemState& state, Seconds now);
+
+/// LWF's booking precedence: strictly less estimated work (estimate ×
+/// nodes), then earlier submission.  Ties fall through to arrival order
+/// (booking_order sorts stably; the incremental shadow inserts behind
+/// equal elements).
+bool lwf_before(const SchedJob& a, const SchedJob& b);
+
+/// Queue positions in booking order: arrival order for FCFS and
+/// conservative backfill, stable (estimated work, submit) order for LWF.
+/// Must not be called for EASY.
+std::vector<std::size_t> booking_order(const SystemState& state, PolicyKind kind);
+
+/// Book one queued job exactly as the single-pass schedules do: duration
+/// is the estimate floored at one second, start is the earliest fit not
+/// before `not_before`.  Jobs wider than `available_nodes` (fault
+/// injection) book nothing and return kTimeInfinity.  When `chain` is set
+/// (FCFS/LWF: nothing may overtake an earlier job) a successful booking
+/// advances `not_before` to the booked start; conservative backfill keeps
+/// `not_before` pinned at "now".
+Seconds book_reservation(AvailabilityProfile& profile, const SchedJob& sj,
+                         int available_nodes, Seconds& not_before, bool chain);
 
 /// Predicted start time of a single queued job (must be in the queue).
 Seconds predict_start_time(const SystemState& state, const SchedulerPolicy& policy,

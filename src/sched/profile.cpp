@@ -38,6 +38,21 @@ void AvailabilityProfile::reserve(Seconds from, Seconds to, int nodes) {
   }
 }
 
+void AvailabilityProfile::release(Seconds from, Seconds to, int nodes) {
+  RTP_CHECK(nodes >= 0, "release: negative nodes");
+  if (nodes == 0 || to <= from) return;
+  from = std::max(from, origin_);
+  if (to <= from) return;
+  const std::size_t first = split_at(from);
+  std::size_t last = times_.size();  // exclusive; extends to infinity
+  if (to != kTimeInfinity) last = split_at(to);
+  for (std::size_t i = first; i < last; ++i) {
+    caps_[i] += nodes;
+    RTP_CHECK(caps_[i] <= base_capacity_,
+              "release: capacity would exceed the base (unmatched release)");
+  }
+}
+
 int AvailabilityProfile::capacity_at(Seconds t) const {
   RTP_CHECK(t >= origin_, "capacity_at: time before profile origin");
   auto it = std::upper_bound(times_.begin(), times_.end(), t);

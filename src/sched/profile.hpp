@@ -23,6 +23,13 @@ class AvailabilityProfile {
   /// negative.
   void reserve(Seconds from, Seconds to, int nodes);
 
+  /// Exact inverse of reserve(): add `nodes` back on [from, to).  The
+  /// incremental shadow schedule uses this to un-book the repaired suffix
+  /// of its reservation list.  Capacities are integers, so a release
+  /// restores the step function bit-for-bit; throws if it would lift any
+  /// interval above the base capacity (a release that was never reserved).
+  void release(Seconds from, Seconds to, int nodes);
+
   /// Free capacity at time t (t >= origin).
   int capacity_at(Seconds t) const;
 

@@ -1,0 +1,221 @@
+#include "sched/shadow.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "sched/forward_sim.hpp"
+
+namespace rtp {
+
+void reestimate_all(SystemState& state, RuntimeEstimator& predictor, Seconds now) {
+  for (SchedJob& sj : state.mutable_queue())
+    sj.estimate = predictor.estimate(*sj.job, 0.0);
+  for (SchedJob& sj : state.mutable_running())
+    sj.estimate = predictor.estimate(*sj.job, sj.age(now));
+}
+
+ShadowSchedule::ShadowSchedule(int machine_nodes, const SchedulerPolicy& policy,
+                               RuntimeEstimator& predictor)
+    : policy_(policy), predictor_(predictor), mirror_(machine_nodes) {
+  RTP_CHECK(machine_nodes > 0, "shadow machine_nodes must be positive");
+}
+
+void ShadowSchedule::invalidate() {
+  base_valid_ = false;
+  easy_valid_ = false;
+}
+
+bool ShadowSchedule::repairable(Seconds now) const {
+  if (!base_valid_ || !time_bits_eq(base_now_, now)) return false;
+  // Release/rebook cycles leave behind equal-capacity breakpoints.  They
+  // cannot change any earliest_fit answer (the capacity step function is
+  // unchanged), but unbounded garbage would erode the complexity claim, so
+  // force a compacting rebuild past a generous bound.
+  const std::size_t limit =
+      4 * (mirror_.queue().size() + mirror_.running().size()) + 64;
+  return profile_breakpoints() <= limit;
+}
+
+void ShadowSchedule::ensure_estimates(Seconds now) {
+  if (estimates_valid_ && !predictor_dirty_ && time_bits_eq(est_now_, now)) return;
+  reestimate_all(mirror_, predictor_, now);
+  estimates_valid_ = true;
+  predictor_dirty_ = false;
+  est_now_ = now;
+  invalidate();
+}
+
+void ShadowSchedule::ensure_base(Seconds now) {
+  if (base_valid_ && time_bits_eq(base_now_, now)) return;
+  profile_.emplace(profile_from_running(mirror_, now));
+  order_ = booking_order(mirror_, policy_.kind());
+  order_pos_.clear();
+  order_pos_.reserve(order_.size());
+  reindex_positions(0);
+  booked_.clear();
+  not_before_ = now;
+  base_now_ = now;
+  base_valid_ = true;
+  ++counters_.rebuilds;
+}
+
+void ShadowSchedule::reindex_positions(std::size_t first) {
+  for (std::size_t i = first; i < order_.size(); ++i)
+    order_pos_[mirror_.queue()[order_[i]].id()] = i;
+}
+
+void ShadowSchedule::book_to(std::size_t position) {
+  const bool chain = policy_.kind() != PolicyKind::BackfillConservative;
+  while (booked_.size() <= position) {
+    const SchedJob& sj = mirror_.queue()[order_[booked_.size()]];
+    Booking booking;
+    booking.prev_not_before = not_before_;
+    booking.nodes = sj.nodes();
+    booking.duration = std::max<Seconds>(1.0, sj.estimate);
+    booking.start =
+        book_reservation(*profile_, sj, mirror_.available_nodes(), not_before_, chain);
+    booked_.push_back(booking);
+    ++counters_.bookings;
+  }
+}
+
+void ShadowSchedule::release_from(std::size_t position) {
+  if (position >= booked_.size()) return;
+  for (std::size_t i = booked_.size(); i-- > position;) {
+    const Booking& booking = booked_[i];
+    if (booking.start != kTimeInfinity)
+      profile_->release(booking.start, booking.start + booking.duration, booking.nodes);
+  }
+  not_before_ = booked_[position].prev_not_before;
+  booked_.resize(position);
+}
+
+void ShadowSchedule::on_submit(const Job& job, Seconds now) {
+  // The estimate must be fresh at enqueue: if no event invalidates the
+  // mirror before the next query, it is served as-is.  reestimate_all
+  // would produce the same bits (same job, age 0, same predictor model).
+  mirror_.enqueue(job, now, predictor_.estimate(job, 0.0));
+  if (!repairable(now)) {
+    invalidate();
+    return;
+  }
+  const std::size_t queue_index = mirror_.queue().size() - 1;
+  std::size_t position = order_.size();
+  if (policy_.kind() == PolicyKind::Lwf) {
+    const std::vector<SchedJob>& queue = mirror_.queue();
+    // upper_bound keeps ties in arrival order — exactly where stable_sort
+    // in booking_order would place the newest arrival.
+    position = static_cast<std::size_t>(
+        std::upper_bound(order_.begin(), order_.end(), queue_index,
+                         [&queue](std::size_t a, std::size_t b) {
+                           return lwf_before(queue[a], queue[b]);
+                         }) -
+        order_.begin());
+  }
+  release_from(position);
+  order_.insert(order_.begin() + static_cast<std::ptrdiff_t>(position), queue_index);
+  reindex_positions(position);
+  ++counters_.repairs;
+}
+
+void ShadowSchedule::on_start(JobId id, Seconds now) {
+  mirror_.start_job(id, now);
+  invalidate();
+}
+
+void ShadowSchedule::on_finish(JobId id) {
+  mirror_.finish_job(id);
+  predictor_dirty_ = true;  // the predictor learned from this completion
+  invalidate();
+}
+
+void ShadowSchedule::on_cancel(JobId id, Seconds now) {
+  auto& queue = mirror_.mutable_queue();
+  std::size_t queue_index = queue.size();
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    if (queue[i].id() == id) {
+      queue_index = i;
+      break;
+    }
+  }
+  RTP_CHECK(queue_index < queue.size(),
+            "shadow cancel: job " + std::to_string(id) + " is not queued");
+  const bool repair = repairable(now);
+  queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(queue_index));
+  if (!repair) {
+    invalidate();
+    return;
+  }
+  const auto pos_it = order_pos_.find(id);
+  RTP_ASSERT(pos_it != order_pos_.end());
+  const std::size_t position = pos_it->second;
+  release_from(position);
+  order_.erase(order_.begin() + static_cast<std::ptrdiff_t>(position));
+  // Every queue position after the erased job shifted down by one.
+  for (std::size_t& qi : order_)
+    if (qi > queue_index) --qi;
+  order_pos_.erase(pos_it);
+  reindex_positions(position);
+  ++counters_.repairs;
+}
+
+void ShadowSchedule::on_fail(JobId id, Seconds now) {
+  const SchedJob* running = mirror_.find_running(id);
+  RTP_CHECK(running != nullptr,
+            "shadow fail: job " + std::to_string(id) + " is not running");
+  const Job& job = *running->job;
+  mirror_.finish_job(id);
+  mirror_.enqueue(job, now, predictor_.estimate(job, 0.0));
+  invalidate();
+}
+
+void ShadowSchedule::on_node_down(int nodes) {
+  mirror_.take_nodes_down(nodes);
+  invalidate();
+}
+
+void ShadowSchedule::on_node_up(int nodes) {
+  mirror_.bring_nodes_up(nodes);
+  invalidate();
+}
+
+void ShadowSchedule::reset(const SystemState& live) {
+  mirror_ = live;
+  estimates_valid_ = false;
+  predictor_dirty_ = false;
+  invalidate();
+}
+
+Seconds ShadowSchedule::predicted_start(Seconds now, JobId id) {
+  ensure_estimates(now);
+  if (!single_pass_policy(policy_.kind())) {
+    if (!easy_valid_) {
+      easy_starts_ = forward_simulate(mirror_, policy_, now);
+      easy_valid_ = true;
+      ++counters_.easy_replays;
+    } else {
+      ++counters_.reused;
+    }
+    const auto it = easy_starts_.find(id);
+    RTP_CHECK(it != easy_starts_.end(),
+              "shadow: job " + std::to_string(id) + " is not queued");
+    return it->second;
+  }
+  ensure_base(now);
+  const auto pos_it = order_pos_.find(id);
+  RTP_CHECK(pos_it != order_pos_.end(),
+            "shadow: job " + std::to_string(id) + " is not queued");
+  if (pos_it->second < booked_.size()) {
+    ++counters_.reused;
+    return booked_[pos_it->second].start;
+  }
+  book_to(pos_it->second);
+  return booked_[pos_it->second].start;
+}
+
+const SystemState& ShadowSchedule::refreshed_state(Seconds now) {
+  ensure_estimates(now);
+  return mirror_;
+}
+
+}  // namespace rtp

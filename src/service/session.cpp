@@ -21,6 +21,8 @@ OnlineSession::OnlineSession(int machine_nodes, const SchedulerPolicy& policy,
       predictor_(predictor),
       state_(machine_nodes) {
   RTP_CHECK(machine_nodes > 0, "session machine_nodes must be positive");
+  if (options_.incremental_shadow)
+    shadow_ = std::make_unique<ShadowSchedule>(machine_nodes, policy_, predictor_);
 }
 
 void OnlineSession::advance_time(Seconds t) {
@@ -42,7 +44,7 @@ OnlineSession::JobRecord& OnlineSession::known(JobId id) {
 void OnlineSession::submit(const Job& job, Seconds t) {
   advance_time(t);
   RTP_CHECK(job.id != kInvalidJob, "submit: job id is invalid");
-  RTP_CHECK(jobs_.find(job.id) == jobs_.end(),
+  RTP_CHECK(jobs_.find(job.id) == jobs_.end() && !is_retired(job.id),
             "duplicate job id " + std::to_string(job.id));
   RTP_CHECK(job.nodes >= 1, "submit: nodes must be >= 1");
   RTP_CHECK(job.nodes <= state_.machine_nodes(),
@@ -58,8 +60,10 @@ void OnlineSession::submit(const Job& job, Seconds t) {
   const Job* stable = record.job.get();
   jobs_.emplace(job.id, std::move(record));
   // Estimates in the live mirror are refreshed per query (reestimate_all on
-  // a snapshot); the stored value is never read before then.
+  // a snapshot, or the shadow schedule's own refresh); the stored value is
+  // never read before then.
   state_.enqueue(*stable, t, 0.0);
+  if (shadow_ != nullptr) shadow_->on_submit(*stable, t);
 
   if (!saw_event_) first_submit_ = t;
   saw_event_ = true;
@@ -77,6 +81,7 @@ void OnlineSession::start(JobId id, Seconds t) {
 
   now_ = t;
   state_.start_job(id, t);
+  if (shadow_ != nullptr) shadow_->on_start(id, t);
   record.queued = false;
   record.running = true;
   record.attempt_start = t;
@@ -103,6 +108,7 @@ void OnlineSession::finish(JobId id, Seconds t) {
 
   now_ = t;
   state_.finish_job(id);
+  if (shadow_ != nullptr) shadow_->on_finish(id);
   record.running = false;
   record.finished = true;
   predictor_.job_completed(*record.job, t);
@@ -126,11 +132,42 @@ void OnlineSession::cancel(JobId id, Seconds t) {
       break;
     }
   }
+  if (shadow_ != nullptr) shadow_->on_cancel(id, t);
   record.queued = false;
   record.canceled = true;
   predicted_wait_.erase(id);
   ++counters_.canceled;
+  // A canceled job that never started contributes nothing beyond the
+  // cancellation count (result() reports the kNoTime/0 defaults for it), so
+  // its record — and the Job it owns — can be dropped.  Without this,
+  // submit→cancel churn grows jobs_ and every snapshot without bound.  The
+  // shadow's mirror entry was erased above, so no dangling Job* remains.
+  if (record.attempts == 0) retire_record(id);
   bump_version();
+}
+
+void OnlineSession::retire_record(JobId id) {
+  jobs_.erase(id);
+  // Coalesce into the inclusive ranges: extend a neighbour or start a new
+  // range, then merge with the successor when the gap closed.
+  auto next = retired_.upper_bound(id);
+  auto prev = next == retired_.begin() ? retired_.end() : std::prev(next);
+  if (prev != retired_.end() && prev->second + 1 == id) {
+    prev->second = id;
+  } else {
+    prev = retired_.emplace(id, id).first;
+    next = std::next(prev);
+  }
+  if (next != retired_.end() && next->first == prev->second + 1) {
+    prev->second = next->second;
+    retired_.erase(next);
+  }
+}
+
+bool OnlineSession::is_retired(JobId id) const {
+  const auto next = retired_.upper_bound(id);
+  if (next == retired_.begin()) return false;
+  return std::prev(next)->second >= id;
 }
 
 void OnlineSession::fail(JobId id, Seconds t) {
@@ -147,6 +184,7 @@ void OnlineSession::fail(JobId id, Seconds t) {
   // Back to the queue tail immediately: the mirror has no backoff clock of
   // its own; the mirrored scheduler's next START decides when it runs again.
   state_.enqueue(*record.job, t, 0.0);
+  if (shadow_ != nullptr) shadow_->on_fail(id, t);
   record.queued = true;
   ++retries_;
   bump_version();
@@ -159,6 +197,7 @@ void OnlineSession::node_down(int nodes, Seconds t) {
             "node_down: not enough free nodes; evict running jobs first (FAIL)");
   now_ = t;
   state_.take_nodes_down(nodes);
+  if (shadow_ != nullptr) shadow_->on_node_down(nodes);
   ++node_outages_;
   bump_version();
 }
@@ -169,6 +208,7 @@ void OnlineSession::node_up(int nodes, Seconds t) {
   RTP_CHECK(nodes <= state_.down_nodes(), "node_up: more nodes than are down");
   now_ = t;
   state_.bring_nodes_up(nodes);
+  if (shadow_ != nullptr) shadow_->on_node_up(nodes);
   bump_version();
 }
 
@@ -176,6 +216,24 @@ SystemState OnlineSession::shadow_state() {
   SystemState shadow = state_;
   reestimate_all(shadow, predictor_, now_);
   return shadow;
+}
+
+Seconds OnlineSession::shadow_wait(JobId id) {
+  if (shadow_ != nullptr) return shadow_->predicted_start(now_, id) - now_;
+  return predict_start_time(shadow_state(), policy_, now_, id) - now_;
+}
+
+WaitInterval OnlineSession::shadow_interval(JobId id, double optimistic_scale,
+                                            double pessimistic_scale) {
+  if (shadow_ != nullptr) {
+    // The point estimate comes from the incremental bookings; only the two
+    // scaled replays run over the refreshed mirror.
+    const Seconds expected = shadow_->predicted_start(now_, id) - now_;
+    return predict_wait_interval_at(shadow_->refreshed_state(now_), policy_, now_, id,
+                                    expected, optimistic_scale, pessimistic_scale);
+  }
+  return predict_wait_interval(shadow_state(), policy_, now_, id, optimistic_scale,
+                               pessimistic_scale);
 }
 
 OnlineSession::CachedEstimate& OnlineSession::cache_slot(JobId id) {
@@ -191,16 +249,23 @@ Seconds OnlineSession::estimate_wait(JobId id) {
   RTP_CHECK(record.queued, "estimate: job " + std::to_string(id) + " is not queued");
   ++counters_.queries;
 
-  CachedEstimate& slot = cache_slot(id);
   Seconds expected;
-  if (options_.cache_estimates && slot.has_expected) {
-    ++counters_.cache_hits;
-    expected = slot.expected;
-  } else {
+  if (!options_.cache_estimates) {
+    // Cache off means *no* cache work at all: no slot is created, the map
+    // stays empty (the off-mode tests assert this).
     ++counters_.cache_misses;
-    expected = predict_start_time(shadow_state(), policy_, now_, id) - now_;
-    slot.expected = expected;
-    slot.has_expected = true;
+    expected = shadow_wait(id);
+  } else {
+    CachedEstimate& slot = cache_slot(id);
+    if (slot.has_expected) {
+      ++counters_.cache_hits;
+      expected = slot.expected;
+    } else {
+      ++counters_.cache_misses;
+      expected = shadow_wait(id);
+      slot.expected = expected;
+      slot.has_expected = true;
+    }
   }
   // The first estimate after a submission is the paper's "prediction at
   // submit time"; it is scored against the actual wait at START.
@@ -214,24 +279,34 @@ WaitInterval OnlineSession::estimate_interval(JobId id, double optimistic_scale,
   RTP_CHECK(record.queued, "estimate: job " + std::to_string(id) + " is not queued");
   ++counters_.queries;
 
-  CachedEstimate& slot = cache_slot(id);
-  if (options_.cache_estimates && slot.has_band &&
-      slot.optimistic_scale == optimistic_scale &&
-      slot.pessimistic_scale == pessimistic_scale) {
-    ++counters_.cache_hits;
-  } else {
+  WaitInterval band;
+  if (!options_.cache_estimates) {
     ++counters_.cache_misses;
-    slot.band = predict_wait_interval(shadow_state(), policy_, now_, id, optimistic_scale,
-                                      pessimistic_scale);
-    slot.has_band = true;
-    slot.optimistic_scale = optimistic_scale;
-    slot.pessimistic_scale = pessimistic_scale;
-    slot.expected = slot.band.expected;
-    slot.has_expected = true;
+    band = shadow_interval(id, optimistic_scale, pessimistic_scale);
+  } else {
+    CachedEstimate& slot = cache_slot(id);
+    // Scales are cache-key inputs, so they compare as bit patterns, not
+    // numerically: raw double == treats +0.0 and -0.0 as the same key and a
+    // NaN as unequal to itself — the first can serve a band computed for
+    // different scale bits, the second defeats the cache silently.
+    if (slot.has_band && time_bits_eq(slot.optimistic_scale, optimistic_scale) &&
+        time_bits_eq(slot.pessimistic_scale, pessimistic_scale)) {
+      ++counters_.cache_hits;
+      band = slot.band;
+    } else {
+      ++counters_.cache_misses;
+      band = shadow_interval(id, optimistic_scale, pessimistic_scale);
+      slot.band = band;
+      slot.has_band = true;
+      slot.optimistic_scale = optimistic_scale;
+      slot.pessimistic_scale = pessimistic_scale;
+      slot.expected = band.expected;
+      slot.has_expected = true;
+    }
   }
   if (record.attempts == 0 && record_predictions_)
-    predicted_wait_.emplace(id, slot.band.expected);
-  return slot.band;
+    predicted_wait_.emplace(id, band.expected);
+  return band;
 }
 
 Seconds OnlineSession::recorded_prediction(JobId id) const {
@@ -249,7 +324,8 @@ void OnlineSession::restore_prediction(JobId id, Seconds wait) {
 
 namespace {
 
-constexpr std::string_view kSnapshotHeader = "rtp-session-snapshot v1";
+// v2 added the "retired" ranges section (pruned canceled-job ids).
+constexpr std::string_view kSnapshotHeader = "rtp-session-snapshot v2";
 
 const char* bool_digit(bool b) { return b ? "1" : "0"; }
 
@@ -388,6 +464,9 @@ void OnlineSession::serialize(std::ostream& out) const {
     out << "\n";
   }
 
+  out << "retired " << retired_.size() << "\n";
+  for (const auto& [lo, hi] : retired_) out << "t " << lo << " " << hi << "\n";
+
   out << "queue " << state_.queue().size() << "\n";
   for (const SchedJob& sj : state_.queue())
     out << "q " << sj.id() << " " << format_double_bits(sj.submit) << " "
@@ -519,6 +598,16 @@ void OnlineSession::restore(std::istream& in) {
     jobs_.emplace(job.id, std::move(record));
   }
 
+  const std::size_t retired_count = reader.size(reader.expect("retired", 2)[1]);
+  for (std::size_t i = 0; i < retired_count; ++i) {
+    const auto tokens = reader.expect("t", 3);
+    const JobId lo = static_cast<JobId>(reader.integer(tokens[1]));
+    const JobId hi = static_cast<JobId>(reader.integer(tokens[2]));
+    RTP_CHECK(lo <= hi, "snapshot retired range is inverted");
+    const auto [it, inserted] = retired_.emplace(lo, hi);
+    RTP_CHECK(inserted, "snapshot repeats retired range " + std::to_string(lo));
+  }
+
   // Rebuild SystemState: running jobs first (in running-set order), then
   // node outages, then the wait queue (in queue order) — the same ordering
   // invariants the live mutations maintain.
@@ -585,6 +674,10 @@ void OnlineSession::restore(std::istream& in) {
   // cache key matches the restored version, so the next query recomputes.
   cache_.clear();
   cache_version_ = version_;
+
+  // Resynchronize the incremental shadow from the restored state; its
+  // estimates refresh at the next query.
+  if (shadow_ != nullptr) shadow_->reset(state_);
 }
 
 SimResult OnlineSession::result() const {

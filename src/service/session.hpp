@@ -9,12 +9,18 @@
 // queries with the existing shadow simulation (predict_start_time /
 // predict_wait_interval) over a snapshot of its state.
 //
-// Estimate cache.  A query copies the state, re-estimates every job with
-// the predictor, and replays the policy forward — O(jobs in system) work.
-// Between state-changing events the answer cannot change, so the session
+// Incremental shadow schedule.  By default queries are served by a
+// persistent ShadowSchedule (sched/shadow.hpp): every applied event repairs
+// a long-lived mirror + booking structure instead of every query copying
+// and replaying the whole state.  Answers are bit-identical to the legacy
+// recompute-per-query path, which remains available as a verification
+// oracle (SessionOptions::incremental_shadow = false).
+//
+// Estimate cache.  Independently of how an answer is computed, the session
 // keeps a cache keyed on a *state version counter* (bumped by every applied
 // event); repeated queries between events are O(1) lookups.  Answers are
-// identical with the cache on or off.
+// identical with the cache on or off; with the cache off the cache map is
+// never even touched.
 //
 // Equivalence.  Replaying a batch run's event stream (service/replay.hpp)
 // through a session reproduces the batch SimResult metrics and the
@@ -27,6 +33,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <memory>
 #include <unordered_map>
 #include <utility>
@@ -34,6 +41,7 @@
 
 #include "sched/estimator.hpp"
 #include "sched/policy.hpp"
+#include "sched/shadow.hpp"
 #include "sim/metrics.hpp"
 #include "stats/summary.hpp"
 #include "waitpred/waitpred.hpp"
@@ -45,8 +53,14 @@ struct SessionOptions {
   /// Name stamped on result() (SimResult::workload_name).
   std::string name = "online";
   /// Serve estimates from the version-keyed cache.  Off, every query runs
-  /// the shadow simulation afresh (answers are identical either way).
+  /// the shadow simulation afresh and the cache map is never touched
+  /// (answers are identical either way).
   bool cache_estimates = true;
+  /// Answer queries from the persistent, incrementally repaired
+  /// ShadowSchedule.  Off, every query snapshots the state and replays the
+  /// policy from scratch — the slow reference path, kept as the oracle the
+  /// equivalence tests compare against.  Answers are bit-identical.
+  bool incremental_shadow = true;
 };
 
 /// Counters the session keeps beyond SimResult.
@@ -124,6 +138,16 @@ class OnlineSession {
   const SessionCounters& counters() const { return counters_; }
   const SessionOptions& options() const { return options_; }
 
+  /// Repair/rebuild counters of the incremental shadow schedule; nullptr
+  /// when the legacy recompute-per-query path is active.
+  const ShadowCounters* shadow_counters() const {
+    return shadow_ != nullptr ? &shadow_->counters() : nullptr;
+  }
+
+  /// Entries currently held by the version-keyed estimate cache.  Always 0
+  /// when cache_estimates is off (the off path never touches the map).
+  std::size_t cached_estimates() const { return cache_.size(); }
+
   /// Wait-prediction scoring, same accounting as WaitTimeObserver:
   /// |predicted - actual| wait, actual waits, signed error.
   const RunningStats& error_stats() const { return error_; }
@@ -138,9 +162,9 @@ class OnlineSession {
   // --- Durability (service/journal.hpp). --------------------------------
 
   /// Write the deterministic session state as a text snapshot: clock,
-  /// version, every job record, queue/running order, registered
-  /// predictions, accumulated statistics (exact double bit patterns), and
-  /// the ordered completion history the predictor was fed.  Query-side
+  /// version, every job record, retired id ranges, queue/running order,
+  /// registered predictions, accumulated statistics (exact double bit
+  /// patterns), and the ordered completion history the predictor was fed.  Query-side
   /// observability (queries, cache hit/miss counters, the estimate cache)
   /// is deliberately excluded: it resets on recovery.
   void serialize(std::ostream& out) const;
@@ -200,9 +224,21 @@ class OnlineSession {
   void advance_time(Seconds t);
   void bump_version();
   JobRecord& known(JobId id);
-  /// Shadow snapshot with every estimate refreshed by the predictor.
+  /// Shadow snapshot with every estimate refreshed by the predictor (the
+  /// legacy oracle path; the incremental path never copies the state).
   SystemState shadow_state();
+  /// Expected wait of queued job `id`, via the incremental shadow when
+  /// enabled and the fresh-snapshot replay otherwise (bit-identical).
+  Seconds shadow_wait(JobId id);
+  WaitInterval shadow_interval(JobId id, double optimistic_scale,
+                               double pessimistic_scale);
   CachedEstimate& cache_slot(JobId id);
+  /// Drop the JobRecord of a canceled never-started job, remembering its id
+  /// in the coalesced retired ranges so a duplicate SUBMIT is still
+  /// rejected.  Keeps jobs_ and every snapshot bounded by the *live* and
+  /// *completed* job count instead of growing with cancellation churn.
+  void retire_record(JobId id);
+  bool is_retired(JobId id) const;
 
   SessionOptions options_;
   const SchedulerPolicy& policy_;
@@ -218,6 +254,13 @@ class OnlineSession {
   std::unordered_map<JobId, JobRecord> jobs_;
   JobId max_id_seen_ = 0;
   bool any_job_seen_ = false;
+  /// Ids of retired (canceled, never-started) jobs as coalesced inclusive
+  /// ranges lo -> hi; their records are pruned from jobs_.
+  std::map<JobId, JobId> retired_;
+
+  /// Incremental shadow schedule (options_.incremental_shadow); null means
+  /// the legacy recompute-per-query path.
+  std::unique_ptr<ShadowSchedule> shadow_;
 
   // Estimate cache: valid while cache_version_ == version_.
   std::unordered_map<JobId, CachedEstimate> cache_;

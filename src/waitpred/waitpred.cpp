@@ -11,13 +11,6 @@ namespace rtp {
 WaitTimeObserver::WaitTimeObserver(const SchedulerPolicy& policy, RuntimeEstimator& predictor)
     : policy_(policy), predictor_(predictor) {}
 
-void reestimate_all(SystemState& state, RuntimeEstimator& predictor, Seconds now) {
-  for (SchedJob& sj : state.mutable_queue())
-    sj.estimate = predictor.estimate(*sj.job, 0.0);
-  for (SchedJob& sj : state.mutable_running())
-    sj.estimate = predictor.estimate(*sj.job, sj.age(now));
-}
-
 void WaitTimeObserver::on_submit(Seconds now, const SystemState& state, const Job& job) {
   // Snapshot the live state and re-estimate every job with the predictor
   // under test.
@@ -42,9 +35,10 @@ void WaitTimeObserver::on_finish(const Job& job, Seconds end) {
   predictor_.job_completed(job, end);
 }
 
-WaitInterval predict_wait_interval(const SystemState& state, const SchedulerPolicy& policy,
-                                   Seconds now, JobId target, double optimistic_scale,
-                                   double pessimistic_scale) {
+WaitInterval predict_wait_interval_at(const SystemState& state,
+                                      const SchedulerPolicy& policy, Seconds now,
+                                      JobId target, Seconds expected_wait,
+                                      double optimistic_scale, double pessimistic_scale) {
   RTP_CHECK(optimistic_scale > 0.0 && optimistic_scale <= 1.0,
             "optimistic_scale must be in (0, 1]");
   RTP_CHECK(pessimistic_scale >= 1.0, "pessimistic_scale must be >= 1");
@@ -62,7 +56,7 @@ WaitInterval predict_wait_interval(const SystemState& state, const SchedulerPoli
   };
 
   WaitInterval interval;
-  interval.expected = predict_start_time(state, policy, now, target) - now;
+  interval.expected = expected_wait;
   interval.optimistic = scaled(optimistic_scale);
   interval.pessimistic = scaled(pessimistic_scale);
   // Scheduling is not monotone in the estimates (backfill can invert), so
@@ -70,6 +64,14 @@ WaitInterval predict_wait_interval(const SystemState& state, const SchedulerPoli
   interval.optimistic = std::min(interval.optimistic, interval.expected);
   interval.pessimistic = std::max(interval.pessimistic, interval.expected);
   return interval;
+}
+
+WaitInterval predict_wait_interval(const SystemState& state, const SchedulerPolicy& policy,
+                                   Seconds now, JobId target, double optimistic_scale,
+                                   double pessimistic_scale) {
+  return predict_wait_interval_at(state, policy, now, target,
+                                  predict_start_time(state, policy, now, target) - now,
+                                  optimistic_scale, pessimistic_scale);
 }
 
 WaitPredictionResult run_wait_prediction(const Workload& workload, PolicyKind policy,

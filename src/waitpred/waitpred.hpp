@@ -20,18 +20,12 @@
 
 #include "sched/estimator.hpp"
 #include "sched/policy.hpp"
+#include "sched/shadow.hpp"  // reestimate_all (moved beside ShadowSchedule)
 #include "sim/simulator.hpp"
 #include "stats/summary.hpp"
 #include "workload/workload.hpp"
 
 namespace rtp {
-
-/// Overwrite every job's `estimate` in `state` with `predictor`'s current
-/// prediction: queued jobs at age 0, running jobs at their age relative to
-/// `now` — "a wait-time prediction requires run-time predictions of all
-/// applications in the system".  Shared by WaitTimeObserver and the online
-/// service's OnlineSession so the two estimate paths cannot drift.
-void reestimate_all(SystemState& state, RuntimeEstimator& predictor, Seconds now);
 
 /// Observer implementing the shadow-simulation wait-time predictor.  Usable
 /// directly for custom experiments; run_wait_prediction wires it up for the
@@ -101,5 +95,15 @@ WaitInterval predict_wait_interval(const SystemState& state, const SchedulerPoli
                                    Seconds now, JobId target,
                                    double optimistic_scale = 0.5,
                                    double pessimistic_scale = 2.0);
+
+/// predict_wait_interval with the point estimate supplied by the caller —
+/// the incremental shadow schedule already has it as a booking, so only the
+/// two scaled replays run.  `expected_wait` must be the wait
+/// predict_start_time would produce over `state` (the band is clamped
+/// around it).
+WaitInterval predict_wait_interval_at(const SystemState& state,
+                                      const SchedulerPolicy& policy, Seconds now,
+                                      JobId target, Seconds expected_wait,
+                                      double optimistic_scale, double pessimistic_scale);
 
 }  // namespace rtp

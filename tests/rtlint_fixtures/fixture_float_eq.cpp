@@ -7,3 +7,19 @@ bool fixture_compare(double x, int n) {
   const bool fine = x >= 0.0 && x <= 2.0 && n == 0;  // no findings
   return bad && fine;
 }
+
+// Variable-vs-variable equality in cache-key positions: a name containing
+// scale / ratio / factor marks a floating-point multiplier, so raw ==/!=
+// must trip float-eq even without a literal in sight.
+struct FixtureSlot {
+  double optimistic_scale;
+  double load_ratio;
+};
+bool fixture_cache_key(const FixtureSlot& slot, double optimistic_scale,
+                       double boost_factor, double stored, int count, int items) {
+  bool bad = slot.optimistic_scale == optimistic_scale;  // finding (both hinted)
+  bad = bad || boost_factor != stored;                   // finding (lhs hinted)
+  bad = bad || stored == slot.load_ratio;                // finding (rhs hinted)
+  const bool fine = count == items && stored >= 0.0;     // no findings: ints, ordered
+  return bad && fine;
+}

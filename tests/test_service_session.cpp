@@ -2,6 +2,9 @@
 // simulator, cache correctness, and event validation.
 #include "service/session.hpp"
 
+#include <cstddef>
+#include <sstream>
+
 #include <gtest/gtest.h>
 
 #include "predict/factory.hpp"
@@ -174,6 +177,137 @@ TEST(SessionCache, IntervalSharesTheCacheAndBandOrdering) {
   EXPECT_EQ(session.counters().cache_misses, misses);
   session.estimate_interval(1, 0.25, 4.0);
   EXPECT_EQ(session.counters().cache_misses, misses + 1);
+}
+
+TEST(SessionChurn, CancelChurnKeepsSnapshotBounded) {
+  ConstantPredictor predictor(minutes(10));
+  const auto policy = make_policy(PolicyKind::Fcfs);
+  OnlineSession session(8, *policy, predictor);
+
+  // One long-running job pins the machine so every churned job waits.
+  Job base;
+  base.id = 0;
+  base.nodes = 8;
+  base.runtime = minutes(60);
+  session.submit(base, 0.0);
+  session.start(0, 0.0);
+
+  const auto snapshot_size = [&] {
+    std::ostringstream out;
+    session.serialize(out);
+    return out.str().size();
+  };
+
+  const auto churn = [&](JobId id) {
+    Job j = base;
+    j.id = id;
+    j.nodes = 2;
+    session.submit(j, 1.0);
+    session.estimate_wait(id);  // registers a submit-time prediction...
+    session.cancel(id, 1.0);    // ...which cancel must retire with the job
+  };
+
+  for (JobId id = 1; id <= 50; ++id) churn(id);
+  const std::size_t size_at_50 = snapshot_size();
+  for (JobId id = 51; id <= 400; ++id) churn(id);
+  const std::size_t size_at_400 = snapshot_size();
+
+  // A canceled never-started job leaves no record, no prediction, and only
+  // a coalesced id range behind: the snapshot must not grow with churn
+  // (a few bytes of slack cover wider counter digits).
+  EXPECT_LE(size_at_400, size_at_50 + 32)
+      << "snapshot grew from " << size_at_50 << " to " << size_at_400
+      << " bytes under submit->estimate->cancel churn";
+  EXPECT_EQ(session.recorded_predictions(), 0u);
+  EXPECT_EQ(session.counters().canceled, 400u);
+
+  std::ostringstream out;
+  session.serialize(out);
+  EXPECT_NE(out.str().find("retired 1\n"), std::string::npos)
+      << "consecutive retired ids must coalesce into one range";
+  EXPECT_NE(out.str().find("t 1 400\n"), std::string::npos);
+
+  // Retired ids still reject duplicate submissions.
+  Job dup = base;
+  dup.id = 7;
+  dup.nodes = 1;
+  EXPECT_THROW(session.submit(dup, 2.0), Error);
+
+  // The snapshot round-trips: retired ranges survive recovery.
+  ConstantPredictor fresh_predictor(minutes(10));
+  OnlineSession restored(8, *policy, fresh_predictor);
+  std::istringstream in(out.str());
+  restored.restore(in);
+  EXPECT_THROW(restored.submit(dup, 2.0), Error);
+  std::ostringstream out2;
+  restored.serialize(out2);
+  EXPECT_EQ(out.str(), out2.str());
+}
+
+TEST(SessionCache, OffModeNeverTouchesTheCacheMap) {
+  ConstantPredictor predictor(minutes(10));
+  const auto policy = make_policy(PolicyKind::Fcfs);
+  SessionOptions options;
+  options.cache_estimates = false;
+  OnlineSession session(4, *policy, predictor, options);
+
+  Job a;
+  a.id = 0;
+  a.nodes = 4;
+  a.runtime = minutes(10);
+  Job b = a;
+  b.id = 1;
+  b.nodes = 2;
+  session.submit(a, 0.0);
+  session.start(0, 0.0);
+  session.submit(b, 0.0);
+
+  for (int i = 0; i < 4; ++i) {
+    session.estimate_wait(1);
+    session.estimate_interval(1);
+  }
+  // Off means off: no slots were ever created, not even transient ones,
+  // and every query counts as a miss.
+  EXPECT_EQ(session.cached_estimates(), 0u);
+  EXPECT_EQ(session.counters().cache_hits, 0u);
+  EXPECT_EQ(session.counters().cache_misses, 8u);
+}
+
+TEST(SessionShadow, LegacyOracleMatchesIncrementalBitForBit) {
+  const auto policy = make_policy(PolicyKind::Lwf);
+  ConstantPredictor p1(minutes(10));
+  ConstantPredictor p2(minutes(10));
+  SessionOptions legacy_options;
+  legacy_options.incremental_shadow = false;
+  OnlineSession incremental(8, *policy, p1);
+  OnlineSession legacy(8, *policy, p2, legacy_options);
+  EXPECT_NE(incremental.shadow_counters(), nullptr);
+  EXPECT_EQ(legacy.shadow_counters(), nullptr);
+
+  const auto drive = [](OnlineSession& s) {
+    Job j;
+    j.nodes = 8;
+    j.runtime = minutes(30);
+    j.id = 0;
+    s.submit(j, 0.0);
+    s.start(0, 0.0);
+    j.id = 1;
+    j.nodes = 4;
+    s.submit(j, 5.0);
+    j.id = 2;
+    j.nodes = 2;
+    s.submit(j, 5.0);
+  };
+  drive(incremental);
+  drive(legacy);
+  for (const JobId id : {1, 2}) {
+    EXPECT_EQ(incremental.estimate_wait(id), legacy.estimate_wait(id));
+    const WaitInterval a = incremental.estimate_interval(id);
+    const WaitInterval b = legacy.estimate_interval(id);
+    EXPECT_EQ(a.expected, b.expected);
+    EXPECT_EQ(a.optimistic, b.optimistic);
+    EXPECT_EQ(a.pessimistic, b.pessimistic);
+  }
 }
 
 TEST(SessionEvents, ValidationRejectsWithoutCorruptingState) {

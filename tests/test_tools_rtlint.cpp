@@ -73,8 +73,19 @@ TEST(RtlintRules, UnorderedIterFiresAndSparesOrderedOuter) {
 
 TEST(RtlintRules, FloatEqFiresOnLiteralsOnly) {
   const auto diagnostics = lint_fixture("fixture_float_eq.cpp");
-  EXPECT_EQ(count_rule(diagnostics, "float-eq"), 3u)
-      << "==0.0, !=1.5f and ==1e-9 fire; >=, <= and integer == must not";
+  EXPECT_EQ(count_rule(diagnostics, "float-eq"), 6u)
+      << "==0.0, !=1.5f, ==1e-9 and the three scale/ratio/factor variable "
+         "comparisons fire; >=, <= and integer == must not";
+  // The variable-vs-variable diagnostics name both operands and point at
+  // the bit-pattern helper.
+  bool saw_hinted = false;
+  for (const Diagnostic& d : diagnostics)
+    if (d.message.find("time_bits_eq") != std::string::npos) {
+      saw_hinted = true;
+      EXPECT_NE(d.message.find("'"), std::string::npos) << d.message;
+    }
+  EXPECT_TRUE(saw_hinted)
+      << "scale/ratio/factor comparisons must carry the bit-pattern hint";
 }
 
 TEST(RtlintRules, DiscardedErrorFiresOnBareStatements) {

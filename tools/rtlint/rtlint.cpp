@@ -384,6 +384,39 @@ void check_unordered_iter(const RuleContext& ctx, const std::set<std::string>& v
   }
 }
 
+/// Names that mark a value as a floating-point quantity even without a
+/// visible literal: cache keys and multipliers.  `scale == cached_scale`
+/// silently treats +0.0/-0.0 as one key and NaN as unequal to itself; such
+/// comparisons must go through bit patterns (time_bits_eq) or a tolerance.
+bool float_hinted_name(std::string_view token) {
+  if (token.empty() || is_float_literal(token)) return false;
+  if (std::isdigit(static_cast<unsigned char>(token.front())) != 0) return false;
+  std::string lower;
+  lower.reserve(token.size());
+  for (const char c : token)
+    lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  // The hint must be a whole word segment (snake_case or camelCase bounded),
+  // or "generations" would match "ratio".
+  const auto is_alpha = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) != 0;
+  };
+  const auto is_upper = [](char c) {
+    return std::isupper(static_cast<unsigned char>(c)) != 0;
+  };
+  for (const std::string_view hint : {"scale", "ratio", "factor"}) {
+    for (std::size_t pos = lower.find(hint); pos != std::string::npos;
+         pos = lower.find(hint, pos + 1)) {
+      const std::size_t end = pos + hint.size();
+      const bool left_ok =
+          pos == 0 || !is_alpha(lower[pos - 1]) || is_upper(token[pos]);
+      const bool right_ok =
+          end == lower.size() || !is_alpha(lower[end]) || is_upper(token[end]);
+      if (left_ok && right_ok) return true;
+    }
+  }
+  return false;
+}
+
 void check_float_eq(const RuleContext& ctx) {
   const std::string_view text = ctx.scrubbed;
   for (std::size_t i = 0; i + 1 < text.size(); ++i) {
@@ -401,11 +434,19 @@ void check_float_eq(const RuleContext& ctx) {
     }();
     const std::string lhs = number_token_before(text, lhs_end);
     const std::string rhs = number_token_after(text, skip_spaces(text, i + 2));
-    if (is_float_literal(lhs) || is_float_literal(rhs))
+    if (is_float_literal(lhs) || is_float_literal(rhs)) {
       ctx.report(i, "float-eq",
                  std::string(eq ? "==" : "!=") +
                      " against a floating-point literal; compare via a named sentinel "
                      "constant or an explicit tolerance helper");
+    } else if (float_hinted_name(lhs) || float_hinted_name(rhs)) {
+      // Variable-vs-variable equality in a cache-key position: either
+      // operand is named like a floating-point multiplier.
+      ctx.report(i, "float-eq",
+                 std::string(eq ? "==" : "!=") + " between '" + lhs + "' and '" + rhs +
+                     "'; a scale/ratio/factor is a floating-point cache key — compare "
+                     "bit patterns (time_bits_eq) or use a tolerance helper");
+    }
   }
 }
 

@@ -17,7 +17,12 @@
 //   float-eq                 no ==/!= against floating-point literals
 //                            (exact-representation sentinels compare via
 //                            named constants; everything else via an
-//                            explicit tolerance helper)
+//                            explicit tolerance helper), and no
+//                            variable==variable where either name contains
+//                            scale/ratio/factor — those are floating-point
+//                            cache keys and must compare bit patterns
+//                            (rtp::time_bits_eq) so ±0.0 stay distinct and
+//                            NaN keys still hit
 //   discarded-error          calls to try_*/std::optional-returning/
 //                            [[nodiscard]]-annotated functions declared in
 //                            this tree must not be discarded as bare
