@@ -1,0 +1,269 @@
+// Routed-cluster throughput: the rtprouter forwarding path against direct
+// worker connections.
+//
+// Each paper site becomes one partition: a worker rtpd (in-process
+// ServiceServer on an ephemeral TCP port) whose session replays the site's
+// recorded scheduler stream, with every request line keyed `key=<site>`
+// and one ESTIMATE query per submission.  Two passes over fresh fleets:
+//
+//   direct — each site's stream is sent straight to its worker through
+//            ServiceClient, the no-router baseline;
+//   routed — the streams are interleaved round-robin and pushed through a
+//            Router, which must fan them back out by key.
+//
+// Both passes record every response line; they must match byte-for-byte
+// (the router forwards, it does not interpret), and the binary exits
+// non-zero on any divergence.  Reported per pass: lines/sec and the
+// p50/p95/p99/max per-exchange latency.  The routed pass ends with a
+// keyless STATS fan-out to exercise the merge path.
+//
+// Results persist as JSON (--json, default BENCH_cluster.json) so the
+// routing-tier overhead trajectory accumulates across checkouts.
+//
+//   ./bench_cluster_throughput [--scale 0.02] [--policy backfill]
+//                              [--predictor max] [--json BENCH_cluster.json]
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/args.hpp"
+#include "core/error.hpp"
+#include "core/strings.hpp"
+#include "core/table.hpp"
+#include "predict/factory.hpp"
+#include "predict/simple.hpp"
+#include "sched/policy.hpp"
+#include "service/client.hpp"
+#include "service/replay.hpp"
+#include "service/router.hpp"
+#include "service/server.hpp"
+#include "service/session.hpp"
+#include "stats/histogram.hpp"
+#include "workload/synthetic.hpp"
+
+namespace {
+
+struct SiteStream {
+  std::string name;
+  int nodes = 0;
+  std::vector<std::string> lines;  ///< keyed protocol lines, queries inline
+};
+
+/// One worker fleet: a session + TCP server per site, serving until torn
+/// down.  Fresh per pass so both passes start from identical state.
+struct Fleet {
+  std::vector<std::unique_ptr<rtp::RuntimeEstimator>> predictors;
+  std::vector<std::unique_ptr<rtp::OnlineSession>> sessions;
+  std::vector<std::unique_ptr<rtp::ServiceServer>> servers;
+  std::vector<std::thread> threads;
+  std::vector<std::string> addresses;
+
+  ~Fleet() {
+    for (auto& server : servers) server->shutdown();
+    for (auto& thread : threads) thread.join();
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    rtp::ArgParser args(argc, argv);
+    args.add_option("scale", "fraction of each trace's job count", "0.02");
+    args.add_option("policy", "fcfs|lwf|backfill|easy", "backfill");
+    args.add_option("predictor", "actual|max|stf|gibbons|downey-avg|downey-med", "max");
+    args.add_flag("csv", "emit CSV");
+    args.add_option("json", "persist results to this JSON file ('' = skip)",
+                    "BENCH_cluster.json");
+    if (!args.parse()) return 0;
+
+    const auto policy = rtp::make_policy(rtp::policy_kind_from_string(args.str("policy")));
+    const auto predictor_kind = rtp::predictor_kind_from_string(args.str("predictor"));
+
+    // Record each site once; queries ride inline after every submission.
+    std::vector<SiteStream> sites;
+    std::vector<rtp::Workload> workloads = rtp::paper_workloads(args.real("scale"));
+    for (const rtp::Workload& w : workloads) {
+      rtp::MaxRuntimePredictor live(w);
+      const rtp::RecordedRun recorded = rtp::record_session_log(w, *policy, live);
+      SiteStream site;
+      site.name = w.name();
+      site.nodes = w.machine_nodes();
+      for (const rtp::Request& event : recorded.events) {
+        rtp::Request keyed = event;
+        keyed.key = site.name;
+        site.lines.push_back(rtp::format_request(keyed));
+        if (event.kind == rtp::RequestKind::Submit) {
+          rtp::Request query;
+          query.kind = rtp::RequestKind::Estimate;
+          query.id = event.id;
+          query.key = site.name;
+          site.lines.push_back(rtp::format_request(query));
+        }
+      }
+      sites.push_back(std::move(site));
+    }
+
+    const auto make_fleet = [&](Fleet* fleet) {
+      for (const SiteStream& site : sites) {
+        const std::size_t i = fleet->sessions.size();
+        fleet->predictors.push_back(
+            rtp::make_runtime_estimator(predictor_kind, workloads[i]));
+        rtp::SessionOptions session_options;
+        session_options.name = site.name;
+        fleet->sessions.push_back(std::make_unique<rtp::OnlineSession>(
+            site.nodes, *policy, *fleet->predictors.back(), session_options));
+        rtp::ServerOptions server_options;
+        server_options.greeting = false;
+        server_options.threads = 1;
+        fleet->servers.push_back(std::make_unique<rtp::ServiceServer>(
+            *fleet->sessions.back(), server_options));
+        const std::uint16_t port = fleet->servers.back()->listen_on(0);
+        fleet->addresses.push_back("127.0.0.1:" + std::to_string(port));
+        rtp::ServiceServer* server = fleet->servers.back().get();
+        fleet->threads.emplace_back([server] { server->serve(); });
+      }
+    };
+
+    rtp::TablePrinter table({"Mode", "Lines", "Lines/s", "p50 (us)", "p95 (us)",
+                             "p99 (us)", "max (us)"});
+    std::ostringstream json_runs;
+    bool ok = true;
+
+    // --- Direct pass: each site straight to its worker. -------------------
+    std::vector<std::vector<std::string>> direct_answers(sites.size());
+    double direct_qps = 0.0;
+    {
+      Fleet fleet;
+      make_fleet(&fleet);
+      rtp::LatencyHistogram latency;
+      std::size_t lines = 0;
+      const auto t0 = std::chrono::steady_clock::now();
+      for (std::size_t i = 0; i < sites.size(); ++i) {
+        rtp::ServiceClient client({fleet.addresses[i]});
+        for (const std::string& line : sites[i].lines) {
+          const auto q0 = std::chrono::steady_clock::now();
+          const rtp::ClientReply reply = client.request(line);
+          latency.add(std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - q0)
+                          .count());
+          ++lines;
+          RTP_CHECK(reply.ok, sites[i].name + " direct: " + reply.line);
+          direct_answers[i].push_back(reply.line);
+        }
+      }
+      const double seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+      direct_qps = seconds > 0.0 ? static_cast<double>(lines) / seconds : 0.0;
+      table.add_row({"direct", std::to_string(lines), rtp::format_double(direct_qps, 0),
+                     rtp::format_double(latency.p50(), 1),
+                     rtp::format_double(latency.p95(), 1),
+                     rtp::format_double(latency.p99(), 1),
+                     rtp::format_double(latency.max(), 1)});
+      json_runs << "\n    {\"mode\": \"direct\", \"lines\": " << lines
+                << ", \"qps\": " << rtp::format_double(direct_qps, 1)
+                << ", \"p50_us\": " << rtp::format_double(latency.p50(), 3)
+                << ", \"p95_us\": " << rtp::format_double(latency.p95(), 3)
+                << ", \"p99_us\": " << rtp::format_double(latency.p99(), 3)
+                << ", \"max_us\": " << rtp::format_double(latency.max(), 3) << "}";
+    }
+
+    // --- Routed pass: interleaved streams through the router. -------------
+    {
+      Fleet fleet;
+      make_fleet(&fleet);
+      rtp::PartitionMap map;
+      for (std::size_t i = 0; i < sites.size(); ++i) {
+        map.partitions.push_back({fleet.addresses[i]});
+        map.assignments.emplace(sites[i].name, i);
+      }
+      rtp::RouterOptions router_options;
+      router_options.greeting = false;
+      rtp::Router router(std::move(map), router_options);
+
+      rtp::LatencyHistogram latency;
+      std::size_t lines = 0;
+      std::vector<std::size_t> cursor(sites.size(), 0);
+      std::vector<std::vector<std::string>> routed_answers(sites.size());
+      bool quit = false;
+      const auto t0 = std::chrono::steady_clock::now();
+      for (bool drained = false; !drained;) {
+        drained = true;
+        for (std::size_t i = 0; i < sites.size(); ++i) {
+          if (cursor[i] >= sites[i].lines.size()) continue;
+          drained = false;
+          const std::string& line = sites[i].lines[cursor[i]++];
+          const auto q0 = std::chrono::steady_clock::now();
+          const std::string reply = router.handle_line(line, ++lines, &quit);
+          latency.add(std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - q0)
+                          .count());
+          RTP_CHECK(rtp::starts_with(reply, "OK"),
+                    sites[i].name + " routed: " + reply);
+          routed_answers[i].push_back(reply);
+        }
+      }
+      const double seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+      const double routed_qps =
+          seconds > 0.0 ? static_cast<double>(lines) / seconds : 0.0;
+
+      for (std::size_t i = 0; i < sites.size(); ++i) {
+        if (routed_answers[i] != direct_answers[i]) {
+          std::cerr << sites[i].name
+                    << ": routed answers diverge from the direct baseline\n";
+          ok = false;
+        }
+      }
+      // Exercise the STATS fan-out merge once per bench run.
+      bool stats_quit = false;
+      const std::string stats = router.handle_line("STATS", lines + 1, &stats_quit);
+      RTP_CHECK(rtp::starts_with(stats, "OK "), "cluster STATS: " + stats);
+
+      table.add_row({"routed", std::to_string(lines), rtp::format_double(routed_qps, 0),
+                     rtp::format_double(latency.p50(), 1),
+                     rtp::format_double(latency.p95(), 1),
+                     rtp::format_double(latency.p99(), 1),
+                     rtp::format_double(latency.max(), 1)});
+      json_runs << ",\n    {\"mode\": \"routed\", \"lines\": " << lines
+                << ", \"qps\": " << rtp::format_double(routed_qps, 1)
+                << ", \"p50_us\": " << rtp::format_double(latency.p50(), 3)
+                << ", \"p95_us\": " << rtp::format_double(latency.p95(), 3)
+                << ", \"p99_us\": " << rtp::format_double(latency.p99(), 3)
+                << ", \"max_us\": " << rtp::format_double(latency.max(), 3)
+                << ", \"forwarded\": " << router.stats().forwarded
+                << ", \"failovers\": " << router.stats().failovers << "}";
+    }
+
+    if (args.flag("csv")) {
+      table.print_csv(std::cout);
+    } else {
+      std::cout << "Routed-cluster throughput (" << sites.size()
+                << " partitions, one per site)\n";
+      table.print(std::cout);
+    }
+    std::cout << (ok ? "equivalence check: routed answers identical to direct\n"
+                     : "equivalence check: FAILED\n");
+
+    const std::string json_path = args.str("json");
+    if (!json_path.empty()) {
+      std::ofstream json(json_path, std::ios::trunc);
+      json << "{\n  \"bench\": \"cluster_throughput\",\n  \"policy\": \""
+           << args.str("policy") << "\",\n  \"predictor\": \"" << args.str("predictor")
+           << "\",\n  \"scale\": " << rtp::format_double(args.real("scale"), 4)
+           << ",\n  \"partitions\": " << sites.size() << ",\n  \"runs\": ["
+           << json_runs.str() << "\n  ]\n}\n";
+      RTP_CHECK(json.good(), "cannot write " + json_path);
+      std::cerr << "bench_cluster_throughput: results persisted to " << json_path
+                << "\n";
+    }
+    return ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "bench_cluster_throughput: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -232,6 +232,176 @@ run_config() {
   wait "$proxy_pid" 2>/dev/null || true
   kill "$fol_pid" 2>/dev/null || true
   wait "$fol_pid" 2>/dev/null || true
+
+  # Cluster routing smoke: two keyed partitions behind an rtprouter — the
+  # anl partition a replicated pair (primary reached through an rtpfault
+  # jitter proxy, warm standby as the second replica), the ctc partition a
+  # plain worker.  The two keyed flows are interleaved line-by-line through
+  # the router, the anl primary is killed with -9 mid-stream, the standby
+  # is promoted with rtpctl *through the router*, and the streams finish:
+  # each site's de-interleaved replies must match its own monolithic
+  # reference byte for byte, and a keyless STATS must merge the workers'
+  # counters exactly (each fan-out probe self-counts one request per
+  # worker, hence the +2).
+  echo "=== rtprouter cluster smoke ($dir) ==="
+  local n cut2 wB_pid folA_pid priA_pid router_pid router_port
+  local wB_port folA_port folA_repl priA_port proxyA_port a_req b_req merged_req rc
+  cluster_fail() {
+    echo "cluster smoke: $*" >&2
+    local p
+    for p in "${router_pid:-}" "${priA_pid:-}" "${folA_pid:-}" "${wB_pid:-}" "${proxy_pid:-}"; do
+      [ -n "$p" ] && kill -9 "$p" 2>/dev/null || true
+    done
+    exit 1
+  }
+  "$dir/tools/rtpd" --trace "$tmp/ctc.trace" --dump-log > "$tmp/ctc.events"
+  awk 'NF && $1 !~ /^#/ { print; if ($1 == "SUBMIT") print "ESTIMATE", $3 }' \
+    "$tmp/ctc.events" > "$tmp/flowB.raw"
+  # Truncate both flows to a common length so the interleave alternates
+  # strictly (reply N%2 de-interleaves back to its site).
+  n=$(wc -l < "$tmp/flowB.raw")
+  [ "$total" -lt "$n" ] && n=$total
+  cut2=$((n / 2))
+  head -n "$n" "$tmp/flow" | sed 's/$/ key=anl/' > "$tmp/flowA"
+  head -n "$n" "$tmp/flowB.raw" | sed 's/$/ key=ctc/' > "$tmp/flowB"
+  # tail -n +2 drops the stdin-mode greeting line; rtpctl prints replies only.
+  { cat "$tmp/flowA"; printf 'STATE key=anl\n'; } |
+    "$dir/tools/rtpd" --trace "$tmp/anl.trace" --mode stdin |
+    tail -n +2 > "$tmp/refA.replies"
+  { cat "$tmp/flowB"; printf 'STATE key=ctc\n'; } |
+    "$dir/tools/rtpd" --trace "$tmp/ctc.trace" --mode stdin |
+    tail -n +2 > "$tmp/refB.replies"
+
+  "$dir/tools/rtpd" --trace "$tmp/ctc.trace" --mode tcp --port 0 2> "$tmp/wB.log" &
+  wB_pid=$!
+  "$dir/tools/rtpd" --trace "$tmp/anl.trace" --mode tcp --port 0 \
+    --journal "$tmp/folA.rtpj" --follow 0 2> "$tmp/folA.log" &
+  folA_pid=$!
+  for _ in $(seq 1 300); do
+    grep -q '^rtpd listening on ' "$tmp/wB.log" &&
+      grep -q '^rtpd listening on ' "$tmp/folA.log" &&
+      grep -q '^rtpd following on ' "$tmp/folA.log" && break
+    sleep 0.1
+  done
+  wB_port=$(sed -n 's/^rtpd listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$tmp/wB.log")
+  folA_port=$(sed -n 's/^rtpd listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$tmp/folA.log")
+  folA_repl=$(sed -n 's/^rtpd following on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$tmp/folA.log")
+  [ -n "$wB_port" ] && [ -n "$folA_port" ] && [ -n "$folA_repl" ] ||
+    cluster_fail "workers did not come up"
+
+  "$dir/tools/rtpd" --trace "$tmp/anl.trace" --mode tcp --port 0 \
+    --journal "$tmp/priA.rtpj" --fsync always --heartbeat-ms 50 \
+    --replicate-to "127.0.0.1:$folA_repl" 2> "$tmp/priA.log" &
+  priA_pid=$!
+  for _ in $(seq 1 300); do
+    grep -q '^rtpd listening on ' "$tmp/priA.log" && break
+    sleep 0.1
+  done
+  priA_port=$(sed -n 's/^rtpd listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$tmp/priA.log")
+  [ -n "$priA_port" ] || cluster_fail "anl primary did not come up"
+  "$dir/tools/rtpfault" --listen 0 --target "127.0.0.1:$priA_port" \
+    --script 'up:jitter=1' --seed 11 2> "$tmp/faultA.log" &
+  proxy_pid=$!
+  for _ in $(seq 1 300); do
+    grep -q '^rtpfault listening on ' "$tmp/faultA.log" && break
+    sleep 0.1
+  done
+  proxyA_port=$(sed -n 's/^rtpfault listening on 127\.0\.0\.1:\([0-9]*\) .*$/\1/p' "$tmp/faultA.log")
+  [ -n "$proxyA_port" ] || cluster_fail "rtpfault did not come up"
+
+  cat > "$tmp/cluster.map" <<EOF
+RTPMAP1 version=1 partitions=2 default=0
+partition 0 127.0.0.1:$proxyA_port 127.0.0.1:$folA_port
+partition 1 127.0.0.1:$wB_port
+assign anl 0
+assign ctc 1
+EOF
+  "$dir/tools/rtprouter" --map "$tmp/cluster.map" --mode tcp --port 0 \
+    --backoff-min-ms 1 --backoff-max-ms 50 2> "$tmp/router.log" &
+  router_pid=$!
+  for _ in $(seq 1 300); do
+    grep -q '^rtprouter listening on ' "$tmp/router.log" && break
+    sleep 0.1
+  done
+  router_port=$(sed -n 's/^rtprouter listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$tmp/router.log")
+  [ -n "$router_port" ] || cluster_fail "rtprouter did not come up"
+
+  paste -d'\n' <(head -n "$cut2" "$tmp/flowA") <(head -n "$cut2" "$tmp/flowB") \
+    > "$tmp/half1"
+  "$dir/tools/rtpctl" --servers "127.0.0.1:$router_port" --stdin \
+    < "$tmp/half1" > "$tmp/half1.replies" || cluster_fail "first half via router failed"
+  [ "$(wc -l < "$tmp/half1.replies")" -eq $((cut2 * 2)) ] ||
+    cluster_fail "expected $((cut2 * 2)) first-half replies"
+
+  # Wait for the standby to apply everything the primary committed, then
+  # murder the primary and promote the standby through the router.
+  last_seq=$("$dir/tools/rtpctl" --servers "127.0.0.1:$router_port" STATS key=anl |
+    grep -o ' repl_last_seq=[0-9]*' | grep -o '[0-9]*$')
+  [ -n "$last_seq" ] || cluster_fail "primary STATS via router has no repl_last_seq"
+  for _ in $(seq 1 300); do
+    "$dir/tools/rtpctl" --servers "127.0.0.1:$folA_port" STATS 2>/dev/null |
+      grep -q " repl_applied_seq=$last_seq " && break
+    sleep 0.1
+  done
+  "$dir/tools/rtpctl" --servers "127.0.0.1:$folA_port" STATS |
+    grep -q " repl_applied_seq=$last_seq " ||
+    cluster_fail "standby never caught up to seq $last_seq"
+  kill -9 "$priA_pid" 2>/dev/null || true
+  wait "$priA_pid" 2>/dev/null || true
+  "$dir/tools/rtpctl" --servers "127.0.0.1:$router_port" PROMOTE key=anl \
+    > "$tmp/cluster.promote" || cluster_fail "PROMOTE via router failed"
+  grep -q '^OK role=primary' "$tmp/cluster.promote" ||
+    { cat "$tmp/cluster.promote" >&2; cluster_fail "PROMOTE did not promote"; }
+
+  paste -d'\n' <({ tail -n +$((cut2 + 1)) "$tmp/flowA"; printf 'STATE key=anl\n'; }) \
+               <({ tail -n +$((cut2 + 1)) "$tmp/flowB"; printf 'STATE key=ctc\n'; }) \
+    > "$tmp/half2"
+  "$dir/tools/rtpctl" --servers "127.0.0.1:$router_port" --stdin \
+    < "$tmp/half2" > "$tmp/half2.replies" || cluster_fail "second half via router failed"
+  cat "$tmp/half1.replies" "$tmp/half2.replies" > "$tmp/cluster.replies"
+  awk 'NR % 2 == 1' "$tmp/cluster.replies" > "$tmp/clusterA.replies"
+  awk 'NR % 2 == 0' "$tmp/cluster.replies" > "$tmp/clusterB.replies"
+  diff "$tmp/refA.replies" "$tmp/clusterA.replies" ||
+    cluster_fail "anl replies diverge from the monolithic reference across failover"
+  diff "$tmp/refB.replies" "$tmp/clusterB.replies" ||
+    cluster_fail "ctc replies diverge from the monolithic reference"
+
+  # Exact STATS merge: keyed snapshots, then the keyless fan-out (which
+  # sends each worker one more STATS probe before rendering).
+  a_req=$("$dir/tools/rtpctl" --servers "127.0.0.1:$router_port" STATS key=anl |
+    grep -o ' requests=[0-9]*' | grep -o '[0-9]*$')
+  b_req=$("$dir/tools/rtpctl" --servers "127.0.0.1:$router_port" STATS key=ctc |
+    grep -o ' requests=[0-9]*' | grep -o '[0-9]*$')
+  merged_req=$("$dir/tools/rtpctl" --servers "127.0.0.1:$router_port" STATS |
+    grep -o ' requests=[0-9]*' | grep -o '[0-9]*$')
+  [ -n "$a_req" ] && [ -n "$b_req" ] && [ -n "$merged_req" ] ||
+    cluster_fail "missing requests= in STATS"
+  [ "$merged_req" -eq $((a_req + b_req + 2)) ] ||
+    cluster_fail "merged STATS requests=$merged_req != $a_req + $b_req + 2"
+
+  # rtpctl --json and the exit-code contract, driven through the router:
+  # 0 with machine-readable fields on OK, 2 on a protocol-level ERR.
+  "$dir/tools/rtpctl" --json --servers "127.0.0.1:$router_port" STATS \
+    > "$tmp/stats.json" || cluster_fail "--json STATS via router failed"
+  grep -q '"partitions":2' "$tmp/stats.json" ||
+    { cat "$tmp/stats.json" >&2; cluster_fail "no partitions field in JSON STATS"; }
+  set +e
+  "$dir/tools/rtpctl" --servers "127.0.0.1:$router_port" ESTIMATE 424242 key=anl \
+    > /dev/null 2>&1
+  rc=$?
+  set -e
+  [ "$rc" -eq 2 ] || cluster_fail "expected rtpctl exit 2 on protocol ERR, got $rc"
+  set +e
+  "$dir/tools/rtpctl" --servers 127.0.0.1:1 --attempts 1 --connect-timeout-ms 200 \
+    STATS > /dev/null 2>&1
+  rc=$?
+  set -e
+  [ "$rc" -eq 3 ] || cluster_fail "expected rtpctl exit 3 on transport exhaustion, got $rc"
+
+  kill "$router_pid" "$folA_pid" "$wB_pid" 2>/dev/null || true
+  wait "$router_pid" "$folA_pid" "$wB_pid" 2>/dev/null || true
+  kill "$proxy_pid" 2>/dev/null || true
+  wait "$proxy_pid" 2>/dev/null || true
   rm -rf "$tmp"
 }
 
@@ -239,7 +409,7 @@ run_rtlint() {
   local dir=$1
   echo "=== rtlint ($dir) ==="
   "$dir/tools/rtlint" --allowlist tools/rtlint.allow src tools/rtlint \
-    tools/rtpd.cpp tools/rtpctl.cpp tools/rtpfault
+    tools/rtpd.cpp tools/rtpctl.cpp tools/rtprouter.cpp tools/rtpfault
 }
 
 run_service_bench() {
@@ -250,6 +420,11 @@ run_service_bench() {
   local dir=$1
   echo "=== bench_service_throughput ($dir) ==="
   "$dir/bench/bench_service_throughput" --json BENCH_service.json
+  # The routed-vs-direct cluster bench doubles as an equivalence check: it
+  # exits non-zero if the router's answers ever diverge from the per-site
+  # baseline.
+  echo "=== bench_cluster_throughput ($dir) ==="
+  "$dir/bench/bench_cluster_throughput" --json BENCH_cluster.json
 }
 
 run_tsan() {

@@ -2,7 +2,9 @@
 
 #include <cctype>
 #include <charconv>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 
 #include "core/error.hpp"
 
@@ -74,6 +76,36 @@ std::string format_double(double value, int decimals) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
   return buf;
+}
+
+std::string double_bits_hex(double value) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value), "double must be 64-bit");
+  std::memcpy(&bits, &value, sizeof(bits));
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(bits));
+  return std::string(buf);
+}
+
+double parse_double_bits_hex(std::string_view s, std::string_view context) {
+  if (s.size() != 16)
+    fail("double bits must be 16 hex digits in " + std::string(context) + ", got '" +
+         std::string(s) + "'");
+  std::uint64_t bits = 0;
+  for (const char c : s) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      fail("malformed double bits '" + std::string(s) + "' in " + std::string(context));
+    }
+    bits = (bits << 4) | static_cast<std::uint64_t>(digit);
+  }
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
 }
 
 }  // namespace rtp

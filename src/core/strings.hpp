@@ -29,4 +29,13 @@ long long parse_int(std::string_view s, std::string_view context);
 /// printf-style number formatting used by the table printers.
 std::string format_double(double value, int decimals);
 
+/// Exact (bit-faithful) double encoding: the IEEE bit pattern as 16
+/// lower-case hex digits.  Round-trips every value, including NaNs and
+/// values decimal formatting would round.
+std::string double_bits_hex(double value);
+
+/// Inverse of double_bits_hex; throws rtp::Error with `context` on
+/// malformed input (wrong length, non-hex digits).
+double parse_double_bits_hex(std::string_view s, std::string_view context);
+
 }  // namespace rtp

@@ -54,17 +54,12 @@ std::string ServiceClient::connected_address() const {
 bool ServiceClient::ensure_connected(std::string* error) {
   if (fd_ >= 0) return true;
   const Endpoint& endpoint = endpoints_[current_];
-  const int fd =
-      io::dial_tcp(endpoint.host, endpoint.port, options_.connect_timeout_ms, error);
+  const int fd = io::dial_tcp_rcvtimeo(endpoint.host, endpoint.port,
+                                       options_.connect_timeout_ms,
+                                       options_.read_timeout_ms, error);
   if (fd < 0) {
     *error = endpoint.address + ": " + *error;
     return false;
-  }
-  if (options_.read_timeout_ms > 0) {
-    timeval tv{};
-    tv.tv_sec = options_.read_timeout_ms / 1000;
-    tv.tv_usec = static_cast<suseconds_t>((options_.read_timeout_ms % 1000) * 1000);
-    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   }
   fd_ = fd;
   buffer_.clear();

@@ -5,6 +5,7 @@
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -258,6 +259,24 @@ int dial_tcp(const std::string& host, std::uint16_t port,
     *error = std::string("fcntl: ") + std::strerror(errno);
     ::close(fd);
     return -1;
+  }
+  return fd;
+}
+
+int dial_tcp_rcvtimeo(const std::string& host, std::uint16_t port,
+                      std::uint32_t connect_timeout_ms,
+                      std::uint32_t recv_timeout_ms, std::string* error) {
+  const int fd = dial_tcp(host, port, connect_timeout_ms, error);
+  if (fd < 0) return -1;
+  if (recv_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(recv_timeout_ms / 1000);
+    tv.tv_usec = static_cast<suseconds_t>(recv_timeout_ms % 1000) * 1000;
+    if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+      *error = std::string("setsockopt(SO_RCVTIMEO): ") + std::strerror(errno);
+      ::close(fd);
+      return -1;
+    }
   }
   return fd;
 }

@@ -72,6 +72,15 @@ bool split_hostport(std::string_view address, std::string* host,
 int dial_tcp(const std::string& host, std::uint16_t port,
              std::uint32_t timeout_ms, std::string* error);
 
+/// dial_tcp plus an SO_RCVTIMEO receive deadline on the connected socket,
+/// the client-side idiom shared by ServiceClient, the replication follower
+/// and the router's backend pools: a peer that stops answering surfaces as
+/// a recv failure (EAGAIN) instead of a hang.  recv_timeout_ms == 0 leaves
+/// the socket blocking without a deadline.
+int dial_tcp_rcvtimeo(const std::string& host, std::uint16_t port,
+                      std::uint32_t connect_timeout_ms,
+                      std::uint32_t recv_timeout_ms, std::string* error);
+
 /// Buffered reader over a socket fd for protocols that mix newline-framed
 /// lines with length-prefixed binary frames (the replication handshake).
 /// Bytes received past a line's newline are kept and handed to the next

@@ -1,5 +1,6 @@
 #include "service/protocol.hpp"
 
+#include <cctype>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -77,11 +78,54 @@ bool is_request_line(std::string_view line) {
   return !body.empty() && body.front() != '#';
 }
 
+RouteKey extract_route_key(std::string_view line) {
+  RouteKey out;
+  std::size_t i = 0;
+  bool verb_slot = true;
+  while (i < line.size()) {
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+    const std::size_t start = i;
+    while (i < line.size() && !std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+    if (i == start) break;
+    const std::string_view token = line.substr(start, i - start);
+    if (verb_slot) {
+      verb_slot = false;
+      continue;
+    }
+    if (!starts_with(token, "key=")) continue;
+    if (out.kind == RouteKey::Kind::Keyed || token.size() == 4) {
+      out.kind = RouteKey::Kind::Malformed;
+      out.key = {};
+      return out;
+    }
+    out.kind = RouteKey::Kind::Keyed;
+    out.key = token.substr(4);
+  }
+  return out;
+}
+
 Request parse_request(std::string_view line) {
-  const auto tokens = split_whitespace(line);
+  auto tokens = split_whitespace(line);
   if (tokens.empty()) parse_fail("empty request line");
   const std::string verb = to_lower(tokens[0]);
   Request req;
+
+  // Strip the optional routing field before verb parsing so every verb's
+  // arity check sees the line it would without one.  The token in the verb
+  // slot is never a key, mirroring extract_route_key.
+  {
+    std::size_t keep = 1;
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      if (!starts_with(tokens[i], "key=")) {
+        tokens[keep++] = tokens[i];
+        continue;
+      }
+      if (!req.key.empty()) parse_fail("duplicate key= routing field");
+      if (tokens[i].size() == 4) parse_fail("empty key= routing field");
+      req.key = std::string(tokens[i].substr(4));
+    }
+    tokens.resize(keep);
+  }
 
   if (verb == "hello") {
     expect_arity(tokens, 2, "HELLO <version>");
@@ -163,7 +207,11 @@ Request parse_request(std::string_view line) {
     return req;
   }
   if (verb == "stats") {
-    expect_arity(tokens, 1, "STATS");
+    if (tokens.size() == 2 && to_lower(tokens[1]) == "hist") {
+      req.stats_hist = true;
+    } else {
+      expect_arity(tokens, 1, "STATS [hist]");
+    }
     req.kind = RequestKind::Stats;
     return req;
   }
@@ -193,7 +241,17 @@ std::string format_number(double value) {
   return out;
 }
 
-std::string format_request(const Request& request) {
+namespace {
+
+/// The `key=` routing-field tail (validated: one token, round-trippable).
+std::string key_suffix(const Request& request) {
+  if (request.key.empty()) return {};
+  RTP_CHECK(request.key.find_first_of(" \t\n\r") == std::string::npos,
+            "routing key contains whitespace; not representable: " + request.key);
+  return " key=" + request.key;
+}
+
+std::string format_request_body(const Request& request) {
   switch (request.kind) {
     case RequestKind::Hello:
       return "HELLO " + request.version;
@@ -236,13 +294,19 @@ std::string format_request(const Request& request) {
     case RequestKind::State:
       return "STATE";
     case RequestKind::Stats:
-      return "STATS";
+      return request.stats_hist ? "STATS hist" : "STATS";
     case RequestKind::Promote:
       return "PROMOTE";
     case RequestKind::Quit:
       return "QUIT";
   }
   fail("unreachable request kind");
+}
+
+}  // namespace
+
+std::string format_request(const Request& request) {
+  return format_request_body(request) + key_suffix(request);
 }
 
 std::string to_string(ProtocolErrorCode code) {
@@ -256,32 +320,14 @@ std::string to_string(ProtocolErrorCode code) {
   fail("unreachable protocol error code");
 }
 
-std::string format_double_bits(double value) {
-  std::uint64_t bits = 0;
-  static_assert(sizeof(bits) == sizeof(value), "double must be 64-bit");
-  std::memcpy(&bits, &value, sizeof(bits));
-  char buf[17];
-  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(bits));
-  return std::string(buf);
-}
+std::string format_double_bits(double value) { return double_bits_hex(value); }
 
 double parse_double_bits(std::string_view text) {
-  if (text.size() != 16) parse_fail("double bits must be 16 hex digits");
-  std::uint64_t bits = 0;
-  for (const char c : text) {
-    int digit;
-    if (c >= '0' && c <= '9') {
-      digit = c - '0';
-    } else if (c >= 'a' && c <= 'f') {
-      digit = c - 'a' + 10;
-    } else {
-      parse_fail("malformed double bits '" + std::string(text) + "'");
-    }
-    bits = (bits << 4) | static_cast<std::uint64_t>(digit);
+  try {
+    return parse_double_bits_hex(text, "protocol double");
+  } catch (const Error& e) {
+    parse_fail(e.what());
   }
-  double value = 0.0;
-  std::memcpy(&value, &bits, sizeof(value));
-  return value;
 }
 
 std::string format_ok(const std::string& detail) {

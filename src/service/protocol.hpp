@@ -16,9 +16,18 @@
 //   ESTIMATE <id>
 //   INTERVAL <id> [<optimistic_scale> <pessimistic_scale>]
 //   STATE
-//   STATS
+//   STATS [hist]
 //   PROMOTE
 //   QUIT
+//
+// Routing.  Any request line may carry one optional `key=<token>` field
+// after the verb (position among the other tokens is free): the session key
+// a routing tier (tools/rtprouter) partitions traffic on.  Servers parse
+// and ignore it — it is addressing metadata, not session state — so the
+// same keyed line is valid against a single rtpd and through a router.  A
+// duplicate or empty `key=` is a parse error.  `STATS hist` appends the
+// exact serialized latency histograms (request_hist=/estimate_hist=, see
+// stats/histogram.hpp) so a router can merge worker quantiles losslessly.
 //
 // Responses:
 //
@@ -69,6 +78,9 @@ struct Request {
   double optimistic_scale = 0.5;   // INTERVAL
   double pessimistic_scale = 2.0;  // INTERVAL
   std::string version;      // HELLO payload
+  bool stats_hist = false;  // STATS: append serialized latency histograms
+  /// Optional routing key (`key=` field); empty when the line carried none.
+  std::string key;
 };
 
 /// Error category carried by ProtocolError; rendered into the ERR line.
@@ -124,5 +136,23 @@ std::string format_double_bits(double value);
 /// Inverse of format_double_bits; throws ProtocolError(Parse) on malformed
 /// input.
 double parse_double_bits(std::string_view text);
+
+/// Routing-key fast scan (the router's per-line hot path).
+///
+/// Scans the whitespace-separated tokens *after* the verb slot for `key=`
+/// fields without parsing the request: None when no `key=` token exists,
+/// Keyed with the key value when exactly one well-formed `key=<token>` is
+/// present, Malformed on a duplicate or empty `key=`.  The scan agrees with
+/// the full parse on every input (pinned by the router key fuzz test):
+/// whenever parse_request succeeds its Request::key equals the scanned key,
+/// and whenever the scan reports Malformed, parse_request throws.  `key`
+/// points into the caller's line.
+struct RouteKey {
+  enum class Kind { None, Keyed, Malformed };
+  Kind kind = Kind::None;
+  std::string_view key;
+};
+
+RouteKey extract_route_key(std::string_view line);
 
 }  // namespace rtp

@@ -291,10 +291,15 @@ void ReplicationSender::run_follower(Follower& follower, std::uint64_t seed) {
     ++attempt;
   };
 
+  // Bound handshake/ack reads so a wedged follower cannot pin this thread.
+  const std::uint32_t handshake_ms =
+      options_.connect_timeout_ms > 0 ? options_.connect_timeout_ms : 2000;
+
   while (!stopped()) {
     std::string error;
-    const int fd =
-        io::dial_tcp(follower.host, follower.port, options_.connect_timeout_ms, &error);
+    const int fd = io::dial_tcp_rcvtimeo(follower.host, follower.port,
+                                         options_.connect_timeout_ms, handshake_ms,
+                                         &error);
     if (fd < 0) {
       log_debug("replication dial ", follower.host, ":", follower.port, ": ", error);
       backoff();
@@ -315,14 +320,6 @@ void ReplicationSender::run_follower(Follower& follower, std::uint64_t seed) {
 
 void ReplicationSender::stream_connection(Follower& follower, int fd, bool* established) {
   const std::string address = follower.host + ":" + std::to_string(follower.port);
-
-  // Bound the handshake read so a wedged follower cannot pin this thread.
-  timeval tv{};
-  const std::uint32_t handshake_ms =
-      options_.connect_timeout_ms > 0 ? options_.connect_timeout_ms : 2000;
-  tv.tv_sec = handshake_ms / 1000;
-  tv.tv_usec = static_cast<suseconds_t>((handshake_ms % 1000) * 1000);
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
 
   const auto send_text = [&](const std::string& text) {
     return io::send_all(fd, text.data(), text.size()).ok();

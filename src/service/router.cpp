@@ -1,0 +1,620 @@
+#include "service/router.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "core/error.hpp"
+#include "core/log.hpp"
+#include "core/strings.hpp"
+#include "service/io.hpp"
+#include "service/journal.hpp"  // crc32
+#include "service/protocol.hpp"
+
+namespace rtp {
+namespace {
+
+/// The ERR code token ("busy" from "code=busy"), empty when absent.
+std::string error_code(std::string_view line) {
+  for (const std::string_view token : split_whitespace(line))
+    if (starts_with(token, "code=")) return std::string(token.substr(5));
+  return {};
+}
+
+/// Rewrite a forwarded ERR's line= token to the client's own line number:
+/// a pooled backend connection counts its own lines, so the worker's value
+/// is meaningless to the client (and would break bit-identity with a
+/// monolithic server).  OK lines pass through untouched.
+std::string rewrite_err_line(std::string response, std::size_t line_number) {
+  constexpr std::string_view kPrefix = "ERR line=";
+  if (!starts_with(response, kPrefix)) return response;
+  const std::size_t rest = response.find(' ', kPrefix.size());
+  return std::string(kPrefix) + std::to_string(line_number) +
+         (rest == std::string::npos ? "" : response.substr(rest));
+}
+
+/// Strip a required `<name>=` prefix off a partition-map header token.
+std::string_view map_field(std::string_view token, std::string_view prefix) {
+  RTP_CHECK(starts_with(token, prefix),
+            "partition map header expected " + std::string(prefix) + "..., got '" +
+                std::string(token) + "'");
+  return token.substr(prefix.size());
+}
+
+std::size_t map_index(std::string_view token, std::string_view context,
+                      std::size_t limit) {
+  const long long value = parse_int(token, context);
+  RTP_CHECK(value >= 0 && static_cast<unsigned long long>(value) < limit,
+            std::string(context) + " out of range: " + std::string(token));
+  return static_cast<std::size_t>(value);
+}
+
+}  // namespace
+
+std::size_t PartitionMap::route(std::string_view key) const {
+  if (key.empty()) return default_partition;
+  if (const auto it = assignments.find(key); it != assignments.end()) return it->second;
+  return crc32(key) % partitions.size();
+}
+
+void PartitionMap::validate() const {
+  RTP_CHECK(!partitions.empty(), "partition map needs at least one partition");
+  RTP_CHECK(default_partition < partitions.size(),
+            "default partition " + std::to_string(default_partition) +
+                " out of range (have " + std::to_string(partitions.size()) + ")");
+  for (std::size_t i = 0; i < partitions.size(); ++i) {
+    RTP_CHECK(!partitions[i].empty(),
+              "partition " + std::to_string(i) + " has no replica addresses");
+    for (const std::string& address : partitions[i]) {
+      std::string host, error;
+      std::uint16_t port = 0;
+      RTP_CHECK(io::split_hostport(address, &host, &port, &error),
+                "partition " + std::to_string(i) + ": " + error);
+    }
+  }
+  for (const auto& [key, index] : assignments) {
+    RTP_CHECK(!key.empty() && key.find_first_of(" \t\n\r") == std::string::npos,
+              "assignment key must be a non-empty token, got '" + key + "'");
+    RTP_CHECK(index < partitions.size(),
+              "assignment '" + key + "' targets partition " + std::to_string(index) +
+                  " of " + std::to_string(partitions.size()));
+  }
+}
+
+std::string PartitionMap::dump() const {
+  std::string out = "RTPMAP1 version=" + std::to_string(version) +
+                    " partitions=" + std::to_string(partitions.size()) +
+                    " default=" + std::to_string(default_partition) + "\n";
+  for (std::size_t i = 0; i < partitions.size(); ++i) {
+    out += "partition " + std::to_string(i);
+    for (const std::string& address : partitions[i]) out += " " + address;
+    out += "\n";
+  }
+  for (const auto& [key, index] : assignments)
+    out += "assign " + key + " " + std::to_string(index) + "\n";
+  return out;
+}
+
+PartitionMap PartitionMap::load(std::string_view text) {
+  PartitionMap map;
+  bool have_header = false;
+  std::size_t declared = 0;
+  for (const std::string_view raw : split(text, '\n')) {
+    const std::string_view line = trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    const auto tokens = split_whitespace(line);
+    if (!have_header) {
+      RTP_CHECK(tokens[0] == "RTPMAP1" && tokens.size() == 4,
+                "partition map must start with 'RTPMAP1 version=<v> partitions=<n> "
+                "default=<d>', got '" + std::string(line) + "'");
+      const long long version = parse_int(map_field(tokens[1], "version="), "map version");
+      RTP_CHECK(version >= 0, "map version must be >= 0");
+      map.version = static_cast<std::uint64_t>(version);
+      const long long count =
+          parse_int(map_field(tokens[2], "partitions="), "map partition count");
+      RTP_CHECK(count >= 1 && count <= 4096, "map partition count out of range");
+      declared = static_cast<std::size_t>(count);
+      map.default_partition =
+          map_index(map_field(tokens[3], "default="), "map default partition", declared);
+      have_header = true;
+      continue;
+    }
+    if (tokens[0] == "partition") {
+      RTP_CHECK(tokens.size() >= 3, "expected: partition <index> <addr> [<addr> ...]");
+      const std::size_t index = map_index(tokens[1], "partition index", declared);
+      RTP_CHECK(index == map.partitions.size(),
+                "partition lines must be in index order; expected " +
+                    std::to_string(map.partitions.size()) + ", got " +
+                    std::to_string(index));
+      std::vector<std::string> replicas;
+      for (std::size_t i = 2; i < tokens.size(); ++i)
+        replicas.emplace_back(tokens[i]);
+      map.partitions.push_back(std::move(replicas));
+      continue;
+    }
+    if (tokens[0] == "assign") {
+      RTP_CHECK(tokens.size() == 3, "expected: assign <key> <partition>");
+      const std::size_t index = map_index(tokens[2], "assignment partition", declared);
+      const bool inserted =
+          map.assignments.emplace(std::string(tokens[1]), index).second;
+      RTP_CHECK(inserted, "duplicate assignment for key '" + std::string(tokens[1]) + "'");
+      continue;
+    }
+    fail("unknown partition-map line '" + std::string(line) + "'");
+  }
+  RTP_CHECK(have_header, "partition map is empty");
+  RTP_CHECK(map.partitions.size() == declared,
+            "header declares " + std::to_string(declared) + " partitions, found " +
+                std::to_string(map.partitions.size()));
+  map.validate();
+  return map;
+}
+
+Router::Router(PartitionMap map, RouterOptions options)
+    : map_(std::move(map)),
+      options_(options),
+      pool_(options.threads),
+      rng_(options.jitter_seed) {
+  map_.validate();
+  std::map<std::string, std::size_t> backend_index;
+  for (const std::vector<std::string>& replicas : map_.partitions) {
+    partitions_.emplace_back();
+    Partition& partition = partitions_.back();
+    for (const std::string& address : replicas) {
+      auto it = backend_index.find(address);
+      if (it == backend_index.end()) {
+        backends_.emplace_back();
+        Backend& backend = backends_.back();
+        backend.address = address;
+        std::string error;
+        RTP_CHECK(io::split_hostport(address, &backend.host, &backend.port, &error),
+                  "router backend: " + error);
+        it = backend_index.emplace(address, backends_.size() - 1).first;
+      }
+      partition.backends.push_back(it->second);
+    }
+  }
+}
+
+Router::~Router() {
+  shutdown();
+  for (Backend& backend : backends_) {
+    std::lock_guard<std::mutex> lock(backend.mutex);
+    for (PooledConn& conn : backend.idle) ::close(conn.fd);
+    backend.idle.clear();
+  }
+}
+
+std::string Router::greeting() const {
+  return std::string(kProtocolVersion) +
+         " ready router partitions=" + std::to_string(partitions_.size()) +
+         " map_version=" + std::to_string(map_.version);
+}
+
+bool Router::checkout(Backend& backend, PooledConn* conn, std::string* error) {
+  {
+    std::lock_guard<std::mutex> lock(backend.mutex);
+    if (!backend.idle.empty()) {
+      *conn = std::move(backend.idle.back());
+      backend.idle.pop_back();
+      return true;
+    }
+  }
+  const int fd = io::dial_tcp_rcvtimeo(backend.host, backend.port,
+                                       options_.connect_timeout_ms,
+                                       options_.read_timeout_ms, error);
+  if (fd < 0) return false;
+  conn->fd = fd;
+  conn->buffer.clear();
+  return true;
+}
+
+void Router::checkin(Backend& backend, PooledConn conn) {
+  std::lock_guard<std::mutex> lock(backend.mutex);
+  backend.idle.push_back(std::move(conn));
+}
+
+bool Router::exchange(Backend& backend, PooledConn& conn, std::string_view line,
+                      std::string* response, std::string* error) {
+  std::string framed(line);
+  framed += '\n';
+  const io::IoResult sent = io::send_all(conn.fd, framed.data(), framed.size());
+  if (!sent.ok()) {
+    *error = backend.address + " send: " + io::describe(sent);
+    return false;
+  }
+  // Read response lines, skipping greetings (a fresh pooled connection
+  // delivers one before the first response when the worker greets).
+  for (;;) {
+    const std::size_t pos = conn.buffer.find('\n');
+    if (pos != std::string::npos) {
+      std::string reply = conn.buffer.substr(0, pos);
+      conn.buffer.erase(0, pos + 1);
+      if (!reply.empty() && reply.back() == '\r') reply.pop_back();
+      if (starts_with(reply, kProtocolVersion)) continue;  // greeting
+      if (!starts_with(reply, "OK") && !starts_with(reply, "ERR")) {
+        *error = backend.address + ": malformed response '" + reply + "'";
+        return false;
+      }
+      *response = std::move(reply);
+      return true;
+    }
+    if (conn.buffer.size() > options_.max_line_bytes) {
+      *error = backend.address + ": oversized response line";
+      return false;
+    }
+    char chunk[4096];
+    const io::IoResult r = io::recv_some(conn.fd, chunk, sizeof(chunk));
+    if (!r.ok()) {
+      *error = backend.address + " recv: " +
+               (r.failed() && (r.error == EAGAIN || r.error == EWOULDBLOCK)
+                    ? std::string("read timed out")
+                    : io::describe(r));
+      return false;
+    }
+    conn.buffer.append(chunk, r.bytes);
+  }
+}
+
+void Router::backoff(std::uint32_t attempt) {
+  const std::uint32_t shift = attempt < 16 ? attempt : 16;
+  const std::uint64_t uncapped = static_cast<std::uint64_t>(options_.backoff_min_ms)
+                                 << shift;
+  const std::uint64_t capped =
+      uncapped < options_.backoff_max_ms ? uncapped : options_.backoff_max_ms;
+  double scale;
+  {
+    std::lock_guard<std::mutex> lock(rng_mutex_);
+    scale = rng_.uniform(0.5, 1.0);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(
+      static_cast<std::int64_t>(static_cast<double>(capped) * scale)));
+}
+
+std::string Router::forward(std::size_t partition_index, std::string_view line,
+                            std::size_t line_number) {
+  Partition& partition = partitions_[partition_index];
+  std::string last_reply;
+  std::string last_error = "no attempts made";
+  for (std::uint32_t attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (attempt > 0) backoff(attempt - 1);
+    const std::size_t replica = partition.current.load(std::memory_order_relaxed) %
+                                partition.backends.size();
+    Backend& backend = backends_[partition.backends[replica]];
+    PooledConn conn;
+    std::string error;
+    if (!checkout(backend, &conn, &error)) {
+      last_error = backend.address + ": " + error;
+      failovers_.fetch_add(1, std::memory_order_relaxed);
+      partition.current.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    forwarded_.fetch_add(1, std::memory_order_relaxed);
+    std::string response;
+    if (!exchange(backend, conn, line, &response, &error)) {
+      ::close(conn.fd);
+      last_error = error;
+      failovers_.fetch_add(1, std::memory_order_relaxed);
+      partition.current.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    const std::string code =
+        starts_with(response, "ERR") ? error_code(response) : std::string();
+    if (code == "busy") {
+      // Overloaded, not gone: the connection is healthy, back off and retry
+      // the same replica.
+      checkin(backend, std::move(conn));
+      last_reply = std::move(response);
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (code == "readonly") {
+      // A standby: the primary is another replica of this partition.
+      checkin(backend, std::move(conn));
+      last_reply = std::move(response);
+      failovers_.fetch_add(1, std::memory_order_relaxed);
+      partition.current.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    checkin(backend, std::move(conn));
+    if (starts_with(response, "ERR")) errors_.fetch_add(1, std::memory_order_relaxed);
+    return rewrite_err_line(std::move(response), line_number);
+  }
+  errors_.fetch_add(1, std::memory_order_relaxed);
+  if (!last_reply.empty()) return rewrite_err_line(std::move(last_reply), line_number);
+  log_warn("rtprouter partition ", partition_index, " unreachable: ", last_error);
+  // Deterministic message (the transport detail above varies per run).
+  return format_error(line_number, ProtocolErrorCode::Busy,
+                      "partition " + std::to_string(partition_index) +
+                          " unreachable; retry");
+}
+
+std::string Router::stats_response(bool with_hist, std::size_t line_number) {
+  // Worker counters the merged view sums; fixed order, rendered below.
+  static constexpr std::string_view kSummed[] = {
+      "requests",  "errors",       "events",    "queries", "cache_hits",
+      "cache_misses", "completed", "shed",      "shed_connections"};
+  constexpr std::size_t kKeys = sizeof(kSummed) / sizeof(kSummed[0]);
+  std::uint64_t sums[kKeys] = {};
+  std::size_t up = 0;
+  std::optional<LatencyHistogram> request_hist;
+  std::optional<LatencyHistogram> estimate_hist;
+  const auto merge_into = [](std::optional<LatencyHistogram>* into,
+                             std::string_view text) {
+    LatencyHistogram h = LatencyHistogram::deserialize(text);
+    if (into->has_value()) (*into)->merge(h);
+    else *into = std::move(h);
+  };
+  for (std::size_t p = 0; p < partitions_.size(); ++p) {
+    const std::string reply = forward(p, "STATS hist", line_number);
+    if (!starts_with(reply, "OK ")) continue;  // unreachable partition
+    ++up;
+    for (const std::string_view token :
+         split_whitespace(std::string_view(reply).substr(3))) {
+      const std::size_t eq = token.find('=');
+      if (eq == std::string_view::npos) continue;
+      const std::string_view key = token.substr(0, eq);
+      const std::string_view value = token.substr(eq + 1);
+      for (std::size_t k = 0; k < kKeys; ++k) {
+        if (key != kSummed[k]) continue;
+        const long long v = parse_int(value, "worker STATS counter");
+        if (v > 0) sums[k] += static_cast<std::uint64_t>(v);
+        break;
+      }
+      if (key == "request_hist") merge_into(&request_hist, value);
+      if (key == "estimate_hist") merge_into(&estimate_hist, value);
+    }
+  }
+  const std::uint64_t lookups = sums[4] + sums[5];  // cache_hits + cache_misses
+  const double hit_rate =
+      lookups > 0 ? static_cast<double>(sums[4]) / static_cast<double>(lookups) : 0.0;
+  const LatencyHistogram estimate_merged =
+      estimate_hist.has_value() ? *estimate_hist : LatencyHistogram();
+  std::string out =
+      "partitions=" + std::to_string(partitions_.size()) +
+      " up=" + std::to_string(up) +
+      " map_version=" + std::to_string(map_.version) +
+      " default=" + std::to_string(map_.default_partition) +
+      " router_requests=" + std::to_string(requests_.load(std::memory_order_relaxed)) +
+      " router_errors=" + std::to_string(errors_.load(std::memory_order_relaxed)) +
+      " router_forwarded=" + std::to_string(forwarded_.load(std::memory_order_relaxed)) +
+      " router_retries=" + std::to_string(retries_.load(std::memory_order_relaxed)) +
+      " router_failovers=" + std::to_string(failovers_.load(std::memory_order_relaxed)) +
+      " router_shed_connections=" +
+      std::to_string(shed_connections_.load(std::memory_order_relaxed));
+  for (std::size_t k = 0; k < kKeys; ++k)
+    out += " " + std::string(kSummed[k]) + "=" + std::to_string(sums[k]);
+  out += " hit_rate=" + format_number(hit_rate) +
+         " p50_us=" + format_number(estimate_merged.p50()) +
+         " p95_us=" + format_number(estimate_merged.p95()) +
+         " p99_us=" + format_number(estimate_merged.p99()) +
+         " max_us=" + format_number(estimate_merged.max());
+  if (with_hist) {
+    const LatencyHistogram request_merged =
+        request_hist.has_value() ? *request_hist : LatencyHistogram();
+    out += " request_hist=" + request_merged.serialize() +
+           " estimate_hist=" + estimate_merged.serialize();
+  }
+  return format_ok(out);
+}
+
+std::string Router::local_error(std::size_t line_number, std::string_view line) {
+  // The fast scan rejected the line's key= field; run the full parse so the
+  // error bytes match what a monolithic server would answer.
+  errors_.fetch_add(1, std::memory_order_relaxed);
+  try {
+    parse_request(line);
+  } catch (const ProtocolError& e) {
+    return format_error(line_number, e.code(), e.what());
+  } catch (const Error& e) {
+    return format_error(line_number, ProtocolErrorCode::State, e.what());
+  }
+  // Scan and parse disagreeing is pinned impossible by the key fuzz test.
+  return format_error(line_number, ProtocolErrorCode::Parse,
+                      "malformed key= routing field");
+}
+
+std::string Router::handle_line(std::string_view line, std::size_t line_number,
+                                bool* quit) {
+  if (!is_request_line(line)) return {};
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.max_line_bytes > 0 && line.size() > options_.max_line_bytes) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return format_error(line_number, ProtocolErrorCode::Parse,
+                        "line too long (" + std::to_string(line.size()) + " > " +
+                            std::to_string(options_.max_line_bytes) + " bytes)");
+  }
+  const RouteKey route = extract_route_key(line);
+  if (route.kind == RouteKey::Kind::Malformed) return local_error(line_number, line);
+
+  // Peek the verb: HELLO and QUIT are connection-scoped and answered
+  // locally (forwarding QUIT would close a pooled backend connection), and
+  // a keyless STATS is the cluster fan-out.  Everything else forwards.
+  const std::string_view body = trim(line);
+  const std::size_t space = body.find_first_of(" \t");
+  const std::string verb =
+      to_lower(space == std::string_view::npos ? body : body.substr(0, space));
+  if (verb == "hello" || verb == "quit" || verb == "bye" ||
+      (verb == "stats" && route.kind == RouteKey::Kind::None)) {
+    try {
+      const Request request = parse_request(line);
+      if (request.kind == RequestKind::Hello) {
+        if (request.version != kProtocolVersion)
+          throw ProtocolError(ProtocolErrorCode::Proto,
+                              "unsupported version '" + request.version + "', want " +
+                                  std::string(kProtocolVersion));
+        return format_ok("proto=" + std::string(kProtocolVersion));
+      }
+      if (request.kind == RequestKind::Quit) {
+        if (quit != nullptr) *quit = true;
+        return format_ok("bye");
+      }
+      return stats_response(request.stats_hist, line_number);
+    } catch (const ProtocolError& e) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return format_error(line_number, e.code(), e.what());
+    } catch (const Error& e) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return format_error(line_number, ProtocolErrorCode::State, e.what());
+    }
+  }
+  const std::size_t partition =
+      map_.route(route.kind == RouteKey::Kind::Keyed ? route.key : std::string_view());
+  return forward(partition, line, line_number);
+}
+
+void Router::serve_stream(std::istream& in, std::ostream& out) {
+  if (options_.greeting) out << greeting() << "\n" << std::flush;
+  std::string line;
+  std::size_t line_number = 0;
+  bool quit = false;
+  while (!quit && std::getline(in, line)) {
+    ++line_number;
+    const std::string response = handle_line(line, line_number, &quit);
+    if (!response.empty()) out << response << "\n" << std::flush;
+  }
+  out.flush();
+}
+
+std::uint16_t Router::listen_on(std::uint16_t port) {
+  RTP_CHECK(listen_fd_.load() < 0, "router is already listening");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  RTP_CHECK(fd >= 0, std::string("socket: ") + std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(fd);
+    fail("bind 127.0.0.1:" + std::to_string(port) + ": " + reason);
+  }
+  if (::listen(fd, 16) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(fd);
+    fail("listen: " + reason);
+  }
+  socklen_t len = sizeof(addr);
+  RTP_CHECK(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0,
+            "getsockname failed");
+  listen_fd_.store(fd);
+  return ntohs(addr.sin_port);
+}
+
+void Router::serve() {
+  RTP_CHECK(listen_fd_.load() >= 0, "serve() requires listen_on() first");
+  while (!stopping_.load()) {
+    const int listener = listen_fd_.load();
+    if (listener < 0) break;  // shutdown() already closed it
+    const int client = ::accept(listener, nullptr, nullptr);
+    if (client < 0) {
+      if (stopping_.load() || errno == EBADF || errno == EINVAL) break;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      log_warn("rtprouter accept: ", std::strerror(errno));
+      break;
+    }
+    if (options_.max_connections > 0 &&
+        connections_.fetch_add(1, std::memory_order_relaxed) >= options_.max_connections) {
+      connections_.fetch_sub(1, std::memory_order_relaxed);
+      shed_connections_.fetch_add(1, std::memory_order_relaxed);
+      const std::string busy =
+          format_error(0, ProtocolErrorCode::Busy, "router at connection limit; retry") +
+          "\n";
+      io::send_all(client, busy.data(), busy.size());  // best-effort
+      ::close(client);
+      continue;
+    }
+    if (options_.max_connections == 0)
+      connections_.fetch_add(1, std::memory_order_relaxed);
+    pool_.submit([this, client] {
+      try {
+        handle_connection(client);
+      } catch (const std::exception& e) {
+        log_warn("rtprouter connection error: ", e.what());
+      }
+      ::close(client);
+      connections_.fetch_sub(1, std::memory_order_relaxed);
+    });
+  }
+  pool_.wait_idle();
+}
+
+void Router::shutdown() {
+  stopping_.store(true);
+  const int fd = listen_fd_.exchange(-1);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+}
+
+void Router::handle_connection(int fd) {
+  if (options_.write_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = options_.write_timeout_ms / 1000;
+    tv.tv_usec = static_cast<suseconds_t>((options_.write_timeout_ms % 1000) * 1000);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+
+  const auto send_line = [&](const std::string& text) {
+    const std::string framed = text + "\n";
+    const io::IoResult r = io::send_all(fd, framed.data(), framed.size());
+    if (r.failed()) log_warn("rtprouter send: ", io::describe(r));
+    return r.ok();  // Disconnected ends the connection quietly
+  };
+
+  if (options_.greeting && !send_line(greeting())) return;
+
+  std::string buffer;
+  std::size_t line_number = 0;
+  bool quit = false;
+  char chunk[4096];
+  while (!quit) {
+    const io::IoResult r = io::recv_some(fd, chunk, sizeof(chunk));
+    if (!r.ok() || r.bytes == 0) {
+      if (r.failed()) log_warn("rtprouter recv: ", io::describe(r));
+      break;
+    }
+    buffer.append(chunk, r.bytes);
+    std::size_t pos;
+    while (!quit && (pos = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, pos);
+      buffer.erase(0, pos + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      ++line_number;
+      const std::string response = handle_line(line, line_number, &quit);
+      if (!response.empty() && !send_line(response)) return;
+    }
+    if (options_.max_line_bytes > 0 && buffer.size() > options_.max_line_bytes) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      send_line(format_error(line_number + 1, ProtocolErrorCode::Parse,
+                             "line exceeds " + std::to_string(options_.max_line_bytes) +
+                                 " bytes without a newline"));
+      return;
+    }
+  }
+}
+
+RouterStats Router::stats() const {
+  RouterStats out;
+  out.requests = requests_.load(std::memory_order_relaxed);
+  out.errors = errors_.load(std::memory_order_relaxed);
+  out.forwarded = forwarded_.load(std::memory_order_relaxed);
+  out.retries = retries_.load(std::memory_order_relaxed);
+  out.failovers = failovers_.load(std::memory_order_relaxed);
+  out.shed_connections = shed_connections_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace rtp

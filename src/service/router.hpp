@@ -1,0 +1,212 @@
+// rtprouter: session-key routing tier for a sharded rtpd cluster.
+//
+// A Router is a thin RTP/1 proxy: it speaks the same line protocol as rtpd
+// on its front side and forwards each request line, byte-for-byte, to one
+// of N worker partitions on its back side.  The partition is chosen by the
+// line's optional `key=` routing field (see service/protocol.hpp): an
+// explicit assignment in the partition map wins, otherwise crc32(key) mod
+// the partition count; a keyless line goes to the map's default partition.
+// Because the workers answer deterministically and the router never
+// rewrites a request, a keyed event stream pushed through the router
+// produces ESTIMATE/INTERVAL responses byte-identical to running each
+// partition's stream against its own monolithic rtpd — the property the
+// router tests pin, including across a kill-worker → PROMOTE failover.
+//
+// Each partition lists its replica addresses in failover order (primary
+// first, warm standbys after), and forwarding reuses the ServiceClient
+// discipline per partition:
+//
+//  * "ERR code=busy" retries the *same* backend after a seeded-jitter
+//    backoff — overload is back-pressure, not death — and surfaces
+//    unchanged when attempts run out, so shedding propagates to clients;
+//  * "ERR code=readonly" (a standby) and transport trouble advance to the
+//    next replica, sticky, so the partition keeps answering while a dead
+//    primary is promoted;
+//  * a partition with no reachable replica answers "ERR code=busy" locally
+//    (deterministic message) — the router never buffers requests.
+//
+// Responses pass through unmodified except the ERR `line=` token, which is
+// rewritten to the client's own line number (a pooled backend connection
+// has its own count).  HELLO and QUIT are answered locally — QUIT is
+// connection-scoped and forwarding it would tear down a pooled backend
+// connection.  A keyless STATS fans out to every partition and merges the
+// answers exactly: counters are summed and latency quantiles come from
+// LatencyHistogram::merge over the workers' serialized histograms (the
+// `STATS hist` form), never from averaging quantiles.
+//
+// Backend connections are pooled per address with per-connection receive
+// buffers, so concurrent client connections forward in parallel without
+// interleaving response bytes.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <istream>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/thread_pool.hpp"
+#include "stats/histogram.hpp"
+
+namespace rtp {
+
+/// Versioned key → partition map.  `partitions[i]` lists partition i's
+/// replica addresses in failover order (primary first); `assignments` pins
+/// individual keys to partitions, overriding the hash.  Deterministic:
+/// load(dump()) round-trips and equal maps dump equal bytes.
+struct PartitionMap {
+  std::uint64_t version = 1;
+  std::size_t default_partition = 0;
+  std::vector<std::vector<std::string>> partitions;
+  std::map<std::string, std::size_t, std::less<>> assignments;
+
+  /// Partition for a routing key; the empty key is the keyless case and
+  /// routes to default_partition.
+  std::size_t route(std::string_view key) const;
+
+  /// Throws rtp::Error unless the map is well-formed: at least one
+  /// partition, every partition non-empty with parseable host:port
+  /// addresses, default and assignment indices in range.
+  void validate() const;
+
+  /// Deterministic text form:
+  ///
+  ///   RTPMAP1 version=<v> partitions=<n> default=<d>
+  ///   partition <i> <addr> [<addr> ...]
+  ///   assign <key> <partition>
+  ///
+  /// Partition lines in index order, assign lines in key order.
+  std::string dump() const;
+
+  /// Inverse of dump (blank lines and '#' comments allowed); validates.
+  /// Throws rtp::Error on malformed input.
+  static PartitionMap load(std::string_view text);
+};
+
+struct RouterOptions {
+  std::uint32_t connect_timeout_ms = 2000;
+  /// SO_RCVTIMEO on backend connections: a worker slower than this is a
+  /// transport failure (and the partition fails over).
+  std::uint32_t read_timeout_ms = 5000;
+  /// Total forwarding tries per request across retries and failover.
+  std::uint32_t max_attempts = 4;
+  std::uint32_t backoff_min_ms = 50;
+  std::uint32_t backoff_max_ms = 2000;
+  /// Seed for the backoff jitter stream.
+  std::uint64_t jitter_seed = 0x52545052u;  // "RTPR"
+  /// Reject client and backend lines longer than this.
+  std::size_t max_line_bytes = 1 << 20;
+  /// Client-facing connection handler threads.
+  std::size_t threads = 4;
+  /// Client connections beyond this are refused with code=busy (0 = no
+  /// limit), mirroring rtpd's connection admission.
+  std::uint32_t write_timeout_ms = 10000;
+  std::size_t max_connections = 64;
+  bool greeting = true;
+};
+
+struct RouterStats {
+  std::uint64_t requests = 0;   ///< client request lines handled
+  std::uint64_t errors = 0;     ///< answered with ERR (local or forwarded)
+  std::uint64_t forwarded = 0;  ///< lines sent to a backend (incl. retries)
+  std::uint64_t retries = 0;    ///< same-backend retries after code=busy
+  std::uint64_t failovers = 0;  ///< replica advances (readonly/transport)
+  std::uint64_t shed_connections = 0;  ///< client connections refused
+};
+
+class Router {
+ public:
+  /// Validates the map (throws rtp::Error when malformed).
+  Router(PartitionMap map, RouterOptions options = {});
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Route one client line; returns the response line, or "" for blank and
+  /// comment lines.  Thread-safe.
+  std::string handle_line(std::string_view line, std::size_t line_number, bool* quit);
+
+  /// Drive the router from a line stream (stdin mode).
+  void serve_stream(std::istream& in, std::ostream& out);
+
+  /// Bind 127.0.0.1:port (0 = ephemeral); returns the bound port.
+  std::uint16_t listen_on(std::uint16_t port);
+  /// Accept and serve until shutdown().
+  void serve();
+  /// Stop the accept loop (callable from any thread).
+  void shutdown();
+
+  const PartitionMap& map() const { return map_; }
+  RouterStats stats() const;
+
+ private:
+  struct PooledConn {
+    int fd = -1;
+    std::string buffer;  ///< unread bytes from this backend connection
+  };
+
+  /// One worker address: its parsed endpoint plus a pool of idle
+  /// connections.  The same address shared by several partitions shares
+  /// one pool.
+  struct Backend {
+    std::string address;
+    std::string host;
+    std::uint16_t port = 0;
+    std::mutex mutex;
+    std::vector<PooledConn> idle;
+  };
+
+  struct Partition {
+    std::vector<std::size_t> backends;  ///< indices into backends_
+    std::atomic<std::size_t> current{0};  ///< sticky replica to try next
+  };
+
+  /// Forward one line to a partition per the failover discipline; returns
+  /// the client-facing response line.
+  std::string forward(std::size_t partition, std::string_view line,
+                      std::size_t line_number);
+  /// One send/receive on a checked-out connection; false on transport
+  /// failure (*error set).
+  bool exchange(Backend& backend, PooledConn& conn, std::string_view line,
+                std::string* response, std::string* error);
+  bool checkout(Backend& backend, PooledConn* conn, std::string* error);
+  void checkin(Backend& backend, PooledConn conn);
+  void backoff(std::uint32_t attempt);
+
+  /// The keyless STATS fan-out: one `STATS hist` per partition, exact merge.
+  std::string stats_response(bool with_hist, std::size_t line_number);
+
+  std::string greeting() const;
+  void handle_connection(int fd);
+  std::string local_error(std::size_t line_number, std::string_view line);
+
+  PartitionMap map_;
+  RouterOptions options_;
+  std::deque<Backend> backends_;
+  std::deque<Partition> partitions_;
+  ThreadPool pool_;
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> forwarded_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> failovers_{0};
+  std::atomic<std::uint64_t> shed_connections_{0};
+  std::atomic<std::size_t> connections_{0};
+
+  std::mutex rng_mutex_;
+  Rng rng_;
+
+  std::atomic<int> listen_fd_{-1};
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace rtp

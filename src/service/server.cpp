@@ -212,7 +212,7 @@ std::string ServiceServer::render(const Request& request, std::string_view line,
                        " queued=" + std::to_string(s.queue().size()));
     }
     case RequestKind::Stats:
-      return format_ok(stats_body());
+      return format_ok(stats_body(request.stats_hist));
     case RequestKind::Promote:
       if (follower_ == nullptr)
         throw ProtocolError(ProtocolErrorCode::State,
@@ -229,7 +229,7 @@ std::string ServiceServer::render(const Request& request, std::string_view line,
   fail("unreachable request kind");
 }
 
-std::string ServiceServer::stats_body() const {
+std::string ServiceServer::stats_body(bool with_hist) const {
   const SessionCounters& c = session_.counters();
   const double uptime =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - started_).count();
@@ -297,6 +297,13 @@ std::string ServiceServer::stats_body() const {
            " repl_heartbeats=" + std::to_string(f.heartbeats) +
            " repl_resyncs=" + std::to_string(f.resyncs) +
            " repl_rejected=" + std::to_string(f.rejected);
+  }
+  // Histogram tokens only on request (STATS hist), so the plain STATS line
+  // stays byte-identical to before.  They carry the exact bucket counts a
+  // router needs to merge worker quantiles losslessly.
+  if (with_hist) {
+    out += " request_hist=" + request_latency_us_.serialize() +
+           " estimate_hist=" + estimate_latency_us_.serialize();
   }
   return out;
 }

@@ -184,8 +184,9 @@ class ServiceServer {
   /// Release the just-committed journal record to the replication sender
   /// (no-op without one); requires mutex_ held.
   void replicate_commit();
-  /// The STATS body; requires mutex_ held.
-  std::string stats_body() const;
+  /// The STATS body; requires mutex_ held.  `with_hist` appends the exact
+  /// serialized latency histograms (the STATS hist form).
+  std::string stats_body(bool with_hist = false) const;
   std::string shed_response(std::size_t line_number, const char* reason);
 
   OnlineSession& session_;

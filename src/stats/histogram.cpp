@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/error.hpp"
+#include "core/strings.hpp"
 
 namespace rtp {
 
@@ -78,6 +79,65 @@ double LatencyHistogram::quantile(double q) const {
     return std::clamp(estimate, min_, max_);
   }
   return max_;  // unreachable: counts sum to count_
+}
+
+std::string LatencyHistogram::serialize() const {
+  std::string out = "h1;" + double_bits_hex(options_.min_value) + ";" +
+                    double_bits_hex(options_.max_value) + ";" +
+                    double_bits_hex(options_.growth) + ";" +
+                    std::to_string(count_) + ";" + double_bits_hex(sum_) + ";" +
+                    double_bits_hex(min_) + ";" + double_bits_hex(max_) + ";";
+  bool first = true;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    if (!first) out += ",";
+    first = false;
+    out += std::to_string(i) + ":" + std::to_string(counts_[i]);
+  }
+  return out;
+}
+
+LatencyHistogram LatencyHistogram::deserialize(std::string_view text) {
+  const auto fields = split(text, ';');
+  RTP_CHECK(fields.size() == 9 && fields[0] == "h1",
+            "histogram text must be h1;<8 ';'-separated fields>, got '" +
+                std::string(text) + "'");
+  LatencyHistogramOptions options;
+  options.min_value = parse_double_bits_hex(fields[1], "histogram min_value");
+  options.max_value = parse_double_bits_hex(fields[2], "histogram max_value");
+  options.growth = parse_double_bits_hex(fields[3], "histogram growth");
+  LatencyHistogram out(options);  // validates geometry, sizes counts_
+  const auto count = parse_int(fields[4], "histogram count");
+  RTP_CHECK(count >= 0, "histogram count must be >= 0");
+  out.count_ = static_cast<std::size_t>(count);
+  out.sum_ = parse_double_bits_hex(fields[5], "histogram sum");
+  out.min_ = parse_double_bits_hex(fields[6], "histogram min");
+  out.max_ = parse_double_bits_hex(fields[7], "histogram max");
+  std::uint64_t total = 0;
+  if (!fields[8].empty()) {
+    std::size_t last_index = 0;
+    bool first = true;
+    for (const std::string_view entry : split(fields[8], ',')) {
+      const auto parts = split(entry, ':');
+      RTP_CHECK(parts.size() == 2, "histogram bucket must be <index>:<count>, got '" +
+                                       std::string(entry) + "'");
+      const auto index = parse_int(parts[0], "histogram bucket index");
+      const auto bucket_count = parse_int(parts[1], "histogram bucket count");
+      RTP_CHECK(index >= 0 && static_cast<std::size_t>(index) < out.counts_.size(),
+                "histogram bucket index out of range: " + std::string(parts[0]));
+      RTP_CHECK(first || static_cast<std::size_t>(index) > last_index,
+                "histogram bucket indices must be strictly ascending");
+      RTP_CHECK(bucket_count > 0, "histogram bucket count must be positive");
+      first = false;
+      last_index = static_cast<std::size_t>(index);
+      out.counts_[last_index] = static_cast<std::uint64_t>(bucket_count);
+      total += static_cast<std::uint64_t>(bucket_count);
+    }
+  }
+  RTP_CHECK(total == out.count_, "histogram bucket counts sum to " +
+                                     std::to_string(total) + ", header says " +
+                                     std::to_string(out.count_));
+  return out;
 }
 
 }  // namespace rtp

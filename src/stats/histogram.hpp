@@ -11,6 +11,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <vector>
 
 namespace rtp {
@@ -58,6 +60,22 @@ class LatencyHistogram {
 
   const LatencyHistogramOptions& options() const { return options_; }
   std::size_t bucket_count() const { return counts_.size(); }
+
+  /// Deterministic single-token text form (no whitespace), fit for a
+  /// key=value STATS field:
+  ///
+  ///   h1;<min>;<max>;<growth>;<count>;<sum>;<obs-min>;<obs-max>;i:c,i:c,...
+  ///
+  /// Doubles are IEEE bit patterns (core/strings double_bits_hex) and the
+  /// bucket list is sparse and index-sorted, so serialize is bit-faithful
+  /// and two histograms are equal iff their serializations are.  The
+  /// round-trip deserialize(serialize(h)) reproduces h exactly, and
+  /// merging serialized copies equals merging the originals.
+  std::string serialize() const;
+
+  /// Inverse of serialize; throws rtp::Error on malformed input (bad
+  /// magic, bucket indices out of range or unsorted, count mismatch).
+  static LatencyHistogram deserialize(std::string_view text);
 
  private:
   std::size_t bucket_index(double value) const;

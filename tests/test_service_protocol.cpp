@@ -169,6 +169,71 @@ TEST(Protocol, DoubleBitsRoundTripExactly) {
   }
 }
 
+TEST(Protocol, RoutingKeyParsesAnywhereAfterVerb) {
+  Request r = parse_request("SUBMIT 12.5 3 16 600 3600 key=anl u=alice");
+  EXPECT_EQ(r.kind, RequestKind::Submit);
+  EXPECT_EQ(r.key, "anl");
+  EXPECT_EQ(r.job.user, "alice");
+
+  r = parse_request("ESTIMATE key=ctc 7");  // position among tokens is free
+  EXPECT_EQ(r.kind, RequestKind::Estimate);
+  EXPECT_EQ(r.id, 7u);
+  EXPECT_EQ(r.key, "ctc");
+
+  EXPECT_EQ(parse_request("STATS key=sdsc").key, "sdsc");
+  EXPECT_EQ(parse_request("STATS").key, "");
+}
+
+TEST(Protocol, RoutingKeyRoundTripsAsFinalToken) {
+  // format_request renders the key as the last token no matter where the
+  // parsed line carried it — one canonical form per request.
+  EXPECT_EQ(format_request(parse_request("START key=c 5 3")), "START 5 3 key=c");
+  EXPECT_EQ(format_request(parse_request("SUBMIT 0 1 4 60 - key=a u=bob")),
+            "SUBMIT 0 1 4 60 - u=bob key=a");
+  EXPECT_EQ(format_request(parse_request("QUIT key=z")), "QUIT key=z");
+}
+
+TEST(Protocol, DuplicateOrEmptyRoutingKeyIsParseError) {
+  expect_parse_error("ESTIMATE 7 key=a key=b", ProtocolErrorCode::Parse);
+  expect_parse_error("ESTIMATE 7 key=a key=a", ProtocolErrorCode::Parse);
+  expect_parse_error("ESTIMATE 7 key=", ProtocolErrorCode::Parse);
+  // The verb slot is never a key: this is an unknown verb, not a keyed line.
+  expect_parse_error("key=a STATS", ProtocolErrorCode::Proto);
+}
+
+TEST(Protocol, StatsHistRequestsSerializedHistograms) {
+  Request r = parse_request("STATS hist");
+  EXPECT_EQ(r.kind, RequestKind::Stats);
+  EXPECT_TRUE(r.stats_hist);
+  EXPECT_FALSE(parse_request("STATS").stats_hist);
+  EXPECT_EQ(format_request(r), "STATS hist");
+  expect_parse_error("STATS histo", ProtocolErrorCode::Parse);
+  expect_parse_error("STATS hist extra", ProtocolErrorCode::Parse);
+}
+
+TEST(Protocol, ExtractRouteKeyScansWithoutParsing) {
+  RouteKey k = extract_route_key("ESTIMATE 7 key=anl");
+  EXPECT_EQ(k.kind, RouteKey::Kind::Keyed);
+  EXPECT_EQ(k.key, "anl");
+
+  EXPECT_EQ(extract_route_key("ESTIMATE 7").kind, RouteKey::Kind::None);
+  EXPECT_EQ(extract_route_key("").kind, RouteKey::Kind::None);
+
+  // The token in the verb slot is never a key, mirroring parse_request.
+  EXPECT_EQ(extract_route_key("key=a").kind, RouteKey::Kind::None);
+  k = extract_route_key("key=a key=b");
+  EXPECT_EQ(k.kind, RouteKey::Kind::Keyed);
+  EXPECT_EQ(k.key, "b");
+
+  EXPECT_EQ(extract_route_key("ESTIMATE key= 7").kind, RouteKey::Kind::Malformed);
+  EXPECT_EQ(extract_route_key("ESTIMATE 7 key=a key=b").kind,
+            RouteKey::Kind::Malformed);
+
+  // Leading/trailing whitespace and other k=v fields do not confuse it.
+  EXPECT_EQ(extract_route_key("  ESTIMATE   7   key=sp2  ").key, "sp2");
+  EXPECT_EQ(extract_route_key("SUBMIT 0 1 4 60 - u=alice key=ctc").key, "ctc");
+}
+
 // --- server-level robustness: structured errors, state never corrupted ---
 
 class ServerErrors : public ::testing::Test {

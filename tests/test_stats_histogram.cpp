@@ -124,6 +124,74 @@ TEST(LatencyHistogram, MergeRejectsMismatchedGeometry) {
   EXPECT_THROW(a.merge(b), Error);
 }
 
+TEST(LatencyHistogram, SerializeRoundTripsBitExactly) {
+  LatencyHistogram h;
+  std::mt19937 rng(23);
+  std::lognormal_distribution<double> dist(3.0, 2.0);
+  for (int i = 0; i < 2000; ++i) h.add(dist(rng));
+  h.add(1e-9);  // underflow bucket
+  h.add(1e15);  // overflow bucket
+
+  const std::string text = h.serialize();
+  EXPECT_EQ(text.find_first_of(" \t\n"), std::string::npos)
+      << "must be a single token: " << text;
+  EXPECT_EQ(text.rfind("h1;", 0), 0u) << text;
+
+  const LatencyHistogram back = LatencyHistogram::deserialize(text);
+  EXPECT_EQ(back.count(), h.count());
+  EXPECT_EQ(back.sum(), h.sum());  // bit-exact, not NEAR
+  EXPECT_EQ(back.min(), h.min());
+  EXPECT_EQ(back.max(), h.max());
+  for (double q : {0.0, 0.5, 0.95, 0.99, 1.0})
+    EXPECT_EQ(back.quantile(q), h.quantile(q)) << "q=" << q;
+  // Serialization is canonical: the round-trip reproduces the exact bytes.
+  EXPECT_EQ(back.serialize(), text);
+
+  // The empty histogram round-trips too.
+  const LatencyHistogram empty;
+  EXPECT_EQ(LatencyHistogram::deserialize(empty.serialize()).count(), 0u);
+  EXPECT_EQ(LatencyHistogram::deserialize(empty.serialize()).serialize(),
+            empty.serialize());
+}
+
+TEST(LatencyHistogram, MergeOfSerializedCopiesMatchesMergeOfOriginals) {
+  // The router's STATS fan-out merges workers' serialized histograms; that
+  // path must be indistinguishable from merging the in-memory originals.
+  LatencyHistogram a, b;
+  std::mt19937 rng(31);
+  std::exponential_distribution<double> dist(0.005);
+  for (int i = 0; i < 1500; ++i) (i % 3 == 0 ? a : b).add(dist(rng));
+
+  LatencyHistogram wire = LatencyHistogram::deserialize(a.serialize());
+  wire.merge(LatencyHistogram::deserialize(b.serialize()));
+  LatencyHistogram direct = a;
+  direct.merge(b);
+  EXPECT_EQ(wire.serialize(), direct.serialize());
+}
+
+TEST(LatencyHistogram, DeserializeRejectsMalformedText) {
+  LatencyHistogram h;
+  h.add(5.0);
+  const std::string good = h.serialize();
+  EXPECT_NO_THROW(LatencyHistogram::deserialize(good));
+
+  const auto reject = [](const std::string& text) {
+    EXPECT_THROW(LatencyHistogram::deserialize(text), Error) << text;
+  };
+  reject("");
+  reject("h2" + good.substr(2));         // bad magic
+  reject(good.substr(0, good.rfind(';')));  // missing bucket section
+  reject(good + ";extra");               // trailing field
+
+  // Bucket list defects: out-of-range index, unsorted indices, a zero
+  // count, and a total that disagrees with the count field.
+  const std::string head = good.substr(0, good.rfind(';') + 1);
+  reject(head + "999999:1");
+  reject(head + "5:1,3:1");
+  reject(head + "3:0");
+  reject(head + "1:1,2:5");
+}
+
 TEST(LatencyHistogram, NaNAndNonPositiveLandInUnderflow) {
   LatencyHistogram h;
   h.add(0.0);

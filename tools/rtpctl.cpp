@@ -10,29 +10,124 @@
 //   ./rtpctl --servers 127.0.0.1:7421 STATS
 //   ./rtpctl --servers 127.0.0.1:7421,127.0.0.1:7422 ESTIMATE 17
 //
+//   # machine-readable STATS (or any reply) for scripts and dashboards:
+//   ./rtpctl --servers 127.0.0.1:7421 --json STATS
+//
 //   # promote a follower after its primary died:
 //   ./rtpctl --servers 127.0.0.1:7422 PROMOTE
 //
 //   # or stream request lines from stdin (one exchange per line):
 //   head -n 100 anl.events | ./rtpctl --servers 127.0.0.1:7421 --stdin
 //
-// Exit status: 0 when every answer was OK, 2 when any answer was ERR, 1 on
-// transport failure (no server produced a definitive answer) or usage
-// errors.
+// --json renders each answer as one JSON object per line: an OK answer's
+// key=value tail becomes {"ok":true,"address":...,"fields":{...}} (values
+// that read as numbers stay numbers), an ERR answer becomes
+// {"ok":false,"address":...,"line":N,"code":...,"msg":...}.
+//
+// Exit status separates protocol from transport so scripts can branch:
+// 0 when every answer was OK, 2 when a server answered ERR (a definitive
+// protocol-level refusal), 3 when no server produced a definitive answer
+// (connect/read failures exhausted every attempt), 1 on usage errors.
+#include <cstdio>
 #include <iostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/args.hpp"
 #include "core/error.hpp"
+#include "core/strings.hpp"
 #include "service/client.hpp"
 
 namespace {
 
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// True when `value` is a bare JSON-safe number ("5", "0.5", "-1e3") —
+/// emitted unquoted so jq sees real numbers, not digit strings.
+bool is_json_number(std::string_view value) {
+  if (value.empty()) return false;
+  for (const char c : value)
+    if ((c < '0' || c > '9') && c != '.' && c != '-' && c != '+' && c != 'e' &&
+        c != 'E')
+      return false;
+  try {
+    rtp::parse_double(value, "json number probe");
+  } catch (const rtp::Error&) {
+    return false;
+  }
+  return true;
+}
+
+std::string json_value(std::string_view value) {
+  if (is_json_number(value)) return std::string(value);
+  return "\"" + json_escape(value) + "\"";
+}
+
+/// One reply line as a single-line JSON object (see the header comment).
+std::string to_json(const rtp::ClientReply& reply) {
+  std::string out = std::string("{\"ok\":") + (reply.ok ? "true" : "false") +
+                    ",\"address\":\"" + json_escape(reply.address) + "\"";
+  const auto tokens = rtp::split_whitespace(reply.line);
+  if (reply.ok) {
+    std::string fields;
+    std::string detail;
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      const std::size_t eq = tokens[i].find('=');
+      if (eq == std::string_view::npos) {
+        if (!detail.empty()) detail += ' ';
+        detail += tokens[i];
+        continue;
+      }
+      if (!fields.empty()) fields += ',';
+      fields += "\"" + json_escape(tokens[i].substr(0, eq)) +
+                "\":" + json_value(tokens[i].substr(eq + 1));
+    }
+    if (!detail.empty()) out += ",\"detail\":\"" + json_escape(detail) + "\"";
+    out += ",\"fields\":{" + fields + "}";
+  } else {
+    // ERR line=<n> code=<code> msg=<text to end of line>
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      if (rtp::starts_with(tokens[i], "line="))
+        out += ",\"line\":" + json_value(tokens[i].substr(5));
+      if (rtp::starts_with(tokens[i], "code="))
+        out += ",\"code\":\"" + json_escape(tokens[i].substr(5)) + "\"";
+      if (rtp::starts_with(tokens[i], "msg=")) {
+        const std::size_t at = reply.line.find("msg=");
+        out += ",\"msg\":\"" +
+               json_escape(std::string_view(reply.line).substr(at + 4)) + "\"";
+        break;  // msg= runs to end of line; later tokens belong to it
+      }
+    }
+  }
+  return out + "}";
+}
+
 /// Send one line; prints the answer and returns its OK/ERR verdict.
-bool exchange(rtp::ServiceClient& client, const std::string& line) {
+bool exchange(rtp::ServiceClient& client, const std::string& line, bool json) {
   const rtp::ClientReply reply = client.request(line);
-  std::cout << reply.line << "\n";
+  std::cout << (json ? to_json(reply) : reply.line) << "\n";
   return reply.ok;
 }
 
@@ -52,6 +147,7 @@ int main(int argc, char** argv) {
     args.add_option("seed", "backoff jitter seed (reproducible retry timelines)",
                     "1381258307");
     args.add_flag("stdin", "read request lines from stdin instead of the command line");
+    args.add_flag("json", "print each answer as a JSON object instead of the raw line");
     if (!args.parse()) return 0;
 
     rtp::ClientOptions options;
@@ -77,27 +173,39 @@ int main(int argc, char** argv) {
       }
     }
     rtp::ServiceClient client(std::move(addresses), options);
-
-    bool all_ok = true;
+    const bool json = args.flag("json");
     if (args.flag("stdin")) {
       RTP_CHECK(args.positional().empty(),
                 "--stdin and a positional request are mutually exclusive");
-      std::string line;
-      while (std::getline(std::cin, line)) {
-        if (line.empty()) continue;
-        if (!exchange(client, line)) all_ok = false;
-      }
     } else {
       RTP_CHECK(!args.positional().empty(),
                 "no request given (pass verb tokens, or --stdin)");
-      std::string line;
-      for (const std::string& token : args.positional()) {
-        if (!line.empty()) line += ' ';
-        line += token;
-      }
-      if (!exchange(client, line)) all_ok = false;
     }
-    return all_ok ? 0 : 2;
+
+    // Past this point the only rtp::Error source is ServiceClient::request
+    // exhausting its attempts in transport — exit 3, distinct from a
+    // definitive ERR answer (2) and from usage errors (1) above.
+    try {
+      bool all_ok = true;
+      if (args.flag("stdin")) {
+        std::string line;
+        while (std::getline(std::cin, line)) {
+          if (line.empty()) continue;
+          if (!exchange(client, line, json)) all_ok = false;
+        }
+      } else {
+        std::string line;
+        for (const std::string& token : args.positional()) {
+          if (!line.empty()) line += ' ';
+          line += token;
+        }
+        if (!exchange(client, line, json)) all_ok = false;
+      }
+      return all_ok ? 0 : 2;
+    } catch (const rtp::Error& e) {
+      std::cerr << "rtpctl: " << e.what() << "\n";
+      return 3;
+    }
   } catch (const std::exception& e) {
     std::cerr << "rtpctl: " << e.what() << "\n";
     return 1;

@@ -1,0 +1,184 @@
+// rtprouter — session-key routing tier for a sharded rtpd cluster.
+//
+// Speaks the rtpd line protocol (src/service/protocol.hpp) on its front
+// side and forwards each request line to one of N rtpd worker partitions
+// by its `key=` routing field (src/service/router.hpp has the routing and
+// failover rules).  Workers stay ordinary rtpds — they parse and ignore
+// the key — so a keyed client works identically against a single rtpd and
+// against a cluster behind this router.
+//
+//   # two partitions, the second with a warm standby; keyless lines go to
+//   # partition 0:
+//   ./rtpd --nodes 64 --mode tcp --port 7421 &
+//   ./rtpd --nodes 64 --journal p1.rtpj --mode tcp --port 7422 --replicate-to 127.0.0.1:7500 &
+//   ./rtpd --nodes 64 --journal s1.rtpj --follow 7500 --mode tcp --port 7423 &
+//   ./rtprouter --partitions '127.0.0.1:7421;127.0.0.1:7422,127.0.0.1:7423' --mode tcp --port 7420
+//
+//   # drive it like any rtpd; STATS without a key merges the cluster:
+//   printf 'SUBMIT 0 1 4 600 3600 key=a\nESTIMATE 1 key=a\nSTATS\nQUIT\n' |
+//     ./rtpctl --servers 127.0.0.1:7420 --stdin
+//
+// The map can also come from a file (--map, the PartitionMap text format)
+// and --map-dump prints the canonical form for inspection or rewriting.
+//
+// SIGINT/SIGTERM stop the accept loop and drain in-flight requests.
+// SIGPIPE is ignored process-wide, as in rtpd: workers and clients may
+// vanish mid-write, and the rtp::io wrappers turn EPIPE into an orderly
+// disconnect.
+#include <csignal>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <thread>
+
+#include <unistd.h>
+
+#include "core/args.hpp"
+#include "core/error.hpp"
+#include "core/log.hpp"
+#include "core/strings.hpp"
+#include "service/io.hpp"
+#include "service/router.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+int g_wake_pipe[2] = {-1, -1};
+
+extern "C" void on_signal(int sig) {
+  g_signal = sig;
+  if (g_wake_pipe[1] >= 0) {
+    const char byte = 1;
+    // rtlint: allow(raw-io) async-signal-safe raw write from the handler;
+    // the io:: wrappers build strings and are off-limits here.
+    (void)!::write(g_wake_pipe[1], &byte, 1);
+  }
+}
+
+void install_signal_handlers() {
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: blocked reads must return so we can drain
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  struct sigaction ignore_pipe{};
+  ignore_pipe.sa_handler = SIG_IGN;
+  sigemptyset(&ignore_pipe.sa_mask);
+  ::sigaction(SIGPIPE, &ignore_pipe, nullptr);
+}
+
+/// Build a map from the --partitions shorthand: partitions separated by
+/// ';', each a ','-separated replica list in failover order.
+rtp::PartitionMap map_from_flag(const std::string& spec, std::size_t default_partition) {
+  rtp::PartitionMap map;
+  map.default_partition = default_partition;
+  for (const std::string_view group : rtp::split(spec, ';')) {
+    std::vector<std::string> replicas;
+    for (const std::string_view piece : rtp::split(group, ',')) {
+      const std::string address(rtp::trim(piece));
+      if (!address.empty()) replicas.push_back(address);
+    }
+    RTP_CHECK(!replicas.empty(), "--partitions: empty partition in '" + spec + "'");
+    map.partitions.push_back(std::move(replicas));
+  }
+  map.validate();
+  return map;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    rtp::ArgParser args(argc, argv);
+    args.add_option("map", "partition map file (RTPMAP1 text format)", "");
+    args.add_option("partitions",
+                    "inline map: partitions split by ';', replicas by ',' "
+                    "(primary first), e.g. 'h:1;h:2,h:3'", "");
+    args.add_option("default-partition",
+                    "partition for keyless request lines (with --partitions)", "0");
+    args.add_flag("map-dump", "print the canonical partition map and exit");
+    args.add_option("mode", "stdin|tcp", "stdin");
+    args.add_option("port", "TCP port (0 = ephemeral)", "0");
+    args.add_option("threads", "TCP connection workers", "4");
+    args.add_option("connect-timeout-ms", "backend connect timeout", "2000");
+    args.add_option("read-timeout-ms", "backend response timeout", "5000");
+    args.add_option("attempts", "forwarding tries per request (retries + failover)", "4");
+    args.add_option("backoff-min-ms", "first busy-retry backoff", "50");
+    args.add_option("backoff-max-ms", "backoff cap", "2000");
+    args.add_option("seed", "backoff jitter seed", "1381258322");  // "RTPR"
+    args.add_option("max-connections", "concurrent clients (0 = unbounded)", "64");
+    args.add_flag("verbose", "progress logging to stderr");
+    if (!args.parse()) return 0;
+    if (args.flag("verbose")) rtp::set_log_level(rtp::LogLevel::Info);
+
+    const std::string mode = args.str("mode");
+    RTP_CHECK(mode == "stdin" || mode == "tcp", "--mode must be stdin or tcp");
+    RTP_CHECK(args.str("map").empty() != args.str("partitions").empty(),
+              "exactly one of --map and --partitions is required");
+
+    rtp::PartitionMap map;
+    if (!args.str("map").empty()) {
+      std::ifstream in(args.str("map"), std::ios::binary);
+      RTP_CHECK(in.good(), "cannot open --map file '" + args.str("map") + "'");
+      std::ostringstream text;
+      text << in.rdbuf();
+      map = rtp::PartitionMap::load(text.str());
+    } else {
+      map = map_from_flag(args.str("partitions"),
+                          static_cast<std::size_t>(args.integer("default-partition")));
+    }
+    if (args.flag("map-dump")) {
+      std::cout << map.dump();
+      std::cout.flush();
+      RTP_CHECK(std::cout.good(), "--map-dump: write to stdout failed");
+      return 0;
+    }
+
+    rtp::RouterOptions options;
+    options.connect_timeout_ms =
+        static_cast<std::uint32_t>(args.integer("connect-timeout-ms"));
+    options.read_timeout_ms = static_cast<std::uint32_t>(args.integer("read-timeout-ms"));
+    options.max_attempts = static_cast<std::uint32_t>(args.integer("attempts"));
+    options.backoff_min_ms = static_cast<std::uint32_t>(args.integer("backoff-min-ms"));
+    options.backoff_max_ms = static_cast<std::uint32_t>(args.integer("backoff-max-ms"));
+    options.jitter_seed = static_cast<std::uint64_t>(args.integer("seed"));
+    options.threads = static_cast<std::size_t>(args.integer("threads"));
+    options.max_connections = static_cast<std::size_t>(args.integer("max-connections"));
+    rtp::Router router(std::move(map), options);
+
+    RTP_CHECK(::pipe(g_wake_pipe) == 0, "cannot create signal wake pipe");
+    install_signal_handlers();
+
+    if (mode == "stdin") {
+      router.serve_stream(std::cin, std::cout);
+    } else {
+      const std::uint16_t port =
+          router.listen_on(static_cast<std::uint16_t>(args.integer("port")));
+      std::cerr << "rtprouter listening on 127.0.0.1:" << port << "\n";
+      std::thread watcher([&router] {
+        char byte = 0;
+        rtp::io::read_some(g_wake_pipe[0], &byte, 1);
+        router.shutdown();
+      });
+      router.serve();
+      const char byte = 1;
+      rtp::io::write_all(g_wake_pipe[1], &byte, 1);
+      watcher.join();
+    }
+
+    if (g_signal != 0 || args.flag("verbose")) {
+      const rtp::RouterStats stats = router.stats();
+      std::cerr << "rtprouter "
+                << (g_signal != 0 ? "drained after signal " + std::to_string(g_signal)
+                                  : "final")
+                << ": requests=" << stats.requests << " errors=" << stats.errors
+                << " forwarded=" << stats.forwarded << " retries=" << stats.retries
+                << " failovers=" << stats.failovers << "\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "rtprouter: " << e.what() << "\n";
+    return 1;
+  }
+}
