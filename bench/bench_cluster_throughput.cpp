@@ -4,31 +4,42 @@
 // Each paper site becomes one partition: a worker rtpd (in-process
 // ServiceServer on an ephemeral TCP port) whose session replays the site's
 // recorded scheduler stream, with every request line keyed `key=<site>`
-// and one ESTIMATE query per submission.  Two passes over fresh fleets:
+// and one ESTIMATE query per submission.  Three passes over fresh fleets:
 //
-//   direct — each site's stream is sent straight to its worker through
-//            ServiceClient, the no-router baseline;
-//   routed — the streams are interleaved round-robin and pushed through a
-//            Router, which must fan them back out by key.
+//   direct   — each site's stream is sent straight to its worker through
+//              ServiceClient, the no-router baseline;
+//   routed   — the streams are interleaved round-robin and pushed through
+//              a Router, which must fan them back out by key;
+//   migrated — the routed pass again, but a third of the way in the first
+//              site's partition is handed to a warm standby by the live
+//              MigrationCoordinator while the streams keep flowing.  The
+//              exchanges that land during the migration get their own
+//              quantiles (mig_* in the JSON), putting a number on the
+//              pause-gate stall a cutover costs clients.
 //
-// Both passes record every response line; they must match byte-for-byte
-// (the router forwards, it does not interpret), and the binary exits
-// non-zero on any divergence.  Reported per pass: lines/sec and the
-// p50/p95/p99/max per-exchange latency.  The routed pass ends with a
-// keyless STATS fan-out to exercise the merge path.
+// Every pass records every response line; they must match byte-for-byte
+// (the router forwards, it does not interpret — and a live cutover must
+// be invisible), and the binary exits non-zero on any divergence.
+// Reported per pass: lines/sec and the p50/p95/p99/max per-exchange
+// latency.  The routed pass ends with a keyless STATS fan-out to exercise
+// the merge path.
 //
 // Results persist as JSON (--json, default BENCH_cluster.json) so the
 // routing-tier overhead trajectory accumulates across checkouts.
 //
 //   ./bench_cluster_throughput [--scale 0.02] [--policy backfill]
 //                              [--predictor max] [--json BENCH_cluster.json]
+#include <atomic>
 #include <chrono>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "core/args.hpp"
 #include "core/error.hpp"
@@ -38,7 +49,10 @@
 #include "predict/simple.hpp"
 #include "sched/policy.hpp"
 #include "service/client.hpp"
+#include "service/journal.hpp"
+#include "service/migrate.hpp"
 #include "service/replay.hpp"
+#include "service/replication.hpp"
 #include "service/router.hpp"
 #include "service/server.hpp"
 #include "service/session.hpp"
@@ -237,6 +251,180 @@ int main(int argc, char** argv) {
                 << ", \"max_us\": " << rtp::format_double(latency.max(), 3)
                 << ", \"forwarded\": " << router.stats().forwarded
                 << ", \"failovers\": " << router.stats().failovers << "}";
+    }
+
+    // --- Migrated pass: routed streams while partition 0 moves live. ------
+    {
+      Fleet fleet;
+      make_fleet(&fleet);
+
+      // Site 0 is served by a journaled primary (replication sender, retire
+      // sidecar) instead of its plain fleet worker, so the coordinator can
+      // hand it to a warm standby mid-stream.
+      const std::string base =
+          "/tmp/bench_cluster_mig_" + std::to_string(::getpid());
+      const std::string src_journal = base + "_src.rtpj";
+      const std::string dst_journal = base + "_dst.rtpj";
+      for (const std::string& stale :
+           {src_journal, src_journal + ".base", src_journal + ".retired",
+            dst_journal, dst_journal + ".base"})
+        ::unlink(stale.c_str());
+
+      const auto src_predictor =
+          rtp::make_runtime_estimator(predictor_kind, workloads[0]);
+      rtp::SessionOptions site0_options;
+      site0_options.name = sites[0].name;
+      rtp::OnlineSession src_session(sites[0].nodes, *policy, *src_predictor,
+                                     site0_options);
+      rtp::JournalWriter src_writer(src_journal);
+      rtp::ReplicationOptions repl_options;
+      repl_options.heartbeat_ms = 20;
+      rtp::ReplicationSender sender(src_journal,
+                                    rtp::session_fingerprint(src_session),
+                                    repl_options);
+      rtp::ServerOptions src_options;
+      src_options.greeting = false;
+      // Not 1 like the plain fleet: during the cutover the source serves the
+      // router's pooled streaming connection AND the coordinator's control
+      // requests (status polls, MAPSET, retire) concurrently.
+      src_options.threads = 4;
+      src_options.journal = &src_writer;
+      src_options.snapshot_every = 0;
+      src_options.replication = &sender;
+      src_options.retire_sidecar = src_journal + ".retired";
+      rtp::ServiceServer src_server(src_session, src_options);
+      sender.set_snapshot_source([&] { return src_server.replication_snapshot(); });
+      sender.start();
+      const std::uint16_t src_port = src_server.listen_on(0);
+      std::thread src_thread([&] { src_server.serve(); });
+
+      const auto dst_predictor =
+          rtp::make_runtime_estimator(predictor_kind, workloads[0]);
+      rtp::OnlineSession dst_session(sites[0].nodes, *policy, *dst_predictor,
+                                     site0_options);
+      rtp::JournalWriter dst_writer(dst_journal);
+      rtp::ServerOptions dst_options;
+      dst_options.greeting = false;
+      dst_options.threads = 4;
+      dst_options.journal = &dst_writer;
+      dst_options.snapshot_every = 0;
+      rtp::ServiceServer dst_server(dst_session, dst_options);
+      rtp::FollowerApplier applier(dst_server, dst_session, dst_writer,
+                                   rtp::session_fingerprint(dst_session),
+                                   rtp::FollowerOptions{});
+      dst_server.attach_follower(&applier);
+      applier.listen_on(0);
+      applier.start();
+      const std::uint16_t dst_port = dst_server.listen_on(0);
+      const std::string dst_address = "127.0.0.1:" + std::to_string(dst_port);
+      std::thread dst_thread([&] { dst_server.serve(); });
+
+      rtp::PartitionMap map;
+      map.partitions.push_back({"127.0.0.1:" + std::to_string(src_port)});
+      map.assignments.emplace(sites[0].name, 0);
+      for (std::size_t i = 1; i < sites.size(); ++i) {
+        map.partitions.push_back({fleet.addresses[i]});
+        map.assignments.emplace(sites[i].name, i);
+      }
+      rtp::RouterOptions router_options;
+      router_options.greeting = false;
+      std::optional<rtp::Router> router(std::in_place, std::move(map),
+                                        router_options);
+      rtp::MigrationOptions mig_options;
+      mig_options.poll_ms = 2;
+      rtp::MigrationCoordinator coordinator(*router, mig_options);
+      router->attach_coordinator(&coordinator);
+
+      std::size_t total_lines = 0;
+      for (const SiteStream& site : sites) total_lines += site.lines.size();
+
+      rtp::LatencyHistogram latency;
+      rtp::LatencyHistogram mig_latency;
+      std::size_t lines = 0;
+      std::vector<std::size_t> cursor(sites.size(), 0);
+      std::vector<std::vector<std::string>> migrated_answers(sites.size());
+      std::thread migrator;
+      std::atomic<bool> migrating{false};
+      rtp::MigrationReport report;
+      bool quit = false;
+      const auto t0 = std::chrono::steady_clock::now();
+      for (bool drained = false; !drained;) {
+        drained = true;
+        for (std::size_t i = 0; i < sites.size(); ++i) {
+          if (cursor[i] >= sites[i].lines.size()) continue;
+          drained = false;
+          const std::string& line = sites[i].lines[cursor[i]++];
+          const auto q0 = std::chrono::steady_clock::now();
+          const std::string reply = router->handle_line(line, ++lines, &quit);
+          const double us = std::chrono::duration<double, std::micro>(
+                                std::chrono::steady_clock::now() - q0)
+                                .count();
+          latency.add(us);
+          if (migrating.load()) mig_latency.add(us);
+          RTP_CHECK(rtp::starts_with(reply, "OK"),
+                    sites[i].name + " migrated: " + reply);
+          migrated_answers[i].push_back(reply);
+          if (!migrator.joinable() && lines * 3 >= total_lines) {
+            migrating.store(true);
+            migrator = std::thread([&] {
+              report = coordinator.migrate_partition(0, dst_address);
+              migrating.store(false);
+            });
+          }
+        }
+      }
+      const double seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+      const double migrated_qps =
+          seconds > 0.0 ? static_cast<double>(lines) / seconds : 0.0;
+      if (migrator.joinable()) migrator.join();
+      if (!report.ok) {
+        std::cerr << "live migration failed: " << report.error << "\n";
+        ok = false;
+      }
+
+      // The cutover must be invisible: byte-identical to the no-router,
+      // no-migration baseline.
+      for (std::size_t i = 0; i < sites.size(); ++i) {
+        if (migrated_answers[i] != direct_answers[i]) {
+          std::cerr << sites[i].name
+                    << ": migrated answers diverge from the direct baseline\n";
+          ok = false;
+        }
+      }
+
+      table.add_row({"migrated", std::to_string(lines),
+                     rtp::format_double(migrated_qps, 0),
+                     rtp::format_double(latency.p50(), 1),
+                     rtp::format_double(latency.p95(), 1),
+                     rtp::format_double(latency.p99(), 1),
+                     rtp::format_double(latency.max(), 1)});
+      json_runs << ",\n    {\"mode\": \"migrated\", \"lines\": " << lines
+                << ", \"qps\": " << rtp::format_double(migrated_qps, 1)
+                << ", \"p50_us\": " << rtp::format_double(latency.p50(), 3)
+                << ", \"p95_us\": " << rtp::format_double(latency.p95(), 3)
+                << ", \"p99_us\": " << rtp::format_double(latency.p99(), 3)
+                << ", \"max_us\": " << rtp::format_double(latency.max(), 3)
+                << ", \"mig_lines\": " << mig_latency.count()
+                << ", \"mig_p50_us\": " << rtp::format_double(mig_latency.p50(), 3)
+                << ", \"mig_p99_us\": " << rtp::format_double(mig_latency.p99(), 3)
+                << ", \"mig_max_us\": " << rtp::format_double(mig_latency.max(), 3)
+                << ", \"paused_waits\": " << router->stats().paused_waits
+                << ", \"map_version\": " << router->map_version() << "}";
+
+      // Close the router's pooled connections before the workers' serve()
+      // loops drain, then tear the migration cluster down.
+      router.reset();
+      sender.stop();
+      src_server.shutdown();
+      src_thread.join();
+      applier.stop();
+      dst_server.shutdown();
+      dst_thread.join();
+      for (const std::string& stale :
+           {src_journal, src_journal + ".base", src_journal + ".retired",
+            dst_journal, dst_journal + ".base"})
+        ::unlink(stale.c_str());
     }
 
     if (args.flag("csv")) {

@@ -402,6 +402,102 @@ EOF
   wait "$router_pid" "$folA_pid" "$wB_pid" 2>/dev/null || true
   kill "$proxy_pid" 2>/dev/null || true
   wait "$proxy_pid" 2>/dev/null || true
+
+  # Live-migration chaos smoke: a journaled primary (reached through an
+  # rtpfault jitter proxy, so the keyed stream AND the cutover control
+  # traffic cross a lossy link) hands the anl session to a fresh standby
+  # via the router's MIGRATE verb between the two halves of the stream.
+  # The full keyed stream must match the monolithic reference byte for
+  # byte across the cutover, the retired source must refuse with
+  # code=moved and leave its crash-durable sidecar on disk, and MAPGET
+  # through the router must show the bumped map.
+  echo "=== rtprouter live-migration smoke ($dir) ==="
+  local msrc_pid mdst_pid mrouter_pid msrc_port mdst_port mproxy_port mrouter_port
+  migrate_fail() {
+    echo "migration smoke: $*" >&2
+    local p
+    for p in "${mrouter_pid:-}" "${msrc_pid:-}" "${mdst_pid:-}" "${proxy_pid:-}"; do
+      [ -n "$p" ] && kill -9 "$p" 2>/dev/null || true
+    done
+    exit 1
+  }
+  "$dir/tools/rtpd" --trace "$tmp/anl.trace" --mode tcp --port 0 \
+    --journal "$tmp/msrc.rtpj" --fsync always --heartbeat-ms 50 2> "$tmp/msrc.log" &
+  msrc_pid=$!
+  "$dir/tools/rtpd" --trace "$tmp/anl.trace" --mode tcp --port 0 \
+    --journal "$tmp/mdst.rtpj" --follow 0 2> "$tmp/mdst.log" &
+  mdst_pid=$!
+  for _ in $(seq 1 300); do
+    grep -q '^rtpd listening on ' "$tmp/msrc.log" &&
+      grep -q '^rtpd listening on ' "$tmp/mdst.log" &&
+      grep -q '^rtpd following on ' "$tmp/mdst.log" && break
+    sleep 0.1
+  done
+  msrc_port=$(sed -n 's/^rtpd listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$tmp/msrc.log")
+  mdst_port=$(sed -n 's/^rtpd listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$tmp/mdst.log")
+  [ -n "$msrc_port" ] && [ -n "$mdst_port" ] ||
+    migrate_fail "migration workers did not come up"
+  "$dir/tools/rtpfault" --listen 0 --target "127.0.0.1:$msrc_port" \
+    --script 'up:jitter=1' --seed 13 2> "$tmp/mfault.log" &
+  proxy_pid=$!
+  for _ in $(seq 1 300); do
+    grep -q '^rtpfault listening on ' "$tmp/mfault.log" && break
+    sleep 0.1
+  done
+  mproxy_port=$(sed -n 's/^rtpfault listening on 127\.0\.0\.1:\([0-9]*\) .*$/\1/p' "$tmp/mfault.log")
+  [ -n "$mproxy_port" ] || migrate_fail "rtpfault did not come up"
+  cat > "$tmp/migrate.map" <<EOF
+RTPMAP1 version=1 partitions=1 default=0
+partition 0 127.0.0.1:$mproxy_port
+assign anl 0
+EOF
+  "$dir/tools/rtprouter" --map "$tmp/migrate.map" --mode tcp --port 0 \
+    --backoff-min-ms 1 --backoff-max-ms 50 2> "$tmp/mrouter.log" &
+  mrouter_pid=$!
+  for _ in $(seq 1 300); do
+    grep -q '^rtprouter listening on ' "$tmp/mrouter.log" && break
+    sleep 0.1
+  done
+  mrouter_port=$(sed -n 's/^rtprouter listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$tmp/mrouter.log")
+  [ -n "$mrouter_port" ] || migrate_fail "rtprouter did not come up"
+
+  head -n "$cut2" "$tmp/flowA" |
+    "$dir/tools/rtpctl" --servers "127.0.0.1:$mrouter_port" --stdin \
+    > "$tmp/mig1.replies" || migrate_fail "first half via router failed"
+  [ "$(wc -l < "$tmp/mig1.replies")" -eq "$cut2" ] ||
+    migrate_fail "expected $cut2 first-half replies"
+
+  "$dir/tools/rtpctl" --servers "127.0.0.1:$mrouter_port" --read-timeout-ms 30000 \
+    MIGRATE key=anl "to=127.0.0.1:$mdst_port" > "$tmp/migrate.reply" ||
+    migrate_fail "MIGRATE via router failed: $(cat "$tmp/migrate.reply")"
+  grep -q '^OK migrated=1 ' "$tmp/migrate.reply" ||
+    { cat "$tmp/migrate.reply" >&2; migrate_fail "MIGRATE did not migrate"; }
+
+  { tail -n +$((cut2 + 1)) "$tmp/flowA"; printf 'STATE key=anl\n'; } |
+    "$dir/tools/rtpctl" --servers "127.0.0.1:$mrouter_port" --stdin \
+    > "$tmp/mig2.replies" || migrate_fail "second half via router failed"
+  cat "$tmp/mig1.replies" "$tmp/mig2.replies" > "$tmp/mig.replies"
+  diff "$tmp/refA.replies" "$tmp/mig.replies" ||
+    migrate_fail "replies diverge across the live migration"
+
+  [ -f "$tmp/msrc.rtpj.retired" ] || migrate_fail "no retire sidecar on the source"
+  set +e
+  "$dir/tools/rtpctl" --servers "127.0.0.1:$msrc_port" ESTIMATE 1 key=anl \
+    > "$tmp/moved.reply" 2>&1
+  rc=$?
+  set -e
+  [ "$rc" -eq 2 ] || migrate_fail "expected rtpctl exit 2 from retired source, got $rc"
+  grep -q 'code=moved' "$tmp/moved.reply" ||
+    { cat "$tmp/moved.reply" >&2; migrate_fail "retired source did not answer code=moved"; }
+  "$dir/tools/rtpctl" --json --servers "127.0.0.1:$mrouter_port" MAPGET \
+    > "$tmp/mapget.json" || migrate_fail "MAPGET via router failed"
+  grep -q '"map_version":2' "$tmp/mapget.json" ||
+    { cat "$tmp/mapget.json" >&2; migrate_fail "router map did not advance to version 2"; }
+
+  kill "$mrouter_pid" "$msrc_pid" "$mdst_pid" 2>/dev/null || true
+  wait "$mrouter_pid" "$msrc_pid" "$mdst_pid" 2>/dev/null || true
+  kill "$proxy_pid" 2>/dev/null || true
+  wait "$proxy_pid" 2>/dev/null || true
   rm -rf "$tmp"
 }
 

@@ -1,0 +1,157 @@
+// Live partition migration: move a partition's session to a new worker
+// with zero downtime and no divergence.
+//
+// The MigrationCoordinator drives the hand-off as an explicit state
+// machine, built entirely from machinery the cluster already trusts —
+// journal-streaming replication for the data plane, the partition map for
+// the control plane:
+//
+//   Attach   source attaches the destination as a live replication
+//            follower (MIGRATE to=<host:repl_port> on the source); the
+//            destination bootstraps from a snapshot + journal tail like
+//            any warm standby.
+//   CatchUp  poll the source's MIGRATE status until the follower is
+//            connected with lag 0 (bounded by catchup_timeout_ms).
+//   Pause    the router gates the moving partition: new requests for it
+//            queue (never rejected) for the drain window.
+//   Retire   the source stores the post-cutover map (MAPSET, so straggler
+//            routers can self-heal off it), then retires the session
+//            (MIGRATE retire version=<N>): a crash-durable sidecar marker
+//            lands on disk *before* the OK, and from that point the source
+//            answers every session-addressed request with
+//            "ERR code=moved map_version=<N>".
+//   Drain    poll until the destination has acked everything the source
+//            committed (the retire reply's seq).  Timeout rolls back:
+//            MIGRATE resume + detach on the source, gate lifted, old owner
+//            keeps the partition.
+//   Promote  detach the follower stream and PROMOTE the destination; it
+//            drops read-only and owns the session.
+//   Publish  install the bumped map locally, push it to peer routers
+//            (best-effort MAPSET over their control connections — a peer
+//            that misses the push self-heals on its first moved reply),
+//            lift the gate.
+//
+// Split-brain is structurally impossible: the source refuses mutations
+// from the instant the retire marker is durable, and the destination
+// refuses them (read-only follower) until PROMOTE — there is no cut point,
+// including kill -9 of either side at any frame, where both accept writes
+// for the key.  If the source dies mid-drain the coordinator promotes the
+// destination only when it has provably acked the retire seq; otherwise it
+// aborts and the partition stays with whichever side holds the journal.
+//
+// Rebalancing rides on top: the router's per-partition load counters pick
+// the hottest partition (deterministic: strict maximum, ties to the lowest
+// index) and migrate it to a spare worker.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "service/router.hpp"
+
+namespace rtp {
+
+struct Request;
+
+struct MigrationOptions {
+  std::uint32_t connect_timeout_ms = 2000;
+  std::uint32_t read_timeout_ms = 5000;
+  /// Bound on CatchUp: how long the destination may take to reach lag 0.
+  std::uint32_t catchup_timeout_ms = 15000;
+  /// Bound on Drain: how long the paused window may last before the
+  /// migration rolls back to the old owner.  Keep well under the router's
+  /// pause_wait_ms so queued clients never see the gate time out.
+  std::uint32_t drain_timeout_ms = 5000;
+  /// Poll cadence for CatchUp/Drain.
+  std::uint32_t poll_ms = 10;
+  /// Peer routers (host:port) to push the new map to after a cutover.
+  std::vector<std::string> peers;
+  /// Spare worker addresses REBALANCE may migrate the hottest partition
+  /// to when the request names no destination.
+  std::vector<std::string> spares;
+};
+
+enum class MigrationPhase {
+  Idle,
+  Attach,
+  CatchUp,
+  Pause,
+  Retire,
+  Drain,
+  Promote,
+  Publish,
+  Done,
+  Rollback,
+  Abort,
+};
+
+std::string to_string(MigrationPhase phase);
+
+struct MigrationReport {
+  bool ok = false;
+  std::string error;          ///< why it failed (empty on success)
+  std::size_t partition = 0;
+  std::string from;           ///< old primary address
+  std::string to;             ///< new primary address
+  std::uint64_t map_version = 0;  ///< version installed by the cutover
+  std::uint64_t seq = 0;          ///< retire seq the destination acked
+  MigrationPhase phase = MigrationPhase::Idle;  ///< where it ended
+};
+
+class MigrationCoordinator {
+ public:
+  /// `router` is not owned and must outlive the coordinator.
+  MigrationCoordinator(Router& router, MigrationOptions options = {});
+
+  MigrationCoordinator(const MigrationCoordinator&) = delete;
+  MigrationCoordinator& operator=(const MigrationCoordinator&) = delete;
+
+  /// The router's MIGRATE/REBALANCE dispatch: runs the migration
+  /// synchronously and returns the client-facing response line.  Throws
+  /// ProtocolError (the router formats it) on refusals and failures.
+  std::string handle(const Request& request, std::size_t line_number);
+
+  /// Move partition `partition` to worker `to` (client address).  Blocking;
+  /// one migration at a time (a second caller gets a busy report).
+  MigrationReport migrate_partition(std::size_t partition, const std::string& to);
+
+  /// Deterministic rebalance: migrate the hottest partition (router load
+  /// counters) to `to`, or to the first configured spare not already in
+  /// the map when `to` is empty.
+  MigrationReport rebalance(const std::string& to);
+
+  /// Most recent migration's report (Idle phase before any ran).
+  MigrationReport last_report() const;
+
+  /// Test hook: called at every phase transition, before the phase's work
+  /// runs.  Lets chaos tests kill a process at an exact frame of the state
+  /// machine.  Call during single-threaded setup.
+  void set_phase_hook(std::function<void(MigrationPhase)> hook) {
+    phase_hook_ = std::move(hook);
+  }
+
+ private:
+  /// One-shot request/response against a worker or peer router: dial,
+  /// send, skip the greeting, return the response line.  Throws rtp::Error
+  /// on transport failure.
+  std::string worker_request(const std::string& address, const std::string& line);
+  /// `reply` must be "OK ..."; throws rtp::Error("<context>: <reply>")
+  /// otherwise.
+  std::string require_ok(std::string reply, const std::string& context);
+  void enter(MigrationPhase phase);
+  MigrationReport run_migration(std::size_t partition, const std::string& to);
+
+  Router& router_;
+  MigrationOptions options_;
+  std::function<void(MigrationPhase)> phase_hook_;
+
+  mutable std::mutex mutex_;
+  bool busy_ = false;              ///< guarded by mutex_
+  MigrationReport last_report_;    ///< guarded by mutex_
+};
+
+}  // namespace rtp

@@ -220,6 +220,59 @@ Request parse_request(std::string_view line) {
     req.kind = RequestKind::Promote;
     return req;
   }
+  if (verb == "migrate") {
+    req.kind = RequestKind::Migrate;
+    if (tokens.size() < 2)
+      parse_fail("expected: MIGRATE to=<host:port> | status | retire version=<v> | resume | detach");
+    const std::string sub = to_lower(tokens[1]);
+    if (sub == "status" || sub == "resume" || sub == "detach") {
+      expect_arity(tokens, 2, "MIGRATE status|resume|detach");
+      req.migrate_action = sub;
+      return req;
+    }
+    if (sub == "retire") {
+      expect_arity(tokens, 3, "MIGRATE retire version=<v>");
+      if (!starts_with(tokens[2], "version="))
+        parse_fail("expected: MIGRATE retire version=<v>");
+      const long long v = integer(tokens[2].substr(8), "map version");
+      if (v < 1) parse_fail("map version must be >= 1");
+      req.migrate_action = "retire";
+      req.map_version = static_cast<std::uint64_t>(v);
+      return req;
+    }
+    if (starts_with(tokens[1], "to=")) {
+      expect_arity(tokens, 2, "MIGRATE to=<host:port>");
+      if (tokens[1].size() == 3) parse_fail("empty to= destination");
+      req.migrate_action = "attach";
+      req.migrate_to = std::string(tokens[1].substr(3));
+      return req;
+    }
+    parse_fail("expected: MIGRATE to=<host:port> | status | retire version=<v> | resume | detach");
+  }
+  if (verb == "mapset") {
+    expect_arity(tokens, 2, "MAPSET map=<encoded-map>");
+    if (!starts_with(tokens[1], "map=")) parse_fail("expected: MAPSET map=<encoded-map>");
+    if (tokens[1].size() == 4) parse_fail("empty map= payload");
+    req.kind = RequestKind::MapSet;
+    req.map_text = std::string(tokens[1].substr(4));
+    return req;
+  }
+  if (verb == "mapget") {
+    expect_arity(tokens, 1, "MAPGET");
+    req.kind = RequestKind::MapGet;
+    return req;
+  }
+  if (verb == "rebalance") {
+    if (tokens.size() == 2) {
+      if (!starts_with(tokens[1], "to=")) parse_fail("expected: REBALANCE [to=<host:port>]");
+      if (tokens[1].size() == 3) parse_fail("empty to= destination");
+      req.migrate_to = std::string(tokens[1].substr(3));
+    } else {
+      expect_arity(tokens, 1, "REBALANCE [to=<host:port>]");
+    }
+    req.kind = RequestKind::Rebalance;
+    return req;
+  }
   if (verb == "quit" || verb == "bye") {
     expect_arity(tokens, 1, "QUIT");
     req.kind = RequestKind::Quit;
@@ -297,6 +350,18 @@ std::string format_request_body(const Request& request) {
       return request.stats_hist ? "STATS hist" : "STATS";
     case RequestKind::Promote:
       return "PROMOTE";
+    case RequestKind::Migrate:
+      if (request.migrate_action == "attach") return "MIGRATE to=" + request.migrate_to;
+      if (request.migrate_action == "retire")
+        return "MIGRATE retire version=" + std::to_string(request.map_version);
+      return "MIGRATE " + request.migrate_action;
+    case RequestKind::MapSet:
+      return "MAPSET map=" + request.map_text;
+    case RequestKind::MapGet:
+      return "MAPGET";
+    case RequestKind::Rebalance:
+      return request.migrate_to.empty() ? std::string("REBALANCE")
+                                        : "REBALANCE to=" + request.migrate_to;
     case RequestKind::Quit:
       return "QUIT";
   }
@@ -316,6 +381,7 @@ std::string to_string(ProtocolErrorCode code) {
     case ProtocolErrorCode::Proto: return "proto";
     case ProtocolErrorCode::Busy: return "busy";
     case ProtocolErrorCode::ReadOnly: return "readonly";
+    case ProtocolErrorCode::Moved: return "moved";
   }
   fail("unreachable protocol error code");
 }
@@ -338,6 +404,12 @@ std::string format_error(std::size_t line_number, ProtocolErrorCode code,
                          const std::string& message) {
   return "ERR line=" + std::to_string(line_number) + " code=" + to_string(code) +
          " msg=" + message;
+}
+
+std::string format_moved(std::size_t line_number, std::uint64_t map_version,
+                         const std::string& message) {
+  return "ERR line=" + std::to_string(line_number) +
+         " code=moved map_version=" + std::to_string(map_version) + " msg=" + message;
 }
 
 }  // namespace rtp

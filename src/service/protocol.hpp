@@ -18,6 +18,10 @@
 //   STATE
 //   STATS [hist]
 //   PROMOTE
+//   MIGRATE to=<host:port> | status | retire version=<v> | resume | detach
+//   MAPSET map=<encoded-map>
+//   MAPGET
+//   REBALANCE [to=<host:port>]
 //   QUIT
 //
 // Routing.  Any request line may carry one optional `key=<token>` field
@@ -32,15 +36,25 @@
 // Responses:
 //
 //   OK [key=value ...]
-//   ERR line=<n> code=<parse|state|proto|busy|readonly> msg=<text to end of line>
+//   ERR line=<n> code=<parse|state|proto|busy|readonly|moved> msg=<text to end of line>
 //
 // Parse errors (malformed tokens) report code=parse; semantically invalid
 // events against a healthy session (FINISH before SUBMIT, duplicate ids,
 // time running backwards) report code=state; version mismatches and unknown
 // verbs report code=proto.  An ERR line never changes session state.
+//
+// Migration.  MIGRATE/MAPSET/MAPGET drive live partition hand-off (see
+// service/migrate.hpp).  A worker that has retired its session answers
+// every session-addressed request with
+//
+//   ERR line=<n> code=moved map_version=<N> msg=<text>
+//
+// where map_version names the partition-map version that reassigned the
+// key; a router self-heals by refetching the map (MAPGET) and retrying.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -66,6 +80,10 @@ enum class RequestKind {
   State,
   Stats,
   Promote,
+  Migrate,
+  MapSet,
+  MapGet,
+  Rebalance,
   Quit,
 };
 
@@ -79,6 +97,15 @@ struct Request {
   double pessimistic_scale = 2.0;  // INTERVAL
   std::string version;      // HELLO payload
   bool stats_hist = false;  // STATS: append serialized latency histograms
+  /// MIGRATE subcommand: "attach" (to=), "status", "retire", "resume",
+  /// "detach".  Empty for non-MIGRATE requests.
+  std::string migrate_action;
+  /// MIGRATE/REBALANCE destination (`to=<host:port>`); empty when absent.
+  std::string migrate_to;
+  /// MIGRATE retire / MAPSET: the partition-map version being installed.
+  std::uint64_t map_version = 0;
+  /// MAPSET payload: single-token encoded map (see encode_map_line).
+  std::string map_text;
   /// Optional routing key (`key=` field); empty when the line carried none.
   std::string key;
 };
@@ -90,7 +117,11 @@ struct Request {
 /// a warm standby mirrors the primary and answers queries, but mutating
 /// events must go to the primary — the client should fail over to the next
 /// address in its list.
-enum class ProtocolErrorCode { Parse, State, Proto, Busy, ReadOnly };
+/// `Moved` is the migration code: the addressed session retired from this
+/// worker after a partition hand-off — the reply carries the map version
+/// that reassigned it (`map_version=<N>` before msg=) and the client
+/// should refetch the partition map and retry against the new owner.
+enum class ProtocolErrorCode { Parse, State, Proto, Busy, ReadOnly, Moved };
 
 /// Thrown by parse_request on malformed input; the server also raises it
 /// for version mismatches.  Session-level rtp::Error maps to code=state.
@@ -102,6 +133,18 @@ class ProtocolError : public std::runtime_error {
 
  private:
   ProtocolErrorCode code_;
+};
+
+/// Thrown when a retired session is addressed; carries the partition-map
+/// version for the reply's `map_version=` token (see format_moved).
+class MovedError : public ProtocolError {
+ public:
+  MovedError(std::uint64_t map_version, const std::string& message)
+      : ProtocolError(ProtocolErrorCode::Moved, message), map_version_(map_version) {}
+  std::uint64_t map_version() const { return map_version_; }
+
+ private:
+  std::uint64_t map_version_;
 };
 
 /// Parse one request line (blank and '#'-comment lines are not requests;
@@ -119,6 +162,12 @@ std::string format_request(const Request& request);
 /// (may be empty).
 std::string format_ok(const std::string& detail = {});
 std::string format_error(std::size_t line_number, ProtocolErrorCode code,
+                         const std::string& message);
+
+/// The retired-session reply: "ERR line=<n> code=moved map_version=<N>
+/// msg=<text>".  map_version rides between code= and msg= so err parsers
+/// that stop at msg= still see it.
+std::string format_moved(std::size_t line_number, std::uint64_t map_version,
                          const std::string& message);
 
 std::string to_string(ProtocolErrorCode code);

@@ -188,6 +188,7 @@ void ReplicationSender::set_snapshot_source(std::function<ReplicationSnapshot()>
 }
 
 void ReplicationSender::add_follower(std::string host, std::uint16_t port) {
+  std::lock_guard<std::mutex> lock(mutex_);
   RTP_CHECK(!started_, "add_follower() must precede start()");
   auto follower = std::make_unique<Follower>();
   follower->host = std::move(host);
@@ -195,7 +196,70 @@ void ReplicationSender::add_follower(std::string host, std::uint16_t port) {
   followers_.push_back(std::move(follower));
 }
 
+void ReplicationSender::add_follower_live(std::string host, std::uint16_t port) {
+  std::lock_guard<std::mutex> admin(admin_mutex_);
+  auto follower = std::make_unique<Follower>();
+  follower->host = std::move(host);
+  follower->port = port;
+  Follower* f = follower.get();
+  std::uint64_t seed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    RTP_CHECK(started_ && !stop_, "add_follower_live() requires a running sender");
+    for (const auto& existing : followers_)
+      RTP_CHECK(existing->host != f->host || existing->port != f->port,
+                "follower " + f->host + ":" + std::to_string(f->port) +
+                    " is already attached");
+    // Deterministic per-follower jitter seed, disjoint from the start()
+    // stream (which forks sequentially from the base seed).
+    seed = Rng(options_.jitter_seed ^ (0x6d696772ull + port)).fork().engine()();
+    followers_.push_back(std::move(follower));
+  }
+  // admin_mutex_ still held: stop()/remove_follower() cannot observe the
+  // follower before its thread exists.
+  f->thread = std::thread([this, f, seed] { run_follower(*f, seed); });
+}
+
+bool ReplicationSender::remove_follower(const std::string& host, std::uint16_t port) {
+  std::lock_guard<std::mutex> admin(admin_mutex_);
+  std::unique_ptr<Follower> victim;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) return false;  // stop() already owns every join
+    for (auto it = followers_.begin(); it != followers_.end(); ++it) {
+      if ((*it)->host == host && (*it)->port == port) {
+        victim = std::move(*it);
+        followers_.erase(it);
+        break;
+      }
+    }
+  }
+  if (victim == nullptr) return false;
+  victim->stop.store(true, std::memory_order_release);
+  cv_.notify_all();
+  if (victim->thread.joinable()) victim->thread.join();
+  return true;
+}
+
+bool ReplicationSender::follower_status(const std::string& host, std::uint16_t port,
+                                        FollowerStatus* out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& follower : followers_) {
+    if (follower->host != host || follower->port != port) continue;
+    out->address = follower->host + ":" + std::to_string(follower->port);
+    out->connected = follower->connected.load(std::memory_order_relaxed);
+    out->acked_seq = follower->acked.load(std::memory_order_relaxed);
+    out->lag = last_seq_ > out->acked_seq ? last_seq_ - out->acked_seq : 0;
+    out->frames_sent = follower->frames.load(std::memory_order_relaxed);
+    out->resyncs = follower->resyncs.load(std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
 void ReplicationSender::start() {
+  std::lock_guard<std::mutex> admin(admin_mutex_);
+  std::lock_guard<std::mutex> lock(mutex_);
   RTP_CHECK(!started_, "replication sender already started");
   started_ = true;
   Rng seeds(options_.jitter_seed);
@@ -207,12 +271,14 @@ void ReplicationSender::start() {
 }
 
 void ReplicationSender::stop() {
+  std::lock_guard<std::mutex> admin(admin_mutex_);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stop_) return;
     stop_ = true;
   }
   cv_.notify_all();
+  // followers_ cannot change concurrently: add/remove take admin_mutex_.
   for (auto& follower : followers_)
     if (follower->thread.joinable()) follower->thread.join();
 }
@@ -232,7 +298,8 @@ std::uint64_t ReplicationSender::last_committed_seq() const {
 }
 
 std::vector<FollowerStatus> ReplicationSender::followers() const {
-  const std::uint64_t last = last_committed_seq();
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t last = last_seq_;
   std::vector<FollowerStatus> out;
   out.reserve(followers_.size());
   for (const auto& follower : followers_) {
@@ -249,6 +316,7 @@ std::vector<FollowerStatus> ReplicationSender::followers() const {
 }
 
 std::uint64_t ReplicationSender::min_acked_seq() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::uint64_t min = 0;
   bool first = true;
   for (const auto& follower : followers_) {
@@ -263,8 +331,11 @@ bool ReplicationSender::wait_for_acks(std::uint64_t seq, std::uint32_t timeout_m
   const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
   for (;;) {
     bool all = true;
-    for (const auto& follower : followers_)
-      if (follower->acked.load(std::memory_order_relaxed) < seq) all = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (const auto& follower : followers_)
+        if (follower->acked.load(std::memory_order_relaxed) < seq) all = false;
+    }
     if (all) return true;
     if (Clock::now() >= deadline) return false;
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
@@ -279,6 +350,9 @@ bool ReplicationSender::stopped() const {
 void ReplicationSender::run_follower(Follower& follower, std::uint64_t seed) {
   Rng rng(seed);
   std::uint32_t attempt = 0;
+  const auto halted = [this, &follower] {
+    return stopped() || follower.stop.load(std::memory_order_acquire);
+  };
   const auto backoff = [&] {
     const std::uint32_t shift = attempt < 16 ? attempt : 16;
     const std::uint64_t uncapped = static_cast<std::uint64_t>(options_.backoff_min_ms) << shift;
@@ -287,7 +361,9 @@ void ReplicationSender::run_follower(Follower& follower, std::uint64_t seed) {
     const auto delay = std::chrono::milliseconds(
         static_cast<std::int64_t>(static_cast<double>(capped) * rng.uniform(0.5, 1.0)));
     std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait_for(lock, delay, [this] { return stop_; });
+    cv_.wait_for(lock, delay, [this, &follower] {
+      return stop_ || follower.stop.load(std::memory_order_acquire);
+    });
     ++attempt;
   };
 
@@ -295,7 +371,7 @@ void ReplicationSender::run_follower(Follower& follower, std::uint64_t seed) {
   const std::uint32_t handshake_ms =
       options_.connect_timeout_ms > 0 ? options_.connect_timeout_ms : 2000;
 
-  while (!stopped()) {
+  while (!halted()) {
     std::string error;
     const int fd = io::dial_tcp_rcvtimeo(follower.host, follower.port,
                                          options_.connect_timeout_ms, handshake_ms,
@@ -309,7 +385,7 @@ void ReplicationSender::run_follower(Follower& follower, std::uint64_t seed) {
     stream_connection(follower, fd, &established);
     follower.connected.store(false, std::memory_order_relaxed);
     ::close(fd);
-    if (stopped()) break;
+    if (halted()) break;
     if (established) {
       ++follower.resyncs;
       attempt = 0;
@@ -448,7 +524,7 @@ void ReplicationSender::stream_connection(Follower& follower, int fd, bool* esta
 
   auto last_send = Clock::now();
   for (;;) {
-    if (stopped()) break;
+    if (stopped() || follower.stop.load(std::memory_order_acquire)) break;
 
     std::uint64_t last;
     std::size_t watermark;
@@ -508,8 +584,10 @@ void ReplicationSender::stream_connection(Follower& follower, int fd, bool* esta
     }
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait_for(lock, std::chrono::milliseconds(20),
-                   [&] { return stop_ || last_seq_ >= next; });
+      cv_.wait_for(lock, std::chrono::milliseconds(20), [&] {
+        return stop_ || follower.stop.load(std::memory_order_acquire) ||
+               last_seq_ >= next;
+      });
     }
 
     // Drain acks without blocking.
@@ -575,7 +653,8 @@ std::uint16_t FollowerApplier::listen_on(std::uint16_t port) {
   RTP_CHECK(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0,
             "getsockname failed");
   listen_fd_ = fd;
-  return ntohs(addr.sin_port);
+  listen_port_ = ntohs(addr.sin_port);
+  return listen_port_;
 }
 
 void FollowerApplier::start() {

@@ -157,6 +157,20 @@ class ReplicationSender {
   /// Register a follower address before start().
   void add_follower(std::string host, std::uint16_t port);
 
+  /// Attach a follower while the sender is running (the live-migration
+  /// path: the destination acts as a temporary follower for the moving
+  /// session).  Spawns the streaming thread immediately.
+  void add_follower_live(std::string host, std::uint16_t port);
+
+  /// Detach one follower: stop its thread, join it, and drop it from the
+  /// status list.  Returns false when no follower matches.  Safe to call
+  /// while streaming; a no-op after stop().
+  bool remove_follower(const std::string& host, std::uint16_t port);
+
+  /// Status for a single follower by address; false when not registered.
+  bool follower_status(const std::string& host, std::uint16_t port,
+                       FollowerStatus* out) const;
+
   void start();
   /// Stop all streaming threads (blocks until joined).  Idempotent.
   void stop();
@@ -181,6 +195,9 @@ class ReplicationSender {
     std::string host;
     std::uint16_t port = 0;
     std::thread thread;
+    /// Per-follower stop flag (remove_follower); the global stop_ still
+    /// stops everyone.
+    std::atomic<bool> stop{false};
     std::atomic<bool> connected{false};
     std::atomic<std::uint64_t> acked{0};
     std::atomic<std::uint64_t> frames{0};
@@ -205,9 +222,14 @@ class ReplicationSender {
   std::uint64_t last_seq_ = 0;      ///< guarded by mutex_
   std::size_t watermark_ = 0;       ///< committed journal bytes; guarded by mutex_
   bool stop_ = false;               ///< guarded by mutex_
-  bool started_ = false;
+  bool started_ = false;            ///< guarded by mutex_
 
-  std::vector<std::unique_ptr<Follower>> followers_;
+  /// Serializes follower lifecycle (add_follower_live/remove_follower/
+  /// stop) so exactly one caller ever joins a given thread.  Ordering:
+  /// admin_mutex_ before mutex_, never the reverse.
+  std::mutex admin_mutex_;
+
+  std::vector<std::unique_ptr<Follower>> followers_;  ///< guarded by mutex_
 };
 
 struct FollowerOptions {
@@ -249,6 +271,11 @@ class FollowerApplier {
   /// Bind the replication listener on 127.0.0.1:`port` (0 = ephemeral);
   /// returns the bound port.  Call before start().
   std::uint16_t listen_on(std::uint16_t port);
+
+  /// The bound replication port (0 before listen_on).  STATS reports it as
+  /// repl_port= so a migration coordinator can discover where a primary
+  /// should attach.
+  std::uint16_t port() const { return listen_port_; }
 
   void start();
   /// Stop the applier thread and close the listener.  Idempotent.
@@ -298,6 +325,7 @@ class FollowerApplier {
   std::atomic<std::uint64_t> rejected_{0};
 
   int listen_fd_ = -1;
+  std::uint16_t listen_port_ = 0;
 
   // Connection state, touched only by the applier thread (and the
   // destructor after join).

@@ -17,6 +17,7 @@
 #include "core/strings.hpp"
 #include "service/io.hpp"
 #include "service/journal.hpp"  // crc32
+#include "service/migrate.hpp"
 #include "service/protocol.hpp"
 
 namespace rtp {
@@ -57,6 +58,27 @@ std::size_t map_index(std::string_view token, std::string_view context,
   return static_cast<std::size_t>(value);
 }
 
+/// Characters the single-line wire form (encode_map_line) reserves.
+constexpr std::string_view kMapReserved = ",;";
+
+void check_map_address(const std::string& address, std::size_t partition) {
+  std::string host, error;
+  std::uint16_t port = 0;
+  RTP_CHECK(io::split_hostport(address, &host, &port, &error),
+            "partition " + std::to_string(partition) + ": " + error);
+  RTP_CHECK(address.find_first_of(kMapReserved) == std::string::npos,
+            "partition " + std::to_string(partition) + " address '" + address +
+                "' contains a reserved character (one of \",;\")");
+}
+
+void check_map_key(const std::string& key) {
+  RTP_CHECK(!key.empty() && key.find_first_of(" \t\n\r") == std::string::npos,
+            "assignment key must be a non-empty token, got '" + key + "'");
+  RTP_CHECK(key.find_first_of(kMapReserved) == std::string::npos,
+            "assignment key '" + key +
+                "' contains a reserved character (one of \",;\")");
+}
+
 }  // namespace
 
 std::size_t PartitionMap::route(std::string_view key) const {
@@ -73,16 +95,10 @@ void PartitionMap::validate() const {
   for (std::size_t i = 0; i < partitions.size(); ++i) {
     RTP_CHECK(!partitions[i].empty(),
               "partition " + std::to_string(i) + " has no replica addresses");
-    for (const std::string& address : partitions[i]) {
-      std::string host, error;
-      std::uint16_t port = 0;
-      RTP_CHECK(io::split_hostport(address, &host, &port, &error),
-                "partition " + std::to_string(i) + ": " + error);
-    }
+    for (const std::string& address : partitions[i]) check_map_address(address, i);
   }
   for (const auto& [key, index] : assignments) {
-    RTP_CHECK(!key.empty() && key.find_first_of(" \t\n\r") == std::string::npos,
-              "assignment key must be a non-empty token, got '" + key + "'");
+    check_map_key(key);
     RTP_CHECK(index < partitions.size(),
               "assignment '" + key + "' targets partition " + std::to_string(index) +
                   " of " + std::to_string(partitions.size()));
@@ -107,85 +123,104 @@ PartitionMap PartitionMap::load(std::string_view text) {
   PartitionMap map;
   bool have_header = false;
   std::size_t declared = 0;
+  std::size_t line_no = 0;
+  // Every rejection names the 1-based line it happened on; the trailing
+  // whole-map checks (truncation, validate) blame the last line seen.
+  const auto reject = [&line_no](const std::string& what) {
+    fail("partition map line " + std::to_string(line_no) + ": " + what);
+  };
   for (const std::string_view raw : split(text, '\n')) {
+    ++line_no;
     const std::string_view line = trim(raw);
     if (line.empty() || line.front() == '#') continue;
-    const auto tokens = split_whitespace(line);
-    if (!have_header) {
-      RTP_CHECK(tokens[0] == "RTPMAP1" && tokens.size() == 4,
-                "partition map must start with 'RTPMAP1 version=<v> partitions=<n> "
-                "default=<d>', got '" + std::string(line) + "'");
-      const long long version = parse_int(map_field(tokens[1], "version="), "map version");
-      RTP_CHECK(version >= 0, "map version must be >= 0");
-      map.version = static_cast<std::uint64_t>(version);
-      const long long count =
-          parse_int(map_field(tokens[2], "partitions="), "map partition count");
-      RTP_CHECK(count >= 1 && count <= 4096, "map partition count out of range");
-      declared = static_cast<std::size_t>(count);
-      map.default_partition =
-          map_index(map_field(tokens[3], "default="), "map default partition", declared);
-      have_header = true;
-      continue;
+    try {
+      const auto tokens = split_whitespace(line);
+      if (!have_header) {
+        RTP_CHECK(tokens[0] == "RTPMAP1" && tokens.size() == 4,
+                  "partition map must start with 'RTPMAP1 version=<v> partitions=<n> "
+                  "default=<d>', got '" + std::string(line) + "'");
+        const long long version =
+            parse_int(map_field(tokens[1], "version="), "map version");
+        RTP_CHECK(version >= 0, "map version must be >= 0");
+        map.version = static_cast<std::uint64_t>(version);
+        const long long count =
+            parse_int(map_field(tokens[2], "partitions="), "map partition count");
+        RTP_CHECK(count >= 1 && count <= 4096, "map partition count out of range");
+        declared = static_cast<std::size_t>(count);
+        map.default_partition = map_index(map_field(tokens[3], "default="),
+                                          "map default partition", declared);
+        have_header = true;
+        continue;
+      }
+      if (tokens[0] == "partition") {
+        RTP_CHECK(tokens.size() >= 3, "expected: partition <index> <addr> [<addr> ...]");
+        const std::size_t index = map_index(tokens[1], "partition index", declared);
+        RTP_CHECK(index == map.partitions.size(),
+                  "partition lines must be in index order; expected " +
+                      std::to_string(map.partitions.size()) + ", got " +
+                      std::to_string(index));
+        std::vector<std::string> replicas;
+        for (std::size_t i = 2; i < tokens.size(); ++i) {
+          replicas.emplace_back(tokens[i]);
+          check_map_address(replicas.back(), index);
+        }
+        map.partitions.push_back(std::move(replicas));
+        continue;
+      }
+      if (tokens[0] == "assign") {
+        RTP_CHECK(tokens.size() == 3, "expected: assign <key> <partition>");
+        const std::size_t index = map_index(tokens[2], "assignment partition", declared);
+        std::string key(tokens[1]);
+        check_map_key(key);
+        const bool inserted = map.assignments.emplace(std::move(key), index).second;
+        RTP_CHECK(inserted,
+                  "duplicate assignment for key '" + std::string(tokens[1]) + "'");
+        continue;
+      }
+      fail("unknown partition-map line '" + std::string(line) + "'");
+    } catch (const Error& e) {
+      reject(e.what());
     }
-    if (tokens[0] == "partition") {
-      RTP_CHECK(tokens.size() >= 3, "expected: partition <index> <addr> [<addr> ...]");
-      const std::size_t index = map_index(tokens[1], "partition index", declared);
-      RTP_CHECK(index == map.partitions.size(),
-                "partition lines must be in index order; expected " +
-                    std::to_string(map.partitions.size()) + ", got " +
-                    std::to_string(index));
-      std::vector<std::string> replicas;
-      for (std::size_t i = 2; i < tokens.size(); ++i)
-        replicas.emplace_back(tokens[i]);
-      map.partitions.push_back(std::move(replicas));
-      continue;
-    }
-    if (tokens[0] == "assign") {
-      RTP_CHECK(tokens.size() == 3, "expected: assign <key> <partition>");
-      const std::size_t index = map_index(tokens[2], "assignment partition", declared);
-      const bool inserted =
-          map.assignments.emplace(std::string(tokens[1]), index).second;
-      RTP_CHECK(inserted, "duplicate assignment for key '" + std::string(tokens[1]) + "'");
-      continue;
-    }
-    fail("unknown partition-map line '" + std::string(line) + "'");
   }
-  RTP_CHECK(have_header, "partition map is empty");
-  RTP_CHECK(map.partitions.size() == declared,
-            "header declares " + std::to_string(declared) + " partitions, found " +
-                std::to_string(map.partitions.size()));
-  map.validate();
+  try {
+    RTP_CHECK(have_header, "partition map is empty");
+    RTP_CHECK(map.partitions.size() == declared,
+              "header declares " + std::to_string(declared) + " partitions, found " +
+                  std::to_string(map.partitions.size()));
+    map.validate();
+  } catch (const Error& e) {
+    reject(e.what());
+  }
   return map;
 }
 
-Router::Router(PartitionMap map, RouterOptions options)
-    : map_(std::move(map)),
-      options_(options),
-      pool_(options.threads),
-      rng_(options.jitter_seed) {
-  map_.validate();
-  std::map<std::string, std::size_t> backend_index;
-  for (const std::vector<std::string>& replicas : map_.partitions) {
-    partitions_.emplace_back();
-    Partition& partition = partitions_.back();
-    for (const std::string& address : replicas) {
-      auto it = backend_index.find(address);
-      if (it == backend_index.end()) {
-        backends_.emplace_back();
-        Backend& backend = backends_.back();
-        backend.address = address;
-        std::string error;
-        RTP_CHECK(io::split_hostport(address, &backend.host, &backend.port, &error),
-                  "router backend: " + error);
-        it = backend_index.emplace(address, backends_.size() - 1).first;
-      }
-      partition.backends.push_back(it->second);
-    }
+std::string encode_map_line(const PartitionMap& map) {
+  std::string text = map.dump();
+  if (!text.empty() && text.back() == '\n') text.pop_back();
+  for (char& c : text) {
+    if (c == ' ') c = ',';
+    else if (c == '\n') c = ';';
   }
+  return text;
+}
+
+PartitionMap decode_map_line(std::string_view text) {
+  std::string multi(text);
+  for (char& c : multi) {
+    if (c == ',') c = ' ';
+    else if (c == ';') c = '\n';
+  }
+  return PartitionMap::load(multi);
+}
+
+Router::Router(PartitionMap map, RouterOptions options)
+    : options_(options), pool_(options.threads), rng_(options.jitter_seed) {
+  table_ = make_table(std::move(map));
 }
 
 Router::~Router() {
   shutdown();
+  std::lock_guard<std::mutex> pools(backends_mutex_);
   for (Backend& backend : backends_) {
     std::lock_guard<std::mutex> lock(backend.mutex);
     for (PooledConn& conn : backend.idle) ::close(conn.fd);
@@ -193,21 +228,124 @@ Router::~Router() {
   }
 }
 
-std::string Router::greeting() const {
-  return std::string(kProtocolVersion) +
-         " ready router partitions=" + std::to_string(partitions_.size()) +
-         " map_version=" + std::to_string(map_.version);
+std::shared_ptr<const Router::RoutingTable> Router::table() const {
+  std::lock_guard<std::mutex> lock(table_mutex_);
+  return table_;
 }
 
-bool Router::checkout(Backend& backend, PooledConn* conn, std::string* error) {
+std::size_t Router::ensure_backend(const std::string& address) {
+  std::lock_guard<std::mutex> lock(backends_mutex_);
+  if (const auto it = backend_index_.find(address); it != backend_index_.end())
+    return it->second;
+  backends_.emplace_back();
+  Backend& backend = backends_.back();
+  backend.address = address;
+  std::string error;
+  RTP_CHECK(io::split_hostport(address, &backend.host, &backend.port, &error),
+            "router backend: " + error);
+  backend_index_.emplace(address, backends_.size() - 1);
+  return backends_.size() - 1;
+}
+
+Router::Backend& Router::backend_at(std::size_t index) {
+  // Entries are append-only and deque references are stable, so the lock
+  // only covers the container lookup, not the returned Backend's lifetime.
+  std::lock_guard<std::mutex> lock(backends_mutex_);
+  return backends_[index];
+}
+
+std::shared_ptr<Router::RoutingTable> Router::make_table(PartitionMap map) {
+  map.validate();
+  auto table = std::make_shared<RoutingTable>();
+  for (const std::vector<std::string>& replicas : map.partitions) {
+    table->partitions.emplace_back();
+    Partition& partition = table->partitions.back();
+    for (const std::string& address : replicas)
+      partition.backends.push_back(ensure_backend(address));
+  }
+  table->map = std::move(map);
+  return table;
+}
+
+PartitionMap Router::map() const { return table()->map; }
+
+std::uint64_t Router::map_version() const { return table()->map.version; }
+
+bool Router::install_map(PartitionMap map) {
+  std::shared_ptr<RoutingTable> fresh = make_table(std::move(map));
+  std::lock_guard<std::mutex> lock(table_mutex_);
+  if (fresh->map.version <= table_->map.version) return false;
+  table_ = std::move(fresh);
+  return true;
+}
+
+void Router::pause_partition(std::size_t partition) {
+  std::lock_guard<std::mutex> lock(gate_mutex_);
+  RTP_CHECK(!pause_active_, "a partition is already paused");
+  pause_active_ = true;
+  paused_partition_ = partition;
+}
+
+void Router::unpause_partition() {
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex_);
+    pause_active_ = false;
+  }
+  gate_cv_.notify_all();
+}
+
+void Router::wait_if_paused(std::size_t partition) {
+  std::unique_lock<std::mutex> lock(gate_mutex_);
+  if (!pause_active_ || paused_partition_ != partition) return;
+  paused_waits_.fetch_add(1, std::memory_order_relaxed);
+  // Timing out means the coordinator died mid-drain; the old owner is
+  // still authoritative, so proceeding is safe (at worst a moved reply
+  // triggers the self-heal path).
+  gate_cv_.wait_for(lock, std::chrono::milliseconds(options_.pause_wait_ms),
+                    [&] { return !pause_active_ || paused_partition_ != partition; });
+}
+
+std::size_t Router::hottest_partition() const {
+  const std::shared_ptr<const RoutingTable> table = this->table();
+  std::size_t hottest = table->partitions.size();
+  std::uint64_t best = 0;
+  for (std::size_t p = 0; p < table->partitions.size(); ++p) {
+    const std::uint64_t load =
+        table->partitions[p].load.load(std::memory_order_relaxed);
+    if (load > best) {  // strict: ties keep the lowest index
+      best = load;
+      hottest = p;
+    }
+  }
+  return hottest;
+}
+
+std::uint64_t Router::partition_load(std::size_t partition) const {
+  const std::shared_ptr<const RoutingTable> table = this->table();
+  RTP_CHECK(partition < table->partitions.size(),
+            "partition " + std::to_string(partition) + " out of range");
+  return table->partitions[partition].load.load(std::memory_order_relaxed);
+}
+
+std::string Router::greeting() const {
+  const std::shared_ptr<const RoutingTable> table = this->table();
+  return std::string(kProtocolVersion) +
+         " ready router partitions=" + std::to_string(table->partitions.size()) +
+         " map_version=" + std::to_string(table->map.version);
+}
+
+bool Router::checkout(Backend& backend, PooledConn* conn, bool* pooled,
+                      std::string* error) {
   {
     std::lock_guard<std::mutex> lock(backend.mutex);
     if (!backend.idle.empty()) {
       *conn = std::move(backend.idle.back());
       backend.idle.pop_back();
+      *pooled = true;
       return true;
     }
   }
+  *pooled = false;
   const int fd = io::dial_tcp_rcvtimeo(backend.host, backend.port,
                                        options_.connect_timeout_ms,
                                        options_.read_timeout_ms, error);
@@ -279,19 +417,20 @@ void Router::backoff(std::uint32_t attempt) {
       static_cast<std::int64_t>(static_cast<double>(capped) * scale)));
 }
 
-std::string Router::forward(std::size_t partition_index, std::string_view line,
-                            std::size_t line_number) {
-  Partition& partition = partitions_[partition_index];
+std::string Router::forward(const RoutingTable& table, std::size_t partition_index,
+                            std::string_view line, std::size_t line_number) {
+  const Partition& partition = table.partitions[partition_index];
   std::string last_reply;
   std::string last_error = "no attempts made";
   for (std::uint32_t attempt = 0; attempt < options_.max_attempts; ++attempt) {
     if (attempt > 0) backoff(attempt - 1);
     const std::size_t replica = partition.current.load(std::memory_order_relaxed) %
                                 partition.backends.size();
-    Backend& backend = backends_[partition.backends[replica]];
+    Backend& backend = backend_at(partition.backends[replica]);
     PooledConn conn;
+    bool pooled = false;
     std::string error;
-    if (!checkout(backend, &conn, &error)) {
+    if (!checkout(backend, &conn, &pooled, &error)) {
       last_error = backend.address + ": " + error;
       failovers_.fetch_add(1, std::memory_order_relaxed);
       partition.current.fetch_add(1, std::memory_order_relaxed);
@@ -299,8 +438,29 @@ std::string Router::forward(std::size_t partition_index, std::string_view line,
     }
     forwarded_.fetch_add(1, std::memory_order_relaxed);
     std::string response;
-    if (!exchange(backend, conn, line, &response, &error)) {
+    bool ok = exchange(backend, conn, line, &response, &error);
+    if (!ok && pooled) {
+      // A pooled connection failing on first use usually means the worker
+      // restarted since it was pooled (the FIN raced the checkout): retire
+      // it and redial the same replica once before counting a transport
+      // failure against the partition.
       ::close(conn.fd);
+      conn = PooledConn{};
+      stale_retires_.fetch_add(1, std::memory_order_relaxed);
+      std::string dial_error;
+      const int fd = io::dial_tcp_rcvtimeo(backend.host, backend.port,
+                                           options_.connect_timeout_ms,
+                                           options_.read_timeout_ms, &dial_error);
+      if (fd >= 0) {
+        conn.fd = fd;
+        forwarded_.fetch_add(1, std::memory_order_relaxed);
+        ok = exchange(backend, conn, line, &response, &error);
+      } else {
+        error = backend.address + " redial: " + dial_error;
+      }
+    }
+    if (!ok) {
+      if (conn.fd >= 0) ::close(conn.fd);
       last_error = error;
       failovers_.fetch_add(1, std::memory_order_relaxed);
       partition.current.fetch_add(1, std::memory_order_relaxed);
@@ -325,6 +485,10 @@ std::string Router::forward(std::size_t partition_index, std::string_view line,
       continue;
     }
     checkin(backend, std::move(conn));
+    if (code == "moved")
+      // The worker retired this key after a hand-off; route_and_forward
+      // self-heals (and owns the error accounting if it can't).
+      return rewrite_err_line(std::move(response), line_number);
     if (starts_with(response, "ERR")) errors_.fetch_add(1, std::memory_order_relaxed);
     return rewrite_err_line(std::move(response), line_number);
   }
@@ -337,7 +501,54 @@ std::string Router::forward(std::size_t partition_index, std::string_view line,
                           " unreachable; retry");
 }
 
-std::string Router::stats_response(bool with_hist, std::size_t line_number) {
+bool Router::refresh_map(const RoutingTable& table, std::size_t partition_index,
+                         std::size_t line_number) {
+  const std::string reply = forward(table, partition_index, "MAPGET", line_number);
+  if (!starts_with(reply, "OK ")) return false;
+  std::string_view map_text;
+  for (const std::string_view token :
+       split_whitespace(std::string_view(reply).substr(3)))
+    if (starts_with(token, "map=")) map_text = token.substr(4);
+  if (map_text.empty()) return false;
+  try {
+    return install_map(decode_map_line(map_text));
+  } catch (const Error& e) {
+    log_warn("rtprouter: refetched partition map rejected: ", e.what());
+    return false;
+  }
+}
+
+std::string Router::route_and_forward(std::string_view key, std::string_view line,
+                                      std::size_t line_number) {
+  std::string response;
+  for (int hop = 0; hop < 2; ++hop) {
+    std::shared_ptr<const RoutingTable> table = this->table();
+    std::size_t partition = table->map.route(key);
+    wait_if_paused(partition);
+    // The gate releases when a cutover completes, so re-pin the table: the
+    // first post-drain request already routes by the new map.
+    if (std::shared_ptr<const RoutingTable> fresh = this->table(); fresh != table) {
+      table = std::move(fresh);
+      partition = table->map.route(key);
+    }
+    table->partitions[partition].load.fetch_add(1, std::memory_order_relaxed);
+    response = forward(*table, partition, line, line_number);
+    if (!starts_with(response, "ERR") || error_code(response) != "moved")
+      return response;
+    if (hop == 0) {
+      moved_redirects_.fetch_add(1, std::memory_order_relaxed);
+      if (refresh_map(*table, partition, line_number)) continue;
+    }
+    break;
+  }
+  // Self-heal failed (no newer map to fetch, or the new owner also answered
+  // moved): surface the moved error.
+  errors_.fetch_add(1, std::memory_order_relaxed);
+  return response;
+}
+
+std::string Router::stats_response(const RoutingTable& table, bool with_hist,
+                                   std::size_t line_number) {
   // Worker counters the merged view sums; fixed order, rendered below.
   static constexpr std::string_view kSummed[] = {
       "requests",  "errors",       "events",    "queries", "cache_hits",
@@ -345,6 +556,7 @@ std::string Router::stats_response(bool with_hist, std::size_t line_number) {
   constexpr std::size_t kKeys = sizeof(kSummed) / sizeof(kSummed[0]);
   std::uint64_t sums[kKeys] = {};
   std::size_t up = 0;
+  std::vector<bool> reachable(table.partitions.size(), false);
   std::optional<LatencyHistogram> request_hist;
   std::optional<LatencyHistogram> estimate_hist;
   const auto merge_into = [](std::optional<LatencyHistogram>* into,
@@ -353,9 +565,10 @@ std::string Router::stats_response(bool with_hist, std::size_t line_number) {
     if (into->has_value()) (*into)->merge(h);
     else *into = std::move(h);
   };
-  for (std::size_t p = 0; p < partitions_.size(); ++p) {
-    const std::string reply = forward(p, "STATS hist", line_number);
+  for (std::size_t p = 0; p < table.partitions.size(); ++p) {
+    const std::string reply = forward(table, p, "STATS hist", line_number);
     if (!starts_with(reply, "OK ")) continue;  // unreachable partition
+    reachable[p] = true;
     ++up;
     for (const std::string_view token :
          split_whitespace(std::string_view(reply).substr(3))) {
@@ -379,17 +592,31 @@ std::string Router::stats_response(bool with_hist, std::size_t line_number) {
   const LatencyHistogram estimate_merged =
       estimate_hist.has_value() ? *estimate_hist : LatencyHistogram();
   std::string out =
-      "partitions=" + std::to_string(partitions_.size()) +
+      "partitions=" + std::to_string(table.partitions.size()) +
       " up=" + std::to_string(up) +
-      " map_version=" + std::to_string(map_.version) +
-      " default=" + std::to_string(map_.default_partition) +
+      " map_version=" + std::to_string(table.map.version) +
+      " default=" + std::to_string(table.map.default_partition) +
       " router_requests=" + std::to_string(requests_.load(std::memory_order_relaxed)) +
       " router_errors=" + std::to_string(errors_.load(std::memory_order_relaxed)) +
       " router_forwarded=" + std::to_string(forwarded_.load(std::memory_order_relaxed)) +
       " router_retries=" + std::to_string(retries_.load(std::memory_order_relaxed)) +
       " router_failovers=" + std::to_string(failovers_.load(std::memory_order_relaxed)) +
       " router_shed_connections=" +
-      std::to_string(shed_connections_.load(std::memory_order_relaxed));
+      std::to_string(shed_connections_.load(std::memory_order_relaxed)) +
+      " router_moved_redirects=" +
+      std::to_string(moved_redirects_.load(std::memory_order_relaxed)) +
+      " router_stale_retires=" +
+      std::to_string(stale_retires_.load(std::memory_order_relaxed)) +
+      " router_paused_waits=" +
+      std::to_string(paused_waits_.load(std::memory_order_relaxed));
+  // Degraded, not dead: a partition that stayed dark is marked and the
+  // merged counters cover only what answered.
+  if (up < table.partitions.size()) out += " router_stats_partial=1";
+  for (std::size_t p = 0; p < table.partitions.size(); ++p) {
+    out += " p" + std::to_string(p) + "_load=" +
+           std::to_string(table.partitions[p].load.load(std::memory_order_relaxed));
+    if (!reachable[p]) out += " p" + std::to_string(p) + "_unreachable=1";
+  }
   for (std::size_t k = 0; k < kKeys; ++k)
     out += " " + std::string(kSummed[k]) + "=" + std::to_string(sums[k]);
   out += " hit_rate=" + format_number(hit_rate) +
@@ -436,28 +663,55 @@ std::string Router::handle_line(std::string_view line, std::size_t line_number,
   if (route.kind == RouteKey::Kind::Malformed) return local_error(line_number, line);
 
   // Peek the verb: HELLO and QUIT are connection-scoped and answered
-  // locally (forwarding QUIT would close a pooled backend connection), and
-  // a keyless STATS is the cluster fan-out.  Everything else forwards.
+  // locally (forwarding QUIT would close a pooled backend connection),
+  // MAPGET/MAPSET operate on the router's own map, MIGRATE/REBALANCE
+  // dispatch to the coordinator, and a keyless STATS is the cluster
+  // fan-out.  Everything else forwards.
   const std::string_view body = trim(line);
   const std::size_t space = body.find_first_of(" \t");
   const std::string verb =
       to_lower(space == std::string_view::npos ? body : body.substr(0, space));
-  if (verb == "hello" || verb == "quit" || verb == "bye" ||
+  if (verb == "hello" || verb == "quit" || verb == "bye" || verb == "mapset" ||
+      verb == "mapget" || verb == "migrate" || verb == "rebalance" ||
       (verb == "stats" && route.kind == RouteKey::Kind::None)) {
     try {
       const Request request = parse_request(line);
-      if (request.kind == RequestKind::Hello) {
-        if (request.version != kProtocolVersion)
-          throw ProtocolError(ProtocolErrorCode::Proto,
-                              "unsupported version '" + request.version + "', want " +
-                                  std::string(kProtocolVersion));
-        return format_ok("proto=" + std::string(kProtocolVersion));
+      switch (request.kind) {
+        case RequestKind::Hello:
+          if (request.version != kProtocolVersion)
+            throw ProtocolError(ProtocolErrorCode::Proto,
+                                "unsupported version '" + request.version + "', want " +
+                                    std::string(kProtocolVersion));
+          return format_ok("proto=" + std::string(kProtocolVersion));
+        case RequestKind::Quit:
+          if (quit != nullptr) *quit = true;
+          return format_ok("bye");
+        case RequestKind::Stats:
+          return stats_response(*table(), request.stats_hist, line_number);
+        case RequestKind::MapGet: {
+          const std::shared_ptr<const RoutingTable> table = this->table();
+          return format_ok("map_version=" + std::to_string(table->map.version) +
+                           " map=" + encode_map_line(table->map));
+        }
+        case RequestKind::MapSet: {
+          PartitionMap fresh = decode_map_line(request.map_text);
+          const std::uint64_t version = fresh.version;
+          const std::size_t count = fresh.partitions.size();
+          if (!install_map(std::move(fresh)))
+            throw ProtocolError(ProtocolErrorCode::State,
+                                "MAPSET: version " + std::to_string(version) +
+                                    " is not newer than installed " +
+                                    std::to_string(map_version()));
+          return format_ok("map_version=" + std::to_string(version) +
+                           " partitions=" + std::to_string(count));
+        }
+        default:
+          // MIGRATE / REBALANCE.
+          if (coordinator_ == nullptr)
+            throw ProtocolError(ProtocolErrorCode::State,
+                                "no migration coordinator attached");
+          return coordinator_->handle(request, line_number);
       }
-      if (request.kind == RequestKind::Quit) {
-        if (quit != nullptr) *quit = true;
-        return format_ok("bye");
-      }
-      return stats_response(request.stats_hist, line_number);
     } catch (const ProtocolError& e) {
       errors_.fetch_add(1, std::memory_order_relaxed);
       return format_error(line_number, e.code(), e.what());
@@ -466,9 +720,9 @@ std::string Router::handle_line(std::string_view line, std::size_t line_number,
       return format_error(line_number, ProtocolErrorCode::State, e.what());
     }
   }
-  const std::size_t partition =
-      map_.route(route.kind == RouteKey::Kind::Keyed ? route.key : std::string_view());
-  return forward(partition, line, line_number);
+  return route_and_forward(
+      route.kind == RouteKey::Kind::Keyed ? route.key : std::string_view(), line,
+      line_number);
 }
 
 void Router::serve_stream(std::istream& in, std::ostream& out) {
@@ -614,6 +868,9 @@ RouterStats Router::stats() const {
   out.retries = retries_.load(std::memory_order_relaxed);
   out.failovers = failovers_.load(std::memory_order_relaxed);
   out.shed_connections = shed_connections_.load(std::memory_order_relaxed);
+  out.moved_redirects = moved_redirects_.load(std::memory_order_relaxed);
+  out.stale_retires = stale_retires_.load(std::memory_order_relaxed);
+  out.paused_waits = paused_waits_.load(std::memory_order_relaxed);
   return out;
 }
 

@@ -10,7 +10,8 @@
 // rewrites a request, a keyed event stream pushed through the router
 // produces ESTIMATE/INTERVAL responses byte-identical to running each
 // partition's stream against its own monolithic rtpd — the property the
-// router tests pin, including across a kill-worker → PROMOTE failover.
+// router tests pin, including across a kill-worker → PROMOTE failover and
+// across a live partition migration (service/migrate.hpp).
 //
 // Each partition lists its replica addresses in failover order (primary
 // first, warm standbys after), and forwarding reuses the ServiceClient
@@ -22,17 +23,38 @@
 //  * "ERR code=readonly" (a standby) and transport trouble advance to the
 //    next replica, sticky, so the partition keeps answering while a dead
 //    primary is promoted;
+//  * a pooled connection that fails on first use is retired and the same
+//    replica redialed once before the failure counts — a restarted worker
+//    invalidates the whole pool, not the replica;
+//  * "ERR code=moved" (a retired worker after a partition hand-off) makes
+//    the router refetch the partition map from the worker (MAPGET), install
+//    it if newer, and retry the line against the new owner — a stale-map
+//    router self-heals without surfacing the error to its client;
 //  * a partition with no reachable replica answers "ERR code=busy" locally
 //    (deterministic message) — the router never buffers requests.
+//
+// Live map swaps.  The routing state (map + per-partition replica cursors
+// and load counters) lives in an immutable RoutingTable behind a
+// shared_ptr: each request pins a snapshot, and MAPSET (or the moved
+// self-heal) installs a strictly-newer map by swapping the pointer —
+// in-flight requests finish against the table they started with.  During a
+// migration's drain window the coordinator pauses the moving partition:
+// new requests for it queue on a gate (bounded by pause_wait_ms) instead
+// of being rejected, and resume against the post-cutover table.
 //
 // Responses pass through unmodified except the ERR `line=` token, which is
 // rewritten to the client's own line number (a pooled backend connection
 // has its own count).  HELLO and QUIT are answered locally — QUIT is
 // connection-scoped and forwarding it would tear down a pooled backend
-// connection.  A keyless STATS fans out to every partition and merges the
-// answers exactly: counters are summed and latency quantiles come from
-// LatencyHistogram::merge over the workers' serialized histograms (the
-// `STATS hist` form), never from averaging quantiles.
+// connection.  MAPGET/MAPSET are answered locally against the router's own
+// map, and MIGRATE/REBALANCE are dispatched to the attached
+// MigrationCoordinator.  A keyless STATS fans out to every partition and
+// merges the answers exactly: counters are summed and latency quantiles
+// come from LatencyHistogram::merge over the workers' serialized
+// histograms (the `STATS hist` form), never from averaging quantiles.
+// When one or more partitions are unreachable the merged line degrades
+// instead of failing: it carries `router_stats_partial=1` plus a
+// `p<i>_unreachable=1` marker per dead partition, and sums what answered.
 //
 // Backend connections are pooled per address with per-connection receive
 // buffers, so concurrent client connections forward in parallel without
@@ -40,11 +62,13 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <istream>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <ostream>
 #include <string>
@@ -56,6 +80,8 @@
 #include "stats/histogram.hpp"
 
 namespace rtp {
+
+class MigrationCoordinator;
 
 /// Versioned key → partition map.  `partitions[i]` lists partition i's
 /// replica addresses in failover order (primary first); `assignments` pins
@@ -73,7 +99,9 @@ struct PartitionMap {
 
   /// Throws rtp::Error unless the map is well-formed: at least one
   /// partition, every partition non-empty with parseable host:port
-  /// addresses, default and assignment indices in range.
+  /// addresses, default and assignment indices in range.  Addresses and
+  /// assignment keys must not contain ',' or ';' (reserved by the
+  /// single-line wire encoding, see encode_map_line).
   void validate() const;
 
   /// Deterministic text form:
@@ -86,9 +114,18 @@ struct PartitionMap {
   std::string dump() const;
 
   /// Inverse of dump (blank lines and '#' comments allowed); validates.
-  /// Throws rtp::Error on malformed input.
+  /// Throws rtp::Error on malformed input; every rejection names the
+  /// 1-based line it occurred on ("partition map line <n>: ...") and a
+  /// rejected map is never partially applied — load returns a complete map
+  /// or throws.
   static PartitionMap load(std::string_view text);
 };
+
+/// Single-token wire form of a map, for the MAPSET/MAPGET verbs: dump()
+/// with ' ' → ',' and '\n' → ';'.  decode_map_line inverts and validates
+/// (so a malformed token is refused with a line number, like load).
+std::string encode_map_line(const PartitionMap& map);
+PartitionMap decode_map_line(std::string_view text);
 
 struct RouterOptions {
   std::uint32_t connect_timeout_ms = 2000;
@@ -110,6 +147,11 @@ struct RouterOptions {
   std::uint32_t write_timeout_ms = 10000;
   std::size_t max_connections = 64;
   bool greeting = true;
+  /// Longest a request queues on a paused partition (migration drain
+  /// window) before proceeding anyway; the coordinator's drain timeout is
+  /// shorter, so hitting this bound means the coordinator died mid-cutover
+  /// and the old owner is still authoritative.
+  std::uint32_t pause_wait_ms = 10000;
 };
 
 struct RouterStats {
@@ -119,6 +161,9 @@ struct RouterStats {
   std::uint64_t retries = 0;    ///< same-backend retries after code=busy
   std::uint64_t failovers = 0;  ///< replica advances (readonly/transport)
   std::uint64_t shed_connections = 0;  ///< client connections refused
+  std::uint64_t moved_redirects = 0;   ///< code=moved self-heal retries
+  std::uint64_t stale_retires = 0;     ///< pooled conns retired + redialed
+  std::uint64_t paused_waits = 0;      ///< requests that queued on the pause gate
 };
 
 class Router {
@@ -144,7 +189,39 @@ class Router {
   /// Stop the accept loop (callable from any thread).
   void shutdown();
 
-  const PartitionMap& map() const { return map_; }
+  /// Snapshot of the current partition map (copies; the live table may be
+  /// swapped at any time by MAPSET or the moved self-heal).
+  PartitionMap map() const;
+  std::uint64_t map_version() const;
+
+  /// Install a strictly-newer map: swaps the routing table (per-partition
+  /// cursors and load counters reset), keeps existing backend pools for
+  /// addresses that persist.  Returns false (no change) when
+  /// `map.version <= map_version()`.  Throws rtp::Error when malformed.
+  bool install_map(PartitionMap map);
+
+  // --- Migration hooks (service/migrate.hpp). ---------------------------
+
+  /// Dispatch target for the MIGRATE/REBALANCE verbs; not owned.  Call
+  /// during single-threaded setup.  Without one the verbs answer
+  /// "ERR code=state".
+  void attach_coordinator(MigrationCoordinator* coordinator) {
+    coordinator_ = coordinator;
+  }
+
+  /// Drain-window gate: while partition `p` is paused, requests routed to
+  /// it queue (up to pause_wait_ms) instead of forwarding.  One partition
+  /// at a time; unpause wakes every waiter.
+  void pause_partition(std::size_t partition);
+  void unpause_partition();
+
+  /// The partition with the highest routed-line count since the last map
+  /// install (ties → lowest index), or the partition count when no
+  /// partition has routed anything — the rebalance policy's input.
+  std::size_t hottest_partition() const;
+  /// Routed-line count for one partition since the last map install.
+  std::uint64_t partition_load(std::size_t partition) const;
+
   RouterStats stats() const;
 
  private:
@@ -154,8 +231,10 @@ class Router {
   };
 
   /// One worker address: its parsed endpoint plus a pool of idle
-  /// connections.  The same address shared by several partitions shares
-  /// one pool.
+  /// connections.  The same address shared by several partitions (or by
+  /// consecutive maps) shares one pool.  Entries are append-only and the
+  /// deque gives them stable addresses, so a Backend& stays valid across
+  /// map swaps.
   struct Backend {
     std::string address;
     std::string host;
@@ -166,33 +245,76 @@ class Router {
 
   struct Partition {
     std::vector<std::size_t> backends;  ///< indices into backends_
-    std::atomic<std::size_t> current{0};  ///< sticky replica to try next
+    // mutable: requests pin a shared_ptr<const RoutingTable> snapshot, but
+    // the sticky cursor and load counter are live state, not map data.
+    mutable std::atomic<std::size_t> current{0};  ///< sticky replica to try next
+    mutable std::atomic<std::uint64_t> load{0};   ///< lines routed (rebalance input)
   };
 
+  /// One immutable routing generation: the map plus its partition state.
+  /// Swapped wholesale on install_map; requests pin a snapshot so a swap
+  /// never changes a request's routing mid-flight.
+  struct RoutingTable {
+    PartitionMap map;
+    std::deque<Partition> partitions;
+  };
+
+  std::shared_ptr<const RoutingTable> table() const;
+  std::shared_ptr<RoutingTable> make_table(PartitionMap map);
+  /// Index of the (possibly new) pool entry for `address`.
+  std::size_t ensure_backend(const std::string& address);
+  Backend& backend_at(std::size_t index);
+
+  /// Resolve the key against the current table and forward, retrying once
+  /// through the moved self-heal (refetch map, reroute) on code=moved.
+  std::string route_and_forward(std::string_view key, std::string_view line,
+                                std::size_t line_number);
   /// Forward one line to a partition per the failover discipline; returns
-  /// the client-facing response line.
-  std::string forward(std::size_t partition, std::string_view line,
-                      std::size_t line_number);
+  /// the client-facing response line.  code=moved responses are returned
+  /// without counting an error — route_and_forward owns that accounting.
+  std::string forward(const RoutingTable& table, std::size_t partition_index,
+                      std::string_view line, std::size_t line_number);
+  /// MAPGET against `partition`'s replicas; installs the result if newer.
+  /// True when a newer map was installed.
+  bool refresh_map(const RoutingTable& table, std::size_t partition_index,
+                   std::size_t line_number);
   /// One send/receive on a checked-out connection; false on transport
   /// failure (*error set).
   bool exchange(Backend& backend, PooledConn& conn, std::string_view line,
                 std::string* response, std::string* error);
-  bool checkout(Backend& backend, PooledConn* conn, std::string* error);
+  /// `*pooled` reports whether the connection came from the idle pool
+  /// (stale-retire candidate) rather than a fresh dial.
+  bool checkout(Backend& backend, PooledConn* conn, bool* pooled,
+                std::string* error);
   void checkin(Backend& backend, PooledConn conn);
   void backoff(std::uint32_t attempt);
+  /// Block while `partition` is paused (bounded by pause_wait_ms).
+  void wait_if_paused(std::size_t partition);
 
-  /// The keyless STATS fan-out: one `STATS hist` per partition, exact merge.
-  std::string stats_response(bool with_hist, std::size_t line_number);
+  /// The keyless STATS fan-out: one `STATS hist` per partition, exact
+  /// merge, degraded (partial=1 + unreachable markers) when a partition is
+  /// down.
+  std::string stats_response(const RoutingTable& table, bool with_hist,
+                             std::size_t line_number);
 
   std::string greeting() const;
   void handle_connection(int fd);
   std::string local_error(std::size_t line_number, std::string_view line);
 
-  PartitionMap map_;
   RouterOptions options_;
-  std::deque<Backend> backends_;
-  std::deque<Partition> partitions_;
+  mutable std::mutex table_mutex_;  ///< guards table_ (the pointer, not the pointee)
+  std::shared_ptr<const RoutingTable> table_;
+  mutable std::mutex backends_mutex_;  ///< guards backends_ growth/lookup
+  std::deque<Backend> backends_;       ///< append-only; entries never move
+  std::map<std::string, std::size_t, std::less<>> backend_index_;  ///< guarded by backends_mutex_
   ThreadPool pool_;
+  MigrationCoordinator* coordinator_ = nullptr;  // set during setup
+
+  // Drain-window gate.
+  std::mutex gate_mutex_;
+  std::condition_variable gate_cv_;
+  bool pause_active_ = false;            ///< guarded by gate_mutex_
+  std::size_t paused_partition_ = 0;     ///< guarded by gate_mutex_
 
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> errors_{0};
@@ -200,6 +322,9 @@ class Router {
   std::atomic<std::uint64_t> retries_{0};
   std::atomic<std::uint64_t> failovers_{0};
   std::atomic<std::uint64_t> shed_connections_{0};
+  std::atomic<std::uint64_t> moved_redirects_{0};
+  std::atomic<std::uint64_t> stale_retires_{0};
+  std::atomic<std::uint64_t> paused_waits_{0};
   std::atomic<std::size_t> connections_{0};
 
   std::mutex rng_mutex_;

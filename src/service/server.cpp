@@ -5,8 +5,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <fcntl.h>
+
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <thread>
 #include <istream>
 #include <ostream>
@@ -14,9 +18,11 @@
 
 #include "core/error.hpp"
 #include "core/log.hpp"
+#include "core/strings.hpp"
 #include "service/io.hpp"
 #include "service/journal.hpp"
 #include "service/replication.hpp"
+#include "service/router.hpp"
 
 namespace rtp {
 namespace {
@@ -33,13 +39,74 @@ class PendingGuard {
   std::atomic<std::size_t>& pending_;
 };
 
+/// Non-negative integer field of a "retired version=<v> seq=<s>" line.
+std::uint64_t marker_field(const std::vector<std::string_view>& tokens,
+                           std::string_view prefix, const std::string& path) {
+  for (const std::string_view token : tokens) {
+    if (!starts_with(token, prefix)) continue;
+    const long long value = parse_int(token.substr(prefix.size()), "retire marker");
+    RTP_CHECK(value >= 0, "negative value in retire marker '" + path + "'");
+    return static_cast<std::uint64_t>(value);
+  }
+  fail("retire marker '" + path + "' is missing " + std::string(prefix) + "...");
+}
+
 }  // namespace
+
+bool read_retire_marker(const std::string& path, RetireMarker* out) {
+  std::ifstream in(path);
+  if (!in.good()) return false;
+  std::string line;
+  std::getline(in, line);
+  const auto tokens = split_whitespace(line);
+  RTP_CHECK(!tokens.empty() && tokens[0] == "retired",
+            "malformed retire marker '" + path + "': '" + line + "'");
+  out->map_version = marker_field(tokens, "version=", path);
+  out->seq = marker_field(tokens, "seq=", path);
+  RTP_CHECK(out->map_version >= 1, "retire marker '" + path + "' has version 0");
+  return true;
+}
+
+void write_retire_marker(const std::string& path, const RetireMarker& marker) {
+  const std::string tmp = path + ".tmp";
+  {
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    RTP_CHECK(fd >= 0,
+              "cannot write retire marker '" + tmp + "': " + std::strerror(errno));
+    const std::string text = "retired version=" + std::to_string(marker.map_version) +
+                             " seq=" + std::to_string(marker.seq) + "\n";
+    const io::IoResult w = io::write_all(fd, text.data(), text.size());
+    const io::IoResult s = io::fsync_fd(fd);
+    ::close(fd);
+    RTP_CHECK(w.ok() && s.ok(), "retire marker write failed for '" + tmp + "'");
+  }
+  RTP_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0,
+            "retire marker rename failed for '" + path + "': " + std::strerror(errno));
+}
+
+void remove_retire_marker(const std::string& path) {
+  if (std::remove(path.c_str()) != 0 && errno != ENOENT)
+    fail("cannot remove retire marker '" + path + "': " + std::strerror(errno));
+}
 
 ServiceServer::ServiceServer(OnlineSession& session, ServerOptions options)
     : session_(session),
       options_(options),
       pool_(options.threads),
-      started_(std::chrono::steady_clock::now()) {}
+      started_(std::chrono::steady_clock::now()) {
+  // A source that was kill -9'd after retiring must come back retired —
+  // the destination owns the session now, and answering events here would
+  // be a split brain.
+  RetireMarker marker;
+  if (!options_.retire_sidecar.empty() &&
+      read_retire_marker(options_.retire_sidecar, &marker)) {
+    retired_seq_ = marker.seq;
+    retired_version_.store(marker.map_version, std::memory_order_release);
+    retired_.store(true, std::memory_order_release);
+    log_info("rtpd starting retired (map_version ", marker.map_version, ", seq ",
+             marker.seq, "); MIGRATE resume to reclaim the session");
+  }
+}
 
 std::string ServiceServer::greeting() const {
   // A TCP client can connect (and be greeted) while another connection's
@@ -149,6 +216,18 @@ std::string ServiceServer::render(const Request& request, std::string_view line,
                         request.kind == RequestKind::Fail ||
                         request.kind == RequestKind::NodeDown ||
                         request.kind == RequestKind::NodeUp;
+  // Retired gate: after a partition hand-off the destination owns the
+  // session, so events AND queries bounce with the map version that moved
+  // them — answering queries from the stale copy here would break the
+  // byte-identity invariant.  Control verbs (STATS, MAPGET, MIGRATE, ...)
+  // keep working so operators and routers can observe and heal.
+  const bool session_addressed = mutating ||
+                                 request.kind == RequestKind::Estimate ||
+                                 request.kind == RequestKind::Interval ||
+                                 request.kind == RequestKind::State;
+  if (session_addressed && retired())
+    throw MovedError(retired_version_.load(std::memory_order_acquire),
+                     "session moved; refetch partition map");
   if (mutating && read_only())
     throw ProtocolError(ProtocolErrorCode::ReadOnly,
                         "follower is read-only; send events to the primary");
@@ -222,11 +301,131 @@ std::string ServiceServer::render(const Request& request, std::string_view line,
                             "PROMOTE: already promoted");
       follower_->promote_locked();
       return format_ok("role=primary seq=" + std::to_string(follower_->applied_seq()));
+    case RequestKind::Migrate:
+      return render_migrate(request);
+    case RequestKind::MapSet:
+      return render_mapset(request);
+    case RequestKind::MapGet:
+      return render_mapget();
+    case RequestKind::Rebalance:
+      throw ProtocolError(ProtocolErrorCode::State,
+                          "REBALANCE is a router verb; send it to rtprouter");
     case RequestKind::Quit:
       if (quit != nullptr) *quit = true;
       return format_ok("bye");
   }
   fail("unreachable request kind");
+}
+
+std::string ServiceServer::render_migrate(const Request& request) {
+  ReplicationSender* sender = options_.replication;
+  const auto target = [this] {
+    return migration_target_host_ + ":" + std::to_string(migration_target_port_);
+  };
+  if (request.migrate_action == "attach") {
+    if (sender == nullptr)
+      throw ProtocolError(ProtocolErrorCode::State,
+                          "MIGRATE: no replication sender (run rtpd with --journal)");
+    if (!migration_target_host_.empty())
+      throw ProtocolError(ProtocolErrorCode::State,
+                          "MIGRATE: already migrating to " + target());
+    std::string host, error;
+    std::uint16_t port = 0;
+    if (!io::split_hostport(request.migrate_to, &host, &port, &error))
+      throw ProtocolError(ProtocolErrorCode::Parse, "MIGRATE to=: " + error);
+    sender->add_follower_live(host, port);
+    migration_target_host_ = std::move(host);
+    migration_target_port_ = port;
+    return format_ok("migration=attached target=" + target());
+  }
+  if (request.migrate_action == "status") {
+    if (migration_target_host_.empty()) {
+      std::string out = "migration=none";
+      if (retired())
+        out += " retired=1 map_version=" +
+               std::to_string(retired_version_.load(std::memory_order_acquire)) +
+               " seq=" + std::to_string(retired_seq_);
+      return format_ok(out);
+    }
+    FollowerStatus status;
+    const bool found =
+        sender != nullptr &&
+        sender->follower_status(migration_target_host_, migration_target_port_, &status);
+    RTP_CHECK(found, "migration target " + target() + " vanished from the sender");
+    return format_ok(
+        "migration=attached target=" + target() +
+        " connected=" + (status.connected ? "1" : "0") +
+        " acked=" + std::to_string(status.acked_seq) +
+        " lag=" + std::to_string(status.lag) +
+        " last_seq=" + std::to_string(sender->last_committed_seq()) +
+        (retired() ? " retired=1 seq=" + std::to_string(retired_seq_) : std::string()));
+  }
+  if (request.migrate_action == "retire") {
+    if (retired()) {
+      // Idempotent for coordinator retries, but never under a different
+      // version: that would mean two migrations raced.
+      if (retired_version_.load(std::memory_order_acquire) != request.map_version)
+        throw ProtocolError(ProtocolErrorCode::State,
+                            "MIGRATE retire: already retired at map_version " +
+                                std::to_string(retired_version_.load()));
+      return format_ok("retired=1 seq=" + std::to_string(retired_seq_) +
+                       " map_version=" + std::to_string(request.map_version));
+    }
+    if (sender == nullptr)
+      throw ProtocolError(ProtocolErrorCode::State,
+                          "MIGRATE retire: no replication sender");
+    const std::uint64_t seq = sender->last_committed_seq();
+    // Durability before visibility: the marker hits disk before the OK (and
+    // before any straggler sees code=moved), so kill -9 at any point leaves
+    // the source either owning the session or durably retired — never both.
+    if (!options_.retire_sidecar.empty())
+      write_retire_marker(options_.retire_sidecar, {request.map_version, seq});
+    retired_seq_ = seq;
+    retired_version_.store(request.map_version, std::memory_order_release);
+    retired_.store(true, std::memory_order_release);
+    log_info("rtpd retired session at seq ", seq, " (map_version ",
+             request.map_version, ")");
+    return format_ok("retired=1 seq=" + std::to_string(seq) +
+                     " map_version=" + std::to_string(request.map_version));
+  }
+  if (request.migrate_action == "resume") {
+    if (!options_.retire_sidecar.empty()) remove_retire_marker(options_.retire_sidecar);
+    const bool was_retired = retired_.exchange(false, std::memory_order_acq_rel);
+    retired_version_.store(0, std::memory_order_release);
+    retired_seq_ = 0;
+    if (was_retired) log_info("rtpd resumed session ownership (rollback)");
+    return format_ok("retired=0");
+  }
+  // "detach" — drop the migration follower; idempotent so rollback paths
+  // can always call it.
+  if (migration_target_host_.empty()) return format_ok("migration=none");
+  if (sender != nullptr)
+    sender->remove_follower(migration_target_host_, migration_target_port_);
+  migration_target_host_.clear();
+  migration_target_port_ = 0;
+  return format_ok("migration=detached");
+}
+
+std::string ServiceServer::render_mapset(const Request& request) {
+  // Decode fully before touching any state: a malformed map must never be
+  // partially applied.
+  const PartitionMap map = decode_map_line(request.map_text);
+  if (map.version <= stored_map_version_)
+    throw ProtocolError(ProtocolErrorCode::State,
+                        "MAPSET: version " + std::to_string(map.version) +
+                            " is not newer than stored " +
+                            std::to_string(stored_map_version_));
+  stored_map_ = encode_map_line(map);  // canonical re-encode
+  stored_map_version_ = map.version;
+  return format_ok("map_version=" + std::to_string(map.version) +
+                   " partitions=" + std::to_string(map.partitions.size()));
+}
+
+std::string ServiceServer::render_mapget() const {
+  if (stored_map_.empty())
+    throw ProtocolError(ProtocolErrorCode::State, "MAPGET: no partition map stored");
+  return format_ok("map_version=" + std::to_string(stored_map_version_) +
+                   " map=" + stored_map_);
 }
 
 std::string ServiceServer::stats_body(bool with_hist) const {
@@ -296,8 +495,13 @@ std::string ServiceServer::stats_body(bool with_hist) const {
            " repl_frames=" + std::to_string(f.frames_applied) +
            " repl_heartbeats=" + std::to_string(f.heartbeats) +
            " repl_resyncs=" + std::to_string(f.resyncs) +
-           " repl_rejected=" + std::to_string(f.rejected);
+           " repl_rejected=" + std::to_string(f.rejected) +
+           " repl_port=" + std::to_string(follower_->port());
   }
+  if (retired())
+    out += " retired=1 retired_map_version=" +
+           std::to_string(retired_version_.load(std::memory_order_acquire)) +
+           " retired_seq=" + std::to_string(retired_seq_);
   // Histogram tokens only on request (STATS hist), so the plain STATS line
   // stays byte-identical to before.  They carry the exact bucket counts a
   // router needs to merge worker quantiles losslessly.
@@ -367,6 +571,9 @@ std::string ServiceServer::handle_line(std::string_view line, std::size_t line_n
     is_estimate =
         request.kind == RequestKind::Estimate || request.kind == RequestKind::Interval;
     response = render(request, line, quit);
+  } catch (const MovedError& e) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    response = format_moved(line_number, e.map_version(), e.what());
   } catch (const ProtocolError& e) {
     errors_.fetch_add(1, std::memory_order_relaxed);
     response = format_error(line_number, e.code(), e.what());

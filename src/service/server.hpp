@@ -73,6 +73,14 @@ struct ServerOptions {
   /// what releases records to followers (commit-before-replicate).
   ReplicationSender* replication = nullptr;
 
+  // --- Migration (service/migrate.hpp). ---------------------------------
+
+  /// Crash-durable retire marker ("<journal>.retired"): written before
+  /// MIGRATE retire is acknowledged, deleted by MIGRATE resume, read back
+  /// at construction so a kill -9'd retired source never resurrects as an
+  /// owner.  Empty = in-memory retire only (tests).
+  std::string retire_sidecar;
+
   // --- Overload protection. ---------------------------------------------
 
   /// Requests admitted concurrently (in service + waiting on the session
@@ -102,6 +110,22 @@ struct ServerStats {
   LatencyHistogram request_latency_us;
   LatencyHistogram estimate_latency_us;
 };
+
+/// Crash-durable retire marker (the "<journal>.retired" sidecar): one line,
+/// "retired version=<map version> seq=<last committed seq>".  Written with
+/// the tmp + fsync + rename discipline so it is atomically present or
+/// absent.
+struct RetireMarker {
+  std::uint64_t map_version = 0;
+  std::uint64_t seq = 0;
+};
+
+/// False when the sidecar is absent; throws rtp::Error when it exists but
+/// is malformed (a torn marker must not be silently ignored).
+bool read_retire_marker(const std::string& path, RetireMarker* out);
+void write_retire_marker(const std::string& path, const RetireMarker& marker);
+/// Delete the sidecar (MIGRATE resume); a missing file is not an error.
+void remove_retire_marker(const std::string& path);
 
 class ServiceServer {
  public:
@@ -163,6 +187,19 @@ class ServiceServer {
   /// respect to commits — the sender's bootstrap snapshot source.
   ReplicationSnapshot replication_snapshot();
 
+  // --- Migration (service/migrate.hpp). ---------------------------------
+
+  /// A retired server answers every session-addressed verb (events and
+  /// queries alike) with "ERR code=moved map_version=<N>"; STATS, HELLO,
+  /// MAPGET/MAPSET, MIGRATE and QUIT keep working.  Raised by the MIGRATE
+  /// retire verb (after the sidecar write when one is configured) and by
+  /// construction when the sidecar already exists; cleared by MIGRATE
+  /// resume.
+  bool retired() const { return retired_.load(std::memory_order_acquire); }
+  std::uint64_t retired_map_version() const {
+    return retired_version_.load(std::memory_order_acquire);
+  }
+
   /// The STATS response body (without "OK "), for rtpd's --stats-interval
   /// line.  Takes the session lock; does not count as a request.
   std::string stats_line();
@@ -172,6 +209,13 @@ class ServiceServer {
  private:
   void handle_connection(int fd);
   std::string render(const Request& request, std::string_view line, bool* quit);
+  /// The MIGRATE verb family (attach/status/retire/resume/detach);
+  /// requires mutex_ held (called from render).
+  std::string render_migrate(const Request& request);
+  /// MAPSET/MAPGET: the worker-side stored partition map (monotone
+  /// version); requires mutex_ held.
+  std::string render_mapset(const Request& request);
+  std::string render_mapget() const;
   /// Write-ahead wrapper: journal `line`, run `apply`, rewind on rejection,
   /// commit on success (and snapshot on cadence).
   template <typename Fn>
@@ -196,6 +240,17 @@ class ServiceServer {
   ThreadPool pool_;
   mutable std::mutex mutex_;  // session + histograms
   std::chrono::steady_clock::time_point started_;
+
+  // Migration state.  retired_/retired_version_ are atomic so greeting and
+  // stats paths can read them without the session lock; the rest is
+  // guarded by mutex_.
+  std::atomic<bool> retired_{false};
+  std::atomic<std::uint64_t> retired_version_{0};
+  std::uint64_t retired_seq_ = 0;          // guarded by mutex_
+  std::string migration_target_host_;      // guarded by mutex_
+  std::uint16_t migration_target_port_ = 0;  // guarded by mutex_
+  std::string stored_map_;                 // encoded map text; guarded by mutex_
+  std::uint64_t stored_map_version_ = 0;   // guarded by mutex_
 
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> errors_{0};

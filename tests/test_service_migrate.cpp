@@ -1,0 +1,802 @@
+// Live partition migration (src/service/migrate.hpp): the zero-downtime
+// cutover choreography end to end over real TCP, pinned against the
+// monolithic byte-identity oracle, plus the chaos sweep the subsystem
+// stands on — kill the source or the destination at EVERY phase of the
+// state machine and prove that no cut point ever leaves two workers
+// accepting mutations for the same key (split brain) and that every
+// outcome is atomic: either the cutover completed (old owner durably
+// refuses) or it rolled back (new owner still refuses).
+//
+// Also here: the drain-timeout rollback (destination alive but behind →
+// old owner resumes, sidecar removed), the paused-partition gate (requests
+// queue, never rejected, and land on the new owner), stale-router
+// self-heal off the first code=moved reply, deterministic hot-partition
+// rebalancing onto a spare, and the worker-side MIGRATE/MAPSET/MAPGET
+// verb surface including the crash-durable retire sidecar.
+//
+// Teardown discipline matches test_service_router.cpp: workers are
+// declared BEFORE the router so stack unwinding destroys the router
+// (closing its pooled connections) first.
+#include "service/migrate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "core/error.hpp"
+#include "core/strings.hpp"
+#include "predict/simple.hpp"
+#include "sched/policy.hpp"
+#include "service/io.hpp"
+#include "service/journal.hpp"
+#include "service/protocol.hpp"
+#include "service/replication.hpp"
+#include "service/router.hpp"
+#include "service/server.hpp"
+#include "service/session.hpp"
+
+namespace rtp {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "rtp_migrate_" + name;
+}
+
+/// Journal path with every sidecar (.base seq marker, .retired) wiped, so
+/// each scenario starts from a clean slate even when names repeat.
+std::string fresh_journal(const std::string& name) {
+  const std::string path = temp_path(name);
+  ::unlink(path.c_str());
+  ::unlink((path + ".base").c_str());
+  ::unlink((path + ".retired").c_str());
+  return path;
+}
+
+bool file_exists(const std::string& path) { return ::access(path.c_str(), F_OK) == 0; }
+
+/// Loopback listener on an ephemeral port; returns the fd, stores the port.
+int make_listener(std::uint16_t* port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  RTP_CHECK(fd >= 0, "socket failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  RTP_CHECK(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
+            "bind failed");
+  RTP_CHECK(::listen(fd, 16) == 0, "listen failed");
+  socklen_t len = sizeof(addr);
+  RTP_CHECK(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0,
+            "getsockname failed");
+  *port = ntohs(addr.sin_port);
+  return fd;
+}
+
+/// Severable TCP proxy fronting each worker — the kill -9 stand-in the
+/// chaos hooks need: kill() refuses new connections and severs every live
+/// one at once, so observers (router pools, coordinator probes) see the
+/// worker vanish mid-stream.  It also breaks the teardown deadlock a bare
+/// in-process kill would hit: a worker's serve() cannot drain while a
+/// still-live router holds pooled connections into it, so the hook severs
+/// those at the proxy before joining the serve thread.
+class ChaosProxy {
+ public:
+  explicit ChaosProxy(std::uint16_t backend_port) : backend_port_(backend_port) {
+    listen_fd_.store(make_listener(&port_));
+    accept_thread_ = std::thread([this] { accept_loop(); });
+  }
+
+  ~ChaosProxy() {
+    kill();
+    accept_thread_.join();
+    for (std::thread& t : pumps_) t.join();
+    for (const int fd : fds_) ::close(fd);
+  }
+
+  std::uint16_t port() const { return port_; }
+  std::string address() const { return "127.0.0.1:" + std::to_string(port_); }
+
+  void kill() {
+    const int fd = listen_fd_.exchange(-1);
+    if (fd >= 0) {
+      ::shutdown(fd, SHUT_RDWR);
+      ::close(fd);
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const int conn : fds_) ::shutdown(conn, SHUT_RDWR);
+  }
+
+ private:
+  void accept_loop() {
+    for (;;) {
+      const int listener = listen_fd_.load();
+      if (listener < 0) return;
+      const int client = ::accept(listener, nullptr, nullptr);
+      if (client < 0) return;
+      std::string error;
+      const int backend = io::dial_tcp("127.0.0.1", backend_port_, 2000, &error);
+      if (backend < 0) {
+        ::close(client);
+        continue;
+      }
+      std::lock_guard<std::mutex> lock(mutex_);
+      fds_.push_back(client);
+      fds_.push_back(backend);
+      pumps_.emplace_back([client, backend] { pump(client, backend); });
+      pumps_.emplace_back([client, backend] { pump(backend, client); });
+    }
+  }
+
+  // Splice bytes one way; on EOF or error sever both sides so the peer
+  // pump unblocks too.  Fds are closed once, in the destructor.
+  static void pump(int from, int to) {
+    char chunk[4096];
+    for (;;) {
+      const io::IoResult r = io::recv_some(from, chunk, sizeof(chunk));
+      if (!r.ok() || r.bytes == 0) break;
+      if (!io::send_all(to, chunk, r.bytes).ok()) break;
+    }
+    ::shutdown(from, SHUT_RDWR);
+    ::shutdown(to, SHUT_RDWR);
+  }
+
+  std::uint16_t backend_port_ = 0;
+  std::uint16_t port_ = 0;
+  std::atomic<int> listen_fd_{-1};
+  std::mutex mutex_;
+  std::vector<int> fds_;
+  std::thread accept_thread_;
+  std::vector<std::thread> pumps_;
+};
+
+/// One request straight at a worker (no router, no retries); empty string
+/// when the worker is unreachable — the probe the split-brain checks use.
+std::string one_shot(const std::string& address, const std::string& line) {
+  std::string host, error;
+  std::uint16_t port = 0;
+  if (!io::split_hostport(address, &host, &port, &error)) return {};
+  const int fd = io::dial_tcp_rcvtimeo(host, port, 500, 2000, &error);
+  if (fd < 0) return {};
+  const std::string framed = line + "\n";
+  if (!io::send_all(fd, framed.data(), framed.size()).ok()) {
+    ::close(fd);
+    return {};
+  }
+  io::LineReader reader(fd);
+  std::string reply;
+  for (;;) {
+    if (!reader.read_line(&reply, 1 << 16).ok()) {
+      ::close(fd);
+      return {};
+    }
+    if (starts_with(reply, kProtocolVersion)) continue;  // greeting
+    break;
+  }
+  ::close(fd);
+  return reply;
+}
+
+/// In-process monolithic reference server: the byte-identity oracle.
+struct Mono {
+  Mono()
+      : policy(make_policy(PolicyKind::Fcfs)),
+        predictor(600.0),
+        session(8, *policy, predictor) {
+    ServerOptions options;
+    options.greeting = false;
+    server = std::make_unique<ServiceServer>(session, options);
+  }
+
+  std::string reply(const std::string& line, std::size_t line_number) {
+    bool quit = false;
+    return server->handle_line(line, line_number, &quit);
+  }
+
+  std::unique_ptr<SchedulerPolicy> policy;
+  ConstantPredictor predictor;
+  OnlineSession session;
+  std::unique_ptr<ServiceServer> server;
+};
+
+ReplicationOptions fast_repl() {
+  ReplicationOptions options;
+  options.heartbeat_ms = 20;
+  return options;
+}
+
+/// A journaled primary worker behind TCP — what `rtpd --journal --mode tcp`
+/// runs: replication sender attached (no followers yet) so a migration can
+/// add the destination as a live follower, retire sidecar configured.
+struct Primary {
+  explicit Primary(const std::string& name)
+      : policy(make_policy(PolicyKind::Fcfs)),
+        predictor(600.0),
+        session(8, *policy, predictor),
+        journal_path(fresh_journal(name)),
+        journal(journal_path),
+        sender(journal_path, session_fingerprint(session), fast_repl()) {
+    ServerOptions options;
+    options.greeting = false;
+    options.journal = &journal;
+    options.snapshot_every = 0;
+    options.replication = &sender;
+    options.retire_sidecar = journal_path + ".retired";
+    server = std::make_unique<ServiceServer>(session, options);
+    sender.set_snapshot_source([this] { return server->replication_snapshot(); });
+    sender.start();
+    port = server->listen_on(0);
+    thread = std::thread([this] { server->serve(); });
+    proxy.emplace(port);
+    address = proxy->address();
+  }
+
+  ~Primary() { kill(); }
+
+  /// In-process stand-in for kill -9: sever every connection at the proxy
+  /// (so routers and probes see the worker vanish, and serve() can drain),
+  /// then stop streaming and serving.  The journal and any retire sidecar
+  /// stay on disk, exactly as they would for a crashed process.
+  /// Idempotent so chaos hooks and the destructor compose.
+  void kill() {
+    if (killed.exchange(true)) return;
+    proxy->kill();
+    sender.stop();
+    server->shutdown();
+    thread.join();
+  }
+
+  std::unique_ptr<SchedulerPolicy> policy;
+  ConstantPredictor predictor;
+  OnlineSession session;
+  std::string journal_path;
+  JournalWriter journal;
+  ReplicationSender sender;
+  std::unique_ptr<ServiceServer> server;
+  std::uint16_t port = 0;
+  std::thread thread;
+  std::optional<ChaosProxy> proxy;
+  std::string address;
+  std::atomic<bool> killed{false};
+};
+
+/// A warm standby — what `rtpd --journal --follow` runs: read-only server
+/// with a live replication listener, the migration destination.
+struct Standby {
+  explicit Standby(const std::string& name)
+      : policy(make_policy(PolicyKind::Fcfs)),
+        predictor(600.0),
+        session(8, *policy, predictor),
+        journal_path(fresh_journal(name)),
+        journal(journal_path) {
+    ServerOptions options;
+    options.greeting = false;
+    options.journal = &journal;
+    options.snapshot_every = 0;
+    server = std::make_unique<ServiceServer>(session, options);
+    applier = std::make_unique<FollowerApplier>(*server, session, journal,
+                                                session_fingerprint(session),
+                                                FollowerOptions{});
+    server->attach_follower(applier.get());
+    repl_port = applier->listen_on(0);
+    applier->start();
+    port = server->listen_on(0);
+    thread = std::thread([this] { server->serve(); });
+    proxy.emplace(port);
+    address = proxy->address();
+  }
+
+  ~Standby() { kill(); }
+
+  void kill() {
+    if (killed.exchange(true)) return;
+    proxy->kill();
+    applier->stop();
+    server->shutdown();
+    thread.join();
+  }
+
+  /// Stop acking without dying: the server keeps answering (still a
+  /// follower), but replication progress freezes — forces a drain timeout.
+  void freeze() { applier->stop(); }
+
+  std::unique_ptr<SchedulerPolicy> policy;
+  ConstantPredictor predictor;
+  OnlineSession session;
+  std::string journal_path;
+  JournalWriter journal;
+  std::unique_ptr<ServiceServer> server;
+  std::unique_ptr<FollowerApplier> applier;
+  std::uint16_t repl_port = 0;
+  std::uint16_t port = 0;
+  std::thread thread;
+  std::optional<ChaosProxy> proxy;
+  std::string address;
+  std::atomic<bool> killed{false};
+};
+
+RouterOptions test_options() {
+  RouterOptions options;
+  options.greeting = false;
+  options.max_attempts = 4;
+  options.backoff_min_ms = 1;
+  options.backoff_max_ms = 2;
+  options.connect_timeout_ms = 2000;
+  options.read_timeout_ms = 5000;
+  return options;
+}
+
+MigrationOptions fast_migration() {
+  MigrationOptions options;
+  options.connect_timeout_ms = 500;
+  options.read_timeout_ms = 2000;
+  options.catchup_timeout_ms = 5000;
+  options.drain_timeout_ms = 2000;
+  options.poll_ms = 5;
+  return options;
+}
+
+/// The value of `name=` in a response line ("" + test failure if absent).
+std::string field(const std::string& reply, const std::string& name) {
+  for (const std::string_view token : split_whitespace(reply))
+    if (starts_with(token, name + "=")) return std::string(token.substr(name.size() + 1));
+  ADD_FAILURE() << "no field " << name << "= in: " << reply;
+  return {};
+}
+
+PartitionMap single_partition_map(const std::string& address, const std::string& key) {
+  PartitionMap map;
+  map.partitions = {{address}};
+  map.assignments.emplace(key, 0);
+  return map;
+}
+
+// --- the happy path, byte-for-byte -----------------------------------------
+
+TEST(Migration, LiveCutoverKeepsKeyedStreamByteIdenticalAndHealsStaleRouters) {
+  Mono reference;
+  Primary src("live_src.rtpj");
+  Standby dst("live_dst.rtpj");
+
+  // Two routers over the same cluster: `router` drives the migration,
+  // `stale` is never told about it and must self-heal off a moved reply.
+  std::optional<Router> stale;
+  stale.emplace(single_partition_map(src.address, "anl"), test_options());
+  std::optional<Router> router;
+  router.emplace(single_partition_map(src.address, "anl"), test_options());
+  MigrationCoordinator coordinator(*router, fast_migration());
+  router->attach_coordinator(&coordinator);
+
+  const std::vector<std::string> before = {
+      "SUBMIT 0 1 4 100 120 key=anl",
+      "START 1 1 key=anl",
+      "SUBMIT 2 2 8 50 60 key=anl",
+      "ESTIMATE 2 key=anl",
+  };
+  const std::vector<std::string> after = {
+      "SUBMIT 3 3 2 40 80 key=anl",
+      "ESTIMATE 3 key=anl",
+      "INTERVAL 3 key=anl",
+      "ESTIMATE 99 key=anl",  // ERR: line= must carry the client's numbering
+      "FINISH 100 1 key=anl",
+      "START 101 2 key=anl",
+      "ESTIMATE 3 key=anl",
+  };
+
+  bool quit = false;
+  std::size_t n = 0;
+  for (const std::string& line : before) {
+    ++n;
+    EXPECT_EQ(router->handle_line(line, n, &quit), reference.reply(line, n)) << line;
+  }
+
+  // The cutover, through the router's own verb surface.
+  ++n;
+  const std::string migrated =
+      router->handle_line("MIGRATE key=anl to=" + dst.address, n, &quit);
+  ASSERT_EQ(migrated.rfind("OK migrated=1", 0), 0u) << migrated;
+  EXPECT_EQ(field(migrated, "partition"), "0");
+  EXPECT_EQ(field(migrated, "from"), src.address);
+  EXPECT_EQ(field(migrated, "to"), dst.address);
+  EXPECT_EQ(field(migrated, "map_version"), "2");
+  EXPECT_EQ(router->map_version(), 2u);
+  EXPECT_EQ(router->map().partitions[0], std::vector<std::string>{dst.address});
+
+  // The destination owns the session now; the stream continues through the
+  // router byte-identically to the never-migrated monolithic reference.
+  for (const std::string& line : after) {
+    ++n;
+    EXPECT_EQ(router->handle_line(line, n, &quit), reference.reply(line, n)) << line;
+  }
+
+  ++n;
+  EXPECT_EQ(router->handle_line("MIGRATE status", n, &quit),
+            "OK migration=idle last_ok=1 last_phase=done last_map_version=2");
+
+  // The source durably refuses the moved session — exact moved reply, and
+  // the crash sidecar is on disk so a restart comes back retired too.
+  EXPECT_EQ(one_shot(src.address, "ESTIMATE 2 key=anl"),
+            "ERR line=1 code=moved map_version=2 msg=session moved; refetch "
+            "partition map");
+  EXPECT_TRUE(file_exists(src.journal_path + ".retired"));
+  EXPECT_EQ(field(one_shot(dst.address, "STATS"), "repl_role"), "primary");
+
+  // The stale router still maps the partition to the source: its first
+  // keyed request draws the moved reply, refetches the map from the old
+  // owner, and retries onto the new one — the client never sees an error.
+  for (const std::string& line :
+       {std::string("ESTIMATE 3 key=anl"), std::string("ESTIMATE 99 key=anl")}) {
+    ++n;
+    EXPECT_EQ(stale->handle_line(line, n, &quit), reference.reply(line, n)) << line;
+  }
+  EXPECT_GE(stale->stats().moved_redirects, 1u);
+  EXPECT_EQ(stale->map_version(), 2u);
+  // The surfaced ESTIMATE 99 error is the reference's, not a routing
+  // failure: exactly one ERR (same as the reference answered).
+  EXPECT_EQ(stale->stats().errors, 1u);
+}
+
+// --- kill -9 at every frame: the split-brain sweep --------------------------
+
+enum class Victim { Source, Destination };
+
+struct CutOutcome {
+  MigrationReport report;
+  bool src_accepts = false;
+  bool dst_accepts = false;
+  bool src_sidecar = false;
+  std::uint64_t router_version = 0;
+};
+
+CutOutcome run_cut(MigrationPhase cut_phase, Victim victim, int index) {
+  const std::string tag = "cut" + std::to_string(index);
+  Primary src(tag + "_src.rtpj");
+  Standby dst(tag + "_dst.rtpj");
+  std::optional<Router> router;
+  router.emplace(single_partition_map(src.address, "anl"), test_options());
+  MigrationOptions options = fast_migration();
+  options.catchup_timeout_ms = 700;  // the dead-destination case polls this out
+  options.drain_timeout_ms = 400;
+  MigrationCoordinator coordinator(*router, options);
+  router->attach_coordinator(&coordinator);
+
+  bool quit = false;
+  std::size_t n = 0;
+  for (const char* line : {"SUBMIT 0 1 4 100 120 key=anl", "START 1 1 key=anl",
+                           "SUBMIT 2 2 8 50 60 key=anl"}) {
+    ++n;
+    const std::string reply = router->handle_line(line, n, &quit);
+    EXPECT_EQ(reply.rfind("OK", 0), 0u) << line << " -> " << reply;
+  }
+
+  coordinator.set_phase_hook([&](MigrationPhase phase) {
+    if (phase != cut_phase) return;
+    if (victim == Victim::Source) src.kill();
+    else dst.kill();
+  });
+
+  CutOutcome out;
+  out.report = coordinator.migrate_partition(0, dst.address);
+  out.src_accepts =
+      starts_with(one_shot(src.address, "SUBMIT 500 90 1 10 20 key=anl"), "OK");
+  out.dst_accepts =
+      starts_with(one_shot(dst.address, "SUBMIT 500 91 1 10 20 key=anl"), "OK");
+  out.src_sidecar = file_exists(src.journal_path + ".retired");
+  out.router_version = router->map_version();
+  router.reset();  // close the pools before the workers unwind
+  return out;
+}
+
+TEST(Migration, KillingEitherSideAtAnyPhaseNeverSplitsTheBrain) {
+  const MigrationPhase phases[] = {
+      MigrationPhase::Attach,  MigrationPhase::CatchUp, MigrationPhase::Pause,
+      MigrationPhase::Retire,  MigrationPhase::Drain,   MigrationPhase::Promote,
+      MigrationPhase::Publish,
+  };
+  int index = 0;
+  for (const Victim victim : {Victim::Source, Victim::Destination}) {
+    for (const MigrationPhase phase : phases) {
+      const CutOutcome out = run_cut(phase, victim, index++);
+      const std::string scenario =
+          std::string(victim == Victim::Source ? "source" : "destination") +
+          " killed at " + to_string(phase) +
+          (out.report.error.empty() ? "" : " (" + out.report.error + ")");
+
+      // THE invariant: at no cut point do both sides accept mutations.
+      EXPECT_FALSE(out.src_accepts && out.dst_accepts) << scenario;
+
+      // Atomicity: completed means the old owner durably refuses and the
+      // new map is live; failed means the move never happened — the
+      // destination still refuses and the map never advanced.
+      if (out.report.ok) {
+        EXPECT_FALSE(out.src_accepts) << scenario;
+        EXPECT_EQ(out.router_version, 2u) << scenario;
+        if (victim == Victim::Source) {
+          EXPECT_TRUE(out.dst_accepts) << scenario;
+        }
+      } else {
+        EXPECT_FALSE(out.dst_accepts) << scenario;
+        EXPECT_EQ(out.router_version, 1u) << scenario;
+        if (victim == Victim::Destination) {
+          // Source survived a failed migration: it must have rolled back
+          // to owning the partition, with the retire sidecar gone.
+          EXPECT_TRUE(out.src_accepts) << scenario;
+          EXPECT_FALSE(out.src_sidecar) << scenario;
+        }
+      }
+
+      // Deterministic outcome per frame: the source dying from Drain on
+      // completes the cutover (the destination provably holds everything);
+      // any earlier death aborts.  A destination death only survives the
+      // migration once Publish no longer needs it.
+      const bool expect_ok =
+          victim == Victim::Source
+              ? (phase == MigrationPhase::Drain || phase == MigrationPhase::Promote ||
+                 phase == MigrationPhase::Publish)
+              : phase == MigrationPhase::Publish;
+      EXPECT_EQ(out.report.ok, expect_ok) << scenario;
+    }
+  }
+}
+
+// --- drain timeout: rollback to the old owner -------------------------------
+
+TEST(Migration, DrainTimeoutRollsBackToTheOldOwner) {
+  Primary src("drain_src.rtpj");
+  Standby dst("drain_dst.rtpj");
+  std::optional<Router> router;
+  router.emplace(single_partition_map(src.address, "anl"), test_options());
+  MigrationOptions options = fast_migration();
+  options.drain_timeout_ms = 300;
+  MigrationCoordinator coordinator(*router, options);
+  router->attach_coordinator(&coordinator);
+
+  bool quit = false;
+  std::size_t n = 0;
+  for (const char* line : {"SUBMIT 0 1 4 100 120 key=anl", "START 1 1 key=anl"}) {
+    ++n;
+    ASSERT_EQ(router->handle_line(line, n, &quit).rfind("OK", 0), 0u) << line;
+  }
+
+  // At the Retire frame (catch-up verified, gate closed, source not yet
+  // retired): freeze the destination's acks, then land one more event
+  // straight on the source.  The retire seq now exceeds anything the
+  // destination will ever ack — the drain window must expire.
+  coordinator.set_phase_hook([&](MigrationPhase phase) {
+    if (phase != MigrationPhase::Retire) return;
+    dst.freeze();
+    const std::string reply =
+        one_shot(src.address, "SUBMIT 2 5 1 10 20 key=anl");
+    EXPECT_EQ(reply.rfind("OK", 0), 0u) << reply;
+  });
+
+  const MigrationReport report = coordinator.migrate_partition(0, dst.address);
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.phase, MigrationPhase::Rollback);
+  EXPECT_NE(report.error.find("rolled back to " + src.address), std::string::npos)
+      << report.error;
+
+  // Nothing moved: the source owns the session again (sidecar gone, gate
+  // lifted), the destination is still a read-only follower, and the map
+  // never advanced.
+  EXPECT_EQ(router->map_version(), 1u);
+  EXPECT_FALSE(file_exists(src.journal_path + ".retired"));
+  EXPECT_EQ(one_shot(src.address, "MIGRATE status"), "OK migration=none");
+  const std::string routed = router->handle_line("ESTIMATE 5 key=anl", ++n, &quit);
+  EXPECT_EQ(routed.rfind("OK job=5 wait=", 0), 0u) << routed;
+  const std::string refused = one_shot(dst.address, "SUBMIT 500 92 1 10 20 key=anl");
+  EXPECT_NE(refused.find("code=readonly"), std::string::npos) << refused;
+}
+
+// --- the drain gate: queued, never rejected ---------------------------------
+
+TEST(Migration, PausedPartitionQueuesKeyedRequestsUntilTheNewOwnerServes) {
+  Mono reference;
+  Primary src("gate_src.rtpj");
+  Standby dst("gate_dst.rtpj");
+  std::optional<Router> router;
+  router.emplace(single_partition_map(src.address, "anl"), test_options());
+  MigrationCoordinator coordinator(*router, fast_migration());
+  router->attach_coordinator(&coordinator);
+
+  const std::vector<std::string> seed = {
+      "SUBMIT 0 1 4 100 120 key=anl",
+      "START 1 1 key=anl",
+      "SUBMIT 2 2 8 50 60 key=anl",
+  };
+  bool quit = false;
+  std::size_t n = 0;
+  for (const std::string& line : seed) {
+    ++n;
+    ASSERT_EQ(router->handle_line(line, n, &quit), reference.reply(line, n)) << line;
+  }
+
+  // Mid-drain (partition gated), fire a keyed request from another thread:
+  // it must park on the gate — counted in router_paused_waits — and then
+  // be answered by the NEW owner after the cutover publishes, with the
+  // same bytes the monolithic reference produces.
+  std::thread client;
+  std::string queued_reply;
+  coordinator.set_phase_hook([&](MigrationPhase phase) {
+    if (phase != MigrationPhase::Drain) return;
+    client = std::thread([&] {
+      bool q = false;
+      queued_reply = router->handle_line("ESTIMATE 2 key=anl", 50, &q);
+    });
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (router->stats().paused_waits == 0 &&
+           std::chrono::steady_clock::now() < deadline)
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    EXPECT_GE(router->stats().paused_waits, 1u) << "request never reached the gate";
+  });
+
+  const MigrationReport report = coordinator.migrate_partition(0, dst.address);
+  ASSERT_TRUE(report.ok) << report.error;
+  client.join();
+  EXPECT_EQ(queued_reply, reference.reply("ESTIMATE 2 key=anl", 50));
+  EXPECT_GE(router->stats().paused_waits, 1u);
+  EXPECT_EQ(router->stats().errors, 0u);  // queued, never rejected
+}
+
+// --- deterministic hot-partition rebalancing --------------------------------
+
+TEST(Migration, RebalanceMovesTheHottestPartitionToTheFirstFreeSpare) {
+  struct PlainWorker {
+    PlainWorker() {
+      port = mono.server->listen_on(0);
+      address = "127.0.0.1:" + std::to_string(port);
+      thread = std::thread([this] { mono.server->serve(); });
+    }
+    ~PlainWorker() {
+      mono.server->shutdown();
+      thread.join();
+    }
+    Mono mono;
+    std::uint16_t port = 0;
+    std::string address;
+    std::thread thread;
+  };
+
+  PlainWorker cold;
+  Primary hot("rebalance_hot.rtpj");
+  Standby spare("rebalance_spare.rtpj");
+
+  PartitionMap map;
+  map.partitions = {{cold.address}, {hot.address}};
+  map.assignments.emplace("a", 0);
+  map.assignments.emplace("b", 1);
+  std::optional<Router> router;
+  router.emplace(std::move(map), test_options());
+  MigrationOptions options = fast_migration();
+  options.spares = {spare.address};
+  MigrationCoordinator coordinator(*router, options);
+  router->attach_coordinator(&coordinator);
+
+  bool quit = false;
+  std::size_t n = 0;
+
+  // No traffic yet: nothing to rank, deterministic refusal.
+  ++n;
+  EXPECT_EQ(router->handle_line("REBALANCE", n, &quit),
+            "ERR line=" + std::to_string(n) +
+                " code=state msg=no load recorded yet; nothing to rebalance");
+
+  for (const char* line : {"SUBMIT 0 1 4 100 120 key=a", "SUBMIT 0 1 4 100 120 key=b",
+                           "SUBMIT 2 2 8 50 60 key=b", "ESTIMATE 1 key=b"}) {
+    ++n;
+    ASSERT_EQ(router->handle_line(line, n, &quit).rfind("OK", 0), 0u) << line;
+  }
+  EXPECT_EQ(router->hottest_partition(), 1u);  // 3 hits vs 1, strict maximum
+
+  const std::string rebalanced = router->handle_line("REBALANCE", ++n, &quit);
+  ASSERT_EQ(rebalanced.rfind("OK rebalanced=1", 0), 0u) << rebalanced;
+  EXPECT_EQ(field(rebalanced, "partition"), "1");
+  EXPECT_EQ(field(rebalanced, "from"), hot.address);
+  EXPECT_EQ(field(rebalanced, "to"), spare.address);
+  EXPECT_EQ(field(rebalanced, "map_version"), "2");
+  EXPECT_EQ(router->map().partitions[1], std::vector<std::string>{spare.address});
+  // A fresh map starts with fresh load counters.
+  EXPECT_EQ(router->partition_load(0), 0u);
+  EXPECT_EQ(router->partition_load(1), 0u);
+
+  // The spare (promoted) serves the moved keys; once it is in the map there
+  // is no spare left to rebalance onto.
+  for (const char* line : {"ESTIMATE 1 key=b", "ESTIMATE 1 key=b"}) {
+    ++n;
+    ASSERT_EQ(router->handle_line(line, n, &quit).rfind("OK job=1 wait=", 0), 0u)
+        << line;
+  }
+  ++n;
+  EXPECT_EQ(router->handle_line("REBALANCE", n, &quit),
+            "ERR line=" + std::to_string(n) +
+                " code=state msg=no spare worker available (all configured spares "
+                "are in the map)");
+}
+
+// --- worker-side verb surface (no TCP needed) -------------------------------
+
+TEST(Migration, WorkerVerbSurfacePinsMapStoreAndRefusals) {
+  Mono mono;
+
+  EXPECT_EQ(mono.reply("REBALANCE", 1),
+            "ERR line=1 code=state msg=REBALANCE is a router verb; send it to "
+            "rtprouter");
+  const std::string no_sender = mono.reply("MIGRATE to=127.0.0.1:1", 2);
+  EXPECT_NE(no_sender.find("no replication sender"), std::string::npos) << no_sender;
+  EXPECT_EQ(mono.reply("MIGRATE status", 3), "OK migration=none");
+  EXPECT_EQ(mono.reply("MIGRATE detach", 4), "OK migration=none");
+  EXPECT_EQ(mono.reply("MAPGET", 5),
+            "ERR line=5 code=state msg=MAPGET: no partition map stored");
+
+  PartitionMap map;
+  map.version = 5;
+  map.partitions = {{"127.0.0.1:7001", "127.0.0.1:7004"}, {"127.0.0.1:7002"}};
+  map.assignments.emplace("anl", 0);
+  const std::string enc = encode_map_line(map);
+  EXPECT_EQ(mono.reply("MAPSET map=" + enc, 6), "OK map_version=5 partitions=2");
+  EXPECT_EQ(mono.reply("MAPGET", 7), "OK map_version=5 map=" + enc);
+
+  // Version monotonicity: equal (or older) maps are refused.
+  EXPECT_EQ(mono.reply("MAPSET map=" + enc, 8),
+            "ERR line=8 code=state msg=MAPSET: version 5 is not newer than stored 5");
+
+  // A malformed map is refused with the offending line named and is never
+  // partially applied: the stored map is untouched.
+  const std::string junk =
+      "RTPMAP1,version=9,partitions=2,default=0;partition,0,127.0.0.1:1";
+  const std::string refused = mono.reply("MAPSET map=" + junk, 9);
+  EXPECT_EQ(refused.rfind("ERR line=9", 0), 0u) << refused;
+  EXPECT_NE(refused.find("partition map line "), std::string::npos) << refused;
+  EXPECT_EQ(mono.reply("MAPGET", 10), "OK map_version=5 map=" + enc);
+}
+
+TEST(Migration, RetireSidecarSurvivesRestartAndResumeClearsIt) {
+  const std::string sidecar = temp_path("retire_sidecar");
+  ::unlink(sidecar.c_str());
+  write_retire_marker(sidecar, {3, 17});
+
+  // A server restarting over the marker comes back retired: the session
+  // moved while it was down, and answering events would be a split brain.
+  const auto policy = make_policy(PolicyKind::Fcfs);
+  ConstantPredictor predictor(600.0);
+  OnlineSession session(8, *policy, predictor);
+  ServerOptions options;
+  options.greeting = false;
+  options.retire_sidecar = sidecar;
+  ServiceServer server(session, options);
+
+  bool quit = false;
+  EXPECT_EQ(server.handle_line("SUBMIT 0 1 4 100 120", 1, &quit),
+            "ERR line=1 code=moved map_version=3 msg=session moved; refetch "
+            "partition map");
+  EXPECT_EQ(server.handle_line("ESTIMATE 1", 2, &quit),
+            "ERR line=2 code=moved map_version=3 msg=session moved; refetch "
+            "partition map");
+  const std::string stats = server.handle_line("STATS", 3, &quit);
+  EXPECT_EQ(field(stats, "retired"), "1");
+  EXPECT_EQ(field(stats, "retired_map_version"), "3");
+  EXPECT_EQ(field(stats, "retired_seq"), "17");
+
+  // Rollback path: resume removes the marker and reclaims the session.
+  EXPECT_EQ(server.handle_line("MIGRATE resume", 4, &quit), "OK retired=0");
+  EXPECT_FALSE(file_exists(sidecar));
+  EXPECT_EQ(server.handle_line("SUBMIT 0 1 4 100 120", 5, &quit).rfind("OK", 0), 0u);
+}
+
+}  // namespace
+}  // namespace rtp

@@ -53,7 +53,8 @@ std::string temp_path(const std::string& name) {
   return ::testing::TempDir() + "rtp_router_" + name;
 }
 
-/// Loopback listener on an ephemeral port; returns the fd, stores the port.
+/// Loopback listener; *port picks the port (0 = ephemeral) and receives the
+/// bound one — a fixed port lets a test model "restarted on the same port".
 int make_listener(std::uint16_t* port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   RTP_CHECK(fd >= 0, "socket failed");
@@ -62,7 +63,7 @@ int make_listener(std::uint16_t* port) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = 0;
+  addr.sin_port = htons(*port);
   RTP_CHECK(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
             "bind failed");
   RTP_CHECK(::listen(fd, 16) == 0, "listen failed");
@@ -169,7 +170,8 @@ class CannedBackend {
 /// the router sees the backend vanish mid-stream.
 class ChaosProxy {
  public:
-  explicit ChaosProxy(std::uint16_t backend_port) : backend_port_(backend_port) {
+  explicit ChaosProxy(std::uint16_t backend_port, std::uint16_t listen_port = 0)
+      : backend_port_(backend_port), port_(listen_port) {
     listen_fd_.store(make_listener(&port_));
     accept_thread_ = std::thread([this] { accept_loop(); });
   }
@@ -739,6 +741,292 @@ TEST(Router, MidStreamFailoverOntoPromotedStandbyKeepsBitIdentity) {
   // before joining its serve thread.
   router.reset();
   follower_thread.join();
+}
+
+// --- stale pooled connections: retire + redial before failover --------------
+
+TEST(Router, StalePooledConnectionRedialsTheSameReplicaOnce) {
+  // The worker is killed (its proxy severs every connection) and comes
+  // back on the SAME port (the operator restarted it).  The pooled
+  // connection the router kept is a dead socket now: the next keyed
+  // request must retire it and redial the same replica once — no
+  // failover, no client-visible error.
+  Worker worker;
+  std::optional<ChaosProxy> first(std::in_place, worker.port);
+  const std::uint16_t port = first->port();
+  std::optional<ChaosProxy> second;
+
+  PartitionMap map;
+  map.partitions = {{"127.0.0.1:" + std::to_string(port)}};
+  map.assignments.emplace("a", 0);
+  std::optional<Router> router;
+  router.emplace(std::move(map), test_options());
+
+  bool quit = false;
+  EXPECT_EQ(
+      router->handle_line("SUBMIT 0 1 4 100 120 key=a", 1, &quit).rfind("OK", 0), 0u);
+
+  first->kill();
+  first.reset();  // frees the port; the pooled fd is already severed
+  second.emplace(worker.port, port);
+  ASSERT_EQ(second->port(), port);
+
+  const std::string reply =
+      router->handle_line("SUBMIT 5 2 4 100 120 key=a", 2, &quit);
+  EXPECT_EQ(reply.rfind("OK", 0), 0u) << reply;
+  EXPECT_EQ(router->stats().stale_retires, 1u);
+  EXPECT_EQ(router->stats().failovers, 0u);
+  EXPECT_EQ(router->stats().errors, 0u);
+
+  // Kill it again WITHOUT a restart: the stale connection is still retired
+  // first, but the redial fails and the transport-failure path takes over.
+  second->kill();
+  EXPECT_EQ(router->handle_line("ESTIMATE 9 key=a", 3, &quit),
+            "ERR line=3 code=busy msg=partition 0 unreachable; retry");
+  EXPECT_EQ(router->stats().stale_retires, 2u);
+  EXPECT_GE(router->stats().failovers, 1u);
+  EXPECT_EQ(router->stats().errors, 1u);
+  router.reset();  // close pools before the proxies and worker unwind
+}
+
+// --- degraded STATS fan-out -------------------------------------------------
+
+TEST(Router, StatsFanOutDegradesGracefullyWhenAPartitionIsDark) {
+  Worker alive;
+  PartitionMap map;
+  map.partitions = {{alive.address}, {"127.0.0.1:1"}};
+  map.assignments.emplace("a", 0);
+  map.assignments.emplace("b", 1);
+  RouterOptions options = test_options();
+  options.max_attempts = 2;
+  options.connect_timeout_ms = 200;
+  Router router(std::move(map), options);
+
+  bool quit = false;
+  ASSERT_EQ(
+      router.handle_line("SUBMIT 0 1 4 100 120 key=a", 1, &quit).rfind("OK", 0), 0u);
+  ASSERT_EQ(router.handle_line("ESTIMATE 1 key=a", 2, &quit).rfind("OK", 0), 0u);
+  EXPECT_EQ(router.handle_line("SUBMIT 0 1 4 100 120 key=b", 3, &quit),
+            "ERR line=3 code=busy msg=partition 1 unreachable; retry");
+
+  // The merge stays useful instead of failing wholesale: the dark
+  // partition is marked, the partial flag is raised, and the summed
+  // counters cover exactly what answered (the live worker's 2 traffic
+  // lines + its fan-out STATS).
+  const std::string stats = router.handle_line("STATS", 4, &quit);
+  ASSERT_EQ(stats.rfind("OK ", 0), 0u) << stats;
+  EXPECT_EQ(field(stats, "partitions"), "2");
+  EXPECT_EQ(field(stats, "up"), "1");
+  EXPECT_EQ(field(stats, "router_stats_partial"), "1");
+  EXPECT_EQ(field(stats, "p0_load"), "2");
+  EXPECT_EQ(field(stats, "p1_load"), "1");
+  EXPECT_EQ(field(stats, "p1_unreachable"), "1");
+  EXPECT_EQ(stats.find("p0_unreachable"), std::string::npos);
+  EXPECT_EQ(field(stats, "requests"), "3");
+
+  // A fully-up cluster never carries the partial marker.
+  PartitionMap healthy;
+  healthy.partitions = {{alive.address}};
+  Router all_up(std::move(healthy), test_options());
+  const std::string clean = all_up.handle_line("STATS", 1, &quit);
+  ASSERT_EQ(clean.rfind("OK ", 0), 0u) << clean;
+  EXPECT_EQ(clean.find("router_stats_partial"), std::string::npos);
+  EXPECT_EQ(clean.find("unreachable"), std::string::npos);
+}
+
+// --- partition map: every rejection names its line --------------------------
+
+TEST(PartitionMap, RejectionsNameTheOffendingLine) {
+  const auto message = [](const std::string& text) -> std::string {
+    try {
+      PartitionMap::load(text);
+    } catch (const Error& e) {
+      return e.what();
+    }
+    ADD_FAILURE() << "load accepted: " << text;
+    return {};
+  };
+  const std::string base =
+      "RTPMAP1 version=1 partitions=2 default=0\n"
+      "partition 0 127.0.0.1:1\n"
+      "partition 1 127.0.0.1:2\n";
+  EXPECT_NE(message("RTPMAP2 version=1 partitions=1 default=0\n")
+                .find("partition map line 1:"),
+            std::string::npos);
+  EXPECT_NE(message(base + "bogus\n").find("partition map line 4:"),
+            std::string::npos);
+  // Physical lines count — a leading comment shifts the blame downward, so
+  // the number matches what an editor shows.
+  EXPECT_NE(message("# cluster\n" + base + "bogus\n").find("partition map line 5:"),
+            std::string::npos);
+  EXPECT_NE(message("RTPMAP1 version=1 partitions=2 default=0\n"
+                    "partition 0 127.0.0.1:1\n"
+                    "partition 1 nonsense\n")
+                .find("partition map line 3:"),
+            std::string::npos);
+  EXPECT_NE(message(base + "assign k 0\nassign k 1\n").find("partition map line 5:"),
+            std::string::npos);
+  EXPECT_NE(message(base + "assign k 7\n").find("partition map line 4:"),
+            std::string::npos);
+  // Truncation blames the last line seen — the empty line after the final
+  // newline, the spot where the missing partition line should have been.
+  EXPECT_NE(message("RTPMAP1 version=1 partitions=2 default=0\n"
+                    "partition 0 127.0.0.1:1\n")
+                .find("partition map line 3:"),
+            std::string::npos);
+  // Reserved wire-encoding characters can never ride inside an address.
+  EXPECT_NE(message("RTPMAP1 version=1 partitions=1 default=0\n"
+                    "partition 0 127.0.0.1:1,127.0.0.2:2\n")
+                .find("partition map line 2:"),
+            std::string::npos);
+}
+
+TEST(PartitionMap, SeededMutationFuzzNeverAcceptsPartiallyAlwaysNamesALine) {
+  PartitionMap map;
+  map.version = 4;
+  map.default_partition = 1;
+  map.partitions = {{"127.0.0.1:7001", "127.0.0.1:7002"},
+                    {"127.0.0.1:7003"},
+                    {"127.0.0.1:7004"}};
+  map.assignments.emplace("anl", 0);
+  map.assignments.emplace("ctc", 1);
+  map.assignments.emplace("sdsc", 2);
+  const std::string canonical = map.dump();
+  std::vector<std::string> lines;
+  for (const std::string_view piece : split(canonical, '\n'))
+    if (!piece.empty()) lines.emplace_back(piece);
+  const std::array<std::string, 6> junk = {
+      "partition 9 127.0.0.1:9",  "assign anl 0", "garbage",
+      "partition zero 1.2.3.4:5", "assign x 99",  "RTPMAP1 version=0",
+  };
+  const auto join = [](const std::vector<std::string>& parts) {
+    std::string out;
+    for (const std::string& part : parts) out += part + "\n";
+    return out;
+  };
+
+  Rng rng(0xC0FFEEu);
+  std::size_t rejected = 0, accepted = 0;
+  for (int iter = 0; iter < 4000; ++iter) {
+    std::string text;
+    std::vector<std::string> mutated = lines;
+    const auto slot = [&] {
+      return static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(mutated.size()) - 1));
+    };
+    switch (rng.uniform_int(0, 4)) {
+      case 0:  // truncate at a random byte (including "no cut at all")
+        text = canonical.substr(
+            0, static_cast<std::size_t>(
+                   rng.uniform_int(0, static_cast<std::int64_t>(canonical.size()))));
+        break;
+      case 1:  // drop a line
+        mutated.erase(mutated.begin() + static_cast<std::ptrdiff_t>(slot()));
+        text = join(mutated);
+        break;
+      case 2: {  // duplicate a line
+        const std::size_t at = slot();
+        mutated.insert(mutated.begin() + static_cast<std::ptrdiff_t>(at),
+                       mutated[at]);
+        text = join(mutated);
+        break;
+      }
+      case 3: {  // swap two lines
+        const std::size_t a = slot();
+        const std::size_t b = slot();
+        std::swap(mutated[a], mutated[b]);
+        text = join(mutated);
+        break;
+      }
+      default:  // splice in junk
+        mutated.insert(
+            mutated.begin() + static_cast<std::ptrdiff_t>(
+                                  rng.uniform_int(0, static_cast<std::int64_t>(
+                                                         mutated.size()))),
+            junk[static_cast<std::size_t>(rng.uniform_int(0, 5))]);
+        text = join(mutated);
+        break;
+    }
+    try {
+      const PartitionMap survivor = PartitionMap::load(text);
+      ++accepted;
+      // Full parse or nothing: whatever load accepted must re-dump and
+      // re-load canonically — there is no partially-applied state to leak.
+      EXPECT_EQ(PartitionMap::load(survivor.dump()).dump(), survivor.dump()) << text;
+    } catch (const Error& e) {
+      ++rejected;
+      EXPECT_NE(std::string(e.what()).find("partition map line "), std::string::npos)
+          << "unlocated rejection for:\n" << text << "\nerror: " << e.what();
+    }
+  }
+  // The generator must exercise both verdicts heavily.
+  EXPECT_GT(rejected, 1000u);
+  EXPECT_GT(accepted, 50u);
+}
+
+TEST(PartitionMap, WireEncodingRoundTripsAndGuardsReservedCharacters) {
+  PartitionMap map;
+  map.version = 7;
+  map.default_partition = 1;
+  map.partitions = {{"127.0.0.1:7001", "127.0.0.1:7004"}, {"localhost:7002"}};
+  map.assignments.emplace("ctc", 1);
+  map.assignments.emplace("anl", 0);
+  const std::string encoded = encode_map_line(map);
+  EXPECT_EQ(encoded.find(' '), std::string::npos);
+  EXPECT_EQ(encoded.find('\n'), std::string::npos);
+  const PartitionMap back = decode_map_line(encoded);
+  EXPECT_EQ(back.dump(), map.dump());
+  EXPECT_EQ(encode_map_line(back), encoded);
+
+  // The wire characters themselves can never appear in a valid map, which
+  // is what makes the single-token encoding unambiguous.
+  PartitionMap evil_address = map;
+  evil_address.partitions[0][0] = "127.0.0.1:1,127.0.0.2:2";
+  EXPECT_THROW(evil_address.validate(), Error);
+  PartitionMap evil_key = map;
+  evil_key.assignments.emplace("a;b", 0);
+  EXPECT_THROW(evil_key.validate(), Error);
+  EXPECT_THROW(decode_map_line("not-a-map"), Error);
+}
+
+// --- MAPSET/MAPGET on the router's own map ----------------------------------
+
+TEST(Router, MapsetSwapsStrictlyNewerMapsAtomically) {
+  Mono reference;
+  Worker worker;
+  PartitionMap map;
+  map.partitions = {{"127.0.0.1:1"}};  // v1 points nowhere on purpose
+  Router router(std::move(map), test_options());
+
+  bool quit = false;
+  const std::string got = router.handle_line("MAPGET", 1, &quit);
+  ASSERT_EQ(got.rfind("OK map_version=1 map=", 0), 0u) << got;
+  EXPECT_EQ(decode_map_line(field(got, "map")).dump(), router.map().dump());
+
+  // Monotonicity: re-installing the same version is refused.
+  EXPECT_EQ(
+      router.handle_line("MAPSET map=" + field(got, "map"), 2, &quit),
+      "ERR line=2 code=state msg=MAPSET: version 1 is not newer than installed 1");
+
+  // A malformed map is refused with the offending line named and nothing
+  // is installed.
+  const std::string refused = router.handle_line(
+      "MAPSET map=RTPMAP1,version=9,partitions=2,default=0;partition,0,127.0.0.1:1",
+      3, &quit);
+  EXPECT_EQ(refused.rfind("ERR line=3 code=state", 0), 0u) << refused;
+  EXPECT_NE(refused.find("partition map line "), std::string::npos) << refused;
+  EXPECT_EQ(router.map_version(), 1u);
+
+  // A strictly newer map swaps the whole routing table: the very next
+  // request forwards to the new backend and answers the reference's bytes.
+  PartitionMap next;
+  next.version = 2;
+  next.partitions = {{worker.address}};
+  EXPECT_EQ(router.handle_line("MAPSET map=" + encode_map_line(next), 4, &quit),
+            "OK map_version=2 partitions=1");
+  EXPECT_EQ(router.map_version(), 2u);
+  EXPECT_EQ(router.handle_line("ESTIMATE 1", 5, &quit),
+            reference.reply("ESTIMATE 1", 5));
 }
 
 }  // namespace

@@ -16,6 +16,13 @@
 //   # promote a follower after its primary died:
 //   ./rtpctl --servers 127.0.0.1:7422 PROMOTE
 //
+//   # live migration, through the router (moves key a's partition to the
+//   # fresh follower on :7424), then inspect the new map:
+//   ./rtpctl --servers 127.0.0.1:7420 MIGRATE key=a to=127.0.0.1:7424
+//   ./rtpctl --servers 127.0.0.1:7420 --json MAPGET
+//   # migrate the hottest partition to a configured spare:
+//   ./rtpctl --servers 127.0.0.1:7420 REBALANCE
+//
 //   # or stream request lines from stdin (one exchange per line):
 //   head -n 100 anl.events | ./rtpctl --servers 127.0.0.1:7421 --stdin
 //

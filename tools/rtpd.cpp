@@ -35,6 +35,13 @@
 //   # auto-promotion, or restart the follower's journal as the primary:
 //   ./rtpd --nodes 64 --journal f.rtpj --follow 7500 --promote
 //
+// Live migration (src/service/migrate.hpp): any journaled primary can hand
+// its session to a fresh follower with zero downtime — the coordinator (in
+// rtprouter) attaches the destination as a follower (MIGRATE to=...),
+// drains, retires the source (crash-durable "<journal>.retired" marker),
+// and promotes the destination.  A retired rtpd answers session verbs with
+// "ERR code=moved map_version=<N>" until MIGRATE resume.
+//
 // SIGINT/SIGTERM drain gracefully: the server stops accepting, finishes
 // in-flight requests, fsyncs the journal, and emits a final STATS line on
 // stderr before exiting.  SIGPIPE is ignored process-wide: peers (clients,
@@ -248,8 +255,11 @@ int main(int argc, char** argv) {
               "--replicate-to and --follow are mutually exclusive");
     RTP_CHECK(!args.flag("promote") || !follow.empty(), "--promote requires --follow");
 
+    // Any journaled primary gets a sender, follower targets or not: live
+    // migration (MIGRATE to=...) attaches the destination as a follower at
+    // runtime, so the streaming machinery must already be in place.
     std::unique_ptr<rtp::ReplicationSender> sender;
-    if (!replicate_to.empty()) {
+    if (journal != nullptr && follow.empty()) {
       rtp::ReplicationOptions repl_options;
       repl_options.heartbeat_ms =
           static_cast<std::uint32_t>(args.integer("heartbeat-ms"));
@@ -276,6 +286,10 @@ int main(int argc, char** argv) {
     server_options.request_deadline_ms =
         static_cast<std::uint32_t>(args.integer("deadline-ms"));
     server_options.replication = sender.get();
+    // Crash-durable migration marker: a source kill -9'd after MIGRATE
+    // retire must come back retired, not as a second owner.
+    if (!journal_path.empty())
+      server_options.retire_sidecar = journal_path + ".retired";
     rtp::ServiceServer server(session, server_options);
 
     // Session state that is not in the journal (recovery consumed it, or

@@ -25,9 +25,13 @@
 // SIGPIPE is ignored process-wide, as in rtpd: workers and clients may
 // vanish mid-write, and the rtp::io wrappers turn EPIPE into an orderly
 // disconnect.
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <thread>
 
@@ -38,6 +42,7 @@
 #include "core/log.hpp"
 #include "core/strings.hpp"
 #include "service/io.hpp"
+#include "service/migrate.hpp"
 #include "service/router.hpp"
 
 namespace {
@@ -86,6 +91,16 @@ rtp::PartitionMap map_from_flag(const std::string& spec, std::size_t default_par
   return map;
 }
 
+/// ','-separated address list flag ("h:1,h:2") → vector.
+std::vector<std::string> addresses_from_flag(const std::string& spec) {
+  std::vector<std::string> out;
+  for (const std::string_view piece : rtp::split(spec, ',')) {
+    const std::string address(rtp::trim(piece));
+    if (!address.empty()) out.push_back(address);
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -108,6 +123,20 @@ int main(int argc, char** argv) {
     args.add_option("backoff-max-ms", "backoff cap", "2000");
     args.add_option("seed", "backoff jitter seed", "1381258322");  // "RTPR"
     args.add_option("max-connections", "concurrent clients (0 = unbounded)", "64");
+    args.add_option("peers",
+                    "peer routers (','-separated host:port) to push new "
+                    "partition maps to after a migration", "");
+    args.add_option("spares",
+                    "spare worker addresses REBALANCE may migrate the hottest "
+                    "partition to (','-separated)", "");
+    args.add_option("rebalance-interval",
+                    "seconds between automatic rebalance passes (0 = off; "
+                    "needs --spares)", "0");
+    args.add_option("catchup-timeout-ms", "migration catch-up bound", "15000");
+    args.add_option("drain-timeout-ms",
+                    "migration drain window before rollback", "5000");
+    args.add_option("pause-wait-ms",
+                    "longest a request queues on a paused partition", "10000");
     args.add_flag("verbose", "progress logging to stderr");
     if (!args.parse()) return 0;
     if (args.flag("verbose")) rtp::set_log_level(rtp::LogLevel::Info);
@@ -145,7 +174,55 @@ int main(int argc, char** argv) {
     options.jitter_seed = static_cast<std::uint64_t>(args.integer("seed"));
     options.threads = static_cast<std::size_t>(args.integer("threads"));
     options.max_connections = static_cast<std::size_t>(args.integer("max-connections"));
+    options.pause_wait_ms = static_cast<std::uint32_t>(args.integer("pause-wait-ms"));
     rtp::Router router(std::move(map), options);
+
+    rtp::MigrationOptions migration;
+    migration.connect_timeout_ms = options.connect_timeout_ms;
+    migration.read_timeout_ms = options.read_timeout_ms;
+    migration.catchup_timeout_ms =
+        static_cast<std::uint32_t>(args.integer("catchup-timeout-ms"));
+    migration.drain_timeout_ms =
+        static_cast<std::uint32_t>(args.integer("drain-timeout-ms"));
+    migration.peers = addresses_from_flag(args.str("peers"));
+    migration.spares = addresses_from_flag(args.str("spares"));
+    rtp::MigrationCoordinator coordinator(router, migration);
+    router.attach_coordinator(&coordinator);
+
+    // Automatic hot-partition rebalancing: every interval, migrate the
+    // hottest partition to the next free spare.  Failures (no load yet, no
+    // spare left, a migration already running) just wait for the next tick.
+    const auto rebalance_interval =
+        std::chrono::seconds(args.integer("rebalance-interval"));
+    std::atomic<bool> rebalance_stop{false};
+    std::mutex rebalance_mutex;
+    std::condition_variable rebalance_cv;
+    std::thread rebalancer;
+    if (rebalance_interval.count() > 0 && mode == "tcp") {
+      RTP_CHECK(!migration.spares.empty(), "--rebalance-interval needs --spares");
+      rebalancer = std::thread([&] {
+        std::unique_lock<std::mutex> lock(rebalance_mutex);
+        while (!rebalance_cv.wait_for(lock, rebalance_interval,
+                                      [&] { return rebalance_stop.load(); })) {
+          lock.unlock();
+          const rtp::MigrationReport report = coordinator.rebalance("");
+          if (report.ok)
+            rtp::log_info("rtprouter rebalanced partition ", report.partition,
+                          " to ", report.to, " (map_version ", report.map_version,
+                          ")");
+          lock.lock();
+        }
+      });
+    }
+    const auto stop_rebalancer = [&] {
+      if (!rebalancer.joinable()) return;
+      {
+        std::lock_guard<std::mutex> lock(rebalance_mutex);
+        rebalance_stop.store(true);
+      }
+      rebalance_cv.notify_all();
+      rebalancer.join();
+    };
 
     RTP_CHECK(::pipe(g_wake_pipe) == 0, "cannot create signal wake pipe");
     install_signal_handlers();
@@ -166,6 +243,7 @@ int main(int argc, char** argv) {
       rtp::io::write_all(g_wake_pipe[1], &byte, 1);
       watcher.join();
     }
+    stop_rebalancer();
 
     if (g_signal != 0 || args.flag("verbose")) {
       const rtp::RouterStats stats = router.stats();
@@ -174,7 +252,10 @@ int main(int argc, char** argv) {
                                   : "final")
                 << ": requests=" << stats.requests << " errors=" << stats.errors
                 << " forwarded=" << stats.forwarded << " retries=" << stats.retries
-                << " failovers=" << stats.failovers << "\n";
+                << " failovers=" << stats.failovers
+                << " moved_redirects=" << stats.moved_redirects
+                << " stale_retires=" << stats.stale_retires
+                << " paused_waits=" << stats.paused_waits << "\n";
     }
     return 0;
   } catch (const std::exception& e) {
